@@ -1,0 +1,101 @@
+// Ablation bench (ours) — isolates the design choices §IV.B discusses:
+//   * similarity measure: cosine (the paper's choice) vs dot product
+//   * similarity input: client weights (text reading) vs delta (Eq. 5's
+//     literal Delta term)
+//   * weight normalization on/off
+//   * server mixing rate vartheta sweep (paper fixes 0.8)
+//   * partial-update weight scaling on/off (SEAFL^2 refinement)
+#include "bench_common.h"
+
+#include "core/seafl_strategy.h"
+
+namespace {
+
+using namespace seafl;
+using namespace seafl::bench;
+
+RunResult run_custom(const World& world, const ExperimentParams& params,
+                     const SeaflConfig& sc, bool partial_training) {
+  Arm arm = make_arm(partial_training ? "seafl2" : "seafl", params);
+  arm.strategy = std::make_unique<SeaflStrategy>(sc);
+  const ModelFactory factory = make_model(world.task.default_model,
+                                          world.task.input,
+                                          world.task.num_classes);
+  const double mlp_work = estimate_flops_per_sample(
+      ModelKind::kMlp, InputSpec{1, 1, 32}, world.task.num_classes);
+  const double work =
+      estimate_flops_per_sample(world.task.default_model, world.task.input,
+                                world.task.num_classes) /
+      mlp_work;
+  Simulation sim(world.task, factory, world.fleet, std::move(arm.strategy),
+                 arm.config, work);
+  return sim.run();
+}
+
+SeaflConfig base_seafl(const ExperimentParams& p) {
+  SeaflConfig sc;
+  sc.weights.alpha = p.alpha;
+  sc.weights.mu = p.mu;
+  sc.weights.staleness_limit = p.staleness_limit;
+  sc.vartheta = p.vartheta;
+  sc.full_epochs = p.local_epochs;
+  return sc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  WorldDefaults defaults;
+  defaults.pareto_shape = 1.1;
+  const World world = make_world(args, defaults);
+  ExperimentParams params = make_params(args, world);
+
+  Table table("Ablation — SEAFL design choices (synth-mnist)");
+  table.set_header(result_header());
+
+  {  // Reference configuration (cosine on Eq. 5's Delta, normalized).
+    const RunResult r =
+        run_custom(world, params, base_seafl(params), false);
+    table.add_row(result_row("cosine / delta / normalized (default)", r));
+  }
+  {  // Dot-product similarity.
+    SeaflConfig sc = base_seafl(params);
+    sc.weights.similarity = SimilarityKind::kDotProduct;
+    table.add_row(result_row("dot-product similarity",
+                             run_custom(world, params, sc, false)));
+  }
+  {  // Raw-weights similarity input ("similarity to the current global
+     // model" read literally): Theta ~ 1 for every client, a near no-op.
+    SeaflConfig sc = base_seafl(params);
+    sc.weights.importance_input = ImportanceInput::kWeights;
+    table.add_row(result_row("weights-vs-global similarity",
+                             run_custom(world, params, sc, false)));
+  }
+  {  // Without weight normalization. The raw weights sum to < 1, shrinking
+     // every aggregate toward zero; Eq. 6's normalization matters.
+    SeaflConfig sc = base_seafl(params);
+    sc.weights.normalize = false;
+    table.add_row(result_row("no weight normalization",
+                             run_custom(world, params, sc, false)));
+  }
+  for (const double vartheta : {0.4, 0.6, 0.8, 1.0}) {  // mixing sweep
+    SeaflConfig sc = base_seafl(params);
+    sc.vartheta = vartheta;
+    table.add_row(result_row("vartheta=" + fmt(vartheta, 1),
+                             run_custom(world, params, sc, false)));
+  }
+  {  // SEAFL^2 with and without partial-weight scaling.
+    ExperimentParams tight = params;
+    tight.staleness_limit = 2;
+    SeaflConfig sc = base_seafl(tight);
+    table.add_row(result_row("SEAFL^2 beta=2, scaled partial updates",
+                             run_custom(world, tight, sc, true)));
+    sc.scale_partial_updates = false;
+    table.add_row(result_row("SEAFL^2 beta=2, unscaled partial updates",
+                             run_custom(world, tight, sc, true)));
+  }
+
+  emit(table, args, "ablation_design.csv");
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Shared plumbing for the figure harnesses: world construction from CLI
+// flags with per-figure defaults, and result formatting.
+//
+// Every figure binary accepts:
+//   --clients N --samples N   task scale (clients, train samples per client)
+//   --dirichlet A             label-skew concentration
+//   --seed S                  experiment seed
+//   --task NAME               dataset (figure-specific default)
+//   --epochs E --batch B --lr F
+//   --rounds R                max rounds per arm
+//   --target A                target accuracy override
+//   --pareto P --idle-scale F heterogeneity knobs of the device fleet
+//   --csv PATH                CSV output path override
+// Defaults are sized for a single-core CI-class machine; pass --full for a
+// paper-scale run (600 samples/client as in §III).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/seafl.h"
+
+namespace seafl::bench {
+
+/// A constructed experiment world: data + device fleet.
+struct World {
+  FlTask task;
+  Fleet fleet;
+};
+
+/// Figure-specific defaults the CLI can override.
+struct WorldDefaults {
+  std::string task = "synth-mnist";
+  std::size_t clients = 100;
+  std::size_t samples_per_client = 60;
+  std::size_t test_samples = 600;
+  double dirichlet_alpha = 0.3;  ///< §III preliminary setting
+  double corrupt_fraction = 0.0;
+  double pareto_shape = 1.3;
+  double speed_cap = 20.0;
+  double idle_scale = 1.0;
+  std::uint64_t seed = 42;
+  std::size_t concurrency = 20;  ///< M: clients training at once
+};
+
+/// @param use_flag_seed when false, ignore a --seed flag and use d.seed
+///        verbatim (multi-seed sweeps derive per-run seeds themselves).
+inline World make_world(const CliArgs& args, const WorldDefaults& d,
+                        bool use_flag_seed = true) {
+  TaskSpec spec;
+  spec.name = args.get_string("task", d.task);
+  spec.num_clients =
+      static_cast<std::size_t>(args.get_int("clients", d.clients));
+  spec.samples_per_client = static_cast<std::size_t>(args.get_int(
+      "samples", args.get_bool("full", false) ? 600 : d.samples_per_client));
+  spec.test_samples =
+      static_cast<std::size_t>(args.get_int("test-samples", d.test_samples));
+  spec.dirichlet_alpha = args.get_double("dirichlet", d.dirichlet_alpha);
+  spec.corrupt_client_fraction =
+      args.get_double("corrupt", d.corrupt_fraction);
+  spec.seed = use_flag_seed
+                  ? static_cast<std::uint64_t>(args.get_int("seed", d.seed))
+                  : d.seed;
+
+  FleetConfig fc;
+  fc.num_devices = spec.num_clients;
+  fc.pareto_shape = args.get_double("pareto", d.pareto_shape);
+  fc.speed_cap = args.get_double("cap", d.speed_cap);
+  fc.idle_scale = args.get_double("idle-scale", d.idle_scale);
+  fc.seed = spec.seed;
+
+  std::printf("world: task=%s clients=%zu samples/client=%zu dirichlet=%.2f "
+              "pareto=%.2f seed=%llu\n",
+              spec.name.c_str(), spec.num_clients, spec.samples_per_client,
+              spec.dirichlet_alpha, fc.pareto_shape,
+              static_cast<unsigned long long>(spec.seed));
+  return World{make_task(spec), Fleet(fc)};
+}
+
+/// Experiment parameters with figure-level CLI overrides applied.
+inline ExperimentParams make_params(const CliArgs& args, const World& world,
+                                    std::uint64_t default_rounds = 120,
+                                    std::size_t default_concurrency = 20) {
+  ExperimentParams p;
+  p.concurrency = static_cast<std::size_t>(
+      args.get_int("concurrency", default_concurrency));
+  p.buffer_size =
+      static_cast<std::size_t>(args.get_int("buffer", p.buffer_size));
+  p.local_epochs =
+      static_cast<std::size_t>(args.get_int("epochs", p.local_epochs));
+  p.batch_size =
+      static_cast<std::size_t>(args.get_int("batch", p.batch_size));
+  p.learning_rate =
+      static_cast<float>(args.get_double("lr", p.learning_rate));
+  p.max_rounds =
+      static_cast<std::uint64_t>(args.get_int("rounds", default_rounds));
+  p.target_accuracy =
+      args.get_double("target", world.task.target_accuracy);
+  p.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", WorldDefaults{}.seed));
+  p.eval_subset =
+      static_cast<std::size_t>(args.get_int("eval-subset", 300));
+  return p;
+}
+
+/// One row of "time to target": formats the run outcome.
+inline std::vector<std::string> result_row(const std::string& label,
+                                           const RunResult& r) {
+  return {label,
+          fmt_time_or_na(r.time_to_target),
+          std::to_string(r.rounds),
+          fmt(r.final_accuracy, 4),
+          std::to_string(r.total_updates),
+          fmt(r.mean_staleness, 2)};
+}
+
+inline std::vector<std::string> result_header() {
+  return {"arm", "time-to-target", "rounds", "final-acc", "updates",
+          "mean-staleness"};
+}
+
+/// Multi-seed aggregate of one arm: mean time-to-target over the seeds that
+/// reached it, plus how many did.
+struct SeedAggregate {
+  double mean_time = -1.0;      ///< mean over reached seeds; -1 if none
+  std::size_t reached = 0;
+  std::size_t seeds = 0;
+  double mean_final_accuracy = 0.0;
+  double mean_rounds = 0.0;
+  double mean_staleness = 0.0;
+  double mean_fairness = 0.0;   ///< Jain's index over participation
+};
+
+/// Runs `run` (seed -> RunResult) across `num_seeds` derived seeds.
+template <typename RunFn>
+SeedAggregate run_seeds(std::size_t num_seeds, std::uint64_t base_seed,
+                        RunFn&& run) {
+  SeedAggregate agg;
+  agg.seeds = num_seeds;
+  double time_sum = 0.0;
+  for (std::size_t i = 0; i < num_seeds; ++i) {
+    const RunResult r = run(base_seed + 1000 * i);
+    if (r.time_to_target >= 0.0) {
+      time_sum += r.time_to_target;
+      ++agg.reached;
+    }
+    agg.mean_final_accuracy += r.final_accuracy;
+    agg.mean_rounds += static_cast<double>(r.rounds);
+    agg.mean_staleness += r.mean_staleness;
+    agg.mean_fairness += participation_fairness(r, /*active_only=*/false);
+  }
+  if (agg.reached > 0) agg.mean_time = time_sum / agg.reached;
+  agg.mean_final_accuracy /= num_seeds;
+  agg.mean_rounds /= num_seeds;
+  agg.mean_staleness /= num_seeds;
+  agg.mean_fairness /= num_seeds;
+  return agg;
+}
+
+inline std::vector<std::string> seed_header() {
+  return {"arm",         "mean-time-to-target", "reached",
+          "mean-final-acc", "mean-rounds",       "mean-staleness",
+          "fairness"};
+}
+
+inline std::vector<std::string> seed_row(const std::string& label,
+                                         const SeedAggregate& a) {
+  return {label,
+          fmt_time_or_na(a.mean_time),
+          std::to_string(a.reached) + "/" + std::to_string(a.seeds),
+          fmt(a.mean_final_accuracy, 4),
+          fmt(a.mean_rounds, 1),
+          fmt(a.mean_staleness, 2),
+          fmt(a.mean_fairness, 3)};
+}
+
+/// Prints the table and writes it as CSV.
+inline void emit(Table& table, const CliArgs& args,
+                 const std::string& default_csv) {
+  table.print();
+  const std::string path = args.get_string("csv", default_csv);
+  table.write_csv(path);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace seafl::bench

@@ -1,0 +1,42 @@
+// Extension bench (ours) — algorithms beyond the paper's evaluation that the
+// related-work section discusses, run on the same heterogeneous world:
+//   fedprox      — synchronous with a proximal local objective (Li et al.)
+//   fedsa-epochs — FedSA-inspired: slow devices run fewer local epochs
+//   safa-drop    — SAFA's lag tolerance: drop updates older than beta
+// against SEAFL / SEAFL^2 / FedBuff. Useful for positioning: shows which
+// staleness remedies (discount, bound, drop, shorten) pay off where.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace seafl;
+  using namespace seafl::bench;
+  CliArgs args(argc, argv);
+
+  WorldDefaults defaults;
+  defaults.pareto_shape = 1.05;  // heavy-tailed: every remedy has work to do
+  const std::size_t seeds =
+      static_cast<std::size_t>(args.get_int("seeds", 3));
+  const auto base_seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  Table table("Extensions — staleness remedies on a heavy-tailed fleet (" +
+              std::to_string(seeds) + " seeds)");
+  table.set_header(seed_header());
+
+  for (const std::string algo :
+       {"seafl", "seafl2", "seafl2-sub", "seafl-avgm", "fedbuff",
+        "fedbuff-adam", "fedsa-epochs", "safa-drop", "fedprox", "fedavg"}) {
+    const SeedAggregate agg =
+        run_seeds(seeds, base_seed, [&](std::uint64_t seed) {
+          WorldDefaults d = defaults;
+          d.seed = seed;
+          const World world = make_world(args, d, /*use_flag_seed=*/false);
+          ExperimentParams params = make_params(args, world);
+          params.seed = seed;
+          return run_arm(algo, params, world.task, world.fleet);
+        });
+    table.add_row(seed_row(make_arm(algo, ExperimentParams{}).label, agg));
+  }
+  emit(table, args, "ext_baselines.csv");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Selection-policy bench (ours) — quantifies the cohort-selection trade-off
+// the paper's related work discusses (Oort, PyramidFL): speed-aware
+// selection shortens rounds but reduces slow devices' participation, which
+// under non-IID data costs accuracy. Runs each policy in both synchronous
+// and semi-asynchronous modes.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace seafl;
+  using namespace seafl::bench;
+  CliArgs args(argc, argv);
+
+  WorldDefaults defaults;
+  defaults.pareto_shape = 1.05;
+  const std::size_t seeds =
+      static_cast<std::size_t>(args.get_int("seeds", 3));
+  const auto base_seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  struct PolicyCase {
+    std::string label;
+    SelectionPolicy policy;
+  };
+  const std::vector<PolicyCase> policies{
+      {"random (paper)", SelectionPolicy::kRandom},
+      {"fastest-first", SelectionPolicy::kFastestFirst},
+      {"data-weighted", SelectionPolicy::kDataWeighted},
+  };
+
+  Table table("Selection policies x modes on a heavy-tailed fleet (" +
+              std::to_string(seeds) + " seeds)");
+  table.set_header(seed_header());
+
+  for (const bool sync : {true, false}) {
+    for (const auto& pc : policies) {
+      const SeedAggregate agg =
+          run_seeds(seeds, base_seed, [&](std::uint64_t seed) {
+            WorldDefaults d = defaults;
+            d.seed = seed;
+            const World world = make_world(args, d, /*use_flag_seed=*/false);
+            ExperimentParams params = make_params(args, world);
+            params.seed = seed;
+            Arm arm = make_arm(sync ? "fedavg" : "seafl", params);
+            arm.config.selection = pc.policy;
+            const ModelFactory factory = make_model(
+                world.task.default_model, world.task.input,
+                world.task.num_classes);
+            Simulation sim(world.task, factory, world.fleet,
+                           std::move(arm.strategy), arm.config);
+            return sim.run();
+          });
+      table.add_row(seed_row(
+          std::string(sync ? "sync  / " : "semi-async / ") + pc.label, agg));
+    }
+  }
+  emit(table, args, "ext_selection.csv");
+  return 0;
+}

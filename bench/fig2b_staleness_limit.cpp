@@ -1,0 +1,40 @@
+// Fig. 2b — impact of the staleness limit beta on semi-asynchronous FL
+// (§III). With K = 10 fixed, the paper varies beta: a limit of 1 forces the
+// server to wait constantly (slow), a limit of 10 was optimal, and very
+// large limits admit overly stale updates. This harness runs SEAFL's
+// waiting protocol across beta values on a heavy-tailed fleet.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace seafl;
+  using namespace seafl::bench;
+  CliArgs args(argc, argv);
+
+  WorldDefaults defaults;
+  defaults.pareto_shape = 1.1;  // heavier tail: staleness must actually occur
+  const World world = make_world(args, defaults);
+  ExperimentParams params = make_params(args, world);
+  params.buffer_size =
+      static_cast<std::size_t>(args.get_int("buffer", 10));
+
+  Table table("Fig. 2b — wall-clock time to target accuracy vs staleness "
+              "limit beta (K=" +
+              std::to_string(params.buffer_size) + ")");
+  std::vector<std::string> header = result_header();
+  header.push_back("stale-waits");
+  table.set_header(header);
+
+  const std::vector<std::uint64_t> betas{1, 2, 5, 10, 20, kNoStalenessLimit};
+  for (const std::uint64_t beta : betas) {
+    params.staleness_limit = beta;
+    const std::string arm = beta == kNoStalenessLimit ? "seafl-inf" : "seafl";
+    const RunResult r = run_arm(arm, params, world.task, world.fleet);
+    const std::string label =
+        beta == kNoStalenessLimit ? "beta=inf" : "beta=" + std::to_string(beta);
+    auto row = result_row(label, r);
+    row.push_back(std::to_string(r.stale_waits));
+    table.add_row(std::move(row));
+  }
+  emit(table, args, "fig2b_staleness_limit.csv");
+  return 0;
+}

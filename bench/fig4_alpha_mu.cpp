@@ -1,0 +1,53 @@
+// Fig. 4 — elapsed wall-clock time to target accuracy for combinations of
+// the staleness weight alpha and similarity weight mu (§VI.B). The paper
+// explored 0..10 for both and found alpha = 3, mu = 1 modestly best. This
+// harness sweeps a representative grid of (alpha, mu) pairs, averaging over
+// several seeds (--seeds N) because single-run differences between nearby
+// weightings are below trajectory noise.
+//
+// World: the §III preliminary probe with 20% label-corrupted clients, so
+// the similarity term has harmful updates to discount and mu genuinely
+// matters (see fig2c_importance.cpp).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace seafl;
+  using namespace seafl::bench;
+  CliArgs args(argc, argv);
+
+  WorldDefaults defaults;
+  defaults.pareto_shape = 1.1;
+  defaults.corrupt_fraction = 0.2;
+  const std::size_t seeds =
+      static_cast<std::size_t>(args.get_int("seeds", 3));
+  const auto base_seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  Table table("Fig. 4 — mean wall-clock time to target accuracy per "
+              "(alpha, mu), " +
+              std::to_string(seeds) + " seeds");
+  table.set_header(seed_header());
+
+  struct Pair {
+    double alpha, mu;
+  };
+  const std::vector<Pair> grid{{1, 0}, {1, 1}, {1, 3},  {3, 0},  {3, 1},
+                               {3, 3}, {5, 1}, {5, 5},  {10, 1}, {10, 10}};
+  for (const auto& [alpha, mu] : grid) {
+    const SeedAggregate agg =
+        run_seeds(seeds, base_seed, [&](std::uint64_t seed) {
+          WorldDefaults d = defaults;
+          d.seed = seed;
+          const World world = make_world(args, d, /*use_flag_seed=*/false);
+          ExperimentParams params = make_params(args, world);
+          params.seed = seed;
+          params.alpha = alpha;
+          params.mu = mu;
+          return run_arm("seafl", params, world.task, world.fleet);
+        });
+    table.add_row(
+        seed_row("alpha=" + fmt(alpha, 0) + ", mu=" + fmt(mu, 0), agg));
+  }
+  emit(table, args, "fig4_alpha_mu.csv");
+  return 0;
+}

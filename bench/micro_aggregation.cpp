@@ -1,0 +1,108 @@
+// Aggregation microbenchmarks: server-side cost per round as the buffer
+// size K and model dimension grow. The paper motivates semi-async buffering
+// partly by FedAsync's per-update aggregation overhead; this quantifies the
+// cost of SEAFL's adaptive weighting against uniform FedBuff averaging.
+#include <benchmark/benchmark.h>
+
+#include "core/seafl_strategy.h"
+#include "fl/strategies.h"
+
+namespace {
+
+using namespace seafl;
+
+std::vector<LocalUpdate> make_buffer(std::size_t k, std::size_t dim,
+                                     std::uint64_t round) {
+  Rng rng(7);
+  std::vector<LocalUpdate> buffer(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    buffer[i].client = i;
+    buffer[i].base_round = round - (i % 4);
+    buffer[i].num_samples = 50 + i;
+    buffer[i].epochs_completed = 5;
+    buffer[i].weights.resize(dim);
+    for (auto& w : buffer[i].weights) w = static_cast<float>(rng.normal());
+  }
+  return buffer;
+}
+
+AggregationContext make_ctx(std::uint64_t round, const ModelVector& global,
+                            const std::vector<LocalUpdate>& buffer) {
+  AggregationContext ctx;
+  ctx.round = round;
+  ctx.global = &global;
+  for (const auto& u : buffer) ctx.total_samples += u.num_samples;
+  return ctx;
+}
+
+void BM_SeaflAggregate(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto buffer = make_buffer(k, dim, 10);
+  SeaflStrategy strategy{SeaflConfig{}};
+  ModelVector global(dim, 0.1f);
+  const auto ctx = make_ctx(10, global, buffer);
+  for (auto _ : state) {
+    ModelVector g = global;
+    strategy.aggregate(ctx, buffer, g);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k *
+                          dim);
+}
+BENCHMARK(BM_SeaflAggregate)
+    ->Args({5, 1 << 12})
+    ->Args({10, 1 << 12})
+    ->Args({20, 1 << 12})
+    ->Args({10, 1 << 16})
+    ->Args({10, 1 << 20});
+
+void BM_FedBuffAggregate(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto buffer = make_buffer(k, dim, 10);
+  FedBuffStrategy strategy;
+  ModelVector global(dim, 0.1f);
+  const auto ctx = make_ctx(10, global, buffer);
+  for (auto _ : state) {
+    ModelVector g = global;
+    strategy.aggregate(ctx, buffer, g);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_FedBuffAggregate)
+    ->Args({10, 1 << 12})
+    ->Args({10, 1 << 16})
+    ->Args({10, 1 << 20});
+
+void BM_FedAsyncPerUpdate(benchmark::State& state) {
+  // FedAsync aggregates on every single arrival; per-update cost times K
+  // updates is the overhead the buffered designs amortize.
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto buffer = make_buffer(1, dim, 10);
+  FedAsyncStrategy strategy;
+  ModelVector global(dim, 0.1f);
+  const auto ctx = make_ctx(10, global, buffer);
+  for (auto _ : state) {
+    ModelVector g = global;
+    strategy.aggregate(ctx, buffer, g);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_FedAsyncPerUpdate)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_AdaptiveWeightsOnly(benchmark::State& state) {
+  // Just Eqs. 4-6 (no model averaging): the weighting overhead itself.
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto buffer = make_buffer(k, dim, 10);
+  ModelVector global(dim, 0.1f);
+  const auto ctx = make_ctx(10, global, buffer);
+  const AdaptiveWeightConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_adaptive_weights(cfg, ctx, buffer));
+  }
+}
+BENCHMARK(BM_AdaptiveWeightsOnly)->Args({10, 1 << 12})->Args({10, 1 << 16});
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Substrate microbenchmarks: the tensor kernels every FL round leans on.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/model_zoo.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace seafl;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+void BM_Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto y = random_vec(n, 1);
+  const auto x = random_vec(n, 2);
+  for (auto _ : state) {
+    axpy(y, 0.5f, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          2 * sizeof(float));
+}
+BENCHMARK(BM_Axpy)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Dot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n, 3);
+  const auto b = random_vec(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dot(a, b));
+  }
+}
+BENCHMARK(BM_Dot)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_CosineSimilarity(benchmark::State& state) {
+  // The per-update cost of SEAFL's importance factor (Eq. 5).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n, 5);
+  const auto b = random_vec(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cosine_similarity(a, b));
+  }
+}
+BENCHMARK(BM_CosineSimilarity)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_GemmNN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n * n, 7);
+  const auto b = random_vec(n * n, 8);
+  std::vector<float> c(n * n);
+  for (auto _ : state) {
+    gemm(Trans::kNo, Trans::kNo, n, n, n, 1.0f, a, b, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n * 2);
+}
+BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n * n, 9);
+  const auto b = random_vec(n * n, 10);
+  std::vector<float> c(n * n);
+  for (auto _ : state) {
+    gemm(Trans::kNo, Trans::kYes, n, n, n, 1.0f, a, b, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(128);
+
+void BM_Im2Col(benchmark::State& state) {
+  ConvGeom g;
+  g.channels = 3;
+  g.height = g.width = static_cast<std::size_t>(state.range(0));
+  g.kernel_h = g.kernel_w = 3;
+  g.stride = 1;
+  g.pad = 1;
+  const auto image = random_vec(g.channels * g.height * g.width, 11);
+  std::vector<float> cols(g.col_rows() * g.col_cols());
+  for (auto _ : state) {
+    im2col(g, image, cols);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2Col)->Arg(12)->Arg(32)->Arg(64);
+
+void BM_ModelForwardBackward(benchmark::State& state) {
+  // One training step of each zoo architecture on a 16-sample batch — the
+  // unit of work behind every simulated client epoch.
+  const auto kind = static_cast<ModelKind>(state.range(0));
+  const InputSpec input =
+      kind == ModelKind::kMlp ? InputSpec{1, 1, 32} : InputSpec{3, 12, 12};
+  auto model = make_model(kind, input, 10)();
+  Rng rng(12);
+  model->init(rng);
+  Tensor x({16, input.numel()});
+  x.fill_normal(rng, 0.0f, 1.0f);
+  Tensor dout({16, 10});
+  dout.fill(0.01f);
+  for (auto _ : state) {
+    model->forward(x, true);
+    model->zero_grad();
+    model->backward(dout);
+    benchmark::DoNotOptimize(model.get());
+  }
+  state.SetLabel(model_kind_name(kind));
+}
+BENCHMARK(BM_ModelForwardBackward)
+    ->Arg(static_cast<int>(ModelKind::kMlp))
+    ->Arg(static_cast<int>(ModelKind::kLenetLite))
+    ->Arg(static_cast<int>(ModelKind::kResnetLite))
+    ->Arg(static_cast<int>(ModelKind::kVggLite));
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Custom strategy example: extend the framework with your own aggregation
+// rule. Implements a trimmed-mean strategy (drop the updates least similar
+// to the buffered consensus, then average) and runs it head-to-head against
+// SEAFL and FedBuff — the intended extension path for downstream users.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/seafl.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace seafl;
+
+/// Example user strategy: average the buffer after discarding the update(s)
+/// whose cosine similarity to the buffer mean is lowest — a simple
+/// robust-aggregation rule in the spirit of trimmed means.
+class TrimmedMeanStrategy : public AggregationStrategy {
+ public:
+  /// @param trim how many lowest-similarity updates to drop (when the
+  ///        buffer is large enough to spare them)
+  /// @param vartheta server mixing rate, as in Eq. 8
+  TrimmedMeanStrategy(std::size_t trim, double vartheta)
+      : trim_(trim), vartheta_(vartheta) {}
+
+  void aggregate(const AggregationContext& ctx,
+                 std::span<const LocalUpdate> buffer,
+                 ModelVector& global_out) override {
+    (void)ctx;
+    const std::size_t dim = global_out.size();
+
+    // Buffer mean as the consensus reference.
+    ModelVector mean(dim, 0.0f);
+    for (const auto& u : buffer)
+      axpy(mean, 1.0f / static_cast<float>(buffer.size()), u.weights);
+
+    // Order updates by similarity to the consensus.
+    std::vector<std::size_t> order(buffer.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<double> sim(buffer.size());
+    for (std::size_t i = 0; i < buffer.size(); ++i)
+      sim[i] = cosine_similarity(buffer[i].weights, mean);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return sim[a] > sim[b]; });
+
+    const std::size_t keep =
+        buffer.size() > trim_ ? buffer.size() - trim_ : buffer.size();
+    ModelVector aggregate(dim, 0.0f);
+    for (std::size_t i = 0; i < keep; ++i)
+      axpy(aggregate, 1.0f / static_cast<float>(keep),
+           buffer[order[i]].weights);
+    mix_into_global(aggregate, vartheta_, global_out);
+  }
+
+  std::string name() const override { return "TrimmedMean"; }
+
+ private:
+  std::size_t trim_;
+  double vartheta_;
+};
+
+RunResult run_with(StrategyPtr strategy, const FlTask& task,
+                   const Fleet& fleet, const RunConfig& config) {
+  const ModelFactory factory =
+      make_model(task.default_model, task.input, task.num_classes);
+  Simulation sim(task, factory, fleet, std::move(strategy), config);
+  return sim.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+
+  TaskSpec spec;
+  spec.name = "synth-mnist";
+  spec.num_clients = 100;
+  spec.samples_per_client = 60;
+  // A fifth of the clients have garbage labels: the setting where robust
+  // and importance-aware aggregation pay off.
+  spec.corrupt_client_fraction = args.get_double("corrupt", 0.2);
+  const FlTask task = make_task(spec);
+
+  FleetConfig fc;
+  fc.num_devices = spec.num_clients;
+  fc.seed = spec.seed;
+  const Fleet fleet(fc);
+
+  ExperimentParams params;
+  params.max_rounds = static_cast<std::uint64_t>(args.get_int("rounds", 60));
+  params.target_accuracy = args.get_double("target", 0.88);
+
+  Table table("Custom strategy vs built-ins (20% label-corrupted clients)");
+  table.set_header({"strategy", "time-to-target", "rounds", "final-acc"});
+
+  // The custom strategy plugs into the same RunConfig the presets use.
+  {
+    RunConfig config = make_arm("fedbuff", params).config;
+    const RunResult r = run_with(
+        std::make_unique<TrimmedMeanStrategy>(/*trim=*/2, /*vartheta=*/0.8),
+        task, fleet, config);
+    table.add_row({"TrimmedMean (custom)", fmt_time_or_na(r.time_to_target),
+                   std::to_string(r.rounds), fmt(r.final_accuracy, 4)});
+  }
+  for (const std::string algo : {"seafl", "fedbuff"}) {
+    const RunResult r = run_arm(algo, params, task, fleet);
+    table.add_row({make_arm(algo, params).label,
+                   fmt_time_or_na(r.time_to_target),
+                   std::to_string(r.rounds), fmt(r.final_accuracy, 4)});
+  }
+  table.print();
+
+  std::printf(
+      "\nAny AggregationStrategy subclass slots into the Simulation loop —\n"
+      "see src/fl/strategy.h for the interface contract.\n");
+  return 0;
+}

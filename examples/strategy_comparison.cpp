@@ -1,0 +1,66 @@
+// Strategy comparison example: run every built-in algorithm on one task and
+// print a ranking — the quickest way to see the trade-offs the paper's
+// related-work section describes (sync vs async vs semi-async).
+#include <algorithm>
+#include <cstdio>
+
+#include "core/seafl.h"
+
+int main(int argc, char** argv) {
+  using namespace seafl;
+  CliArgs args(argc, argv);
+
+  TaskSpec spec;
+  spec.name = args.get_string("task", "synth-mnist");
+  spec.num_clients = static_cast<std::size_t>(args.get_int("clients", 100));
+  spec.samples_per_client =
+      static_cast<std::size_t>(args.get_int("samples", 60));
+  spec.dirichlet_alpha = args.get_double("dirichlet", 0.3);
+  const FlTask task = make_task(spec);
+
+  FleetConfig fc;
+  fc.num_devices = spec.num_clients;
+  fc.pareto_shape = args.get_double("pareto", 1.1);
+  fc.seed = spec.seed;
+  const Fleet fleet(fc);
+
+  ExperimentParams params;
+  params.max_rounds = static_cast<std::uint64_t>(args.get_int("rounds", 80));
+  params.target_accuracy = args.get_double("target", task.target_accuracy);
+
+  struct Entry {
+    std::string label;
+    RunResult result;
+  };
+  std::vector<Entry> entries;
+  for (const auto& algo : known_algorithms()) {
+    std::printf("running %s...\n", algo.c_str());
+    Entry e{make_arm(algo, params).label,
+            run_arm(algo, params, task, fleet)};
+    entries.push_back(std::move(e));
+  }
+
+  // Rank: reached target first; ties broken by final accuracy.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    const bool ra = a.result.time_to_target >= 0.0;
+    const bool rb = b.result.time_to_target >= 0.0;
+    if (ra != rb) return ra;
+    if (ra && rb) return a.result.time_to_target < b.result.time_to_target;
+    return a.result.final_accuracy > b.result.final_accuracy;
+  });
+
+  Table table("Strategy ranking on " + task.name + " (target " +
+              fmt(params.target_accuracy * 100, 0) + "%)");
+  table.set_header({"rank", "algorithm", "time-to-target", "rounds",
+                    "final-acc", "mean-staleness"});
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& r = entries[i].result;
+    table.add_row({std::to_string(i + 1), entries[i].label,
+                   fmt_time_or_na(r.time_to_target),
+                   std::to_string(r.rounds), fmt(r.final_accuracy, 4),
+                   fmt(r.mean_staleness, 2)});
+  }
+  table.print();
+  return 0;
+}

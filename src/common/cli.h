@@ -1,0 +1,37 @@
+// Tiny command-line flag parser for bench/example binaries.
+// Supports --name=value and --name value forms plus boolean switches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace seafl {
+
+/// Parses argv into a flag map and exposes typed getters with defaults.
+/// Unknown flags are collected (not rejected) so harness wrappers can pass
+/// through extra options.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  /// Boolean flags: "--fast" or "--fast=true/false/1/0".
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace seafl

@@ -1,0 +1,95 @@
+#include "common/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seafl {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : s_(s) {
+  SEAFL_CHECK(n >= 1, "Zipf needs n >= 1");
+  SEAFL_CHECK(s > 0.0, "Zipf exponent must be positive, got " << s);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    total += std::pow(static_cast<double>(k), -s);
+    cdf_[k - 1] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin()) + 1;
+}
+
+ParetoSampler::ParetoSampler(double scale, double shape)
+    : scale_(scale), shape_(shape) {
+  SEAFL_CHECK(scale > 0.0, "Pareto scale must be positive");
+  SEAFL_CHECK(shape > 0.0, "Pareto shape must be positive");
+}
+
+double ParetoSampler::sample(Rng& rng) const {
+  double u = rng.uniform();
+  while (u <= 0.0) u = rng.uniform();
+  return scale_ / std::pow(u, 1.0 / shape_);
+}
+
+double ParetoSampler::sample_capped(Rng& rng, double cap) const {
+  return std::min(sample(rng), cap);
+}
+
+double sample_gamma(Rng& rng, double shape) {
+  SEAFL_CHECK(shape > 0.0, "Gamma shape must be positive, got " << shape);
+  if (shape < 1.0) {
+    // Boosting: Gamma(a) = Gamma(a+1) * U^(1/a).
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    return sample_gamma(rng, shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = rng.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * (x * x) * (x * x)) return d * v;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v;
+  }
+}
+
+std::vector<double> sample_dirichlet(Rng& rng, std::size_t dim, double alpha) {
+  SEAFL_CHECK(dim >= 1, "Dirichlet dimension must be >= 1");
+  SEAFL_CHECK(alpha > 0.0, "Dirichlet concentration must be positive");
+  std::vector<double> out(dim);
+  double total = 0.0;
+  for (auto& v : out) {
+    v = sample_gamma(rng, alpha);
+    total += v;
+  }
+  if (total <= 0.0) {
+    // Degenerate draw (all underflowed); fall back to uniform.
+    for (auto& v : out) v = 1.0 / static_cast<double>(dim);
+    return out;
+  }
+  for (auto& v : out) v /= total;
+  return out;
+}
+
+double sample_exponential(Rng& rng, double rate) {
+  SEAFL_CHECK(rate > 0.0, "Exponential rate must be positive");
+  double u = rng.uniform();
+  while (u <= 0.0) u = rng.uniform();
+  return -std::log(u) / rate;
+}
+
+}  // namespace seafl

@@ -1,0 +1,70 @@
+// Samplers for the distributions the SEAFL paper uses to model heterogeneity:
+//   * Zipf          — idle-period durations between client epochs (§III,
+//                     s = 1.7, capped at 60 s in the paper's testbed)
+//   * Pareto        — heavy-tailed per-epoch compute times (§VI.A)
+//   * Dirichlet     — non-IID label partitioning across clients (§III, §VI.A)
+//   * Exponential   — network latency jitter
+//
+// All samplers draw from seafl::Rng so results are platform-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace seafl {
+
+/// Bounded Zipf distribution over ranks {1, ..., n} with exponent s.
+/// P(k) ∝ k^-s. Sampling uses the precomputed CDF (O(log n) per draw), which
+/// is exact — matching the paper's Zipf(s=1.7) idle-time model.
+class ZipfSampler {
+ public:
+  /// @param n upper rank bound (inclusive); must be >= 1.
+  /// @param s exponent; must be > 0.
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draws a rank in [1, n].
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // normalized cumulative probabilities
+};
+
+/// Pareto (Type I) distribution with scale x_m > 0 and shape a > 0.
+/// Used to model heavy-tailed per-epoch training times across devices.
+class ParetoSampler {
+ public:
+  ParetoSampler(double scale, double shape);
+
+  /// Draws a value in [scale, ∞). Inverse-CDF method.
+  double sample(Rng& rng) const;
+
+  /// Draws but truncates to at most `cap` (paper caps idle lengths at 60 s).
+  double sample_capped(Rng& rng, double cap) const;
+
+  double scale() const { return scale_; }
+  double shape() const { return shape_; }
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+/// Samples a point from the symmetric Dirichlet distribution Dir(alpha) of the
+/// given dimension. Small alpha (e.g. 0.3) yields highly skewed vectors —
+/// the standard FL device for simulating non-IID label distributions.
+std::vector<double> sample_dirichlet(Rng& rng, std::size_t dim, double alpha);
+
+/// Samples from Gamma(shape, 1) via Marsaglia–Tsang (shape >= 1) with the
+/// standard boost for shape < 1. Building block for the Dirichlet sampler.
+double sample_gamma(Rng& rng, double shape);
+
+/// Exponential with the given rate (lambda > 0).
+double sample_exponential(Rng& rng, double rate);
+
+}  // namespace seafl

@@ -1,0 +1,53 @@
+// Error handling primitives shared by every SEAFL module.
+//
+// We use exceptions for unrecoverable precondition violations: the library is
+// a research framework, and failing loudly with context beats silently
+// producing wrong science. SEAFL_CHECK is always on (it guards user-facing
+// API contracts); SEAFL_DCHECK compiles out in release builds and guards
+// internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace seafl {
+
+/// Exception thrown on violated API contracts and invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SEAFL_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace seafl
+
+/// Always-on contract check; throws seafl::Error with expression + location.
+/// Usage: SEAFL_CHECK(k > 0, "buffer size must be positive, got " << k);
+#define SEAFL_CHECK(expr, ...)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream seafl_check_os_;                                   \
+      static_cast<void>(seafl_check_os_ __VA_OPT__(<< __VA_ARGS__));        \
+      ::seafl::detail::raise_check_failure(#expr, __FILE__, __LINE__,       \
+                                           seafl_check_os_.str());          \
+    }                                                                       \
+  } while (false)
+
+/// Debug-only invariant check. Compiles to nothing when NDEBUG is defined.
+#ifdef NDEBUG
+#define SEAFL_DCHECK(expr, ...) \
+  do {                          \
+  } while (false)
+#else
+#define SEAFL_DCHECK(expr, ...) SEAFL_CHECK(expr, __VA_ARGS__)
+#endif

@@ -1,0 +1,41 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace seafl {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_sink_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default:               return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%9.3f] [%s] %s\n", elapsed, level_tag(level),
+               message.c_str());
+}
+}  // namespace detail
+
+}  // namespace seafl

@@ -1,0 +1,38 @@
+// Minimal leveled logger. Single global sink (stderr), thread-safe, with a
+// runtime-adjustable level so benches can silence per-round chatter.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace seafl {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel log_level();
+
+namespace detail {
+/// Emits one formatted line (timestamped, level-tagged) to stderr.
+void log_line(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace seafl
+
+#define SEAFL_LOG_AT(level, ...)                               \
+  do {                                                         \
+    if (static_cast<int>(level) >=                             \
+        static_cast<int>(::seafl::log_level())) {              \
+      std::ostringstream seafl_log_os_;                        \
+      seafl_log_os_ << __VA_ARGS__;                            \
+      ::seafl::detail::log_line(level, seafl_log_os_.str());   \
+    }                                                          \
+  } while (false)
+
+#define SEAFL_DEBUG(...) SEAFL_LOG_AT(::seafl::LogLevel::kDebug, __VA_ARGS__)
+#define SEAFL_INFO(...) SEAFL_LOG_AT(::seafl::LogLevel::kInfo, __VA_ARGS__)
+#define SEAFL_WARN(...) SEAFL_LOG_AT(::seafl::LogLevel::kWarn, __VA_ARGS__)
+#define SEAFL_ERROR(...) SEAFL_LOG_AT(::seafl::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,64 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seafl {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  SEAFL_CHECK(count_ > 0, "min of empty stats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  SEAFL_CHECK(count_ > 0, "max of empty stats");
+  return max_;
+}
+
+double percentile(std::span<const double> values, double p) {
+  SEAFL_CHECK(!values.empty(), "percentile of empty data");
+  SEAFL_CHECK(p >= 0.0 && p <= 1.0, "percentile must be in [0, 1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double jains_index(std::span<const double> values) {
+  SEAFL_CHECK(!values.empty(), "fairness index of empty data");
+  double total = 0.0, total_sq = 0.0;
+  for (const double v : values) {
+    SEAFL_CHECK(v >= 0.0, "fairness index needs non-negative values");
+    total += v;
+    total_sq += v * v;
+  }
+  if (total_sq == 0.0) return 1.0;  // all-zero: trivially even
+  return total * total /
+         (static_cast<double>(values.size()) * total_sq);
+}
+
+}  // namespace seafl

@@ -1,0 +1,44 @@
+// Small descriptive-statistics helpers used by benches, examples and the
+// fairness metrics: online mean/variance (Welford) and order statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace seafl {
+
+/// Numerically stable online accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 with fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (0 <= p <= 1) with linear interpolation between order
+/// statistics. Copies and sorts; intended for result post-processing, not
+/// hot loops. Requires a non-empty input.
+double percentile(std::span<const double> values, double p);
+
+/// Jain's fairness index over non-negative values:
+/// (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = perfectly even. The standard
+/// participation-fairness metric in FL scheduling work.
+double jains_index(std::span<const double> values);
+
+}  // namespace seafl

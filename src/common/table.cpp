@@ -1,0 +1,100 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace seafl {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_header(std::vector<std::string> header) {
+  SEAFL_CHECK(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  SEAFL_CHECK(header_.empty() || row.size() == header_.size(),
+              "row arity " << row.size() << " != header arity "
+                           << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::string line = "| ";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      line += cell;
+      line.append(widths[i] - cell.size(), ' ');
+      line += " | ";
+    }
+    std::printf("%s\n", line.c_str());
+  };
+  std::size_t total = 1;
+  for (auto w : widths) total += w + 3;
+
+  if (!title_.empty()) std::printf("\n%s\n", title_.c_str());
+  std::printf("%s\n", std::string(total, '-').c_str());
+  if (!header_.empty()) {
+    print_row(header_);
+    std::printf("%s\n", std::string(total, '-').c_str());
+  }
+  for (const auto& row : rows_) print_row(row);
+  std::printf("%s\n", std::string(total, '-').c_str());
+  std::fflush(stdout);
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  SEAFL_CHECK(out.good(), "cannot open CSV for writing: " << path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << csv_escape(row[i]);
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string fmt_time_or_na(double seconds) {
+  if (seconds < 0.0) return "n/a";
+  return fmt(seconds, 1) + "s";
+}
+
+}  // namespace seafl

@@ -1,0 +1,45 @@
+// Result reporting: aligned console tables (for paper-style bench output) and
+// CSV files (for downstream plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace seafl {
+
+/// Accumulates rows of string cells and renders them as an aligned ASCII
+/// table and/or a CSV file. Used by every bench harness so figures regenerate
+/// as both human-readable tables and machine-readable series.
+class Table {
+ public:
+  /// @param title printed above the table (e.g. "Fig. 2a — buffer size").
+  explicit Table(std::string title = "");
+
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the aligned table to stdout.
+  void print() const;
+
+  /// Writes header + rows as CSV. Cells containing commas/quotes are quoted.
+  void write_csv(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string fmt(double value, int precision = 2);
+
+/// Formats a value as "123.4s" or "n/a" when negative (target not reached).
+std::string fmt_time_or_na(double seconds);
+
+}  // namespace seafl

@@ -1,0 +1,91 @@
+// Fixed-size thread pool with a shared task queue, plus a blocked
+// parallel_for built on top of it.
+//
+// Design notes (hpc-parallel idioms):
+//  * One global pool (global_pool()) shared by GEMM, elementwise kernels and
+//    the FL client executor, so the process never oversubscribes cores.
+//  * parallel_for runs the caller's lambda on [begin, end) in contiguous
+//    chunks; the calling thread participates, so a 1-core host degrades to a
+//    plain loop with no queueing overhead.
+//  * Determinism: parallel_for never reorders results — each index is
+//    processed exactly once and chunk assignment is a pure function of the
+//    range and worker count, so code whose per-index work is independent is
+//    bit-reproducible at any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace seafl {
+
+/// A fixed-size pool of worker threads consuming from one FIFO queue.
+class ThreadPool {
+ public:
+  /// @param num_threads worker count; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Joins all workers. Pending tasks are drained before destruction returns.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      SEAFL_CHECK(!stopping_, "submit() on a stopped ThreadPool");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Number of worker threads (not counting callers of parallel_for).
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Returns the process-wide shared pool (lazily constructed with one worker
+/// per hardware thread). All SEAFL kernels schedule onto this pool.
+ThreadPool& global_pool();
+
+/// Runs fn(i) for every i in [begin, end), partitioned into contiguous chunks
+/// across the pool plus the calling thread. Blocks until all indices finish.
+/// fn must be safe to invoke concurrently for distinct indices.
+///
+/// @param grain minimum indices per chunk; ranges smaller than 2*grain run
+///        serially on the caller to avoid scheduling overhead.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1024);
+
+/// Chunked variant: fn(chunk_begin, chunk_end) is invoked once per chunk so
+/// the body can amortize per-chunk setup (e.g. local accumulators).
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain = 1024);
+
+}  // namespace seafl

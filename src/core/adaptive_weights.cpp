@@ -1,0 +1,73 @@
+#include "core/adaptive_weights.h"
+
+#include <cmath>
+
+namespace seafl {
+
+double importance_similarity(std::span<const float> client_weights,
+                             std::span<const float> global_weights,
+                             ImportanceInput input, SimilarityKind kind) {
+  SEAFL_CHECK(client_weights.size() == global_weights.size(),
+              "client/global dimension mismatch");
+  SEAFL_CHECK(!client_weights.empty(), "empty weight vectors");
+
+  std::vector<float> delta_storage;
+  std::span<const float> lhs = client_weights;
+  if (input == ImportanceInput::kDelta) {
+    delta_storage.resize(client_weights.size());
+    for (std::size_t i = 0; i < client_weights.size(); ++i)
+      delta_storage[i] = client_weights[i] - global_weights[i];
+    lhs = delta_storage;
+  }
+
+  switch (kind) {
+    case SimilarityKind::kCosine:
+      return cosine_similarity(lhs, global_weights);
+    case SimilarityKind::kDotProduct: {
+      // Normalize by dimension then squash into [-1, 1] so Eq. 5's
+      // (theta + 1)/2 mapping remains valid.
+      const double d = dot(lhs, global_weights) /
+                       static_cast<double>(global_weights.size());
+      if (!std::isfinite(d)) return 0.0;  // diverged models
+      return std::tanh(d);
+    }
+  }
+  SEAFL_CHECK(false, "unreachable similarity kind");
+  return 0.0;
+}
+
+std::vector<WeightBreakdown> compute_adaptive_weights(
+    const AdaptiveWeightConfig& config, const AggregationContext& ctx,
+    std::span<const LocalUpdate> buffer) {
+  SEAFL_CHECK(!buffer.empty(), "empty update buffer");
+  SEAFL_CHECK(ctx.global != nullptr, "null global model in context");
+  SEAFL_CHECK(ctx.total_samples > 0, "zero total samples");
+  SEAFL_CHECK(config.alpha >= 0.0 && config.mu >= 0.0,
+              "alpha/mu must be non-negative");
+  SEAFL_CHECK(config.alpha + config.mu > 0.0,
+              "alpha and mu cannot both be zero");
+
+  std::vector<WeightBreakdown> out(buffer.size());
+  std::vector<double> weights(buffer.size());
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    const LocalUpdate& u = buffer[i];
+    WeightBreakdown& b = out[i];
+    SEAFL_CHECK(u.base_round <= ctx.round, "update from the future");
+    b.staleness = ctx.round - u.base_round;
+    b.gamma = staleness_factor(config.alpha, b.staleness,
+                               config.staleness_limit);
+    b.theta = importance_similarity(u.weights, *ctx.global,
+                                    config.importance_input,
+                                    config.similarity);
+    b.importance = importance_factor(config.mu, b.theta);
+    b.data_fraction = static_cast<double>(u.num_samples) /
+                      static_cast<double>(ctx.total_samples);
+    b.raw = b.data_fraction * (b.gamma + b.importance);
+    weights[i] = b.raw;
+  }
+  if (config.normalize) normalize_weights(weights);
+  for (std::size_t i = 0; i < buffer.size(); ++i) out[i].weight = weights[i];
+  return out;
+}
+
+}  // namespace seafl

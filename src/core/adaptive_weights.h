@@ -1,0 +1,50 @@
+// Adaptive aggregation weights — Eqs. 4-6 of the paper, combined:
+//
+//     p_t^k = (|D_k| / |D|) * (gamma_t^k + s_t^k),   then normalized to 1.
+//
+// This module computes the full weight vector for a buffer of updates and
+// exposes the per-update diagnostics (gamma, s, raw and normalized p) so
+// tests and benches can inspect the mechanism.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/importance.h"
+#include "core/staleness.h"
+#include "fl/strategy.h"
+
+namespace seafl {
+
+/// Hyperparameters of the adaptive weighting mechanism.
+struct AdaptiveWeightConfig {
+  double alpha = 3.0;  ///< staleness weight (paper's best: 3)
+  double mu = 1.0;     ///< similarity weight (paper's best: 1)
+  std::uint64_t staleness_limit = 10;  ///< beta
+  /// Default follows Eq. 5's literal Delta term: raw client *weights* are
+  /// always within ~1e-3 cosine of the global model (the shared component
+  /// dominates), so Theta(w_k, w_g) cannot discriminate updates; the delta
+  /// variant spreads Theta meaningfully and correlates with staleness.
+  ImportanceInput importance_input = ImportanceInput::kDelta;
+  SimilarityKind similarity = SimilarityKind::kCosine;
+  bool normalize = true;  ///< Eq. 6's "normalize so the sum equals 1"
+};
+
+/// Per-update decomposition of the adaptive weight.
+struct WeightBreakdown {
+  std::uint64_t staleness = 0;  ///< S_k = t - t_k
+  double gamma = 0.0;           ///< Eq. 4
+  double theta = 0.0;           ///< similarity in [-1, 1]
+  double importance = 0.0;      ///< Eq. 5
+  double data_fraction = 0.0;   ///< d_k = |D_k| / |D|
+  double raw = 0.0;             ///< d_k * (gamma + s), before normalization
+  double weight = 0.0;          ///< final p_t^k
+};
+
+/// Computes adaptive weights for a buffer of updates against the current
+/// global model. Returns one breakdown per update, ordered like `buffer`.
+std::vector<WeightBreakdown> compute_adaptive_weights(
+    const AdaptiveWeightConfig& config, const AggregationContext& ctx,
+    std::span<const LocalUpdate> buffer);
+
+}  // namespace seafl

@@ -1,0 +1,49 @@
+// Importance factor — Eq. 5 of the paper:
+//
+//     s_t^k = mu * (Theta(update, w_t^g) + 1) / 2
+//
+// Theta is a similarity between the client's contribution and the current
+// global model, normalized from [-1, 1] to [0, 1] and scaled by mu. The
+// paper discusses two similarity choices (dot product vs cosine) and adopts
+// cosine; it is also ambiguous whether the client's *weights* or its *delta*
+// are compared against the global model (the text says "similarity to the
+// current global model", Eq. 5 writes Delta_t^k). Both are provided; the
+// default follows the text (weights), and the ablation bench compares all
+// variants.
+#pragma once
+
+#include <span>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace seafl {
+
+/// What vector is compared against the global model.
+enum class ImportanceInput {
+  kWeights,  ///< Theta(w_k, w_g) — "similarity to the current global model"
+  kDelta,    ///< Theta(w_k - w_g, w_g) — Eq. 5's literal Delta reading
+};
+
+/// How similarity is measured.
+enum class SimilarityKind {
+  kCosine,      ///< angle only (the paper's choice)
+  kDotProduct,  ///< magnitude-sensitive alternative discussed in §IV.B
+};
+
+/// Computes Theta in [-1, 1] for the chosen variant. The dot-product variant
+/// is squashed through tanh of the *normalized* dot (dot / dimension) so it
+/// stays in [-1, 1] and Eq. 5's normalization applies unchanged.
+double importance_similarity(std::span<const float> client_weights,
+                             std::span<const float> global_weights,
+                             ImportanceInput input, SimilarityKind kind);
+
+/// Evaluates Eq. 5: mu * (Theta + 1) / 2. Result lies in [0, mu].
+inline double importance_factor(double mu, double theta) {
+  SEAFL_CHECK(mu >= 0.0, "mu must be non-negative");
+  SEAFL_CHECK(theta >= -1.0 && theta <= 1.0,
+              "similarity must lie in [-1, 1], got " << theta);
+  return mu * (theta + 1.0) / 2.0;
+}
+
+}  // namespace seafl

@@ -1,0 +1,176 @@
+#include "core/presets.h"
+
+#include "core/seafl_strategy.h"
+#include "fl/server_opt.h"
+#include "fl/strategies.h"
+
+namespace seafl {
+
+namespace {
+
+RunConfig base_config(const ExperimentParams& p) {
+  RunConfig c;
+  c.buffer_size = p.buffer_size;
+  c.concurrency = p.concurrency;
+  c.local_epochs = p.local_epochs;
+  c.batch_size = p.batch_size;
+  c.sgd.learning_rate = p.learning_rate;
+  c.sgd.clip_norm = p.clip_norm;
+  c.max_rounds = p.max_rounds;
+  c.max_virtual_seconds = p.max_virtual_seconds;
+  c.target_accuracy = p.target_accuracy;
+  c.stop_at_target = p.stop_at_target;
+  c.eval_every = p.eval_every;
+  c.eval_subset = p.eval_subset;
+  c.seed = p.seed;
+  return c;
+}
+
+SeaflConfig seafl_config(const ExperimentParams& p,
+                         std::uint64_t staleness_limit) {
+  SeaflConfig s;
+  s.weights.alpha = p.alpha;
+  s.weights.mu = p.mu;
+  s.weights.staleness_limit = staleness_limit;
+  s.vartheta = p.vartheta;
+  s.full_epochs = p.local_epochs;
+  return s;
+}
+
+}  // namespace
+
+Arm make_arm(const std::string& algorithm, const ExperimentParams& params) {
+  Arm arm;
+  RunConfig c = base_config(params);
+
+  if (algorithm == "seafl") {
+    c.staleness_limit = params.staleness_limit;
+    c.wait_for_stale = true;
+    arm.strategy = std::make_unique<SeaflStrategy>(
+        seafl_config(params, params.staleness_limit));
+    arm.label = "SEAFL (beta=" + std::to_string(params.staleness_limit) + ")";
+  } else if (algorithm == "seafl2") {
+    c.staleness_limit = params.staleness_limit;
+    // Algorithm 2 does NOT hold aggregation for stale devices (that is
+    // Algorithm 1's behaviour); it notifies them to upload right after the
+    // ongoing epoch, which keeps staleness near beta without blocking.
+    c.wait_for_stale = false;
+    c.partial_training = true;
+    arm.strategy = std::make_unique<SeaflStrategy>(
+        seafl_config(params, params.staleness_limit));
+    arm.label =
+        "SEAFL^2 (beta=" + std::to_string(params.staleness_limit) + ")";
+  } else if (algorithm == "seafl-inf") {
+    c.staleness_limit = kNoStalenessLimit;
+    arm.strategy = std::make_unique<SeaflStrategy>(
+        seafl_config(params, kNoStalenessLimit));
+    arm.label = "SEAFL (beta=inf)";
+  } else if (algorithm == "fedbuff") {
+    c.staleness_limit = kNoStalenessLimit;
+    FedBuffConfig fb;
+    fb.vartheta = params.vartheta;
+    arm.strategy = std::make_unique<FedBuffStrategy>(fb);
+    arm.label = "FedBuff";
+  } else if (algorithm == "fedasync") {
+    c.buffer_size = 1;  // fully asynchronous
+    c.staleness_limit = kNoStalenessLimit;
+    arm.strategy = std::make_unique<FedAsyncStrategy>();
+    arm.label = "FedAsync";
+  } else if (algorithm == "fedavg") {
+    c.mode = FlMode::kSync;
+    c.staleness_limit = kNoStalenessLimit;
+    arm.strategy = std::make_unique<FedAvgStrategy>();
+    arm.label = "FedAvg";
+  } else if (algorithm == "seafl2-sub") {
+    // The paper's stated future work: SEAFL^2 plus adaptive sub-model
+    // training — slow devices freeze the lower half of the network.
+    c.staleness_limit = params.staleness_limit;
+    c.partial_training = true;
+    c.submodel_training = true;
+    arm.strategy = std::make_unique<SeaflStrategy>(
+        seafl_config(params, params.staleness_limit));
+    arm.label = "SEAFL^2+submodel (beta=" +
+                std::to_string(params.staleness_limit) + ")";
+  } else if (algorithm == "fedprox") {
+    // Synchronous FedAvg plus FedProx's proximal term on local training.
+    c.mode = FlMode::kSync;
+    c.staleness_limit = kNoStalenessLimit;
+    c.proximal_mu = 0.1;
+    arm.strategy = std::make_unique<FedAvgStrategy>();
+    arm.label = "FedProx (mu=0.1)";
+  } else if (algorithm == "fedsa-epochs") {
+    // Extension inspired by FedSA: buffered aggregation with per-device
+    // epoch counts scaled inversely to device slowdown.
+    c.staleness_limit = kNoStalenessLimit;
+    c.adaptive_epochs = true;
+    FedBuffConfig fb;
+    fb.vartheta = params.vartheta;
+    arm.strategy = std::make_unique<FedBuffStrategy>(fb);
+    arm.label = "FedSA-epochs";
+  } else if (algorithm == "fedbuff-adam") {
+    // Adaptive federated optimization on the server (Reddi et al.) over
+    // FedBuff's buffered averaging.
+    c.staleness_limit = kNoStalenessLimit;
+    FedBuffConfig fb;
+    fb.vartheta = params.vartheta;
+    ServerOptConfig so;
+    so.kind = ServerOpt::kAdam;
+    so.lr = 0.5;
+    arm.strategy = std::make_unique<ServerOptStrategy>(
+        std::make_unique<FedBuffStrategy>(fb), so);
+    arm.label = "FedBuff+Adam";
+  } else if (algorithm == "seafl-avgm") {
+    // Server momentum on top of SEAFL's adaptive aggregation.
+    c.staleness_limit = params.staleness_limit;
+    c.wait_for_stale = true;
+    ServerOptConfig so;
+    so.kind = ServerOpt::kMomentum;
+    so.lr = 1.0;
+    so.beta1 = 0.6;
+    arm.strategy = std::make_unique<ServerOptStrategy>(
+        std::make_unique<SeaflStrategy>(
+            seafl_config(params, params.staleness_limit)),
+        so);
+    arm.label = "SEAFL+AvgM (beta=" +
+                std::to_string(params.staleness_limit) + ")";
+  } else if (algorithm == "safa-drop") {
+    c.staleness_limit = params.staleness_limit;
+    c.drop_stale = true;
+    FedBuffConfig fb;
+    fb.vartheta = params.vartheta;
+    arm.strategy = std::make_unique<FedBuffStrategy>(fb);
+    arm.label =
+        "SAFA-drop (beta=" + std::to_string(params.staleness_limit) + ")";
+  } else {
+    SEAFL_CHECK(false, "unknown algorithm '" << algorithm << "'");
+  }
+
+  arm.config = std::move(c);
+  return arm;
+}
+
+std::vector<std::string> known_algorithms() {
+  return {"seafl",        "seafl2",       "seafl2-sub", "seafl-inf",
+          "seafl-avgm",   "fedbuff",      "fedbuff-adam", "fedasync",
+          "fedavg",       "fedprox",      "fedsa-epochs", "safa-drop"};
+}
+
+RunResult run_arm(const std::string& algorithm,
+                  const ExperimentParams& params, const FlTask& task,
+                  const Fleet& fleet) {
+  Arm arm = make_arm(algorithm, params);
+  const ModelFactory factory =
+      make_model(task.default_model, task.input, task.num_classes);
+  // Normalize per-sample work against the MLP baseline so virtual timing
+  // reflects relative model cost across tasks (DESIGN.md §1).
+  const double mlp_work = estimate_flops_per_sample(
+      ModelKind::kMlp, InputSpec{1, 1, 32}, task.num_classes);
+  const double work = estimate_flops_per_sample(task.default_model,
+                                                task.input, task.num_classes) /
+                      mlp_work;
+  Simulation sim(task, factory, fleet, std::move(arm.strategy), arm.config,
+                 work);
+  return sim.run();
+}
+
+}  // namespace seafl

@@ -1,0 +1,69 @@
+// Experiment presets: one call builds a named algorithm "arm" — the
+// (strategy, run-config) pair a bench or example needs. Keeps every binary's
+// arm definitions consistent with the paper's §VI setup.
+#pragma once
+
+#include <string>
+
+#include "fl/simulation.h"
+
+namespace seafl {
+
+/// Knobs shared by every arm of an experiment. Defaults follow §VI.A:
+/// 100 devices, 20% concurrency, E = 5, vartheta = 0.8, K = 10, beta = 10,
+/// alpha = 3, mu = 1.
+struct ExperimentParams {
+  std::size_t buffer_size = 10;       ///< K
+  std::size_t concurrency = 20;       ///< M
+  std::uint64_t staleness_limit = 10; ///< beta (SEAFL arms)
+  std::size_t local_epochs = 5;       ///< E
+  std::size_t batch_size = 20;
+  float learning_rate = 0.05f;
+  float clip_norm = 5.0f;  ///< global-norm gradient clip (0 disables)
+  double alpha = 3.0;
+  double mu = 1.0;
+  double vartheta = 0.8;
+  double target_accuracy = 0.9;
+  bool stop_at_target = true;
+  std::uint64_t max_rounds = 400;
+  double max_virtual_seconds = 1e9;
+  std::uint64_t eval_every = 1;
+  std::size_t eval_subset = 0;
+  std::uint64_t seed = 42;
+};
+
+/// A runnable algorithm arm.
+struct Arm {
+  std::string label;      ///< display name for tables ("SEAFL (beta=10)")
+  StrategyPtr strategy;
+  RunConfig config;
+};
+
+/// Builds a named arm. Known algorithms:
+///   "seafl"      — adaptive weights, staleness limit, synchronous waiting
+///   "seafl2"     — seafl + partial training (Algorithm 2)
+///   "seafl2-sub" — seafl2 + sub-model training on slow devices (the
+///                  paper's stated future work)
+///   "seafl-inf"  — seafl with an infinite staleness limit (Fig. 5 ablation)
+///   "fedbuff"    — buffered uniform averaging, no staleness limit
+///   "fedasync"   — fully asynchronous (K forced to 1)
+///   "seafl-avgm" — SEAFL with server momentum (adaptive federated
+///                  optimization on top of adaptive aggregation)
+///   "fedbuff-adam" — FedBuff with a FedAdam server optimizer
+///   "fedavg"     — synchronous baseline
+///   "fedprox"    — synchronous baseline with a proximal local objective
+///   "fedsa-epochs" — extension: buffered aggregation where slow devices
+///                  run proportionally fewer local epochs (FedSA-inspired)
+///   "safa-drop"  — extension: FedBuff-style averaging that *drops* updates
+///                  older than the staleness limit (SAFA's lag tolerance)
+Arm make_arm(const std::string& algorithm, const ExperimentParams& params);
+
+/// The algorithm names make_arm accepts.
+std::vector<std::string> known_algorithms();
+
+/// Convenience: build the arm and run it against a task/fleet, using the
+/// task's default model and relative per-sample work.
+RunResult run_arm(const std::string& algorithm, const ExperimentParams& params,
+                  const FlTask& task, const Fleet& fleet);
+
+}  // namespace seafl

@@ -1,0 +1,41 @@
+// Umbrella header: the full public API of the SEAFL library.
+//
+// Quickstart:
+//
+//   #include "core/seafl.h"
+//   using namespace seafl;
+//
+//   TaskSpec spec;                       // dataset + non-IID partition
+//   spec.name = "synth-emnist";
+//   FlTask task = make_task(spec);
+//
+//   FleetConfig fc;                      // heterogeneous device timing
+//   fc.num_devices = spec.num_clients;
+//   Fleet fleet(fc);
+//
+//   ExperimentParams params;             // paper defaults (K=10, beta=10...)
+//   RunResult r = run_arm("seafl2", params, task, fleet);
+//   // r.time_to_target, r.curve, ...
+#pragma once
+
+#include "common/cli.h"
+#include "common/distributions.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/adaptive_weights.h"
+#include "core/importance.h"
+#include "core/presets.h"
+#include "core/seafl_strategy.h"
+#include "core/staleness.h"
+#include "core/weight_bounds.h"
+#include "data/registry.h"
+#include "common/stats.h"
+#include "fl/compression.h"
+#include "fl/metrics.h"
+#include "fl/server_opt.h"
+#include "fl/simulation.h"
+#include "fl/strategies.h"
+#include "nn/model_zoo.h"
+#include "nn/serialize.h"
+#include "sim/fleet.h"

@@ -1,0 +1,55 @@
+#include "core/seafl_strategy.h"
+
+#include "tensor/ops.h"
+
+namespace seafl {
+
+SeaflStrategy::SeaflStrategy(SeaflConfig config) : config_(config) {
+  SEAFL_CHECK(config.vartheta > 0.0 && config.vartheta <= 1.0,
+              "vartheta must be in (0, 1], got " << config.vartheta);
+  SEAFL_CHECK(config.full_epochs >= 1, "full_epochs must be >= 1");
+}
+
+void SeaflStrategy::aggregate(const AggregationContext& ctx,
+                              std::span<const LocalUpdate> buffer,
+                              ModelVector& global_out) {
+  last_breakdown_ = compute_adaptive_weights(config_.weights, ctx, buffer);
+
+  // SEAFL^2 refinement: a partially trained model is closer to the global
+  // model it started from; scaling its aggregation weight by the completed
+  // epoch fraction keeps fast/slow contributions commensurate.
+  if (config_.scale_partial_updates) {
+    std::vector<double> weights(buffer.size());
+    bool any_partial = false;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      double scale = 1.0;
+      if (buffer[i].epochs_completed > 0 &&
+          buffer[i].epochs_completed < config_.full_epochs) {
+        scale = static_cast<double>(buffer[i].epochs_completed) /
+                static_cast<double>(config_.full_epochs);
+        any_partial = true;
+      }
+      weights[i] = last_breakdown_[i].weight * scale;
+    }
+    if (any_partial) {
+      normalize_weights(weights);
+      for (std::size_t i = 0; i < buffer.size(); ++i)
+        last_breakdown_[i].weight = weights[i];
+    }
+  }
+
+  // Eq. 7: weighted average of the buffered models.
+  const std::size_t dim = global_out.size();
+  ModelVector aggregate(dim, 0.0f);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    SEAFL_CHECK(buffer[i].weights.size() == dim,
+                "update " << i << " dimension mismatch");
+    axpy(aggregate, static_cast<float>(last_breakdown_[i].weight),
+         buffer[i].weights);
+  }
+
+  // Eq. 8: server mixing into the global model.
+  mix_into_global(aggregate, config_.vartheta, global_out);
+}
+
+}  // namespace seafl

@@ -1,0 +1,53 @@
+// The SEAFL aggregation strategy — the paper's primary contribution.
+//
+// Per aggregation round (Algorithm 1):
+//   1. gamma_t^k  from staleness          (Eq. 4)
+//   2. s_t^k      from model similarity   (Eq. 5)
+//   3. p_t^k = d_k (gamma + s), normalized (Eq. 6)
+//   4. w_new = sum_k p_t^k w_t^k           (Eq. 7)
+//   5. w_{t+1} = (1 - vartheta) w_t + vartheta w_new  (Eq. 8)
+//
+// SEAFL^2 uses the same aggregation; its partial-training protocol lives in
+// the simulation loop (RunConfig::partial_training). Partially trained
+// updates are handled here by scaling their contribution with the fraction
+// of completed epochs, so an update from 2 of 5 epochs moves the global
+// model proportionally less.
+#pragma once
+
+#include "core/adaptive_weights.h"
+
+namespace seafl {
+
+/// Full SEAFL strategy configuration.
+struct SeaflConfig {
+  AdaptiveWeightConfig weights;  ///< Eqs. 4-6
+  double vartheta = 0.8;         ///< Eq. 8 server mixing (paper: 0.8)
+
+  /// Scale the weight of partially trained updates by epochs_done / E
+  /// (SEAFL^2). Has no effect when all updates complete their epochs.
+  bool scale_partial_updates = true;
+  std::size_t full_epochs = 5;   ///< E, for the partial scaling above
+};
+
+/// Staleness- and importance-aware buffered aggregation (Eqs. 4-8).
+class SeaflStrategy : public AggregationStrategy {
+ public:
+  explicit SeaflStrategy(SeaflConfig config);
+
+  void aggregate(const AggregationContext& ctx,
+                 std::span<const LocalUpdate> buffer,
+                 ModelVector& global_out) override;
+  std::string name() const override { return "SEAFL"; }
+
+  /// Weight breakdowns of the most recent aggregation (for inspection).
+  const std::vector<WeightBreakdown>& last_breakdown() const {
+    return last_breakdown_;
+  }
+  const SeaflConfig& config() const { return config_; }
+
+ private:
+  SeaflConfig config_;
+  std::vector<WeightBreakdown> last_breakdown_;
+};
+
+}  // namespace seafl

@@ -1,0 +1,30 @@
+// Staleness factor — Eq. 4 of the paper:
+//
+//     gamma_t^k = alpha * beta / ((t - t_k) + beta)
+//
+// where S_k = t - t_k is the update's staleness, beta the staleness limit and
+// alpha the staleness-weight hyperparameter. Fresh updates (S = 0) receive
+// gamma = alpha; updates at the limit (S = beta) receive alpha/2, which is
+// where Lemma 1's lower bound comes from.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+#include "fl/types.h"
+
+namespace seafl {
+
+/// Evaluates Eq. 4. With beta = kNoStalenessLimit the factor degenerates to
+/// the staleness-blind constant alpha (the FedBuff-like regime the paper
+/// calls the "infinite staleness limit").
+inline double staleness_factor(double alpha, std::uint64_t staleness,
+                               std::uint64_t beta) {
+  SEAFL_CHECK(alpha >= 0.0, "alpha must be non-negative");
+  if (beta == kNoStalenessLimit) return alpha;
+  SEAFL_CHECK(beta >= 1, "staleness limit must be >= 1");
+  return alpha * static_cast<double>(beta) /
+         (static_cast<double>(staleness) + static_cast<double>(beta));
+}
+
+}  // namespace seafl

@@ -1,0 +1,54 @@
+#include "core/weight_bounds.h"
+
+namespace seafl {
+
+WeightInterval lemma1_interval(double alpha, double mu,
+                               double data_fraction) {
+  SEAFL_CHECK(alpha >= 0.0 && mu >= 0.0, "alpha/mu must be non-negative");
+  SEAFL_CHECK(data_fraction >= 0.0 && data_fraction <= 1.0,
+              "data fraction out of [0, 1]");
+  return {alpha / 2.0 * data_fraction, (alpha + mu) * data_fraction};
+}
+
+bool satisfies_lemma1(double alpha, double mu,
+                      std::span<const WeightBreakdown> breakdowns) {
+  constexpr double kTol = 1e-9;
+  for (const auto& b : breakdowns) {
+    const auto iv = lemma1_interval(alpha, mu, b.data_fraction);
+    if (b.raw < iv.lower - kTol || b.raw > iv.upper + kTol) return false;
+  }
+  return true;
+}
+
+double lambda_d(std::span<const double> data_fractions) {
+  double acc = 0.0;
+  for (const double d : data_fractions) {
+    SEAFL_CHECK(d >= 0.0 && d <= 1.0, "data fraction out of [0, 1]");
+    acc += d * d;
+  }
+  return acc;
+}
+
+double max_stable_learning_rate(double alpha, double mu, double lambda,
+                                std::size_t buffer_size,
+                                double smoothness_l) {
+  SEAFL_CHECK(alpha > 0.0, "Eq. 10 requires alpha > 0");
+  SEAFL_CHECK(mu >= 0.0, "mu must be non-negative");
+  SEAFL_CHECK(lambda > 0.0, "lambda(d) must be positive");
+  SEAFL_CHECK(buffer_size >= 1, "buffer size must be >= 1");
+  SEAFL_CHECK(smoothness_l > 0.0, "smoothness constant must be positive");
+  // Rearranged Eq. 10: eta <= alpha^2 lambda / (4 (alpha+mu) K L).
+  return alpha * alpha * lambda /
+         (4.0 * (alpha + mu) * static_cast<double>(buffer_size) *
+          smoothness_l);
+}
+
+bool satisfies_lr_condition(double eta, double alpha, double mu,
+                            double lambda, std::size_t buffer_size,
+                            double smoothness_l) {
+  SEAFL_CHECK(eta > 0.0, "learning rate must be positive");
+  return eta <= max_stable_learning_rate(alpha, mu, lambda, buffer_size,
+                                         smoothness_l) + 1e-12;
+}
+
+}  // namespace seafl

@@ -1,0 +1,44 @@
+// Theory hooks from §V of the paper.
+//
+//  * Lemma 1:   p_t^k in [ (alpha/2) d_k, (alpha + mu) d_k ]   (raw weights,
+//    before normalization). Verified against compute_adaptive_weights by
+//    property tests.
+//  * Eq. 10:    the learning-rate / buffer-size condition
+//        4 (alpha + mu) / (alpha^2 lambda(d)) * K * eta <= 1 / L
+//    with lambda(d) = sum_j d_j^2. Exposed as a feasibility check and a
+//    maximum-stable-learning-rate helper, so experiments can validate their
+//    hyperparameters against the convergence analysis.
+#pragma once
+
+#include <span>
+
+#include "core/adaptive_weights.h"
+
+namespace seafl {
+
+/// Closed-form Lemma-1 interval for one update's *raw* (pre-normalization)
+/// weight, given its data fraction d_k.
+struct WeightInterval {
+  double lower = 0.0;  ///< (alpha / 2) * d_k
+  double upper = 0.0;  ///< (alpha + mu) * d_k
+};
+
+/// Computes Lemma 1's interval.
+WeightInterval lemma1_interval(double alpha, double mu, double data_fraction);
+
+/// True when every breakdown's raw weight respects Lemma 1.
+bool satisfies_lemma1(double alpha, double mu,
+                      std::span<const WeightBreakdown> breakdowns);
+
+/// lambda(d) = sum_j d_j^2 over client data fractions.
+double lambda_d(std::span<const double> data_fractions);
+
+/// Largest learning rate eta satisfying Eq. 10 for the given smoothness L.
+double max_stable_learning_rate(double alpha, double mu, double lambda,
+                                std::size_t buffer_size, double smoothness_l);
+
+/// True when `eta` satisfies Eq. 10.
+bool satisfies_lr_condition(double eta, double alpha, double mu, double lambda,
+                            std::size_t buffer_size, double smoothness_l);
+
+}  // namespace seafl

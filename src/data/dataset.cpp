@@ -1,0 +1,77 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace seafl {
+
+Dataset::Dataset(InputSpec input, Tensor features,
+                 std::vector<std::int32_t> labels, std::size_t num_classes)
+    : input_(input),
+      features_(std::move(features)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  SEAFL_CHECK(num_classes_ >= 2, "dataset needs at least 2 classes");
+  SEAFL_CHECK(features_.numel() == labels_.size() * input_.numel(),
+              "feature tensor size " << features_.numel()
+                                     << " != samples * sample_numel ("
+                                     << labels_.size() << " * "
+                                     << input_.numel() << ")");
+  for (const auto y : labels_) {
+    SEAFL_CHECK(y >= 0 && static_cast<std::size_t>(y) < num_classes_,
+                "label " << y << " out of range");
+  }
+}
+
+void Dataset::set_label(std::size_t i, std::int32_t label) {
+  SEAFL_CHECK(i < size(), "set_label index out of range");
+  SEAFL_CHECK(label >= 0 && static_cast<std::size_t>(label) < num_classes_,
+              "label " << label << " out of range");
+  labels_[i] = label;
+}
+
+std::span<const float> Dataset::sample(std::size_t i) const {
+  SEAFL_DCHECK(i < size(), "sample index out of range");
+  return {features_.data() + i * sample_numel(), sample_numel()};
+}
+
+void Dataset::gather(std::span<const std::size_t> indices,
+                     Tensor& features_out,
+                     std::vector<std::int32_t>& labels_out,
+                     bool as_images) const {
+  const std::size_t batch = indices.size();
+  const std::size_t numel = sample_numel();
+  const Shape shape = as_images
+                          ? Shape{batch, input_.channels, input_.height,
+                                  input_.width}
+                          : Shape{batch, numel};
+  if (features_out.shape() != shape) features_out = Tensor(shape);
+  labels_out.resize(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t i = indices[b];
+    SEAFL_CHECK(i < size(), "gather index " << i << " out of range");
+    const auto src = sample(i);
+    std::copy(src.begin(), src.end(), features_out.data() + b * numel);
+    labels_out[b] = labels_[i];
+  }
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Tensor features({indices.size(), sample_numel()});
+  std::vector<std::int32_t> labels(indices.size());
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const std::size_t i = indices[b];
+    SEAFL_CHECK(i < size(), "subset index " << i << " out of range");
+    const auto src = sample(i);
+    std::copy(src.begin(), src.end(), features.data() + b * sample_numel());
+    labels[b] = labels_[i];
+  }
+  return Dataset(input_, std::move(features), std::move(labels), num_classes_);
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(num_classes_, 0);
+  for (const auto y : labels_) ++hist[static_cast<std::size_t>(y)];
+  return hist;
+}
+
+}  // namespace seafl

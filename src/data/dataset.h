@@ -1,0 +1,60 @@
+// In-memory labeled dataset: features stored sample-major in one contiguous
+// tensor, labels as int32 class indices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/model_zoo.h"  // InputSpec
+#include "tensor/tensor.h"
+
+namespace seafl {
+
+/// A dense classification dataset. Samples share a fixed InputSpec geometry;
+/// feature storage is [N, channels*height*width] row-major.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// @param input per-sample geometry; @param features [N, input.numel()]
+  /// flattened features; @param labels N class ids; @param num_classes count.
+  Dataset(InputSpec input, Tensor features, std::vector<std::int32_t> labels,
+          std::size_t num_classes);
+
+  std::size_t size() const { return labels_.size(); }
+  std::size_t num_classes() const { return num_classes_; }
+  const InputSpec& input() const { return input_; }
+  std::size_t sample_numel() const { return input_.numel(); }
+
+  /// Flat features of sample i.
+  std::span<const float> sample(std::size_t i) const;
+  std::int32_t label(std::size_t i) const {
+    SEAFL_DCHECK(i < labels_.size(), "sample index out of range");
+    return labels_[i];
+  }
+
+  /// Overwrites one label (used to inject label noise for robustness
+  /// experiments); the new label must be a valid class id.
+  void set_label(std::size_t i, std::int32_t label);
+  std::span<const std::int32_t> labels() const { return labels_; }
+
+  /// Gathers the given sample indices into a batch tensor shaped
+  /// [B, C, H, W] (or [B, numel] when as_images is false) plus labels.
+  void gather(std::span<const std::size_t> indices, Tensor& features_out,
+              std::vector<std::int32_t>& labels_out, bool as_images) const;
+
+  /// Materializes a subset as a standalone Dataset.
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Per-class sample counts (histogram of labels).
+  std::vector<std::size_t> class_histogram() const;
+
+ private:
+  InputSpec input_;
+  Tensor features_;  // [N, sample_numel]
+  std::vector<std::int32_t> labels_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace seafl

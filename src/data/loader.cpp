@@ -1,0 +1,32 @@
+#include "data/loader.h"
+
+namespace seafl {
+
+DataLoader::DataLoader(const Dataset& dataset,
+                       std::vector<std::size_t> indices,
+                       std::size_t batch_size, bool as_images)
+    : dataset_(&dataset),
+      indices_(std::move(indices)),
+      batch_size_(batch_size),
+      as_images_(as_images) {
+  SEAFL_CHECK(batch_size_ >= 1, "batch size must be positive");
+  SEAFL_CHECK(!indices_.empty(), "DataLoader needs at least one sample");
+  for (const auto i : indices_)
+    SEAFL_CHECK(i < dataset.size(), "index " << i << " out of range");
+}
+
+void DataLoader::begin_epoch(Rng& rng) {
+  rng.shuffle(indices_);
+  cursor_ = 0;
+}
+
+bool DataLoader::next(Tensor& features, std::vector<std::int32_t>& labels) {
+  if (cursor_ >= indices_.size()) return false;
+  const std::size_t take = std::min(batch_size_, indices_.size() - cursor_);
+  dataset_->gather({indices_.data() + cursor_, take}, features, labels,
+                   as_images_);
+  cursor_ += take;
+  return true;
+}
+
+}  // namespace seafl

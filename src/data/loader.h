@@ -1,0 +1,42 @@
+// Mini-batch iteration over a subset of a dataset, with seeded per-epoch
+// shuffling. One DataLoader per client training session.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace seafl {
+
+/// Yields shuffled mini-batches over a fixed index subset of a dataset.
+/// Batch tensors are reused across calls (no steady-state allocation).
+class DataLoader {
+ public:
+  /// @param dataset backing store (must outlive the loader)
+  /// @param indices subset this loader iterates (copied)
+  /// @param batch_size max samples per batch (last batch may be smaller)
+  /// @param as_images emit [B, C, H, W] batches instead of [B, numel]
+  DataLoader(const Dataset& dataset, std::vector<std::size_t> indices,
+             std::size_t batch_size, bool as_images);
+
+  /// Starts a new epoch: reshuffles with `rng` and rewinds.
+  void begin_epoch(Rng& rng);
+
+  /// Fills the next batch; returns false when the epoch is exhausted.
+  bool next(Tensor& features, std::vector<std::int32_t>& labels);
+
+  std::size_t size() const { return indices_.size(); }
+  std::size_t batches_per_epoch() const {
+    return (indices_.size() + batch_size_ - 1) / batch_size_;
+  }
+
+ private:
+  const Dataset* dataset_;
+  std::vector<std::size_t> indices_;
+  std::size_t batch_size_;
+  bool as_images_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace seafl

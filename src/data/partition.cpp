@@ -1,0 +1,101 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distributions.h"
+#include "common/rng.h"
+
+namespace seafl {
+
+Partition dirichlet_partition(const Dataset& dataset, std::size_t num_clients,
+                              double alpha, std::uint64_t seed,
+                              std::size_t min_per_client) {
+  SEAFL_CHECK(num_clients >= 1, "need at least one client");
+  SEAFL_CHECK(dataset.size() >= num_clients * min_per_client,
+              "dataset too small: " << dataset.size() << " samples for "
+                                    << num_clients << " clients");
+  Rng rng(seed, RngPurpose::kPartition);
+
+  // Group sample indices by class, shuffled within each class.
+  std::vector<std::vector<std::size_t>> by_class(dataset.num_classes());
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    by_class[static_cast<std::size_t>(dataset.label(i))].push_back(i);
+  for (auto& idx : by_class) rng.shuffle(idx);
+
+  Partition out(num_clients);
+  for (auto& idx : by_class) {
+    if (idx.empty()) continue;
+    const auto props = sample_dirichlet(rng, num_clients, alpha);
+    // Convert proportions to cut points over this class's samples.
+    std::size_t assigned = 0;
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      std::size_t take =
+          c + 1 == num_clients
+              ? idx.size() - assigned
+              : static_cast<std::size_t>(
+                    std::floor(props[c] * static_cast<double>(idx.size())));
+      take = std::min(take, idx.size() - assigned);
+      for (std::size_t j = 0; j < take; ++j)
+        out[c].push_back(idx[assigned + j]);
+      assigned += take;
+    }
+  }
+
+  // Rebalance: ensure the floor by moving samples from the largest clients.
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    while (out[c].size() < min_per_client) {
+      const auto donor = static_cast<std::size_t>(
+          std::max_element(out.begin(), out.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.size() < b.size();
+                           }) -
+          out.begin());
+      SEAFL_CHECK(out[donor].size() > min_per_client,
+                  "cannot satisfy min_per_client=" << min_per_client);
+      out[c].push_back(out[donor].back());
+      out[donor].pop_back();
+    }
+  }
+  return out;
+}
+
+Partition iid_partition(const Dataset& dataset, std::size_t num_clients,
+                        std::uint64_t seed) {
+  SEAFL_CHECK(num_clients >= 1, "need at least one client");
+  SEAFL_CHECK(dataset.size() >= num_clients,
+              "fewer samples than clients");
+  Rng rng(seed, RngPurpose::kPartition);
+  std::vector<std::size_t> order(dataset.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  Partition out(num_clients);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    out[i % num_clients].push_back(order[i]);
+  return out;
+}
+
+double partition_skew(const Dataset& dataset, const Partition& partition) {
+  const std::size_t classes = dataset.num_classes();
+  std::vector<double> global(classes, 0.0);
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    global[static_cast<std::size_t>(dataset.label(i))] += 1.0;
+  for (auto& g : global) g /= static_cast<double>(dataset.size());
+
+  double total_tv = 0.0;
+  std::size_t counted = 0;
+  for (const auto& idx : partition) {
+    if (idx.empty()) continue;
+    std::vector<double> local(classes, 0.0);
+    for (const auto i : idx)
+      local[static_cast<std::size_t>(dataset.label(i))] += 1.0;
+    double tv = 0.0;
+    for (std::size_t k = 0; k < classes; ++k)
+      tv += std::abs(local[k] / static_cast<double>(idx.size()) - global[k]);
+    total_tv += tv / 2.0;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total_tv / static_cast<double>(counted);
+}
+
+}  // namespace seafl

@@ -1,0 +1,118 @@
+#include "data/registry.h"
+
+#include "data/synthetic.h"
+
+namespace seafl {
+
+namespace {
+
+/// Splits `full` into (train, test): the first `test_n` samples become the
+/// test set. Generators emit labels round-robin, so both splits are balanced
+/// and identically distributed.
+std::pair<Dataset, Dataset> split(const Dataset& full, std::size_t test_n) {
+  SEAFL_CHECK(test_n < full.size(), "test split larger than dataset");
+  std::vector<std::size_t> test_idx(test_n);
+  for (std::size_t i = 0; i < test_n; ++i) test_idx[i] = i;
+  std::vector<std::size_t> train_idx(full.size() - test_n);
+  for (std::size_t i = 0; i < train_idx.size(); ++i)
+    train_idx[i] = test_n + i;
+  return {full.subset(train_idx), full.subset(test_idx)};
+}
+
+}  // namespace
+
+FlTask make_task(const TaskSpec& spec) {
+  SEAFL_CHECK(spec.num_clients >= 1, "need at least one client");
+  SEAFL_CHECK(spec.samples_per_client >= 2,
+              "need at least 2 samples per client");
+  const std::size_t train_n = spec.num_clients * spec.samples_per_client;
+  const std::size_t total_n = train_n + spec.test_samples;
+
+  FlTask task;
+  task.name = spec.name;
+
+  Dataset full;
+  if (spec.name == "synth-mnist") {
+    GaussianSpec g;
+    g.num_samples = total_n;
+    g.num_classes = 10;
+    g.input = InputSpec{1, 1, 32};
+    g.noise = 0.9;
+    g.seed = spec.seed;
+    full = make_gaussian_dataset(g);
+    task.default_model = ModelKind::kMlp;
+    task.target_accuracy = 0.90;
+  } else if (spec.name == "synth-emnist") {
+    PatternSpec p;
+    p.num_samples = total_n;
+    p.num_classes = 10;
+    p.input = InputSpec{1, 12, 12};
+    p.noise = 0.8;
+    p.seed = spec.seed;
+    full = make_pattern_dataset(p);
+    task.default_model = ModelKind::kLenetLite;
+    task.target_accuracy = 0.88;
+  } else if (spec.name == "synth-cifar10") {
+    PatternSpec p;
+    p.num_samples = total_n;
+    p.num_classes = 10;
+    p.input = InputSpec{3, 12, 12};
+    p.noise = 1.2;  // harder than synth-emnist, like CIFAR vs EMNIST
+    p.seed = spec.seed;
+    full = make_pattern_dataset(p);
+    task.default_model = ModelKind::kResnetLite;
+    task.target_accuracy = 0.80;
+  } else if (spec.name == "synth-cinic10") {
+    PatternSpec p;
+    p.num_samples = total_n;
+    p.num_classes = 10;
+    p.input = InputSpec{3, 12, 12};
+    p.noise = 1.5;  // hardest of the three, like CINIC-10
+    p.seed = spec.seed;
+    full = make_pattern_dataset(p);
+    task.default_model = ModelKind::kVggLite;
+    task.target_accuracy = 0.72;
+  } else {
+    SEAFL_CHECK(false, "unknown task '" << spec.name
+                                        << "'; known: synth-mnist, "
+                                           "synth-emnist, synth-cifar10, "
+                                           "synth-cinic10");
+  }
+
+  auto [train, test] = split(full, spec.test_samples);
+  task.input = train.input();
+  task.num_classes = train.num_classes();
+  task.partition = dirichlet_partition(train, spec.num_clients,
+                                       spec.dirichlet_alpha, spec.seed);
+
+  // Label-noise injection: a fraction of clients get uniformly random
+  // training labels. Their updates are genuinely harmful, which is the
+  // scenario where importance-aware aggregation (Eq. 5) earns its keep.
+  SEAFL_CHECK(spec.corrupt_client_fraction >= 0.0 &&
+                  spec.corrupt_client_fraction <= 1.0,
+              "corrupt_client_fraction out of [0, 1]");
+  if (spec.corrupt_client_fraction > 0.0) {
+    Rng rng(spec.seed, RngPurpose::kPartition, /*a=*/999);
+    std::vector<std::size_t> order(spec.num_clients);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+    const auto corrupt = static_cast<std::size_t>(
+        spec.corrupt_client_fraction * static_cast<double>(spec.num_clients));
+    for (std::size_t c = 0; c < corrupt; ++c) {
+      for (const std::size_t i : task.partition[order[c]]) {
+        train.set_label(i, static_cast<std::int32_t>(
+                               rng.uniform_int(task.num_classes)));
+      }
+    }
+  }
+
+  task.train = std::move(train);
+  task.test = std::move(test);
+  return task;
+}
+
+std::vector<std::string> known_tasks() {
+  return {"synth-mnist", "synth-emnist", "synth-cifar10", "synth-cinic10"};
+}
+
+}  // namespace seafl

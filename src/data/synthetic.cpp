@@ -1,0 +1,115 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace seafl {
+
+Dataset make_gaussian_dataset(const GaussianSpec& spec) {
+  SEAFL_CHECK(spec.num_classes >= 2, "need at least 2 classes");
+  SEAFL_CHECK(spec.num_samples >= spec.num_classes,
+              "need at least one sample per class");
+  const std::size_t dim = spec.input.numel();
+  SEAFL_CHECK(dim >= 2, "need at least 2 feature dimensions");
+
+  // Class means drawn once from the dataset's own stream so that train and
+  // test splits generated with different seeds share the same geometry when
+  // callers derive both from one root (see registry.cpp).
+  Rng mean_rng(spec.seed, RngPurpose::kDataGen, /*a=*/0);
+  Tensor means({spec.num_classes, dim});
+  means.fill_normal(mean_rng, 0.0f,
+                    static_cast<float>(spec.mean_scale / std::sqrt(1.0)));
+
+  Rng rng(spec.seed, RngPurpose::kDataGen, /*a=*/1);
+  Tensor features({spec.num_samples, dim});
+  std::vector<std::int32_t> labels(spec.num_samples);
+  for (std::size_t i = 0; i < spec.num_samples; ++i) {
+    const auto y = static_cast<std::int32_t>(i % spec.num_classes);
+    labels[i] = y;
+    const float* mean = means.data() + static_cast<std::size_t>(y) * dim;
+    float* x = features.data() + i * dim;
+    for (std::size_t d = 0; d < dim; ++d)
+      x[d] = mean[d] + static_cast<float>(rng.normal(0.0, spec.noise));
+  }
+  return Dataset(spec.input, std::move(features), std::move(labels),
+                 spec.num_classes);
+}
+
+namespace {
+/// Evaluates class `y`'s smooth template at pixel (c, r, col).
+/// Each class owns `waves` sinusoid components per channel with frequencies,
+/// phases and orientations drawn from a class-specific stream.
+struct Template {
+  // One component: value = a * sin(fx*x + fy*y + phase).
+  struct Wave {
+    float fx, fy, phase, amp;
+  };
+  std::vector<std::vector<Wave>> per_channel;  // [channels][waves]
+
+  float eval(std::size_t c, std::size_t row, std::size_t col) const {
+    float v = 0.0f;
+    for (const auto& w : per_channel[c]) {
+      v += w.amp * std::sin(w.fx * static_cast<float>(col) +
+                            w.fy * static_cast<float>(row) + w.phase);
+    }
+    return v;
+  }
+};
+
+Template make_template(std::uint64_t seed, std::size_t cls,
+                       const PatternSpec& spec) {
+  Template t;
+  Rng rng(seed, RngPurpose::kDataGen, /*a=*/100 + cls);
+  t.per_channel.resize(spec.input.channels);
+  for (auto& waves : t.per_channel) {
+    waves.resize(spec.waves_per_class);
+    for (auto& w : waves) {
+      // Low spatial frequencies so the template is smooth at small sizes.
+      w.fx = static_cast<float>(rng.uniform(0.3, 1.4));
+      w.fy = static_cast<float>(rng.uniform(0.3, 1.4));
+      w.phase = static_cast<float>(rng.uniform(0.0, 6.2831853));
+      w.amp = static_cast<float>(rng.uniform(0.5, 1.0));
+    }
+  }
+  return t;
+}
+}  // namespace
+
+Dataset make_pattern_dataset(const PatternSpec& spec) {
+  SEAFL_CHECK(spec.num_classes >= 2, "need at least 2 classes");
+  SEAFL_CHECK(spec.num_samples >= spec.num_classes,
+              "need at least one sample per class");
+  SEAFL_CHECK(spec.waves_per_class >= 1, "need at least one wave");
+  const std::size_t numel = spec.input.numel();
+
+  std::vector<Template> templates;
+  templates.reserve(spec.num_classes);
+  for (std::size_t k = 0; k < spec.num_classes; ++k)
+    templates.push_back(make_template(spec.seed, k, spec));
+
+  Rng rng(spec.seed, RngPurpose::kDataGen, /*a=*/1);
+  Tensor features({spec.num_samples, numel});
+  std::vector<std::int32_t> labels(spec.num_samples);
+  for (std::size_t i = 0; i < spec.num_samples; ++i) {
+    const auto y = static_cast<std::int32_t>(i % spec.num_classes);
+    labels[i] = y;
+    const Template& t = templates[static_cast<std::size_t>(y)];
+    const float scale = static_cast<float>(
+        rng.uniform(1.0 - spec.amplitude_jitter, 1.0 + spec.amplitude_jitter));
+    float* x = features.data() + i * numel;
+    std::size_t p = 0;
+    for (std::size_t c = 0; c < spec.input.channels; ++c) {
+      for (std::size_t r = 0; r < spec.input.height; ++r) {
+        for (std::size_t col = 0; col < spec.input.width; ++col, ++p) {
+          x[p] = scale * t.eval(c, r, col) +
+                 static_cast<float>(rng.normal(0.0, spec.noise));
+        }
+      }
+    }
+  }
+  return Dataset(spec.input, std::move(features), std::move(labels),
+                 spec.num_classes);
+}
+
+}  // namespace seafl

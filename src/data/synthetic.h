@@ -1,0 +1,51 @@
+// Synthetic dataset generators. These replace the paper's EMNIST / CIFAR-10 /
+// CINIC-10, which are unavailable offline (see DESIGN.md §1). Two families:
+//
+//  * Gaussian clusters — each class is an isotropic Gaussian around a random
+//    unit-ish mean vector. Fast to learn; used for the §III preliminary
+//    experiments where the paper itself uses MNIST as a quick probe.
+//
+//  * Patterned images — each class has a smooth spatial template (a sum of
+//    class-specific 2-d sinusoids per channel); samples are scaled templates
+//    plus pixel noise. Convolutional structure genuinely helps on these,
+//    making them an honest stand-in for image benchmarks.
+//
+// Difficulty is controlled by the noise level and (for images) template
+// correlation across classes; harder datasets need more rounds to converge,
+// mirroring EMNIST < CIFAR-10 < CINIC-10 difficulty ordering.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace seafl {
+
+/// Configuration of a Gaussian-cluster dataset.
+struct GaussianSpec {
+  std::size_t num_samples = 1000;
+  std::size_t num_classes = 10;
+  InputSpec input{1, 1, 32};  ///< geometry; features are flattened anyway
+  double mean_scale = 1.0;    ///< cluster-center magnitude
+  double noise = 0.6;         ///< per-dimension sample stddev
+  std::uint64_t seed = 1;
+};
+
+/// Generates a Gaussian-cluster dataset; labels are balanced round-robin.
+Dataset make_gaussian_dataset(const GaussianSpec& spec);
+
+/// Configuration of a patterned-image dataset.
+struct PatternSpec {
+  std::size_t num_samples = 1000;
+  std::size_t num_classes = 10;
+  InputSpec input{1, 12, 12};
+  std::size_t waves_per_class = 3;  ///< sinusoid components per template
+  double amplitude_jitter = 0.25;   ///< per-sample template scaling spread
+  double noise = 0.5;               ///< additive pixel noise stddev
+  std::uint64_t seed = 1;
+};
+
+/// Generates a patterned-image dataset; labels are balanced round-robin.
+Dataset make_pattern_dataset(const PatternSpec& spec);
+
+}  // namespace seafl

@@ -1,0 +1,71 @@
+#include "fl/client.h"
+
+namespace seafl {
+
+ClientTrainer::ClientTrainer(const FlTask& task, const ModelFactory& factory,
+                             const RunConfig& config)
+    : task_(&task), model_(factory()), config_(config) {
+  SEAFL_CHECK(model_ != nullptr, "model factory returned null");
+  num_params_ = model_->num_parameters();
+  SEAFL_CHECK(num_params_ > 0, "model has no trainable parameters");
+}
+
+ClientTrainResult ClientTrainer::train(std::size_t client,
+                                       const ModelVector& base,
+                                       std::size_t epochs,
+                                       std::uint64_t round,
+                                       std::size_t frozen_layers) {
+  SEAFL_CHECK(client < task_->partition.size(),
+              "client " << client << " out of range");
+  SEAFL_CHECK(base.size() == num_params_,
+              "base model has wrong dimension: " << base.size() << " vs "
+                                                 << num_params_);
+  SEAFL_CHECK(epochs >= 1, "need at least one local epoch");
+  SEAFL_CHECK(frozen_layers < model_->num_layers(),
+              "cannot freeze all " << model_->num_layers() << " layers");
+
+  model_->set_parameters(base);
+  Sgd optimizer(config_.sgd);
+  DataLoader loader(task_->train, task_->partition[client],
+                    config_.batch_size, /*as_images=*/false);
+
+  const bool proximal = config_.proximal_mu > 0.0;
+  const float prox_step = static_cast<float>(
+      config_.sgd.learning_rate * config_.proximal_mu);
+  std::vector<float> scratch;
+  if (proximal) scratch.resize(num_params_);
+
+  ClientTrainResult result;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    // The shuffle stream is keyed by (seed, client, round, epoch): epoch e of
+    // a partial session matches epoch e of the full session bit-for-bit.
+    Rng rng(config_.seed, RngPurpose::kClientTrain, client, round, epoch);
+    loader.begin_epoch(rng);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    while (loader.next(batch_features_, batch_labels_)) {
+      const Tensor& logits = model_->forward(batch_features_, /*train=*/true);
+      epoch_loss += loss_.forward(logits, batch_labels_);
+      ++batches;
+      model_->zero_grad();
+      loss_.backward(logit_grad_);
+      model_->backward(logit_grad_);
+      optimizer.step(*model_, frozen_layers);
+      if (proximal) {
+        // FedProx: w -= lr * mu * (w - w_global), the gradient of the
+        // proximal term mu/2 ||w - w_global||^2.
+        model_->copy_parameters_to(scratch);
+        for (std::size_t i = 0; i < scratch.size(); ++i)
+          scratch[i] -= prox_step * (scratch[i] - base[i]);
+        model_->set_parameters(scratch);
+      }
+    }
+    result.mean_loss = epoch_loss / static_cast<double>(batches);
+  }
+  result.epochs = epochs;
+  result.weights.resize(num_params_);
+  model_->copy_parameters_to(result.weights);
+  return result;
+}
+
+}  // namespace seafl

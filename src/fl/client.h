@@ -1,0 +1,62 @@
+// Client-side local training: E epochs of mini-batch SGD from a given global
+// model, exactly as ClientUpdate in Algorithms 1 and 2 of the paper.
+#pragma once
+
+#include "data/loader.h"
+#include "data/registry.h"
+#include "fl/types.h"
+#include "nn/loss.h"
+
+namespace seafl {
+
+/// Result of one local training session.
+struct ClientTrainResult {
+  ModelVector weights;        ///< trained local model
+  double mean_loss = 0.0;     ///< mean training loss of the final epoch
+  std::size_t epochs = 0;     ///< epochs actually executed
+};
+
+/// Executes local training for any client of a task. One instance owns a
+/// single reusable model, so repeated calls do not reallocate layers.
+///
+/// Determinism: the mini-batch schedule of (client, round) depends only on
+/// the run seed, the client id and the round — never on call order — so a
+/// partial (fewer-epoch) re-run of the same session produces exactly the
+/// prefix of the full session. SEAFL^2's early upload relies on this.
+class ClientTrainer {
+ public:
+  /// @param task the federated task (must outlive the trainer)
+  /// @param factory architecture factory; @param config run parameters
+  ClientTrainer(const FlTask& task, const ModelFactory& factory,
+                const RunConfig& config);
+
+  /// Number of trainable scalars of the architecture.
+  std::size_t num_params() const { return num_params_; }
+
+  /// Trains `epochs` local epochs for `client` starting from `base` weights.
+  /// @param frozen_layers sub-model training: the first N layers keep their
+  ///        base weights (forward still runs through them). 0 = full model.
+  ClientTrainResult train(std::size_t client, const ModelVector& base,
+                          std::size_t epochs, std::uint64_t round,
+                          std::size_t frozen_layers = 0);
+
+  /// Number of layers in the architecture (for sub-model planning).
+  std::size_t num_layers() const { return model_->num_layers(); }
+
+  /// Train-sample count of a client (|D_k|).
+  std::size_t client_samples(std::size_t client) const {
+    return task_->partition.at(client).size();
+  }
+
+ private:
+  const FlTask* task_;
+  std::unique_ptr<Sequential> model_;
+  std::size_t num_params_;
+  RunConfig config_;
+  SoftmaxCrossEntropy loss_;
+  Tensor batch_features_;
+  std::vector<std::int32_t> batch_labels_;
+  Tensor logit_grad_;
+};
+
+}  // namespace seafl

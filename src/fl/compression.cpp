@@ -1,0 +1,42 @@
+#include "fl/compression.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace seafl {
+
+namespace {
+double grid_step(const ModelVector& weights, std::size_t bits) {
+  SEAFL_CHECK(bits >= 2 && bits <= 16,
+              "quantization bits must be in [2, 16], got " << bits);
+  float max_abs = 0.0f;
+  for (const float w : weights) max_abs = std::max(max_abs, std::abs(w));
+  if (max_abs == 0.0f) return 0.0;
+  const double levels = std::pow(2.0, static_cast<double>(bits)) - 1.0;
+  // Symmetric grid: (levels - 1) / 2 positive steps reach +max_abs.
+  return 2.0 * max_abs / (levels - 1.0);
+}
+}  // namespace
+
+double quantize_model(ModelVector& weights, std::size_t bits) {
+  const double step = grid_step(weights, bits);
+  if (step == 0.0) return 0.0;
+  for (auto& w : weights) {
+    w = static_cast<float>(std::round(static_cast<double>(w) / step) * step);
+  }
+  return step;
+}
+
+double quantization_error_bound(const ModelVector& weights,
+                                std::size_t bits) {
+  return grid_step(weights, bits) / 2.0;
+}
+
+std::size_t transfer_bytes(std::size_t dim, std::size_t bits) {
+  if (bits == 0) return dim * sizeof(float);
+  SEAFL_CHECK(bits >= 2 && bits <= 16, "quantization bits out of range");
+  return (dim * bits + 7) / 8;
+}
+
+}  // namespace seafl

@@ -1,0 +1,26 @@
+// Upload compression: uniform symmetric quantization of model vectors, the
+// simplest of the communication-efficiency techniques §II surveys. Values
+// are snapped to a grid of 2^bits - 1 levels spanning [-max|w|, max|w|];
+// the dequantized vector is returned in place (simulation exchanges logical
+// floats; only the byte accounting changes).
+#pragma once
+
+#include <cstddef>
+
+#include "fl/types.h"
+
+namespace seafl {
+
+/// Quantizes `weights` in place to `bits` bits per scalar (2..16).
+/// Returns the quantization scale (grid step); 0 for an all-zero vector.
+double quantize_model(ModelVector& weights, std::size_t bits);
+
+/// Worst-case absolute rounding error of quantize_model for this vector:
+/// half the grid step.
+double quantization_error_bound(const ModelVector& weights, std::size_t bits);
+
+/// Bytes on the wire for one model transfer at the given precision
+/// (bits = 0 means uncompressed float32).
+std::size_t transfer_bytes(std::size_t dim, std::size_t bits);
+
+}  // namespace seafl

@@ -1,0 +1,45 @@
+#include "fl/evaluator.h"
+
+#include "common/rng.h"
+
+namespace seafl {
+
+Evaluator::Evaluator(const FlTask& task, const ModelFactory& factory,
+                     std::size_t batch_size, std::size_t subset,
+                     std::uint64_t seed)
+    : task_(&task), model_(factory()), batch_size_(batch_size) {
+  SEAFL_CHECK(model_ != nullptr, "model factory returned null");
+  SEAFL_CHECK(batch_size_ >= 1, "batch size must be positive");
+  const std::size_t n = task.test.size();
+  SEAFL_CHECK(n > 0, "empty test set");
+  indices_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) indices_[i] = i;
+  if (subset > 0 && subset < n) {
+    Rng rng(seed, RngPurpose::kTest, /*a=*/7);
+    rng.shuffle(indices_);
+    indices_.resize(subset);
+  }
+}
+
+EvalResult Evaluator::evaluate(const ModelVector& weights) {
+  model_->set_parameters(weights);
+  double total_loss = 0.0;
+  std::size_t correct = 0;
+  std::size_t seen = 0;
+  for (std::size_t start = 0; start < indices_.size(); start += batch_size_) {
+    const std::size_t take = std::min(batch_size_, indices_.size() - start);
+    task_->test.gather({indices_.data() + start, take}, batch_features_,
+                       batch_labels_, /*as_images=*/false);
+    const Tensor& logits = model_->forward(batch_features_, /*train=*/false);
+    total_loss +=
+        loss_.forward(logits, batch_labels_) * static_cast<double>(take);
+    correct += loss_.correct();
+    seen += take;
+  }
+  EvalResult out;
+  out.accuracy = static_cast<double>(correct) / static_cast<double>(seen);
+  out.loss = total_loss / static_cast<double>(seen);
+  return out;
+}
+
+}  // namespace seafl

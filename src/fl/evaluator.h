@@ -1,0 +1,41 @@
+// Server-side test evaluation of a flat model vector.
+#pragma once
+
+#include "data/registry.h"
+#include "fl/types.h"
+#include "nn/loss.h"
+
+namespace seafl {
+
+/// Test metrics of one evaluation pass.
+struct EvalResult {
+  double accuracy = 0.0;  ///< top-1 on the evaluation set
+  double loss = 0.0;      ///< mean cross-entropy
+};
+
+/// Evaluates flat model vectors on a task's test set (optionally a fixed
+/// random subset to bound evaluation cost in benches). Owns one reusable
+/// model instance.
+class Evaluator {
+ public:
+  /// @param subset 0 = full test set, otherwise evaluate on `subset` samples
+  ///        chosen once (seeded), fixed for the evaluator's lifetime.
+  Evaluator(const FlTask& task, const ModelFactory& factory,
+            std::size_t batch_size, std::size_t subset, std::uint64_t seed);
+
+  /// Evaluates `weights` (dimension must match the architecture).
+  EvalResult evaluate(const ModelVector& weights);
+
+  std::size_t eval_samples() const { return indices_.size(); }
+
+ private:
+  const FlTask* task_;
+  std::unique_ptr<Sequential> model_;
+  std::size_t batch_size_;
+  std::vector<std::size_t> indices_;
+  SoftmaxCrossEntropy loss_;
+  Tensor batch_features_;
+  std::vector<std::int32_t> batch_labels_;
+};
+
+}  // namespace seafl

@@ -1,0 +1,57 @@
+#include "fl/metrics.h"
+
+#include <fstream>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace seafl {
+
+double time_to_accuracy(const RunResult& result, double accuracy) {
+  for (const auto& p : result.curve)
+    if (p.accuracy >= accuracy) return p.time;
+  return -1.0;
+}
+
+double tail_accuracy(const RunResult& result, std::size_t k) {
+  SEAFL_CHECK(k >= 1, "tail window must be >= 1");
+  if (result.curve.empty()) return 0.0;
+  const std::size_t n = std::min(k, result.curve.size());
+  double acc = 0.0;
+  for (std::size_t i = result.curve.size() - n; i < result.curve.size(); ++i)
+    acc += result.curve[i].accuracy;
+  return acc / static_cast<double>(n);
+}
+
+void write_curve_csv(const RunResult& result, const std::string& path) {
+  std::ofstream out(path);
+  SEAFL_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << "round,time,accuracy,loss\n";
+  for (const auto& p : result.curve) {
+    out << p.round << ',' << p.time << ',' << p.accuracy << ',' << p.loss
+        << '\n';
+  }
+}
+
+double participation_fairness(const RunResult& result, bool active_only) {
+  std::vector<double> counts;
+  counts.reserve(result.participation.size());
+  for (const auto c : result.participation) {
+    if (active_only && c == 0) continue;
+    counts.push_back(static_cast<double>(c));
+  }
+  if (counts.empty()) return 1.0;
+  return jains_index(counts);
+}
+
+void write_round_log_csv(const RunResult& result, const std::string& path) {
+  std::ofstream out(path);
+  SEAFL_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << "round,time,updates,mean_staleness,partial\n";
+  for (const auto& s : result.round_log) {
+    out << s.round << ',' << s.time << ',' << s.updates << ','
+        << s.mean_staleness << ',' << s.partial << '\n';
+  }
+}
+
+}  // namespace seafl

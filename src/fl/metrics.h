@@ -1,0 +1,31 @@
+// Result post-processing shared by benches, examples and tests: milestone
+// lookups on accuracy curves and CSV export of run traces.
+#pragma once
+
+#include <string>
+
+#include "fl/types.h"
+
+namespace seafl {
+
+/// First virtual time at which the curve reaches `accuracy`; -1 if never.
+double time_to_accuracy(const RunResult& result, double accuracy);
+
+/// Final accuracy averaged over the last `k` evaluation points (smooths the
+/// round-to-round noise of asynchronous aggregation).
+double tail_accuracy(const RunResult& result, std::size_t k = 3);
+
+/// Writes the accuracy-vs-time curve as CSV (round,time,accuracy,loss).
+void write_curve_csv(const RunResult& result, const std::string& path);
+
+/// Writes the per-aggregation trace as CSV
+/// (round,time,updates,mean_staleness,partial).
+void write_round_log_csv(const RunResult& result, const std::string& path);
+
+/// Jain's fairness index over per-client participation counts, restricted
+/// to clients that participated at least once when `active_only` (otherwise
+/// never-selected clients count as zeros). 1 = perfectly even.
+double participation_fairness(const RunResult& result,
+                              bool active_only = true);
+
+}  // namespace seafl

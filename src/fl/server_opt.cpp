@@ -1,0 +1,79 @@
+#include "fl/server_opt.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace seafl {
+
+ServerOptStrategy::ServerOptStrategy(StrategyPtr inner,
+                                     ServerOptConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  SEAFL_CHECK(inner_ != nullptr, "ServerOptStrategy needs an inner strategy");
+  SEAFL_CHECK(config.lr > 0.0, "server learning rate must be positive");
+  SEAFL_CHECK(config.beta1 >= 0.0 && config.beta1 < 1.0,
+              "beta1 must be in [0, 1)");
+  SEAFL_CHECK(config.beta2 >= 0.0 && config.beta2 < 1.0,
+              "beta2 must be in [0, 1)");
+  SEAFL_CHECK(config.epsilon > 0.0, "epsilon must be positive");
+}
+
+void ServerOptStrategy::aggregate(const AggregationContext& ctx,
+                                  std::span<const LocalUpdate> buffer,
+                                  ModelVector& global_out) {
+  // Let the inner strategy produce its proposal from a scratch copy.
+  ModelVector proposal = global_out;
+  inner_->aggregate(ctx, buffer, proposal);
+
+  const std::size_t dim = global_out.size();
+  ++step_;
+  switch (config_.kind) {
+    case ServerOpt::kSgd: {
+      // w -= lr * (w - proposal)
+      for (std::size_t i = 0; i < dim; ++i) {
+        global_out[i] -= static_cast<float>(
+            config_.lr * (static_cast<double>(global_out[i]) - proposal[i]));
+      }
+      break;
+    }
+    case ServerOpt::kMomentum: {
+      if (momentum_.size() != dim) momentum_.assign(dim, 0.0);
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double g =
+            static_cast<double>(global_out[i]) - proposal[i];
+        momentum_[i] = config_.beta1 * momentum_[i] + g;
+        global_out[i] -= static_cast<float>(config_.lr * momentum_[i]);
+      }
+      break;
+    }
+    case ServerOpt::kAdam: {
+      if (momentum_.size() != dim) momentum_.assign(dim, 0.0);
+      if (variance_.size() != dim) variance_.assign(dim, 0.0);
+      const double bc1 =
+          1.0 - std::pow(config_.beta1, static_cast<double>(step_));
+      const double bc2 =
+          1.0 - std::pow(config_.beta2, static_cast<double>(step_));
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double g =
+            static_cast<double>(global_out[i]) - proposal[i];
+        momentum_[i] = config_.beta1 * momentum_[i] + (1.0 - config_.beta1) * g;
+        variance_[i] =
+            config_.beta2 * variance_[i] + (1.0 - config_.beta2) * g * g;
+        const double m_hat = momentum_[i] / bc1;
+        const double v_hat = variance_[i] / bc2;
+        global_out[i] -= static_cast<float>(
+            config_.lr * m_hat / (std::sqrt(v_hat) + config_.epsilon));
+      }
+      break;
+    }
+  }
+}
+
+std::string ServerOptStrategy::name() const {
+  const char* opt = config_.kind == ServerOpt::kSgd        ? "SGD"
+                    : config_.kind == ServerOpt::kMomentum ? "AvgM"
+                                                           : "Adam";
+  return inner_->name() + "+" + opt;
+}
+
+}  // namespace seafl

@@ -1,0 +1,50 @@
+// Server-side optimizers (Reddi et al., "Adaptive Federated Optimization"):
+// treat the aggregated round result as a *pseudo-gradient*
+//     g_t = w_t - w_agg
+// and apply a first-order optimizer on the server instead of plain
+// replacement/mixing. Wraps any inner AggregationStrategy, so FedAvgM and
+// FedAdam compose with FedAvg, FedBuff or SEAFL aggregation.
+#pragma once
+
+#include "fl/strategy.h"
+
+namespace seafl {
+
+/// Server optimizer selector.
+enum class ServerOpt {
+  kSgd,    ///< w -= lr * g (lr = 1 reproduces the inner strategy exactly)
+  kMomentum,  ///< FedAvgM: v = beta1 v + g; w -= lr v
+  kAdam,   ///< FedAdam with bias correction
+};
+
+/// Configuration for ServerOptStrategy.
+struct ServerOptConfig {
+  ServerOpt kind = ServerOpt::kMomentum;
+  double lr = 1.0;        ///< server learning rate
+  double beta1 = 0.9;     ///< momentum / Adam first moment
+  double beta2 = 0.99;    ///< Adam second moment
+  double epsilon = 1e-8;  ///< Adam denominator floor
+};
+
+/// Decorator: runs the inner strategy to obtain the proposed next global
+/// model, interprets the difference from the current model as a
+/// pseudo-gradient, and applies the configured server optimizer.
+class ServerOptStrategy : public AggregationStrategy {
+ public:
+  /// @param inner the aggregation rule producing the proposal (owned)
+  ServerOptStrategy(StrategyPtr inner, ServerOptConfig config);
+
+  void aggregate(const AggregationContext& ctx,
+                 std::span<const LocalUpdate> buffer,
+                 ModelVector& global_out) override;
+  std::string name() const override;
+
+ private:
+  StrategyPtr inner_;
+  ServerOptConfig config_;
+  std::vector<double> momentum_;  // first moment
+  std::vector<double> variance_;  // second moment (Adam)
+  std::uint64_t step_ = 0;
+};
+
+}  // namespace seafl

@@ -1,0 +1,405 @@
+#include "fl/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace seafl {
+
+Simulation::Simulation(const FlTask& task, const ModelFactory& factory,
+                       const Fleet& fleet, StrategyPtr strategy,
+                       RunConfig config, double work_per_sample)
+    : task_(&task),
+      fleet_(&fleet),
+      strategy_(std::move(strategy)),
+      config_(config),
+      work_per_sample_(work_per_sample),
+      trainer_(task, factory, config),
+      evaluator_(task, factory, /*batch_size=*/64, config.eval_subset,
+                 config.seed) {
+  SEAFL_CHECK(strategy_ != nullptr, "null aggregation strategy");
+  SEAFL_CHECK(fleet.size() >= task.num_clients(),
+              "fleet has " << fleet.size() << " devices but task has "
+                           << task.num_clients() << " clients");
+  SEAFL_CHECK(config_.concurrency >= 1 &&
+                  config_.concurrency <= task.num_clients(),
+              "concurrency " << config_.concurrency << " out of range");
+  SEAFL_CHECK(config_.buffer_size >= 1, "buffer size must be >= 1");
+  SEAFL_CHECK(config_.local_epochs >= 1, "need at least one local epoch");
+  SEAFL_CHECK(!(config_.wait_for_stale && config_.drop_stale),
+              "wait_for_stale and drop_stale are mutually exclusive");
+  SEAFL_CHECK(work_per_sample_ > 0.0, "work_per_sample must be positive");
+  if (config_.mode == FlMode::kSemiAsync) {
+    SEAFL_CHECK(config_.buffer_size <= config_.concurrency,
+                "buffer size " << config_.buffer_size
+                               << " exceeds concurrency "
+                               << config_.concurrency);
+  }
+  // Layer-wise initialization (He/Xavier) through a scratch instance, so the
+  // initial global model is identical for every strategy sharing a seed.
+  auto scratch = factory();
+  Rng init_rng(config_.seed, RngPurpose::kInit);
+  scratch->init(init_rng);
+  initial_weights_.resize(scratch->num_parameters());
+  scratch->copy_parameters_to(initial_weights_);
+}
+
+RunResult Simulation::run() {
+  global_ = initial_weights_;
+  result_.participation.assign(task_->num_clients(), 0);
+
+  // Select the starting cohort.
+  sync_cohort_ = config_.concurrency;
+  for (const std::size_t client : select_cohort(config_.concurrency))
+    start_training(client);
+
+  // Baseline evaluation at t = 0.
+  evaluate_and_record();
+
+  while (!done_ && queue_.run_one()) {
+  }
+
+  result_.rounds = round_;
+  result_.final_time = queue_.now();
+  result_.final_weights = global_;
+  if (result_.total_updates > 0)
+    result_.mean_staleness =
+        staleness_sum_ / static_cast<double>(result_.total_updates);
+  return result_;
+}
+
+std::vector<std::size_t> Simulation::select_cohort(std::size_t count) const {
+  const std::size_t n = task_->num_clients();
+  SEAFL_CHECK(count <= n, "cohort " << count << " exceeds client count " << n);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  Rng rng(config_.seed, RngPurpose::kSelection, /*a=*/round_);
+
+  switch (config_.selection) {
+    case SelectionPolicy::kRandom:
+      rng.shuffle(order);
+      break;
+    case SelectionPolicy::kFastestFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return fleet_->slowdown(a) < fleet_->slowdown(b);
+                       });
+      break;
+    case SelectionPolicy::kDataWeighted: {
+      // Efraimidis–Spirakis weighted sampling without replacement: order by
+      // key u_i^(1/w_i) descending; the first `count` entries form the
+      // weighted sample.
+      std::vector<double> keys(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto w =
+            static_cast<double>(task_->partition[i].size());
+        double u = rng.uniform();
+        while (u <= 0.0) u = rng.uniform();
+        keys[i] = std::pow(u, 1.0 / std::max(w, 1.0));
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return keys[a] > keys[b];
+                       });
+      break;
+    }
+  }
+  order.resize(count);
+  return order;
+}
+
+void Simulation::start_training(std::size_t client) {
+  SEAFL_CHECK(in_flight_.find(client) == in_flight_.end(),
+              "client " << client << " already training");
+  InFlight state;
+  state.base_round = round_;
+  state.base_weights = global_;
+  state.planned_epochs = config_.local_epochs;
+  if (config_.adaptive_epochs) {
+    // FedSA-style load shedding: slow devices run proportionally fewer
+    // epochs (at least one), so their uploads stay reasonably fresh.
+    const double scaled = static_cast<double>(config_.local_epochs) /
+                          fleet_->slowdown(client);
+    state.planned_epochs = std::max<std::size_t>(
+        1, static_cast<std::size_t>(scaled + 0.5));
+  }
+
+  // Sub-model training: slow devices freeze the lower part of the network.
+  // Compute shrinks because the backward pass (about 2/3 of a training
+  // step) stops at the trainable suffix.
+  double work = work_per_sample_;
+  if (config_.submodel_training &&
+      fleet_->slowdown(client) > config_.submodel_slowdown_threshold) {
+    const std::size_t layers = trainer_.num_layers();
+    state.frozen_layers = std::min(
+        layers - 1,
+        static_cast<std::size_t>(config_.submodel_frozen_fraction *
+                                 static_cast<double>(layers)));
+    const double trainable_fraction =
+        1.0 - static_cast<double>(state.frozen_layers) /
+                  static_cast<double>(layers);
+    work *= (1.0 + 2.0 * trainable_fraction) / 3.0;
+  }
+
+  const std::size_t n = trainer_.client_samples(client);
+  double when = queue_.now() +
+                fleet_->latency_seconds(client, round_, /*leg=*/0);
+  state.epoch_ends.reserve(state.planned_epochs);
+  for (std::size_t e = 0; e < state.planned_epochs; ++e) {
+    when += fleet_->epoch_compute_seconds(client, n, work);
+    when += fleet_->idle_seconds(client, state.base_round, e);
+    state.epoch_ends.push_back(when);
+  }
+  const double arrival =
+      when + fleet_->latency_seconds(client, round_, /*leg=*/1);
+  const std::size_t epochs = state.planned_epochs;
+  // Availability model: the upload may be lost in transit; the server
+  // notices at the expected arrival time and reassigns the slot.
+  if (config_.upload_loss_prob > 0.0) {
+    // Keyed by a per-simulation draw counter, not (client, round): a retry
+    // of the same client in the same round must get a fresh draw, or a
+    // sync-mode retry loop would re-lose the upload forever.
+    Rng drop_rng(config_.seed, RngPurpose::kDropout, client, round_,
+                 dropout_draws_++);
+    state.lost = drop_rng.bernoulli(config_.upload_loss_prob);
+  }
+  state.upload_event =
+      state.lost
+          ? queue_.schedule_at(arrival,
+                               [this, client] { on_upload_lost(client); })
+          : queue_.schedule_at(arrival, [this, client, epochs] {
+              on_arrival(client, epochs);
+            });
+  in_flight_.emplace(client, std::move(state));
+  ++result_.model_downloads;
+}
+
+void Simulation::on_arrival(std::size_t client, std::size_t epochs) {
+  if (done_) return;
+  const auto it = in_flight_.find(client);
+  SEAFL_CHECK(it != in_flight_.end(), "arrival from unknown client");
+  InFlight state = std::move(it->second);
+  in_flight_.erase(it);
+
+  // Lazy training: compute the update now that its arrival time is due.
+  ClientTrainResult trained =
+      trainer_.train(client, state.base_weights, epochs, state.base_round,
+                     state.frozen_layers);
+
+  LocalUpdate update;
+  update.client = client;
+  update.base_round = state.base_round;
+  update.weights = std::move(trained.weights);
+  if (config_.quantize_bits > 0)
+    quantize_model(update.weights, config_.quantize_bits);
+  update.num_samples = trainer_.client_samples(client);
+  update.epochs_completed = epochs;
+  update.arrival_time = queue_.now();
+  update.train_loss = trained.mean_loss;
+  if (epochs < config_.local_epochs) ++result_.partial_updates;
+  ++result_.model_uploads;
+  buffer_.push_back(std::move(update));
+
+  maybe_aggregate();
+}
+
+void Simulation::on_upload_lost(std::size_t client) {
+  if (done_) return;
+  const auto it = in_flight_.find(client);
+  SEAFL_CHECK(it != in_flight_.end(), "lost upload from unknown client");
+  in_flight_.erase(it);
+  ++result_.lost_uploads;
+  if (config_.mode == FlMode::kSync) {
+    // A synchronous round cannot complete without the cohort; retry the
+    // same client (models a re-transmission).
+    start_training(client);
+    return;
+  }
+  // Semi-async: hand the slot to a client that is neither training nor
+  // waiting in the buffer (buffered clients restart after aggregation);
+  // fall back to the just-failed client when everyone else is busy.
+  auto busy = [&](std::size_t candidate) {
+    if (in_flight_.find(candidate) != in_flight_.end()) return true;
+    for (const auto& u : buffer_)
+      if (u.client == candidate) return true;
+    return false;
+  };
+  Rng rng(config_.seed, RngPurpose::kDropout, /*a=*/777, round_, client);
+  std::size_t replacement = client;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::size_t candidate = rng.uniform_int(task_->num_clients());
+    if (!busy(candidate)) {
+      replacement = candidate;
+      break;
+    }
+  }
+  start_training(replacement);
+}
+
+void Simulation::on_notification(std::size_t client) {
+  if (done_) return;
+  const auto it = in_flight_.find(client);
+  if (it == in_flight_.end()) return;  // already uploaded
+  InFlight& state = it->second;
+  if (state.lost) return;  // offline device: the notification goes unheard
+
+  // The client stops after the epoch in progress at notification time.
+  const double now = queue_.now();
+  std::size_t stop_epoch = state.planned_epochs;
+  for (std::size_t e = 0; e < state.epoch_ends.size(); ++e) {
+    if (state.epoch_ends[e] > now) {
+      stop_epoch = e + 1;  // finish the ongoing epoch
+      break;
+    }
+  }
+  if (stop_epoch >= state.planned_epochs) return;  // compute already done
+
+  queue_.cancel(state.upload_event);
+  state.planned_epochs = stop_epoch;
+  const double arrival =
+      state.epoch_ends[stop_epoch - 1] +
+      fleet_->latency_seconds(client, state.base_round, /*leg=*/1);
+  // The notification may arrive mid-epoch while the scheduled end is still
+  // in the future; arrival must not precede the present.
+  const double when = std::max(arrival, now);
+  state.upload_event = queue_.schedule_at(
+      when, [this, client, stop_epoch] { on_arrival(client, stop_epoch); });
+}
+
+void Simulation::check_stale_clients() {
+  if (config_.staleness_limit == kNoStalenessLimit) return;
+  if (!config_.partial_training) return;
+  for (auto& [client, state] : in_flight_) {
+    if (state.notified) continue;
+    if (staleness_of(state.base_round) >= config_.staleness_limit) {
+      state.notified = true;
+      ++result_.notifications;
+      const double latency =
+          fleet_->latency_seconds(client, round_, /*leg=*/2);
+      const std::size_t c = client;
+      queue_.schedule_after(latency, [this, c] { on_notification(c); });
+    }
+  }
+}
+
+void Simulation::maybe_aggregate() {
+  if (done_) return;
+
+  if (config_.mode == FlMode::kSync) {
+    if (buffer_.size() >= sync_cohort_) do_aggregate();
+    return;
+  }
+
+  if (config_.drop_stale && config_.staleness_limit != kNoStalenessLimit) {
+    const auto before = buffer_.size();
+    std::erase_if(buffer_, [&](const LocalUpdate& u) {
+      return staleness_of(u.base_round) > config_.staleness_limit;
+    });
+    result_.dropped_updates += before - buffer_.size();
+  }
+
+  if (buffer_.size() < config_.buffer_size) return;
+
+  if (config_.wait_for_stale &&
+      config_.staleness_limit != kNoStalenessLimit) {
+    bool stale_in_flight = false;
+    for (const auto& [client, state] : in_flight_) {
+      if (staleness_of(state.base_round) >= config_.staleness_limit) {
+        stale_in_flight = true;
+        break;
+      }
+    }
+    if (stale_in_flight) {
+      ++result_.stale_waits;
+      check_stale_clients();  // SEAFL^2: tell them to report early
+      return;                 // SEAFL: hold aggregation until they arrive
+    }
+  }
+
+  do_aggregate();
+}
+
+void Simulation::do_aggregate() {
+  SEAFL_CHECK(!buffer_.empty(), "aggregate with empty buffer");
+
+  AggregationContext ctx;
+  ctx.round = round_;
+  ctx.global = &global_;
+  ctx.total_samples = 0;
+  RoundStat stat;
+  stat.updates = buffer_.size();
+  stat.time = queue_.now();
+  for (const auto& u : buffer_) {
+    ctx.total_samples += u.num_samples;
+    const auto s = static_cast<double>(staleness_of(u.base_round));
+    staleness_sum_ += s;
+    stat.mean_staleness += s;
+    if (u.epochs_completed < config_.local_epochs) ++stat.partial;
+    ++result_.participation[u.client];
+  }
+  stat.mean_staleness /= static_cast<double>(buffer_.size());
+  result_.total_updates += buffer_.size();
+
+  strategy_->aggregate(ctx, buffer_, global_);
+  ++result_.aggregations;
+  result_.server_aggregation_work +=
+      static_cast<double>(buffer_.size()) *
+      static_cast<double>(global_.size());
+
+  // Remember the reporters before clearing: they receive the new model.
+  std::vector<std::size_t> reporters;
+  reporters.reserve(buffer_.size());
+  for (const auto& u : buffer_) reporters.push_back(u.client);
+  buffer_.clear();
+
+  ++round_;
+  stat.round = round_;
+  result_.round_log.push_back(stat);
+  evaluate_and_record();
+  if (done_) return;
+
+  if (round_ >= config_.max_rounds ||
+      queue_.now() >= config_.max_virtual_seconds) {
+    done_ = true;
+    return;
+  }
+
+  if (config_.mode == FlMode::kSync) {
+    // Fresh cohort every synchronous round.
+    for (const std::size_t client : select_cohort(sync_cohort_))
+      start_training(client);
+  } else {
+    // Reporters resume training on the fresh model (Algorithm 1: the server
+    // sends w_{t+1} to the K newly updated clients). Duplicate-client guard:
+    // a client cannot report twice in one buffer because it only restarts
+    // after reporting.
+    for (const auto client : reporters) start_training(client);
+    // Staleness of the remaining in-flight clients just grew; in SEAFL^2
+    // this is where over-limit devices get notified.
+    check_stale_clients();
+  }
+}
+
+void Simulation::evaluate_and_record() {
+  if (round_ % config_.eval_every != 0 && !done_) {
+    // Skip: sampling cadence. (Round 0 and stop-time evals always run.)
+    return;
+  }
+  const EvalResult eval = evaluator_.evaluate(global_);
+  AccuracyPoint point;
+  point.time = queue_.now();
+  point.round = round_;
+  point.accuracy = eval.accuracy;
+  point.loss = eval.loss;
+  result_.curve.push_back(point);
+  result_.final_accuracy = eval.accuracy;
+
+  if (result_.time_to_target < 0.0 &&
+      eval.accuracy >= config_.target_accuracy) {
+    result_.time_to_target = queue_.now();
+    if (config_.stop_at_target) done_ = true;
+  }
+}
+
+}  // namespace seafl

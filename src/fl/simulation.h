@@ -1,0 +1,113 @@
+// The federated-learning simulation loop: server, clients, buffer, staleness
+// protocol and virtual-time scheduling, per Algorithms 1 and 2 of the paper.
+//
+// Timeline semantics (semi-async mode):
+//  1. At t = 0 the server selects `concurrency` clients and broadcasts w_0.
+//  2. Each client trains E local epochs; the duration comes from the Fleet
+//     (compute + per-epoch Zipf idle + network latency).
+//  3. Uploads are buffered. When the buffer holds >= K updates the server
+//     aggregates — unless an in-flight client has reached the staleness
+//     limit beta:
+//       * wait_for_stale (SEAFL):   delay aggregation until it reports, so
+//         staleness never exceeds beta (§IV.B);
+//       * partial_training (SEAFL^2): additionally notify it to upload right
+//         after its current epoch, shortening the wait (§IV.C, Fig. 3);
+//       * drop_stale (SAFA-style):  discard over-limit updates instead.
+//  4. After aggregating, the round advances, the new model goes to the
+//     reporters (they immediately start the next local round), and the
+//     global model is evaluated against the virtual clock.
+//  In sync mode (FedAvg) the server instead waits for the whole cohort and
+//  re-samples a fresh cohort each round.
+//
+// Client updates are computed lazily at upload time. They are pure functions
+// of (assigned weights, client id, round), so the simulation is deterministic
+// and partial re-training (fewer epochs of the same session) reproduces the
+// exact epoch prefix.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "fl/client.h"
+#include "fl/compression.h"
+#include "fl/evaluator.h"
+#include "fl/strategy.h"
+#include "sim/event_queue.h"
+#include "sim/fleet.h"
+
+namespace seafl {
+
+/// Runs one federated training session under virtual time.
+class Simulation {
+ public:
+  /// @param task dataset + partition (must outlive the simulation)
+  /// @param factory model architecture
+  /// @param fleet device timing model; fleet.size() must cover the task's
+  ///        clients
+  /// @param strategy server aggregation rule (owned)
+  /// @param config orchestration parameters
+  /// @param work_per_sample relative compute cost of one training sample
+  ///        (see estimate_flops_per_sample; scaled by the caller)
+  Simulation(const FlTask& task, const ModelFactory& factory,
+             const Fleet& fleet, StrategyPtr strategy, RunConfig config,
+             double work_per_sample = 1.0);
+
+  /// Executes the session to a stop condition and returns its metrics.
+  RunResult run();
+
+  /// The strategy's display name (for tables).
+  std::string strategy_name() const { return strategy_->name(); }
+
+ private:
+  struct InFlight {
+    std::uint64_t base_round = 0;       ///< t_k
+    ModelVector base_weights;           ///< global snapshot at assignment
+    std::vector<double> epoch_ends;     ///< virtual completion time per epoch
+    std::uint64_t upload_event = 0;     ///< cancellable arrival event id
+    std::size_t planned_epochs = 0;     ///< epochs currently scheduled
+    std::size_t frozen_layers = 0;      ///< sub-model training prefix
+    bool notified = false;              ///< SEAFL^2 notification sent
+    bool lost = false;                  ///< upload will be lost in transit
+  };
+
+  // --- event handlers -------------------------------------------------------
+  /// Picks `count` distinct clients per RunConfig::selection. Deterministic
+  /// in (seed, round).
+  std::vector<std::size_t> select_cohort(std::size_t count) const;
+  void start_training(std::size_t client);
+  void on_arrival(std::size_t client, std::size_t epochs);
+  void on_upload_lost(std::size_t client);
+  void on_notification(std::size_t client);
+  void maybe_aggregate();
+  void do_aggregate();
+  void evaluate_and_record();
+  void check_stale_clients();
+  std::uint64_t staleness_of(std::uint64_t base_round) const {
+    return round_ - base_round;
+  }
+
+  // --- wiring ---------------------------------------------------------------
+  const FlTask* task_;
+  const Fleet* fleet_;
+  StrategyPtr strategy_;
+  RunConfig config_;
+  double work_per_sample_;
+
+  ClientTrainer trainer_;
+  Evaluator evaluator_;
+  EventQueue queue_;
+
+  // --- run state ------------------------------------------------------------
+  ModelVector initial_weights_;
+  ModelVector global_;
+  std::uint64_t round_ = 0;
+  std::vector<LocalUpdate> buffer_;
+  std::unordered_map<std::size_t, InFlight> in_flight_;
+  std::size_t sync_cohort_ = 0;  ///< cohort size awaited in sync mode
+  bool done_ = false;
+  RunResult result_;
+  double staleness_sum_ = 0.0;
+  std::uint64_t dropout_draws_ = 0;  ///< see start_training's loss draw
+};
+
+}  // namespace seafl

@@ -1,0 +1,106 @@
+#include "fl/strategies.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace seafl {
+
+void normalize_weights(std::span<double> weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    SEAFL_CHECK(w >= 0.0, "aggregation weights must be non-negative");
+    total += w;
+  }
+  if (total <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(weights.size());
+    for (auto& w : weights) w = uniform;
+    return;
+  }
+  for (auto& w : weights) w /= total;
+}
+
+void mix_into_global(const ModelVector& aggregate, double vartheta,
+                     ModelVector& global) {
+  SEAFL_CHECK(vartheta > 0.0 && vartheta <= 1.0,
+              "vartheta must be in (0, 1], got " << vartheta);
+  SEAFL_CHECK(aggregate.size() == global.size(),
+              "aggregate/global size mismatch");
+  axpby(global, static_cast<float>(vartheta), aggregate,
+        static_cast<float>(1.0 - vartheta));
+}
+
+namespace {
+/// global_out = sum_i weights[i] * buffer[i].weights, with `weights`
+/// pre-normalized. Shared by every weighted-average strategy.
+void weighted_average(std::span<const LocalUpdate> buffer,
+                      std::span<const double> weights, ModelVector& out) {
+  SEAFL_CHECK(buffer.size() == weights.size(), "weight/update count mismatch");
+  SEAFL_CHECK(!buffer.empty(), "aggregate of empty buffer");
+  const std::size_t dim = buffer.front().weights.size();
+  out.assign(dim, 0.0f);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    SEAFL_CHECK(buffer[i].weights.size() == dim,
+                "update " << i << " has mismatched dimension");
+    axpy(out, static_cast<float>(weights[i]), buffer[i].weights);
+  }
+}
+}  // namespace
+
+// ------------------------------------------------------------------ FedAvg
+
+void FedAvgStrategy::aggregate(const AggregationContext& ctx,
+                               std::span<const LocalUpdate> buffer,
+                               ModelVector& global_out) {
+  SEAFL_CHECK(ctx.total_samples > 0, "FedAvg: zero total samples");
+  std::vector<double> weights(buffer.size());
+  for (std::size_t i = 0; i < buffer.size(); ++i)
+    weights[i] = static_cast<double>(buffer[i].num_samples);
+  normalize_weights(weights);
+  weighted_average(buffer, weights, global_out);
+}
+
+// ----------------------------------------------------------------- FedBuff
+
+FedBuffStrategy::FedBuffStrategy(FedBuffConfig config) : config_(config) {
+  SEAFL_CHECK(config.vartheta > 0.0 && config.vartheta <= 1.0,
+              "FedBuff vartheta must be in (0, 1]");
+}
+
+void FedBuffStrategy::aggregate(const AggregationContext& /*ctx*/,
+                                std::span<const LocalUpdate> buffer,
+                                ModelVector& global_out) {
+  std::vector<double> weights(buffer.size(),
+                              1.0 / static_cast<double>(buffer.size()));
+  ModelVector aggregate;
+  weighted_average(buffer, weights, aggregate);
+  mix_into_global(aggregate, config_.vartheta, global_out);
+}
+
+// ---------------------------------------------------------------- FedAsync
+
+FedAsyncStrategy::FedAsyncStrategy(FedAsyncConfig config) : config_(config) {
+  SEAFL_CHECK(config.alpha > 0.0 && config.alpha <= 1.0,
+              "FedAsync alpha must be in (0, 1]");
+  SEAFL_CHECK(config.poly_a >= 0.0, "FedAsync poly_a must be >= 0");
+}
+
+void FedAsyncStrategy::aggregate(const AggregationContext& ctx,
+                                 std::span<const LocalUpdate> buffer,
+                                 ModelVector& global_out) {
+  // FedAsync consumes updates one at a time; applying them in arrival order
+  // also handles the (non-standard) case of being run with K > 1.
+  for (const auto& update : buffer) {
+    SEAFL_CHECK(update.base_round <= ctx.round, "update from the future");
+    const double staleness =
+        static_cast<double>(ctx.round - update.base_round);
+    double alpha_t =
+        config_.alpha * std::pow(1.0 + staleness, -config_.poly_a);
+    alpha_t = std::max(alpha_t, config_.min_alpha);
+    axpby(global_out, static_cast<float>(alpha_t), update.weights,
+          static_cast<float>(1.0 - alpha_t));
+  }
+}
+
+}  // namespace seafl

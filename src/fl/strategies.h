@@ -1,0 +1,66 @@
+// Baseline aggregation strategies from the paper's evaluation (§VI.A):
+//   FedAvg   — synchronous sample-count-weighted averaging (McMahan et al.)
+//   FedBuff  — buffered semi-asynchronous averaging with uniform weights and
+//              server mixing (Nguyen et al., AISTATS'22)
+//   FedAsync — fully asynchronous polynomial-staleness mixing (Xie et al.)
+#pragma once
+
+#include "fl/strategy.h"
+
+namespace seafl {
+
+/// FedAvg: w_{t+1} = sum_k (n_k / n) w_k over the round's cohort.
+/// Run with FlMode::kSync to reproduce the paper's synchronous baseline.
+class FedAvgStrategy : public AggregationStrategy {
+ public:
+  void aggregate(const AggregationContext& ctx,
+                 std::span<const LocalUpdate> buffer,
+                 ModelVector& global_out) override;
+  std::string name() const override { return "FedAvg"; }
+};
+
+/// FedBuff configuration.
+struct FedBuffConfig {
+  double vartheta = 0.8;  ///< server mixing rate (paper's ϑ)
+};
+
+/// FedBuff: uniform mean of the K buffered models, mixed into the global
+/// model. The paper characterizes FedBuff as SEAFL with p = 1/K and no
+/// staleness limit; this implementation matches that degenerate form, which
+/// the FedBuff-degeneration property test relies on.
+class FedBuffStrategy : public AggregationStrategy {
+ public:
+  explicit FedBuffStrategy(FedBuffConfig config = {});
+  void aggregate(const AggregationContext& ctx,
+                 std::span<const LocalUpdate> buffer,
+                 ModelVector& global_out) override;
+  std::string name() const override { return "FedBuff"; }
+
+ private:
+  FedBuffConfig config_;
+};
+
+/// FedAsync configuration.
+struct FedAsyncConfig {
+  double alpha = 0.6;       ///< base mixing weight for the arriving model
+  double poly_a = 0.5;      ///< staleness exponent: s(tau) = (1+tau)^-a
+  double min_alpha = 0.0;   ///< floor on the effective mixing weight
+};
+
+/// FedAsync: on each single-update "round",
+///   alpha_t = alpha * (1 + staleness)^-poly_a
+///   w_{t+1} = (1 - alpha_t) w_t + alpha_t w_k.
+/// Use with buffer_size = 1 for the fully asynchronous mode.
+class FedAsyncStrategy : public AggregationStrategy {
+ public:
+  explicit FedAsyncStrategy(FedAsyncConfig config = {});
+  void aggregate(const AggregationContext& ctx,
+                 std::span<const LocalUpdate> buffer,
+                 ModelVector& global_out) override;
+  std::string name() const override { return "FedAsync"; }
+
+ private:
+  FedAsyncConfig config_;
+};
+
+}  // namespace seafl

@@ -1,0 +1,48 @@
+// Server-side aggregation strategy interface. The simulation loop owns
+// buffering, staleness accounting and scheduling; a strategy only decides how
+// buffered updates combine into the next global model. SEAFL's adaptive
+// weighting (src/core) and all baselines implement this interface.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "fl/types.h"
+
+namespace seafl {
+
+/// Read-only view the server exposes to a strategy at aggregation time.
+struct AggregationContext {
+  std::uint64_t round = 0;           ///< current server round t
+  const ModelVector* global = nullptr;  ///< w_t^g (never null)
+  std::size_t total_samples = 0;     ///< sum of |D_k| over buffered updates
+};
+
+/// Combines a buffer of local updates into the next global model.
+class AggregationStrategy {
+ public:
+  virtual ~AggregationStrategy() = default;
+
+  /// Computes w_{t+1}^g from the buffer. `buffer` is ordered by arrival and
+  /// non-empty; `global_out` holds w_t^g on entry and the new model on exit.
+  virtual void aggregate(const AggregationContext& ctx,
+                         std::span<const LocalUpdate> buffer,
+                         ModelVector& global_out) = 0;
+
+  /// Display name used in bench tables ("SEAFL", "FedBuff", ...).
+  virtual std::string name() const = 0;
+};
+
+using StrategyPtr = std::unique_ptr<AggregationStrategy>;
+
+/// Normalizes `weights` to sum to 1. Falls back to uniform when the total is
+/// not positive (e.g. all-zero importance scores).
+void normalize_weights(std::span<double> weights);
+
+/// global = (1 - vartheta) * global + vartheta * aggregate — Eq. 8's server
+/// mixing, shared by several strategies.
+void mix_into_global(const ModelVector& aggregate, double vartheta,
+                     ModelVector& global);
+
+}  // namespace seafl

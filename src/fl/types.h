@@ -1,0 +1,159 @@
+// Shared value types of the federated-learning substrate.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "nn/sgd.h"
+
+namespace seafl {
+
+/// Flat model weights as exchanged between server and clients.
+using ModelVector = std::vector<float>;
+
+/// Sentinel for "no staleness limit" (FedBuff's ∞ in the paper).
+inline constexpr std::uint64_t kNoStalenessLimit =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// One client's uploaded result.
+struct LocalUpdate {
+  std::size_t client = 0;
+  std::uint64_t base_round = 0;   ///< t_k: round the client's weights are based on
+  ModelVector weights;            ///< w^k after local training
+  std::size_t num_samples = 0;    ///< |D_k|
+  std::size_t epochs_completed = 0;  ///< < E when partial training fired
+  double arrival_time = 0.0;      ///< virtual upload-complete time
+  double train_loss = 0.0;        ///< mean loss over the last local epoch
+};
+
+/// One point of the accuracy-vs-virtual-time curve.
+struct AccuracyPoint {
+  double time = 0.0;      ///< virtual seconds since training start
+  std::uint64_t round = 0;
+  double accuracy = 0.0;  ///< test-set top-1
+  double loss = 0.0;      ///< test-set mean cross-entropy
+};
+
+/// Execution mode of the simulation loop.
+enum class FlMode {
+  kSemiAsync,  ///< buffer K updates per round (FedBuff / SEAFL family)
+  kSync,       ///< wait for all selected clients (FedAvg)
+};
+
+/// How the server picks training cohorts (the initial semi-async cohort, or
+/// every round's cohort in sync mode). Speed-aware policies echo the
+/// scheduling line of work the paper surveys (Oort, PyramidFL): preferring
+/// fast devices shortens rounds but starves slow devices' data.
+enum class SelectionPolicy {
+  kRandom,        ///< uniform without replacement (the paper's setting)
+  kFastestFirst,  ///< lowest fleet slowdown first (deterministic)
+  kDataWeighted,  ///< sample-count-proportional, without replacement
+};
+
+/// Orchestration parameters shared by all algorithms. Strategy-specific
+/// hyperparameters (alpha, mu, vartheta, ...) live in the strategy configs.
+struct RunConfig {
+  FlMode mode = FlMode::kSemiAsync;
+
+  std::size_t buffer_size = 10;      ///< K (ignored in sync mode)
+  std::size_t concurrency = 20;      ///< M: clients training at once
+  std::uint64_t staleness_limit = kNoStalenessLimit;  ///< beta
+
+  /// SEAFL semantics for clients at the staleness limit: the server
+  /// synchronously waits for them before aggregating (see §IV.B).
+  bool wait_for_stale = false;
+
+  /// SEAFL^2: notify over-limit clients to upload after their current epoch.
+  bool partial_training = false;
+
+  /// SAFA-style alternative (extension): drop updates older than the limit
+  /// instead of waiting. Mutually exclusive with wait_for_stale.
+  bool drop_stale = false;
+
+  std::size_t local_epochs = 5;      ///< E
+  std::size_t batch_size = 20;       ///< B
+  SgdConfig sgd;                     ///< local optimizer
+
+  /// FedProx-style proximal regularization: after every SGD step the local
+  /// model is pulled toward the received global model with strength
+  /// lr * proximal_mu * (w - w_global). 0 disables (plain local SGD).
+  double proximal_mu = 0.0;
+
+  /// FedSA-style load adaptation (extension): device k trains
+  /// max(1, E / slowdown_k) epochs instead of a fixed E, so slow devices
+  /// upload earlier at the cost of less local progress.
+  bool adaptive_epochs = false;
+
+  /// Sub-model training (the paper's stated future work): devices slower
+  /// than `submodel_slowdown_threshold` freeze the first
+  /// `submodel_frozen_fraction` of their layers and only fine-tune the
+  /// rest, which cuts their per-epoch compute (backward pass skipped for
+  /// the frozen prefix) at the cost of a shallower update.
+  bool submodel_training = false;
+  double submodel_frozen_fraction = 0.5;
+  double submodel_slowdown_threshold = 2.0;
+
+  /// Availability model: probability that a training session's upload is
+  /// lost (device went offline). The server notices at the expected arrival
+  /// time and reassigns the slot to another client. 0 disables.
+  double upload_loss_prob = 0.0;
+
+  /// Communication compression: uniform symmetric quantization of uploaded
+  /// weights to this many bits (2..16). 0 disables (full float32 uploads).
+  std::size_t quantize_bits = 0;
+
+  // Stopping conditions (whichever hits first).
+  std::uint64_t max_rounds = 300;
+  double max_virtual_seconds = 1e9;
+
+  double target_accuracy = 0.9;      ///< records time-to-target
+  bool stop_at_target = true;        ///< halt once the target is reached
+  std::uint64_t eval_every = 1;      ///< evaluate every this many rounds
+  std::size_t eval_subset = 0;       ///< 0 = full test set
+
+  SelectionPolicy selection = SelectionPolicy::kRandom;
+
+  std::uint64_t seed = 42;
+};
+
+/// Per-aggregation trace entry (observability into the server's schedule).
+struct RoundStat {
+  std::uint64_t round = 0;       ///< round index after the aggregation
+  double time = 0.0;             ///< virtual time of the aggregation
+  std::size_t updates = 0;       ///< buffer size consumed
+  double mean_staleness = 0.0;   ///< mean S_k within this buffer
+  std::size_t partial = 0;       ///< partially trained updates in the buffer
+};
+
+/// Aggregate outcome of one simulated FL run.
+struct RunResult {
+  std::vector<AccuracyPoint> curve;
+  std::vector<RoundStat> round_log;  ///< one entry per aggregation
+  ModelVector final_weights;         ///< the global model when the run ended
+  /// Per-client count of updates that entered an aggregation (fairness
+  /// analysis; index = client id).
+  std::vector<std::size_t> participation;
+  double time_to_target = -1.0;      ///< virtual seconds; -1 if never reached
+  double final_accuracy = 0.0;
+  double final_time = 0.0;           ///< virtual time when the run stopped
+  std::uint64_t rounds = 0;
+  std::size_t total_updates = 0;     ///< client uploads consumed
+  std::size_t partial_updates = 0;   ///< uploads with epochs < E (SEAFL^2)
+
+  // Overhead accounting (§II motivates buffering by FedAsync's per-update
+  // aggregation cost; these let benches quantify it).
+  std::size_t model_downloads = 0;   ///< global-model broadcasts to clients
+  std::size_t model_uploads = 0;     ///< client update transmissions
+  std::size_t notifications = 0;     ///< SEAFL^2 early-upload pings
+  std::size_t lost_uploads = 0;      ///< uploads dropped by the network
+  std::size_t aggregations = 0;      ///< server aggregation invocations
+  /// Scalar multiply-adds spent combining updates on the server
+  /// (sum over aggregations of buffer_size * model_dim).
+  double server_aggregation_work = 0.0;
+  std::size_t dropped_updates = 0;   ///< uploads discarded as too stale
+  std::size_t stale_waits = 0;       ///< aggregations delayed for stale clients
+  double mean_staleness = 0.0;       ///< mean S_k over aggregated updates
+};
+
+}  // namespace seafl

@@ -1,0 +1,82 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace seafl {
+
+void ReLU::forward(const Tensor& input, Tensor& output, bool train) {
+  output = input;
+  relu_inplace(output.span());
+  if (train) cached_input_ = input;
+}
+
+void ReLU::backward(const Tensor& output_grad, Tensor& input_grad) {
+  SEAFL_CHECK(output_grad.numel() == cached_input_.numel(),
+              "ReLU backward: gradient shape mismatch");
+  input_grad = output_grad;
+  relu_backward_inplace(input_grad.span(), cached_input_.span());
+}
+
+void Tanh::forward(const Tensor& input, Tensor& output, bool train) {
+  output = input;
+  for (auto& v : output.span()) v = std::tanh(v);
+  if (train) cached_output_ = output;
+}
+
+void Tanh::backward(const Tensor& output_grad, Tensor& input_grad) {
+  SEAFL_CHECK(output_grad.numel() == cached_output_.numel(),
+              "Tanh backward: gradient shape mismatch");
+  input_grad = output_grad;
+  const auto y = cached_output_.span();
+  auto g = input_grad.span();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0f - y[i] * y[i];
+}
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {
+  SEAFL_CHECK(p >= 0.0f && p < 1.0f, "dropout probability must be in [0, 1)");
+}
+
+void Dropout::forward(const Tensor& input, Tensor& output, bool train) {
+  output = input;
+  if (!train || p_ == 0.0f) {
+    mask_.clear();
+    return;
+  }
+  const float scale = 1.0f / (1.0f - p_);
+  mask_.resize(input.numel());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const bool keep = !rng_.bernoulli(p_);
+    mask_[i] = keep;
+    output[i] = keep ? output[i] * scale : 0.0f;
+  }
+}
+
+void Dropout::backward(const Tensor& output_grad, Tensor& input_grad) {
+  SEAFL_CHECK(mask_.size() == output_grad.numel(),
+              "Dropout backward without train-mode forward");
+  input_grad = output_grad;
+  const float scale = 1.0f / (1.0f - p_);
+  for (std::size_t i = 0; i < input_grad.numel(); ++i)
+    input_grad[i] = mask_[i] ? input_grad[i] * scale : 0.0f;
+}
+
+std::string Dropout::name() const {
+  return "Dropout(p=" + std::to_string(p_) + ")";
+}
+
+void Flatten::forward(const Tensor& input, Tensor& output, bool train) {
+  SEAFL_CHECK(input.rank() >= 1, "Flatten needs rank >= 1 input");
+  if (train) cached_input_shape_ = input.shape();
+  const std::size_t batch = input.rank() >= 2 ? input.dim(0) : 1;
+  output = input;
+  output.reshape({batch, input.numel() / batch});
+}
+
+void Flatten::backward(const Tensor& output_grad, Tensor& input_grad) {
+  input_grad = output_grad;
+  input_grad.reshape(cached_input_shape_);
+}
+
+}  // namespace seafl

@@ -1,0 +1,65 @@
+// Stateless layers: ReLU, Tanh, Flatten.
+#pragma once
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace seafl {
+
+/// Elementwise rectified linear unit.
+class ReLU : public Layer {
+ public:
+  void forward(const Tensor& input, Tensor& output, bool train) override;
+  void backward(const Tensor& output_grad, Tensor& input_grad) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Elementwise hyperbolic tangent (used by the LeNet-style models).
+class Tanh : public Layer {
+ public:
+  void forward(const Tensor& input, Tensor& output, bool train) override;
+  void backward(const Tensor& output_grad, Tensor& input_grad) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Inverted dropout: during training, zeroes each activation with
+/// probability p and scales survivors by 1/(1-p); identity at inference.
+/// The mask stream is deterministic per (seed, invocation index) so FL runs
+/// stay reproducible.
+class Dropout : public Layer {
+ public:
+  /// @param p drop probability in [0, 1); @param seed mask stream seed.
+  explicit Dropout(float p, std::uint64_t seed = 0x5eed);
+
+  void forward(const Tensor& input, Tensor& output, bool train) override;
+  void backward(const Tensor& output_grad, Tensor& input_grad) override;
+  std::string name() const override;
+
+  float probability() const { return p_; }
+
+ private:
+  float p_;
+  Rng rng_;
+  std::vector<bool> mask_;
+};
+
+/// Reshapes [B, C, H, W] (or any rank >= 2) to [B, rest]. Data is copied so
+/// downstream layers own independent buffers.
+class Flatten : public Layer {
+ public:
+  void forward(const Tensor& input, Tensor& output, bool train) override;
+  void backward(const Tensor& output_grad, Tensor& input_grad) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace seafl

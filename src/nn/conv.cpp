@@ -1,0 +1,229 @@
+#include "nn/conv.h"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/gemm.h"
+
+namespace seafl {
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(ConvGeom in, std::size_t out_channels)
+    : geom_(in),
+      out_channels_(out_channels),
+      weight_({out_channels, in.col_rows()}),
+      bias_({out_channels}),
+      weight_grad_({out_channels, in.col_rows()}),
+      bias_grad_({out_channels}),
+      cols_({in.col_rows(), in.col_cols()}) {
+  SEAFL_CHECK(out_channels > 0, "Conv2d needs at least one filter");
+  SEAFL_CHECK(in.kernel_h <= in.height + 2 * in.pad &&
+                  in.kernel_w <= in.width + 2 * in.pad,
+              "Conv2d kernel larger than padded input");
+}
+
+void Conv2d::init(Rng& rng) {
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(geom_.col_rows()));
+  weight_.fill_normal(rng, 0.0f, stddev);
+  bias_.fill(0.0f);
+}
+
+void Conv2d::forward(const Tensor& input, Tensor& output, bool train) {
+  const std::size_t sample = geom_.channels * geom_.height * geom_.width;
+  SEAFL_CHECK(input.numel() % sample == 0,
+              name() << ": input numel " << input.numel()
+                     << " not divisible by sample size " << sample);
+  const std::size_t batch = input.numel() / sample;
+  const std::size_t oh = geom_.out_h();
+  const std::size_t ow = geom_.out_w();
+  const std::size_t out_sample = out_channels_ * oh * ow;
+  if (output.shape() != Shape{batch, out_channels_, oh, ow})
+    output = Tensor({batch, out_channels_, oh, ow});
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    im2col(geom_, {input.data() + b * sample, sample}, cols_.span());
+    // out[b] = W [OC, CR] * cols [CR, CC]
+    gemm(Trans::kNo, Trans::kNo, out_channels_, geom_.col_cols(),
+         geom_.col_rows(), 1.0f, weight_.span(), cols_.span(), 0.0f,
+         {output.data() + b * out_sample, out_sample});
+    float* out = output.data() + b * out_sample;
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float bv = bias_[oc];
+      float* plane = out + oc * oh * ow;
+      for (std::size_t i = 0; i < oh * ow; ++i) plane[i] += bv;
+    }
+  }
+  if (train) cached_input_ = input;
+}
+
+void Conv2d::backward(const Tensor& output_grad, Tensor& input_grad) {
+  const std::size_t sample = geom_.channels * geom_.height * geom_.width;
+  const std::size_t batch = cached_input_.numel() / sample;
+  const std::size_t oh = geom_.out_h();
+  const std::size_t ow = geom_.out_w();
+  const std::size_t out_sample = out_channels_ * oh * ow;
+  SEAFL_CHECK(output_grad.numel() == batch * out_sample,
+              name() << " backward: gradient shape mismatch");
+  if (input_grad.shape() != cached_input_.shape())
+    input_grad = Tensor(cached_input_.shape());
+  input_grad.fill(0.0f);
+  Tensor dcols({geom_.col_rows(), geom_.col_cols()});
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::span<const float> dy{output_grad.data() + b * out_sample,
+                                    out_sample};
+    // Recompute cols for this sample (memory-lean: O(1) col buffers total).
+    im2col(geom_, {cached_input_.data() + b * sample, sample}, cols_.span());
+    // dW += dY [OC, CC] * cols^T [CC, CR]
+    gemm(Trans::kNo, Trans::kYes, out_channels_, geom_.col_rows(),
+         geom_.col_cols(), 1.0f, dy, cols_.span(), 1.0f, weight_grad_.span());
+    // db += per-channel sums of dY
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float* plane = dy.data() + oc * oh * ow;
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < oh * ow; ++i) acc += plane[i];
+      bias_grad_[oc] += acc;
+    }
+    // dcols = W^T [CR, OC] * dY [OC, CC]
+    gemm(Trans::kYes, Trans::kNo, geom_.col_rows(), geom_.col_cols(),
+         out_channels_, 1.0f, weight_.span(), dy, 0.0f, dcols.span());
+    col2im(geom_, dcols.span(), {input_grad.data() + b * sample, sample});
+  }
+}
+
+std::string Conv2d::name() const {
+  return "Conv2d(" + std::to_string(geom_.channels) + "->" +
+         std::to_string(out_channels_) + ", k=" +
+         std::to_string(geom_.kernel_h) + ")";
+}
+
+// ------------------------------------------------------------- MaxPool2d
+
+MaxPool2d::MaxPool2d(ConvGeom in) : geom_(in) {
+  SEAFL_CHECK(in.pad == 0, "MaxPool2d does not support padding");
+}
+
+void MaxPool2d::forward(const Tensor& input, Tensor& output, bool train) {
+  const std::size_t sample = geom_.channels * geom_.height * geom_.width;
+  SEAFL_CHECK(input.numel() % sample == 0,
+              name() << ": bad input size " << input.numel());
+  const std::size_t batch = input.numel() / sample;
+  const std::size_t oh = geom_.out_h();
+  const std::size_t ow = geom_.out_w();
+  const std::size_t out_sample = geom_.channels * oh * ow;
+  if (output.shape() != Shape{batch, geom_.channels, oh, ow})
+    output = Tensor({batch, geom_.channels, oh, ow});
+  if (train) {
+    cached_input_shape_ = input.shape();
+    argmax_.resize(batch * out_sample);
+  }
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* in = input.data() + b * sample;
+    float* out = output.data() + b * out_sample;
+    std::size_t oi = 0;
+    for (std::size_t c = 0; c < geom_.channels; ++c) {
+      const float* chan = in + c * geom_.height * geom_.width;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < geom_.kernel_h; ++ky) {
+            const std::size_t iy = oy * geom_.stride + ky;
+            if (iy >= geom_.height) break;
+            for (std::size_t kx = 0; kx < geom_.kernel_w; ++kx) {
+              const std::size_t ix = ox * geom_.stride + kx;
+              if (ix >= geom_.width) break;
+              const std::size_t idx = iy * geom_.width + ix;
+              if (chan[idx] > best) {
+                best = chan[idx];
+                best_idx = c * geom_.height * geom_.width + idx;
+              }
+            }
+          }
+          out[oi] = best;
+          if (train)
+            argmax_[b * out_sample + oi] = static_cast<std::uint32_t>(best_idx);
+        }
+      }
+    }
+  }
+}
+
+void MaxPool2d::backward(const Tensor& output_grad, Tensor& input_grad) {
+  SEAFL_CHECK(!cached_input_shape_.empty(),
+              "MaxPool2d backward without train-mode forward");
+  const std::size_t sample = geom_.channels * geom_.height * geom_.width;
+  const std::size_t out_sample =
+      geom_.channels * geom_.out_h() * geom_.out_w();
+  const std::size_t batch = argmax_.size() / out_sample;
+  SEAFL_CHECK(output_grad.numel() == batch * out_sample,
+              "MaxPool2d backward: gradient shape mismatch");
+  if (input_grad.shape() != cached_input_shape_)
+    input_grad = Tensor(cached_input_shape_);
+  input_grad.fill(0.0f);
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* din = input_grad.data() + b * sample;
+    const float* dout = output_grad.data() + b * out_sample;
+    for (std::size_t i = 0; i < out_sample; ++i)
+      din[argmax_[b * out_sample + i]] += dout[i];
+  }
+}
+
+std::string MaxPool2d::name() const {
+  return "MaxPool2d(k=" + std::to_string(geom_.kernel_h) + ", s=" +
+         std::to_string(geom_.stride) + ")";
+}
+
+// ---------------------------------------------------------- GlobalAvgPool
+
+GlobalAvgPool::GlobalAvgPool(std::size_t channels, std::size_t height,
+                             std::size_t width)
+    : channels_(channels), height_(height), width_(width) {}
+
+void GlobalAvgPool::forward(const Tensor& input, Tensor& output,
+                            bool /*train*/) {
+  const std::size_t sample = channels_ * height_ * width_;
+  SEAFL_CHECK(input.numel() % sample == 0,
+              "GlobalAvgPool: bad input size " << input.numel());
+  batch_ = input.numel() / sample;
+  if (output.shape() != Shape{batch_, channels_})
+    output = Tensor({batch_, channels_});
+  const float inv = 1.0f / static_cast<float>(height_ * width_);
+  for (std::size_t b = 0; b < batch_; ++b) {
+    const float* in = input.data() + b * sample;
+    float* out = output.data() + b * channels_;
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* plane = in + c * height_ * width_;
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < height_ * width_; ++i) acc += plane[i];
+      out[c] = acc * inv;
+    }
+  }
+}
+
+void GlobalAvgPool::backward(const Tensor& output_grad, Tensor& input_grad) {
+  const std::size_t sample = channels_ * height_ * width_;
+  SEAFL_CHECK(output_grad.numel() == batch_ * channels_,
+              "GlobalAvgPool backward: gradient shape mismatch");
+  if (input_grad.shape() != Shape{batch_, channels_, height_, width_})
+    input_grad = Tensor({batch_, channels_, height_, width_});
+  const float inv = 1.0f / static_cast<float>(height_ * width_);
+  for (std::size_t b = 0; b < batch_; ++b) {
+    float* din = input_grad.data() + b * sample;
+    const float* dout = output_grad.data() + b * channels_;
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float g = dout[c] * inv;
+      float* plane = din + c * height_ * width_;
+      for (std::size_t i = 0; i < height_ * width_; ++i) plane[i] = g;
+    }
+  }
+}
+
+std::string GlobalAvgPool::name() const {
+  return "GlobalAvgPool(" + std::to_string(channels_) + ")";
+}
+
+}  // namespace seafl

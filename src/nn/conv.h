@@ -1,0 +1,83 @@
+// Convolution and pooling layers (CHW layout, batch-major tensors
+// [B, C, H, W]). Conv2d is lowered to im2col + GEMM per sample.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+
+namespace seafl {
+
+/// 2-d convolution with square stride and symmetric zero padding.
+class Conv2d : public Layer {
+ public:
+  /// @param in geometry of the input feature map (channels/height/width and
+  ///        kernel/stride/pad); @param out_channels number of filters.
+  Conv2d(ConvGeom in, std::size_t out_channels);
+
+  void forward(const Tensor& input, Tensor& output, bool train) override;
+  void backward(const Tensor& output_grad, Tensor& input_grad) override;
+
+  std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> gradients() override {
+    return {&weight_grad_, &bias_grad_};
+  }
+  void init(Rng& rng) override;
+  std::string name() const override;
+
+  const ConvGeom& geom() const { return geom_; }
+  std::size_t out_channels() const { return out_channels_; }
+  /// Output elements per sample (OC * OH * OW).
+  std::size_t out_numel() const {
+    return out_channels_ * geom_.out_h() * geom_.out_w();
+  }
+
+ private:
+  ConvGeom geom_;
+  std::size_t out_channels_;
+  Tensor weight_;        // [OC, C*KH*KW]
+  Tensor bias_;          // [OC]
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor cached_input_;  // [B, C, H, W]
+  Tensor cols_;          // scratch [col_rows, col_cols], reused per sample
+};
+
+/// 2-d max pooling (records argmax indices for the backward pass).
+class MaxPool2d : public Layer {
+ public:
+  /// @param in input geometry; kernel_h/kernel_w/stride describe the window.
+  explicit MaxPool2d(ConvGeom in);
+
+  void forward(const Tensor& input, Tensor& output, bool train) override;
+  void backward(const Tensor& output_grad, Tensor& input_grad) override;
+  std::string name() const override;
+
+  const ConvGeom& geom() const { return geom_; }
+  std::size_t out_numel() const {
+    return geom_.channels * geom_.out_h() * geom_.out_w();
+  }
+
+ private:
+  ConvGeom geom_;
+  Shape cached_input_shape_;
+  std::vector<std::uint32_t> argmax_;  // flat input index per output element
+};
+
+/// Global average pooling over H×W: [B, C, H, W] -> [B, C].
+class GlobalAvgPool : public Layer {
+ public:
+  GlobalAvgPool(std::size_t channels, std::size_t height, std::size_t width);
+
+  void forward(const Tensor& input, Tensor& output, bool train) override;
+  void backward(const Tensor& output_grad, Tensor& input_grad) override;
+  std::string name() const override;
+
+ private:
+  std::size_t channels_, height_, width_;
+  std::size_t batch_ = 0;
+};
+
+}  // namespace seafl

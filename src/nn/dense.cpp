@@ -1,0 +1,66 @@
+#include "nn/dense.h"
+
+#include <cmath>
+
+#include "tensor/gemm.h"
+
+namespace seafl {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      weight_({out_features, in_features}),
+      bias_({out_features}),
+      weight_grad_({out_features, in_features}),
+      bias_grad_({out_features}) {
+  SEAFL_CHECK(in_features > 0 && out_features > 0,
+              "Dense dimensions must be positive");
+}
+
+void Dense::init(Rng& rng) {
+  // He initialization: suitable for the ReLU networks in the model zoo.
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_));
+  weight_.fill_normal(rng, 0.0f, stddev);
+  bias_.fill(0.0f);
+}
+
+void Dense::forward(const Tensor& input, Tensor& output, bool train) {
+  SEAFL_CHECK(input.numel() % in_ == 0,
+              "Dense(" << in_ << "->" << out_ << "): input numel "
+                       << input.numel() << " not divisible by " << in_);
+  const std::size_t batch = input.numel() / in_;
+  if (output.shape() != Shape{batch, out_}) output = Tensor({batch, out_});
+  // Y = X * W^T  (X is [B, in], W is [out, in] so W^T is [in, out])
+  gemm(Trans::kNo, Trans::kYes, batch, out_, in_, 1.0f, input.span(),
+       weight_.span(), 0.0f, output.span());
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* row = output.data() + b * out_;
+    for (std::size_t j = 0; j < out_; ++j) row[j] += bias_[j];
+  }
+  if (train) cached_input_ = input;
+}
+
+void Dense::backward(const Tensor& output_grad, Tensor& input_grad) {
+  const std::size_t batch = cached_input_.numel() / in_;
+  SEAFL_CHECK(output_grad.numel() == batch * out_,
+              "Dense backward: gradient shape mismatch");
+  // dW += dY^T * X   ([out, B] * [B, in])
+  gemm(Trans::kYes, Trans::kNo, out_, in_, batch, 1.0f, output_grad.span(),
+       cached_input_.span(), 1.0f, weight_grad_.span());
+  // db += column sums of dY
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = output_grad.data() + b * out_;
+    for (std::size_t j = 0; j < out_; ++j) bias_grad_[j] += row[j];
+  }
+  // dX = dY * W   ([B, out] * [out, in])
+  if (input_grad.shape() != cached_input_.shape())
+    input_grad = Tensor(cached_input_.shape());
+  gemm(Trans::kNo, Trans::kNo, batch, in_, out_, 1.0f, output_grad.span(),
+       weight_.span(), 0.0f, input_grad.span());
+}
+
+std::string Dense::name() const {
+  return "Dense(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
+}
+
+}  // namespace seafl

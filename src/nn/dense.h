@@ -1,0 +1,39 @@
+// Fully connected layer: Y = X * W^T + b, with X [B, in], W [out, in].
+#pragma once
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace seafl {
+
+/// Dense (affine) layer with He-style fan-in initialization by default.
+class Dense : public Layer {
+ public:
+  /// @param in_features input width, @param out_features output width.
+  Dense(std::size_t in_features, std::size_t out_features);
+
+  void forward(const Tensor& input, Tensor& output, bool train) override;
+  void backward(const Tensor& output_grad, Tensor& input_grad) override;
+
+  std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> gradients() override {
+    return {&weight_grad_, &bias_grad_};
+  }
+  void init(Rng& rng) override;
+  std::string name() const override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Tensor weight_;       // [out, in]
+  Tensor bias_;         // [out]
+  Tensor weight_grad_;  // [out, in]
+  Tensor bias_grad_;    // [out]
+  Tensor cached_input_; // [B, in] — saved during training forward
+};
+
+}  // namespace seafl

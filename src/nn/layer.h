@@ -1,0 +1,59 @@
+// Layer abstraction for the from-scratch neural network library.
+//
+// Every layer processes batched inputs (leading dimension = batch) and
+// supports reverse-mode differentiation via an explicit backward pass. Layers
+// cache whatever forward state their backward needs, so the training loop is
+// simply: forward through all layers, compute loss gradient, backward through
+// all layers, then apply an optimizer step to (params, grads).
+//
+// There is no autograd graph: the Sequential container calls layers in order.
+// That is all FL local training requires, and it keeps each layer's memory
+// behaviour explicit — an hpc-friendly property (no hidden allocations once
+// buffers are warm; forward/backward reuse cached tensors across batches of
+// equal size).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace seafl {
+
+/// Interface implemented by all network layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for a batch. `train` enables training-only
+  /// behaviour (currently: caching activations for backward).
+  /// Output tensor is resized by the layer as needed.
+  virtual void forward(const Tensor& input, Tensor& output, bool train) = 0;
+
+  /// Given d(loss)/d(output), accumulates parameter gradients (+=) and writes
+  /// d(loss)/d(input) into `input_grad`. Must be called after a forward with
+  /// train=true on the same batch.
+  virtual void backward(const Tensor& output_grad, Tensor& input_grad) = 0;
+
+  /// Trainable parameter tensors (empty for stateless layers).
+  virtual std::vector<Tensor*> parameters() { return {}; }
+
+  /// Gradient tensors, index-aligned with parameters().
+  virtual std::vector<Tensor*> gradients() { return {}; }
+
+  /// Initializes parameters from `rng` (no-op for stateless layers).
+  virtual void init(Rng& /*rng*/) {}
+
+  /// Short human-readable description, e.g. "Dense(64->32)".
+  virtual std::string name() const = 0;
+
+  /// Sets all gradient tensors to zero.
+  void zero_grad() {
+    for (Tensor* g : gradients()) g->fill(0.0f);
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace seafl

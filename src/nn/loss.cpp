@@ -1,0 +1,47 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace seafl {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    std::span<const std::int32_t> labels) {
+  SEAFL_CHECK(logits.rank() == 2, "loss expects [batch, classes] logits");
+  const std::size_t batch = logits.dim(0);
+  classes_ = logits.dim(1);
+  SEAFL_CHECK(labels.size() == batch,
+              "label count " << labels.size() << " != batch " << batch);
+  if (probs_.shape() != logits.shape()) probs_ = Tensor(logits.shape());
+  softmax_rows(logits.span(), probs_.span(), batch, classes_);
+  labels_.assign(labels.begin(), labels.end());
+
+  double loss = 0.0;
+  correct_ = 0;
+  constexpr double kEps = 1e-12;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::int32_t y = labels[b];
+    SEAFL_CHECK(y >= 0 && static_cast<std::size_t>(y) < classes_,
+                "label " << y << " out of range [0, " << classes_ << ")");
+    const float* row = probs_.data() + b * classes_;
+    loss -= std::log(static_cast<double>(row[y]) + kEps);
+    if (argmax({row, classes_}) == static_cast<std::size_t>(y)) ++correct_;
+  }
+  return loss / static_cast<double>(batch);
+}
+
+void SoftmaxCrossEntropy::backward(Tensor& logit_grad) const {
+  SEAFL_CHECK(!labels_.empty(), "loss backward before forward");
+  const std::size_t batch = labels_.size();
+  logit_grad = probs_;
+  const float inv = 1.0f / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* row = logit_grad.data() + b * classes_;
+    row[labels_[b]] -= 1.0f;
+    for (std::size_t c = 0; c < classes_; ++c) row[c] *= inv;
+  }
+}
+
+}  // namespace seafl

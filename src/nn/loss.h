@@ -1,0 +1,36 @@
+// Softmax cross-entropy loss over integer class labels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace seafl {
+
+/// Combined softmax + cross-entropy. Fusing the two yields the familiar
+/// stable gradient (probs - onehot) / batch.
+class SoftmaxCrossEntropy {
+ public:
+  /// Computes mean loss over the batch. `logits` is [B, classes]; `labels`
+  /// holds B class indices in [0, classes).
+  double forward(const Tensor& logits, std::span<const std::int32_t> labels);
+
+  /// Writes d(loss)/d(logits) of the last forward() into `logit_grad`.
+  void backward(Tensor& logit_grad) const;
+
+  /// Number of correct argmax predictions in the last forward batch.
+  std::size_t correct() const { return correct_; }
+
+  /// Softmax probabilities of the last forward ([B, classes]).
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<std::int32_t> labels_;
+  std::size_t classes_ = 0;
+  std::size_t correct_ = 0;
+};
+
+}  // namespace seafl

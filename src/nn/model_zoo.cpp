@@ -1,0 +1,196 @@
+#include "nn/model_zoo.h"
+
+#include "nn/activations.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/residual.h"
+
+namespace seafl {
+
+std::string model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kMlp: return "mlp";
+    case ModelKind::kLenetLite: return "lenet_lite";
+    case ModelKind::kResnetLite: return "resnet_lite";
+    case ModelKind::kVggLite: return "vgg_lite";
+  }
+  SEAFL_CHECK(false, "unreachable model kind");
+  return {};
+}
+
+ModelKind parse_model_kind(const std::string& name) {
+  if (name == "mlp") return ModelKind::kMlp;
+  if (name == "lenet_lite") return ModelKind::kLenetLite;
+  if (name == "resnet_lite") return ModelKind::kResnetLite;
+  if (name == "vgg_lite") return ModelKind::kVggLite;
+  SEAFL_CHECK(false, "unknown model kind '" << name << "'");
+  return ModelKind::kMlp;
+}
+
+namespace {
+ConvGeom geom(std::size_t c, std::size_t h, std::size_t w, std::size_t k,
+              std::size_t stride, std::size_t pad) {
+  ConvGeom g;
+  g.channels = c;
+  g.height = h;
+  g.width = w;
+  g.kernel_h = k;
+  g.kernel_w = k;
+  g.stride = stride;
+  g.pad = pad;
+  return g;
+}
+}  // namespace
+
+ModelFactory make_mlp(std::size_t in_features, std::size_t hidden,
+                      std::size_t classes) {
+  SEAFL_CHECK(in_features > 0 && hidden > 1 && classes > 1,
+              "invalid MLP dimensions");
+  return [=] {
+    auto m = std::make_unique<Sequential>();
+    m->emplace<Dense>(in_features, hidden);
+    m->emplace<ReLU>();
+    m->emplace<Dense>(hidden, hidden / 2);
+    m->emplace<ReLU>();
+    m->emplace<Dense>(hidden / 2, classes);
+    return m;
+  };
+}
+
+ModelFactory make_lenet_lite(InputSpec input, std::size_t classes) {
+  SEAFL_CHECK(input.height >= 8 && input.width >= 8,
+              "lenet_lite needs inputs of at least 8x8");
+  return [=] {
+    auto m = std::make_unique<Sequential>();
+    // Stage 1: 5x5 conv (pad 2 keeps spatial size), tanh, 2x2 max pool.
+    const auto g1 = geom(input.channels, input.height, input.width, 5, 1, 2);
+    m->emplace<Conv2d>(g1, 6);
+    m->emplace<Tanh>();
+    const auto p1 = geom(6, g1.out_h(), g1.out_w(), 2, 2, 0);
+    m->emplace<MaxPool2d>(p1);
+    // Stage 2: 5x5 conv, tanh, 2x2 max pool.
+    const auto g2 = geom(6, p1.out_h(), p1.out_w(), 5, 1, 2);
+    m->emplace<Conv2d>(g2, 16);
+    m->emplace<Tanh>();
+    const auto p2 = geom(16, g2.out_h(), g2.out_w(), 2, 2, 0);
+    m->emplace<MaxPool2d>(p2);
+    // Dense head.
+    const std::size_t flat = 16 * p2.out_h() * p2.out_w();
+    m->emplace<Flatten>();
+    m->emplace<Dense>(flat, 48);
+    m->emplace<Tanh>();
+    m->emplace<Dense>(48, classes);
+    return m;
+  };
+}
+
+ModelFactory make_resnet_lite(InputSpec input, std::size_t classes) {
+  SEAFL_CHECK(input.height >= 8 && input.width >= 8,
+              "resnet_lite needs inputs of at least 8x8");
+  return [=] {
+    auto m = std::make_unique<Sequential>();
+    constexpr std::size_t kStemChannels = 8;
+    // Stem: 3x3 conv to kStemChannels, ReLU.
+    const auto g1 = geom(input.channels, input.height, input.width, 3, 1, 1);
+    m->emplace<Conv2d>(g1, kStemChannels);
+    m->emplace<ReLU>();
+    // Two identity residual blocks at full resolution.
+    m->emplace<ResidualBlock>(kStemChannels, g1.out_h(), g1.out_w());
+    m->emplace<ResidualBlock>(kStemChannels, g1.out_h(), g1.out_w());
+    // Downsample, one more block, then a dense head over the flattened map
+    // (a GAP head at 8 channels starves 10-way classification).
+    const auto p1 = geom(kStemChannels, g1.out_h(), g1.out_w(), 2, 2, 0);
+    m->emplace<MaxPool2d>(p1);
+    m->emplace<ResidualBlock>(kStemChannels, p1.out_h(), p1.out_w());
+    const std::size_t flat = kStemChannels * p1.out_h() * p1.out_w();
+    m->emplace<Flatten>();
+    m->emplace<Dense>(flat, classes);
+    return m;
+  };
+}
+
+ModelFactory make_vgg_lite(InputSpec input, std::size_t classes) {
+  SEAFL_CHECK(input.height >= 8 && input.width >= 8,
+              "vgg_lite needs inputs of at least 8x8");
+  return [=] {
+    auto m = std::make_unique<Sequential>();
+    // Stage 1: conv-conv-pool at 8 channels.
+    const auto g1 = geom(input.channels, input.height, input.width, 3, 1, 1);
+    m->emplace<Conv2d>(g1, 8);
+    m->emplace<ReLU>();
+    const auto g2 = geom(8, g1.out_h(), g1.out_w(), 3, 1, 1);
+    m->emplace<Conv2d>(g2, 8);
+    m->emplace<ReLU>();
+    const auto p1 = geom(8, g2.out_h(), g2.out_w(), 2, 2, 0);
+    m->emplace<MaxPool2d>(p1);
+    // Stage 2: conv-conv-pool at 16 channels.
+    const auto g3 = geom(8, p1.out_h(), p1.out_w(), 3, 1, 1);
+    m->emplace<Conv2d>(g3, 16);
+    m->emplace<ReLU>();
+    const auto g4 = geom(16, g3.out_h(), g3.out_w(), 3, 1, 1);
+    m->emplace<Conv2d>(g4, 16);
+    m->emplace<ReLU>();
+    const auto p2 = geom(16, g4.out_h(), g4.out_w(), 2, 2, 0);
+    m->emplace<MaxPool2d>(p2);
+    // Dense head.
+    const std::size_t flat = 16 * p2.out_h() * p2.out_w();
+    m->emplace<Flatten>();
+    m->emplace<Dense>(flat, 64);
+    m->emplace<ReLU>();
+    m->emplace<Dense>(64, classes);
+    return m;
+  };
+}
+
+ModelFactory make_model(ModelKind kind, InputSpec input, std::size_t classes,
+                        std::size_t hidden) {
+  switch (kind) {
+    case ModelKind::kMlp:
+      return make_mlp(input.numel(), hidden == 0 ? 32 : hidden, classes);
+    case ModelKind::kLenetLite:
+      return make_lenet_lite(input, classes);
+    case ModelKind::kResnetLite:
+      return make_resnet_lite(input, classes);
+    case ModelKind::kVggLite:
+      return make_vgg_lite(input, classes);
+  }
+  SEAFL_CHECK(false, "unreachable model kind");
+  return {};
+}
+
+double estimate_flops_per_sample(ModelKind kind, InputSpec input,
+                                 std::size_t classes) {
+  // Forward multiply-adds; backward is ~2x forward, so scale by 3.
+  const double hw = static_cast<double>(input.height * input.width);
+  const double c = static_cast<double>(input.channels);
+  const double cls = static_cast<double>(classes);
+  double fwd = 0.0;
+  switch (kind) {
+    case ModelKind::kMlp: {
+      const double in = c * hw;
+      fwd = in * 32 + 32 * 16 + 16 * cls;
+      break;
+    }
+    case ModelKind::kLenetLite:
+      fwd = hw * (c * 25 * 6)            // conv1 (padded, same size)
+            + (hw / 4) * (6 * 25 * 16)   // conv2 after 2x2 pool
+            + 16 * (hw / 16) * 48        // dense head
+            + 48 * cls;
+      break;
+    case ModelKind::kResnetLite:
+      fwd = hw * (c * 9 * 8)             // stem
+            + 2 * 2 * hw * (8 * 9 * 8)   // two full-res residual blocks
+            + 2 * (hw / 4) * (8 * 9 * 8) // one half-res residual block
+            + 8 * cls;
+      break;
+    case ModelKind::kVggLite:
+      fwd = hw * (c * 9 * 8) + hw * (8 * 9 * 8)  // stage 1
+            + (hw / 4) * (8 * 9 * 16) +
+            (hw / 4) * (16 * 9 * 16)             // stage 2
+            + 16 * (hw / 16) * 64 + 64 * cls;    // head
+      break;
+  }
+  return 3.0 * fwd;
+}
+
+}  // namespace seafl

@@ -1,0 +1,62 @@
+// Model zoo: the architectures used across the SEAFL benches.
+//
+// The paper trains LeNet-5 (EMNIST), ResNet-18 (CIFAR-10) and VGG-16
+// (CINIC-10). This repository substitutes same-family, CPU-scale models:
+//   lenet_lite  — classic conv/tanh/pool stack (LeNet-5 family)
+//   resnet_lite — conv stem + identity residual blocks (ResNet family)
+//   vgg_lite    — deeper 3x3 conv pairs with pooling (VGG family)
+//   mlp         — dense baseline for fast preliminary experiments (§III)
+// The relative compute-cost ordering (mlp < lenet < resnet < vgg) is
+// preserved, which is what the device time model consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/sequential.h"
+
+namespace seafl {
+
+/// Input geometry of a classification task.
+struct InputSpec {
+  std::size_t channels = 1;
+  std::size_t height = 1;
+  std::size_t width = 1;
+
+  std::size_t numel() const { return channels * height * width; }
+};
+
+/// Architecture selector for make_model / parse_model_kind.
+enum class ModelKind { kMlp, kLenetLite, kResnetLite, kVggLite };
+
+/// Returns the architecture name ("mlp", "lenet_lite", ...).
+std::string model_kind_name(ModelKind kind);
+
+/// Parses a name produced by model_kind_name; throws on unknown names.
+ModelKind parse_model_kind(const std::string& name);
+
+/// Two-hidden-layer MLP: in -> hidden -> hidden/2 -> classes (ReLU).
+ModelFactory make_mlp(std::size_t in_features, std::size_t hidden,
+                      std::size_t classes);
+
+/// LeNet-5-style conv net scaled to the given input.
+ModelFactory make_lenet_lite(InputSpec input, std::size_t classes);
+
+/// Small residual network: stem conv + 2 residual blocks + pooling head.
+ModelFactory make_resnet_lite(InputSpec input, std::size_t classes);
+
+/// VGG-style net: two conv-conv-pool stages + dense head.
+ModelFactory make_vgg_lite(InputSpec input, std::size_t classes);
+
+/// Dispatches to the architecture named by `kind`. For kMlp, `input` is
+/// flattened and `hidden` controls layer width (default 32 when 0).
+ModelFactory make_model(ModelKind kind, InputSpec input, std::size_t classes,
+                        std::size_t hidden = 0);
+
+/// Rough forward+backward multiply-add count per training sample; the device
+/// cost model uses this to derive per-epoch compute times so "bigger model =
+/// slower device round" holds, as in the paper's testbed.
+double estimate_flops_per_sample(ModelKind kind, InputSpec input,
+                                 std::size_t classes);
+
+}  // namespace seafl

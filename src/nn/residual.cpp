@@ -1,0 +1,83 @@
+#include "nn/residual.h"
+
+#include "tensor/ops.h"
+
+namespace seafl {
+
+namespace {
+ConvGeom block_geom(std::size_t channels, std::size_t height,
+                    std::size_t width) {
+  ConvGeom g;
+  g.channels = channels;
+  g.height = height;
+  g.width = width;
+  g.kernel_h = 3;
+  g.kernel_w = 3;
+  g.stride = 1;
+  g.pad = 1;
+  return g;
+}
+}  // namespace
+
+ResidualBlock::ResidualBlock(std::size_t channels, std::size_t height,
+                             std::size_t width)
+    : channels_(channels),
+      height_(height),
+      width_(width),
+      conv1_(block_geom(channels, height, width), channels),
+      conv2_(block_geom(channels, height, width), channels) {}
+
+void ResidualBlock::init(Rng& rng) {
+  conv1_.init(rng);
+  conv2_.init(rng);
+}
+
+std::vector<Tensor*> ResidualBlock::parameters() {
+  auto p1 = conv1_.parameters();
+  auto p2 = conv2_.parameters();
+  p1.insert(p1.end(), p2.begin(), p2.end());
+  return p1;
+}
+
+std::vector<Tensor*> ResidualBlock::gradients() {
+  auto g1 = conv1_.gradients();
+  auto g2 = conv2_.gradients();
+  g1.insert(g1.end(), g2.begin(), g2.end());
+  return g1;
+}
+
+void ResidualBlock::forward(const Tensor& input, Tensor& output, bool train) {
+  const std::size_t sample = channels_ * height_ * width_;
+  SEAFL_CHECK(input.numel() % sample == 0,
+              name() << ": input numel " << input.numel()
+                     << " not divisible by " << sample);
+  conv1_.forward(input, h1_, train);
+  relu1_.forward(h1_, h1_relu_, train);
+  conv2_.forward(h1_relu_, h2_, train);
+  // sum = h2 + input, then final ReLU.
+  output = h2_;
+  add_inplace(output.span(), input.span());
+  if (train) cached_sum_ = output;
+  relu_inplace(output.span());
+}
+
+void ResidualBlock::backward(const Tensor& output_grad, Tensor& input_grad) {
+  SEAFL_CHECK(cached_sum_.numel() == output_grad.numel(),
+              name() << " backward: gradient shape mismatch");
+  // Through the final ReLU.
+  d_sum_ = output_grad;
+  relu_backward_inplace(d_sum_.span(), cached_sum_.span());
+  // Branch path: conv2 -> relu1 -> conv1.
+  conv2_.backward(d_sum_, d_h1relu_);
+  relu1_.backward(d_h1relu_, d_h1_);
+  conv1_.backward(d_h1_, input_grad);
+  // Skip path adds d_sum directly to the input gradient.
+  add_inplace(input_grad.span(), d_sum_.span());
+}
+
+std::string ResidualBlock::name() const {
+  return "ResidualBlock(" + std::to_string(channels_) + "ch, " +
+         std::to_string(height_) + "x" + std::to_string(width_) + ")";
+}
+
+}  // namespace seafl

@@ -1,0 +1,39 @@
+// Residual block: out = ReLU(conv2(ReLU(conv1(x))) + x).
+// Channel-preserving, 3x3 kernels, stride 1, pad 1 — the basic building
+// block of the `resnet_lite` model (the repository's stand-in for the
+// paper's ResNet-18).
+#pragma once
+
+#include <string>
+
+#include "nn/activations.h"
+#include "nn/conv.h"
+
+namespace seafl {
+
+/// A channel-preserving two-conv residual block with identity skip.
+class ResidualBlock : public Layer {
+ public:
+  /// @param channels feature-map channel count (preserved by the block).
+  /// @param height/@param width spatial size of the input map.
+  ResidualBlock(std::size_t channels, std::size_t height, std::size_t width);
+
+  void forward(const Tensor& input, Tensor& output, bool train) override;
+  void backward(const Tensor& output_grad, Tensor& input_grad) override;
+
+  std::vector<Tensor*> parameters() override;
+  std::vector<Tensor*> gradients() override;
+  void init(Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  std::size_t channels_, height_, width_;
+  Conv2d conv1_;
+  Conv2d conv2_;
+  ReLU relu1_;
+  Tensor h1_, h1_relu_, h2_;        // intermediate activations
+  Tensor cached_sum_;               // conv2 output + skip, pre final ReLU
+  Tensor d_sum_, d_h1relu_, d_h1_;  // backward scratch
+};
+
+}  // namespace seafl

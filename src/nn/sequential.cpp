@@ -1,0 +1,105 @@
+#include "nn/sequential.h"
+
+#include <sstream>
+
+namespace seafl {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  SEAFL_CHECK(layer != nullptr, "cannot add null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+void Sequential::init(Rng& rng) {
+  for (auto& l : layers_) l->init(rng);
+}
+
+const Tensor& Sequential::forward(const Tensor& input, bool train) {
+  SEAFL_CHECK(!layers_.empty(), "forward on empty model");
+  activations_.resize(layers_.size());
+  const Tensor* cur = &input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward(*cur, activations_[i], train);
+    cur = &activations_[i];
+  }
+  return activations_.back();
+}
+
+void Sequential::backward(const Tensor& output_grad) {
+  SEAFL_CHECK(activations_.size() == layers_.size(),
+              "backward before forward");
+  const Tensor* dout = &output_grad;
+  // Alternate between two buffers so each layer reads the previous gradient
+  // while writing its own.
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    Tensor& din = (i % 2 == 0) ? grad_a_ : grad_b_;
+    layers_[i]->backward(*dout, din);
+    dout = &din;
+  }
+}
+
+void Sequential::zero_grad() {
+  for (auto& l : layers_) l->zero_grad();
+}
+
+std::size_t Sequential::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_)
+    for (Tensor* p : const_cast<Layer&>(*l).parameters()) n += p->numel();
+  return n;
+}
+
+void Sequential::copy_parameters_to(std::span<float> out) const {
+  SEAFL_CHECK(out.size() == num_parameters(),
+              "parameter buffer size mismatch: " << out.size() << " vs "
+                                                 << num_parameters());
+  std::size_t offset = 0;
+  for (const auto& l : layers_) {
+    for (Tensor* p : const_cast<Layer&>(*l).parameters()) {
+      std::copy(p->data(), p->data() + p->numel(), out.data() + offset);
+      offset += p->numel();
+    }
+  }
+}
+
+void Sequential::set_parameters(std::span<const float> in) {
+  SEAFL_CHECK(in.size() == num_parameters(),
+              "parameter buffer size mismatch: " << in.size() << " vs "
+                                                 << num_parameters());
+  std::size_t offset = 0;
+  for (auto& l : layers_) {
+    for (Tensor* p : l->parameters()) {
+      std::copy(in.data() + offset, in.data() + offset + p->numel(),
+                p->data());
+      offset += p->numel();
+    }
+  }
+}
+
+void Sequential::copy_gradients_to(std::span<float> out) const {
+  SEAFL_CHECK(out.size() == num_parameters(),
+              "gradient buffer size mismatch");
+  std::size_t offset = 0;
+  for (const auto& l : layers_) {
+    for (Tensor* g : const_cast<Layer&>(*l).gradients()) {
+      std::copy(g->data(), g->data() + g->numel(), out.data() + offset);
+      offset += g->numel();
+    }
+  }
+}
+
+std::vector<float> Sequential::parameter_vector() const {
+  std::vector<float> out(num_parameters());
+  copy_parameters_to(out);
+  return out;
+}
+
+std::string Sequential::summary() const {
+  std::ostringstream os;
+  os << "Sequential(" << layers_.size() << " layers, " << num_parameters()
+     << " params)";
+  for (const auto& l : layers_) os << "\n  " << l->name();
+  return os.str();
+}
+
+}  // namespace seafl

@@ -1,0 +1,76 @@
+// Sequential container: an ordered list of layers trained by explicit
+// forward/backward passes, plus flat parameter-vector access — the interface
+// federated learning needs (models travel between server and clients as flat
+// float vectors).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace seafl {
+
+/// An ordered stack of layers with flat-parameter import/export.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer (takes ownership). Returns *this for chaining.
+  Sequential& add(LayerPtr layer);
+
+  /// Convenience: construct the layer in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  /// Initializes every layer's parameters from `rng`.
+  void init(Rng& rng);
+
+  /// Runs the forward pass; the returned reference is valid until the next
+  /// forward call. With train=true, layers cache state for backward.
+  const Tensor& forward(const Tensor& input, bool train = false);
+
+  /// Runs the backward pass from d(loss)/d(output), accumulating parameter
+  /// gradients in every layer.
+  void backward(const Tensor& output_grad);
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  /// Total number of trainable scalars.
+  std::size_t num_parameters() const;
+
+  /// Copies all parameters, in layer order, into `out` (size must match).
+  void copy_parameters_to(std::span<float> out) const;
+
+  /// Overwrites all parameters from `in` (size must match).
+  void set_parameters(std::span<const float> in);
+
+  /// Copies all gradients, in layer order, into `out` (size must match).
+  void copy_gradients_to(std::span<float> out) const;
+
+  /// Flat parameter vector convenience (allocates).
+  std::vector<float> parameter_vector() const;
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  /// Multi-line structural summary, e.g. for logging.
+  std::string summary() const;
+
+ private:
+  std::vector<LayerPtr> layers_;
+  std::vector<Tensor> activations_;  // output of each layer (train mode)
+  Tensor grad_a_, grad_b_;           // ping-pong gradient buffers
+};
+
+/// Factory producing fresh, *uninitialized* model instances. Clients use it
+/// to materialize the architecture, then load global weights into it.
+using ModelFactory = std::function<std::unique_ptr<Sequential>()>;
+
+}  // namespace seafl

@@ -1,0 +1,52 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace seafl {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'E', 'A', 'F', 'L', 'M', 'D', 'L'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_model_vector(const std::vector<float>& weights,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  SEAFL_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const std::uint64_t count = weights.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(weights.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+  SEAFL_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+std::vector<float> load_model_vector(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SEAFL_CHECK(in.good(), "cannot open '" << path << "' for reading");
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  SEAFL_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+              "'" << path << "' is not a SEAFL model file");
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  SEAFL_CHECK(in.good() && version == kVersion,
+              "unsupported model file version " << version);
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  SEAFL_CHECK(in.good(), "truncated model file '" << path << "'");
+  std::vector<float> weights(count);
+  in.read(reinterpret_cast<char*>(weights.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  SEAFL_CHECK(in.good() || in.gcount() ==
+                  static_cast<std::streamsize>(count * sizeof(float)),
+              "truncated payload in '" << path << "'");
+  return weights;
+}
+
+}  // namespace seafl

@@ -1,0 +1,22 @@
+// Flat model (de)serialization: a tiny binary format for saving trained
+// global models and reloading them into any architecture of matching size.
+//
+// Layout: magic "SEAFLMDL", u32 version, u64 element count, raw float32
+// little-endian payload. Deliberately minimal — the flat vector plus the
+// model factory fully determine the network.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace seafl {
+
+/// Writes `weights` to `path`. Throws seafl::Error on I/O failure.
+void save_model_vector(const std::vector<float>& weights,
+                       const std::string& path);
+
+/// Reads a model vector written by save_model_vector. Throws on missing
+/// file, bad magic, version mismatch or truncated payload.
+std::vector<float> load_model_vector(const std::string& path);
+
+}  // namespace seafl

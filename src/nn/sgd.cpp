@@ -1,0 +1,70 @@
+#include "nn/sgd.h"
+
+#include <cmath>
+
+namespace seafl {
+
+void Sgd::step(Sequential& model, std::size_t frozen_layers) {
+  SEAFL_CHECK(frozen_layers < model.num_layers() || model.num_layers() == 0,
+              "cannot freeze every layer (" << frozen_layers << " of "
+                                            << model.num_layers() << ")");
+  const float lr = config_.learning_rate;
+  const float mu = config_.momentum;
+  const float wd = config_.weight_decay;
+
+  // Global-norm gradient clipping: scale every gradient by
+  // clip / max(clip, ||g||) before the update, as in standard FL stacks.
+  if (config_.clip_norm > 0.0f) {
+    double sq = 0.0;
+    for (std::size_t li = 0; li < model.num_layers(); ++li) {
+      for (Tensor* g : model.layer(li).gradients()) {
+        for (std::size_t i = 0; i < g->numel(); ++i) {
+          const double v = (*g)[i];
+          sq += v * v;
+        }
+      }
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > config_.clip_norm) {
+      const float scale = static_cast<float>(config_.clip_norm / norm);
+      for (std::size_t li = 0; li < model.num_layers(); ++li)
+        for (Tensor* g : model.layer(li).gradients())
+          for (std::size_t i = 0; i < g->numel(); ++i) (*g)[i] *= scale;
+    }
+  }
+
+  std::size_t slot = 0;
+  for (std::size_t li = 0; li < model.num_layers(); ++li) {
+    Layer& layer = model.layer(li);
+    const auto params = layer.parameters();
+    const auto grads = layer.gradients();
+    SEAFL_CHECK(params.size() == grads.size(),
+                "layer " << layer.name() << ": parameter/gradient mismatch");
+    if (li < frozen_layers) {
+      slot += params.size();  // keep momentum slots aligned
+      continue;
+    }
+    for (std::size_t pi = 0; pi < params.size(); ++pi, ++slot) {
+      Tensor& p = *params[pi];
+      const Tensor& g = *grads[pi];
+      SEAFL_CHECK(p.numel() == g.numel(),
+                  "parameter/gradient size mismatch in " << layer.name());
+      if (mu > 0.0f) {
+        if (velocity_.size() <= slot) velocity_.resize(slot + 1);
+        auto& v = velocity_[slot];
+        if (v.size() != p.numel()) v.assign(p.numel(), 0.0f);
+        for (std::size_t i = 0; i < p.numel(); ++i) {
+          const float grad = g[i] + wd * p[i];
+          v[i] = mu * v[i] + grad;
+          p[i] -= lr * v[i];
+        }
+      } else {
+        for (std::size_t i = 0; i < p.numel(); ++i) {
+          p[i] -= lr * (g[i] + wd * p[i]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace seafl

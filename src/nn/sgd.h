@@ -1,0 +1,51 @@
+// Mini-batch SGD with optional momentum and weight decay, operating on a
+// Sequential model's layer tensors in place.
+#pragma once
+
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace seafl {
+
+/// SGD hyperparameters. Defaults follow common FL practice (plain SGD).
+struct SgdConfig {
+  float learning_rate = 0.01f;
+  float momentum = 0.0f;      ///< classical momentum; 0 disables the buffer
+  float weight_decay = 0.0f;  ///< L2 coefficient applied to weights
+  float clip_norm = 0.0f;     ///< global-norm gradient clip; 0 disables
+};
+
+/// Stochastic gradient descent over a model's parameters.
+/// Momentum buffers are lazily sized on the first step and persist across
+/// steps for the optimizer's lifetime (one optimizer per local training run).
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig config) : config_(config) {
+    SEAFL_CHECK(config.learning_rate > 0.0f, "learning rate must be positive");
+    SEAFL_CHECK(config.momentum >= 0.0f && config.momentum < 1.0f,
+                "momentum must be in [0, 1)");
+    SEAFL_CHECK(config.weight_decay >= 0.0f, "weight decay must be >= 0");
+    SEAFL_CHECK(config.clip_norm >= 0.0f, "clip norm must be >= 0");
+  }
+
+  /// Applies one update: p -= lr * (g + wd * p)  (with momentum if enabled).
+  /// Layers with index < `frozen_layers` are skipped entirely — the
+  /// sub-model training mode where slow devices only fine-tune the upper
+  /// part of the network (clipping still measures the full gradient norm so
+  /// the trainable suffix sees the same effective step scale).
+  void step(Sequential& model, std::size_t frozen_layers = 0);
+
+  /// Overrides the learning rate (for schedules).
+  void set_learning_rate(float lr) {
+    SEAFL_CHECK(lr > 0.0f, "learning rate must be positive");
+    config_.learning_rate = lr;
+  }
+  const SgdConfig& config() const { return config_; }
+
+ private:
+  SgdConfig config_;
+  std::vector<std::vector<float>> velocity_;  // per parameter tensor
+};
+
+}  // namespace seafl

@@ -1,0 +1,69 @@
+#include "sim/event_queue.h"
+
+namespace seafl {
+
+std::uint64_t EventQueue::schedule_at(double when, Callback cb) {
+  SEAFL_CHECK(when >= now_, "cannot schedule in the past (when=" << when
+                                                                  << ", now="
+                                                                  << now_
+                                                                  << ")");
+  SEAFL_CHECK(cb != nullptr, "null event callback");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq});
+  callbacks_.emplace(seq, std::move(cb));
+  return seq;
+}
+
+std::uint64_t EventQueue::schedule_after(double delay, Callback cb) {
+  SEAFL_CHECK(delay >= 0.0, "negative delay " << delay);
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::cancel(std::uint64_t id) {
+  return callbacks_.erase(id) > 0;
+}
+
+bool EventQueue::run_one() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    const auto it = callbacks_.find(top.seq);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.time;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::run_until(double until) {
+  std::size_t executed = 0;
+  while (!heap_.empty()) {
+    // Peek past cancelled entries without executing.
+    const Entry top = heap_.top();
+    if (callbacks_.find(top.seq) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (top.time > until) break;
+    run_one();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+std::size_t EventQueue::run_all(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (run_one()) {
+    ++executed;
+    SEAFL_CHECK(executed < max_events,
+                "event budget exhausted (" << max_events
+                                           << "); runaway scheduling loop?");
+  }
+  return executed;
+}
+
+}  // namespace seafl

@@ -1,0 +1,71 @@
+// Discrete-event simulation core: a virtual clock plus a priority queue of
+// timestamped callbacks. This is the substrate that replaces the PLATO
+// framework's wall-clock emulation (DESIGN.md §1): FL wall-clock time is
+// *simulated*, so experiments are deterministic and run as fast as the
+// training math allows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace seafl {
+
+/// Virtual-time event loop. Events execute in (time, insertion-seq) order;
+/// the sequence number makes simultaneous events deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time in seconds (monotonically non-decreasing).
+  double now() const { return now_; }
+
+  /// Schedules `cb` at absolute virtual time `when` (>= now). Returns an id
+  /// usable with cancel().
+  std::uint64_t schedule_at(double when, Callback cb);
+
+  /// Schedules `cb` after `delay` seconds of virtual time.
+  std::uint64_t schedule_after(double delay, Callback cb);
+
+  /// Cancels a pending event; returns false if it already ran or never existed.
+  bool cancel(std::uint64_t id);
+
+  /// Runs the next pending event (advancing the clock). Returns false when
+  /// the queue is empty.
+  bool run_one();
+
+  /// Runs events until the queue drains or `until` virtual seconds pass
+  /// (whichever first). Returns the number of events executed.
+  std::size_t run_until(double until);
+
+  /// Runs every pending event (including ones scheduled while running).
+  /// `max_events` guards against runaway self-scheduling loops.
+  std::size_t run_all(std::size_t max_events = 100'000'000);
+
+  std::size_t pending() const { return callbacks_.size(); }
+  bool empty() const { return pending() == 0; }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    // Ordered as a min-heap via std::greater on (time, seq).
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // Callbacks keyed by seq; an entry absent from the map was cancelled (or
+  // already ran), so its heap entry is skipped lazily.
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace seafl

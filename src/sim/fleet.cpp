@@ -1,0 +1,65 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+
+namespace seafl {
+
+Fleet::Fleet(const FleetConfig& config)
+    : config_(config),
+      idle_sampler_(std::max<std::uint64_t>(1, config.max_idle_seconds),
+                    config.zipf_s) {
+  SEAFL_CHECK(config.num_devices >= 1, "fleet needs at least one device");
+  SEAFL_CHECK(config.seconds_per_unit_work > 0.0,
+              "seconds_per_unit_work must be positive");
+  SEAFL_CHECK(config.speed_cap >= 1.0, "speed cap must be >= 1");
+  slowdown_.resize(config.num_devices);
+  ParetoSampler speed(1.0, config.pareto_shape);
+  for (std::size_t k = 0; k < config.num_devices; ++k) {
+    Rng rng(config.seed, RngPurpose::kDeviceSpeed, k);
+    slowdown_[k] = speed.sample_capped(rng, config.speed_cap);
+  }
+}
+
+double Fleet::slowdown(std::size_t device) const {
+  SEAFL_CHECK(device < slowdown_.size(), "device " << device
+                                                   << " out of range");
+  return slowdown_[device];
+}
+
+double Fleet::epoch_compute_seconds(std::size_t device,
+                                    std::size_t num_samples,
+                                    double work_per_sample) const {
+  SEAFL_CHECK(work_per_sample > 0.0, "work_per_sample must be positive");
+  return static_cast<double>(num_samples) * work_per_sample *
+         config_.seconds_per_unit_work * slowdown(device);
+}
+
+double Fleet::idle_seconds(std::size_t device, std::uint64_t round,
+                           std::uint64_t epoch) const {
+  if (config_.idle_scale <= 0.0) return 0.0;
+  Rng rng(config_.seed, RngPurpose::kDeviceSpeed,
+          /*a=*/1'000'000 + device, round, epoch);
+  return config_.idle_scale *
+         static_cast<double>(idle_sampler_.sample(rng));
+}
+
+double Fleet::latency_seconds(std::size_t device, std::uint64_t round,
+                              std::uint64_t leg) const {
+  if (config_.mean_latency <= 0.0) return 0.0;
+  Rng rng(config_.seed, RngPurpose::kNetwork, device, round, leg);
+  return config_.mean_latency * rng.uniform(0.8, 1.2);
+}
+
+double Fleet::training_seconds(std::size_t device, std::uint64_t round,
+                               std::size_t num_samples,
+                               double work_per_sample,
+                               std::size_t epochs) const {
+  double total = 0.0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    total += epoch_compute_seconds(device, num_samples, work_per_sample);
+    total += idle_seconds(device, round, e);
+  }
+  return total;
+}
+
+}  // namespace seafl

@@ -1,0 +1,90 @@
+// Device fleet timing model.
+//
+// The paper's testbed (§III, §VI.A) models system heterogeneity two ways:
+//  * heavy-tailed per-device compute speeds drawn from a Pareto distribution;
+//  * after every local epoch, a device idles for a duration drawn from a
+//    Zipf distribution (s = 1.7) capped at 60 virtual seconds.
+// Fleet reproduces both. Per-device speed factors are drawn once at
+// construction (a device is persistently fast or slow); idle periods are
+// re-drawn per (device, round, epoch) from independent derived streams, so
+// straggling has both a persistent and a transient component — matching the
+// heavy-tailed "few very slow devices" regime the paper targets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/distributions.h"
+#include "common/rng.h"
+
+namespace seafl {
+
+/// Fleet construction parameters.
+struct FleetConfig {
+  std::size_t num_devices = 100;
+
+  // Compute speed: per-device slowdown factor ~ Pareto(scale=1, shape).
+  // shape ~1.2-2 gives the heavy tail the paper assumes; larger = more even.
+  double pareto_shape = 1.5;
+  double speed_cap = 20.0;  ///< clamp on the slowdown factor
+
+  // Per-sample compute cost on a speed-1 device, in virtual seconds per
+  // (sample * unit work). Actual epoch time scales with the model's relative
+  // flops and the client's sample count. The default makes a 60-sample MLP
+  // epoch take ~6 virtual seconds on the fastest device — commensurate with
+  // the Zipf idle periods, so both heterogeneity sources matter (as in the
+  // paper, where local epochs take seconds and idles reach 60 s).
+  double seconds_per_unit_work = 0.1;
+
+  // Idle periods between epochs: Zipf(s) over {1..max_idle_seconds} seconds.
+  double zipf_s = 1.7;
+  std::uint64_t max_idle_seconds = 60;
+  double idle_scale = 1.0;  ///< multiplies drawn idle durations (0 disables)
+
+  // Network latency per transfer direction (seconds); jittered ±20%.
+  double mean_latency = 0.2;
+
+  std::uint64_t seed = 42;
+};
+
+/// Immutable per-device timing oracle.
+class Fleet {
+ public:
+  explicit Fleet(const FleetConfig& config);
+
+  std::size_t size() const { return slowdown_.size(); }
+
+  /// Persistent compute slowdown of device k (>= 1; Pareto-tailed).
+  double slowdown(std::size_t device) const;
+
+  /// Virtual seconds device k needs for ONE local epoch over `num_samples`
+  /// samples of a model whose relative cost is `work_per_sample` (from
+  /// estimate_flops_per_sample, normalized by caller), *excluding* idle time.
+  double epoch_compute_seconds(std::size_t device, std::size_t num_samples,
+                               double work_per_sample) const;
+
+  /// Idle period after epoch `epoch` of round `round` on device k.
+  /// Deterministic in (seed, device, round, epoch).
+  double idle_seconds(std::size_t device, std::uint64_t round,
+                      std::uint64_t epoch) const;
+
+  /// One-way network latency for a transfer by device k in round `round`.
+  /// `leg` disambiguates download (0) / upload (1) / notification (2).
+  double latency_seconds(std::size_t device, std::uint64_t round,
+                         std::uint64_t leg) const;
+
+  /// Full local-training duration: E epochs of compute plus E idle periods
+  /// (the paper's devices idle after each completed epoch).
+  double training_seconds(std::size_t device, std::uint64_t round,
+                          std::size_t num_samples, double work_per_sample,
+                          std::size_t epochs) const;
+
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  FleetConfig config_;
+  std::vector<double> slowdown_;
+  ZipfSampler idle_sampler_;
+};
+
+}  // namespace seafl

@@ -1,0 +1,139 @@
+#include "tensor/gemm.h"
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace seafl {
+
+namespace {
+
+// Row-block size for parallel partitioning: small enough to balance, large
+// enough to amortize task dispatch.
+constexpr std::size_t kRowGrain = 16;
+// Work (in multiply-adds) below which we stay serial.
+constexpr std::size_t kSerialFlops = 1 << 16;
+
+// Computes one row block [r0, r1) of C for the given transposition case.
+// Layout reminders (row-major):
+//   NN: A is m×k (a[r*k+p]),        B is k×n (b[p*n+j])
+//   NT: A is m×k,                   B is n×k (b[j*k+p])
+//   TN: A is k×m (a[p*m+r]),        B is k×n
+//   TT: A is k×m,                   B is n×k
+void block_nn(std::size_t r0, std::size_t r1, std::size_t n, std::size_t k,
+              float alpha, const float* a, const float* b, float beta,
+              float* c) {
+  for (std::size_t r = r0; r < r1; ++r) {
+    float* crow = c + r * n;
+    if (beta == 0.0f) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    const float* arow = a + r * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = alpha * arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void block_nt(std::size_t r0, std::size_t r1, std::size_t n, std::size_t k,
+              float alpha, const float* a, const float* b, float beta,
+              float* c) {
+  for (std::size_t r = r0; r < r1; ++r) {
+    const float* arow = a + r * k;
+    float* crow = c + r * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
+    }
+  }
+}
+
+void block_tn(std::size_t r0, std::size_t r1, std::size_t m, std::size_t n,
+              std::size_t k, float alpha, const float* a, const float* b,
+              float beta, float* c) {
+  for (std::size_t r = r0; r < r1; ++r) {
+    float* crow = c + r * n;
+    if (beta == 0.0f) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = alpha * a[p * m + r];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void block_tt(std::size_t r0, std::size_t r1, std::size_t m, std::size_t n,
+              std::size_t k, float alpha, const float* a, const float* b,
+              float beta, float* c) {
+  for (std::size_t r = r0; r < r1; ++r) {
+    float* crow = c + r * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a[p * m + r] * brow[p];
+      crow[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, std::span<const float> a,
+          std::span<const float> b, float beta, std::span<float> c) {
+  if (m == 0 || n == 0) return;  // empty output: nothing to compute or check
+  SEAFL_CHECK(a.size() >= m * k, "gemm: A too small (" << a.size() << " < "
+                                                        << m * k << ")");
+  SEAFL_CHECK(b.size() >= k * n, "gemm: B too small (" << b.size() << " < "
+                                                        << k * n << ")");
+  SEAFL_CHECK(c.size() >= m * n, "gemm: C too small (" << c.size() << " < "
+                                                        << m * n << ")");
+  if (k == 0) {
+    if (beta == 0.0f) {
+      for (std::size_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+    }
+    return;
+  }
+
+  auto run_block = [&](std::size_t r0, std::size_t r1) {
+    if (trans_a == Trans::kNo && trans_b == Trans::kNo)
+      block_nn(r0, r1, n, k, alpha, a.data(), b.data(), beta, c.data());
+    else if (trans_a == Trans::kNo && trans_b == Trans::kYes)
+      block_nt(r0, r1, n, k, alpha, a.data(), b.data(), beta, c.data());
+    else if (trans_a == Trans::kYes && trans_b == Trans::kNo)
+      block_tn(r0, r1, m, n, k, alpha, a.data(), b.data(), beta, c.data());
+    else
+      block_tt(r0, r1, m, n, k, alpha, a.data(), b.data(), beta, c.data());
+  };
+
+  if (m * n * k <= kSerialFlops) {
+    run_block(0, m);
+    return;
+  }
+  parallel_for_chunked(
+      0, m, [&](std::size_t lo, std::size_t hi) { run_block(lo, hi); },
+      kRowGrain);
+}
+
+void matmul(std::size_t m, std::size_t n, std::size_t k,
+            std::span<const float> a, std::span<const float> b,
+            std::span<float> c) {
+  gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a, b, 0.0f, c);
+}
+
+}  // namespace seafl

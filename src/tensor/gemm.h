@@ -1,0 +1,33 @@
+// Blocked single-precision matrix multiplication.
+//
+// Two entry points cover everything the NN layers need:
+//   gemm       : C = alpha * op(A) * op(B) + beta * C
+//   The op() transposes are handled by four specialized kernels (NN, NT, TN,
+//   TT) so the inner loops stay branch-free and contiguous where possible.
+//
+// Rows of C are parallelized over the global thread pool; the result is
+// independent of thread count because each output element is written by
+// exactly one task.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace seafl {
+
+/// Whether an input operand is used as-is or transposed.
+enum class Trans { kNo, kYes };
+
+/// C[m,n] = alpha * op(A) * op(B) + beta * C, row-major.
+/// Dimensions are those of the *operated* matrices: op(A) is m×k, op(B) k×n.
+/// A therefore has physical shape m×k (kNo) or k×m (kYes), similarly B.
+void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, std::span<const float> a,
+          std::span<const float> b, float beta, std::span<float> c);
+
+/// Convenience: C = A * B with zero-initialized accumulation.
+void matmul(std::size_t m, std::size_t n, std::size_t k,
+            std::span<const float> a, std::span<const float> b,
+            std::span<float> c);
+
+}  // namespace seafl

@@ -1,0 +1,79 @@
+#include "tensor/im2col.h"
+
+#include "common/error.h"
+
+namespace seafl {
+
+void im2col(const ConvGeom& g, std::span<const float> image,
+            std::span<float> cols) {
+  SEAFL_CHECK(image.size() >= g.channels * g.height * g.width,
+              "im2col: image buffer too small");
+  SEAFL_CHECK(cols.size() >= g.col_rows() * g.col_cols(),
+              "im2col: column buffer too small");
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t col_cols = oh * ow;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    const float* chan = image.data() + c * g.height * g.width;
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out = cols.data() + row * col_cols;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          // Signed arithmetic: padding can push source coords negative.
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            float v = 0.0f;
+            if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(g.height) &&
+                ix >= 0 && ix < static_cast<std::ptrdiff_t>(g.width)) {
+              v = chan[static_cast<std::size_t>(iy) * g.width +
+                       static_cast<std::size_t>(ix)];
+            }
+            out[oy * ow + ox] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeom& g, std::span<const float> cols,
+            std::span<float> image_grad) {
+  SEAFL_CHECK(image_grad.size() >= g.channels * g.height * g.width,
+              "col2im: image buffer too small");
+  SEAFL_CHECK(cols.size() >= g.col_rows() * g.col_cols(),
+              "col2im: column buffer too small");
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t col_cols = oh * ow;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    float* chan = image_grad.data() + c * g.height * g.width;
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* in = cols.data() + row * col_cols;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.height)) continue;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.width)) continue;
+            chan[static_cast<std::size_t>(iy) * g.width +
+                 static_cast<std::size_t>(ix)] += in[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace seafl

@@ -1,0 +1,41 @@
+// im2col / col2im lowering for 2-d convolution. Convolutions in seafl::nn are
+// implemented as im2col + GEMM, the standard CPU strategy: it trades memory
+// for dense, cache-friendly inner loops.
+//
+// Image layout is CHW (channels, height, width) per sample. The column buffer
+// has shape [C*KH*KW, OH*OW]: each column holds the receptive field of one
+// output position, so conv forward is W[OC, C*KH*KW] * cols.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace seafl {
+
+/// Geometry of one conv/pool operation.
+struct ConvGeom {
+  std::size_t channels = 1;
+  std::size_t height = 1;
+  std::size_t width = 1;
+  std::size_t kernel_h = 1;
+  std::size_t kernel_w = 1;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t out_h() const { return (height + 2 * pad - kernel_h) / stride + 1; }
+  std::size_t out_w() const { return (width + 2 * pad - kernel_w) / stride + 1; }
+  std::size_t col_rows() const { return channels * kernel_h * kernel_w; }
+  std::size_t col_cols() const { return out_h() * out_w(); }
+};
+
+/// Expands one CHW image into the [col_rows, col_cols] column matrix.
+/// Out-of-bounds (padding) positions contribute zeros.
+void im2col(const ConvGeom& g, std::span<const float> image,
+            std::span<float> cols);
+
+/// Scatters a column-matrix gradient back into a CHW image gradient
+/// (accumulating overlaps). `image_grad` must be pre-zeroed by the caller.
+void col2im(const ConvGeom& g, std::span<const float> cols,
+            std::span<float> image_grad);
+
+}  // namespace seafl

@@ -1,0 +1,161 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace seafl {
+
+namespace {
+// Below this size the scheduling cost of parallel_for exceeds the work.
+constexpr std::size_t kParallelThreshold = 1 << 15;
+
+void check_same_size(std::span<const float> a, std::span<const float> b) {
+  SEAFL_CHECK(a.size() == b.size(),
+              "span size mismatch: " << a.size() << " vs " << b.size());
+}
+}  // namespace
+
+void add_inplace(std::span<float> y, std::span<const float> x) {
+  check_same_size(y, x);
+  if (y.size() < kParallelThreshold) {
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] += x[i];
+    return;
+  }
+  parallel_for_chunked(0, y.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) y[i] += x[i];
+  });
+}
+
+void sub_inplace(std::span<float> y, std::span<const float> x) {
+  check_same_size(y, x);
+  if (y.size() < kParallelThreshold) {
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] -= x[i];
+    return;
+  }
+  parallel_for_chunked(0, y.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) y[i] -= x[i];
+  });
+}
+
+void scale_inplace(std::span<float> y, float s) {
+  if (y.size() < kParallelThreshold) {
+    for (auto& v : y) v *= s;
+    return;
+  }
+  parallel_for_chunked(0, y.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) y[i] *= s;
+  });
+}
+
+void axpy(std::span<float> y, float a, std::span<const float> x) {
+  check_same_size(y, x);
+  if (y.size() < kParallelThreshold) {
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
+    return;
+  }
+  parallel_for_chunked(0, y.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) y[i] += a * x[i];
+  });
+}
+
+void axpby(std::span<float> y, float a, std::span<const float> x, float b) {
+  check_same_size(y, x);
+  if (y.size() < kParallelThreshold) {
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] = a * x[i] + b * y[i];
+    return;
+  }
+  parallel_for_chunked(0, y.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) y[i] = a * x[i] + b * y[i];
+  });
+}
+
+void relu_inplace(std::span<float> y) {
+  for (auto& v : y) v = v > 0.0f ? v : 0.0f;
+}
+
+void relu_backward_inplace(std::span<float> dy, std::span<const float> x) {
+  check_same_size(dy, x);
+  for (std::size_t i = 0; i < dy.size(); ++i) {
+    if (x[i] <= 0.0f) dy[i] = 0.0f;
+  }
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  check_same_size(a, b);
+  if (a.size() < kParallelThreshold) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    return acc;
+  }
+  // Deterministic parallel reduction: fixed chunking + ordered combine.
+  std::mutex m;
+  std::vector<std::pair<std::size_t, double>> partials;
+  parallel_for_chunked(0, a.size(), [&](std::size_t lo, std::size_t hi) {
+    double acc = 0.0;
+    for (std::size_t i = lo; i < hi; ++i)
+      acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    std::lock_guard<std::mutex> lock(m);
+    partials.emplace_back(lo, acc);
+  });
+  std::sort(partials.begin(), partials.end());
+  double total = 0.0;
+  for (const auto& [lo, acc] : partials) total += acc;
+  return total;
+}
+
+double l2_norm(std::span<const float> a) { return std::sqrt(dot(a, a)); }
+
+double sum(std::span<const float> a) {
+  double acc = 0.0;
+  for (float v : a) acc += v;
+  return acc;
+}
+
+float max_value(std::span<const float> a) {
+  SEAFL_CHECK(!a.empty(), "max_value of empty span");
+  return *std::max_element(a.begin(), a.end());
+}
+
+std::size_t argmax(std::span<const float> a) {
+  SEAFL_CHECK(!a.empty(), "argmax of empty span");
+  return static_cast<std::size_t>(
+      std::max_element(a.begin(), a.end()) - a.begin());
+}
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  check_same_size(a, b);
+  const double na = l2_norm(a);
+  const double nb = l2_norm(b);
+  constexpr double kEps = 1e-12;
+  if (na < kEps || nb < kEps) return 0.0;
+  const double c = dot(a, b) / (na * nb);
+  if (!std::isfinite(c)) return 0.0;  // inf/NaN inputs (diverged models)
+  return std::clamp(c, -1.0, 1.0);
+}
+
+void softmax_rows(std::span<const float> in, std::span<float> out,
+                  std::size_t rows, std::size_t cols) {
+  SEAFL_CHECK(in.size() == rows * cols && out.size() == rows * cols,
+              "softmax_rows: size mismatch");
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* x = in.data() + r * cols;
+    float* y = out.data() + r * cols;
+    float mx = x[0];
+    for (std::size_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
+    double total = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      y[c] = std::exp(x[c] - mx);
+      total += y[c];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (std::size_t c = 0; c < cols; ++c) y[c] *= inv;
+  }
+}
+
+}  // namespace seafl

@@ -1,0 +1,65 @@
+// Elementwise and reduction kernels over float spans. These operate on raw
+// spans (not Tensor) so the same kernels serve tensors, flattened model
+// parameter vectors, and gradient buffers. Large inputs are parallelized over
+// the global thread pool; results are independent of thread count.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace seafl {
+
+// ---- in-place elementwise -------------------------------------------------
+
+/// y += x  (sizes must match)
+void add_inplace(std::span<float> y, std::span<const float> x);
+
+/// y -= x
+void sub_inplace(std::span<float> y, std::span<const float> x);
+
+/// y *= s
+void scale_inplace(std::span<float> y, float s);
+
+/// y += a * x  — the workhorse of SGD and weighted aggregation.
+void axpy(std::span<float> y, float a, std::span<const float> x);
+
+/// y = a*x + b*y  (used by server mixing, Eq. 8 of the paper)
+void axpby(std::span<float> y, float a, std::span<const float> x, float b);
+
+/// y[i] = max(y[i], 0)
+void relu_inplace(std::span<float> y);
+
+/// dy[i] = x[i] > 0 ? dy[i] : 0  — ReLU backward masking.
+void relu_backward_inplace(std::span<float> dy, std::span<const float> x);
+
+// ---- reductions -------------------------------------------------------------
+
+/// Dot product (double accumulation for stability).
+double dot(std::span<const float> a, std::span<const float> b);
+
+/// Euclidean norm.
+double l2_norm(std::span<const float> a);
+
+/// Sum of elements.
+double sum(std::span<const float> a);
+
+/// Maximum element; requires non-empty input.
+float max_value(std::span<const float> a);
+
+/// Index of the maximum element; requires non-empty input. Ties break low.
+std::size_t argmax(std::span<const float> a);
+
+/// Cosine similarity in [-1, 1]; returns 0 when either vector is ~zero.
+/// This is Θ(·,·) in Eq. 5 of the paper.
+double cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+// ---- softmax ----------------------------------------------------------------
+
+/// Row-wise softmax over a [rows, cols] matrix, written into `out`
+/// (may alias `in`). Numerically stabilized by max subtraction.
+void softmax_rows(std::span<const float> in, std::span<float> out,
+                  std::size_t rows, std::size_t cols);
+
+}  // namespace seafl

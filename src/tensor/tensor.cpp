@@ -1,0 +1,67 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace seafl {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (auto d : shape) n *= d;
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  SEAFL_CHECK(data_.size() == shape_numel(shape_),
+              "value count " << data_.size() << " does not match shape "
+                             << shape_to_string(shape_));
+}
+
+Tensor Tensor::vector(std::vector<float> values) {
+  const std::size_t n = values.size();
+  return Tensor(Shape{n}, std::move(values));
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::reshape(Shape new_shape) {
+  SEAFL_CHECK(shape_numel(new_shape) == data_.size(),
+              "reshape " << shape_to_string(shape_) << " -> "
+                         << shape_to_string(new_shape)
+                         << " changes element count");
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
+  for (auto& v : data_)
+    v = static_cast<float>(rng.normal(mean, stddev));
+}
+
+void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
+  for (auto& v : data_)
+    v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+bool Tensor::equals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+}  // namespace seafl

@@ -1,0 +1,105 @@
+// A minimal dense float32 tensor: contiguous row-major storage with a small
+// shape vector. This is the numeric substrate for seafl::nn — it deliberately
+// supports exactly what FL training needs (no broadcasting, no strided views,
+// no autograd) so that every operation is simple, predictable and fast.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace seafl {
+
+/// Shape of a tensor: up to a handful of dimensions, row-major layout.
+using Shape = std::vector<std::size_t>;
+
+/// Returns the number of elements implied by a shape (1 for rank-0).
+std::size_t shape_numel(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]" rendering for error messages.
+std::string shape_to_string(const Shape& shape);
+
+/// Dense row-major float tensor with value semantics (copy copies data).
+///
+/// Invariants: data().size() == numel() == product(shape()). Element order is
+/// row-major (last dimension fastest).
+class Tensor {
+ public:
+  /// Empty rank-1 tensor of size 0.
+  Tensor() : shape_{0} {}
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor with explicit values; values.size() must match the shape.
+  Tensor(Shape shape, std::vector<float> values);
+
+  /// Creates a rank-1 tensor from explicit values (named factory rather than
+  /// an initializer-list constructor, so Tensor({2, 3}) unambiguously means
+  /// "shape [2, 3]").
+  static Tensor vector(std::vector<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t dim(std::size_t axis) const {
+    SEAFL_DCHECK(axis < shape_.size(), "axis out of range");
+    return shape_[axis];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::size_t i) {
+    SEAFL_DCHECK(i < data_.size(), "flat index out of range");
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    SEAFL_DCHECK(i < data_.size(), "flat index out of range");
+    return data_[i];
+  }
+
+  /// 2-d element access (rank must be 2).
+  float& at(std::size_t r, std::size_t c) {
+    SEAFL_DCHECK(rank() == 2, "at(r,c) requires rank-2 tensor");
+    SEAFL_DCHECK(r < shape_[0] && c < shape_[1], "index out of range");
+    return data_[r * shape_[1] + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    return const_cast<Tensor*>(this)->at(r, c);
+  }
+
+  /// Sets every element to `value`.
+  void fill(float value);
+
+  /// Reinterprets the tensor with a new shape of equal numel (O(1) metadata
+  /// change; data is shared since storage is contiguous row-major).
+  void reshape(Shape new_shape);
+
+  /// Fills with N(mean, stddev) samples drawn from `rng`.
+  void fill_normal(Rng& rng, float mean, float stddev);
+
+  /// Fills with U[lo, hi) samples drawn from `rng`.
+  void fill_uniform(Rng& rng, float lo, float hi);
+
+  /// True when shapes and all elements are exactly equal.
+  bool equals(const Tensor& other) const;
+
+  /// Creates a zero tensor shaped like `other`.
+  static Tensor zeros_like(const Tensor& other) { return Tensor(other.shape()); }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace seafl

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/distributions.h"
+
+namespace seafl {
+namespace {
+
+// ------------------------------------------------------------------- Zipf
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfSampler zipf(60, 1.7);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto k = zipf.sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 60u);
+  }
+}
+
+TEST(ZipfTest, RankOneIsTheMode) {
+  ZipfSampler zipf(60, 1.7);
+  Rng rng(2);
+  std::vector<int> counts(61, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[10]);
+  // With s = 1.7, P(1) = 1 / sum(k^-1.7) ~ 0.55.
+  EXPECT_NEAR(counts[1] / 20000.0, 0.55, 0.05);
+}
+
+TEST(ZipfTest, DegenerateSingleRank) {
+  ZipfSampler zipf(1, 1.7);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.sample(rng), 1u);
+}
+
+TEST(ZipfTest, RejectsInvalidParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), Error);
+  EXPECT_THROW(ZipfSampler(10, 0.0), Error);
+  EXPECT_THROW(ZipfSampler(10, -1.0), Error);
+}
+
+class ZipfExponentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentTest, LargerExponentConcentratesMassAtRankOne) {
+  const double s = GetParam();
+  ZipfSampler zipf(30, s);
+  Rng rng(5);
+  int ones = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i)
+    if (zipf.sample(rng) == 1) ++ones;
+  // Analytic P(1) for comparison.
+  double z = 0.0;
+  for (int k = 1; k <= 30; ++k) z += std::pow(k, -s);
+  EXPECT_NEAR(ones / static_cast<double>(kN), 1.0 / z, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentTest,
+                         ::testing::Values(0.8, 1.2, 1.7, 2.5));
+
+// ----------------------------------------------------------------- Pareto
+
+TEST(ParetoTest, SamplesExceedScale) {
+  ParetoSampler pareto(2.0, 1.5);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) EXPECT_GE(pareto.sample(rng), 2.0);
+}
+
+TEST(ParetoTest, CappedSamplingRespectsCap) {
+  ParetoSampler pareto(1.0, 1.1);
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = pareto.sample_capped(rng, 20.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 20.0);
+  }
+}
+
+TEST(ParetoTest, MeanMatchesTheoryForShapeAboveOne) {
+  // E[X] = shape * scale / (shape - 1) for shape > 1.
+  ParetoSampler pareto(1.0, 3.0);
+  Rng rng(11);
+  double total = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) total += pareto.sample(rng);
+  EXPECT_NEAR(total / kN, 1.5, 0.03);
+}
+
+TEST(ParetoTest, HeavierTailWithSmallerShape) {
+  Rng rng_a(13), rng_b(13);
+  ParetoSampler heavy(1.0, 1.1), light(1.0, 3.0);
+  int heavy_extreme = 0, light_extreme = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (heavy.sample(rng_a) > 10.0) ++heavy_extreme;
+    if (light.sample(rng_b) > 10.0) ++light_extreme;
+  }
+  EXPECT_GT(heavy_extreme, 5 * std::max(light_extreme, 1));
+}
+
+TEST(ParetoTest, RejectsInvalidParameters) {
+  EXPECT_THROW(ParetoSampler(0.0, 1.0), Error);
+  EXPECT_THROW(ParetoSampler(1.0, 0.0), Error);
+}
+
+// ------------------------------------------------------------------ Gamma
+
+TEST(GammaTest, SamplesArePositive) {
+  Rng rng(17);
+  for (const double shape : {0.3, 0.9, 1.0, 2.5, 10.0}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_GT(sample_gamma(rng, shape), 0.0);
+  }
+}
+
+TEST(GammaTest, MeanEqualsShape) {
+  Rng rng(19);
+  for (const double shape : {0.5, 2.0, 7.0}) {
+    double total = 0.0;
+    constexpr int kN = 50000;
+    for (int i = 0; i < kN; ++i) total += sample_gamma(rng, shape);
+    EXPECT_NEAR(total / kN, shape, shape * 0.05);
+  }
+}
+
+TEST(GammaTest, RejectsNonPositiveShape) {
+  Rng rng(1);
+  EXPECT_THROW(sample_gamma(rng, 0.0), Error);
+  EXPECT_THROW(sample_gamma(rng, -1.0), Error);
+}
+
+// -------------------------------------------------------------- Dirichlet
+
+TEST(DirichletTest, SumsToOne) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = sample_dirichlet(rng, 10, 0.3);
+    EXPECT_NEAR(std::accumulate(v.begin(), v.end(), 0.0), 1.0, 1e-9);
+    for (const double p : v) EXPECT_GE(p, 0.0);
+  }
+}
+
+TEST(DirichletTest, SmallAlphaIsSkewed) {
+  Rng rng(29);
+  // With alpha = 0.1 the max coordinate should usually dominate.
+  int dominated = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = sample_dirichlet(rng, 10, 0.1);
+    if (*std::max_element(v.begin(), v.end()) > 0.5) ++dominated;
+  }
+  EXPECT_GT(dominated, 120);
+}
+
+TEST(DirichletTest, LargeAlphaIsNearUniform) {
+  Rng rng(31);
+  double max_dev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto v = sample_dirichlet(rng, 10, 100.0);
+    for (const double p : v) max_dev = std::max(max_dev, std::abs(p - 0.1));
+  }
+  EXPECT_LT(max_dev, 0.08);
+}
+
+TEST(DirichletTest, DimensionOneIsDegenerate) {
+  Rng rng(37);
+  const auto v = sample_dirichlet(rng, 1, 0.5);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+}
+
+TEST(DirichletTest, RejectsInvalidParameters) {
+  Rng rng(1);
+  EXPECT_THROW(sample_dirichlet(rng, 0, 1.0), Error);
+  EXPECT_THROW(sample_dirichlet(rng, 3, 0.0), Error);
+}
+
+// ------------------------------------------------------------ Exponential
+
+TEST(ExponentialTest, MeanIsInverseRate) {
+  Rng rng(41);
+  double total = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) total += sample_exponential(rng, 4.0);
+  EXPECT_NEAR(total / kN, 0.25, 0.01);
+}
+
+TEST(ExponentialTest, SamplesArePositive) {
+  Rng rng(43);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_GT(sample_exponential(rng, 1.0), 0.0);
+}
+
+TEST(ExponentialTest, RejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(sample_exponential(rng, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace seafl

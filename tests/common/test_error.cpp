@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace seafl {
+namespace {
+
+TEST(ErrorTest, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(SEAFL_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(SEAFL_CHECK(true, "message " << 42));
+}
+
+TEST(ErrorTest, FailingCheckThrowsSeaflError) {
+  EXPECT_THROW(SEAFL_CHECK(false), Error);
+  EXPECT_THROW(SEAFL_CHECK(1 > 2, "impossible"), Error);
+}
+
+TEST(ErrorTest, MessageContainsExpressionAndDetail) {
+  try {
+    const int k = -3;
+    SEAFL_CHECK(k > 0, "buffer size must be positive, got " << k);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("k > 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("got -3"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(ErrorTest, MessageWithoutDetailStillNamesExpression) {
+  try {
+    SEAFL_CHECK(2 < 1);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("2 < 1"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckEvaluatesExpressionExactlyOnce) {
+  int calls = 0;
+  auto counted = [&calls] {
+    ++calls;
+    return true;
+  };
+  SEAFL_CHECK(counted());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ErrorTest, ErrorIsARuntimeError) {
+  const Error e("boom");
+  const std::runtime_error& base = e;
+  EXPECT_STREQ(base.what(), "boom");
+}
+
+#ifndef NDEBUG
+TEST(ErrorTest, DcheckActiveInDebugBuilds) {
+  EXPECT_THROW(SEAFL_DCHECK(false), Error);
+}
+#else
+TEST(ErrorTest, DcheckCompiledOutInReleaseBuilds) {
+  EXPECT_NO_THROW(SEAFL_DCHECK(false));
+}
+#endif
+
+}  // namespace
+}  // namespace seafl

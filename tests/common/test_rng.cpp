@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace seafl {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  // Reference values for seed 0 from the SplitMix64 reference implementation.
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64(s), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(s), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64(s), 0x06c45d188009454fULL);
+}
+
+TEST(DeriveSeedTest, DistinctLabelsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 10; ++a)
+    for (std::uint64_t b = 0; b < 10; ++b)
+      for (std::uint64_t c = 0; c < 5; ++c)
+        seen.insert(derive_seed(42, a, b, c));
+  EXPECT_EQ(seen.size(), 10u * 10u * 5u);
+}
+
+TEST(DeriveSeedTest, DeterministicAcrossCalls) {
+  EXPECT_EQ(derive_seed(1, 2, 3, 4, 5), derive_seed(1, 2, 3, 4, 5));
+  EXPECT_NE(derive_seed(1, 2, 3, 4, 5), derive_seed(2, 2, 3, 4, 5));
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, PurposeConstructorMatchesDerivedSeed) {
+  Rng direct(derive_seed(9, static_cast<std::uint64_t>(RngPurpose::kInit), 7,
+                         8, 0));
+  Rng purpose(9, RngPurpose::kInit, 7, 8);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(direct(), purpose());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(17);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[rng.uniform_int(7)];
+  for (const int c : counts) EXPECT_GT(c, 700);  // ~1000 expected each
+}
+
+TEST(RngTest, UniformIntRejectsZeroBound) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(0), Error);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(19);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsMatchStandardNormal) {
+  Rng rng(23);
+  constexpr int kN = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalScalesMeanAndStddev) {
+  Rng rng(29);
+  constexpr int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(5.0, 0.5);
+  EXPECT_NEAR(sum / kN, 5.0, 0.02);
+}
+
+TEST(RngTest, BernoulliRespectsProbability) {
+  Rng rng(31);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  // And it actually moved something.
+  std::vector<int> identity(100);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_NE(v, identity);
+}
+
+TEST(RngTest, ShuffleHandlesTinyContainers) {
+  Rng rng(41);
+  std::vector<int> empty;
+  std::vector<int> one{5};
+  rng.shuffle(empty);
+  rng.shuffle(one);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(one[0], 5);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), std::numeric_limits<std::uint64_t>::max());
+}
+
+// Parameterized determinism sweep: every purpose/seed combo reproduces.
+class RngStreamTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(RngStreamTest, StreamsReproduceBitForBit) {
+  const auto [seed, purpose_int] = GetParam();
+  const auto purpose = static_cast<RngPurpose>(purpose_int);
+  Rng a(seed, purpose, 3, 1);
+  Rng b(seed, purpose, 3, 1);
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(a(), b());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPurposes, RngStreamTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(0, 1, 42, 1u << 31),
+                       ::testing::Values(1, 2, 3, 4, 5, 6, 7)));
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace seafl {
+namespace {
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);  // classic textbook example
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStatsTest, EmptyMinMaxThrow) {
+  RunningStats s;
+  EXPECT_THROW(s.min(), Error);
+  EXPECT_THROW(s.max(), Error);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, StableUnderLargeOffsets) {
+  // Welford must not lose precision with a large common offset.
+  RunningStats s;
+  for (const double x : {1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0})
+    s.add(x);
+  EXPECT_NEAR(s.mean(), 1e9 + 10.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 22.5, 1e-6);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+  EXPECT_NEAR(percentile(v, 1.0 / 3.0), 20.0, 1e-12);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.7), 7.0);
+}
+
+TEST(PercentileTest, RejectsBadInput) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile({}, 0.5), Error);
+  EXPECT_THROW(percentile(v, 1.5), Error);
+  EXPECT_THROW(percentile(v, -0.1), Error);
+}
+
+TEST(JainsIndexTest, UniformIsOne) {
+  const std::vector<double> v{5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jains_index(v), 1.0);
+}
+
+TEST(JainsIndexTest, SingleHotIsOneOverN) {
+  const std::vector<double> v{1.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(jains_index(v), 0.25, 1e-12);
+}
+
+TEST(JainsIndexTest, KnownMixedCase) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  // (6)^2 / (3 * 14) = 36/42.
+  EXPECT_NEAR(jains_index(v), 36.0 / 42.0, 1e-12);
+}
+
+TEST(JainsIndexTest, AllZerosIsTriviallyFair) {
+  const std::vector<double> v{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jains_index(v), 1.0);
+}
+
+TEST(JainsIndexTest, RejectsBadInput) {
+  const std::vector<double> neg{1.0, -1.0};
+  EXPECT_THROW(jains_index({}), Error);
+  EXPECT_THROW(jains_index(neg), Error);
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/table.h"
+
+namespace seafl {
+namespace {
+
+// --------------------------------------------------------------------- CLI
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(CliTest, ParsesEqualsForm) {
+  auto v = argv_of({"--alpha=3.5", "--name=seafl"});
+  CliArgs args(static_cast<int>(v.size()), v.data());
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 3.5);
+  EXPECT_EQ(args.get_string("name", ""), "seafl");
+}
+
+TEST(CliTest, ParsesSpaceForm) {
+  auto v = argv_of({"--rounds", "200", "--task", "synth-emnist"});
+  CliArgs args(static_cast<int>(v.size()), v.data());
+  EXPECT_EQ(args.get_int("rounds", 0), 200);
+  EXPECT_EQ(args.get_string("task", ""), "synth-emnist");
+}
+
+TEST(CliTest, BooleanSwitches) {
+  auto v = argv_of({"--fast", "--verbose=false", "--deep=1"});
+  CliArgs args(static_cast<int>(v.size()), v.data());
+  EXPECT_TRUE(args.get_bool("fast", false));
+  EXPECT_FALSE(args.get_bool("verbose", true));
+  EXPECT_TRUE(args.get_bool("deep", false));
+  EXPECT_TRUE(args.get_bool("absent", true));
+  EXPECT_FALSE(args.get_bool("absent2", false));
+}
+
+TEST(CliTest, FallbacksWhenAbsent) {
+  auto v = argv_of({});
+  CliArgs args(static_cast<int>(v.size()), v.data());
+  EXPECT_EQ(args.get_int("k", 10), 10);
+  EXPECT_DOUBLE_EQ(args.get_double("mu", 1.0), 1.0);
+  EXPECT_EQ(args.get_string("algo", "seafl"), "seafl");
+  EXPECT_FALSE(args.has("k"));
+}
+
+TEST(CliTest, PositionalArgumentsCollected) {
+  auto v = argv_of({"run", "--k=3", "extra"});
+  CliArgs args(static_cast<int>(v.size()), v.data());
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "run");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(CliTest, NegativeNumbersAsValues) {
+  auto v = argv_of({"--offset=-5", "--bias", "-2.5"});
+  CliArgs args(static_cast<int>(v.size()), v.data());
+  EXPECT_EQ(args.get_int("offset", 0), -5);
+  // "--bias -2.5": "-2.5" does not start with "--" so it is consumed as value.
+  EXPECT_DOUBLE_EQ(args.get_double("bias", 0.0), -2.5);
+}
+
+TEST(CliTest, RejectsNonBooleanValueForBool) {
+  auto v = argv_of({"--flag=maybe"});
+  CliArgs args(static_cast<int>(v.size()), v.data());
+  EXPECT_THROW(args.get_bool("flag", false), Error);
+}
+
+// ------------------------------------------------------------------- Table
+
+TEST(TableTest, RowArityEnforced) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, HeaderAfterRowsRejected) {
+  Table t;
+  t.add_row({"x"});
+  EXPECT_THROW(t.set_header({"a"}), Error);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t("fig");
+  t.set_header({"k", "time", "note"});
+  t.add_row({"1", "2.5", "plain"});
+  t.add_row({"2", "3.5", "has,comma"});
+  t.add_row({"3", "4.5", "has\"quote"});
+  const std::string path = ::testing::TempDir() + "/seafl_table_test.csv";
+  t.write_csv(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,time,note");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5,plain");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,3.5,\"has,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4.5,\"has\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, CsvRejectsBadPath) {
+  Table t;
+  t.add_row({"x"});
+  EXPECT_THROW(t.write_csv("/nonexistent-dir/foo.csv"), Error);
+}
+
+TEST(FmtTest, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(FmtTest, TimeOrNa) {
+  EXPECT_EQ(fmt_time_or_na(12.34), "12.3s");
+  EXPECT_EQ(fmt_time_or_na(-1.0), "n/a");
+  EXPECT_EQ(fmt_time_or_na(0.0), "0.0s");
+}
+
+}  // namespace
+}  // namespace seafl

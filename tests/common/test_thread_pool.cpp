@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace seafl {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsDefaultsToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&counter] { ++counter; });
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(0, visits.size(),
+               [&](std::size_t i) { ++visits[i]; }, /*grain=*/8);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoop) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  parallel_for(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, NonZeroBeginRespected) {
+  std::vector<int> hit(20, 0);
+  parallel_for(10, 20, [&](std::size_t i) { hit[i] = 1; }, 1);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(hit[i], 0);
+  for (std::size_t i = 10; i < 20; ++i) EXPECT_EQ(hit[i], 1);
+}
+
+TEST(ParallelForChunkedTest, ChunksTileTheRange) {
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for_chunked(
+      0, 1000,
+      [&](std::size_t lo, std::size_t hi) {
+        std::lock_guard<std::mutex> lock(m);
+        chunks.emplace_back(lo, hi);
+      },
+      10);
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expected_lo = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expected_lo);
+    EXPECT_GT(hi, lo);
+    expected_lo = hi;
+  }
+  EXPECT_EQ(expected_lo, 1000u);
+}
+
+TEST(ParallelForChunkedTest, SmallRangeRunsAsSingleChunk) {
+  int calls = 0;
+  parallel_for_chunked(
+      0, 10,
+      [&](std::size_t lo, std::size_t hi) {
+        ++calls;
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 10u);
+      },
+      1024);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, SumMatchesSerial) {
+  constexpr std::size_t kN = 100000;
+  std::vector<double> values(kN);
+  for (std::size_t i = 0; i < kN; ++i) values[i] = std::sqrt(i + 1.0);
+  std::atomic<long long> parallel_sum{0};
+  parallel_for(0, kN, [&](std::size_t i) {
+    parallel_sum += static_cast<long long>(values[i] * 100);
+  });
+  long long serial_sum = 0;
+  for (std::size_t i = 0; i < kN; ++i)
+    serial_sum += static_cast<long long>(values[i] * 100);
+  EXPECT_EQ(parallel_sum.load(), serial_sum);
+}
+
+TEST(GlobalPoolTest, IsASingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+  EXPECT_GE(global_pool().size(), 1u);
+}
+
+}  // namespace
+}  // namespace seafl

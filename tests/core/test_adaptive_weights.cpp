@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/adaptive_weights.h"
+#include "core/weight_bounds.h"
+
+namespace seafl {
+namespace {
+
+LocalUpdate make_update(std::size_t client, std::uint64_t base_round,
+                        ModelVector weights, std::size_t samples) {
+  LocalUpdate u;
+  u.client = client;
+  u.base_round = base_round;
+  u.weights = std::move(weights);
+  u.num_samples = samples;
+  return u;
+}
+
+AggregationContext make_ctx(std::uint64_t round, const ModelVector& global,
+                            std::span<const LocalUpdate> buffer) {
+  AggregationContext ctx;
+  ctx.round = round;
+  ctx.global = &global;
+  ctx.total_samples = 0;
+  for (const auto& u : buffer) ctx.total_samples += u.num_samples;
+  return ctx;
+}
+
+TEST(AdaptiveWeightsTest, NormalizedWeightsSumToOne) {
+  AdaptiveWeightConfig cfg;
+  ModelVector global{1.0f, 2.0f, 3.0f};
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 5, {1.1f, 2.0f, 2.9f}, 30));
+  buffer.push_back(make_update(1, 3, {0.5f, 1.0f, 4.0f}, 10));
+  buffer.push_back(make_update(2, 5, {-1.0f, 2.0f, 3.0f}, 20));
+
+  const auto breakdown =
+      compute_adaptive_weights(cfg, make_ctx(5, global, buffer), buffer);
+  ASSERT_EQ(breakdown.size(), 3u);
+  double total = 0.0;
+  for (const auto& b : breakdown) total += b.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(AdaptiveWeightsTest, StalenessReducesWeight) {
+  // Two identical updates except staleness: the stale one weighs less.
+  AdaptiveWeightConfig cfg;
+  cfg.mu = 0.0;  // isolate the staleness term
+  ModelVector global{1.0f, 1.0f};
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, /*base_round=*/10, {1.0f, 1.0f}, 10));
+  buffer.push_back(make_update(1, /*base_round=*/2, {1.0f, 1.0f}, 10));
+
+  const auto breakdown =
+      compute_adaptive_weights(cfg, make_ctx(10, global, buffer), buffer);
+  EXPECT_EQ(breakdown[0].staleness, 0u);
+  EXPECT_EQ(breakdown[1].staleness, 8u);
+  EXPECT_GT(breakdown[0].weight, breakdown[1].weight);
+}
+
+TEST(AdaptiveWeightsTest, SimilarityIncreasesWeight) {
+  AdaptiveWeightConfig cfg;
+  cfg.alpha = 0.0;  // isolate the importance term
+  cfg.mu = 1.0;
+  ModelVector global{1.0f, 0.0f};
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {2.0f, 0.0f}, 10));   // aligned
+  buffer.push_back(make_update(1, 0, {-2.0f, 0.0f}, 10));  // opposed
+
+  const auto breakdown =
+      compute_adaptive_weights(cfg, make_ctx(0, global, buffer), buffer);
+  EXPECT_GT(breakdown[0].theta, breakdown[1].theta);
+  EXPECT_GT(breakdown[0].weight, breakdown[1].weight);
+  EXPECT_NEAR(breakdown[1].importance, 0.0, 1e-9);  // theta = -1 -> s = 0
+}
+
+TEST(AdaptiveWeightsTest, DataFractionScalesWeight) {
+  AdaptiveWeightConfig cfg;
+  cfg.mu = 0.0;
+  ModelVector global{1.0f};
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {1.0f}, 30));
+  buffer.push_back(make_update(1, 0, {1.0f}, 10));
+  const auto breakdown =
+      compute_adaptive_weights(cfg, make_ctx(0, global, buffer), buffer);
+  EXPECT_NEAR(breakdown[0].data_fraction, 0.75, 1e-12);
+  EXPECT_NEAR(breakdown[0].weight / breakdown[1].weight, 3.0, 1e-6);
+}
+
+TEST(AdaptiveWeightsTest, Equation6Composition) {
+  // Hand-computed single-update case: p = d * (gamma + s), normalized to 1.
+  // With the default delta input, update {2, 0} against global {1, 0} has
+  // delta {1, 0} parallel to the global model -> theta = 1.
+  AdaptiveWeightConfig cfg;
+  cfg.alpha = 2.0;
+  cfg.mu = 1.0;
+  cfg.staleness_limit = 10;
+  ModelVector global{1.0f, 0.0f};
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, /*base_round=*/5, {2.0f, 0.0f}, 10));
+  const auto breakdown =
+      compute_adaptive_weights(cfg, make_ctx(10, global, buffer), buffer);
+  // gamma = 2 * 10 / (5 + 10); theta = 1 -> s = 1 * (1+1)/2 = 1.
+  EXPECT_NEAR(breakdown[0].gamma, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(breakdown[0].importance, 1.0, 1e-6);
+  EXPECT_NEAR(breakdown[0].raw, 1.0 * (4.0 / 3.0 + 1.0), 1e-6);
+  EXPECT_NEAR(breakdown[0].weight, 1.0, 1e-12);  // normalized single weight
+}
+
+TEST(AdaptiveWeightsTest, UnnormalizedModeKeepsRawWeights) {
+  AdaptiveWeightConfig cfg;
+  cfg.normalize = false;
+  ModelVector global{1.0f};
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {1.0f}, 10));
+  buffer.push_back(make_update(1, 0, {1.0f}, 10));
+  const auto breakdown =
+      compute_adaptive_weights(cfg, make_ctx(0, global, buffer), buffer);
+  for (const auto& b : breakdown) EXPECT_DOUBLE_EQ(b.weight, b.raw);
+}
+
+TEST(AdaptiveWeightsTest, RejectsInvalidInputs) {
+  AdaptiveWeightConfig cfg;
+  ModelVector global{1.0f};
+  std::vector<LocalUpdate> buffer;
+  EXPECT_THROW(
+      compute_adaptive_weights(cfg, make_ctx(0, global, buffer), buffer),
+      Error);  // empty buffer
+
+  buffer.push_back(make_update(0, 5, {1.0f}, 10));
+  EXPECT_THROW(
+      compute_adaptive_weights(cfg, make_ctx(0, global, buffer), buffer),
+      Error);  // update from the future
+
+  cfg.alpha = cfg.mu = 0.0;
+  buffer[0].base_round = 0;
+  EXPECT_THROW(
+      compute_adaptive_weights(cfg, make_ctx(0, global, buffer), buffer),
+      Error);  // both knobs zero
+}
+
+// --- Lemma 1 property sweep ------------------------------------------------
+// For random buffers across the (alpha, mu) grid, every raw weight must lie
+// in [alpha/2 * d_k, (alpha + mu) * d_k].
+
+class Lemma1Property
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(Lemma1Property, RawWeightsWithinLemma1Interval) {
+  const auto [alpha, mu] = GetParam();
+  AdaptiveWeightConfig cfg;
+  cfg.alpha = alpha;
+  cfg.mu = mu;
+  cfg.staleness_limit = 10;
+  cfg.normalize = false;
+
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform_int(6);
+    const std::uint64_t round = 10 + rng.uniform_int(5);
+    ModelVector global(16);
+    for (auto& v : global) v = static_cast<float>(rng.normal());
+
+    std::vector<LocalUpdate> buffer;
+    for (std::size_t i = 0; i < n; ++i) {
+      ModelVector w(16);
+      for (auto& v : w) v = static_cast<float>(rng.normal());
+      // Staleness within the limit, as SEAFL's waiting guarantees.
+      const std::uint64_t staleness = rng.uniform_int(cfg.staleness_limit + 1);
+      buffer.push_back(
+          make_update(i, round - staleness, std::move(w),
+                      1 + rng.uniform_int(50)));
+    }
+    const auto ctx = make_ctx(round, global, buffer);
+    const auto breakdown = compute_adaptive_weights(cfg, ctx, buffer);
+    EXPECT_TRUE(satisfies_lemma1(alpha, mu, breakdown))
+        << "alpha=" << alpha << " mu=" << mu << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaMuGrid, Lemma1Property,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 3.0, 10.0),
+                       ::testing::Values(0.0, 1.0, 3.0, 10.0)));
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/importance.h"
+#include "common/rng.h"
+
+namespace seafl {
+namespace {
+
+TEST(ImportanceFactorTest, Equation5Mapping) {
+  // s = mu * (theta + 1) / 2.
+  EXPECT_DOUBLE_EQ(importance_factor(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(importance_factor(1.0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(importance_factor(1.0, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(importance_factor(2.0, 0.5), 1.5);
+}
+
+TEST(ImportanceFactorTest, MuZeroDisablesImportance) {
+  EXPECT_DOUBLE_EQ(importance_factor(0.0, 0.7), 0.0);
+}
+
+TEST(ImportanceFactorTest, RejectsInvalidArguments) {
+  EXPECT_THROW(importance_factor(-1.0, 0.0), Error);
+  EXPECT_THROW(importance_factor(1.0, 1.5), Error);
+  EXPECT_THROW(importance_factor(1.0, -1.5), Error);
+}
+
+TEST(SimilarityTest, CosineOfWeightsAgainstGlobal) {
+  const std::vector<float> global{1.0f, 0.0f};
+  const std::vector<float> same{2.0f, 0.0f};
+  const std::vector<float> orth{0.0f, 3.0f};
+  EXPECT_NEAR(importance_similarity(same, global, ImportanceInput::kWeights,
+                                    SimilarityKind::kCosine),
+              1.0, 1e-6);
+  EXPECT_NEAR(importance_similarity(orth, global, ImportanceInput::kWeights,
+                                    SimilarityKind::kCosine),
+              0.0, 1e-9);
+}
+
+TEST(SimilarityTest, DeltaVariantComparesDifference) {
+  const std::vector<float> global{1.0f, 0.0f};
+  // client = global + delta where delta = (0, 1): orthogonal to global.
+  const std::vector<float> client{1.0f, 1.0f};
+  EXPECT_NEAR(importance_similarity(client, global, ImportanceInput::kDelta,
+                                    SimilarityKind::kCosine),
+              0.0, 1e-6);
+  // client - global parallel to global.
+  const std::vector<float> forward{3.0f, 0.0f};
+  EXPECT_NEAR(importance_similarity(forward, global, ImportanceInput::kDelta,
+                                    SimilarityKind::kCosine),
+              1.0, 1e-6);
+}
+
+TEST(SimilarityTest, DotVariantStaysInUnitInterval) {
+  Rng rng(3);
+  std::vector<float> a(512), b(512);
+  for (auto& v : a) v = static_cast<float>(rng.normal(0.0, 10.0));
+  for (auto& v : b) v = static_cast<float>(rng.normal(0.0, 10.0));
+  const double theta = importance_similarity(
+      a, b, ImportanceInput::kWeights, SimilarityKind::kDotProduct);
+  EXPECT_GE(theta, -1.0);
+  EXPECT_LE(theta, 1.0);
+}
+
+TEST(SimilarityTest, DotVariantSignMatchesAlignment) {
+  const std::vector<float> global{1.0f, 1.0f};
+  const std::vector<float> aligned{2.0f, 2.0f};
+  const std::vector<float> opposed{-2.0f, -2.0f};
+  EXPECT_GT(importance_similarity(aligned, global, ImportanceInput::kWeights,
+                                  SimilarityKind::kDotProduct),
+            0.0);
+  EXPECT_LT(importance_similarity(opposed, global, ImportanceInput::kWeights,
+                                  SimilarityKind::kDotProduct),
+            0.0);
+}
+
+TEST(SimilarityTest, CosineIsScaleInvariantDotIsNot) {
+  const std::vector<float> global{1.0f, 2.0f, 3.0f};
+  const std::vector<float> small{0.1f, 0.2f, 0.3f};
+  const std::vector<float> large{10.0f, 20.0f, 30.0f};
+  const double cos_small = importance_similarity(
+      small, global, ImportanceInput::kWeights, SimilarityKind::kCosine);
+  const double cos_large = importance_similarity(
+      large, global, ImportanceInput::kWeights, SimilarityKind::kCosine);
+  EXPECT_NEAR(cos_small, cos_large, 1e-6);
+
+  const double dot_small = importance_similarity(
+      small, global, ImportanceInput::kWeights, SimilarityKind::kDotProduct);
+  const double dot_large = importance_similarity(
+      large, global, ImportanceInput::kWeights, SimilarityKind::kDotProduct);
+  EXPECT_LT(dot_small, dot_large);
+}
+
+TEST(SimilarityTest, RejectsMismatchedOrEmpty) {
+  const std::vector<float> a{1.0f};
+  const std::vector<float> b{1.0f, 2.0f};
+  EXPECT_THROW(importance_similarity(a, b, ImportanceInput::kWeights,
+                                     SimilarityKind::kCosine),
+               Error);
+  const std::vector<float> empty;
+  EXPECT_THROW(importance_similarity(empty, empty, ImportanceInput::kWeights,
+                                     SimilarityKind::kCosine),
+               Error);
+}
+
+// Property: for any random pair, Eq. 5 output lies in [0, mu].
+class ImportanceRangeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ImportanceRangeTest, FactorWithinBounds) {
+  const double mu = GetParam();
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> a(32), b(32);
+    for (auto& v : a) v = static_cast<float>(rng.normal());
+    for (auto& v : b) v = static_cast<float>(rng.normal());
+    for (const auto input :
+         {ImportanceInput::kWeights, ImportanceInput::kDelta}) {
+      for (const auto kind :
+           {SimilarityKind::kCosine, SimilarityKind::kDotProduct}) {
+        const double theta = importance_similarity(a, b, input, kind);
+        const double s = importance_factor(mu, theta);
+        ASSERT_GE(s, 0.0);
+        ASSERT_LE(s, mu + 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MuValues, ImportanceRangeTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 5.0, 10.0));
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/presets.h"
+#include "core/seafl_strategy.h"
+
+namespace seafl {
+namespace {
+
+class PresetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PresetTest, ArmConstructsWithStrategyAndLabel) {
+  ExperimentParams params;
+  const Arm arm = make_arm(GetParam(), params);
+  ASSERT_NE(arm.strategy, nullptr);
+  EXPECT_FALSE(arm.label.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, PresetTest,
+                         ::testing::ValuesIn(known_algorithms()));
+
+TEST(PresetConfigTest, SeaflArmUsesWaitingProtocol) {
+  ExperimentParams params;
+  params.staleness_limit = 7;
+  const Arm arm = make_arm("seafl", params);
+  EXPECT_EQ(arm.config.staleness_limit, 7u);
+  EXPECT_TRUE(arm.config.wait_for_stale);
+  EXPECT_FALSE(arm.config.partial_training);
+  EXPECT_EQ(arm.config.mode, FlMode::kSemiAsync);
+  EXPECT_EQ(arm.strategy->name(), "SEAFL");
+  EXPECT_NE(arm.label.find("beta=7"), std::string::npos);
+}
+
+TEST(PresetConfigTest, Seafl2AddsPartialTrainingWithoutBlocking) {
+  // Algorithm 2 notifies stale devices instead of holding aggregation for
+  // them; only Algorithm 1 (the "seafl" arm) synchronously waits.
+  const Arm arm = make_arm("seafl2", ExperimentParams{});
+  EXPECT_FALSE(arm.config.wait_for_stale);
+  EXPECT_TRUE(arm.config.partial_training);
+  EXPECT_EQ(arm.config.staleness_limit, ExperimentParams{}.staleness_limit);
+}
+
+TEST(PresetConfigTest, SeaflInfHasNoLimit) {
+  const Arm arm = make_arm("seafl-inf", ExperimentParams{});
+  EXPECT_EQ(arm.config.staleness_limit, kNoStalenessLimit);
+  EXPECT_FALSE(arm.config.wait_for_stale);
+  const auto* strategy =
+      dynamic_cast<const SeaflStrategy*>(arm.strategy.get());
+  ASSERT_NE(strategy, nullptr);
+  EXPECT_EQ(strategy->config().weights.staleness_limit, kNoStalenessLimit);
+}
+
+TEST(PresetConfigTest, FedBuffHasNoStalenessLimit) {
+  const Arm arm = make_arm("fedbuff", ExperimentParams{});
+  EXPECT_EQ(arm.config.staleness_limit, kNoStalenessLimit);
+  EXPECT_FALSE(arm.config.wait_for_stale);
+  EXPECT_EQ(arm.strategy->name(), "FedBuff");
+}
+
+TEST(PresetConfigTest, FedAsyncForcesBufferOne) {
+  ExperimentParams params;
+  params.buffer_size = 10;
+  const Arm arm = make_arm("fedasync", params);
+  EXPECT_EQ(arm.config.buffer_size, 1u);
+}
+
+TEST(PresetConfigTest, FedAvgIsSynchronous) {
+  const Arm arm = make_arm("fedavg", ExperimentParams{});
+  EXPECT_EQ(arm.config.mode, FlMode::kSync);
+  EXPECT_EQ(arm.strategy->name(), "FedAvg");
+}
+
+TEST(PresetConfigTest, SafaDropUsesDropProtocol) {
+  const Arm arm = make_arm("safa-drop", ExperimentParams{});
+  EXPECT_TRUE(arm.config.drop_stale);
+  EXPECT_FALSE(arm.config.wait_for_stale);
+}
+
+TEST(PresetConfigTest, SharedKnobsPropagate) {
+  ExperimentParams params;
+  params.buffer_size = 5;
+  params.concurrency = 11;
+  params.local_epochs = 3;
+  params.learning_rate = 0.02f;
+  params.target_accuracy = 0.77;
+  params.seed = 99;
+  const Arm arm = make_arm("seafl", params);
+  EXPECT_EQ(arm.config.buffer_size, 5u);
+  EXPECT_EQ(arm.config.concurrency, 11u);
+  EXPECT_EQ(arm.config.local_epochs, 3u);
+  EXPECT_FLOAT_EQ(arm.config.sgd.learning_rate, 0.02f);
+  EXPECT_DOUBLE_EQ(arm.config.target_accuracy, 0.77);
+  EXPECT_EQ(arm.config.seed, 99u);
+}
+
+TEST(PresetConfigTest, UnknownAlgorithmThrows) {
+  EXPECT_THROW(make_arm("fedsgd-9000", ExperimentParams{}), Error);
+}
+
+TEST(PresetConfigTest, Seafl2SubEnablesSubmodelTraining) {
+  const Arm arm = make_arm("seafl2-sub", ExperimentParams{});
+  EXPECT_TRUE(arm.config.partial_training);
+  EXPECT_TRUE(arm.config.submodel_training);
+  EXPECT_EQ(arm.strategy->name(), "SEAFL");
+}
+
+TEST(PresetConfigTest, FedProxIsSyncWithProximalTerm) {
+  const Arm arm = make_arm("fedprox", ExperimentParams{});
+  EXPECT_EQ(arm.config.mode, FlMode::kSync);
+  EXPECT_GT(arm.config.proximal_mu, 0.0);
+  EXPECT_EQ(arm.strategy->name(), "FedAvg");
+}
+
+TEST(PresetConfigTest, FedSaEpochsEnablesAdaptiveEpochs) {
+  const Arm arm = make_arm("fedsa-epochs", ExperimentParams{});
+  EXPECT_TRUE(arm.config.adaptive_epochs);
+  EXPECT_EQ(arm.config.mode, FlMode::kSemiAsync);
+  EXPECT_EQ(arm.strategy->name(), "FedBuff");
+}
+
+TEST(RunArmTest, ExecutesEndToEnd) {
+  TaskSpec spec;
+  spec.name = "synth-mnist";
+  spec.num_clients = 10;
+  spec.samples_per_client = 15;
+  spec.test_samples = 50;
+  const FlTask task = make_task(spec);
+
+  FleetConfig fc;
+  fc.num_devices = 10;
+  const Fleet fleet(fc);
+
+  ExperimentParams params;
+  params.buffer_size = 3;
+  params.concurrency = 6;
+  params.local_epochs = 2;
+  params.max_rounds = 5;
+  params.stop_at_target = false;
+  const RunResult r = run_arm("seafl", params, task, fleet);
+  EXPECT_EQ(r.rounds, 5u);
+  EXPECT_FALSE(r.curve.empty());
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "core/seafl_strategy.h"
+#include "fl/strategies.h"
+
+namespace seafl {
+namespace {
+
+LocalUpdate make_update(std::size_t client, std::uint64_t base_round,
+                        ModelVector weights, std::size_t samples,
+                        std::size_t epochs = 5) {
+  LocalUpdate u;
+  u.client = client;
+  u.base_round = base_round;
+  u.weights = std::move(weights);
+  u.num_samples = samples;
+  u.epochs_completed = epochs;
+  return u;
+}
+
+AggregationContext make_ctx(std::uint64_t round, const ModelVector& global,
+                            std::span<const LocalUpdate> buffer) {
+  AggregationContext ctx;
+  ctx.round = round;
+  ctx.global = &global;
+  ctx.total_samples = 0;
+  for (const auto& u : buffer) ctx.total_samples += u.num_samples;
+  return ctx;
+}
+
+TEST(SeaflStrategyTest, HandComputedAggregation) {
+  // Single fresh, perfectly aligned update with vartheta = 0.5:
+  // p = 1 after normalization, w_new = update, mixed 50/50.
+  SeaflConfig cfg;
+  cfg.vartheta = 0.5;
+  SeaflStrategy strategy(cfg);
+
+  ModelVector global{2.0f, 0.0f};
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {4.0f, 0.0f}, 10));
+  strategy.aggregate(make_ctx(0, global, buffer), buffer, global);
+  EXPECT_FLOAT_EQ(global[0], 3.0f);
+  EXPECT_FLOAT_EQ(global[1], 0.0f);
+}
+
+TEST(SeaflStrategyTest, BreakdownExposedAfterAggregate) {
+  SeaflStrategy strategy(SeaflConfig{});
+  ModelVector global{1.0f, 1.0f};
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 3, {1.0f, 0.9f}, 10));
+  buffer.push_back(make_update(1, 5, {0.9f, 1.1f}, 20));
+  strategy.aggregate(make_ctx(5, global, buffer), buffer, global);
+
+  const auto& bd = strategy.last_breakdown();
+  ASSERT_EQ(bd.size(), 2u);
+  EXPECT_EQ(bd[0].staleness, 2u);
+  EXPECT_EQ(bd[1].staleness, 0u);
+  EXPECT_NEAR(bd[0].weight + bd[1].weight, 1.0, 1e-9);
+}
+
+TEST(SeaflStrategyTest, StaleUpdateContributesLess) {
+  // Same weights and sample counts; only staleness differs. After
+  // aggregation the global model must sit closer to the fresh update.
+  SeaflConfig cfg;
+  cfg.weights.mu = 0.0;
+  SeaflStrategy strategy(cfg);
+
+  ModelVector global{0.0f};
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 10, {1.0f}, 10));  // fresh, pushes up
+  buffer.push_back(make_update(1, 1, {-1.0f}, 10));  // stale, pushes down
+  strategy.aggregate(make_ctx(10, global, buffer), buffer, global);
+  EXPECT_GT(global[0], 0.0f);
+}
+
+TEST(SeaflStrategyTest, DegeneratesToFedBuffWithUniformWeights) {
+  // The paper (§V): SEAFL's aggregation reduces to FedBuff when p = 1/K.
+  // Force uniformity: alpha > 0, mu = 0 (no similarity term), all updates
+  // equally fresh and equally sized -> identical p, normalized to 1/K.
+  SeaflConfig cfg;
+  cfg.weights.alpha = 3.0;
+  cfg.weights.mu = 0.0;
+  cfg.vartheta = 0.8;
+  SeaflStrategy seafl(cfg);
+  FedBuffStrategy fedbuff(FedBuffConfig{.vartheta = 0.8});
+
+  Rng rng(5);
+  ModelVector global_a(32), update1(32), update2(32), update3(32);
+  for (auto* v : {&global_a, &update1, &update2, &update3})
+    for (auto& x : *v) x = static_cast<float>(rng.normal());
+  ModelVector global_b = global_a;
+
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 4, update1, 10));
+  buffer.push_back(make_update(1, 4, update2, 10));
+  buffer.push_back(make_update(2, 4, update3, 10));
+
+  seafl.aggregate(make_ctx(4, global_a, buffer), buffer, global_a);
+  fedbuff.aggregate(make_ctx(4, global_b, buffer), buffer, global_b);
+  for (std::size_t i = 0; i < global_a.size(); ++i)
+    ASSERT_NEAR(global_a[i], global_b[i], 1e-5) << "at " << i;
+}
+
+TEST(SeaflStrategyTest, PartialUpdateDownscaled) {
+  SeaflConfig cfg;
+  cfg.weights.mu = 0.0;
+  cfg.scale_partial_updates = true;
+  cfg.full_epochs = 4;
+  SeaflStrategy strategy(cfg);
+
+  ModelVector global{0.0f};
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {1.0f}, 10, /*epochs=*/4));   // full
+  buffer.push_back(make_update(1, 0, {-1.0f}, 10, /*epochs=*/1));  // partial
+  strategy.aggregate(make_ctx(0, global, buffer), buffer, global);
+  // Partial update weight scaled by 1/4, so positive side dominates.
+  EXPECT_GT(global[0], 0.0f);
+  const auto& bd = strategy.last_breakdown();
+  EXPECT_GT(bd[0].weight, bd[1].weight);
+  EXPECT_NEAR(bd[0].weight + bd[1].weight, 1.0, 1e-9);
+}
+
+TEST(SeaflStrategyTest, PartialScalingCanBeDisabled) {
+  SeaflConfig cfg;
+  cfg.weights.mu = 0.0;
+  cfg.scale_partial_updates = false;
+  cfg.full_epochs = 4;
+  SeaflStrategy strategy(cfg);
+
+  ModelVector global{0.0f};
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {1.0f}, 10, 4));
+  buffer.push_back(make_update(1, 0, {-1.0f}, 10, 1));
+  strategy.aggregate(make_ctx(0, global, buffer), buffer, global);
+  EXPECT_NEAR(global[0], 0.0f, 1e-6);  // symmetric without scaling
+}
+
+TEST(SeaflStrategyTest, InfiniteStalenessLimitStillWorks) {
+  SeaflConfig cfg;
+  cfg.weights.staleness_limit = kNoStalenessLimit;
+  SeaflStrategy strategy(cfg);
+  ModelVector global{1.0f};
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {2.0f}, 10));
+  EXPECT_NO_THROW(
+      strategy.aggregate(make_ctx(500, global, buffer), buffer, global));
+}
+
+TEST(SeaflStrategyTest, NameAndConfigAccessors) {
+  SeaflConfig cfg;
+  cfg.vartheta = 0.6;
+  SeaflStrategy strategy(cfg);
+  EXPECT_EQ(strategy.name(), "SEAFL");
+  EXPECT_DOUBLE_EQ(strategy.config().vartheta, 0.6);
+}
+
+TEST(SeaflStrategyTest, RejectsInvalidConfig) {
+  SeaflConfig bad;
+  bad.vartheta = 0.0;
+  EXPECT_THROW(SeaflStrategy{bad}, Error);
+  bad.vartheta = 0.8;
+  bad.full_epochs = 0;
+  EXPECT_THROW(SeaflStrategy{bad}, Error);
+}
+
+TEST(SeaflStrategyTest, DimensionMismatchThrows) {
+  SeaflStrategy strategy{SeaflConfig{}};
+  ModelVector global{1.0f, 2.0f};
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {1.0f}, 10));
+  EXPECT_THROW(
+      strategy.aggregate(make_ctx(0, global, buffer), buffer, global),
+      Error);
+}
+
+}  // namespace
+}  // namespace seafl

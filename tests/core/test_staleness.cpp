@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "core/staleness.h"
+
+namespace seafl {
+namespace {
+
+TEST(StalenessFactorTest, FreshUpdateGetsAlpha) {
+  EXPECT_DOUBLE_EQ(staleness_factor(3.0, 0, 10), 3.0);
+  EXPECT_DOUBLE_EQ(staleness_factor(1.0, 0, 1), 1.0);
+}
+
+TEST(StalenessFactorTest, AtLimitGetsAlphaOverTwo) {
+  // Eq. 4 with S = beta: alpha * beta / (beta + beta) = alpha / 2 — the
+  // lower endpoint of Lemma 1.
+  EXPECT_DOUBLE_EQ(staleness_factor(3.0, 10, 10), 1.5);
+  EXPECT_DOUBLE_EQ(staleness_factor(4.0, 7, 7), 2.0);
+}
+
+TEST(StalenessFactorTest, ExactEquation4Values) {
+  // alpha * beta / (S + beta).
+  EXPECT_DOUBLE_EQ(staleness_factor(2.0, 5, 10), 2.0 * 10.0 / 15.0);
+  EXPECT_DOUBLE_EQ(staleness_factor(1.0, 3, 4), 4.0 / 7.0);
+}
+
+TEST(StalenessFactorTest, InfiniteLimitDegeneratesToAlpha) {
+  EXPECT_DOUBLE_EQ(staleness_factor(3.0, 0, kNoStalenessLimit), 3.0);
+  EXPECT_DOUBLE_EQ(staleness_factor(3.0, 1000, kNoStalenessLimit), 3.0);
+}
+
+TEST(StalenessFactorTest, AlphaZeroDisablesStalenessTerm) {
+  EXPECT_DOUBLE_EQ(staleness_factor(0.0, 5, 10), 0.0);
+}
+
+TEST(StalenessFactorTest, RejectsInvalidArguments) {
+  EXPECT_THROW(staleness_factor(-1.0, 0, 10), Error);
+  EXPECT_THROW(staleness_factor(1.0, 0, 0), Error);
+}
+
+// Property sweep: monotone decreasing in staleness, bounded by Lemma 1's
+// endpoints as long as S <= beta, and increasing in alpha.
+class StalenessSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(StalenessSweep, MonotoneAndBounded) {
+  const auto [alpha, beta] = GetParam();
+  double prev = staleness_factor(alpha, 0, beta);
+  EXPECT_DOUBLE_EQ(prev, alpha);
+  for (std::uint64_t s = 1; s <= beta; ++s) {
+    const double g = staleness_factor(alpha, s, beta);
+    EXPECT_LT(g, prev) << "not decreasing at S=" << s;
+    EXPECT_GE(g, alpha / 2.0 - 1e-12) << "below Lemma-1 lower bound at " << s;
+    EXPECT_LE(g, alpha + 1e-12);
+    prev = g;
+  }
+  // Increasing in alpha at fixed staleness.
+  EXPECT_LT(staleness_factor(alpha, beta / 2, beta),
+            staleness_factor(alpha + 1.0, beta / 2, beta));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaBetaGrid, StalenessSweep,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 3.0, 10.0),
+                       ::testing::Values<std::uint64_t>(1, 3, 10, 12, 100)));
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/weight_bounds.h"
+
+namespace seafl {
+namespace {
+
+TEST(Lemma1IntervalTest, Endpoints) {
+  const auto iv = lemma1_interval(3.0, 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(iv.lower, 0.15);  // alpha/2 * d
+  EXPECT_DOUBLE_EQ(iv.upper, 0.4);   // (alpha + mu) * d
+}
+
+TEST(Lemma1IntervalTest, ZeroDataFractionCollapses) {
+  const auto iv = lemma1_interval(3.0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(iv.lower, 0.0);
+  EXPECT_DOUBLE_EQ(iv.upper, 0.0);
+}
+
+TEST(Lemma1IntervalTest, RejectsInvalidArguments) {
+  EXPECT_THROW(lemma1_interval(-1.0, 1.0, 0.5), Error);
+  EXPECT_THROW(lemma1_interval(1.0, 1.0, 1.5), Error);
+}
+
+TEST(SatisfiesLemma1Test, AcceptsInBoundsRejectsOutOfBounds) {
+  WeightBreakdown ok;
+  ok.data_fraction = 0.2;
+  ok.raw = 0.5;  // in [0.3, 0.8] for alpha=3, mu=1
+  EXPECT_TRUE(satisfies_lemma1(3.0, 1.0, std::vector<WeightBreakdown>{ok}));
+
+  WeightBreakdown low = ok;
+  low.raw = 0.1;
+  EXPECT_FALSE(satisfies_lemma1(3.0, 1.0, std::vector<WeightBreakdown>{low}));
+
+  WeightBreakdown high = ok;
+  high.raw = 0.9;
+  EXPECT_FALSE(
+      satisfies_lemma1(3.0, 1.0, std::vector<WeightBreakdown>{high}));
+}
+
+TEST(LambdaDTest, SumOfSquares) {
+  const std::vector<double> d{0.5, 0.3, 0.2};
+  EXPECT_NEAR(lambda_d(d), 0.25 + 0.09 + 0.04, 1e-12);
+  EXPECT_THROW(lambda_d(std::vector<double>{1.5}), Error);
+}
+
+TEST(LambdaDTest, UniformFractionsGiveOneOverK) {
+  const std::vector<double> d(10, 0.1);
+  EXPECT_NEAR(lambda_d(d), 0.1, 1e-12);
+}
+
+TEST(MaxStableLrTest, MatchesEquation10) {
+  // eta_max = alpha^2 lambda / (4 (alpha+mu) K L).
+  const double eta = max_stable_learning_rate(3.0, 1.0, 0.1, 10, 2.0);
+  EXPECT_NEAR(eta, 9.0 * 0.1 / (4.0 * 4.0 * 10.0 * 2.0), 1e-12);
+}
+
+TEST(MaxStableLrTest, LargerBufferDemandsSmallerLr) {
+  const double k5 = max_stable_learning_rate(3.0, 1.0, 0.1, 5, 1.0);
+  const double k20 = max_stable_learning_rate(3.0, 1.0, 0.1, 20, 1.0);
+  EXPECT_GT(k5, k20);
+  EXPECT_NEAR(k5 / k20, 4.0, 1e-9);
+}
+
+TEST(MaxStableLrTest, LargerMuDemandsSmallerLr) {
+  // More importance weighting widens the Lemma-1 interval, tightening Eq.10.
+  EXPECT_GT(max_stable_learning_rate(3.0, 0.0, 0.1, 10, 1.0),
+            max_stable_learning_rate(3.0, 5.0, 0.1, 10, 1.0));
+}
+
+TEST(MaxStableLrTest, RejectsInvalidArguments) {
+  EXPECT_THROW(max_stable_learning_rate(0.0, 1.0, 0.1, 10, 1.0), Error);
+  EXPECT_THROW(max_stable_learning_rate(3.0, 1.0, 0.0, 10, 1.0), Error);
+  EXPECT_THROW(max_stable_learning_rate(3.0, 1.0, 0.1, 0, 1.0), Error);
+  EXPECT_THROW(max_stable_learning_rate(3.0, 1.0, 0.1, 10, 0.0), Error);
+}
+
+TEST(SatisfiesLrTest, BoundaryInclusive) {
+  const double eta = max_stable_learning_rate(3.0, 1.0, 0.1, 10, 2.0);
+  EXPECT_TRUE(satisfies_lr_condition(eta, 3.0, 1.0, 0.1, 10, 2.0));
+  EXPECT_TRUE(satisfies_lr_condition(eta * 0.5, 3.0, 1.0, 0.1, 10, 2.0));
+  EXPECT_FALSE(satisfies_lr_condition(eta * 2.0, 3.0, 1.0, 0.1, 10, 2.0));
+  EXPECT_THROW(satisfies_lr_condition(0.0, 3.0, 1.0, 0.1, 10, 2.0), Error);
+}
+
+}  // namespace
+}  // namespace seafl

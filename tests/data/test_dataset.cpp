@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace seafl {
+namespace {
+
+Dataset make_toy() {
+  // 4 samples of 1x2x2 images, labels 0..1.
+  InputSpec input{1, 2, 2};
+  Tensor features({4, 4});
+  for (std::size_t i = 0; i < 16; ++i)
+    features[i] = static_cast<float>(i);
+  return Dataset(input, std::move(features), {0, 1, 0, 1}, 2);
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = make_toy();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.num_classes(), 2u);
+  EXPECT_EQ(d.sample_numel(), 4u);
+  EXPECT_EQ(d.label(1), 1);
+  const auto s = d.sample(2);
+  EXPECT_EQ(s[0], 8.0f);
+  EXPECT_EQ(s[3], 11.0f);
+}
+
+TEST(DatasetTest, ConstructionValidatesSizes) {
+  InputSpec input{1, 2, 2};
+  EXPECT_THROW(Dataset(input, Tensor({3, 4}), {0, 1}, 2), Error);
+  EXPECT_THROW(Dataset(input, Tensor({2, 4}), {0, 5}, 2), Error);   // bad label
+  EXPECT_THROW(Dataset(input, Tensor({2, 4}), {0, -1}, 2), Error);  // negative
+  EXPECT_THROW(Dataset(input, Tensor({2, 4}), {0, 0}, 1), Error);   // 1 class
+}
+
+TEST(DatasetTest, GatherFlat) {
+  Dataset d = make_toy();
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+  const std::vector<std::size_t> idx{3, 0};
+  d.gather(idx, batch, labels, /*as_images=*/false);
+  EXPECT_EQ(batch.shape(), (Shape{2, 4}));
+  EXPECT_EQ(batch[0], 12.0f);  // sample 3 first
+  EXPECT_EQ(batch[4], 0.0f);   // sample 0 second
+  EXPECT_EQ(labels, (std::vector<std::int32_t>{1, 0}));
+}
+
+TEST(DatasetTest, GatherAsImages) {
+  Dataset d = make_toy();
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+  const std::vector<std::size_t> idx{1};
+  d.gather(idx, batch, labels, /*as_images=*/true);
+  EXPECT_EQ(batch.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(batch[2], 6.0f);
+}
+
+TEST(DatasetTest, GatherRejectsOutOfRange) {
+  Dataset d = make_toy();
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+  const std::vector<std::size_t> idx{4};
+  EXPECT_THROW(d.gather(idx, batch, labels, false), Error);
+}
+
+TEST(DatasetTest, SubsetMaterializesIndependentCopy) {
+  Dataset d = make_toy();
+  const std::vector<std::size_t> idx{1, 3};
+  Dataset sub = d.subset(idx);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.label(0), 1);
+  EXPECT_EQ(sub.label(1), 1);
+  EXPECT_EQ(sub.sample(0)[0], 4.0f);
+  EXPECT_EQ(sub.num_classes(), 2u);
+}
+
+TEST(DatasetTest, ClassHistogram) {
+  Dataset d = make_toy();
+  const auto hist = d.class_histogram();
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[1], 2u);
+}
+
+TEST(DatasetTest, GatherReusesOutputBuffer) {
+  Dataset d = make_toy();
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+  const std::vector<std::size_t> idx{0, 1};
+  d.gather(idx, batch, labels, false);
+  const float* ptr = batch.data();
+  d.gather(idx, batch, labels, false);
+  EXPECT_EQ(batch.data(), ptr);  // same allocation for same shape
+}
+
+}  // namespace
+}  // namespace seafl

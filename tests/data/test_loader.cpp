@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/loader.h"
+#include "data/synthetic.h"
+
+namespace seafl {
+namespace {
+
+Dataset make_data(std::size_t n = 50) {
+  GaussianSpec spec;
+  spec.num_samples = n;
+  spec.num_classes = 5;
+  spec.input = {1, 1, 4};
+  return make_gaussian_dataset(spec);
+}
+
+std::vector<std::size_t> iota_indices(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+TEST(DataLoaderTest, EpochVisitsEverySampleOnce) {
+  Dataset d = make_data(23);
+  DataLoader loader(d, iota_indices(23), 5, false);
+  Rng rng(1);
+  loader.begin_epoch(rng);
+
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+  std::multiset<float> seen;
+  std::size_t total = 0;
+  while (loader.next(batch, labels)) {
+    total += labels.size();
+    for (std::size_t b = 0; b < labels.size(); ++b)
+      seen.insert(batch[b * 4]);  // first feature identifies the sample
+  }
+  EXPECT_EQ(total, 23u);
+  EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(DataLoaderTest, BatchSizes) {
+  Dataset d = make_data(10);
+  DataLoader loader(d, iota_indices(10), 4, false);
+  Rng rng(2);
+  loader.begin_epoch(rng);
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+  std::vector<std::size_t> sizes;
+  while (loader.next(batch, labels)) sizes.push_back(labels.size());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{4, 4, 2}));
+  EXPECT_EQ(loader.batches_per_epoch(), 3u);
+}
+
+TEST(DataLoaderTest, ShuffleIsSeedDeterministic) {
+  Dataset d = make_data(20);
+  DataLoader a(d, iota_indices(20), 20, false);
+  DataLoader b(d, iota_indices(20), 20, false);
+  Rng ra(7), rb(7);
+  a.begin_epoch(ra);
+  b.begin_epoch(rb);
+  Tensor ba, bb;
+  std::vector<std::int32_t> la, lb;
+  a.next(ba, la);
+  b.next(bb, lb);
+  EXPECT_EQ(la, lb);
+  EXPECT_TRUE(ba.equals(bb));
+}
+
+TEST(DataLoaderTest, DifferentEpochsShuffleDifferently) {
+  Dataset d = make_data(30);
+  DataLoader loader(d, iota_indices(30), 30, false);
+  Rng rng(9);
+  Tensor b1, b2;
+  std::vector<std::int32_t> l1, l2;
+  loader.begin_epoch(rng);
+  loader.next(b1, l1);
+  loader.begin_epoch(rng);
+  loader.next(b2, l2);
+  EXPECT_FALSE(b1.equals(b2));
+}
+
+TEST(DataLoaderTest, SubsetOnlyTouchesGivenIndices) {
+  Dataset d = make_data(50);
+  const std::vector<std::size_t> subset{3, 7, 11};
+  DataLoader loader(d, subset, 2, false);
+  Rng rng(3);
+  loader.begin_epoch(rng);
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+  std::multiset<float> seen;
+  while (loader.next(batch, labels))
+    for (std::size_t b = 0; b < labels.size(); ++b) seen.insert(batch[b * 4]);
+  std::multiset<float> expected{d.sample(3)[0], d.sample(7)[0],
+                                d.sample(11)[0]};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DataLoaderTest, NextBeforeEpochStartsAtCursorZero) {
+  Dataset d = make_data(8);
+  DataLoader loader(d, iota_indices(4), 2, false);
+  // Without begin_epoch the loader iterates the unshuffled indices.
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+  EXPECT_TRUE(loader.next(batch, labels));
+  EXPECT_TRUE(loader.next(batch, labels));
+  EXPECT_FALSE(loader.next(batch, labels));
+}
+
+TEST(DataLoaderTest, RejectsInvalidConstruction) {
+  Dataset d = make_data(10);
+  EXPECT_THROW(DataLoader(d, {}, 2, false), Error);
+  EXPECT_THROW(DataLoader(d, iota_indices(5), 0, false), Error);
+  EXPECT_THROW(DataLoader(d, {99}, 1, false), Error);
+}
+
+TEST(DataLoaderTest, ImageLayoutBatches) {
+  GaussianSpec spec;
+  spec.num_samples = 6;
+  spec.num_classes = 2;
+  spec.input = {2, 3, 3};
+  Dataset d = make_gaussian_dataset(spec);
+  DataLoader loader(d, iota_indices(6), 4, /*as_images=*/true);
+  Rng rng(4);
+  loader.begin_epoch(rng);
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+  ASSERT_TRUE(loader.next(batch, labels));
+  EXPECT_EQ(batch.shape(), (Shape{4, 2, 3, 3}));
+}
+
+}  // namespace
+}  // namespace seafl

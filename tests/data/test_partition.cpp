@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace seafl {
+namespace {
+
+Dataset make_data(std::size_t n = 500, std::size_t classes = 10) {
+  GaussianSpec spec;
+  spec.num_samples = n;
+  spec.num_classes = classes;
+  spec.input = {1, 1, 8};
+  return make_gaussian_dataset(spec);
+}
+
+void expect_exact_cover(const Dataset& d, const Partition& p) {
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (const auto& idx : p) {
+    for (const auto i : idx) {
+      EXPECT_LT(i, d.size());
+      EXPECT_TRUE(seen.insert(i).second) << "index " << i << " duplicated";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, d.size());
+}
+
+TEST(DirichletPartitionTest, ExactCoverOfAllSamples) {
+  Dataset d = make_data();
+  const auto p = dirichlet_partition(d, 20, 0.3, 1);
+  ASSERT_EQ(p.size(), 20u);
+  expect_exact_cover(d, p);
+}
+
+TEST(DirichletPartitionTest, MinPerClientGuaranteed) {
+  Dataset d = make_data();
+  const auto p = dirichlet_partition(d, 50, 0.05, 2, /*min_per_client=*/4);
+  for (const auto& idx : p) EXPECT_GE(idx.size(), 4u);
+}
+
+TEST(DirichletPartitionTest, SeedDeterminism) {
+  Dataset d = make_data();
+  const auto a = dirichlet_partition(d, 10, 0.3, 42);
+  const auto b = dirichlet_partition(d, 10, 0.3, 42);
+  EXPECT_EQ(a, b);
+  const auto c = dirichlet_partition(d, 10, 0.3, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(DirichletPartitionTest, SingleClientGetsEverything) {
+  Dataset d = make_data(100);
+  const auto p = dirichlet_partition(d, 1, 0.3, 1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].size(), 100u);
+}
+
+TEST(DirichletPartitionTest, RejectsTooSmallDataset) {
+  Dataset d = make_data(20);
+  EXPECT_THROW(dirichlet_partition(d, 15, 0.3, 1, /*min_per_client=*/2),
+               Error);
+}
+
+// Property: lower concentration -> more label skew (monotone on average).
+class DirichletSkewTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DirichletSkewTest, SkewDecreasesWithAlpha) {
+  Dataset d = make_data(1000);
+  const std::uint64_t seed = GetParam();
+  const auto skewed = dirichlet_partition(d, 20, 0.1, seed);
+  const auto mild = dirichlet_partition(d, 20, 5.0, seed);
+  const auto iid = iid_partition(d, 20, seed);
+  const double s_skewed = partition_skew(d, skewed);
+  const double s_mild = partition_skew(d, mild);
+  const double s_iid = partition_skew(d, iid);
+  EXPECT_GT(s_skewed, s_mild);
+  EXPECT_GT(s_mild, s_iid - 0.05);
+  EXPECT_LT(s_iid, 0.2);
+  EXPECT_GT(s_skewed, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirichletSkewTest,
+                         ::testing::Values(1, 7, 42, 1234));
+
+TEST(IidPartitionTest, RoundRobinBalance) {
+  Dataset d = make_data(103);
+  const auto p = iid_partition(d, 10, 3);
+  expect_exact_cover(d, p);
+  for (const auto& idx : p) {
+    EXPECT_GE(idx.size(), 10u);
+    EXPECT_LE(idx.size(), 11u);
+  }
+}
+
+TEST(IidPartitionTest, RejectsMoreClientsThanSamples) {
+  Dataset d = make_data(10);
+  EXPECT_THROW(iid_partition(d, 11, 1), Error);
+}
+
+TEST(PartitionSkewTest, EmptyClientsAreIgnored) {
+  Dataset d = make_data(100);
+  Partition p(3);
+  for (std::size_t i = 0; i < 100; ++i) p[0].push_back(i);
+  // Clients 1 and 2 are empty; skew is computed over client 0 only, whose
+  // distribution equals the global one.
+  EXPECT_NEAR(partition_skew(d, p), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace seafl

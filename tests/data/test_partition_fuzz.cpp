@@ -1,0 +1,101 @@
+// Randomized property testing of the partitioners: exact cover, floors and
+// determinism must hold for arbitrary (clients, alpha, dataset size) draws.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace seafl {
+namespace {
+
+class PartitionFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionFuzz, DirichletAlwaysExactlyCovers) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto classes = static_cast<std::size_t>(rng.uniform_int(2, 12));
+    const auto clients = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    const auto per_client = static_cast<std::size_t>(rng.uniform_int(4, 30));
+    const double alpha = rng.uniform(0.05, 10.0);
+
+    GaussianSpec spec;
+    spec.num_samples = clients * per_client + classes;
+    spec.num_classes = classes;
+    spec.input = {1, 1, 4};
+    spec.seed = rng();
+    const Dataset data = make_gaussian_dataset(spec);
+
+    const auto p = dirichlet_partition(data, clients, alpha, rng(),
+                                       /*min_per_client=*/2);
+    ASSERT_EQ(p.size(), clients);
+    std::set<std::size_t> seen;
+    std::size_t total = 0;
+    for (const auto& idx : p) {
+      ASSERT_GE(idx.size(), 2u);
+      for (const auto i : idx) {
+        ASSERT_LT(i, data.size());
+        ASSERT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+        ++total;
+      }
+    }
+    ASSERT_EQ(total, data.size());
+  }
+}
+
+TEST_P(PartitionFuzz, IidAlwaysExactlyCoversAndBalances) {
+  Rng rng(GetParam() + 31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto clients = static_cast<std::size_t>(rng.uniform_int(1, 30));
+    const auto samples =
+        clients + static_cast<std::size_t>(rng.uniform_int(10, 200));
+
+    GaussianSpec spec;
+    spec.num_samples = samples;
+    spec.num_classes = 2;
+    spec.input = {1, 1, 4};
+    spec.seed = rng();
+    const Dataset data = make_gaussian_dataset(spec);
+
+    const auto p = iid_partition(data, clients, rng());
+    std::size_t min_size = data.size(), max_size = 0, total = 0;
+    std::set<std::size_t> seen;
+    for (const auto& idx : p) {
+      min_size = std::min(min_size, idx.size());
+      max_size = std::max(max_size, idx.size());
+      for (const auto i : idx) {
+        ASSERT_TRUE(seen.insert(i).second);
+        ++total;
+      }
+    }
+    ASSERT_EQ(total, data.size());
+    ASSERT_LE(max_size - min_size, 1u);  // round-robin balance
+  }
+}
+
+TEST_P(PartitionFuzz, SkewIsMonotoneInAlphaOnAverage) {
+  Rng rng(GetParam() + 77);
+  GaussianSpec spec;
+  spec.num_samples = 600;
+  spec.num_classes = 10;
+  spec.input = {1, 1, 4};
+  spec.seed = GetParam();
+  const Dataset data = make_gaussian_dataset(spec);
+
+  double skew_low = 0.0, skew_high = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    skew_low += partition_skew(data,
+                               dirichlet_partition(data, 15, 0.1, rng()));
+    skew_high += partition_skew(data,
+                                dirichlet_partition(data, 15, 20.0, rng()));
+  }
+  EXPECT_GT(skew_low, skew_high);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionFuzz,
+                         ::testing::Values(3, 17, 256, 9001));
+
+}  // namespace
+}  // namespace seafl

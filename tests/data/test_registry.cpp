@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "data/registry.h"
+
+namespace seafl {
+namespace {
+
+TaskSpec small_spec(const std::string& name) {
+  TaskSpec spec;
+  spec.name = name;
+  spec.num_clients = 10;
+  spec.samples_per_client = 20;
+  spec.test_samples = 50;
+  return spec;
+}
+
+class RegistryTaskTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryTaskTest, BuildsConsistentTask) {
+  const FlTask task = make_task(small_spec(GetParam()));
+  EXPECT_EQ(task.name, GetParam());
+  EXPECT_EQ(task.num_clients(), 10u);
+  EXPECT_EQ(task.train.size(), 200u);
+  EXPECT_EQ(task.test.size(), 50u);
+  EXPECT_EQ(task.num_classes, 10u);
+  EXPECT_GT(task.target_accuracy, 0.5);
+  EXPECT_LT(task.target_accuracy, 1.0);
+
+  // Partition covers the training set exactly.
+  std::size_t total = 0;
+  for (const auto& idx : task.partition) {
+    total += idx.size();
+    for (const auto i : idx) EXPECT_LT(i, task.train.size());
+  }
+  EXPECT_EQ(total, task.train.size());
+
+  // Input geometry is consistent between splits and the spec.
+  EXPECT_EQ(task.train.input().numel(), task.input.numel());
+  EXPECT_EQ(task.test.input().numel(), task.input.numel());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, RegistryTaskTest,
+                         ::testing::ValuesIn(known_tasks()));
+
+TEST(RegistryTest, KnownTasksListsFour) {
+  const auto names = known_tasks();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "synth-mnist");
+}
+
+TEST(RegistryTest, UnknownTaskThrows) {
+  EXPECT_THROW(make_task(small_spec("cifar-100")), Error);
+}
+
+TEST(RegistryTest, DefaultModelsMatchPaperMapping) {
+  EXPECT_EQ(make_task(small_spec("synth-mnist")).default_model,
+            ModelKind::kMlp);
+  EXPECT_EQ(make_task(small_spec("synth-emnist")).default_model,
+            ModelKind::kLenetLite);
+  EXPECT_EQ(make_task(small_spec("synth-cifar10")).default_model,
+            ModelKind::kResnetLite);
+  EXPECT_EQ(make_task(small_spec("synth-cinic10")).default_model,
+            ModelKind::kVggLite);
+}
+
+TEST(RegistryTest, TrainAndTestShareDistribution) {
+  // Same seed -> same class geometry; a model fit on train transfers to
+  // test. Proxy check: per-class means of train and test are close.
+  TaskSpec spec = small_spec("synth-mnist");
+  spec.samples_per_client = 60;
+  spec.test_samples = 300;
+  const FlTask task = make_task(spec);
+
+  const std::size_t dim = task.input.numel();
+  auto class_mean = [&](const Dataset& d, std::int32_t cls) {
+    std::vector<double> mean(dim, 0.0);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (d.label(i) != cls) continue;
+      const auto s = d.sample(i);
+      for (std::size_t j = 0; j < dim; ++j) mean[j] += s[j];
+      ++n;
+    }
+    for (auto& m : mean) m /= static_cast<double>(n);
+    return mean;
+  };
+  for (std::int32_t cls = 0; cls < 3; ++cls) {
+    const auto a = class_mean(task.train, cls);
+    const auto b = class_mean(task.test, cls);
+    double diff = 0.0, norm = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      diff += (a[j] - b[j]) * (a[j] - b[j]);
+      norm += a[j] * a[j];
+    }
+    EXPECT_LT(diff, norm) << "class " << cls;
+  }
+}
+
+TEST(RegistryTest, SeedChangesData) {
+  TaskSpec a = small_spec("synth-emnist");
+  TaskSpec b = a;
+  b.seed = a.seed + 1;
+  const FlTask ta = make_task(a);
+  const FlTask tb = make_task(b);
+  EXPECT_NE(ta.train.sample(0)[0], tb.train.sample(0)[0]);
+}
+
+TEST(RegistryTest, CorruptFractionRandomizesClientLabels) {
+  TaskSpec clean = small_spec("synth-mnist");
+  clean.samples_per_client = 50;
+  TaskSpec noisy = clean;
+  noisy.corrupt_client_fraction = 0.3;
+  const FlTask a = make_task(clean);
+  const FlTask b = make_task(noisy);
+
+  // Same features, but some labels differ between clean and corrupted.
+  ASSERT_EQ(a.train.size(), b.train.size());
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    ASSERT_EQ(a.train.sample(i)[0], b.train.sample(i)[0]);
+    if (a.train.label(i) != b.train.label(i)) ++diff;
+  }
+  // 3 of 10 clients corrupted with 10 classes: ~27% of their labels change.
+  EXPECT_GT(diff, a.train.size() / 20);
+  EXPECT_LT(diff, a.train.size() / 2);
+
+  // Test split is never corrupted.
+  for (std::size_t i = 0; i < a.test.size(); ++i)
+    ASSERT_EQ(a.test.label(i), b.test.label(i));
+}
+
+TEST(RegistryTest, CorruptFractionIsDeterministic) {
+  TaskSpec spec = small_spec("synth-mnist");
+  spec.corrupt_client_fraction = 0.5;
+  const FlTask a = make_task(spec);
+  const FlTask b = make_task(spec);
+  for (std::size_t i = 0; i < a.train.size(); ++i)
+    ASSERT_EQ(a.train.label(i), b.train.label(i));
+}
+
+TEST(RegistryTest, CorruptFractionValidated) {
+  TaskSpec spec = small_spec("synth-mnist");
+  spec.corrupt_client_fraction = 1.5;
+  EXPECT_THROW(make_task(spec), Error);
+}
+
+TEST(RegistryTest, DirichletAlphaControlsSkew) {
+  TaskSpec skewed = small_spec("synth-mnist");
+  skewed.dirichlet_alpha = 0.1;
+  skewed.samples_per_client = 50;
+  TaskSpec mild = skewed;
+  mild.dirichlet_alpha = 10.0;
+  const FlTask ts = make_task(skewed);
+  const FlTask tm = make_task(mild);
+  EXPECT_GT(partition_skew(ts.train, ts.partition),
+            partition_skew(tm.train, tm.partition));
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "tensor/ops.h"
+
+namespace seafl {
+namespace {
+
+TEST(GaussianDatasetTest, ShapeAndBalance) {
+  GaussianSpec spec;
+  spec.num_samples = 100;
+  spec.num_classes = 10;
+  spec.input = {1, 1, 16};
+  Dataset d = make_gaussian_dataset(spec);
+  EXPECT_EQ(d.size(), 100u);
+  EXPECT_EQ(d.sample_numel(), 16u);
+  const auto hist = d.class_histogram();
+  for (const auto c : hist) EXPECT_EQ(c, 10u);  // round-robin labels
+}
+
+TEST(GaussianDatasetTest, SeedDeterminism) {
+  GaussianSpec spec;
+  spec.num_samples = 50;
+  spec.seed = 7;
+  Dataset a = make_gaussian_dataset(spec);
+  Dataset b = make_gaussian_dataset(spec);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    const auto sa = a.sample(i), sb = b.sample(i);
+    for (std::size_t j = 0; j < sa.size(); ++j) ASSERT_EQ(sa[j], sb[j]);
+  }
+}
+
+TEST(GaussianDatasetTest, DifferentSeedsDiffer) {
+  GaussianSpec spec;
+  spec.num_samples = 10;
+  spec.seed = 1;
+  Dataset a = make_gaussian_dataset(spec);
+  spec.seed = 2;
+  Dataset b = make_gaussian_dataset(spec);
+  EXPECT_NE(a.sample(0)[0], b.sample(0)[0]);
+}
+
+TEST(GaussianDatasetTest, SameClassSamplesAreCloserThanCrossClass) {
+  GaussianSpec spec;
+  spec.num_samples = 400;
+  spec.num_classes = 4;
+  spec.input = {1, 1, 32};
+  spec.noise = 0.3;
+  Dataset d = make_gaussian_dataset(spec);
+
+  auto dist2 = [&](std::size_t i, std::size_t j) {
+    const auto a = d.sample(i), b = d.sample(j);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < a.size(); ++k)
+      acc += (a[k] - b[k]) * (a[k] - b[k]);
+    return acc;
+  };
+  // Samples i and i+4 share a class (round-robin); i and i+1 do not.
+  double same = 0.0, cross = 0.0;
+  for (std::size_t i = 0; i + 4 < 200; ++i) {
+    same += dist2(i, i + 4);
+    cross += dist2(i, i + 1);
+  }
+  EXPECT_LT(same, cross * 0.8);
+}
+
+TEST(GaussianDatasetTest, RejectsBadSpecs) {
+  GaussianSpec spec;
+  spec.num_classes = 1;
+  EXPECT_THROW(make_gaussian_dataset(spec), Error);
+  spec.num_classes = 10;
+  spec.num_samples = 5;
+  EXPECT_THROW(make_gaussian_dataset(spec), Error);
+}
+
+TEST(PatternDatasetTest, ShapeAndBalance) {
+  PatternSpec spec;
+  spec.num_samples = 60;
+  spec.num_classes = 6;
+  spec.input = {3, 8, 8};
+  Dataset d = make_pattern_dataset(spec);
+  EXPECT_EQ(d.size(), 60u);
+  EXPECT_EQ(d.sample_numel(), 3u * 64u);
+  for (const auto c : d.class_histogram()) EXPECT_EQ(c, 10u);
+}
+
+TEST(PatternDatasetTest, SeedDeterminism) {
+  PatternSpec spec;
+  spec.num_samples = 20;
+  spec.seed = 11;
+  Dataset a = make_pattern_dataset(spec);
+  Dataset b = make_pattern_dataset(spec);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto sa = a.sample(i), sb = b.sample(i);
+    for (std::size_t j = 0; j < sa.size(); ++j) ASSERT_EQ(sa[j], sb[j]);
+  }
+}
+
+TEST(PatternDatasetTest, ClassTemplatesAreCorrelatedWithinClass) {
+  PatternSpec spec;
+  spec.num_samples = 200;
+  spec.num_classes = 4;
+  spec.input = {1, 10, 10};
+  spec.noise = 0.2;
+  Dataset d = make_pattern_dataset(spec);
+  // Cosine similarity within class should exceed cross-class on average.
+  double same = 0.0, cross = 0.0;
+  int n_same = 0, n_cross = 0;
+  for (std::size_t i = 0; i + 5 < 100; ++i) {
+    if (d.label(i) == d.label(i + 4)) {
+      same += cosine_similarity(d.sample(i), d.sample(i + 4));
+      ++n_same;
+    }
+    if (d.label(i) != d.label(i + 1)) {
+      cross += cosine_similarity(d.sample(i), d.sample(i + 1));
+      ++n_cross;
+    }
+  }
+  ASSERT_GT(n_same, 0);
+  ASSERT_GT(n_cross, 0);
+  EXPECT_GT(same / n_same, cross / n_cross + 0.2);
+}
+
+TEST(PatternDatasetTest, NoiseReducesWithinClassSimilarity) {
+  PatternSpec low, high;
+  low.num_samples = high.num_samples = 100;
+  low.noise = 0.1;
+  high.noise = 2.0;
+  Dataset a = make_pattern_dataset(low);
+  Dataset b = make_pattern_dataset(high);
+  auto mean_sim = [](const Dataset& d) {
+    double acc = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i + 10 < d.size(); ++i) {
+      acc += cosine_similarity(d.sample(i), d.sample(i + 10));
+      ++n;
+    }
+    return acc / n;
+  };
+  EXPECT_GT(mean_sim(a), mean_sim(b) + 0.1);
+}
+
+TEST(PatternDatasetTest, RejectsBadSpecs) {
+  PatternSpec spec;
+  spec.waves_per_class = 0;
+  EXPECT_THROW(make_pattern_dataset(spec), Error);
+}
+
+}  // namespace
+}  // namespace seafl

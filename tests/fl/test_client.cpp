@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "fl/client.h"
+
+namespace seafl {
+namespace {
+
+struct Fixture {
+  FlTask task;
+  ModelFactory factory;
+  RunConfig config;
+
+  Fixture() {
+    TaskSpec spec;
+    spec.name = "synth-mnist";
+    spec.num_clients = 8;
+    spec.samples_per_client = 25;
+    spec.test_samples = 40;
+    task = make_task(spec);
+    factory = make_model(task.default_model, task.input, task.num_classes);
+    config.local_epochs = 5;
+    config.batch_size = 10;
+    config.sgd.learning_rate = 0.05f;
+    config.seed = 42;
+  }
+
+  ModelVector initial_weights() {
+    auto model = factory();
+    Rng rng(config.seed, RngPurpose::kInit);
+    model->init(rng);
+    return model->parameter_vector();
+  }
+};
+
+TEST(ClientTrainerTest, TrainReturnsRightDimension) {
+  Fixture f;
+  ClientTrainer trainer(f.task, f.factory, f.config);
+  const ModelVector base = f.initial_weights();
+  const auto result = trainer.train(0, base, 2, 0);
+  EXPECT_EQ(result.weights.size(), trainer.num_params());
+  EXPECT_EQ(result.epochs, 2u);
+  EXPECT_GT(result.mean_loss, 0.0);
+}
+
+TEST(ClientTrainerTest, TrainingChangesWeights) {
+  Fixture f;
+  ClientTrainer trainer(f.task, f.factory, f.config);
+  const ModelVector base = f.initial_weights();
+  const auto result = trainer.train(1, base, 1, 0);
+  EXPECT_NE(result.weights, base);
+}
+
+TEST(ClientTrainerTest, DeterministicAcrossInstancesAndCallOrder) {
+  Fixture f;
+  ClientTrainer a(f.task, f.factory, f.config);
+  ClientTrainer b(f.task, f.factory, f.config);
+  const ModelVector base = f.initial_weights();
+
+  // b trains other clients first; the (client, round) stream must make the
+  // target session identical regardless.
+  b.train(3, base, 2, 0);
+  b.train(5, base, 1, 7);
+  const auto ra = a.train(2, base, 3, 4);
+  const auto rb = b.train(2, base, 3, 4);
+  EXPECT_EQ(ra.weights, rb.weights);
+  EXPECT_DOUBLE_EQ(ra.mean_loss, rb.mean_loss);
+}
+
+TEST(ClientTrainerTest, PartialSessionIsPrefixOfFullSession) {
+  // The SEAFL^2 invariant: training e < E epochs produces exactly the state
+  // the full session had after e epochs. We verify by comparing a 2-epoch
+  // session to a 3-epoch session re-run from the same base: the first two
+  // epochs shuffle identically, so re-training with epochs=2 must match the
+  // 2-epoch result bit-for-bit.
+  Fixture f;
+  ClientTrainer trainer(f.task, f.factory, f.config);
+  const ModelVector base = f.initial_weights();
+
+  const auto two_a = trainer.train(4, base, 2, 9);
+  const auto three = trainer.train(4, base, 3, 9);
+  const auto two_b = trainer.train(4, base, 2, 9);
+  EXPECT_EQ(two_a.weights, two_b.weights);
+  EXPECT_NE(two_a.weights, three.weights);
+}
+
+TEST(ClientTrainerTest, DifferentRoundsShuffleDifferently) {
+  Fixture f;
+  ClientTrainer trainer(f.task, f.factory, f.config);
+  const ModelVector base = f.initial_weights();
+  const auto r0 = trainer.train(0, base, 1, 0);
+  const auto r1 = trainer.train(0, base, 1, 1);
+  EXPECT_NE(r0.weights, r1.weights);
+}
+
+TEST(ClientTrainerTest, LossDecreasesOverEpochs) {
+  Fixture f;
+  ClientTrainer trainer(f.task, f.factory, f.config);
+  const ModelVector base = f.initial_weights();
+  const auto one = trainer.train(2, base, 1, 0);
+  const auto many = trainer.train(2, base, 8, 0);
+  EXPECT_LT(many.mean_loss, one.mean_loss);
+}
+
+TEST(ClientTrainerTest, ClientSamplesMatchPartition) {
+  Fixture f;
+  ClientTrainer trainer(f.task, f.factory, f.config);
+  for (std::size_t k = 0; k < f.task.num_clients(); ++k)
+    EXPECT_EQ(trainer.client_samples(k), f.task.partition[k].size());
+}
+
+TEST(ClientTrainerTest, ProximalTermPullsTowardBase) {
+  // With a huge proximal coefficient the trained model must stay closer to
+  // the base weights than plain local SGD.
+  Fixture f;
+  ClientTrainer plain(f.task, f.factory, f.config);
+  RunConfig prox_config = f.config;
+  prox_config.proximal_mu = 5.0;
+  ClientTrainer prox(f.task, f.factory, prox_config);
+
+  const ModelVector base = f.initial_weights();
+  const auto free_run = plain.train(0, base, 3, 0);
+  const auto prox_run = prox.train(0, base, 3, 0);
+
+  auto dist = [&](const ModelVector& w) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+      acc += (w[i] - base[i]) * (w[i] - base[i]);
+    return acc;
+  };
+  EXPECT_LT(dist(prox_run.weights), dist(free_run.weights) * 0.9);
+}
+
+TEST(ClientTrainerTest, ProximalZeroMatchesPlain) {
+  Fixture f;
+  RunConfig zero = f.config;
+  zero.proximal_mu = 0.0;
+  ClientTrainer a(f.task, f.factory, f.config);
+  ClientTrainer b(f.task, f.factory, zero);
+  const ModelVector base = f.initial_weights();
+  EXPECT_EQ(a.train(1, base, 2, 0).weights, b.train(1, base, 2, 0).weights);
+}
+
+TEST(ClientTrainerTest, FrozenLayersKeepBaseWeights) {
+  // The synth-mnist MLP is Dense/ReLU/Dense/ReLU/Dense (5 layers). Freezing
+  // the first two layers must leave the first Dense's parameters at their
+  // base values while the rest train.
+  Fixture f;
+  ClientTrainer trainer(f.task, f.factory, f.config);
+  const ModelVector base = f.initial_weights();
+  const auto r = trainer.train(0, base, 2, 0, /*frozen_layers=*/2);
+
+  // First Dense of the 32->32->16->10 MLP: 32*32 weights + 32 biases.
+  const std::size_t first_dense = 32 * 32 + 32;
+  for (std::size_t i = 0; i < first_dense; ++i)
+    ASSERT_EQ(r.weights[i], base[i]) << "frozen weight " << i << " moved";
+  bool rest_changed = false;
+  for (std::size_t i = first_dense; i < base.size(); ++i)
+    rest_changed |= r.weights[i] != base[i];
+  EXPECT_TRUE(rest_changed);
+}
+
+TEST(ClientTrainerTest, FreezingAllLayersRejected) {
+  Fixture f;
+  ClientTrainer trainer(f.task, f.factory, f.config);
+  const ModelVector base = f.initial_weights();
+  EXPECT_THROW(trainer.train(0, base, 1, 0, /*frozen_layers=*/5), Error);
+}
+
+TEST(ClientTrainerTest, RejectsBadArguments) {
+  Fixture f;
+  ClientTrainer trainer(f.task, f.factory, f.config);
+  const ModelVector base = f.initial_weights();
+  EXPECT_THROW(trainer.train(99, base, 1, 0), Error);
+  EXPECT_THROW(trainer.train(0, ModelVector(3), 1, 0), Error);
+  EXPECT_THROW(trainer.train(0, base, 0, 0), Error);
+}
+
+}  // namespace
+}  // namespace seafl

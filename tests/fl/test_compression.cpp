@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "fl/compression.h"
+
+namespace seafl {
+namespace {
+
+ModelVector random_model(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  ModelVector w(n);
+  for (auto& v : w) v = static_cast<float>(rng.normal(0.0, 0.5));
+  return w;
+}
+
+TEST(QuantizeTest, ErrorWithinHalfStep) {
+  for (const std::size_t bits : {2ul, 4ul, 8ul, 12ul}) {
+    ModelVector w = random_model(500, bits);
+    const ModelVector original = w;
+    const double bound = quantization_error_bound(w, bits);
+    quantize_model(w, bits);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      ASSERT_LE(std::abs(static_cast<double>(w[i]) - original[i]),
+                bound + 1e-6)
+          << "bits=" << bits << " index " << i;
+    }
+  }
+}
+
+TEST(QuantizeTest, MoreBitsMeansLessError) {
+  const ModelVector original = random_model(1000, 7);
+  double prev_error = 1e9;
+  for (const std::size_t bits : {2ul, 4ul, 8ul, 12ul}) {
+    ModelVector w = original;
+    quantize_model(w, bits);
+    double err = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+      err += std::abs(static_cast<double>(w[i]) - original[i]);
+    EXPECT_LT(err, prev_error);
+    prev_error = err;
+  }
+}
+
+TEST(QuantizeTest, ExtremesAreRepresentable) {
+  // The maximum-magnitude element must survive nearly unchanged (it sits on
+  // the grid boundary by construction).
+  ModelVector w{1.0f, -1.0f, 0.3f, 0.0f};
+  quantize_model(w, 8);
+  EXPECT_NEAR(w[0], 1.0f, 1e-6);
+  EXPECT_NEAR(w[1], -1.0f, 1e-6);
+  EXPECT_NEAR(w[3], 0.0f, 1e-9);
+}
+
+TEST(QuantizeTest, IdempotentOnGridValues) {
+  ModelVector w = random_model(100, 9);
+  quantize_model(w, 6);
+  ModelVector again = w;
+  quantize_model(again, 6);
+  EXPECT_EQ(w, again);
+}
+
+TEST(QuantizeTest, AllZeroVectorIsNoop) {
+  ModelVector w(10, 0.0f);
+  EXPECT_DOUBLE_EQ(quantize_model(w, 8), 0.0);
+  for (const float v : w) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(QuantizeTest, RejectsBadBitWidths) {
+  ModelVector w{1.0f};
+  EXPECT_THROW(quantize_model(w, 1), Error);
+  EXPECT_THROW(quantize_model(w, 17), Error);
+}
+
+TEST(TransferBytesTest, CompressionRatio) {
+  EXPECT_EQ(transfer_bytes(1000, 0), 4000u);  // float32
+  EXPECT_EQ(transfer_bytes(1000, 8), 1000u);  // 4x smaller
+  EXPECT_EQ(transfer_bytes(1000, 4), 500u);
+  EXPECT_EQ(transfer_bytes(3, 2), 1u);  // rounds up to whole bytes
+  EXPECT_THROW(transfer_bytes(10, 1), Error);
+}
+
+}  // namespace
+}  // namespace seafl

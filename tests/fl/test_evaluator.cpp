@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "fl/client.h"
+#include "fl/evaluator.h"
+
+namespace seafl {
+namespace {
+
+struct Fixture {
+  FlTask task;
+  ModelFactory factory;
+
+  explicit Fixture(std::size_t test_samples = 100) {
+    TaskSpec spec;
+    spec.name = "synth-mnist";
+    spec.num_clients = 5;
+    spec.samples_per_client = 40;
+    spec.test_samples = test_samples;
+    task = make_task(spec);
+    factory = make_model(task.default_model, task.input, task.num_classes);
+  }
+
+  ModelVector initial_weights(std::uint64_t seed = 42) {
+    auto model = factory();
+    Rng rng(seed, RngPurpose::kInit);
+    model->init(rng);
+    return model->parameter_vector();
+  }
+};
+
+TEST(EvaluatorTest, FullTestSetByDefault) {
+  Fixture f;
+  Evaluator eval(f.task, f.factory, 32, /*subset=*/0, 1);
+  EXPECT_EQ(eval.eval_samples(), 100u);
+}
+
+TEST(EvaluatorTest, SubsetLimitsSamples) {
+  Fixture f;
+  Evaluator eval(f.task, f.factory, 32, /*subset=*/30, 1);
+  EXPECT_EQ(eval.eval_samples(), 30u);
+  Evaluator all(f.task, f.factory, 32, /*subset=*/500, 1);  // > test size
+  EXPECT_EQ(all.eval_samples(), 100u);
+}
+
+TEST(EvaluatorTest, UntrainedModelNearChance) {
+  Fixture f;
+  Evaluator eval(f.task, f.factory, 32, 0, 1);
+  const auto r = eval.evaluate(f.initial_weights());
+  EXPECT_GE(r.accuracy, 0.0);
+  EXPECT_LE(r.accuracy, 0.4);  // 10 classes: chance is 0.1
+  EXPECT_GT(r.loss, 1.0);
+}
+
+TEST(EvaluatorTest, TrainedModelBeatsUntrained) {
+  Fixture f;
+  RunConfig config;
+  config.local_epochs = 1;
+  config.batch_size = 10;
+  config.sgd.learning_rate = 0.05f;
+  config.seed = 42;
+  ClientTrainer trainer(f.task, f.factory, config);
+
+  // Centralized-ish training: run several "clients" sequentially.
+  ModelVector w = f.initial_weights();
+  for (std::uint64_t round = 0; round < 6; ++round)
+    for (std::size_t k = 0; k < f.task.num_clients(); ++k)
+      w = trainer.train(k, w, 1, round).weights;
+
+  Evaluator eval(f.task, f.factory, 32, 0, 1);
+  const auto before = eval.evaluate(f.initial_weights());
+  const auto after = eval.evaluate(w);
+  EXPECT_GT(after.accuracy, before.accuracy + 0.2);
+  EXPECT_LT(after.loss, before.loss);
+}
+
+TEST(EvaluatorTest, DeterministicForSameWeights) {
+  Fixture f;
+  Evaluator eval(f.task, f.factory, 16, 50, 7);
+  const ModelVector w = f.initial_weights();
+  const auto a = eval.evaluate(w);
+  const auto b = eval.evaluate(w);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_DOUBLE_EQ(a.loss, b.loss);
+}
+
+TEST(EvaluatorTest, BatchSizeDoesNotChangeResult) {
+  Fixture f;
+  const ModelVector w = f.initial_weights();
+  Evaluator small(f.task, f.factory, 7, 0, 1);
+  Evaluator large(f.task, f.factory, 64, 0, 1);
+  EXPECT_DOUBLE_EQ(small.evaluate(w).accuracy, large.evaluate(w).accuracy);
+  EXPECT_NEAR(small.evaluate(w).loss, large.evaluate(w).loss, 1e-9);
+}
+
+TEST(EvaluatorTest, SubsetIsSeedStable) {
+  Fixture f;
+  const ModelVector w = f.initial_weights();
+  Evaluator a(f.task, f.factory, 32, 40, 5);
+  Evaluator b(f.task, f.factory, 32, 40, 5);
+  EXPECT_DOUBLE_EQ(a.evaluate(w).accuracy, b.evaluate(w).accuracy);
+}
+
+TEST(EvaluatorTest, RejectsWrongDimension) {
+  Fixture f;
+  Evaluator eval(f.task, f.factory, 32, 0, 1);
+  EXPECT_THROW(eval.evaluate(ModelVector(5)), Error);
+}
+
+}  // namespace
+}  // namespace seafl

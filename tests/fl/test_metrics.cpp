@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "fl/metrics.h"
+
+namespace seafl {
+namespace {
+
+RunResult make_result() {
+  RunResult r;
+  for (int i = 0; i <= 4; ++i) {
+    AccuracyPoint p;
+    p.round = static_cast<std::uint64_t>(i);
+    p.time = i * 10.0;
+    p.accuracy = 0.2 * i;  // 0.0, 0.2, ..., 0.8
+    p.loss = 2.0 - 0.4 * i;
+    r.curve.push_back(p);
+  }
+  for (int i = 1; i <= 4; ++i) {
+    RoundStat s;
+    s.round = static_cast<std::uint64_t>(i);
+    s.time = i * 10.0;
+    s.updates = 10;
+    s.mean_staleness = 0.5 * i;
+    s.partial = i % 2;
+    r.round_log.push_back(s);
+  }
+  return r;
+}
+
+TEST(MetricsTest, TimeToAccuracyFindsFirstCrossing) {
+  const RunResult r = make_result();
+  EXPECT_DOUBLE_EQ(time_to_accuracy(r, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(time_to_accuracy(r, 0.3), 20.0);
+  EXPECT_DOUBLE_EQ(time_to_accuracy(r, 0.8), 40.0);
+  EXPECT_DOUBLE_EQ(time_to_accuracy(r, 0.9), -1.0);
+}
+
+TEST(MetricsTest, TimeToAccuracyOnEmptyCurve) {
+  EXPECT_DOUBLE_EQ(time_to_accuracy(RunResult{}, 0.5), -1.0);
+}
+
+TEST(MetricsTest, TailAccuracyAveragesLastPoints) {
+  const RunResult r = make_result();
+  EXPECT_NEAR(tail_accuracy(r, 1), 0.8, 1e-12);
+  EXPECT_NEAR(tail_accuracy(r, 2), 0.7, 1e-12);
+  EXPECT_NEAR(tail_accuracy(r, 100), 0.4, 1e-12);  // clamped to curve size
+  EXPECT_DOUBLE_EQ(tail_accuracy(RunResult{}, 3), 0.0);
+  EXPECT_THROW(tail_accuracy(r, 0), Error);
+}
+
+TEST(MetricsTest, CurveCsvHasHeaderAndRows) {
+  const RunResult r = make_result();
+  const std::string path = ::testing::TempDir() + "/curve.csv";
+  write_curve_csv(r, path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "round,time,accuracy,loss");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 5);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsTest, RoundLogCsvHasHeaderAndRows) {
+  const RunResult r = make_result();
+  const std::string path = ::testing::TempDir() + "/rounds.csv";
+  write_round_log_csv(r, path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "round,time,updates,mean_staleness,partial");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 4);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsTest, ParticipationFairness) {
+  RunResult r;
+  r.participation = {4, 4, 4, 0, 0};
+  // Active-only: three equal participants -> perfectly fair.
+  EXPECT_DOUBLE_EQ(participation_fairness(r, /*active_only=*/true), 1.0);
+  // Counting idle clients as zeros: (12)^2 / (5 * 48) = 0.6.
+  EXPECT_NEAR(participation_fairness(r, /*active_only=*/false), 0.6, 1e-12);
+  // Degenerate cases.
+  RunResult empty;
+  EXPECT_DOUBLE_EQ(participation_fairness(empty), 1.0);
+}
+
+TEST(MetricsTest, CsvRejectsBadPath) {
+  EXPECT_THROW(write_curve_csv(RunResult{}, "/nonexistent-dir/c.csv"), Error);
+  EXPECT_THROW(write_round_log_csv(RunResult{}, "/nonexistent-dir/r.csv"),
+               Error);
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "fl/server_opt.h"
+#include "fl/strategies.h"
+
+namespace seafl {
+namespace {
+
+LocalUpdate make_update(ModelVector weights) {
+  LocalUpdate u;
+  u.weights = std::move(weights);
+  u.num_samples = 10;
+  u.epochs_completed = 5;
+  return u;
+}
+
+AggregationContext make_ctx(const ModelVector& global,
+                            std::span<const LocalUpdate> buffer) {
+  AggregationContext ctx;
+  ctx.round = 1;
+  ctx.global = &global;
+  for (const auto& u : buffer) ctx.total_samples += u.num_samples;
+  return ctx;
+}
+
+StrategyPtr fedavg() { return std::make_unique<FedAvgStrategy>(); }
+
+TEST(ServerOptTest, SgdWithUnitLrMatchesInnerStrategy) {
+  ServerOptStrategy wrapped(fedavg(),
+                            {.kind = ServerOpt::kSgd, .lr = 1.0});
+  FedAvgStrategy plain;
+
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update({4.0f, -2.0f}));
+  ModelVector a{1.0f, 1.0f}, b{1.0f, 1.0f};
+  wrapped.aggregate(make_ctx(a, buffer), buffer, a);
+  plain.aggregate(make_ctx(b, buffer), buffer, b);
+  EXPECT_FLOAT_EQ(a[0], b[0]);
+  EXPECT_FLOAT_EQ(a[1], b[1]);
+}
+
+TEST(ServerOptTest, SgdWithHalfLrMovesHalfway) {
+  ServerOptStrategy wrapped(fedavg(),
+                            {.kind = ServerOpt::kSgd, .lr = 0.5});
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update({5.0f}));
+  ModelVector global{1.0f};
+  wrapped.aggregate(make_ctx(global, buffer), buffer, global);
+  EXPECT_FLOAT_EQ(global[0], 3.0f);  // halfway from 1 toward 5
+}
+
+TEST(ServerOptTest, MomentumAccumulatesAcrossRounds) {
+  ServerOptStrategy wrapped(
+      fedavg(), {.kind = ServerOpt::kMomentum, .lr = 1.0, .beta1 = 0.5});
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update({0.0f}));  // proposal always 0
+  ModelVector global{1.0f};
+  // Round 1: g = 1 - 0 = 1; v = 1; w = 0.
+  wrapped.aggregate(make_ctx(global, buffer), buffer, global);
+  EXPECT_FLOAT_EQ(global[0], 0.0f);
+  // Round 2: g = 0; v = 0.5; w = -0.5 (momentum overshoot).
+  wrapped.aggregate(make_ctx(global, buffer), buffer, global);
+  EXPECT_FLOAT_EQ(global[0], -0.5f);
+}
+
+TEST(ServerOptTest, AdamFirstStepIsLrSized) {
+  // With bias correction, the first Adam step has magnitude ~lr regardless
+  // of gradient scale.
+  ServerOptStrategy wrapped(
+      fedavg(),
+      {.kind = ServerOpt::kAdam, .lr = 0.1, .beta1 = 0.9, .beta2 = 0.99});
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update({100.0f}));
+  ModelVector global{0.0f};
+  wrapped.aggregate(make_ctx(global, buffer), buffer, global);
+  // g = -100; step = -lr * sign-ish => +0.1 toward the proposal.
+  EXPECT_NEAR(global[0], 0.1f, 1e-4);
+}
+
+TEST(ServerOptTest, AdamConvergesTowardStationaryProposal) {
+  ServerOptStrategy wrapped(
+      fedavg(), {.kind = ServerOpt::kAdam, .lr = 0.5});
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update({2.0f}));
+  ModelVector global{0.0f};
+  for (int i = 0; i < 200; ++i)
+    wrapped.aggregate(make_ctx(global, buffer), buffer, global);
+  EXPECT_NEAR(global[0], 2.0f, 0.1f);
+}
+
+TEST(ServerOptTest, NameComposesInnerAndOptimizer) {
+  EXPECT_EQ(ServerOptStrategy(fedavg(), {.kind = ServerOpt::kMomentum})
+                .name(),
+            "FedAvg+AvgM");
+  EXPECT_EQ(
+      ServerOptStrategy(std::make_unique<FedBuffStrategy>(),
+                        {.kind = ServerOpt::kAdam})
+          .name(),
+      "FedBuff+Adam");
+}
+
+TEST(ServerOptTest, RejectsInvalidConfig) {
+  EXPECT_THROW(ServerOptStrategy(nullptr, {}), Error);
+  EXPECT_THROW(ServerOptStrategy(fedavg(), {.lr = 0.0}), Error);
+  EXPECT_THROW(ServerOptStrategy(fedavg(), {.beta1 = 1.0}), Error);
+  EXPECT_THROW(ServerOptStrategy(fedavg(), {.beta2 = 1.5}), Error);
+  EXPECT_THROW(ServerOptStrategy(fedavg(), {.epsilon = 0.0}), Error);
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,428 @@
+#include <gtest/gtest.h>
+
+#include "core/seafl_strategy.h"
+#include "fl/simulation.h"
+#include "fl/strategies.h"
+
+namespace seafl {
+namespace {
+
+/// Small task + fleet shared across simulation tests.
+struct Fixture {
+  FlTask task;
+  ModelFactory factory;
+  FleetConfig fleet_config;
+
+  explicit Fixture(double pareto_shape = 1.5) {
+    TaskSpec spec;
+    spec.name = "synth-mnist";
+    spec.num_clients = 12;
+    spec.samples_per_client = 15;
+    spec.test_samples = 60;
+    task = make_task(spec);
+    factory = make_model(task.default_model, task.input, task.num_classes);
+    fleet_config.num_devices = 12;
+    fleet_config.pareto_shape = pareto_shape;
+    fleet_config.seed = 7;
+  }
+
+  RunConfig base_config() const {
+    RunConfig c;
+    c.buffer_size = 3;
+    c.concurrency = 6;
+    c.local_epochs = 2;
+    c.batch_size = 8;
+    c.sgd.learning_rate = 0.05f;
+    c.max_rounds = 12;
+    c.target_accuracy = 0.99;  // effectively unreachable in 12 rounds
+    c.stop_at_target = false;
+    c.seed = 42;
+    return c;
+  }
+};
+
+RunResult run(const Fixture& f, StrategyPtr strategy, const RunConfig& c) {
+  Fleet fleet(f.fleet_config);
+  Simulation sim(f.task, f.factory, fleet, std::move(strategy), c);
+  return sim.run();
+}
+
+TEST(SimulationTest, SemiAsyncRunsToRoundLimit) {
+  Fixture f;
+  const auto r = run(f, std::make_unique<FedBuffStrategy>(), f.base_config());
+  EXPECT_EQ(r.rounds, 12u);
+  EXPECT_GE(r.total_updates, 12u * 3u);
+  EXPECT_GT(r.final_time, 0.0);
+  ASSERT_GE(r.curve.size(), 2u);
+  EXPECT_EQ(r.curve.front().round, 0u);
+  for (std::size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_GE(r.curve[i].time, r.curve[i - 1].time);
+    EXPECT_EQ(r.curve[i].round, r.curve[i - 1].round + 1);
+  }
+}
+
+TEST(SimulationTest, RunsAreDeterministic) {
+  Fixture f;
+  const auto a = run(f, std::make_unique<FedBuffStrategy>(), f.base_config());
+  const auto b = run(f, std::make_unique<FedBuffStrategy>(), f.base_config());
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.curve[i].time, b.curve[i].time);
+    EXPECT_DOUBLE_EQ(a.curve[i].accuracy, b.curve[i].accuracy);
+  }
+  EXPECT_EQ(a.total_updates, b.total_updates);
+  EXPECT_DOUBLE_EQ(a.mean_staleness, b.mean_staleness);
+}
+
+TEST(SimulationTest, LearningActuallyHappens) {
+  Fixture f;
+  RunConfig c = f.base_config();
+  c.max_rounds = 25;
+  const auto r = run(f, std::make_unique<FedBuffStrategy>(), c);
+  EXPECT_GT(r.final_accuracy, r.curve.front().accuracy + 0.3);
+}
+
+TEST(SimulationTest, SyncModeHasZeroStaleness) {
+  Fixture f;
+  RunConfig c = f.base_config();
+  c.mode = FlMode::kSync;
+  c.max_rounds = 5;
+  const auto r = run(f, std::make_unique<FedAvgStrategy>(), c);
+  EXPECT_EQ(r.rounds, 5u);
+  EXPECT_DOUBLE_EQ(r.mean_staleness, 0.0);
+  // Every round consumes the full cohort.
+  EXPECT_EQ(r.total_updates, 5u * c.concurrency);
+}
+
+TEST(SimulationTest, FullyAsyncBufferOfOne) {
+  Fixture f;
+  RunConfig c = f.base_config();
+  c.buffer_size = 1;
+  c.max_rounds = 20;
+  const auto r = run(f, std::make_unique<FedAsyncStrategy>(), c);
+  EXPECT_EQ(r.rounds, 20u);
+  EXPECT_EQ(r.total_updates, 20u);
+}
+
+TEST(SimulationTest, StopAtTargetHaltsEarly) {
+  Fixture f;
+  RunConfig c = f.base_config();
+  c.target_accuracy = 0.15;  // trivially reachable
+  c.stop_at_target = true;
+  c.max_rounds = 50;
+  const auto r = run(f, std::make_unique<FedBuffStrategy>(), c);
+  EXPECT_GE(r.time_to_target, 0.0);
+  EXPECT_LT(r.rounds, 50u);
+  EXPECT_DOUBLE_EQ(r.final_time, r.time_to_target);
+}
+
+TEST(SimulationTest, MaxVirtualSecondsStopsRun) {
+  Fixture f;
+  RunConfig c = f.base_config();
+  c.max_rounds = 100000;
+  c.max_virtual_seconds = 200.0;
+  const auto r = run(f, std::make_unique<FedBuffStrategy>(), c);
+  EXPECT_LT(r.rounds, 100000u);
+  EXPECT_GE(r.final_time, 200.0 * 0.5);
+}
+
+TEST(SimulationTest, WaitForStaleBoundsStaleness) {
+  // Heavy-tailed fleet + tiny staleness limit: the server must wait, and no
+  // aggregated update may exceed the limit.
+  Fixture f(/*pareto_shape=*/1.05);
+  RunConfig c = f.base_config();
+  c.staleness_limit = 1;
+  c.wait_for_stale = true;
+  c.max_rounds = 15;
+
+  SeaflConfig sc;
+  sc.weights.staleness_limit = 1;
+  sc.full_epochs = c.local_epochs;
+  const auto r = run(f, std::make_unique<SeaflStrategy>(sc), c);
+  EXPECT_GT(r.stale_waits, 0u);
+  EXPECT_LE(r.mean_staleness, 1.0 + 1e-9);
+}
+
+TEST(SimulationTest, PartialTrainingProducesPartialUpdates) {
+  Fixture f(/*pareto_shape=*/1.05);
+  RunConfig c = f.base_config();
+  c.staleness_limit = 1;
+  c.wait_for_stale = true;
+  c.partial_training = true;
+  c.local_epochs = 4;
+  c.max_rounds = 15;
+
+  SeaflConfig sc;
+  sc.weights.staleness_limit = 1;
+  sc.full_epochs = c.local_epochs;
+  const auto r = run(f, std::make_unique<SeaflStrategy>(sc), c);
+  EXPECT_GT(r.partial_updates, 0u);
+}
+
+TEST(SimulationTest, PartialTrainingFinishesFasterThanWaiting) {
+  // SEAFL^2's entire point: notifying stragglers shortens stale waits, so
+  // the same number of rounds completes in less virtual time.
+  Fixture f(/*pareto_shape=*/1.05);
+  RunConfig waiting = f.base_config();
+  waiting.staleness_limit = 1;
+  waiting.wait_for_stale = true;
+  waiting.local_epochs = 4;
+  waiting.max_rounds = 12;
+
+  RunConfig partial = waiting;
+  partial.partial_training = true;
+
+  SeaflConfig sc;
+  sc.weights.staleness_limit = 1;
+  sc.full_epochs = 4;
+
+  const auto slow = run(f, std::make_unique<SeaflStrategy>(sc), waiting);
+  const auto fast = run(f, std::make_unique<SeaflStrategy>(sc), partial);
+  EXPECT_EQ(slow.rounds, fast.rounds);
+  EXPECT_LT(fast.final_time, slow.final_time);
+}
+
+TEST(SimulationTest, DropStaleDiscardsUpdates) {
+  Fixture f(/*pareto_shape=*/1.05);
+  RunConfig c = f.base_config();
+  c.staleness_limit = 0;  // everything with staleness > 0 is dropped
+  c.drop_stale = true;
+  c.max_rounds = 10;
+  const auto r = run(f, std::make_unique<FedBuffStrategy>(), c);
+  EXPECT_GT(r.dropped_updates, 0u);
+}
+
+TEST(SimulationTest, InvalidConfigsRejected) {
+  Fixture f;
+  Fleet fleet(f.fleet_config);
+
+  RunConfig c = f.base_config();
+  c.buffer_size = 10;  // exceeds concurrency 6
+  EXPECT_THROW(Simulation(f.task, f.factory, fleet,
+                          std::make_unique<FedBuffStrategy>(), c),
+               Error);
+
+  c = f.base_config();
+  c.wait_for_stale = c.drop_stale = true;
+  EXPECT_THROW(Simulation(f.task, f.factory, fleet,
+                          std::make_unique<FedBuffStrategy>(), c),
+               Error);
+
+  c = f.base_config();
+  EXPECT_THROW(
+      Simulation(f.task, f.factory, fleet, nullptr, c),
+      Error);
+
+  FleetConfig tiny = f.fleet_config;
+  tiny.num_devices = 2;  // fewer devices than clients
+  Fleet small(tiny);
+  EXPECT_THROW(Simulation(f.task, f.factory, small,
+                          std::make_unique<FedBuffStrategy>(),
+                          f.base_config()),
+               Error);
+}
+
+TEST(SimulationTest, OverheadAccountingIsConsistent) {
+  Fixture f;
+  const RunConfig c = f.base_config();
+  const auto r = run(f, std::make_unique<FedBuffStrategy>(), c);
+  // Every consumed update was uploaded; uploads can exceed consumption only
+  // when the run stops with a non-empty buffer.
+  EXPECT_GE(r.model_uploads, r.total_updates);
+  EXPECT_LE(r.model_uploads - r.total_updates, c.concurrency);
+  // Initial cohort + one rebroadcast per consumed update, except the final
+  // round's reporters (the run stops before rebroadcasting to them).
+  ASSERT_FALSE(r.round_log.empty());
+  EXPECT_EQ(r.model_downloads,
+            c.concurrency + r.total_updates - r.round_log.back().updates);
+  EXPECT_EQ(r.aggregations, r.rounds);
+  EXPECT_EQ(r.notifications, 0u);  // no partial training configured
+  EXPECT_GT(r.server_aggregation_work, 0.0);
+}
+
+TEST(SimulationTest, FedAsyncAggregatesPerUpdate) {
+  // The overhead §II attributes to fully-async FL: one server aggregation
+  // per upload, instead of one per K uploads.
+  Fixture f;
+  RunConfig c = f.base_config();
+  c.buffer_size = 1;
+  c.max_rounds = 20;
+  const auto async = run(f, std::make_unique<FedAsyncStrategy>(), c);
+  EXPECT_EQ(async.aggregations, async.total_updates);
+
+  c.buffer_size = 5;
+  c.max_rounds = 4;
+  const auto buffered = run(f, std::make_unique<FedBuffStrategy>(), c);
+  EXPECT_EQ(buffered.aggregations * 5, buffered.total_updates);
+}
+
+TEST(SimulationTest, RoundLogTracksEveryAggregation) {
+  Fixture f;
+  const auto r = run(f, std::make_unique<FedBuffStrategy>(), f.base_config());
+  ASSERT_EQ(r.round_log.size(), r.rounds);
+  std::size_t updates = 0;
+  for (std::size_t i = 0; i < r.round_log.size(); ++i) {
+    const auto& s = r.round_log[i];
+    EXPECT_EQ(s.round, i + 1);
+    EXPECT_GE(s.updates, f.base_config().buffer_size);
+    EXPECT_GE(s.mean_staleness, 0.0);
+    if (i > 0) {
+      EXPECT_GE(s.time, r.round_log[i - 1].time);
+    }
+    updates += s.updates;
+  }
+  EXPECT_EQ(updates, r.total_updates);
+}
+
+TEST(SimulationTest, AdaptiveEpochsShortenSlowDeviceSessions) {
+  Fixture f(/*pareto_shape=*/1.05);
+  RunConfig c = f.base_config();
+  c.adaptive_epochs = true;
+  c.local_epochs = 4;
+  c.max_rounds = 10;
+  const auto adaptive = run(f, std::make_unique<FedBuffStrategy>(), c);
+  c.adaptive_epochs = false;
+  const auto fixed = run(f, std::make_unique<FedBuffStrategy>(), c);
+  // Slow devices upload after fewer epochs, so the same number of rounds
+  // finishes sooner and some uploads carry fewer than E epochs.
+  EXPECT_EQ(adaptive.rounds, fixed.rounds);
+  EXPECT_LT(adaptive.final_time, fixed.final_time);
+  EXPECT_GT(adaptive.partial_updates, 0u);
+}
+
+TEST(SimulationTest, SubmodelTrainingSpeedsUpSlowDevices) {
+  Fixture f(/*pareto_shape=*/1.05);
+  RunConfig c = f.base_config();
+  c.max_rounds = 10;
+  c.submodel_training = true;
+  c.submodel_slowdown_threshold = 1.5;
+  const auto sub = run(f, std::make_unique<FedBuffStrategy>(), c);
+  c.submodel_training = false;
+  const auto full = run(f, std::make_unique<FedBuffStrategy>(), c);
+  // Same rounds, but slow devices' epochs are cheaper, so virtual time drops.
+  EXPECT_EQ(sub.rounds, full.rounds);
+  EXPECT_LT(sub.final_time, full.final_time);
+  // Learning still happens with frozen prefixes.
+  EXPECT_GT(sub.final_accuracy, sub.curve.front().accuracy);
+}
+
+TEST(SimulationTest, UploadLossIsReplacedAndCounted) {
+  Fixture f;
+  RunConfig c = f.base_config();
+  c.upload_loss_prob = 0.3;
+  c.max_rounds = 10;
+  const auto r = run(f, std::make_unique<FedBuffStrategy>(), c);
+  // The run completes despite losses, and losses are visible.
+  EXPECT_EQ(r.rounds, 10u);
+  EXPECT_GT(r.lost_uploads, 0u);
+  // Downloads exceed the lossless accounting by one per replacement.
+  EXPECT_GT(r.model_downloads, c.concurrency + r.total_updates -
+                                    r.round_log.back().updates);
+}
+
+TEST(SimulationTest, SyncModeSurvivesUploadLoss) {
+  // Lost cohort members retry; the round must eventually complete even with
+  // substantial loss rates (fresh draws per retry prevent livelock).
+  Fixture f;
+  RunConfig c = f.base_config();
+  c.mode = FlMode::kSync;
+  c.upload_loss_prob = 0.4;
+  c.max_rounds = 4;
+  const auto r = run(f, std::make_unique<FedAvgStrategy>(), c);
+  EXPECT_EQ(r.rounds, 4u);
+  EXPECT_GT(r.lost_uploads, 0u);
+}
+
+TEST(SimulationTest, UploadLossZeroMatchesBaseline) {
+  Fixture f;
+  RunConfig c = f.base_config();
+  c.max_rounds = 6;
+  const auto a = run(f, std::make_unique<FedBuffStrategy>(), c);
+  c.upload_loss_prob = 0.0;
+  const auto b = run(f, std::make_unique<FedBuffStrategy>(), c);
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.lost_uploads, 0u);
+}
+
+TEST(SimulationTest, QuantizedUploadsStillLearn) {
+  Fixture f;
+  RunConfig c = f.base_config();
+  c.quantize_bits = 8;
+  c.max_rounds = 20;
+  const auto quantized = run(f, std::make_unique<FedBuffStrategy>(), c);
+  EXPECT_GT(quantized.final_accuracy,
+            quantized.curve.front().accuracy + 0.3);
+}
+
+TEST(SimulationTest, CoarseQuantizationDegradesAccuracy) {
+  Fixture f;
+  RunConfig c = f.base_config();
+  c.max_rounds = 15;
+  const auto full = run(f, std::make_unique<FedBuffStrategy>(), c);
+  c.quantize_bits = 2;  // three-level weights: brutal
+  const auto coarse = run(f, std::make_unique<FedBuffStrategy>(), c);
+  EXPECT_GT(full.final_accuracy, coarse.final_accuracy);
+}
+
+TEST(SimulationTest, EvalEveryThinsTheCurve) {
+  Fixture f;
+  RunConfig c = f.base_config();
+  c.eval_every = 3;
+  c.max_rounds = 12;
+  const auto r = run(f, std::make_unique<FedBuffStrategy>(), c);
+  // Rounds 0, 3, 6, 9, 12 -> 5 points.
+  EXPECT_EQ(r.curve.size(), 5u);
+}
+
+TEST(SimulationTest, FinalWeightsMatchReportedAccuracy) {
+  Fixture f;
+  RunConfig c = f.base_config();
+  c.max_rounds = 6;
+  const auto r = run(f, std::make_unique<FedBuffStrategy>(), c);
+  ASSERT_FALSE(r.final_weights.empty());
+  // Re-evaluating the returned model must reproduce the recorded accuracy.
+  Evaluator eval(f.task, f.factory, 64, c.eval_subset, c.seed);
+  EXPECT_DOUBLE_EQ(eval.evaluate(r.final_weights).accuracy,
+                   r.final_accuracy);
+}
+
+TEST(SimulationTest, FastestFirstSelectionLowersWallClock) {
+  // Preferring fast devices must shorten synchronous rounds (no straggler
+  // in the cohort) relative to random selection.
+  Fixture f(/*pareto_shape=*/1.05);
+  RunConfig c = f.base_config();
+  c.mode = FlMode::kSync;
+  c.max_rounds = 4;
+  c.selection = SelectionPolicy::kFastestFirst;
+  const auto fast = run(f, std::make_unique<FedAvgStrategy>(), c);
+  c.selection = SelectionPolicy::kRandom;
+  const auto random = run(f, std::make_unique<FedAvgStrategy>(), c);
+  EXPECT_EQ(fast.rounds, random.rounds);
+  EXPECT_LT(fast.final_time, random.final_time);
+}
+
+TEST(SimulationTest, SelectionPoliciesAreDeterministic) {
+  Fixture f;
+  for (const auto policy :
+       {SelectionPolicy::kRandom, SelectionPolicy::kFastestFirst,
+        SelectionPolicy::kDataWeighted}) {
+    RunConfig c = f.base_config();
+    c.max_rounds = 4;
+    c.selection = policy;
+    const auto a = run(f, std::make_unique<FedBuffStrategy>(), c);
+    const auto b = run(f, std::make_unique<FedBuffStrategy>(), c);
+    ASSERT_EQ(a.final_time, b.final_time);
+    ASSERT_EQ(a.final_accuracy, b.final_accuracy);
+  }
+}
+
+TEST(SimulationTest, StrategyNameIsExposed) {
+  Fixture f;
+  Fleet fleet(f.fleet_config);
+  Simulation sim(f.task, f.factory, fleet,
+                 std::make_unique<FedBuffStrategy>(), f.base_config());
+  EXPECT_EQ(sim.strategy_name(), "FedBuff");
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,117 @@
+// Randomized-configuration harness: arbitrary (valid) RunConfig draws must
+// complete without violating the simulation's core invariants. Catches
+// interactions between features (waiting x partial x adaptive epochs x
+// dropout x quantization x selection) that targeted tests do not cross.
+#include <gtest/gtest.h>
+
+#include "core/seafl.h"
+
+namespace seafl {
+namespace {
+
+class SimulationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulationFuzz, RandomConfigsPreserveInvariants) {
+  Rng rng(GetParam());
+
+  TaskSpec spec;
+  spec.name = "synth-mnist";
+  spec.num_clients = 16;
+  spec.samples_per_client = 10;
+  spec.test_samples = 40;
+  spec.seed = GetParam();
+  spec.corrupt_client_fraction = rng.bernoulli(0.3) ? 0.2 : 0.0;
+  const FlTask task = make_task(spec);
+
+  FleetConfig fc;
+  fc.num_devices = spec.num_clients;
+  fc.pareto_shape = rng.uniform(1.05, 2.0);
+  fc.seed = spec.seed;
+  const Fleet fleet(fc);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    RunConfig c;
+    c.concurrency = static_cast<std::size_t>(rng.uniform_int(2, 12));
+    c.buffer_size = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(c.concurrency)));
+    c.local_epochs = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    c.batch_size = static_cast<std::size_t>(rng.uniform_int(2, 10));
+    c.sgd.learning_rate = static_cast<float>(rng.uniform(0.01, 0.1));
+    c.sgd.clip_norm = rng.bernoulli(0.5) ? 5.0f : 0.0f;
+    c.max_rounds = 6;
+    c.target_accuracy = 2.0;  // never stop early
+    c.stop_at_target = false;
+    c.eval_subset = 20;
+    c.eval_every = static_cast<std::uint64_t>(rng.uniform_int(1, 3));
+    c.seed = rng();
+
+    // Random protocol features.
+    const int staleness_mode = static_cast<int>(rng.uniform_int(4));
+    if (staleness_mode == 1) {
+      c.staleness_limit = static_cast<std::uint64_t>(rng.uniform_int(1, 5));
+      c.wait_for_stale = true;
+    } else if (staleness_mode == 2) {
+      c.staleness_limit = static_cast<std::uint64_t>(rng.uniform_int(1, 5));
+      c.partial_training = true;
+    } else if (staleness_mode == 3) {
+      c.staleness_limit = static_cast<std::uint64_t>(rng.uniform_int(0, 5));
+      c.drop_stale = true;
+    }
+    c.adaptive_epochs = rng.bernoulli(0.3);
+    c.submodel_training = rng.bernoulli(0.3);
+    c.upload_loss_prob = rng.bernoulli(0.3) ? rng.uniform(0.0, 0.4) : 0.0;
+    c.quantize_bits =
+        rng.bernoulli(0.3) ? static_cast<std::size_t>(rng.uniform_int(6, 12))
+                           : 0;
+    c.proximal_mu = rng.bernoulli(0.2) ? 0.1 : 0.0;
+    c.selection = static_cast<SelectionPolicy>(rng.uniform_int(3));
+    const bool sync = rng.bernoulli(0.25);
+    if (sync) {
+      c.mode = FlMode::kSync;
+      c.wait_for_stale = c.partial_training = c.drop_stale = false;
+    }
+
+    StrategyPtr strategy;
+    if (rng.bernoulli(0.5)) {
+      SeaflConfig sc;
+      sc.weights.staleness_limit = c.staleness_limit;
+      sc.full_epochs = c.local_epochs;
+      strategy = std::make_unique<SeaflStrategy>(sc);
+    } else {
+      strategy = std::make_unique<FedBuffStrategy>();
+    }
+
+    const ModelFactory factory =
+        make_model(task.default_model, task.input, task.num_classes);
+    Simulation sim(task, factory, fleet, std::move(strategy), c);
+    const RunResult r = sim.run();
+
+    // --- invariants ---------------------------------------------------------
+    ASSERT_EQ(r.rounds, c.max_rounds) << "trial " << trial;
+    ASSERT_EQ(r.round_log.size(), r.rounds);
+    ASSERT_EQ(r.aggregations, r.rounds);
+    std::size_t updates = 0;
+    double prev_time = -1.0;
+    for (const auto& s : r.round_log) {
+      ASSERT_GE(s.time, prev_time);
+      prev_time = s.time;
+      ASSERT_GE(s.updates, 1u);
+      ASSERT_GE(s.mean_staleness, 0.0);
+      updates += s.updates;
+    }
+    ASSERT_EQ(updates, r.total_updates);
+    ASSERT_GE(r.model_uploads, r.total_updates);
+    ASSERT_EQ(r.final_weights.size(),
+              factory()->num_parameters());
+    for (const float wgt : r.final_weights) ASSERT_TRUE(std::isfinite(wgt));
+    std::size_t participation_total = 0;
+    for (const auto p : r.participation) participation_total += p;
+    ASSERT_EQ(participation_total, r.total_updates);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulationFuzz,
+                         ::testing::Values(5, 23, 101, 747, 31337));
+
+}  // namespace
+}  // namespace seafl

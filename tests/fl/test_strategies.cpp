@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/strategies.h"
+
+namespace seafl {
+namespace {
+
+LocalUpdate make_update(std::size_t client, std::uint64_t base_round,
+                        ModelVector weights, std::size_t samples) {
+  LocalUpdate u;
+  u.client = client;
+  u.base_round = base_round;
+  u.weights = std::move(weights);
+  u.num_samples = samples;
+  u.epochs_completed = 5;
+  return u;
+}
+
+AggregationContext make_ctx(std::uint64_t round, const ModelVector& global,
+                            std::span<const LocalUpdate> buffer) {
+  AggregationContext ctx;
+  ctx.round = round;
+  ctx.global = &global;
+  ctx.total_samples = 0;
+  for (const auto& u : buffer) ctx.total_samples += u.num_samples;
+  return ctx;
+}
+
+// --------------------------------------------------------- normalize/mix
+
+TEST(NormalizeWeightsTest, SumsToOne) {
+  std::vector<double> w{1.0, 2.0, 3.0};
+  normalize_weights(w);
+  EXPECT_NEAR(w[0] + w[1] + w[2], 1.0, 1e-12);
+  EXPECT_NEAR(w[2], 0.5, 1e-12);
+}
+
+TEST(NormalizeWeightsTest, AllZeroFallsBackToUniform) {
+  std::vector<double> w{0.0, 0.0};
+  normalize_weights(w);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+}
+
+TEST(NormalizeWeightsTest, NegativeWeightThrows) {
+  std::vector<double> w{1.0, -0.5};
+  EXPECT_THROW(normalize_weights(w), Error);
+}
+
+TEST(MixIntoGlobalTest, ConvexCombination) {
+  ModelVector global{1.0f, 2.0f};
+  const ModelVector fresh{5.0f, 6.0f};
+  mix_into_global(fresh, 0.25, global);
+  EXPECT_FLOAT_EQ(global[0], 0.75f * 1.0f + 0.25f * 5.0f);
+  EXPECT_FLOAT_EQ(global[1], 0.75f * 2.0f + 0.25f * 6.0f);
+}
+
+TEST(MixIntoGlobalTest, ThetaOneReplaces) {
+  ModelVector global{1.0f};
+  mix_into_global({9.0f}, 1.0, global);
+  EXPECT_FLOAT_EQ(global[0], 9.0f);
+}
+
+TEST(MixIntoGlobalTest, RejectsBadArguments) {
+  ModelVector global{1.0f};
+  EXPECT_THROW(mix_into_global({1.0f}, 0.0, global), Error);
+  EXPECT_THROW(mix_into_global({1.0f}, 1.5, global), Error);
+  EXPECT_THROW(mix_into_global({1.0f, 2.0f}, 0.5, global), Error);
+}
+
+// ------------------------------------------------------------------ FedAvg
+
+TEST(FedAvgTest, SampleCountWeightedMean) {
+  FedAvgStrategy strategy;
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {1.0f, 0.0f}, 30));
+  buffer.push_back(make_update(1, 0, {4.0f, 9.0f}, 10));
+  ModelVector global{0.0f, 0.0f};
+  const auto ctx = make_ctx(0, global, buffer);
+  strategy.aggregate(ctx, buffer, global);
+  // weights 0.75 / 0.25.
+  EXPECT_FLOAT_EQ(global[0], 0.75f * 1.0f + 0.25f * 4.0f);
+  EXPECT_FLOAT_EQ(global[1], 0.25f * 9.0f);
+}
+
+TEST(FedAvgTest, SingleUpdateIsIdentity) {
+  FedAvgStrategy strategy;
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {3.5f}, 7));
+  ModelVector global{0.0f};
+  strategy.aggregate(make_ctx(0, global, buffer), buffer, global);
+  EXPECT_FLOAT_EQ(global[0], 3.5f);
+}
+
+TEST(FedAvgTest, IgnoresPreviousGlobal) {
+  // Synchronous FedAvg replaces the model entirely.
+  FedAvgStrategy strategy;
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {2.0f}, 1));
+  ModelVector global{100.0f};
+  strategy.aggregate(make_ctx(0, global, buffer), buffer, global);
+  EXPECT_FLOAT_EQ(global[0], 2.0f);
+}
+
+// ----------------------------------------------------------------- FedBuff
+
+TEST(FedBuffTest, UniformMeanMixedWithGlobal) {
+  FedBuffStrategy strategy(FedBuffConfig{.vartheta = 0.5});
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {2.0f}, 100));  // sample counts ignored
+  buffer.push_back(make_update(1, 0, {6.0f}, 1));
+  ModelVector global{0.0f};
+  strategy.aggregate(make_ctx(1, global, buffer), buffer, global);
+  // mean = 4, mixed: 0.5 * 0 + 0.5 * 4 = 2.
+  EXPECT_FLOAT_EQ(global[0], 2.0f);
+}
+
+TEST(FedBuffTest, DefaultvarthetaMatchesPaper) {
+  FedBuffStrategy strategy;  // default 0.8
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {10.0f}, 1));
+  ModelVector global{0.0f};
+  strategy.aggregate(make_ctx(1, global, buffer), buffer, global);
+  EXPECT_NEAR(global[0], 8.0f, 1e-5);
+}
+
+TEST(FedBuffTest, RejectsInvalidConfig) {
+  EXPECT_THROW(FedBuffStrategy(FedBuffConfig{.vartheta = 0.0}), Error);
+  EXPECT_THROW(FedBuffStrategy(FedBuffConfig{.vartheta = 1.1}), Error);
+}
+
+// ---------------------------------------------------------------- FedAsync
+
+TEST(FedAsyncTest, FreshUpdateUsesBaseAlpha) {
+  FedAsyncStrategy strategy(FedAsyncConfig{.alpha = 0.6, .poly_a = 0.5});
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, /*base_round=*/5, {10.0f}, 1));
+  ModelVector global{0.0f};
+  strategy.aggregate(make_ctx(/*round=*/5, global, buffer), buffer, global);
+  EXPECT_NEAR(global[0], 6.0f, 1e-5);  // staleness 0 -> alpha_t = 0.6
+}
+
+TEST(FedAsyncTest, StaleUpdateIsDownweighted) {
+  FedAsyncStrategy strategy(FedAsyncConfig{.alpha = 0.6, .poly_a = 0.5});
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, /*base_round=*/1, {10.0f}, 1));
+  ModelVector global{0.0f};
+  strategy.aggregate(make_ctx(/*round=*/9, global, buffer), buffer, global);
+  // staleness 8 -> alpha_t = 0.6 / 3 = 0.2.
+  EXPECT_NEAR(global[0], 2.0f, 1e-5);
+}
+
+TEST(FedAsyncTest, PolyZeroIgnoresStaleness) {
+  FedAsyncStrategy strategy(FedAsyncConfig{.alpha = 0.5, .poly_a = 0.0});
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {4.0f}, 1));
+  ModelVector global{0.0f};
+  strategy.aggregate(make_ctx(100, global, buffer), buffer, global);
+  EXPECT_NEAR(global[0], 2.0f, 1e-5);
+}
+
+TEST(FedAsyncTest, MinAlphaFloors) {
+  FedAsyncStrategy strategy(
+      FedAsyncConfig{.alpha = 0.6, .poly_a = 2.0, .min_alpha = 0.3});
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {10.0f}, 1));
+  ModelVector global{0.0f};
+  strategy.aggregate(make_ctx(99, global, buffer), buffer, global);
+  EXPECT_NEAR(global[0], 3.0f, 1e-5);
+}
+
+TEST(FedAsyncTest, MultipleUpdatesApplySequentially) {
+  FedAsyncStrategy strategy(FedAsyncConfig{.alpha = 0.5, .poly_a = 0.0});
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, 0, {8.0f}, 1));
+  buffer.push_back(make_update(1, 0, {0.0f}, 1));
+  ModelVector global{0.0f};
+  strategy.aggregate(make_ctx(0, global, buffer), buffer, global);
+  // After first: 4. After second: 2.
+  EXPECT_NEAR(global[0], 2.0f, 1e-5);
+}
+
+TEST(FedAsyncTest, UpdateFromFutureThrows) {
+  FedAsyncStrategy strategy;
+  std::vector<LocalUpdate> buffer;
+  buffer.push_back(make_update(0, /*base_round=*/7, {1.0f}, 1));
+  ModelVector global{0.0f};
+  EXPECT_THROW(
+      strategy.aggregate(make_ctx(/*round=*/3, global, buffer), buffer,
+                         global),
+      Error);
+}
+
+TEST(FedAsyncTest, RejectsInvalidConfig) {
+  EXPECT_THROW(FedAsyncStrategy(FedAsyncConfig{.alpha = 0.0}), Error);
+  EXPECT_THROW(FedAsyncStrategy(FedAsyncConfig{.alpha = 0.5, .poly_a = -1.0}),
+               Error);
+}
+
+TEST(StrategyNamesTest, DisplayNames) {
+  EXPECT_EQ(FedAvgStrategy().name(), "FedAvg");
+  EXPECT_EQ(FedBuffStrategy().name(), "FedBuff");
+  EXPECT_EQ(FedAsyncStrategy().name(), "FedAsync");
+}
+
+}  // namespace
+}  // namespace seafl

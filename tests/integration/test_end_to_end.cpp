@@ -1,0 +1,161 @@
+// Cross-module integration tests: full federated runs through the public
+// API, checking the qualitative properties the paper's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include "core/seafl.h"
+
+namespace seafl {
+namespace {
+
+struct World {
+  FlTask task;
+  Fleet fleet;
+
+  explicit World(std::size_t clients = 30, std::size_t samples = 30,
+                 double pareto_shape = 1.3)
+      : task(make_task([&] {
+          TaskSpec spec;
+          spec.name = "synth-mnist";
+          spec.num_clients = clients;
+          spec.samples_per_client = samples;
+          spec.test_samples = 150;
+          return spec;
+        }())),
+        fleet([&] {
+          FleetConfig fc;
+          fc.num_devices = clients;
+          fc.pareto_shape = pareto_shape;
+          fc.seed = 17;
+          return Fleet(fc);
+        }()) {}
+};
+
+ExperimentParams fast_params() {
+  ExperimentParams p;
+  p.buffer_size = 5;
+  p.concurrency = 10;
+  p.local_epochs = 2;
+  p.target_accuracy = 0.85;
+  p.max_rounds = 120;
+  p.eval_subset = 150;
+  return p;
+}
+
+TEST(EndToEndTest, SeaflReachesTarget) {
+  World world;
+  const auto r = run_arm("seafl", fast_params(), world.task, world.fleet);
+  EXPECT_GE(r.time_to_target, 0.0) << "final acc " << r.final_accuracy;
+}
+
+TEST(EndToEndTest, SeaflBeatsFedAvgWallClock) {
+  // The paper's headline qualitative result (Fig. 5): semi-async SEAFL
+  // reaches the target in less virtual wall-clock time than synchronous
+  // FedAvg under heterogeneous device speeds.
+  World world;
+  const auto params = fast_params();
+  const auto seafl = run_arm("seafl", params, world.task, world.fleet);
+  const auto fedavg = run_arm("fedavg", params, world.task, world.fleet);
+  ASSERT_GE(seafl.time_to_target, 0.0);
+  // FedAvg either fails to reach the target in the round budget or takes
+  // longer than SEAFL.
+  if (fedavg.time_to_target >= 0.0) {
+    EXPECT_LT(seafl.time_to_target, fedavg.time_to_target);
+  }
+}
+
+TEST(EndToEndTest, RunsAreReproducibleAcrossProcessesInPrinciple) {
+  // Same seed, same arms, bit-identical curves (determinism guarantee).
+  World world;
+  const auto params = fast_params();
+  const auto a = run_arm("seafl2", params, world.task, world.fleet);
+  const auto b = run_arm("seafl2", params, world.task, world.fleet);
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.curve[i].accuracy, b.curve[i].accuracy);
+    ASSERT_DOUBLE_EQ(a.curve[i].time, b.curve[i].time);
+  }
+}
+
+TEST(EndToEndTest, DifferentSeedsGiveDifferentTrajectories) {
+  World world;
+  auto params = fast_params();
+  const auto a = run_arm("seafl", params, world.task, world.fleet);
+  params.seed = 777;
+  const auto b = run_arm("seafl", params, world.task, world.fleet);
+  bool any_diff = a.curve.size() != b.curve.size();
+  for (std::size_t i = 0; !any_diff && i < a.curve.size(); ++i)
+    any_diff |= a.curve[i].accuracy != b.curve[i].accuracy;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(EndToEndTest, StalenessLimitKeepsMeanStalenessLower) {
+  // SEAFL's waiting protocol with a tight limit must yield lower mean
+  // staleness than the unlimited variant on a heavy-tailed fleet.
+  World world(/*clients=*/30, /*samples=*/30, /*pareto_shape=*/1.05);
+  auto params = fast_params();
+  params.stop_at_target = false;
+  params.max_rounds = 25;
+  params.staleness_limit = 2;
+  const auto limited = run_arm("seafl", params, world.task, world.fleet);
+  const auto unlimited = run_arm("seafl-inf", params, world.task, world.fleet);
+  EXPECT_LE(limited.mean_staleness, unlimited.mean_staleness + 1e-9);
+  EXPECT_LE(limited.mean_staleness, 2.0 + 1e-9);
+}
+
+TEST(EndToEndTest, EveryPresetAlgorithmCompletesARun) {
+  World world;
+  auto params = fast_params();
+  params.max_rounds = 8;
+  params.stop_at_target = false;
+  for (const auto& algo : known_algorithms()) {
+    const auto r = run_arm(algo, params, world.task, world.fleet);
+    EXPECT_EQ(r.rounds, 8u) << algo;
+    EXPECT_FALSE(r.curve.empty()) << algo;
+    EXPECT_GT(r.final_time, 0.0) << algo;
+  }
+}
+
+TEST(EndToEndTest, ConvTaskTrainsEndToEnd) {
+  // A small patterned-image task through the lenet_lite path exercises
+  // conv/pool layers inside the full simulation stack.
+  TaskSpec spec;
+  spec.name = "synth-emnist";
+  spec.num_clients = 8;
+  spec.samples_per_client = 12;
+  spec.test_samples = 60;
+  const FlTask task = make_task(spec);
+  FleetConfig fc;
+  fc.num_devices = 8;
+  const Fleet fleet(fc);
+
+  ExperimentParams params;
+  params.buffer_size = 2;
+  params.concurrency = 4;
+  params.local_epochs = 1;
+  params.max_rounds = 10;
+  params.stop_at_target = false;
+  params.eval_subset = 60;
+  const auto r = run_arm("seafl", params, task, fleet);
+  EXPECT_EQ(r.rounds, 10u);
+  // Accuracy should move above chance with 10 classes.
+  EXPECT_GT(r.final_accuracy, 0.15);
+}
+
+TEST(EndToEndTest, TheoryHooksAcceptDefaultHyperparameters) {
+  // The default experiment parameters satisfy Eq. 10 for a plausible
+  // smoothness constant, tying the theory module to the presets.
+  World world;
+  std::vector<double> fractions;
+  double total = 0.0;
+  for (const auto& idx : world.task.partition) total += idx.size();
+  for (const auto& idx : world.task.partition)
+    fractions.push_back(idx.size() / total);
+  const double lambda = lambda_d(fractions);
+  const ExperimentParams params;
+  const double eta_max = max_stable_learning_rate(
+      params.alpha, params.mu, lambda, params.buffer_size, /*L=*/1.0);
+  EXPECT_GT(eta_max, 0.0);
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,171 @@
+// Protocol invariants checked on full runs: properties Algorithm 1/2 and
+// the simulation loop must maintain regardless of strategy or world.
+#include <gtest/gtest.h>
+
+#include "core/seafl.h"
+
+namespace seafl {
+namespace {
+
+struct World {
+  FlTask task;
+  Fleet fleet;
+};
+
+World make_world(double pareto_shape, std::uint64_t seed = 11) {
+  TaskSpec spec;
+  spec.name = "synth-mnist";
+  spec.num_clients = 24;
+  spec.samples_per_client = 12;
+  spec.test_samples = 60;
+  spec.seed = seed;
+  FleetConfig fc;
+  fc.num_devices = spec.num_clients;
+  fc.pareto_shape = pareto_shape;
+  fc.seed = seed;
+  return World{make_task(spec), Fleet(fc)};
+}
+
+RunConfig small_config() {
+  RunConfig c;
+  c.buffer_size = 4;
+  c.concurrency = 8;
+  c.local_epochs = 2;
+  c.batch_size = 6;
+  c.sgd.learning_rate = 0.05f;
+  c.max_rounds = 10;
+  c.target_accuracy = 2.0;  // unreachable: run the full budget
+  c.stop_at_target = false;
+  c.eval_subset = 30;
+  return c;
+}
+
+RunResult run_config(const World& w, StrategyPtr strategy,
+                     const RunConfig& c) {
+  const ModelFactory factory =
+      make_model(w.task.default_model, w.task.input, w.task.num_classes);
+  Simulation sim(w.task, factory, w.fleet, std::move(strategy), c);
+  return sim.run();
+}
+
+TEST(ProtocolInvariants, SemiAsyncWithoutWaitingConsumesExactlyK) {
+  const World w = make_world(1.3);
+  const RunConfig c = small_config();
+  const auto r = run_config(w, std::make_unique<FedBuffStrategy>(), c);
+  for (const auto& s : r.round_log) EXPECT_EQ(s.updates, c.buffer_size);
+}
+
+TEST(ProtocolInvariants, WaitingBoundsEveryAggregatedStaleness) {
+  const World w = make_world(1.05);
+  RunConfig c = small_config();
+  c.staleness_limit = 2;
+  c.wait_for_stale = true;
+  c.max_rounds = 15;
+  SeaflConfig sc;
+  sc.weights.staleness_limit = 2;
+  sc.full_epochs = c.local_epochs;
+  const auto r = run_config(w, std::make_unique<SeaflStrategy>(sc), c);
+  for (const auto& s : r.round_log)
+    EXPECT_LE(s.mean_staleness, 2.0 + 1e-9) << "round " << s.round;
+}
+
+TEST(ProtocolInvariants, WaitingMayConsumeMoreThanK) {
+  // While the server holds aggregation for a stale device, further arrivals
+  // keep buffering; the eventual aggregation uses all of them.
+  const World w = make_world(1.05);
+  RunConfig c = small_config();
+  c.staleness_limit = 1;
+  c.wait_for_stale = true;
+  c.max_rounds = 15;
+  SeaflConfig sc;
+  sc.weights.staleness_limit = 1;
+  sc.full_epochs = c.local_epochs;
+  const auto r = run_config(w, std::make_unique<SeaflStrategy>(sc), c);
+  bool any_over = false;
+  for (const auto& s : r.round_log) any_over |= s.updates > c.buffer_size;
+  EXPECT_TRUE(any_over);
+}
+
+TEST(ProtocolInvariants, SyncConsumesWholeCohortAtZeroStaleness) {
+  const World w = make_world(1.2);
+  RunConfig c = small_config();
+  c.mode = FlMode::kSync;
+  const auto r = run_config(w, std::make_unique<FedAvgStrategy>(), c);
+  for (const auto& s : r.round_log) {
+    EXPECT_EQ(s.updates, c.concurrency);
+    EXPECT_DOUBLE_EQ(s.mean_staleness, 0.0);
+  }
+}
+
+TEST(ProtocolInvariants, FullyAsyncOneUpdatePerRound) {
+  const World w = make_world(1.2);
+  RunConfig c = small_config();
+  c.buffer_size = 1;
+  const auto r = run_config(w, std::make_unique<FedAsyncStrategy>(), c);
+  EXPECT_EQ(r.total_updates, r.rounds);
+  for (const auto& s : r.round_log) EXPECT_EQ(s.updates, 1u);
+}
+
+TEST(ProtocolInvariants, PartialUpdatesOnlyWithNotificationsOrAdaptation) {
+  // Plain runs never produce partially trained uploads.
+  const World w = make_world(1.05);
+  const auto r = run_config(w, std::make_unique<FedBuffStrategy>(),
+                            small_config());
+  EXPECT_EQ(r.partial_updates, 0u);
+  for (const auto& s : r.round_log) EXPECT_EQ(s.partial, 0u);
+}
+
+TEST(ProtocolInvariants, Seafl2StalenessStaysNearBeta) {
+  // Non-blocking SEAFL^2 cannot hard-bound staleness, but notifications
+  // keep it close to beta: no aggregated update should be grossly over.
+  const World w = make_world(1.05);
+  RunConfig c = small_config();
+  c.staleness_limit = 2;
+  c.partial_training = true;
+  c.max_rounds = 20;
+  SeaflConfig sc;
+  sc.weights.staleness_limit = 2;
+  sc.full_epochs = c.local_epochs;
+  const auto r = run_config(w, std::make_unique<SeaflStrategy>(sc), c);
+  // The notified device needs at most one more epoch + upload, during which
+  // only a few rounds can pass in this small world.
+  for (const auto& s : r.round_log)
+    EXPECT_LE(s.mean_staleness, 8.0) << "round " << s.round;
+  EXPECT_GT(r.partial_updates, 0u);
+}
+
+TEST(ProtocolInvariants, VirtualTimeNeverDecreases) {
+  const World w = make_world(1.1);
+  for (const char* algo : {"seafl", "seafl2", "fedbuff", "fedavg"}) {
+    ExperimentParams params;
+    params.buffer_size = 4;
+    params.concurrency = 8;
+    params.local_epochs = 2;
+    params.max_rounds = 8;
+    params.stop_at_target = false;
+    params.eval_subset = 30;
+    const auto r = run_arm(algo, params, w.task, w.fleet);
+    double prev = -1.0;
+    for (const auto& s : r.round_log) {
+      EXPECT_GE(s.time, prev) << algo;
+      prev = s.time;
+    }
+  }
+}
+
+TEST(ProtocolInvariants, TotalUpdatesEqualsRoundLogSum) {
+  const World w = make_world(1.1);
+  RunConfig c = small_config();
+  c.staleness_limit = 1;
+  c.wait_for_stale = true;
+  SeaflConfig sc;
+  sc.weights.staleness_limit = 1;
+  sc.full_epochs = c.local_epochs;
+  const auto r = run_config(w, std::make_unique<SeaflStrategy>(sc), c);
+  std::size_t sum = 0;
+  for (const auto& s : r.round_log) sum += s.updates;
+  EXPECT_EQ(sum, r.total_updates);
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,80 @@
+// Finite-difference gradient checking for Layer implementations.
+//
+// Scalar objective: f = <layer(input), P> with a fixed random projection P.
+// Analytic gradients come from backward(P); numeric gradients from central
+// differences on every parameter and input element.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+#include "tensor/ops.h"
+
+namespace seafl::testing {
+
+inline double objective(Layer& layer, const Tensor& input,
+                        const Tensor& projection) {
+  Tensor out;
+  layer.forward(input, out, /*train=*/false);
+  return dot(out.span(), projection.span());
+}
+
+/// Runs the forward to size the projection, computes analytic gradients, and
+/// compares them to central differences. `tol` is the max absolute error
+/// (gradients here are O(1) with the default N(0,1) data).
+inline void check_layer_gradients(Layer& layer, Tensor input,
+                                  std::uint64_t seed = 99,
+                                  double tol = 2e-2,
+                                  float eps = 1e-2f) {
+  Rng rng(seed);
+
+  Tensor out;
+  layer.forward(input, out, /*train=*/true);
+  Tensor projection(out.shape());
+  projection.fill_normal(rng, 0.0f, 1.0f);
+
+  layer.zero_grad();
+  Tensor input_grad;
+  layer.backward(projection, input_grad);
+  ASSERT_EQ(input_grad.numel(), input.numel());
+
+  // Copy analytic gradients before numeric probing perturbs state.
+  std::vector<std::vector<float>> param_grads;
+  for (Tensor* g : layer.gradients())
+    param_grads.emplace_back(g->data(), g->data() + g->numel());
+  const std::vector<float> analytic_input(input_grad.data(),
+                                          input_grad.data() +
+                                              input_grad.numel());
+
+  // Numeric parameter gradients.
+  const auto params = layer.parameters();
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& p = *params[pi];
+    for (std::size_t i = 0; i < p.numel(); ++i) {
+      const float saved = p[i];
+      p[i] = saved + eps;
+      const double hi = objective(layer, input, projection);
+      p[i] = saved - eps;
+      const double lo = objective(layer, input, projection);
+      p[i] = saved;
+      const double numeric = (hi - lo) / (2.0 * eps);
+      ASSERT_NEAR(param_grads[pi][i], numeric, tol)
+          << "param " << pi << " element " << i;
+    }
+  }
+
+  // Numeric input gradients.
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const float saved = input[i];
+    input[i] = saved + eps;
+    const double hi = objective(layer, input, projection);
+    input[i] = saved - eps;
+    const double lo = objective(layer, input, projection);
+    input[i] = saved;
+    const double numeric = (hi - lo) / (2.0 * eps);
+    ASSERT_NEAR(analytic_input[i], numeric, tol) << "input element " << i;
+  }
+}
+
+}  // namespace seafl::testing

@@ -1,0 +1,400 @@
+#include <gtest/gtest.h>
+
+#include "gradient_check.h"
+#include "nn/activations.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/residual.h"
+
+namespace seafl {
+namespace {
+
+using seafl::testing::check_layer_gradients;
+
+Tensor random_input(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  t.fill_normal(rng, 0.0f, 1.0f);
+  return t;
+}
+
+/// Pushes every element away from zero so kinked layers (ReLU, MaxPool) are
+/// locally smooth under finite-difference probing.
+Tensor away_from_kinks(Tensor t, float margin = 0.15f) {
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    if (t[i] >= 0.0f && t[i] < margin) t[i] += margin;
+    if (t[i] < 0.0f && t[i] > -margin) t[i] -= margin;
+  }
+  return t;
+}
+
+ConvGeom make_geom(std::size_t c, std::size_t h, std::size_t w, std::size_t k,
+                   std::size_t s, std::size_t p) {
+  ConvGeom g;
+  g.channels = c;
+  g.height = h;
+  g.width = w;
+  g.kernel_h = k;
+  g.kernel_w = k;
+  g.stride = s;
+  g.pad = p;
+  return g;
+}
+
+// ------------------------------------------------------------------- Dense
+
+TEST(DenseTest, ForwardComputesAffineMap) {
+  Dense dense(2, 2);
+  // W = [[1, 2], [3, 4]], b = [10, 20].
+  dense.parameters()[0]->span()[0] = 1;
+  dense.parameters()[0]->span()[1] = 2;
+  dense.parameters()[0]->span()[2] = 3;
+  dense.parameters()[0]->span()[3] = 4;
+  dense.parameters()[1]->span()[0] = 10;
+  dense.parameters()[1]->span()[1] = 20;
+
+  Tensor in({1, 2}, {1, 1});
+  Tensor out;
+  dense.forward(in, out, false);
+  // y = W x + b = [1+2+10, 3+4+20].
+  EXPECT_FLOAT_EQ(out[0], 13.0f);
+  EXPECT_FLOAT_EQ(out[1], 27.0f);
+}
+
+TEST(DenseTest, BatchedForwardShape) {
+  Dense dense(8, 3);
+  Rng rng(1);
+  dense.init(rng);
+  Tensor in = random_input({5, 8}, 2);
+  Tensor out;
+  dense.forward(in, out, false);
+  EXPECT_EQ(out.shape(), (Shape{5, 3}));
+}
+
+TEST(DenseTest, GradientCheck) {
+  Dense dense(4, 3);
+  Rng rng(3);
+  dense.init(rng);
+  check_layer_gradients(dense, random_input({2, 4}, 4));
+}
+
+TEST(DenseTest, GradientsAccumulateAcrossBackwardCalls) {
+  Dense dense(2, 2);
+  Rng rng(5);
+  dense.init(rng);
+  Tensor in = random_input({1, 2}, 6);
+  Tensor out, din;
+  dense.forward(in, out, true);
+  Tensor ones(out.shape());
+  ones.fill(1.0f);
+  dense.zero_grad();
+  dense.backward(ones, din);
+  const float g1 = (*dense.gradients()[0])[0];
+  dense.backward(ones, din);
+  EXPECT_FLOAT_EQ((*dense.gradients()[0])[0], 2.0f * g1);
+}
+
+TEST(DenseTest, HeInitHasPlausibleScale) {
+  Dense dense(1000, 10);
+  Rng rng(7);
+  dense.init(rng);
+  double sq = 0.0;
+  const Tensor& w = *dense.parameters()[0];
+  for (std::size_t i = 0; i < w.numel(); ++i) sq += w[i] * w[i];
+  const double stddev = std::sqrt(sq / w.numel());
+  EXPECT_NEAR(stddev, std::sqrt(2.0 / 1000.0), 0.005);
+  // Bias starts at zero.
+  const Tensor& b = *dense.parameters()[1];
+  for (std::size_t i = 0; i < b.numel(); ++i) EXPECT_EQ(b[i], 0.0f);
+}
+
+TEST(DenseTest, RejectsBadInputSize) {
+  Dense dense(4, 2);
+  Tensor in({1, 3});
+  Tensor out;
+  EXPECT_THROW(dense.forward(in, out, false), Error);
+}
+
+// ------------------------------------------------------------------ Conv2d
+
+TEST(Conv2dTest, KnownConvolution) {
+  // 1-channel 3x3 image, one 2x2 filter of all ones, no pad: output is the
+  // 2x2 window sums.
+  Conv2d conv(make_geom(1, 3, 3, 2, 1, 0), 1);
+  conv.parameters()[0]->fill(1.0f);
+  conv.parameters()[1]->fill(0.0f);
+  Tensor in({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor out;
+  conv.forward(in, out, false);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out[0], 1 + 2 + 4 + 5);
+  EXPECT_FLOAT_EQ(out[1], 2 + 3 + 5 + 6);
+  EXPECT_FLOAT_EQ(out[2], 4 + 5 + 7 + 8);
+  EXPECT_FLOAT_EQ(out[3], 5 + 6 + 8 + 9);
+}
+
+TEST(Conv2dTest, BiasBroadcastsPerChannel) {
+  Conv2d conv(make_geom(1, 2, 2, 1, 1, 0), 2);
+  conv.parameters()[0]->fill(0.0f);
+  conv.parameters()[1]->span()[0] = 1.5f;
+  conv.parameters()[1]->span()[1] = -2.5f;
+  Tensor in({1, 1, 2, 2});
+  Tensor out;
+  conv.forward(in, out, false);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(out[i], 1.5f);
+  for (int i = 4; i < 8; ++i) EXPECT_FLOAT_EQ(out[i], -2.5f);
+}
+
+class ConvGradientTest : public ::testing::TestWithParam<ConvGeom> {};
+
+TEST_P(ConvGradientTest, GradientCheck) {
+  const ConvGeom g = GetParam();
+  Conv2d conv(g, 2);
+  Rng rng(11);
+  conv.init(rng);
+  check_layer_gradients(
+      conv, random_input({2, g.channels, g.height, g.width}, 12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, ConvGradientTest,
+                         ::testing::Values(make_geom(1, 4, 4, 3, 1, 0),
+                                           make_geom(2, 4, 4, 3, 1, 1),
+                                           make_geom(3, 5, 5, 3, 2, 1),
+                                           make_geom(1, 6, 6, 5, 1, 2)));
+
+TEST(Conv2dTest, BatchIndependence) {
+  // Processing two samples in one batch equals processing them separately.
+  Conv2d conv(make_geom(2, 4, 4, 3, 1, 1), 3);
+  Rng rng(13);
+  conv.init(rng);
+  Tensor batch = random_input({2, 2, 4, 4}, 14);
+  Tensor out_batch;
+  conv.forward(batch, out_batch, false);
+
+  const std::size_t sample = 2 * 4 * 4;
+  for (std::size_t b = 0; b < 2; ++b) {
+    Tensor single({1, 2, 4, 4});
+    std::copy(batch.data() + b * sample, batch.data() + (b + 1) * sample,
+              single.data());
+    Tensor out_single;
+    conv.forward(single, out_single, false);
+    for (std::size_t i = 0; i < out_single.numel(); ++i)
+      ASSERT_FLOAT_EQ(out_single[i], out_batch[b * out_single.numel() + i]);
+  }
+}
+
+// --------------------------------------------------------------- MaxPool2d
+
+TEST(MaxPoolTest, SelectsWindowMaxima) {
+  MaxPool2d pool(make_geom(1, 4, 4, 2, 2, 0));
+  Tensor in({1, 1, 4, 4},
+            {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  Tensor out;
+  pool.forward(in, out, false);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out[0], 6);
+  EXPECT_FLOAT_EQ(out[1], 8);
+  EXPECT_FLOAT_EQ(out[2], 14);
+  EXPECT_FLOAT_EQ(out[3], 16);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  MaxPool2d pool(make_geom(1, 2, 2, 2, 2, 0));
+  Tensor in({1, 1, 2, 2}, {1, 9, 3, 4});
+  Tensor out, din;
+  pool.forward(in, out, true);
+  Tensor dout({1, 1, 1, 1}, {5.0f});
+  pool.backward(dout, din);
+  EXPECT_EQ(din.shape(), in.shape());
+  EXPECT_FLOAT_EQ(din[0], 0);
+  EXPECT_FLOAT_EQ(din[1], 5);
+  EXPECT_FLOAT_EQ(din[2], 0);
+  EXPECT_FLOAT_EQ(din[3], 0);
+}
+
+TEST(MaxPoolTest, GradientCheck) {
+  MaxPool2d pool(make_geom(1, 4, 4, 2, 2, 0));
+  // Distinct, well-separated values keep the argmax stable under probing.
+  Tensor in({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i)
+    in[i] = static_cast<float>(i % 7) * 1.7f + static_cast<float>(i) * 0.31f;
+  check_layer_gradients(pool, in);
+}
+
+TEST(MaxPoolTest, RaggedEdgeWindows) {
+  // 3x3 input with 2x2/stride-2 pooling truncates the last row/col windows.
+  MaxPool2d pool(make_geom(1, 3, 3, 2, 2, 0));
+  Tensor in({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor out;
+  pool.forward(in, out, false);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0], 5);
+}
+
+// ----------------------------------------------------------- GlobalAvgPool
+
+TEST(GlobalAvgPoolTest, AveragesEachChannel) {
+  GlobalAvgPool pool(2, 2, 2);
+  Tensor in({1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor out;
+  pool.forward(in, out, false);
+  EXPECT_EQ(out.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+  EXPECT_FLOAT_EQ(out[1], 25.0f);
+}
+
+TEST(GlobalAvgPoolTest, GradientCheck) {
+  GlobalAvgPool pool(2, 3, 3);
+  check_layer_gradients(pool, random_input({2, 2, 3, 3}, 15));
+}
+
+// ------------------------------------------------------------- Activations
+
+TEST(ReLUTest, ForwardClampsNegatives) {
+  ReLU relu;
+  Tensor in({4}, {-1, 0, 2, -3});
+  Tensor out;
+  relu.forward(in, out, false);
+  EXPECT_FLOAT_EQ(out[0], 0);
+  EXPECT_FLOAT_EQ(out[2], 2);
+}
+
+TEST(ReLUTest, GradientCheck) {
+  ReLU relu;
+  check_layer_gradients(relu, away_from_kinks(random_input({3, 5}, 16)));
+}
+
+TEST(TanhTest, ForwardValues) {
+  Tanh tanh_layer;
+  Tensor in({2}, {0.0f, 100.0f});
+  Tensor out;
+  tanh_layer.forward(in, out, false);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_NEAR(out[1], 1.0f, 1e-6);
+}
+
+TEST(TanhTest, GradientCheck) {
+  Tanh tanh_layer;
+  check_layer_gradients(tanh_layer, random_input({2, 6}, 17));
+}
+
+TEST(FlattenTest, ReshapesAndRestores) {
+  Flatten flatten;
+  Tensor in = random_input({2, 3, 4, 5}, 18);
+  Tensor out;
+  flatten.forward(in, out, true);
+  EXPECT_EQ(out.shape(), (Shape{2, 60}));
+  Tensor dout = out, din;
+  flatten.backward(dout, din);
+  EXPECT_EQ(din.shape(), (Shape{2, 3, 4, 5}));
+}
+
+TEST(DropoutTest, InferenceIsIdentity) {
+  Dropout drop(0.5f);
+  Tensor in = random_input({2, 10}, 30);
+  Tensor out;
+  drop.forward(in, out, /*train=*/false);
+  EXPECT_TRUE(out.equals(in));
+}
+
+TEST(DropoutTest, TrainDropsAndRescales) {
+  Dropout drop(0.5f, /*seed=*/3);
+  Tensor in({1, 1000});
+  in.fill(1.0f);
+  Tensor out;
+  drop.forward(in, out, /*train=*/true);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (out[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(out[i], 2.0f);  // survivors scaled by 1/(1-p)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.5, 0.06);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout drop(0.3f, 7);
+  Tensor in = random_input({1, 50}, 31);
+  Tensor out, din;
+  drop.forward(in, out, true);
+  Tensor dout({1, 50});
+  dout.fill(1.0f);
+  drop.backward(dout, din);
+  const float scale = 1.0f / 0.7f;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (out[i] == 0.0f) {
+      EXPECT_FLOAT_EQ(din[i], 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(din[i], scale);
+    }
+  }
+}
+
+TEST(DropoutTest, ZeroProbabilityIsIdentityEvenInTraining) {
+  Dropout drop(0.0f);
+  Tensor in = random_input({2, 8}, 32);
+  Tensor out;
+  drop.forward(in, out, true);
+  EXPECT_TRUE(out.equals(in));
+}
+
+TEST(DropoutTest, RejectsInvalidProbability) {
+  EXPECT_THROW(Dropout(1.0f), Error);
+  EXPECT_THROW(Dropout(-0.1f), Error);
+}
+
+TEST(DropoutTest, BackwardWithoutTrainForwardThrows) {
+  Dropout drop(0.5f);
+  Tensor in = random_input({1, 4}, 33);
+  Tensor out, din;
+  drop.forward(in, out, false);
+  Tensor dout({1, 4});
+  EXPECT_THROW(drop.backward(dout, din), Error);
+}
+
+// ---------------------------------------------------------- ResidualBlock
+
+TEST(ResidualBlockTest, ZeroWeightsActAsReLUIdentity) {
+  // With conv weights at zero the block computes ReLU(0 + x) = ReLU(x).
+  ResidualBlock block(2, 4, 4);
+  for (Tensor* p : block.parameters()) p->fill(0.0f);
+  Tensor in = random_input({1, 2, 4, 4}, 19);
+  Tensor out;
+  block.forward(in, out, false);
+  for (std::size_t i = 0; i < in.numel(); ++i)
+    EXPECT_FLOAT_EQ(out[i], std::max(0.0f, in[i]));
+}
+
+TEST(ResidualBlockTest, ParameterCountMatchesTwoConvs) {
+  ResidualBlock block(4, 6, 6);
+  std::size_t total = 0;
+  for (Tensor* p : block.parameters()) total += p->numel();
+  // Two 3x3 convs, 4->4 channels, each with bias: 2 * (4*4*9 + 4).
+  EXPECT_EQ(total, 2u * (4u * 4u * 9u + 4u));
+  EXPECT_EQ(block.parameters().size(), block.gradients().size());
+}
+
+TEST(ResidualBlockTest, GradientCheck) {
+  ResidualBlock block(2, 3, 3);
+  Rng rng(20);
+  block.init(rng);
+  // Smaller probe step than the default: the block's internal ReLUs see
+  // conv outputs we cannot pre-shift away from their kinks.
+  check_layer_gradients(block, away_from_kinks(random_input({1, 2, 3, 3}, 21)),
+                        /*seed=*/99, /*tol=*/3e-2, /*eps=*/2e-3f);
+}
+
+TEST(ResidualBlockTest, PreservesShape) {
+  ResidualBlock block(3, 5, 7);
+  Rng rng(22);
+  block.init(rng);
+  Tensor in = random_input({4, 3, 5, 7}, 23);
+  Tensor out;
+  block.forward(in, out, false);
+  EXPECT_EQ(out.shape(), in.shape());
+}
+
+}  // namespace
+}  // namespace seafl

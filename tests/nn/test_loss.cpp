@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+
+namespace seafl {
+namespace {
+
+TEST(LossTest, UniformLogitsGiveLogClasses) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 4});  // all zeros -> uniform softmax
+  std::vector<std::int32_t> labels{0, 3};
+  const double l = loss.forward(logits, labels);
+  EXPECT_NEAR(l, std::log(4.0), 1e-6);
+}
+
+TEST(LossTest, ConfidentCorrectPredictionHasLowLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3}, {10.0f, 0.0f, 0.0f});
+  std::vector<std::int32_t> labels{0};
+  EXPECT_LT(loss.forward(logits, labels), 1e-3);
+  EXPECT_EQ(loss.correct(), 1u);
+}
+
+TEST(LossTest, ConfidentWrongPredictionHasHighLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3}, {10.0f, 0.0f, 0.0f});
+  std::vector<std::int32_t> labels{2};
+  EXPECT_GT(loss.forward(logits, labels), 5.0);
+  EXPECT_EQ(loss.correct(), 0u);
+}
+
+TEST(LossTest, CorrectCountsArgmaxMatches) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({3, 2}, {1, 0, 0, 1, 2, 1});
+  std::vector<std::int32_t> labels{0, 0, 0};  // predictions: 0, 1, 0
+  loss.forward(logits, labels);
+  EXPECT_EQ(loss.correct(), 2u);
+}
+
+TEST(LossTest, GradientIsProbsMinusOneHotOverBatch) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 3}, {1, 2, 3, 0, 0, 0});
+  std::vector<std::int32_t> labels{2, 1};
+  loss.forward(logits, labels);
+  Tensor grad;
+  loss.backward(grad);
+  ASSERT_EQ(grad.shape(), logits.shape());
+
+  const Tensor& probs = loss.probabilities();
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const float expected =
+          (probs[b * 3 + c] -
+           (labels[b] == static_cast<std::int32_t>(c) ? 1.0f : 0.0f)) /
+          2.0f;
+      EXPECT_NEAR(grad[b * 3 + c], expected, 1e-6);
+    }
+  }
+}
+
+TEST(LossTest, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(7);
+  Tensor logits({3, 5});
+  logits.fill_normal(rng, 0.0f, 1.0f);
+  std::vector<std::int32_t> labels{1, 4, 0};
+
+  loss.forward(logits, labels);
+  Tensor grad;
+  loss.backward(grad);
+
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + kEps;
+    const double hi = loss.forward(logits, labels);
+    logits[i] = saved - kEps;
+    const double lo = loss.forward(logits, labels);
+    logits[i] = saved;
+    EXPECT_NEAR(grad[i], (hi - lo) / (2.0 * kEps), 1e-4) << "element " << i;
+  }
+}
+
+TEST(LossTest, GradientRowsSumToZero) {
+  // Softmax CE gradient within one sample always sums to 0.
+  SoftmaxCrossEntropy loss;
+  Rng rng(9);
+  Tensor logits({4, 6});
+  logits.fill_normal(rng, 0.0f, 2.0f);
+  std::vector<std::int32_t> labels{0, 1, 2, 3};
+  loss.forward(logits, labels);
+  Tensor grad;
+  loss.backward(grad);
+  for (std::size_t b = 0; b < 4; ++b) {
+    double row = 0.0;
+    for (std::size_t c = 0; c < 6; ++c) row += grad[b * 6 + c];
+    EXPECT_NEAR(row, 0.0, 1e-6);
+  }
+}
+
+TEST(LossTest, RejectsLabelOutOfRange) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  std::vector<std::int32_t> bad{3};
+  EXPECT_THROW(loss.forward(logits, bad), Error);
+  std::vector<std::int32_t> negative{-1};
+  EXPECT_THROW(loss.forward(logits, negative), Error);
+}
+
+TEST(LossTest, RejectsBatchMismatch) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 3});
+  std::vector<std::int32_t> labels{0};
+  EXPECT_THROW(loss.forward(logits, labels), Error);
+}
+
+TEST(LossTest, BackwardBeforeForwardThrows) {
+  SoftmaxCrossEntropy loss;
+  Tensor grad;
+  EXPECT_THROW(loss.backward(grad), Error);
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.h"
+
+namespace seafl {
+namespace {
+
+constexpr InputSpec kMono{1, 12, 12};
+constexpr InputSpec kColor{3, 12, 12};
+
+TEST(ModelKindTest, NameRoundTrip) {
+  for (const auto kind : {ModelKind::kMlp, ModelKind::kLenetLite,
+                          ModelKind::kResnetLite, ModelKind::kVggLite}) {
+    EXPECT_EQ(parse_model_kind(model_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_model_kind("resnet18"), Error);
+}
+
+struct ZooCase {
+  ModelKind kind;
+  InputSpec input;
+  std::size_t classes;
+};
+
+class ModelZooTest : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ModelZooTest, FactoryBuildsWorkingModel) {
+  const auto& p = GetParam();
+  const ModelFactory factory = make_model(p.kind, p.input, p.classes);
+  auto model = factory();
+  ASSERT_NE(model, nullptr);
+  EXPECT_GT(model->num_parameters(), 0u);
+
+  Rng rng(1);
+  model->init(rng);
+  Tensor in({2, p.input.numel()});
+  in.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor& out = model->forward(in);
+  EXPECT_EQ(out.numel(), 2u * p.classes);
+
+  // Backward runs without error and produces finite gradients.
+  model->forward(in, true);
+  Tensor dout({2, p.classes});
+  dout.fill(0.1f);
+  model->zero_grad();
+  model->backward(dout);
+  std::vector<float> grads(model->num_parameters());
+  model->copy_gradients_to(grads);
+  bool any = false;
+  for (float g : grads) {
+    ASSERT_TRUE(std::isfinite(g));
+    any |= g != 0.0f;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST_P(ModelZooTest, FreshInstancesShareArchitecture) {
+  const auto& p = GetParam();
+  const ModelFactory factory = make_model(p.kind, p.input, p.classes);
+  auto a = factory();
+  auto b = factory();
+  EXPECT_EQ(a->num_parameters(), b->num_parameters());
+  EXPECT_EQ(a->summary(), b->summary());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, ModelZooTest,
+    ::testing::Values(ZooCase{ModelKind::kMlp, {1, 1, 32}, 10},
+                      ZooCase{ModelKind::kLenetLite, kMono, 10},
+                      ZooCase{ModelKind::kLenetLite, kColor, 10},
+                      ZooCase{ModelKind::kResnetLite, kColor, 10},
+                      ZooCase{ModelKind::kVggLite, kColor, 10},
+                      ZooCase{ModelKind::kMlp, {1, 1, 8}, 2}));
+
+TEST(ModelZooTest, InitIsSeedDeterministic) {
+  const ModelFactory factory = make_model(ModelKind::kLenetLite, kMono, 10);
+  auto a = factory();
+  auto b = factory();
+  Rng ra(42), rb(42);
+  a->init(ra);
+  b->init(rb);
+  EXPECT_EQ(a->parameter_vector(), b->parameter_vector());
+}
+
+TEST(ModelZooTest, FlopsOrderingMatchesPaperModels) {
+  // The paper's cost ordering LeNet < ResNet < VGG must be preserved by the
+  // estimates the device time model consumes (DESIGN.md §1).
+  const double mlp = estimate_flops_per_sample(ModelKind::kMlp, kColor, 10);
+  const double lenet =
+      estimate_flops_per_sample(ModelKind::kLenetLite, kColor, 10);
+  const double resnet =
+      estimate_flops_per_sample(ModelKind::kResnetLite, kColor, 10);
+  const double vgg =
+      estimate_flops_per_sample(ModelKind::kVggLite, kColor, 10);
+  EXPECT_LT(mlp, lenet);
+  EXPECT_LT(lenet, resnet);
+  EXPECT_GT(vgg, lenet);
+  EXPECT_GT(resnet, 0.0);
+}
+
+TEST(ModelZooTest, MlpHiddenWidthControlsSize) {
+  const auto narrow = make_model(ModelKind::kMlp, {1, 1, 16}, 4, 8)();
+  const auto wide = make_model(ModelKind::kMlp, {1, 1, 16}, 4, 64)();
+  EXPECT_LT(narrow->num_parameters(), wide->num_parameters());
+}
+
+TEST(ModelZooTest, RejectsTooSmallInputs) {
+  EXPECT_THROW(make_lenet_lite({1, 4, 4}, 10), Error);
+  EXPECT_THROW(make_resnet_lite({3, 4, 4}, 10), Error);
+  EXPECT_THROW(make_vgg_lite({3, 4, 4}, 10), Error);
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/sequential.h"
+#include "nn/sgd.h"
+
+namespace seafl {
+namespace {
+
+Sequential make_small_net() {
+  Sequential net;
+  net.emplace<Dense>(4, 8);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(8, 3);
+  return net;
+}
+
+TEST(SequentialTest, ParameterCount) {
+  Sequential net = make_small_net();
+  EXPECT_EQ(net.num_parameters(), 4u * 8 + 8 + 8u * 3 + 3);
+  EXPECT_EQ(net.num_layers(), 3u);
+}
+
+TEST(SequentialTest, ForwardShape) {
+  Sequential net = make_small_net();
+  Rng rng(1);
+  net.init(rng);
+  Tensor in({5, 4});
+  in.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor& out = net.forward(in);
+  EXPECT_EQ(out.shape(), (Shape{5, 3}));
+}
+
+TEST(SequentialTest, ParameterRoundTrip) {
+  Sequential net = make_small_net();
+  Rng rng(2);
+  net.init(rng);
+  std::vector<float> saved = net.parameter_vector();
+
+  // Perturb then restore.
+  std::vector<float> zeros(saved.size(), 0.0f);
+  net.set_parameters(zeros);
+  EXPECT_EQ(net.parameter_vector(), zeros);
+  net.set_parameters(saved);
+  EXPECT_EQ(net.parameter_vector(), saved);
+}
+
+TEST(SequentialTest, SetParametersChangesForward) {
+  Sequential net = make_small_net();
+  Rng rng(3);
+  net.init(rng);
+  Tensor in({1, 4});
+  in.fill(1.0f);
+  Tensor out1 = net.forward(in);
+
+  std::vector<float> doubled = net.parameter_vector();
+  for (auto& w : doubled) w *= 2.0f;
+  net.set_parameters(doubled);
+  Tensor out2 = net.forward(in);
+  EXPECT_FALSE(out1.equals(out2));
+}
+
+TEST(SequentialTest, WrongParameterSizeThrows) {
+  Sequential net = make_small_net();
+  std::vector<float> tiny(3, 0.0f);
+  EXPECT_THROW(net.set_parameters(tiny), Error);
+  std::vector<float> small(3);
+  EXPECT_THROW(net.copy_parameters_to(small), Error);
+}
+
+TEST(SequentialTest, ZeroGradClearsGradients) {
+  Sequential net = make_small_net();
+  Rng rng(4);
+  net.init(rng);
+  Tensor in({2, 4});
+  in.fill_normal(rng, 0.0f, 1.0f);
+  net.forward(in, /*train=*/true);
+  Tensor dout({2, 3});
+  dout.fill(1.0f);
+  net.backward(dout);
+
+  std::vector<float> grads(net.num_parameters());
+  net.copy_gradients_to(grads);
+  bool any_nonzero = false;
+  for (float g : grads) any_nonzero |= g != 0.0f;
+  EXPECT_TRUE(any_nonzero);
+
+  net.zero_grad();
+  net.copy_gradients_to(grads);
+  for (float g : grads) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(SequentialTest, EmptyModelThrowsOnForward) {
+  Sequential net;
+  Tensor in({1, 2});
+  EXPECT_THROW(net.forward(in), Error);
+}
+
+TEST(SequentialTest, SummaryMentionsLayersAndParams) {
+  Sequential net = make_small_net();
+  const std::string s = net.summary();
+  EXPECT_NE(s.find("3 layers"), std::string::npos);
+  EXPECT_NE(s.find("Dense(4->8)"), std::string::npos);
+  EXPECT_NE(s.find("ReLU"), std::string::npos);
+}
+
+TEST(SequentialTest, TrainingReducesLossOnSeparableData) {
+  // Two Gaussian blobs, linearly separable: a few SGD epochs must cut the
+  // loss dramatically. This is the end-to-end sanity check of forward,
+  // backward, loss and optimizer working together.
+  Sequential net = make_small_net();
+  Rng rng(5);
+  net.init(rng);
+
+  constexpr std::size_t kN = 60;
+  Tensor x({kN, 4});
+  std::vector<std::int32_t> y(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const std::int32_t cls = static_cast<std::int32_t>(i % 3);
+    y[i] = cls;
+    for (std::size_t d = 0; d < 4; ++d) {
+      x.data()[i * 4 + d] = static_cast<float>(
+          rng.normal(d == static_cast<std::size_t>(cls) ? 3.0 : 0.0, 0.3));
+    }
+  }
+
+  SoftmaxCrossEntropy loss;
+  Sgd sgd({.learning_rate = 0.1f});
+  double first = 0.0, last = 0.0;
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    const Tensor& logits = net.forward(x, true);
+    const double l = loss.forward(logits, y);
+    if (epoch == 0) first = l;
+    last = l;
+    net.zero_grad();
+    Tensor grad;
+    loss.backward(grad);
+    net.backward(grad);
+    sgd.step(net);
+  }
+  EXPECT_LT(last, first * 0.2);
+  // And accuracy is near-perfect.
+  net.forward(x, false);
+  loss.forward(net.forward(x), y);
+  EXPECT_GE(loss.correct(), kN - 2);
+}
+
+TEST(SequentialTest, GradientsConcatenateInLayerOrder) {
+  Sequential net;
+  net.emplace<Dense>(2, 2);
+  net.emplace<Dense>(2, 1);
+  Rng rng(6);
+  net.init(rng);
+  Tensor in({1, 2});
+  in.fill(1.0f);
+  net.forward(in, true);
+  Tensor dout({1, 1});
+  dout.fill(1.0f);
+  net.zero_grad();
+  net.backward(dout);
+
+  std::vector<float> flat(net.num_parameters());
+  net.copy_gradients_to(flat);
+  // First layer gradient block starts at offset 0 (W1 has 4 entries),
+  // second layer's W2 gradient begins at offset 6 (W1 4 + b1 2).
+  const Tensor& w2_grad = *net.layer(1).gradients()[0];
+  EXPECT_FLOAT_EQ(flat[6], w2_grad[0]);
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/model_zoo.h"
+#include "nn/serialize.h"
+
+namespace seafl {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripPreservesWeights) {
+  const std::vector<float> weights{1.5f, -2.25f, 0.0f, 3.14159f};
+  const std::string path = temp_path("model_roundtrip.bin");
+  save_model_vector(weights, path);
+  EXPECT_EQ(load_model_vector(path), weights);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, EmptyModelRoundTrips) {
+  const std::string path = temp_path("model_empty.bin");
+  save_model_vector({}, path);
+  EXPECT_TRUE(load_model_vector(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TrainedModelRestoresIntoFreshInstance) {
+  const ModelFactory factory = make_model(ModelKind::kMlp, {1, 1, 16}, 4);
+  auto model = factory();
+  Rng rng(3);
+  model->init(rng);
+  const auto original = model->parameter_vector();
+
+  const std::string path = temp_path("model_mlp.bin");
+  save_model_vector(original, path);
+
+  auto fresh = factory();
+  fresh->set_parameters(load_model_vector(path));
+  EXPECT_EQ(fresh->parameter_vector(), original);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_model_vector(temp_path("does_not_exist.bin")), Error);
+}
+
+TEST(SerializeTest, BadMagicThrows) {
+  const std::string path = temp_path("not_a_model.bin");
+  std::ofstream(path) << "definitely not a model file";
+  EXPECT_THROW(load_model_vector(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedPayloadThrows) {
+  const std::string path = temp_path("model_trunc.bin");
+  save_model_vector({1, 2, 3, 4, 5, 6, 7, 8}, path);
+  // Chop off the tail of the payload.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(),
+            static_cast<std::streamsize>(bytes.size() - 8));
+  out.close();
+  EXPECT_THROW(load_model_vector(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, UnwritablePathThrows) {
+  EXPECT_THROW(save_model_vector({1.0f}, "/nonexistent-dir/x.bin"), Error);
+}
+
+}  // namespace
+}  // namespace seafl

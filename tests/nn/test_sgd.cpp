@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "nn/dense.h"
+#include "nn/sequential.h"
+#include "nn/sgd.h"
+
+namespace seafl {
+namespace {
+
+/// One-parameter-ish model for exact step arithmetic.
+Sequential make_tiny() {
+  Sequential net;
+  net.emplace<Dense>(1, 1);
+  return net;
+}
+
+void set_weight_and_grad(Sequential& net, float w, float g) {
+  net.layer(0).parameters()[0]->span()[0] = w;
+  net.layer(0).parameters()[1]->span()[0] = 0.0f;  // bias
+  net.layer(0).gradients()[0]->span()[0] = g;
+  net.layer(0).gradients()[1]->span()[0] = 0.0f;
+}
+
+float weight(Sequential& net) {
+  return net.layer(0).parameters()[0]->span()[0];
+}
+
+TEST(SgdTest, PlainStep) {
+  Sequential net = make_tiny();
+  Sgd sgd({.learning_rate = 0.1f});
+  set_weight_and_grad(net, 1.0f, 2.0f);
+  sgd.step(net);
+  EXPECT_FLOAT_EQ(weight(net), 1.0f - 0.1f * 2.0f);
+}
+
+TEST(SgdTest, WeightDecayAddsL2Term) {
+  Sequential net = make_tiny();
+  Sgd sgd({.learning_rate = 0.1f, .weight_decay = 0.5f});
+  set_weight_and_grad(net, 2.0f, 0.0f);
+  sgd.step(net);
+  // p -= lr * wd * p  ->  2.0 - 0.1 * 0.5 * 2.0 = 1.9
+  EXPECT_FLOAT_EQ(weight(net), 1.9f);
+}
+
+TEST(SgdTest, MomentumAccumulatesVelocity) {
+  Sequential net = make_tiny();
+  Sgd sgd({.learning_rate = 1.0f, .momentum = 0.5f});
+  set_weight_and_grad(net, 0.0f, 1.0f);
+  sgd.step(net);  // v = 1, p = -1
+  EXPECT_FLOAT_EQ(weight(net), -1.0f);
+  set_weight_and_grad(net, weight(net), 1.0f);
+  sgd.step(net);  // v = 0.5 + 1 = 1.5, p = -2.5
+  EXPECT_FLOAT_EQ(weight(net), -2.5f);
+}
+
+TEST(SgdTest, MomentumZeroMatchesPlain) {
+  Sequential a = make_tiny();
+  Sequential b = make_tiny();
+  Sgd plain({.learning_rate = 0.2f});
+  Sgd with_zero({.learning_rate = 0.2f, .momentum = 0.0f});
+  set_weight_and_grad(a, 1.0f, 3.0f);
+  set_weight_and_grad(b, 1.0f, 3.0f);
+  plain.step(a);
+  with_zero.step(b);
+  EXPECT_FLOAT_EQ(weight(a), weight(b));
+}
+
+TEST(SgdTest, LearningRateOverride) {
+  Sequential net = make_tiny();
+  Sgd sgd({.learning_rate = 0.1f});
+  sgd.set_learning_rate(0.01f);
+  set_weight_and_grad(net, 1.0f, 1.0f);
+  sgd.step(net);
+  EXPECT_FLOAT_EQ(weight(net), 0.99f);
+  EXPECT_THROW(sgd.set_learning_rate(0.0f), Error);
+}
+
+TEST(SgdTest, RejectsInvalidConfig) {
+  EXPECT_THROW(Sgd({.learning_rate = 0.0f}), Error);
+  EXPECT_THROW(Sgd({.learning_rate = -1.0f}), Error);
+  EXPECT_THROW(Sgd({.learning_rate = 0.1f, .momentum = 1.0f}), Error);
+  EXPECT_THROW(Sgd({.learning_rate = 0.1f, .weight_decay = -0.1f}), Error);
+}
+
+TEST(SgdTest, ClipNormScalesLargeGradients) {
+  Sequential net = make_tiny();
+  Sgd sgd({.learning_rate = 1.0f, .clip_norm = 1.0f});
+  set_weight_and_grad(net, 0.0f, 10.0f);  // gradient norm 10 > clip 1
+  sgd.step(net);
+  // Clipped gradient is 1.0, so w = -1.
+  EXPECT_FLOAT_EQ(weight(net), -1.0f);
+}
+
+TEST(SgdTest, ClipNormLeavesSmallGradientsAlone) {
+  Sequential net = make_tiny();
+  Sgd sgd({.learning_rate = 1.0f, .clip_norm = 5.0f});
+  set_weight_and_grad(net, 0.0f, 2.0f);
+  sgd.step(net);
+  EXPECT_FLOAT_EQ(weight(net), -2.0f);
+}
+
+TEST(SgdTest, ClipNormUsesGlobalNormAcrossLayers) {
+  Sequential net;
+  net.emplace<Dense>(1, 1);
+  net.emplace<Dense>(1, 1);
+  // Gradient (3, 4) across layers has global norm 5; clip to 1 scales both
+  // components by 1/5.
+  net.layer(0).parameters()[0]->span()[0] = 0.0f;
+  net.layer(1).parameters()[0]->span()[0] = 0.0f;
+  net.layer(0).parameters()[1]->span()[0] = 0.0f;
+  net.layer(1).parameters()[1]->span()[0] = 0.0f;
+  net.layer(0).gradients()[0]->span()[0] = 3.0f;
+  net.layer(1).gradients()[0]->span()[0] = 4.0f;
+  net.layer(0).gradients()[1]->span()[0] = 0.0f;
+  net.layer(1).gradients()[1]->span()[0] = 0.0f;
+  Sgd sgd({.learning_rate = 1.0f, .clip_norm = 1.0f});
+  sgd.step(net);
+  EXPECT_NEAR(net.layer(0).parameters()[0]->span()[0], -0.6f, 1e-6);
+  EXPECT_NEAR(net.layer(1).parameters()[0]->span()[0], -0.8f, 1e-6);
+}
+
+TEST(SgdTest, ClipNormRejectsNegative) {
+  EXPECT_THROW(Sgd({.learning_rate = 0.1f, .clip_norm = -1.0f}), Error);
+}
+
+TEST(SgdTest, FrozenPrefixLayersAreNotUpdated) {
+  Sequential net;
+  net.emplace<Dense>(2, 2);
+  net.emplace<Dense>(2, 2);
+  Rng rng(2);
+  net.init(rng);
+  const auto before = net.parameter_vector();
+  for (std::size_t li = 0; li < net.num_layers(); ++li)
+    for (Tensor* g : net.layer(li).gradients()) g->fill(1.0f);
+  Sgd sgd({.learning_rate = 0.5f});
+  sgd.step(net, /*frozen_layers=*/1);
+
+  // First layer (W 4 + b 2 = 6 scalars) unchanged, second layer stepped.
+  const auto after = net.parameter_vector();
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(after[i], before[i]);
+  for (std::size_t i = 6; i < after.size(); ++i)
+    EXPECT_FLOAT_EQ(after[i], before[i] - 0.5f);
+}
+
+TEST(SgdTest, FreezingAllLayersThrows) {
+  Sequential net = make_tiny();
+  Sgd sgd({.learning_rate = 0.1f});
+  EXPECT_THROW(sgd.step(net, 1), Error);
+}
+
+TEST(SgdTest, StepsAllLayers) {
+  Sequential net;
+  net.emplace<Dense>(2, 2);
+  net.emplace<Dense>(2, 2);
+  Rng rng(1);
+  net.init(rng);
+  const auto before = net.parameter_vector();
+  // Set all gradients to 1.
+  for (std::size_t li = 0; li < net.num_layers(); ++li)
+    for (Tensor* g : net.layer(li).gradients()) g->fill(1.0f);
+  Sgd sgd({.learning_rate = 0.5f});
+  sgd.step(net);
+  const auto after = net.parameter_vector();
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_FLOAT_EQ(after[i], before[i] - 0.5f);
+}
+
+}  // namespace
+}  // namespace seafl

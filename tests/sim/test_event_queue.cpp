@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace seafl {
+namespace {
+
+TEST(EventQueueTest, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ClockAdvancesOnlyOnExecution) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  q.run_one();
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueueTest, ScheduleAfterIsRelative) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(2.0, [&] {
+    q.schedule_after(3.0, [&] { fired_at = q.now(); });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueueTest, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule_at(10.0, [] {});
+  q.run_one();
+  EXPECT_THROW(q.schedule_at(5.0, [] {}), Error);
+  EXPECT_THROW(q.schedule_after(-1.0, [] {}), Error);
+}
+
+TEST(EventQueueTest, NullCallbackRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_at(1.0, nullptr), Error);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // already cancelled
+  q.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueueTest, CancelDuringExecution) {
+  EventQueue q;
+  int fired = 0;
+  std::uint64_t victim = 0;
+  q.schedule_at(1.0, [&] { q.cancel(victim); });
+  victim = q.schedule_at(2.0, [&] { ++fired; });
+  q.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, PendingCountsLiveEventsOnly) {
+  EventQueue q;
+  const auto a = q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_all();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); });
+  const auto n = q.run_until(2.5);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  // Clock advances to the boundary even without events there.
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+  EXPECT_EQ(q.pending(), 2u);
+}
+
+TEST(EventQueueTest, RunUntilInclusiveOfBoundaryEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(2.0, [&] { ++fired; });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, EventsScheduledDuringRunAllExecute) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) q.schedule_after(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  const auto n = q.run_all();
+  EXPECT_EQ(n, 10u);
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueueTest, RunAllGuardsAgainstRunawayLoops) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.schedule_after(1.0, forever); };
+  q.schedule_at(0.0, forever);
+  EXPECT_THROW(q.run_all(/*max_events=*/100), Error);
+}
+
+TEST(EventQueueTest, RunOneOnEmptyQueueReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.run_one());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace seafl

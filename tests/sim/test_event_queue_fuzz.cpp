@@ -1,0 +1,95 @@
+// Randomized differential test of EventQueue against a trivial reference
+// scheduler (sorted vector), covering interleaved schedule/cancel patterns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace seafl {
+namespace {
+
+/// Reference: events executed by (time, insertion order), honoring cancels.
+struct RefEvent {
+  double time;
+  std::uint64_t seq;
+  int payload;
+  bool cancelled = false;
+};
+
+class EventQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzz, MatchesReferenceScheduler) {
+  Rng rng(GetParam());
+  EventQueue queue;
+  std::vector<RefEvent> reference;
+  std::vector<int> actual_order;
+  std::vector<std::uint64_t> live_ids;  // ids eligible for cancellation
+
+  // Random schedule/cancel phase (all times in the future).
+  for (int op = 0; op < 300; ++op) {
+    if (!live_ids.empty() && rng.bernoulli(0.25)) {
+      // Cancel a random pending event.
+      const std::size_t pick = rng.uniform_int(live_ids.size());
+      const std::uint64_t id = live_ids[pick];
+      const bool ok = queue.cancel(id);
+      EXPECT_TRUE(ok);
+      for (auto& e : reference)
+        if (e.seq == id) e.cancelled = true;
+      live_ids.erase(live_ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const double t = rng.uniform(0.0, 100.0);
+      const int payload = op;
+      const auto id = queue.schedule_at(
+          t, [&actual_order, payload] { actual_order.push_back(payload); });
+      reference.push_back(RefEvent{t, id, payload});
+      live_ids.push_back(id);
+    }
+  }
+
+  queue.run_all();
+
+  std::vector<RefEvent> expected;
+  for (const auto& e : reference)
+    if (!e.cancelled) expected.push_back(e);
+  std::sort(expected.begin(), expected.end(),
+            [](const RefEvent& a, const RefEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+
+  ASSERT_EQ(actual_order.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    ASSERT_EQ(actual_order[i], expected[i].payload) << "position " << i;
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST_P(EventQueueFuzz, SelfSchedulingChainsStayOrdered) {
+  Rng rng(GetParam() + 999);
+  EventQueue queue;
+  std::vector<double> fire_times;
+  // Each event schedules 0-2 children at later times.
+  std::function<void(int)> node = [&](int depth) {
+    fire_times.push_back(queue.now());
+    if (depth >= 4) return;
+    const int children = static_cast<int>(rng.uniform_int(3));
+    for (int c = 0; c < children; ++c) {
+      queue.schedule_after(rng.uniform(0.1, 5.0),
+                           [&node, depth] { node(depth + 1); });
+    }
+  };
+  for (int i = 0; i < 5; ++i)
+    queue.schedule_at(rng.uniform(0.0, 2.0), [&node] { node(0); });
+  queue.run_all();
+
+  for (std::size_t i = 1; i < fire_times.size(); ++i)
+    ASSERT_GE(fire_times[i], fire_times[i - 1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+}  // namespace
+}  // namespace seafl

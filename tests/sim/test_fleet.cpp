@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/fleet.h"
+
+namespace seafl {
+namespace {
+
+FleetConfig small_config() {
+  FleetConfig c;
+  c.num_devices = 50;
+  c.seed = 42;
+  return c;
+}
+
+TEST(FleetTest, SlowdownsAreBoundedAndHeavyTailed) {
+  Fleet fleet(small_config());
+  double max_slow = 0.0;
+  int above_two = 0;
+  for (std::size_t k = 0; k < fleet.size(); ++k) {
+    const double s = fleet.slowdown(k);
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, small_config().speed_cap);
+    max_slow = std::max(max_slow, s);
+    if (s > 2.0) ++above_two;
+  }
+  // Pareto(shape=1.5) over 50 devices: some but not all devices are slow.
+  EXPECT_GT(max_slow, 2.0);
+  EXPECT_LT(above_two, 30);
+  EXPECT_GT(above_two, 0);
+}
+
+TEST(FleetTest, ConstructionIsSeedDeterministic) {
+  Fleet a(small_config()), b(small_config());
+  for (std::size_t k = 0; k < a.size(); ++k)
+    EXPECT_DOUBLE_EQ(a.slowdown(k), b.slowdown(k));
+  FleetConfig other = small_config();
+  other.seed = 43;
+  Fleet c(other);
+  bool any_diff = false;
+  for (std::size_t k = 0; k < a.size(); ++k)
+    any_diff |= a.slowdown(k) != c.slowdown(k);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FleetTest, EpochComputeScalesLinearly) {
+  Fleet fleet(small_config());
+  const double one = fleet.epoch_compute_seconds(0, 100, 1.0);
+  EXPECT_DOUBLE_EQ(fleet.epoch_compute_seconds(0, 200, 1.0), 2.0 * one);
+  EXPECT_DOUBLE_EQ(fleet.epoch_compute_seconds(0, 100, 3.0), 3.0 * one);
+  EXPECT_GT(one, 0.0);
+}
+
+TEST(FleetTest, SlowerDeviceTakesLonger) {
+  Fleet fleet(small_config());
+  // Find the slowest and fastest devices.
+  std::size_t fast = 0, slow = 0;
+  for (std::size_t k = 1; k < fleet.size(); ++k) {
+    if (fleet.slowdown(k) < fleet.slowdown(fast)) fast = k;
+    if (fleet.slowdown(k) > fleet.slowdown(slow)) slow = k;
+  }
+  EXPECT_GT(fleet.epoch_compute_seconds(slow, 100, 1.0),
+            fleet.epoch_compute_seconds(fast, 100, 1.0));
+}
+
+TEST(FleetTest, IdleSecondsWithinZipfRange) {
+  FleetConfig c = small_config();
+  c.max_idle_seconds = 60;
+  Fleet fleet(c);
+  for (std::uint64_t round = 0; round < 5; ++round) {
+    for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+      const double idle = fleet.idle_seconds(3, round, epoch);
+      EXPECT_GE(idle, 1.0);
+      EXPECT_LE(idle, 60.0);
+    }
+  }
+}
+
+TEST(FleetTest, IdleDeterministicPerCoordinates) {
+  Fleet fleet(small_config());
+  EXPECT_DOUBLE_EQ(fleet.idle_seconds(1, 2, 3), fleet.idle_seconds(1, 2, 3));
+  // Different coordinates give (almost surely) different draws somewhere.
+  bool any_diff = false;
+  for (std::uint64_t e = 0; e < 20; ++e)
+    any_diff |= fleet.idle_seconds(1, 2, e) != fleet.idle_seconds(1, 3, e);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FleetTest, IdleScaleZeroDisablesIdling) {
+  FleetConfig c = small_config();
+  c.idle_scale = 0.0;
+  Fleet fleet(c);
+  EXPECT_DOUBLE_EQ(fleet.idle_seconds(0, 0, 0), 0.0);
+}
+
+TEST(FleetTest, IdleFollowsZipfShape) {
+  // Rank 1 (1 second) must dominate with s = 1.7.
+  Fleet fleet(small_config());
+  int ones = 0;
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    if (fleet.idle_seconds(7, static_cast<std::uint64_t>(i), 0) <= 1.0)
+      ++ones;
+  }
+  EXPECT_NEAR(ones / static_cast<double>(kN), 0.55, 0.06);
+}
+
+TEST(FleetTest, LatencyJitteredAroundMean) {
+  FleetConfig c = small_config();
+  c.mean_latency = 0.5;
+  Fleet fleet(c);
+  for (std::uint64_t r = 0; r < 50; ++r) {
+    const double l = fleet.latency_seconds(2, r, 0);
+    EXPECT_GE(l, 0.4);
+    EXPECT_LE(l, 0.6);
+  }
+  c.mean_latency = 0.0;
+  Fleet no_net(c);
+  EXPECT_DOUBLE_EQ(no_net.latency_seconds(0, 0, 0), 0.0);
+}
+
+TEST(FleetTest, LatencyLegsAreIndependentDraws) {
+  Fleet fleet(small_config());
+  EXPECT_NE(fleet.latency_seconds(0, 0, 0), fleet.latency_seconds(0, 0, 1));
+}
+
+TEST(FleetTest, TrainingSecondsSumsEpochsAndIdle) {
+  Fleet fleet(small_config());
+  const std::size_t device = 5;
+  const double total = fleet.training_seconds(device, 3, 50, 2.0, 4);
+  double manual = 0.0;
+  for (std::size_t e = 0; e < 4; ++e) {
+    manual += fleet.epoch_compute_seconds(device, 50, 2.0);
+    manual += fleet.idle_seconds(device, 3, e);
+  }
+  EXPECT_DOUBLE_EQ(total, manual);
+}
+
+TEST(FleetTest, RejectsInvalidConfigAndArgs) {
+  FleetConfig c = small_config();
+  c.num_devices = 0;
+  EXPECT_THROW(Fleet{c}, Error);
+  c = small_config();
+  c.seconds_per_unit_work = 0.0;
+  EXPECT_THROW(Fleet{c}, Error);
+  c = small_config();
+  c.speed_cap = 0.5;
+  EXPECT_THROW(Fleet{c}, Error);
+
+  Fleet fleet(small_config());
+  EXPECT_THROW(fleet.slowdown(999), Error);
+  EXPECT_THROW(fleet.epoch_compute_seconds(0, 10, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/gemm.h"
+
+namespace seafl {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+/// Naive reference: C = alpha op(A) op(B) + beta C.
+std::vector<float> reference_gemm(Trans ta, Trans tb, std::size_t m,
+                                  std::size_t n, std::size_t k, float alpha,
+                                  const std::vector<float>& a,
+                                  const std::vector<float>& b, float beta,
+                                  std::vector<float> c) {
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = ta == Trans::kNo ? a[r * k + p] : a[p * m + r];
+        const float bv = tb == Trans::kNo ? b[p * n + j] : b[j * k + p];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[r * n + j] = static_cast<float>(alpha * acc + beta * c[r * n + j]);
+    }
+  }
+  return c;
+}
+
+struct GemmCase {
+  Trans ta, tb;
+  std::size_t m, n, k;
+  float alpha, beta;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTest, MatchesNaiveReference) {
+  const auto& p = GetParam();
+  const auto a = random_vec(p.m * p.k, 1);
+  const auto b = random_vec(p.k * p.n, 2);
+  const auto c0 = random_vec(p.m * p.n, 3);
+
+  auto expected =
+      reference_gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a, b, p.beta, c0);
+  auto actual = c0;
+  gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a, b, p.beta, actual);
+
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    ASSERT_NEAR(actual[i], expected[i], 1e-4f)
+        << "at " << i << " for m=" << p.m << " n=" << p.n << " k=" << p.k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposesAndSizes, GemmTest,
+    ::testing::Values(
+        // Small NN / NT / TN / TT
+        GemmCase{Trans::kNo, Trans::kNo, 3, 4, 5, 1.0f, 0.0f},
+        GemmCase{Trans::kNo, Trans::kYes, 3, 4, 5, 1.0f, 0.0f},
+        GemmCase{Trans::kYes, Trans::kNo, 3, 4, 5, 1.0f, 0.0f},
+        GemmCase{Trans::kYes, Trans::kYes, 3, 4, 5, 1.0f, 0.0f},
+        // alpha/beta combinations
+        GemmCase{Trans::kNo, Trans::kNo, 4, 4, 4, 2.0f, 1.0f},
+        GemmCase{Trans::kNo, Trans::kYes, 4, 6, 2, -0.5f, 0.5f},
+        GemmCase{Trans::kYes, Trans::kNo, 6, 2, 4, 1.0f, 1.0f},
+        GemmCase{Trans::kYes, Trans::kYes, 2, 3, 7, 0.25f, 2.0f},
+        // Vector-like shapes
+        GemmCase{Trans::kNo, Trans::kNo, 1, 8, 3, 1.0f, 0.0f},
+        GemmCase{Trans::kNo, Trans::kNo, 8, 1, 3, 1.0f, 0.0f},
+        GemmCase{Trans::kNo, Trans::kNo, 1, 1, 64, 1.0f, 0.0f},
+        // Large enough to cross the parallel threshold (m*n*k > 2^16)
+        GemmCase{Trans::kNo, Trans::kNo, 48, 48, 48, 1.0f, 0.0f},
+        GemmCase{Trans::kNo, Trans::kYes, 64, 32, 40, 1.0f, 0.0f},
+        GemmCase{Trans::kYes, Trans::kNo, 32, 64, 40, 1.0f, 1.0f},
+        GemmCase{Trans::kYes, Trans::kYes, 40, 40, 41, 1.5f, 0.0f}));
+
+TEST(GemmEdgeTest, ZeroKScalesCByBeta) {
+  std::vector<float> a, b;
+  std::vector<float> c{2, 4, 6, 8};
+  gemm(Trans::kNo, Trans::kNo, 2, 2, 0, 1.0f, a, b, 0.5f, c);
+  EXPECT_EQ(c, (std::vector<float>{1, 2, 3, 4}));
+  gemm(Trans::kNo, Trans::kNo, 2, 2, 0, 1.0f, a, b, 0.0f, c);
+  EXPECT_EQ(c, (std::vector<float>{0, 0, 0, 0}));
+}
+
+TEST(GemmEdgeTest, EmptyOutputIsANoop) {
+  std::vector<float> a{1, 2}, b{3, 4}, c;
+  EXPECT_NO_THROW(gemm(Trans::kNo, Trans::kNo, 0, 5, 2, 1.0f, a, b, 0.0f, c));
+}
+
+TEST(GemmEdgeTest, UndersizedBuffersThrow) {
+  std::vector<float> a(5), b(5), c(5);
+  EXPECT_THROW(gemm(Trans::kNo, Trans::kNo, 3, 3, 3, 1.0f, a, b, 0.0f, c),
+               Error);
+}
+
+TEST(MatmulTest, IdentityMultiplication) {
+  // A * I = A
+  std::vector<float> a{1, 2, 3, 4, 5, 6};           // 2x3
+  std::vector<float> eye{1, 0, 0, 0, 1, 0, 0, 0, 1};  // 3x3
+  std::vector<float> c(6);
+  matmul(2, 3, 3, a, eye, c);
+  EXPECT_EQ(c, a);
+}
+
+TEST(MatmulTest, KnownProduct) {
+  std::vector<float> a{1, 2, 3, 4};  // [[1,2],[3,4]]
+  std::vector<float> b{5, 6, 7, 8};  // [[5,6],[7,8]]
+  std::vector<float> c(4);
+  matmul(2, 2, 2, a, b, c);
+  EXPECT_EQ(c, (std::vector<float>{19, 22, 43, 50}));
+}
+
+}  // namespace
+}  // namespace seafl

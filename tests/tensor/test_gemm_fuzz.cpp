@@ -1,0 +1,62 @@
+// Randomized differential testing of the blocked GEMM against a naive
+// reference across random shapes, transposes and scalars.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/gemm.h"
+
+namespace seafl {
+namespace {
+
+class GemmFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GemmFuzz, RandomShapesMatchReference) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    const auto k = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    const Trans ta = rng.bernoulli(0.5) ? Trans::kYes : Trans::kNo;
+    const Trans tb = rng.bernoulli(0.5) ? Trans::kYes : Trans::kNo;
+    const float alpha = static_cast<float>(rng.uniform(-2.0, 2.0));
+    const float beta =
+        rng.bernoulli(0.3) ? 0.0f : static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    std::vector<float> a(m * k), b(k * n), c(m * n);
+    for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& v : c) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    // Naive reference in double precision.
+    std::vector<float> expected = c;
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t p = 0; p < k; ++p) {
+          const float av = ta == Trans::kNo ? a[r * k + p] : a[p * m + r];
+          const float bv = tb == Trans::kNo ? b[p * n + j] : b[j * k + p];
+          acc += static_cast<double>(av) * bv;
+        }
+        expected[r * n + j] = static_cast<float>(
+            alpha * acc + static_cast<double>(beta) * expected[r * n + j]);
+      }
+    }
+
+    std::vector<float> actual = c;
+    gemm(ta, tb, m, n, k, alpha, a, b, beta, actual);
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      ASSERT_NEAR(actual[i], expected[i], 1e-3f)
+          << "trial " << trial << " m=" << m << " n=" << n << " k=" << k
+          << " ta=" << (ta == Trans::kYes) << " tb=" << (tb == Trans::kYes)
+          << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GemmFuzz,
+                         ::testing::Values(1, 7, 42, 99, 1234, 5678));
+
+}  // namespace
+}  // namespace seafl

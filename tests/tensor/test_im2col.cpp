@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+
+namespace seafl {
+namespace {
+
+TEST(ConvGeomTest, OutputDimensions) {
+  ConvGeom g;
+  g.channels = 3;
+  g.height = 8;
+  g.width = 8;
+  g.kernel_h = 3;
+  g.kernel_w = 3;
+  g.stride = 1;
+  g.pad = 1;
+  EXPECT_EQ(g.out_h(), 8u);
+  EXPECT_EQ(g.out_w(), 8u);
+  EXPECT_EQ(g.col_rows(), 27u);
+  EXPECT_EQ(g.col_cols(), 64u);
+
+  g.pad = 0;
+  EXPECT_EQ(g.out_h(), 6u);
+  g.stride = 2;
+  EXPECT_EQ(g.out_h(), 3u);
+}
+
+TEST(Im2ColTest, IdentityKernelNoPad) {
+  // 1x1 kernel, stride 1, no padding: cols == image.
+  ConvGeom g;
+  g.channels = 1;
+  g.height = 2;
+  g.width = 3;
+  g.kernel_h = 1;
+  g.kernel_w = 1;
+  std::vector<float> image{1, 2, 3, 4, 5, 6};
+  std::vector<float> cols(g.col_rows() * g.col_cols());
+  im2col(g, image, cols);
+  EXPECT_EQ(cols, image);
+}
+
+TEST(Im2ColTest, KnownSmallCase) {
+  // 2x2 image, 2x2 kernel, stride 1, no pad -> a single column with all four
+  // pixels in (kh, kw) order.
+  ConvGeom g;
+  g.channels = 1;
+  g.height = 2;
+  g.width = 2;
+  g.kernel_h = 2;
+  g.kernel_w = 2;
+  std::vector<float> image{1, 2, 3, 4};
+  std::vector<float> cols(4);
+  im2col(g, image, cols);
+  EXPECT_EQ(cols, (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(Im2ColTest, PaddingContributesZeros) {
+  // 1x1 image, 3x3 kernel, pad 1: the single output position sees the pixel
+  // at the kernel center and zeros elsewhere.
+  ConvGeom g;
+  g.channels = 1;
+  g.height = 1;
+  g.width = 1;
+  g.kernel_h = 3;
+  g.kernel_w = 3;
+  g.pad = 1;
+  std::vector<float> image{7};
+  std::vector<float> cols(9);
+  im2col(g, image, cols);
+  for (std::size_t i = 0; i < 9; ++i)
+    EXPECT_EQ(cols[i], i == 4 ? 7.0f : 0.0f) << "at " << i;
+}
+
+TEST(Im2ColTest, MultiChannelRowLayout) {
+  // Rows must be grouped channel-major: c0 kernel positions then c1.
+  ConvGeom g;
+  g.channels = 2;
+  g.height = 1;
+  g.width = 2;
+  g.kernel_h = 1;
+  g.kernel_w = 1;
+  std::vector<float> image{1, 2, 10, 20};  // c0: [1,2], c1: [10,20]
+  std::vector<float> cols(2 * 2);
+  im2col(g, image, cols);
+  EXPECT_EQ(cols, (std::vector<float>{1, 2, 10, 20}));
+}
+
+TEST(Im2ColTest, UndersizedBuffersThrow) {
+  ConvGeom g;
+  g.channels = 1;
+  g.height = 4;
+  g.width = 4;
+  g.kernel_h = 2;
+  g.kernel_w = 2;
+  std::vector<float> image(16), small(3);
+  std::vector<float> cols(g.col_rows() * g.col_cols());
+  EXPECT_THROW(im2col(g, small, cols), Error);
+  EXPECT_THROW(im2col(g, image, small), Error);
+  EXPECT_THROW(col2im(g, small, image), Error);
+}
+
+// Adjointness property: <im2col(x), y> == <x, col2im(y)> for all x, y.
+// This is the defining relation between the forward lowering and its
+// gradient scatter, and catches any indexing mismatch between the two.
+class Im2ColAdjointTest : public ::testing::TestWithParam<ConvGeom> {};
+
+TEST_P(Im2ColAdjointTest, ColImAreAdjoint) {
+  const ConvGeom g = GetParam();
+  const std::size_t img_n = g.channels * g.height * g.width;
+  const std::size_t col_n = g.col_rows() * g.col_cols();
+
+  Rng rng(123);
+  std::vector<float> x(img_n), y(col_n);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto& v : y) v = static_cast<float>(rng.normal());
+
+  std::vector<float> cols(col_n);
+  im2col(g, x, cols);
+  std::vector<float> back(img_n, 0.0f);
+  col2im(g, y, back);
+
+  EXPECT_NEAR(dot(cols, y), dot(x, back), 1e-3);
+}
+
+namespace {
+ConvGeom make_geom(std::size_t c, std::size_t h, std::size_t w, std::size_t k,
+                   std::size_t s, std::size_t p) {
+  ConvGeom g;
+  g.channels = c;
+  g.height = h;
+  g.width = w;
+  g.kernel_h = k;
+  g.kernel_w = k;
+  g.stride = s;
+  g.pad = p;
+  return g;
+}
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2ColAdjointTest,
+    ::testing::Values(make_geom(1, 4, 4, 3, 1, 0),
+                      make_geom(1, 4, 4, 3, 1, 1),
+                      make_geom(3, 8, 8, 3, 1, 1),
+                      make_geom(2, 6, 6, 5, 1, 2),
+                      make_geom(4, 7, 5, 3, 2, 1),
+                      make_geom(1, 12, 12, 2, 2, 0),
+                      make_geom(3, 5, 5, 5, 1, 0)));
+
+TEST(Col2ImTest, AccumulatesOverlaps) {
+  // 3x3 image, 2x2 kernel, stride 1: center pixel is covered by 4 windows.
+  ConvGeom g;
+  g.channels = 1;
+  g.height = 3;
+  g.width = 3;
+  g.kernel_h = 2;
+  g.kernel_w = 2;
+  std::vector<float> cols(g.col_rows() * g.col_cols(), 1.0f);
+  std::vector<float> img(9, 0.0f);
+  col2im(g, cols, img);
+  // Coverage counts: corners 1, edges 2, center 4.
+  EXPECT_EQ(img, (std::vector<float>{1, 2, 1, 2, 4, 2, 1, 2, 1}));
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace seafl {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+TEST(OpsTest, AddInplace) {
+  std::vector<float> y{1, 2, 3};
+  std::vector<float> x{10, 20, 30};
+  add_inplace(y, x);
+  EXPECT_EQ(y, (std::vector<float>{11, 22, 33}));
+}
+
+TEST(OpsTest, SubInplace) {
+  std::vector<float> y{10, 20, 30};
+  std::vector<float> x{1, 2, 3};
+  sub_inplace(y, x);
+  EXPECT_EQ(y, (std::vector<float>{9, 18, 27}));
+}
+
+TEST(OpsTest, ScaleInplace) {
+  std::vector<float> y{1, -2, 4};
+  scale_inplace(y, 0.5f);
+  EXPECT_EQ(y, (std::vector<float>{0.5f, -1.0f, 2.0f}));
+}
+
+TEST(OpsTest, Axpy) {
+  std::vector<float> y{1, 1, 1};
+  std::vector<float> x{1, 2, 3};
+  axpy(y, 2.0f, x);
+  EXPECT_EQ(y, (std::vector<float>{3, 5, 7}));
+}
+
+TEST(OpsTest, Axpby) {
+  std::vector<float> y{10, 10};
+  std::vector<float> x{2, 4};
+  axpby(y, 0.5f, x, 0.1f);  // y = 0.5 x + 0.1 y
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+}
+
+TEST(OpsTest, AxpbyImplementsServerMixing) {
+  // Eq. 8: w = (1 - theta) w + theta w_new with theta = 0.8.
+  std::vector<float> global{1.0f, 2.0f};
+  std::vector<float> fresh{3.0f, 6.0f};
+  axpby(global, 0.8f, fresh, 0.2f);
+  EXPECT_FLOAT_EQ(global[0], 0.2f * 1.0f + 0.8f * 3.0f);
+  EXPECT_FLOAT_EQ(global[1], 0.2f * 2.0f + 0.8f * 6.0f);
+}
+
+TEST(OpsTest, SizeMismatchThrows) {
+  std::vector<float> y{1, 2};
+  std::vector<float> x{1};
+  EXPECT_THROW(add_inplace(y, x), Error);
+  EXPECT_THROW(axpy(y, 1.0f, x), Error);
+  EXPECT_THROW(dot(y, x), Error);
+}
+
+TEST(OpsTest, ReluInplace) {
+  std::vector<float> y{-1, 0, 2, -3.5f};
+  relu_inplace(y);
+  EXPECT_EQ(y, (std::vector<float>{0, 0, 2, 0}));
+}
+
+TEST(OpsTest, ReluBackwardMasks) {
+  std::vector<float> dy{1, 1, 1, 1};
+  std::vector<float> x{-1, 0, 2, 5};
+  relu_backward_inplace(dy, x);
+  EXPECT_EQ(dy, (std::vector<float>{0, 0, 1, 1}));
+}
+
+TEST(OpsTest, DotAndNorm) {
+  std::vector<float> a{3, 4};
+  std::vector<float> b{1, 2};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(l2_norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(sum(a), 7.0);
+}
+
+TEST(OpsTest, MaxAndArgmax) {
+  std::vector<float> a{1, 5, 3, 5};
+  EXPECT_EQ(max_value(a), 5.0f);
+  EXPECT_EQ(argmax(a), 1u);  // ties break low
+  EXPECT_THROW(max_value(std::span<const float>{}), Error);
+  EXPECT_THROW(argmax(std::span<const float>{}), Error);
+}
+
+TEST(CosineTest, ParallelVectors) {
+  std::vector<float> a{1, 2, 3};
+  std::vector<float> b{2, 4, 6};
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0, 1e-6);
+}
+
+TEST(CosineTest, AntiparallelVectors) {
+  std::vector<float> a{1, 0};
+  std::vector<float> b{-2, 0};
+  EXPECT_NEAR(cosine_similarity(a, b), -1.0, 1e-6);
+}
+
+TEST(CosineTest, OrthogonalVectors) {
+  std::vector<float> a{1, 0};
+  std::vector<float> b{0, 5};
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, 1e-9);
+}
+
+TEST(CosineTest, ZeroVectorYieldsZero) {
+  std::vector<float> a{0, 0, 0};
+  std::vector<float> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(b, a), 0.0);
+}
+
+TEST(CosineTest, AlwaysClampedToUnitInterval) {
+  // Large near-parallel vectors can produce |cos| slightly above 1 in
+  // floating point; the implementation clamps.
+  const auto a = random_vec(10000, 3);
+  const double c = cosine_similarity(a, a);
+  EXPECT_LE(c, 1.0);
+  EXPECT_NEAR(c, 1.0, 1e-9);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  std::vector<float> in{1, 2, 3, -1, 0, 1};
+  std::vector<float> out(6);
+  softmax_rows(in, out, 2, 3);
+  EXPECT_NEAR(out[0] + out[1] + out[2], 1.0, 1e-6);
+  EXPECT_NEAR(out[3] + out[4] + out[5], 1.0, 1e-6);
+  EXPECT_GT(out[2], out[1]);
+  EXPECT_GT(out[1], out[0]);
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  std::vector<float> in{1000, 1001, 999};
+  std::vector<float> out(3);
+  softmax_rows(in, out, 1, 3);
+  EXPECT_NEAR(out[0] + out[1] + out[2], 1.0, 1e-6);
+  EXPECT_FALSE(std::isnan(out[0]));
+  EXPECT_GT(out[1], out[0]);
+}
+
+TEST(SoftmaxTest, MayAliasInput) {
+  std::vector<float> buf{0, 0, 0};
+  softmax_rows(buf, buf, 1, 3);
+  for (float v : buf) EXPECT_NEAR(v, 1.0 / 3.0, 1e-6);
+}
+
+// Parameterized across the serial/parallel kernel threshold (1<<15): results
+// must be identical regardless of the execution path.
+class OpsSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OpsSizeTest, AxpyMatchesSerialReference) {
+  const std::size_t n = GetParam();
+  auto y = random_vec(n, 1);
+  const auto x = random_vec(n, 2);
+  auto expected = y;
+  for (std::size_t i = 0; i < n; ++i) expected[i] += 1.5f * x[i];
+  axpy(y, 1.5f, x);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_FLOAT_EQ(y[i], expected[i]);
+}
+
+TEST_P(OpsSizeTest, DotMatchesSerialReference) {
+  const std::size_t n = GetParam();
+  const auto a = random_vec(n, 3);
+  const auto b = random_vec(n, 4);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    expected += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  EXPECT_NEAR(dot(a, b), expected, std::abs(expected) * 1e-9 + 1e-9);
+}
+
+TEST_P(OpsSizeTest, ScaleMatchesSerialReference) {
+  const std::size_t n = GetParam();
+  auto y = random_vec(n, 5);
+  auto expected = y;
+  for (auto& v : expected) v *= -0.25f;
+  scale_inplace(y, -0.25f);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_FLOAT_EQ(y[i], expected[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossParallelThreshold, OpsSizeTest,
+                         ::testing::Values(1, 7, 1024, (1u << 15) - 1,
+                                           (1u << 15) + 1, 1u << 17));
+
+}  // namespace
+}  // namespace seafl

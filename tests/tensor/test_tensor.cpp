@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace seafl {
+namespace {
+
+TEST(ShapeTest, NumelOfShapes) {
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_numel({5}), 5u);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({7, 0}), 0u);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_EQ(shape_to_string({}), "[]");
+}
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_EQ(t.rank(), 1u);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.numel(), 12u);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.dim(1), 4u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ValueConstructorChecksSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(TensorTest, VectorFactory) {
+  Tensor t = Tensor::vector({1.0f, 2.0f, 3.0f});
+  ASSERT_EQ(t.numel(), 3u);
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(TensorTest, TwoDimAccess) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  t.at(1, 2) = 9.0f;
+  EXPECT_EQ(t[5], 9.0f);
+}
+
+TEST(TensorTest, FillSetsAllElements) {
+  Tensor t({4, 4});
+  t.fill(2.5f);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(TensorTest, ReshapePreservesDataAndChecksNumel) {
+  Tensor t({2, 6}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  t.reshape({3, 4});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.at(1, 1), 5.0f);  // row-major preserved
+  EXPECT_THROW(t.reshape({5, 5}), Error);
+}
+
+TEST(TensorTest, CopyHasValueSemantics) {
+  Tensor a({2}, {1, 2});
+  Tensor b = a;
+  b[0] = 99.0f;
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(b[0], 99.0f);
+}
+
+TEST(TensorTest, EqualsComparesShapeAndData) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {1, 2, 3, 4});
+  Tensor c({4}, {1, 2, 3, 4});
+  Tensor d({2, 2}, {1, 2, 3, 5});
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));  // same data, different shape
+  EXPECT_FALSE(a.equals(d));
+}
+
+TEST(TensorTest, FillNormalIsSeedDeterministic) {
+  Rng rng1(5), rng2(5);
+  Tensor a({100});
+  Tensor b({100});
+  a.fill_normal(rng1, 0.0f, 1.0f);
+  b.fill_normal(rng2, 0.0f, 1.0f);
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(TensorTest, FillNormalHasRequestedMoments) {
+  Rng rng(7);
+  Tensor t({20000});
+  t.fill_normal(rng, 3.0f, 0.5f);
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+    sq += (t[i] - 3.0) * (t[i] - 3.0);
+  }
+  EXPECT_NEAR(sum / t.numel(), 3.0, 0.02);
+  EXPECT_NEAR(std::sqrt(sq / t.numel()), 0.5, 0.02);
+}
+
+TEST(TensorTest, FillUniformInRange) {
+  Rng rng(9);
+  Tensor t({1000});
+  t.fill_uniform(rng, -1.0f, 2.0f);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -1.0f);
+    EXPECT_LT(t[i], 2.0f);
+  }
+}
+
+TEST(TensorTest, ZerosLikeMatchesShape) {
+  Tensor a({3, 5});
+  a.fill(1.0f);
+  Tensor z = Tensor::zeros_like(a);
+  EXPECT_EQ(z.shape(), a.shape());
+  for (std::size_t i = 0; i < z.numel(); ++i) EXPECT_EQ(z[i], 0.0f);
+}
+
+TEST(TensorTest, SpanViewsShareStorage) {
+  Tensor t({4});
+  t.span()[2] = 7.0f;
+  EXPECT_EQ(t[2], 7.0f);
+  const Tensor& ct = t;
+  EXPECT_EQ(ct.span()[2], 7.0f);
+}
+
+}  // namespace
+}  // namespace seafl
