@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_selection.dir/ext_selection.cpp.o"
+  "CMakeFiles/ext_selection.dir/ext_selection.cpp.o.d"
+  "ext_selection"
+  "ext_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_staleness_limit.dir/fig2b_staleness_limit.cpp.o"
+  "CMakeFiles/fig2b_staleness_limit.dir/fig2b_staleness_limit.cpp.o.d"
+  "fig2b_staleness_limit"
+  "fig2b_staleness_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_staleness_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

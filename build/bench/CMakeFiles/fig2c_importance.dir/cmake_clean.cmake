@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2c_importance.dir/fig2c_importance.cpp.o"
+  "CMakeFiles/fig2c_importance.dir/fig2c_importance.cpp.o.d"
+  "fig2c_importance"
+  "fig2c_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

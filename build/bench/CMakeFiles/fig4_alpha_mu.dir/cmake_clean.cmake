@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_alpha_mu.dir/fig4_alpha_mu.cpp.o"
+  "CMakeFiles/fig4_alpha_mu.dir/fig4_alpha_mu.cpp.o.d"
+  "fig4_alpha_mu"
+  "fig4_alpha_mu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_alpha_mu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_baselines.dir/fig5_baselines.cpp.o"
+  "CMakeFiles/fig5_baselines.dir/fig5_baselines.cpp.o.d"
+  "fig5_baselines"
+  "fig5_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

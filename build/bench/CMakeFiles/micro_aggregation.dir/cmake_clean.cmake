@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_aggregation.dir/micro_aggregation.cpp.o"
+  "CMakeFiles/micro_aggregation.dir/micro_aggregation.cpp.o.d"
+  "micro_aggregation"
+  "micro_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

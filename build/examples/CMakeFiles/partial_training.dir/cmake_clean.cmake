@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_training.dir/partial_training.cpp.o"
+  "CMakeFiles/partial_training.dir/partial_training.cpp.o.d"
+  "partial_training"
+  "partial_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seafl_common.dir/cli.cpp.o"
+  "CMakeFiles/seafl_common.dir/cli.cpp.o.d"
+  "CMakeFiles/seafl_common.dir/distributions.cpp.o"
+  "CMakeFiles/seafl_common.dir/distributions.cpp.o.d"
+  "CMakeFiles/seafl_common.dir/log.cpp.o"
+  "CMakeFiles/seafl_common.dir/log.cpp.o.d"
+  "CMakeFiles/seafl_common.dir/stats.cpp.o"
+  "CMakeFiles/seafl_common.dir/stats.cpp.o.d"
+  "CMakeFiles/seafl_common.dir/table.cpp.o"
+  "CMakeFiles/seafl_common.dir/table.cpp.o.d"
+  "CMakeFiles/seafl_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/seafl_common.dir/thread_pool.cpp.o.d"
+  "libseafl_common.a"
+  "libseafl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seafl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

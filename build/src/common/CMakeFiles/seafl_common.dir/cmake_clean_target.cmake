@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseafl_common.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seafl_core.dir/adaptive_weights.cpp.o"
+  "CMakeFiles/seafl_core.dir/adaptive_weights.cpp.o.d"
+  "CMakeFiles/seafl_core.dir/presets.cpp.o"
+  "CMakeFiles/seafl_core.dir/presets.cpp.o.d"
+  "CMakeFiles/seafl_core.dir/seafl_strategy.cpp.o"
+  "CMakeFiles/seafl_core.dir/seafl_strategy.cpp.o.d"
+  "CMakeFiles/seafl_core.dir/weight_bounds.cpp.o"
+  "CMakeFiles/seafl_core.dir/weight_bounds.cpp.o.d"
+  "libseafl_core.a"
+  "libseafl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seafl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seafl_data.dir/dataset.cpp.o"
+  "CMakeFiles/seafl_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/seafl_data.dir/loader.cpp.o"
+  "CMakeFiles/seafl_data.dir/loader.cpp.o.d"
+  "CMakeFiles/seafl_data.dir/partition.cpp.o"
+  "CMakeFiles/seafl_data.dir/partition.cpp.o.d"
+  "CMakeFiles/seafl_data.dir/registry.cpp.o"
+  "CMakeFiles/seafl_data.dir/registry.cpp.o.d"
+  "CMakeFiles/seafl_data.dir/synthetic.cpp.o"
+  "CMakeFiles/seafl_data.dir/synthetic.cpp.o.d"
+  "libseafl_data.a"
+  "libseafl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seafl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/client.cpp" "src/fl/CMakeFiles/seafl_fl.dir/client.cpp.o" "gcc" "src/fl/CMakeFiles/seafl_fl.dir/client.cpp.o.d"
+  "/root/repo/src/fl/compression.cpp" "src/fl/CMakeFiles/seafl_fl.dir/compression.cpp.o" "gcc" "src/fl/CMakeFiles/seafl_fl.dir/compression.cpp.o.d"
+  "/root/repo/src/fl/evaluator.cpp" "src/fl/CMakeFiles/seafl_fl.dir/evaluator.cpp.o" "gcc" "src/fl/CMakeFiles/seafl_fl.dir/evaluator.cpp.o.d"
+  "/root/repo/src/fl/metrics.cpp" "src/fl/CMakeFiles/seafl_fl.dir/metrics.cpp.o" "gcc" "src/fl/CMakeFiles/seafl_fl.dir/metrics.cpp.o.d"
+  "/root/repo/src/fl/server_opt.cpp" "src/fl/CMakeFiles/seafl_fl.dir/server_opt.cpp.o" "gcc" "src/fl/CMakeFiles/seafl_fl.dir/server_opt.cpp.o.d"
+  "/root/repo/src/fl/simulation.cpp" "src/fl/CMakeFiles/seafl_fl.dir/simulation.cpp.o" "gcc" "src/fl/CMakeFiles/seafl_fl.dir/simulation.cpp.o.d"
+  "/root/repo/src/fl/strategies.cpp" "src/fl/CMakeFiles/seafl_fl.dir/strategies.cpp.o" "gcc" "src/fl/CMakeFiles/seafl_fl.dir/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/seafl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/seafl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/seafl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/seafl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seafl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

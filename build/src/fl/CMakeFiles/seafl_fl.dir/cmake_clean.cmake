@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seafl_fl.dir/client.cpp.o"
+  "CMakeFiles/seafl_fl.dir/client.cpp.o.d"
+  "CMakeFiles/seafl_fl.dir/compression.cpp.o"
+  "CMakeFiles/seafl_fl.dir/compression.cpp.o.d"
+  "CMakeFiles/seafl_fl.dir/evaluator.cpp.o"
+  "CMakeFiles/seafl_fl.dir/evaluator.cpp.o.d"
+  "CMakeFiles/seafl_fl.dir/metrics.cpp.o"
+  "CMakeFiles/seafl_fl.dir/metrics.cpp.o.d"
+  "CMakeFiles/seafl_fl.dir/server_opt.cpp.o"
+  "CMakeFiles/seafl_fl.dir/server_opt.cpp.o.d"
+  "CMakeFiles/seafl_fl.dir/simulation.cpp.o"
+  "CMakeFiles/seafl_fl.dir/simulation.cpp.o.d"
+  "CMakeFiles/seafl_fl.dir/strategies.cpp.o"
+  "CMakeFiles/seafl_fl.dir/strategies.cpp.o.d"
+  "libseafl_fl.a"
+  "libseafl_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seafl_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

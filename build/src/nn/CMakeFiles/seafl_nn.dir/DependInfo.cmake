@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/seafl_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/seafl_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/seafl_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/seafl_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/seafl_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/seafl_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/seafl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/seafl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/seafl_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/seafl_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/seafl_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/seafl_nn.dir/residual.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/seafl_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/seafl_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/seafl_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/seafl_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/nn/CMakeFiles/seafl_nn.dir/sgd.cpp.o" "gcc" "src/nn/CMakeFiles/seafl_nn.dir/sgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/seafl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seafl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seafl_nn.dir/activations.cpp.o"
+  "CMakeFiles/seafl_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/seafl_nn.dir/conv.cpp.o"
+  "CMakeFiles/seafl_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/seafl_nn.dir/dense.cpp.o"
+  "CMakeFiles/seafl_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/seafl_nn.dir/loss.cpp.o"
+  "CMakeFiles/seafl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/seafl_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/seafl_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/seafl_nn.dir/residual.cpp.o"
+  "CMakeFiles/seafl_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/seafl_nn.dir/sequential.cpp.o"
+  "CMakeFiles/seafl_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/seafl_nn.dir/serialize.cpp.o"
+  "CMakeFiles/seafl_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/seafl_nn.dir/sgd.cpp.o"
+  "CMakeFiles/seafl_nn.dir/sgd.cpp.o.d"
+  "libseafl_nn.a"
+  "libseafl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seafl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seafl_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/seafl_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/seafl_sim.dir/fleet.cpp.o"
+  "CMakeFiles/seafl_sim.dir/fleet.cpp.o.d"
+  "libseafl_sim.a"
+  "libseafl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seafl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

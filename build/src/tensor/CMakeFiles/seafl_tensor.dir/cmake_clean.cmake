@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seafl_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/seafl_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/seafl_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/seafl_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/seafl_tensor.dir/ops.cpp.o"
+  "CMakeFiles/seafl_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/seafl_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/seafl_tensor.dir/tensor.cpp.o.d"
+  "libseafl_tensor.a"
+  "libseafl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seafl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

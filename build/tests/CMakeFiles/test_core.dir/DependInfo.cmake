@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_adaptive_weights.cpp" "tests/CMakeFiles/test_core.dir/core/test_adaptive_weights.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_adaptive_weights.cpp.o.d"
+  "/root/repo/tests/core/test_importance.cpp" "tests/CMakeFiles/test_core.dir/core/test_importance.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_importance.cpp.o.d"
+  "/root/repo/tests/core/test_presets.cpp" "tests/CMakeFiles/test_core.dir/core/test_presets.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_presets.cpp.o.d"
+  "/root/repo/tests/core/test_seafl_strategy.cpp" "tests/CMakeFiles/test_core.dir/core/test_seafl_strategy.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_seafl_strategy.cpp.o.d"
+  "/root/repo/tests/core/test_staleness.cpp" "tests/CMakeFiles/test_core.dir/core/test_staleness.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_staleness.cpp.o.d"
+  "/root/repo/tests/core/test_weight_bounds.cpp" "tests/CMakeFiles/test_core.dir/core/test_weight_bounds.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_weight_bounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seafl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/seafl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/seafl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/seafl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/seafl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/seafl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seafl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

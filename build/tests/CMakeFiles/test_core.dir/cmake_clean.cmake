@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_adaptive_weights.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_adaptive_weights.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_importance.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_importance.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_presets.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_presets.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_seafl_strategy.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_seafl_strategy.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_staleness.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_staleness.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_weight_bounds.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_weight_bounds.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/test_dataset.cpp" "tests/CMakeFiles/test_data.dir/data/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_dataset.cpp.o.d"
+  "/root/repo/tests/data/test_loader.cpp" "tests/CMakeFiles/test_data.dir/data/test_loader.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_loader.cpp.o.d"
+  "/root/repo/tests/data/test_partition.cpp" "tests/CMakeFiles/test_data.dir/data/test_partition.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_partition.cpp.o.d"
+  "/root/repo/tests/data/test_partition_fuzz.cpp" "tests/CMakeFiles/test_data.dir/data/test_partition_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_partition_fuzz.cpp.o.d"
+  "/root/repo/tests/data/test_registry.cpp" "tests/CMakeFiles/test_data.dir/data/test_registry.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_registry.cpp.o.d"
+  "/root/repo/tests/data/test_synthetic.cpp" "tests/CMakeFiles/test_data.dir/data/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/test_data.dir/data/test_synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seafl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/seafl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/seafl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/seafl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/seafl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/seafl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seafl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/data/test_dataset.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_dataset.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_loader.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_loader.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_partition.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_partition.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_partition_fuzz.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_partition_fuzz.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_registry.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_registry.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_synthetic.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_synthetic.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fl/test_client.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_client.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_client.cpp.o.d"
+  "/root/repo/tests/fl/test_compression.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_compression.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_compression.cpp.o.d"
+  "/root/repo/tests/fl/test_evaluator.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_evaluator.cpp.o.d"
+  "/root/repo/tests/fl/test_metrics.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_metrics.cpp.o.d"
+  "/root/repo/tests/fl/test_server_opt.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_server_opt.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_server_opt.cpp.o.d"
+  "/root/repo/tests/fl/test_simulation.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_simulation.cpp.o.d"
+  "/root/repo/tests/fl/test_simulation_fuzz.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_simulation_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_simulation_fuzz.cpp.o.d"
+  "/root/repo/tests/fl/test_strategies.cpp" "tests/CMakeFiles/test_fl.dir/fl/test_strategies.cpp.o" "gcc" "tests/CMakeFiles/test_fl.dir/fl/test_strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seafl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/seafl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/seafl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/seafl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/seafl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/seafl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seafl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fl.dir/fl/test_client.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_client.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_compression.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_compression.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_evaluator.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_evaluator.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_metrics.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_metrics.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_server_opt.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_server_opt.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_simulation.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_simulation.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_simulation_fuzz.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_simulation_fuzz.cpp.o.d"
+  "CMakeFiles/test_fl.dir/fl/test_strategies.cpp.o"
+  "CMakeFiles/test_fl.dir/fl/test_strategies.cpp.o.d"
+  "test_fl"
+  "test_fl.pdb"
+  "test_fl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_loss.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_loss.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_model_gradients.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_model_gradients.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_model_zoo.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_model_zoo.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_sequential.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_sequential.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_sgd.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_sgd.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_training_convergence.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_training_convergence.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
