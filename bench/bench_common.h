@@ -11,14 +11,21 @@
 //   --target A                target accuracy override
 //   --pareto P --idle-scale F heterogeneity knobs of the device fleet
 //   --csv PATH                CSV output path override
+//   --jobs N                  global thread-pool size; for harnesses on
+//                             seafl::exp also the number of concurrent
+//                             simulations (default 1)
+//   --cache-dir D --no-cache --refresh   result-cache control (exp harnesses)
 // Defaults are sized for a single-core CI-class machine; pass --full for a
 // paper-scale run (600 samples/client as in §III).
 #pragma once
 
 #include <cstdio>
+#include <span>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "core/seafl.h"
+#include "exp/exp.h"
 
 namespace seafl::bench {
 
@@ -43,10 +50,20 @@ struct WorldDefaults {
   std::size_t concurrency = 20;  ///< M: clients training at once
 };
 
+/// Applies a --jobs flag (if present) to the global thread pool. Must run
+/// before any parallel work; every harness entry point below calls it.
+inline void configure_jobs(const CliArgs& args) {
+  if (args.has("jobs")) {
+    set_global_pool_threads(
+        static_cast<std::size_t>(args.get_int("jobs", 0)));
+  }
+}
+
 /// @param use_flag_seed when false, ignore a --seed flag and use d.seed
 ///        verbatim (multi-seed sweeps derive per-run seeds themselves).
 inline World make_world(const CliArgs& args, const WorldDefaults& d,
                         bool use_flag_seed = true) {
+  configure_jobs(args);
   TaskSpec spec;
   spec.name = args.get_string("task", d.task);
   spec.num_clients =
@@ -181,6 +198,93 @@ inline void emit(Table& table, const CliArgs& args,
   const std::string path = args.get_string("csv", default_csv);
   table.write_csv(path);
   std::printf("wrote %s\n", path.c_str());
+}
+
+// --- seafl::exp harness plumbing -------------------------------------------
+// Ported figure binaries build an exp::SweepSpec instead of hand-rolling a
+// loop: the same CLI flags land in a WorldSpec/ExperimentParams pair, worlds
+// are built lazily by the Runner (and shared across arms), and results come
+// back parallel + cached.
+
+/// WorldSpec from CLI flags with per-figure defaults — the declarative twin
+/// of make_world (the world itself is built by the exp::Runner).
+inline exp::WorldSpec make_world_spec(const CliArgs& args,
+                                      const WorldDefaults& d) {
+  configure_jobs(args);
+  exp::WorldSpec w;
+  w.task.name = args.get_string("task", d.task);
+  w.task.num_clients =
+      static_cast<std::size_t>(args.get_int("clients", d.clients));
+  w.task.samples_per_client = static_cast<std::size_t>(args.get_int(
+      "samples", args.get_bool("full", false) ? 600 : d.samples_per_client));
+  w.task.test_samples =
+      static_cast<std::size_t>(args.get_int("test-samples", d.test_samples));
+  w.task.dirichlet_alpha = args.get_double("dirichlet", d.dirichlet_alpha);
+  w.task.corrupt_client_fraction =
+      args.get_double("corrupt", d.corrupt_fraction);
+  w.task.seed = static_cast<std::uint64_t>(args.get_int("seed", d.seed));
+
+  w.fleet.num_devices = w.task.num_clients;
+  w.fleet.pareto_shape = args.get_double("pareto", d.pareto_shape);
+  w.fleet.speed_cap = args.get_double("cap", d.speed_cap);
+  w.fleet.idle_scale = args.get_double("idle-scale", d.idle_scale);
+  w.fleet.seed = w.task.seed;
+
+  std::printf("world: task=%s clients=%zu samples/client=%zu dirichlet=%.2f "
+              "pareto=%.2f seed=%llu\n",
+              w.task.name.c_str(), w.task.num_clients,
+              w.task.samples_per_client, w.task.dirichlet_alpha,
+              w.fleet.pareto_shape,
+              static_cast<unsigned long long>(w.task.seed));
+  return w;
+}
+
+/// ExperimentParams from CLI flags. target_accuracy defaults to the exp
+/// sentinel -1 ("use the task's default"), resolved by the Runner once the
+/// dataset exists.
+inline ExperimentParams make_params_spec(const CliArgs& args,
+                                         std::uint64_t default_rounds = 120,
+                                         std::size_t default_concurrency = 20) {
+  ExperimentParams p;
+  p.concurrency = static_cast<std::size_t>(
+      args.get_int("concurrency", default_concurrency));
+  p.buffer_size =
+      static_cast<std::size_t>(args.get_int("buffer", p.buffer_size));
+  p.local_epochs =
+      static_cast<std::size_t>(args.get_int("epochs", p.local_epochs));
+  p.batch_size =
+      static_cast<std::size_t>(args.get_int("batch", p.batch_size));
+  p.learning_rate =
+      static_cast<float>(args.get_double("lr", p.learning_rate));
+  p.max_rounds =
+      static_cast<std::uint64_t>(args.get_int("rounds", default_rounds));
+  p.target_accuracy = args.get_double("target", -1.0);
+  p.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", WorldDefaults{}.seed));
+  p.eval_subset =
+      static_cast<std::size_t>(args.get_int("eval-subset", 300));
+  return p;
+}
+
+/// Runner options from CLI flags (--jobs, --cache-dir, --no-cache,
+/// --refresh).
+inline exp::RunnerOptions make_runner_options(const CliArgs& args) {
+  configure_jobs(args);
+  exp::RunnerOptions opts;
+  opts.jobs = static_cast<std::size_t>(args.get_int("jobs", 1));
+  opts.cache_dir = args.get_string("cache-dir", "results/cache");
+  opts.use_cache = !args.get_bool("no-cache", false);
+  opts.refresh = args.get_bool("refresh", false);
+  return opts;
+}
+
+/// Post-run provenance line: how much the cache saved.
+inline void report_cache_use(const exp::Runner& runner,
+                             std::span<const exp::ArmResult> results) {
+  std::size_t hits = 0;
+  for (const auto& r : results) hits += r.from_cache ? 1 : 0;
+  std::printf("executed %zu simulation(s), %zu arm(s) served from cache\n",
+              runner.simulations_run(), hits);
 }
 
 }  // namespace seafl::bench

@@ -5,34 +5,50 @@
 // fully asynchronous (fails to converge), K = M is synchronous (slow);
 // K = 10 was optimal. This harness sweeps K with FedBuff-style uniform
 // buffered aggregation and reports wall-clock time to the target accuracy.
+//
+// Declared as a seafl::exp sweep: one axis over K, parallel with --jobs N,
+// cached under results/cache/ so a re-run only executes changed arms.
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
   using namespace seafl;
   using namespace seafl::bench;
   CliArgs args(argc, argv);
-  const World world = make_world(args, WorldDefaults{});
-  ExperimentParams params = make_params(args, world);
 
   const std::size_t concurrency = static_cast<std::size_t>(
       args.get_int("concurrency", 20));  // 20% of 100 devices, as in §VI.A
+
+  exp::SweepSpec sweep;
+  sweep.base.algorithm = "fedbuff";
+  sweep.base.world = make_world_spec(args, WorldDefaults{});
+  sweep.base.params = make_params_spec(args);
+
+  exp::Axis k_axis;
+  k_axis.field = "buffer";
+  for (const std::size_t k : {1ul, 2ul, 5ul, 10ul, 15ul, concurrency}) {
+    exp::AxisValue v;
+    v.value = std::to_string(k);
+    v.label = "K=" + std::to_string(k);
+    // K = 1 is the fully asynchronous degenerate case; K = concurrency
+    // degenerates to the synchronous cohort — keep the semi-async machinery
+    // so the comparison isolates K alone.
+    if (k == 1) v.overrides.emplace_back("algorithm", "fedasync");
+    k_axis.values.push_back(std::move(v));
+  }
+  sweep.axes.push_back(std::move(k_axis));
+
+  exp::Runner runner(make_runner_options(args));
+  const std::vector<exp::ArmResult> results = runner.run(sweep);
 
   Table table(
       "Fig. 2a — wall-clock time to target accuracy vs buffer size K "
       "(K=1 ~ FedAsync, K=" +
       std::to_string(concurrency) + " ~ sync)");
   table.set_header(result_header());
-
-  for (const std::size_t k : {1ul, 2ul, 5ul, 10ul, 15ul, concurrency}) {
-    params.buffer_size = k;
-    params.concurrency = concurrency;
-    // K = concurrency degenerates to the synchronous cohort; keep the
-    // semi-async machinery so the comparison isolates K alone.
-    const RunResult r =
-        run_arm(k == 1 ? "fedasync" : "fedbuff", params, world.task,
-                world.fleet);
-    table.add_row(result_row("K=" + std::to_string(k), r));
+  for (const exp::ArmResult& arm : results) {
+    table.add_row(result_row(arm.spec.label, arm.result));
   }
   emit(table, args, "fig2a_buffer_size.csv");
+  report_cache_use(runner, results);
   return 0;
 }

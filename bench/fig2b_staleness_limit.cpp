@@ -2,7 +2,8 @@
 // (§III). With K = 10 fixed, the paper varies beta: a limit of 1 forces the
 // server to wait constantly (slow), a limit of 10 was optimal, and very
 // large limits admit overly stale updates. This harness runs SEAFL's
-// waiting protocol across beta values on a heavy-tailed fleet.
+// waiting protocol across beta values on a heavy-tailed fleet, as a
+// seafl::exp sweep (parallel with --jobs, cached under results/cache/).
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -12,29 +13,45 @@ int main(int argc, char** argv) {
 
   WorldDefaults defaults;
   defaults.pareto_shape = 1.1;  // heavier tail: staleness must actually occur
-  const World world = make_world(args, defaults);
-  ExperimentParams params = make_params(args, world);
-  params.buffer_size =
-      static_cast<std::size_t>(args.get_int("buffer", 10));
+
+  exp::SweepSpec sweep;
+  sweep.base.algorithm = "seafl";
+  sweep.base.world = make_world_spec(args, defaults);
+  sweep.base.params = make_params_spec(args);
+
+  exp::Axis beta_axis;
+  beta_axis.field = "staleness";
+  for (const std::uint64_t beta : {1ull, 2ull, 5ull, 10ull, 20ull,
+                                   static_cast<unsigned long long>(
+                                       kNoStalenessLimit)}) {
+    exp::AxisValue v;
+    if (beta == kNoStalenessLimit) {
+      v.value = "inf";
+      v.label = "beta=inf";
+      v.overrides.emplace_back("algorithm", "seafl-inf");
+    } else {
+      v.value = std::to_string(beta);
+      v.label = "beta=" + std::to_string(beta);
+    }
+    beta_axis.values.push_back(std::move(v));
+  }
+  sweep.axes.push_back(std::move(beta_axis));
+
+  exp::Runner runner(make_runner_options(args));
+  const std::vector<exp::ArmResult> results = runner.run(sweep);
 
   Table table("Fig. 2b — wall-clock time to target accuracy vs staleness "
               "limit beta (K=" +
-              std::to_string(params.buffer_size) + ")");
+              std::to_string(sweep.base.params.buffer_size) + ")");
   std::vector<std::string> header = result_header();
   header.push_back("stale-waits");
   table.set_header(header);
-
-  const std::vector<std::uint64_t> betas{1, 2, 5, 10, 20, kNoStalenessLimit};
-  for (const std::uint64_t beta : betas) {
-    params.staleness_limit = beta;
-    const std::string arm = beta == kNoStalenessLimit ? "seafl-inf" : "seafl";
-    const RunResult r = run_arm(arm, params, world.task, world.fleet);
-    const std::string label =
-        beta == kNoStalenessLimit ? "beta=inf" : "beta=" + std::to_string(beta);
-    auto row = result_row(label, r);
-    row.push_back(std::to_string(r.stale_waits));
+  for (const exp::ArmResult& arm : results) {
+    auto row = result_row(arm.spec.label, arm.result);
+    row.push_back(std::to_string(arm.result.stale_waits));
     table.add_row(std::move(row));
   }
   emit(table, args, "fig2b_staleness_limit.csv");
+  report_cache_use(runner, results);
   return 0;
 }

@@ -2,8 +2,9 @@
 // the three benchmark datasets (§VI.B). The paper reports accuracy vs
 // elapsed wall-clock time per dataset: FedAsync fails to converge, FedAvg
 // converges slowest, SEAFL (beta=10) leads, and SEAFL with beta=inf tracks
-// FedBuff. This harness reproduces all five arms per dataset, prints the
-// time-to-target table and writes the full accuracy-vs-time curves.
+// FedBuff. This harness reproduces all five arms per dataset as one
+// seafl::exp sweep each (strategy axis; parallel with --jobs, cached),
+// prints the time-to-target table and writes the accuracy-vs-time curves.
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -42,29 +43,47 @@ int main(int argc, char** argv) {
     defaults.samples_per_client = dataset.samples_per_client;
     defaults.pareto_shape = 1.05;
     defaults.dirichlet_alpha = dataset.dirichlet;
-    const World world = make_world(args, defaults);
-    ExperimentParams params =
-        make_params(args, world, dataset.rounds, /*default_concurrency=*/40);
 
+    exp::SweepSpec sweep;
+    sweep.base.world = make_world_spec(args, defaults);
+    sweep.base.params =
+        make_params_spec(args, dataset.rounds, /*default_concurrency=*/40);
+
+    exp::Axis algo_axis;
+    algo_axis.field = "algorithm";
+    for (const std::string& algo : arms) {
+      // Preserve the paper-style display names ("SEAFL (beta=10)", ...).
+      algo_axis.values.push_back(
+          {algo, make_arm(algo, sweep.base.params).label, {}});
+    }
+    sweep.axes.push_back(std::move(algo_axis));
+
+    exp::Runner runner(make_runner_options(args));
+    const std::vector<exp::ArmResult> results = runner.run(sweep);
+
+    // The target is resolved per-task by the Runner; recover it for the
+    // table title the same way (CLI override first, task default otherwise).
+    const double target = args.has("target")
+                              ? args.get_double("target", 0.0)
+                              : task_target_accuracy(dataset.task);
     Table table("Fig. 5 — " + dataset.task + " (target " +
-                fmt(params.target_accuracy * 100.0, 0) + "% accuracy)");
+                fmt(target * 100.0, 0) + "% accuracy)");
     table.set_header(result_header());
 
     Table curves("");
     curves.set_header({"arm", "round", "time", "accuracy", "loss"});
 
-    for (const auto& arm : arms) {
-      const RunResult r = run_arm(arm, params, world.task, world.fleet);
-      const std::string label = make_arm(arm, params).label;
-      table.add_row(result_row(label, r));
-      for (const auto& p : r.curve) {
-        curves.add_row({label, std::to_string(p.round), fmt(p.time, 1),
-                        fmt(p.accuracy, 4), fmt(p.loss, 4)});
+    for (const exp::ArmResult& arm : results) {
+      table.add_row(result_row(arm.spec.label, arm.result));
+      for (const auto& p : arm.result.curve) {
+        curves.add_row({arm.spec.label, std::to_string(p.round),
+                        fmt(p.time, 1), fmt(p.accuracy, 4), fmt(p.loss, 4)});
       }
     }
     emit(table, args, "fig5_" + dataset.task + ".csv");
     curves.write_csv("fig5_" + dataset.task + "_curves.csv");
     std::printf("wrote fig5_%s_curves.csv\n", dataset.task.c_str());
+    report_cache_use(runner, results);
   }
   return 0;
 }

@@ -5,6 +5,14 @@
 
 namespace seafl {
 
+namespace {
+thread_local bool tl_serial_kernels = false;
+
+/// Pool size requested by set_global_pool_threads before first use.
+std::atomic<std::size_t> g_requested_threads{0};
+std::atomic<bool> g_pool_constructed{false};
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -27,6 +35,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  // Tasks running on a worker must never fan out to the same pool: if every
+  // worker blocked waiting for chunks that only workers can run, the pool
+  // would deadlock. parallel_for checks this flag and runs serially instead.
+  tl_serial_kernels = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -44,15 +56,44 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool(g_requested_threads.load());
+  g_pool_constructed.store(true);
   return pool;
 }
+
+void set_global_pool_threads(std::size_t num_threads) {
+  if (g_pool_constructed.load()) {
+    const std::size_t actual = global_pool().size();
+    const std::size_t effective =
+        num_threads == 0
+            ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+            : num_threads;
+    SEAFL_CHECK(actual == effective,
+                "set_global_pool_threads(" << num_threads
+                << ") after the pool already started with " << actual
+                << " workers; pass --jobs before any parallel work");
+    return;
+  }
+  g_requested_threads.store(num_threads);
+}
+
+bool serial_kernels_active() { return tl_serial_kernels; }
+
+SerialKernelScope::SerialKernelScope() : prev_(tl_serial_kernels) {
+  tl_serial_kernels = true;
+}
+
+SerialKernelScope::~SerialKernelScope() { tl_serial_kernels = prev_; }
 
 void parallel_for_chunked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& fn,
     std::size_t grain) {
   if (begin >= end) return;
+  if (serial_kernels_active()) {  // pool worker or SerialKernelScope
+    fn(begin, end);
+    return;
+  }
   const std::size_t n = end - begin;
   ThreadPool& pool = global_pool();
   const std::size_t max_chunks = pool.size() + 1;  // workers + caller

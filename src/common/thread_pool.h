@@ -68,8 +68,36 @@ class ThreadPool {
 };
 
 /// Returns the process-wide shared pool (lazily constructed with one worker
-/// per hardware thread). All SEAFL kernels schedule onto this pool.
+/// per hardware thread, or the size requested via set_global_pool_threads).
+/// All SEAFL kernels schedule onto this pool.
 ThreadPool& global_pool();
+
+/// Sizes the global pool explicitly (the `--jobs` knob). Must be called
+/// before the pool's first use; calling afterwards with a different size is
+/// an error (the already-running workers cannot be resized). 0 restores the
+/// hardware-concurrency default. Idempotent for an equal size.
+void set_global_pool_threads(std::size_t num_threads);
+
+/// True when the current thread must not fan kernel work out to the pool:
+/// either it *is* a pool worker (fanning out could deadlock — every worker
+/// waiting on chunks only workers can run), or it is inside a
+/// SerialKernelScope. parallel_for degrades to a plain loop in this state;
+/// results are unchanged because chunk outputs never depend on the split.
+bool serial_kernels_active();
+
+/// RAII marker forcing serial kernels on the current thread. The experiment
+/// runner wraps each simulation in one so concurrent runs get one core each
+/// instead of contending over the pool mid-GEMM.
+class SerialKernelScope {
+ public:
+  SerialKernelScope();
+  ~SerialKernelScope();
+  SerialKernelScope(const SerialKernelScope&) = delete;
+  SerialKernelScope& operator=(const SerialKernelScope&) = delete;
+
+ private:
+  bool prev_;
+};
 
 /// Runs fn(i) for every i in [begin, end), partitioned into contiguous chunks
 /// across the pool plus the calling thread. Blocks until all indices finish.

@@ -41,7 +41,6 @@ FlTask make_task(const TaskSpec& spec) {
     g.seed = spec.seed;
     full = make_gaussian_dataset(g);
     task.default_model = ModelKind::kMlp;
-    task.target_accuracy = 0.90;
   } else if (spec.name == "synth-emnist") {
     PatternSpec p;
     p.num_samples = total_n;
@@ -51,7 +50,6 @@ FlTask make_task(const TaskSpec& spec) {
     p.seed = spec.seed;
     full = make_pattern_dataset(p);
     task.default_model = ModelKind::kLenetLite;
-    task.target_accuracy = 0.88;
   } else if (spec.name == "synth-cifar10") {
     PatternSpec p;
     p.num_samples = total_n;
@@ -61,7 +59,6 @@ FlTask make_task(const TaskSpec& spec) {
     p.seed = spec.seed;
     full = make_pattern_dataset(p);
     task.default_model = ModelKind::kResnetLite;
-    task.target_accuracy = 0.80;
   } else if (spec.name == "synth-cinic10") {
     PatternSpec p;
     p.num_samples = total_n;
@@ -71,13 +68,14 @@ FlTask make_task(const TaskSpec& spec) {
     p.seed = spec.seed;
     full = make_pattern_dataset(p);
     task.default_model = ModelKind::kVggLite;
-    task.target_accuracy = 0.72;
   } else {
     SEAFL_CHECK(false, "unknown task '" << spec.name
                                         << "'; known: synth-mnist, "
                                            "synth-emnist, synth-cifar10, "
                                            "synth-cinic10");
   }
+
+  task.target_accuracy = task_target_accuracy(spec.name);
 
   auto [train, test] = split(full, spec.test_samples);
   task.input = train.input();
@@ -113,6 +111,14 @@ FlTask make_task(const TaskSpec& spec) {
 
 std::vector<std::string> known_tasks() {
   return {"synth-mnist", "synth-emnist", "synth-cifar10", "synth-cinic10"};
+}
+
+double task_target_accuracy(const std::string& name) {
+  if (name == "synth-mnist") return 0.90;
+  if (name == "synth-emnist") return 0.88;
+  if (name == "synth-cifar10") return 0.80;
+  if (name == "synth-cinic10") return 0.72;
+  throw Error("unknown task '" + name + "'");
 }
 
 }  // namespace seafl

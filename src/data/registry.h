@@ -56,4 +56,9 @@ FlTask make_task(const TaskSpec& spec);
 /// Lists the registry's known task names.
 std::vector<std::string> known_tasks();
 
+/// Default convergence target of a named task, without building its dataset
+/// (the experiment runner resolves target-accuracy sentinels through this).
+/// Throws on an unknown name.
+double task_target_accuracy(const std::string& name);
+
 }  // namespace seafl

@@ -1,0 +1,173 @@
+#include "exp/cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace seafl::exp {
+
+namespace {
+
+/// Bumped whenever the cached-result layout changes; older entries become
+/// misses instead of parse errors.
+constexpr std::uint64_t kCacheVersion = 1;
+
+Json curve_to_json(const std::vector<AccuracyPoint>& curve) {
+  JsonArray out;
+  out.reserve(curve.size());
+  for (const AccuracyPoint& p : curve) {
+    out.push_back(JsonArray{Json(p.time), Json(p.round), Json(p.accuracy),
+                            Json(p.loss)});
+  }
+  return Json(std::move(out));
+}
+
+std::vector<AccuracyPoint> curve_from_json(const Json& json) {
+  std::vector<AccuracyPoint> curve;
+  for (const Json& entry : json.as_array()) {
+    const JsonArray& row = entry.as_array();
+    SEAFL_CHECK(row.size() == 4, "cache: accuracy point needs 4 fields");
+    AccuracyPoint p;
+    p.time = row[0].as_double();
+    p.round = row[1].as_u64();
+    p.accuracy = row[2].as_double();
+    p.loss = row[3].as_double();
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+Json round_log_to_json(const std::vector<RoundStat>& log) {
+  JsonArray out;
+  out.reserve(log.size());
+  for (const RoundStat& s : log) {
+    out.push_back(JsonArray{Json(s.round), Json(s.time), Json(s.updates),
+                            Json(s.mean_staleness), Json(s.partial)});
+  }
+  return Json(std::move(out));
+}
+
+std::vector<RoundStat> round_log_from_json(const Json& json) {
+  std::vector<RoundStat> log;
+  for (const Json& entry : json.as_array()) {
+    const JsonArray& row = entry.as_array();
+    SEAFL_CHECK(row.size() == 5, "cache: round stat needs 5 fields");
+    RoundStat s;
+    s.round = row[0].as_u64();
+    s.time = row[1].as_double();
+    s.updates = row[2].as_size();
+    s.mean_staleness = row[3].as_double();
+    s.partial = row[4].as_size();
+    log.push_back(s);
+  }
+  return log;
+}
+
+}  // namespace
+
+Json result_to_json(const RunResult& r) {
+  JsonObject obj;
+  obj.emplace("curve", curve_to_json(r.curve));
+  obj.emplace("round_log", round_log_to_json(r.round_log));
+  JsonArray participation;
+  participation.reserve(r.participation.size());
+  for (const std::size_t count : r.participation) {
+    participation.push_back(Json(count));
+  }
+  obj.emplace("participation", Json(std::move(participation)));
+  obj.emplace("time_to_target", Json(r.time_to_target));
+  obj.emplace("final_accuracy", Json(r.final_accuracy));
+  obj.emplace("final_time", Json(r.final_time));
+  obj.emplace("rounds", Json(r.rounds));
+  obj.emplace("total_updates", Json(r.total_updates));
+  obj.emplace("partial_updates", Json(r.partial_updates));
+  obj.emplace("model_downloads", Json(r.model_downloads));
+  obj.emplace("model_uploads", Json(r.model_uploads));
+  obj.emplace("notifications", Json(r.notifications));
+  obj.emplace("lost_uploads", Json(r.lost_uploads));
+  obj.emplace("aggregations", Json(r.aggregations));
+  obj.emplace("server_aggregation_work", Json(r.server_aggregation_work));
+  obj.emplace("dropped_updates", Json(r.dropped_updates));
+  obj.emplace("stale_waits", Json(r.stale_waits));
+  obj.emplace("mean_staleness", Json(r.mean_staleness));
+  return Json(std::move(obj));
+}
+
+RunResult result_from_json(const Json& json) {
+  RunResult r;
+  r.curve = curve_from_json(json.at("curve"));
+  r.round_log = round_log_from_json(json.at("round_log"));
+  for (const Json& count : json.at("participation").as_array()) {
+    r.participation.push_back(count.as_size());
+  }
+  r.time_to_target = json.at("time_to_target").as_double();
+  r.final_accuracy = json.at("final_accuracy").as_double();
+  r.final_time = json.at("final_time").as_double();
+  r.rounds = json.at("rounds").as_u64();
+  r.total_updates = json.at("total_updates").as_size();
+  r.partial_updates = json.at("partial_updates").as_size();
+  r.model_downloads = json.at("model_downloads").as_size();
+  r.model_uploads = json.at("model_uploads").as_size();
+  r.notifications = json.at("notifications").as_size();
+  r.lost_uploads = json.at("lost_uploads").as_size();
+  r.aggregations = json.at("aggregations").as_size();
+  r.server_aggregation_work = json.at("server_aggregation_work").as_double();
+  r.dropped_updates = json.at("dropped_updates").as_size();
+  r.stale_waits = json.at("stale_waits").as_size();
+  r.mean_staleness = json.at("mean_staleness").as_double();
+  return r;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string ResultCache::path_for(const std::string& hash) const {
+  return dir_ + "/" + hash + ".json";
+}
+
+std::optional<RunResult> ResultCache::load(const std::string& hash,
+                                           const std::string& canonical) const {
+  std::ifstream in(path_for(hash));
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const Json doc = Json::parse(buffer.str());
+    if (doc.at("version").as_u64() != kCacheVersion) return std::nullopt;
+    // Collision / stale-entry guard: the stored config must match exactly.
+    if (doc.at("config").as_string() != canonical) return std::nullopt;
+    return result_from_json(doc.at("result"));
+  } catch (const Error&) {
+    return std::nullopt;  // corrupt entry: re-run and overwrite
+  }
+}
+
+void ResultCache::store(const std::string& hash, const std::string& canonical,
+                        const RunResult& result) const {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir_);
+  JsonObject doc;
+  doc.emplace("version", Json(kCacheVersion));
+  doc.emplace("hash", Json(hash));
+  doc.emplace("config", Json(canonical));
+  doc.emplace("result", result_to_json(result));
+  const std::string payload = Json(std::move(doc)).dump();
+
+  // Write-then-rename so concurrent runners never observe a torn entry.
+  const std::string tmp =
+      path_for(hash) + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    SEAFL_CHECK(out.good(), "cache: cannot write " << tmp);
+    out << payload;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path_for(hash), ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+}  // namespace seafl::exp

@@ -1,0 +1,51 @@
+// Content-addressed on-disk result cache: one JSON file per executed arm at
+// <dir>/<config-hash>.json, so re-running a sweep only simulates arms whose
+// configuration changed. Entries echo the full canonical config and are
+// verified against it on load (a hash collision degrades to a cache miss,
+// never to a wrong result).
+//
+// Cached results restore every RunResult field except `final_weights`, which
+// is deliberately not persisted (it is the one field whose size scales with
+// the model, and no sweep consumer reads it). Consumers needing final
+// weights should run with the cache disabled.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "exp/json.h"
+#include "fl/types.h"
+
+namespace seafl::exp {
+
+/// Serializes a run outcome (minus final_weights) for caching / artifacts.
+Json result_to_json(const RunResult& result);
+
+/// Inverse of result_to_json; throws Error on a malformed document.
+RunResult result_from_json(const Json& json);
+
+/// Filesystem-backed cache keyed by config_hash(). Safe for concurrent
+/// writers: entries are written to a temp file and atomically renamed.
+class ResultCache {
+ public:
+  /// @param dir cache directory; created on first store.
+  explicit ResultCache(std::string dir);
+
+  /// Loads the entry for `hash`, verifying its stored canonical config
+  /// matches `canonical`. Returns nullopt when absent, unreadable or
+  /// mismatched (corrupt files are treated as misses, not errors).
+  std::optional<RunResult> load(const std::string& hash,
+                                const std::string& canonical) const;
+
+  /// Persists `result` under `hash`, echoing `canonical` for verification.
+  void store(const std::string& hash, const std::string& canonical,
+             const RunResult& result) const;
+
+  std::string path_for(const std::string& hash) const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace seafl::exp

@@ -1,0 +1,18 @@
+// Umbrella header: the seafl::exp experiment-orchestration subsystem.
+//
+//   exp::SweepSpec sweep;                      // declarative cartesian grid
+//   sweep.base.world = ...;                    // dataset + fleet spec
+//   sweep.axes.push_back(exp::make_axis("algorithm", {"seafl", "fedbuff"}));
+//   sweep.axes.push_back(exp::make_axis("buffer", {"5", "10"}));
+//   exp::add_seed_axis(sweep, 4, 42);          // 4-seed replication
+//
+//   exp::Runner runner({.jobs = 4});           // parallel + cached
+//   auto results = runner.run(sweep);          // bitwise == the serial run
+//   auto stats = exp::summarize_by_arm(results);  // mean/stddev/CI95
+#pragma once
+
+#include "exp/cache.h"
+#include "exp/json.h"
+#include "exp/runner.h"
+#include "exp/spec.h"
+#include "exp/summary.h"

@@ -1,0 +1,300 @@
+#include "exp/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace seafl::exp {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted) {
+  throw Error(std::string("json: value is not ") + wanted);
+}
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double d, std::string& out) {
+  SEAFL_CHECK(std::isfinite(d), "json: cannot serialize non-finite number");
+  // Integers within the exactly-representable range print without exponent
+  // or trailing ".0" — keeps counters readable and round-trippable.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+/// Recursive-descent parser over the raw text.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    SEAFL_CHECK(pos_ == text_.size(),
+                "json: trailing garbage at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    SEAFL_CHECK(pos_ < text_.size(), "json: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    SEAFL_CHECK(pos_ < text_.size() && text_[pos_] == c,
+                "json: expected '" << c << "' at offset " << pos_);
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Json(parse_string());
+    if (consume_literal("true")) return Json(true);
+    if (consume_literal("false")) return Json(false);
+    if (consume_literal("null")) return Json(nullptr);
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      SEAFL_CHECK(pos_ < text_.size(), "json: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      SEAFL_CHECK(pos_ < text_.size(), "json: unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          SEAFL_CHECK(pos_ + 4 <= text_.size(), "json: truncated \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          const long code = std::strtol(hex.c_str(), nullptr, 16);
+          // Cache payloads only ever escape control characters; reject
+          // anything outside one-byte range rather than mis-decode it.
+          SEAFL_CHECK(code >= 0 && code < 0x80,
+                      "json: unsupported \\u escape \\u" << hex);
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          SEAFL_CHECK(false, "json: bad escape '\\" << esc << "'");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    SEAFL_CHECK(pos_ > start, "json: expected a value at offset " << start);
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    SEAFL_CHECK(end == token.c_str() + token.size(),
+                "json: bad number '" << token << "'");
+    return Json(d);
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(out));
+    }
+    for (;;) {
+      out.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(out));
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(out));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(out));
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) type_error("a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_double() const {
+  if (!is_number()) type_error("a number");
+  return std::get<double>(value_);
+}
+
+std::uint64_t Json::as_u64() const {
+  const double d = as_double();
+  SEAFL_CHECK(d >= 0.0 && d == std::floor(d),
+              "json: number " << d << " is not an unsigned integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) type_error("a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& Json::as_array() const {
+  if (!is_array()) type_error("an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& Json::as_object() const {
+  if (!is_object()) type_error("an object");
+  return std::get<JsonObject>(value_);
+}
+
+const Json& Json::at(const std::string& key) const {
+  const JsonObject& obj = as_object();
+  const auto it = obj.find(key);
+  SEAFL_CHECK(it != obj.end(), "json: missing key '" << key << "'");
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  if (is_null()) {
+    out = "null";
+  } else if (is_bool()) {
+    out = as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    dump_number(as_double(), out);
+  } else if (is_string()) {
+    dump_string(as_string(), out);
+  } else if (is_array()) {
+    out += '[';
+    bool first = true;
+    for (const Json& v : as_array()) {
+      if (!first) out += ',';
+      first = false;
+      out += v.dump();
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : as_object()) {
+      if (!first) out += ',';
+      first = false;
+      dump_string(key, out);
+      out += ':';
+      out += value.dump();
+    }
+    out += '}';
+  }
+  return out;
+}
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace seafl::exp

@@ -1,0 +1,162 @@
+#include "exp/runner.h"
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/thread_pool.h"
+
+namespace seafl::exp {
+
+namespace {
+
+/// A built experiment world, shared read-only by every arm that names it.
+struct BuiltWorld {
+  FlTask task;
+  Fleet fleet;
+};
+
+/// Canonical identity of a WorldSpec (the world-determining subset of the
+/// arm's canonical config), used to build each distinct world exactly once.
+std::string world_key(const ArmSpec& spec) {
+  ArmSpec probe;
+  probe.world = spec.world;
+  // Null out everything that does not shape the world, so arms differing
+  // only in strategy/params share one entry.
+  probe.algorithm.clear();
+  probe.params = ExperimentParams{};
+  return canonical_config(probe);
+}
+
+/// Executes one arm against its built world. The target-accuracy sentinel
+/// (< 0) resolves to the task's default here, after the dataset exists.
+RunResult execute(const ArmSpec& spec, const BuiltWorld& world) {
+  ExperimentParams params = spec.params;
+  if (params.target_accuracy < 0.0) {
+    params.target_accuracy = world.task.target_accuracy;
+  }
+  return run_arm(spec.algorithm, params, world.task, world.fleet);
+}
+
+}  // namespace
+
+Runner::Runner(RunnerOptions options)
+    : options_(std::move(options)), cache_(options_.cache_dir) {}
+
+std::vector<ArmResult> Runner::run(const std::vector<ArmSpec>& arms) {
+  simulations_run_ = 0;
+  std::vector<ArmResult> results(arms.size());
+  std::vector<std::string> canonicals(arms.size());
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    results[i].spec = arms[i];
+    results[i].hash = config_hash(arms[i]);
+    canonicals[i] = canonical_config(arms[i]);
+  }
+
+  // Phase 1: serve cache hits; collect one executable index per distinct
+  // hash and remember duplicates to fill afterwards.
+  std::vector<std::size_t> pending;                       // unique misses
+  std::unordered_map<std::string, std::size_t> first_of;  // hash -> index
+  std::vector<std::pair<std::size_t, std::size_t>> copies;  // (dst, src)
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    if (const auto it = first_of.find(results[i].hash); it != first_of.end()) {
+      copies.emplace_back(i, it->second);
+      continue;
+    }
+    first_of.emplace(results[i].hash, i);
+    if (options_.use_cache && !options_.refresh) {
+      if (auto cached = cache_.load(results[i].hash, canonicals[i])) {
+        results[i].result = std::move(*cached);
+        results[i].from_cache = true;
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+
+  // Phase 2: build each distinct world once, serially on the caller (dataset
+  // generation itself uses the parallel kernels). Only worlds that a pending
+  // arm actually needs are built — a fully-cached sweep builds none.
+  std::unordered_map<std::string, std::unique_ptr<BuiltWorld>> worlds;
+  for (const std::size_t i : pending) {
+    const std::string key = world_key(arms[i]);
+    if (worlds.count(key) > 0) continue;
+    auto world = std::make_unique<BuiltWorld>(
+        BuiltWorld{make_task(arms[i].world.task), Fleet(arms[i].world.fleet)});
+    worlds.emplace(key, std::move(world));
+  }
+
+  // Phase 3: execute pending arms, up to `jobs` concurrently. Workers pull
+  // indices from a shared counter; each result lands at its own index, so
+  // completion order never affects the output.
+  const std::size_t total = pending.size();
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+  auto run_indices = [&](bool serial_kernels) {
+    for (std::size_t n = next.fetch_add(1); n < total;
+         n = next.fetch_add(1)) {
+      const std::size_t i = pending[n];
+      if (options_.progress) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        std::fprintf(stderr, "\r[%zu/%zu] %s\033[K", done.load() + 1, total,
+                     arms[i].label.c_str());
+        std::fflush(stderr);
+      }
+      const BuiltWorld& world = *worlds.at(world_key(arms[i]));
+      if (serial_kernels) {
+        SerialKernelScope scope;
+        results[i].result = execute(arms[i], world);
+      } else {
+        results[i].result = execute(arms[i], world);
+      }
+      if (options_.use_cache) {
+        cache_.store(results[i].hash, canonicals[i], results[i].result);
+      }
+      done.fetch_add(1);
+    }
+  };
+
+  const std::size_t jobs = std::max<std::size_t>(1, options_.jobs);
+  if (jobs == 1 || total <= 1) {
+    run_indices(/*serial_kernels=*/false);
+  } else {
+    // Record the first failure and drain the index counter instead of
+    // letting an exception escape while workers still reference this frame.
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    auto guarded = [&] {
+      try {
+        run_indices(/*serial_kernels=*/true);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(total);  // stop handing out further arms
+      }
+    };
+    std::vector<std::future<void>> workers;
+    const std::size_t helpers = std::min(jobs - 1, total - 1);
+    workers.reserve(helpers);
+    for (std::size_t w = 0; w < helpers; ++w) {
+      workers.push_back(global_pool().submit(guarded));
+    }
+    // The caller participates too; its kernels also stay serial so every
+    // concurrent run gets one core instead of contending mid-GEMM.
+    guarded();
+    for (auto& w : workers) w.get();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  if (options_.progress && total > 0) std::fprintf(stderr, "\n");
+  simulations_run_ = total;
+
+  for (const auto& [dst, src] : copies) {
+    results[dst].result = results[src].result;
+    results[dst].from_cache = results[src].from_cache;
+  }
+  return results;
+}
+
+}  // namespace seafl::exp

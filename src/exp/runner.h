@@ -1,0 +1,71 @@
+// Parallel, cached execution of experiment arms.
+//
+// The Runner takes the arms of a sweep and returns one result per arm, in
+// enumeration order, having
+//  * served arms whose config hash is already in the result cache from disk,
+//  * deduplicated arms with identical hashes (one simulation, shared result),
+//  * built each distinct world (dataset + fleet) exactly once, shared
+//    read-only across runs, and
+//  * executed the remaining simulations concurrently — up to `jobs` at a
+//    time on the shared ThreadPool, each wrapped in a SerialKernelScope so a
+//    run's tensor kernels stay on its own core instead of re-entering the
+//    pool (never nested-parallel).
+//
+// Determinism: a simulation's outcome depends only on its ArmSpec (all
+// randomness flows from named seed streams, and kernel reductions use fixed
+// block boundaries), and results land at their arm's index — so a parallel
+// sweep is bitwise-identical to the serial one at any `jobs` value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/cache.h"
+#include "exp/spec.h"
+
+namespace seafl::exp {
+
+struct RunnerOptions {
+  /// Simulations in flight at once. 1 = run serially on the caller (kernels
+  /// may still parallelize); N>1 = the caller plus N-1 pool workers execute
+  /// arms concurrently, each with serial kernels.
+  std::size_t jobs = 1;
+
+  std::string cache_dir = "results/cache";
+  bool use_cache = true;  ///< read hits and store new results
+  bool refresh = false;   ///< ignore existing entries (still store)
+
+  /// Live "\r[done/total] label" line on stderr while simulating.
+  bool progress = true;
+};
+
+/// One arm's outcome.
+struct ArmResult {
+  ArmSpec spec;
+  std::string hash;        ///< config_hash(spec)
+  RunResult result;        ///< final_weights empty when served from cache
+  bool from_cache = false;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options = {});
+
+  /// Executes all arms; results are returned in input order.
+  std::vector<ArmResult> run(const std::vector<ArmSpec>& arms);
+  std::vector<ArmResult> run(const SweepSpec& sweep) {
+    return run(enumerate(sweep));
+  }
+
+  /// Simulations actually executed by the last run() (cache hits and
+  /// duplicate arms excluded).
+  std::size_t simulations_run() const { return simulations_run_; }
+
+ private:
+  RunnerOptions options_;
+  ResultCache cache_;
+  std::size_t simulations_run_ = 0;
+};
+
+}  // namespace seafl::exp

@@ -1,0 +1,416 @@
+#include "exp/spec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/error.h"
+
+namespace seafl::exp {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_float(float v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+  return buf;
+}
+
+[[noreturn]] void bad_value(const std::string& field, const std::string& value,
+                            const char* expected) {
+  throw Error("override " + field + "=" + value + ": expected " + expected);
+}
+
+std::uint64_t parse_u64(const std::string& field, const std::string& value) {
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    bad_value(field, value, "an unsigned integer");
+  }
+}
+
+std::size_t parse_size(const std::string& field, const std::string& value) {
+  return static_cast<std::size_t>(parse_u64(field, value));
+}
+
+double parse_double(const std::string& field, const std::string& value) {
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    bad_value(field, value, "a number");
+  }
+}
+
+bool parse_bool(const std::string& field, const std::string& value) {
+  if (value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  bad_value(field, value, "a bool");
+}
+
+/// "inf"/"none" mean no staleness limit.
+std::uint64_t parse_staleness(const std::string& field,
+                              const std::string& value) {
+  if (value == "inf" || value == "none") return kNoStalenessLimit;
+  return parse_u64(field, value);
+}
+
+std::string staleness_to_string(std::uint64_t beta) {
+  return beta == kNoStalenessLimit ? "inf" : std::to_string(beta);
+}
+
+/// One overridable/serializable field. `get == nullptr` marks a compound
+/// alias: settable, but represented in the canonical config by the plain
+/// fields it expands to.
+struct FieldBinding {
+  const char* name;
+  void (*set)(ArmSpec&, const std::string&);
+  std::string (*get)(const ArmSpec&);
+};
+
+// The single source of truth tying override names, canonical serialization
+// and hashing together. Adding a result-determining knob to ExperimentParams
+// / TaskSpec / FleetConfig requires a row here (the hash-coverage test in
+// tests/exp enumerates this table).
+const std::vector<FieldBinding>& field_table() {
+  static const std::vector<FieldBinding> table = {
+      {"algorithm",
+       [](ArmSpec& s, const std::string& v) { s.algorithm = v; },
+       [](const ArmSpec& s) { return s.algorithm; }},
+
+      // --- task / dataset ---------------------------------------------------
+      {"task", [](ArmSpec& s, const std::string& v) { s.world.task.name = v; },
+       [](const ArmSpec& s) { return s.world.task.name; }},
+      {"task-clients",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.task.num_clients = parse_size("task-clients", v);
+       },
+       [](const ArmSpec& s) {
+         return std::to_string(s.world.task.num_clients);
+       }},
+      {"samples",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.task.samples_per_client = parse_size("samples", v);
+       },
+       [](const ArmSpec& s) {
+         return std::to_string(s.world.task.samples_per_client);
+       }},
+      {"test-samples",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.task.test_samples = parse_size("test-samples", v);
+       },
+       [](const ArmSpec& s) {
+         return std::to_string(s.world.task.test_samples);
+       }},
+      {"dirichlet",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.task.dirichlet_alpha = parse_double("dirichlet", v);
+       },
+       [](const ArmSpec& s) { return fmt_double(s.world.task.dirichlet_alpha); }},
+      {"corrupt",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.task.corrupt_client_fraction = parse_double("corrupt", v);
+       },
+       [](const ArmSpec& s) {
+         return fmt_double(s.world.task.corrupt_client_fraction);
+       }},
+      {"task-seed",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.task.seed = parse_u64("task-seed", v);
+       },
+       [](const ArmSpec& s) { return std::to_string(s.world.task.seed); }},
+
+      // --- fleet ------------------------------------------------------------
+      {"devices",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.fleet.num_devices = parse_size("devices", v);
+       },
+       [](const ArmSpec& s) {
+         return std::to_string(s.world.fleet.num_devices);
+       }},
+      {"pareto",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.fleet.pareto_shape = parse_double("pareto", v);
+       },
+       [](const ArmSpec& s) { return fmt_double(s.world.fleet.pareto_shape); }},
+      {"cap",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.fleet.speed_cap = parse_double("cap", v);
+       },
+       [](const ArmSpec& s) { return fmt_double(s.world.fleet.speed_cap); }},
+      {"spuw",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.fleet.seconds_per_unit_work = parse_double("spuw", v);
+       },
+       [](const ArmSpec& s) {
+         return fmt_double(s.world.fleet.seconds_per_unit_work);
+       }},
+      {"zipf-s",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.fleet.zipf_s = parse_double("zipf-s", v);
+       },
+       [](const ArmSpec& s) { return fmt_double(s.world.fleet.zipf_s); }},
+      {"max-idle",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.fleet.max_idle_seconds = parse_u64("max-idle", v);
+       },
+       [](const ArmSpec& s) {
+         return std::to_string(s.world.fleet.max_idle_seconds);
+       }},
+      {"idle-scale",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.fleet.idle_scale = parse_double("idle-scale", v);
+       },
+       [](const ArmSpec& s) { return fmt_double(s.world.fleet.idle_scale); }},
+      {"latency",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.fleet.mean_latency = parse_double("latency", v);
+       },
+       [](const ArmSpec& s) { return fmt_double(s.world.fleet.mean_latency); }},
+      {"fleet-seed",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.fleet.seed = parse_u64("fleet-seed", v);
+       },
+       [](const ArmSpec& s) { return std::to_string(s.world.fleet.seed); }},
+
+      // --- experiment parameters -------------------------------------------
+      {"buffer",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.buffer_size = parse_size("buffer", v);
+       },
+       [](const ArmSpec& s) { return std::to_string(s.params.buffer_size); }},
+      {"concurrency",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.concurrency = parse_size("concurrency", v);
+       },
+       [](const ArmSpec& s) { return std::to_string(s.params.concurrency); }},
+      {"staleness",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.staleness_limit = parse_staleness("staleness", v);
+       },
+       [](const ArmSpec& s) {
+         return staleness_to_string(s.params.staleness_limit);
+       }},
+      {"epochs",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.local_epochs = parse_size("epochs", v);
+       },
+       [](const ArmSpec& s) { return std::to_string(s.params.local_epochs); }},
+      {"batch",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.batch_size = parse_size("batch", v);
+       },
+       [](const ArmSpec& s) { return std::to_string(s.params.batch_size); }},
+      {"lr",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.learning_rate = static_cast<float>(parse_double("lr", v));
+       },
+       [](const ArmSpec& s) { return fmt_float(s.params.learning_rate); }},
+      {"clip",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.clip_norm = static_cast<float>(parse_double("clip", v));
+       },
+       [](const ArmSpec& s) { return fmt_float(s.params.clip_norm); }},
+      {"alpha",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.alpha = parse_double("alpha", v);
+       },
+       [](const ArmSpec& s) { return fmt_double(s.params.alpha); }},
+      {"mu",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.mu = parse_double("mu", v);
+       },
+       [](const ArmSpec& s) { return fmt_double(s.params.mu); }},
+      {"vartheta",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.vartheta = parse_double("vartheta", v);
+       },
+       [](const ArmSpec& s) { return fmt_double(s.params.vartheta); }},
+      {"target",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.target_accuracy = parse_double("target", v);
+       },
+       [](const ArmSpec& s) { return fmt_double(s.params.target_accuracy); }},
+      {"stop-at-target",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.stop_at_target = parse_bool("stop-at-target", v);
+       },
+       [](const ArmSpec& s) {
+         return std::string(s.params.stop_at_target ? "true" : "false");
+       }},
+      {"rounds",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.max_rounds = parse_u64("rounds", v);
+       },
+       [](const ArmSpec& s) { return std::to_string(s.params.max_rounds); }},
+      {"max-seconds",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.max_virtual_seconds = parse_double("max-seconds", v);
+       },
+       [](const ArmSpec& s) {
+         return fmt_double(s.params.max_virtual_seconds);
+       }},
+      {"eval-every",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.eval_every = parse_u64("eval-every", v);
+       },
+       [](const ArmSpec& s) { return std::to_string(s.params.eval_every); }},
+      {"eval-subset",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.eval_subset = parse_size("eval-subset", v);
+       },
+       [](const ArmSpec& s) { return std::to_string(s.params.eval_subset); }},
+      {"run-seed",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.seed = parse_u64("run-seed", v);
+       },
+       [](const ArmSpec& s) { return std::to_string(s.params.seed); }},
+
+      // --- compound aliases (not serialized; expand to the fields above) ----
+      {"seed",
+       [](ArmSpec& s, const std::string& v) {
+         const std::uint64_t seed = parse_u64("seed", v);
+         s.world.task.seed = seed;
+         s.world.fleet.seed = seed;
+         s.params.seed = seed;
+       },
+       nullptr},
+      {"clients",
+       [](ArmSpec& s, const std::string& v) {
+         const std::size_t n = parse_size("clients", v);
+         s.world.task.num_clients = n;
+         s.world.fleet.num_devices = n;
+       },
+       nullptr},
+      {"beta",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.staleness_limit = parse_staleness("beta", v);
+       },
+       nullptr},
+      {"strategy",
+       [](ArmSpec& s, const std::string& v) { s.algorithm = v; }, nullptr},
+  };
+  return table;
+}
+
+/// Bumped whenever the simulation's observable behaviour changes in a way
+/// the config fields cannot express, invalidating every cache entry.
+constexpr const char* kConfigSchema = "seafl-exp-config-v1";
+
+constexpr const char* kSeedFields[] = {"task-seed", "fleet-seed", "run-seed"};
+
+std::string serialize(const ArmSpec& spec, bool include_seeds) {
+  std::map<std::string, std::string> kv;  // sorted keys: canonical order
+  for (const FieldBinding& f : field_table()) {
+    if (f.get == nullptr) continue;
+    kv.emplace(f.name, f.get(spec));
+  }
+  if (!include_seeds) {
+    for (const char* name : kSeedFields) kv.erase(name);
+  }
+  std::string out;
+  out += kConfigSchema;
+  out += '\n';
+  for (const auto& [key, value] : kv) {
+    out += key;
+    out += '=';
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+Axis make_axis(std::string field, const std::vector<std::string>& values) {
+  Axis axis;
+  axis.field = std::move(field);
+  axis.values.reserve(values.size());
+  for (const std::string& v : values) axis.values.push_back({v, "", {}});
+  return axis;
+}
+
+void apply_override(ArmSpec& spec, const std::string& field,
+                    const std::string& value) {
+  for (const FieldBinding& f : field_table()) {
+    if (field == f.name) {
+      f.set(spec, value);
+      return;
+    }
+  }
+  SEAFL_CHECK(false, "unknown experiment field '" << field << "'");
+}
+
+std::vector<ArmSpec> enumerate(const SweepSpec& sweep) {
+  std::size_t total = 1;
+  for (const Axis& axis : sweep.axes) {
+    SEAFL_CHECK(!axis.values.empty(),
+                "sweep axis '" << axis.field << "' has no values");
+    total *= axis.values.size();
+  }
+
+  std::vector<ArmSpec> arms;
+  arms.reserve(total);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    ArmSpec arm = sweep.base;
+    std::string label = sweep.base.label;
+    // Row-major decode: the last axis varies fastest.
+    std::size_t stride = total;
+    for (const Axis& axis : sweep.axes) {
+      stride /= axis.values.size();
+      const AxisValue& v = axis.values[(idx / stride) % axis.values.size()];
+      apply_override(arm, axis.field, v.value);
+      for (const auto& [field, value] : v.overrides) {
+        apply_override(arm, field, value);
+      }
+      const std::string part =
+          v.label.empty() ? axis.field + "=" + v.value : v.label;
+      if (!label.empty()) label += ' ';
+      label += part;
+    }
+    arm.label = label;
+    arms.push_back(std::move(arm));
+  }
+  return arms;
+}
+
+std::string canonical_config(const ArmSpec& spec) {
+  return serialize(spec, /*include_seeds=*/true);
+}
+
+std::string seedless_key(const ArmSpec& spec) {
+  return serialize(spec, /*include_seeds=*/false);
+}
+
+std::string config_hash(const ArmSpec& spec) {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : canonical_config(spec)) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+void add_seed_axis(SweepSpec& sweep, std::size_t num_seeds,
+                   std::uint64_t base_seed) {
+  SEAFL_CHECK(num_seeds > 0, "add_seed_axis: need at least one seed");
+  Axis axis;
+  axis.field = "seed";
+  for (std::size_t i = 0; i < num_seeds; ++i) {
+    const std::uint64_t seed = base_seed + 1000 * i;  // run_seeds convention
+    axis.values.push_back({std::to_string(seed), "seed=" + std::to_string(seed),
+                           {}});
+  }
+  sweep.axes.push_back(std::move(axis));
+}
+
+}  // namespace seafl::exp

@@ -1,0 +1,98 @@
+// Declarative experiment specification: a sweep is a cartesian grid over
+// named axes (strategy preset, K, beta, seeds, fleet knobs, ...), each arm a
+// fully-determined (algorithm, params, world) triple. Arms serialize to a
+// canonical key=value form whose hash keys the on-disk result cache, so a
+// re-run only executes arms whose configuration actually changed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/presets.h"
+#include "data/registry.h"
+#include "sim/fleet.h"
+
+namespace seafl::exp {
+
+/// Everything needed to build an experiment world (dataset + device fleet),
+/// by value — worlds are constructed lazily by the Runner and shared across
+/// arms with an identical WorldSpec.
+struct WorldSpec {
+  TaskSpec task;
+  FleetConfig fleet;
+};
+
+/// One fully-determined experiment arm. `params.target_accuracy < 0` is the
+/// "task default" sentinel: the Runner substitutes the built task's
+/// target_accuracy at execution time (the config hash stores the sentinel,
+/// which is stable without building the dataset).
+struct ArmSpec {
+  std::string algorithm = "seafl";  ///< preset name, see make_arm()
+  ExperimentParams params;
+  WorldSpec world;
+  std::string label;  ///< display only; never part of the config hash
+};
+
+/// One grid point of an axis: the value for the axis' field, an optional
+/// display label ("K=10"; empty = "<field>=<value>"), and optional extra
+/// field overrides applied with it (e.g. K=1 also switching the preset to
+/// fedasync).
+struct AxisValue {
+  std::string value;
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> overrides;
+};
+
+/// A named sweep axis. `field` names any overridable ArmSpec field (see
+/// apply_override); the grid takes the cartesian product of all axes.
+struct Axis {
+  std::string field;
+  std::vector<AxisValue> values;
+};
+
+/// Convenience: an axis over plain values with auto "<field>=<value>" labels.
+Axis make_axis(std::string field, const std::vector<std::string>& values);
+
+/// A declarative sweep: base configuration plus axes. Enumeration is
+/// row-major with the LAST axis varying fastest; axes are applied in order,
+/// so when two axes touch the same field the later axis wins, and a value's
+/// extra overrides are applied after its own field.
+struct SweepSpec {
+  ArmSpec base;
+  std::vector<Axis> axes;
+};
+
+/// Sets one named field of an arm from its string form. Accepted fields are
+/// the bench CLI flag names (task, clients, samples, dirichlet, pareto,
+/// buffer, staleness/beta, epochs, lr, rounds, seed, ...); "seed" is a
+/// compound alias setting the task, fleet and run seeds together, matching
+/// the one---seed-drives-everything convention of the bench binaries.
+/// Throws on an unknown field or an unparsable value.
+void apply_override(ArmSpec& spec, const std::string& field,
+                    const std::string& value);
+
+/// Expands the grid into concrete arms (base copied, overrides applied,
+/// labels composed by joining the axis labels with spaces).
+std::vector<ArmSpec> enumerate(const SweepSpec& sweep);
+
+/// Canonical serialization of every result-determining field, one sorted
+/// "key=value" line each. Two specs describe the same experiment iff their
+/// canonical configs are equal, regardless of how they were constructed.
+std::string canonical_config(const ArmSpec& spec);
+
+/// 64-bit FNV-1a of canonical_config (plus a schema-version salt), as 16
+/// lowercase hex chars. Keys the result cache.
+std::string config_hash(const ArmSpec& spec);
+
+/// Canonical config with the seed fields (task/fleet/run seed) removed:
+/// equal for seed replicates of the same arm. Groups multi-seed statistics.
+std::string seedless_key(const ArmSpec& spec);
+
+/// Appends a "seed" axis with `num_seeds` values base, base+1000, ... (the
+/// derived-seed convention the multi-seed benches already use).
+void add_seed_axis(SweepSpec& sweep, std::size_t num_seeds,
+                   std::uint64_t base_seed);
+
+}  // namespace seafl::exp

@@ -1,0 +1,159 @@
+#include "exp/summary.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "fl/metrics.h"
+
+namespace seafl::exp {
+
+namespace {
+
+/// "SEAFL K=10 seed=42" -> "SEAFL K=10".
+std::string strip_seed_token(const std::string& label) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < label.size()) {
+    std::size_t end = label.find(' ', pos);
+    if (end == std::string::npos) end = label.size();
+    const std::string token = label.substr(pos, end - pos);
+    if (token.rfind("seed=", 0) != 0) {
+      if (!out.empty()) out += ' ';
+      out += token;
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
+std::string fmt_stat(const SummaryStat& s, int precision) {
+  if (s.count == 0) return "n/a";
+  std::string out = fmt(s.mean, precision);
+  if (s.count > 1) out += "±" + fmt(s.ci95, precision);
+  return out;
+}
+
+}  // namespace
+
+SummaryStat summarize(std::span<const double> values) {
+  SummaryStat s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  RunningStats stats;
+  for (const double v : values) stats.add(v);
+  s.mean = stats.mean();
+  if (values.size() > 1) {
+    // RunningStats reports population variance; rescale to the sample form.
+    const double n = static_cast<double>(values.size());
+    s.stddev = std::sqrt(stats.variance() * n / (n - 1.0));
+    s.ci95 = 1.96 * s.stddev / std::sqrt(n);
+  }
+  return s;
+}
+
+std::vector<ArmSummary> summarize_by_arm(std::span<const ArmResult> results) {
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<const ArmResult*>> groups;
+  for (const ArmResult& r : results) {
+    const std::string key = seedless_key(r.spec);
+    if (groups.count(key) == 0) order.push_back(key);
+    groups[key].push_back(&r);
+  }
+
+  std::vector<ArmSummary> summaries;
+  summaries.reserve(order.size());
+  for (const std::string& key : order) {
+    const auto& group = groups[key];
+    ArmSummary s;
+    s.key = key;
+    s.label = strip_seed_token(group.front()->spec.label);
+    s.seeds = group.size();
+
+    std::vector<double> times, tails, finals, rounds, staleness;
+    for (const ArmResult* r : group) {
+      if (r->result.time_to_target >= 0.0) {
+        times.push_back(r->result.time_to_target);
+        ++s.reached;
+      }
+      tails.push_back(tail_accuracy(r->result, 3));
+      finals.push_back(r->result.final_accuracy);
+      rounds.push_back(static_cast<double>(r->result.rounds));
+      staleness.push_back(r->result.mean_staleness);
+    }
+    s.time_to_target = summarize(times);
+    s.tail_accuracy = summarize(tails);
+    s.final_accuracy = summarize(finals);
+    s.rounds = summarize(rounds);
+    s.mean_staleness = summarize(staleness);
+    summaries.push_back(std::move(s));
+  }
+  return summaries;
+}
+
+std::vector<std::string> summary_header() {
+  return {"arm",       "seeds", "reached",        "time-to-target",
+          "tail-acc",  "final-acc", "mean-rounds", "mean-staleness"};
+}
+
+std::vector<std::string> summary_row(const ArmSummary& s) {
+  return {s.label,
+          std::to_string(s.seeds),
+          std::to_string(s.reached) + "/" + std::to_string(s.seeds),
+          fmt_stat(s.time_to_target, 1),
+          fmt_stat(s.tail_accuracy, 4),
+          fmt_stat(s.final_accuracy, 4),
+          fmt_stat(s.rounds, 1),
+          fmt_stat(s.mean_staleness, 2)};
+}
+
+namespace {
+
+Json stat_to_json(const SummaryStat& s) {
+  JsonObject obj;
+  obj.emplace("count", Json(s.count));
+  obj.emplace("mean", Json(s.mean));
+  obj.emplace("stddev", Json(s.stddev));
+  obj.emplace("ci95", Json(s.ci95));
+  return Json(std::move(obj));
+}
+
+}  // namespace
+
+Json sweep_to_json(std::span<const ArmResult> results,
+                   std::span<const ArmSummary> summaries) {
+  JsonArray arms;
+  arms.reserve(results.size());
+  for (const ArmResult& r : results) {
+    JsonObject arm;
+    arm.emplace("label", Json(r.spec.label));
+    arm.emplace("hash", Json(r.hash));
+    arm.emplace("config", Json(canonical_config(r.spec)));
+    arm.emplace("from_cache", Json(r.from_cache));
+    arm.emplace("result", result_to_json(r.result));
+    arms.push_back(Json(std::move(arm)));
+  }
+
+  JsonArray groups;
+  groups.reserve(summaries.size());
+  for (const ArmSummary& s : summaries) {
+    JsonObject group;
+    group.emplace("label", Json(s.label));
+    group.emplace("seeds", Json(s.seeds));
+    group.emplace("reached", Json(s.reached));
+    group.emplace("time_to_target", stat_to_json(s.time_to_target));
+    group.emplace("tail_accuracy", stat_to_json(s.tail_accuracy));
+    group.emplace("final_accuracy", stat_to_json(s.final_accuracy));
+    group.emplace("rounds", stat_to_json(s.rounds));
+    group.emplace("mean_staleness", stat_to_json(s.mean_staleness));
+    groups.push_back(Json(std::move(group)));
+  }
+
+  JsonObject doc;
+  doc.emplace("arms", Json(std::move(arms)));
+  doc.emplace("summaries", Json(std::move(groups)));
+  return Json(std::move(doc));
+}
+
+}  // namespace seafl::exp

@@ -1,0 +1,51 @@
+// Seed-replicated statistics over sweep results: arms that differ only in
+// their seeds are grouped, and each metric gets mean / sample stddev / 95%
+// confidence interval (normal approximation, 1.96 * s / sqrt(n)).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+
+namespace seafl::exp {
+
+/// Descriptive statistics of one metric across seed replicates.
+struct SummaryStat {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1); 0 when n < 2
+  double ci95 = 0.0;    ///< 95% CI half-width; 0 when n < 2
+};
+
+/// Computes mean / sample stddev / CI95 (via common/stats RunningStats).
+SummaryStat summarize(std::span<const double> values);
+
+/// Aggregate of one arm's seed replicates.
+struct ArmSummary {
+  std::string label;  ///< arm label with the "seed=..." token stripped
+  std::string key;    ///< seedless_key of the group
+  std::size_t seeds = 0;
+  std::size_t reached = 0;          ///< replicates that hit the target
+  SummaryStat time_to_target;       ///< over reached replicates only
+  SummaryStat tail_accuracy;        ///< tail_accuracy(result, 3)
+  SummaryStat final_accuracy;
+  SummaryStat rounds;
+  SummaryStat mean_staleness;
+};
+
+/// Groups results by seedless_key (first-appearance order preserved) and
+/// summarizes each group.
+std::vector<ArmSummary> summarize_by_arm(std::span<const ArmResult> results);
+
+/// Table header / row for ArmSummary (mean ± ci95 rendering).
+std::vector<std::string> summary_header();
+std::vector<std::string> summary_row(const ArmSummary& summary);
+
+/// Full machine-readable sweep artifact: per-arm configs, hashes, cache
+/// provenance, curves and the per-group summaries.
+Json sweep_to_json(std::span<const ArmResult> results,
+                   std::span<const ArmSummary> summaries);
+
+}  // namespace seafl::exp

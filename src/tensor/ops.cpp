@@ -1,9 +1,7 @@
 #include "tensor/ops.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <mutex>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -93,19 +91,24 @@ double dot(std::span<const float> a, std::span<const float> b) {
       acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
     return acc;
   }
-  // Deterministic parallel reduction: fixed chunking + ordered combine.
-  std::mutex m;
-  std::vector<std::pair<std::size_t, double>> partials;
-  parallel_for_chunked(0, a.size(), [&](std::size_t lo, std::size_t hi) {
+  // Deterministic reduction: partial sums over *fixed-size* blocks combined
+  // in index order. Block boundaries depend only on the input length — never
+  // on the worker count or whether kernels are running serially — so the
+  // result is bit-identical across any pool size (the experiment runner's
+  // parallel-vs-serial equality guarantee rests on this).
+  constexpr std::size_t kBlock = 1 << 13;
+  const std::size_t num_blocks = (a.size() + kBlock - 1) / kBlock;
+  std::vector<double> partials(num_blocks, 0.0);
+  parallel_for(0, num_blocks, [&](std::size_t blk) {
+    const std::size_t lo = blk * kBlock;
+    const std::size_t hi = std::min(a.size(), lo + kBlock);
     double acc = 0.0;
     for (std::size_t i = lo; i < hi; ++i)
       acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-    std::lock_guard<std::mutex> lock(m);
-    partials.emplace_back(lo, acc);
-  });
-  std::sort(partials.begin(), partials.end());
+    partials[blk] = acc;
+  }, /*grain=*/1);
   double total = 0.0;
-  for (const auto& [lo, acc] : partials) total += acc;
+  for (const double acc : partials) total += acc;
   return total;
 }
 

@@ -1,0 +1,152 @@
+#include "exp/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "exp/spec.h"
+
+namespace seafl::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A RunResult with every persisted field set to a distinctive value.
+RunResult sample_result() {
+  RunResult r;
+  r.curve = {{0.0, 0, 0.1, 2.3}, {12.5, 1, 0.42, 1.7}, {30.25, 2, 0.61, 1.1}};
+  r.round_log = {{1, 12.5, 5, 0.4, 1}, {2, 30.25, 5, 1.2, 0}};
+  r.participation = {3, 0, 2, 1};
+  r.time_to_target = 30.25;
+  r.final_accuracy = 0.61;
+  r.final_time = 30.25;
+  r.rounds = 2;
+  r.total_updates = 10;
+  r.partial_updates = 1;
+  r.model_downloads = 11;
+  r.model_uploads = 10;
+  r.notifications = 4;
+  r.lost_uploads = 2;
+  r.aggregations = 2;
+  r.server_aggregation_work = 12345.5;
+  r.dropped_updates = 1;
+  r.stale_waits = 3;
+  r.mean_staleness = 0.8;
+  return r;
+}
+
+void expect_equal(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].time, b.curve[i].time);
+    EXPECT_EQ(a.curve[i].round, b.curve[i].round);
+    EXPECT_EQ(a.curve[i].accuracy, b.curve[i].accuracy);
+    EXPECT_EQ(a.curve[i].loss, b.curve[i].loss);
+  }
+  ASSERT_EQ(a.round_log.size(), b.round_log.size());
+  for (std::size_t i = 0; i < a.round_log.size(); ++i) {
+    EXPECT_EQ(a.round_log[i].round, b.round_log[i].round);
+    EXPECT_EQ(a.round_log[i].time, b.round_log[i].time);
+    EXPECT_EQ(a.round_log[i].updates, b.round_log[i].updates);
+    EXPECT_EQ(a.round_log[i].mean_staleness, b.round_log[i].mean_staleness);
+    EXPECT_EQ(a.round_log[i].partial, b.round_log[i].partial);
+  }
+  EXPECT_EQ(a.participation, b.participation);
+  EXPECT_EQ(a.time_to_target, b.time_to_target);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_updates, b.total_updates);
+  EXPECT_EQ(a.partial_updates, b.partial_updates);
+  EXPECT_EQ(a.model_downloads, b.model_downloads);
+  EXPECT_EQ(a.model_uploads, b.model_uploads);
+  EXPECT_EQ(a.notifications, b.notifications);
+  EXPECT_EQ(a.lost_uploads, b.lost_uploads);
+  EXPECT_EQ(a.aggregations, b.aggregations);
+  EXPECT_EQ(a.server_aggregation_work, b.server_aggregation_work);
+  EXPECT_EQ(a.dropped_updates, b.dropped_updates);
+  EXPECT_EQ(a.stale_waits, b.stale_waits);
+  EXPECT_EQ(a.mean_staleness, b.mean_staleness);
+}
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("seafl_cache_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(CacheTest, ResultJsonRoundTrip) {
+  const RunResult original = sample_result();
+  const Json doc = result_to_json(original);
+  const RunResult restored = result_from_json(Json::parse(doc.dump()));
+  expect_equal(original, restored);
+}
+
+TEST_F(CacheTest, MissOnEmptyCacheThenHitAfterStore) {
+  ResultCache cache(dir_.string());
+  ArmSpec spec;
+  const std::string hash = config_hash(spec);
+  const std::string canonical = canonical_config(spec);
+
+  EXPECT_FALSE(cache.load(hash, canonical).has_value());
+
+  cache.store(hash, canonical, sample_result());
+  const auto hit = cache.load(hash, canonical);
+  ASSERT_TRUE(hit.has_value());
+  expect_equal(sample_result(), *hit);
+}
+
+TEST_F(CacheTest, MismatchedConfigEchoIsAMiss) {
+  ResultCache cache(dir_.string());
+  ArmSpec spec;
+  const std::string hash = config_hash(spec);
+  cache.store(hash, canonical_config(spec), sample_result());
+
+  // Same hash key, different canonical config (simulated collision or a
+  // schema drift): the cache must refuse, not return a wrong result.
+  ArmSpec other = spec;
+  apply_override(other, "buffer", "3");
+  EXPECT_FALSE(cache.load(hash, canonical_config(other)).has_value());
+}
+
+TEST_F(CacheTest, CorruptEntryIsAMissNotAnError) {
+  ResultCache cache(dir_.string());
+  ArmSpec spec;
+  const std::string hash = config_hash(spec);
+  const std::string canonical = canonical_config(spec);
+  cache.store(hash, canonical, sample_result());
+
+  std::ofstream(cache.path_for(hash), std::ios::trunc) << "{not json";
+  EXPECT_FALSE(cache.load(hash, canonical).has_value());
+}
+
+TEST_F(CacheTest, StoreIsIdempotentAndFilesLandUnderDir) {
+  ResultCache cache(dir_.string());
+  ArmSpec spec;
+  const std::string hash = config_hash(spec);
+  const std::string canonical = canonical_config(spec);
+  cache.store(hash, canonical, sample_result());
+  cache.store(hash, canonical, sample_result());
+  EXPECT_TRUE(fs::exists(cache.path_for(hash)));
+  // No stray temp files left behind.
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    ++entries;
+    EXPECT_EQ(e.path().extension(), ".json");
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+}  // namespace
+}  // namespace seafl::exp

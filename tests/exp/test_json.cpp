@@ -1,0 +1,81 @@
+#include "exp/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace seafl::exp {
+namespace {
+
+TEST(JsonTest, DumpIsCanonicalWithSortedKeys) {
+  JsonObject o;
+  o["zeta"] = 1;
+  o["alpha"] = true;
+  o["mid"] = "x";
+  EXPECT_EQ(Json(o).dump(), R"({"alpha":true,"mid":"x","zeta":1})");
+}
+
+TEST(JsonTest, IntegralDoublesPrintWithoutExponent) {
+  EXPECT_EQ(Json(0).dump(), "0");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-3.0).dump(), "-3");
+  EXPECT_EQ(Json(std::uint64_t{1} << 40).dump(), "1099511627776");
+}
+
+TEST(JsonTest, DoubleRoundTripIsBitExact) {
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           -2.5e-17,
+                           3.141592653589793,
+                           std::numeric_limits<double>::min(),
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::denorm_min()};
+  for (const double v : values) {
+    const Json parsed = Json::parse(Json(v).dump());
+    EXPECT_EQ(parsed.as_double(), v) << Json(v).dump();
+  }
+}
+
+TEST(JsonTest, ParseHandlesNestedStructures) {
+  const Json doc =
+      Json::parse(R"({"a":[1,2,{"b":null}],"c":"s\"t\n","d":false})");
+  EXPECT_EQ(doc.at("a").as_array().size(), 3u);
+  EXPECT_TRUE(doc.at("a").as_array()[2].at("b").is_null());
+  EXPECT_EQ(doc.at("c").as_string(), "s\"t\n");
+  EXPECT_FALSE(doc.at("d").as_bool());
+  EXPECT_TRUE(doc.contains("a"));
+  EXPECT_FALSE(doc.contains("z"));
+}
+
+TEST(JsonTest, ParseRoundTripsDump) {
+  JsonObject o;
+  o["curve"] = JsonArray{Json(JsonArray{Json(0.5), Json(1), Json(0.25)})};
+  o["name"] = "arm one";
+  o["n"] = 17;
+  const std::string dumped = Json(o).dump();
+  EXPECT_EQ(Json::parse(dumped).dump(), dumped);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(Json::parse("nul"), Error);
+}
+
+TEST(JsonTest, TypedAccessorsCheckTypes) {
+  EXPECT_THROW(Json("str").as_double(), Error);
+  EXPECT_THROW(Json(1.5).as_string(), Error);
+  EXPECT_THROW(Json(1.5).as_u64(), Error);   // non-integral
+  EXPECT_THROW(Json(-1).as_u64(), Error);    // negative
+  EXPECT_EQ(Json(7).as_u64(), 7u);
+  EXPECT_THROW(Json(1).at("k"), Error);      // not an object
+  EXPECT_THROW(Json(JsonObject{}).at("k"), Error);  // absent key
+}
+
+}  // namespace
+}  // namespace seafl::exp

@@ -1,0 +1,149 @@
+// Runner integration tests on a deliberately tiny world: parallel execution
+// must be bitwise-identical to serial, cache hits must skip simulations, and
+// duplicate arms must be executed once. These run real simulations, so the
+// binary carries the "slow" ctest label.
+#include "exp/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "exp/cache.h"
+#include "exp/summary.h"
+
+namespace seafl::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// An 8-client synth-mnist world small enough for a sub-second simulation.
+SweepSpec tiny_sweep() {
+  SweepSpec sweep;
+  sweep.base.algorithm = "seafl";
+  sweep.base.world.task.num_clients = 8;
+  sweep.base.world.task.samples_per_client = 10;
+  sweep.base.world.task.test_samples = 60;
+  sweep.base.world.fleet.num_devices = 8;
+  sweep.base.params.concurrency = 4;
+  sweep.base.params.buffer_size = 2;
+  sweep.base.params.max_rounds = 3;
+  sweep.base.params.local_epochs = 1;
+  sweep.base.params.batch_size = 5;
+  sweep.base.params.target_accuracy = 0.99;  // effectively never reached
+  return sweep;
+}
+
+RunnerOptions quiet(std::size_t jobs) {
+  RunnerOptions opts;
+  opts.jobs = jobs;
+  opts.use_cache = false;
+  opts.progress = false;
+  return opts;
+}
+
+/// Full-fidelity comparison via the canonical serialization: every persisted
+/// field (curve, round log, counters) must match bit-for-bit.
+std::string fingerprint(const std::vector<ArmResult>& results) {
+  std::string out;
+  for (const ArmResult& r : results) {
+    out += r.hash + "\n" + result_to_json(r.result).dump() + "\n";
+  }
+  return out;
+}
+
+TEST(RunnerTest, ParallelIsBitwiseIdenticalToSerial) {
+  SweepSpec sweep = tiny_sweep();
+  sweep.axes.push_back(make_axis("algorithm", {"seafl", "fedbuff"}));
+  add_seed_axis(sweep, 2, 42);
+
+  Runner serial(quiet(1));
+  const std::vector<ArmResult> a = serial.run(sweep);
+  Runner parallel(quiet(4));
+  const std::vector<ArmResult> b = parallel.run(sweep);
+
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(serial.simulations_run(), 4u);
+  EXPECT_EQ(parallel.simulations_run(), 4u);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+
+  // Results land in enumeration order regardless of completion order.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spec.label, b[i].spec.label);
+  }
+}
+
+TEST(RunnerTest, WarmCacheExecutesZeroSimulations) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "seafl_runner_cache_test";
+  fs::remove_all(dir);
+
+  SweepSpec sweep = tiny_sweep();
+  add_seed_axis(sweep, 2, 42);
+
+  RunnerOptions opts;
+  opts.cache_dir = dir.string();
+  opts.progress = false;
+
+  Runner cold(opts);
+  const std::vector<ArmResult> first = cold.run(sweep);
+  EXPECT_EQ(cold.simulations_run(), 2u);
+  EXPECT_FALSE(first[0].from_cache);
+
+  Runner warm(opts);
+  const std::vector<ArmResult> second = warm.run(sweep);
+  EXPECT_EQ(warm.simulations_run(), 0u);
+  EXPECT_TRUE(second[0].from_cache);
+  EXPECT_TRUE(second[1].from_cache);
+  EXPECT_EQ(fingerprint(first), fingerprint(second));
+
+  // --refresh ignores the entries and re-executes.
+  RunnerOptions refresh = opts;
+  refresh.refresh = true;
+  Runner fresh(refresh);
+  const std::vector<ArmResult> third = fresh.run(sweep);
+  EXPECT_EQ(fresh.simulations_run(), 2u);
+  EXPECT_EQ(fingerprint(first), fingerprint(third));
+
+  fs::remove_all(dir);
+}
+
+TEST(RunnerTest, DuplicateArmsRunOnce) {
+  const std::vector<ArmSpec> arms(2, tiny_sweep().base);
+  Runner runner(quiet(1));
+  const std::vector<ArmResult> results = runner.run(arms);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(runner.simulations_run(), 1u);
+  EXPECT_EQ(results[0].hash, results[1].hash);
+  EXPECT_EQ(result_to_json(results[0].result).dump(),
+            result_to_json(results[1].result).dump());
+}
+
+TEST(RunnerTest, TargetSentinelResolvesToTaskDefault) {
+  // target < 0 means "use the task's default" (0.90 for synth-mnist): with
+  // an easy dataset and a few rounds the run may or may not reach it, but
+  // the resolved config must differ from an explicit low target.
+  SweepSpec sweep = tiny_sweep();
+  sweep.base.params.target_accuracy = -1.0;
+  sweep.base.params.stop_at_target = false;
+
+  Runner runner(quiet(1));
+  const std::vector<ArmResult> results = runner.run(sweep);
+  ASSERT_EQ(results.size(), 1u);
+  // The sentinel (not the resolved value) is what the hash covers.
+  EXPECT_NE(canonical_config(results[0].spec).find("target=-1"),
+            std::string::npos);
+}
+
+TEST(RunnerTest, SummariesComposeWithRunnerOutput) {
+  SweepSpec sweep = tiny_sweep();
+  add_seed_axis(sweep, 2, 42);
+  Runner runner(quiet(2));
+  const std::vector<ArmResult> results = runner.run(sweep);
+  const std::vector<ArmSummary> summaries = summarize_by_arm(results);
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].seeds, 2u);
+  EXPECT_EQ(summaries[0].final_accuracy.count, 2u);
+}
+
+}  // namespace
+}  // namespace seafl::exp

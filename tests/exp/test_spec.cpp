@@ -1,0 +1,168 @@
+#include "exp/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+
+namespace seafl::exp {
+namespace {
+
+TEST(SpecTest, MakeAxisAutoLabels) {
+  const Axis axis = make_axis("buffer", {"2", "5"});
+  ASSERT_EQ(axis.values.size(), 2u);
+  EXPECT_EQ(axis.values[0].value, "2");
+  EXPECT_TRUE(axis.values[0].label.empty());  // composed as "buffer=2"
+}
+
+TEST(SpecTest, EnumerateGridRowMajorLastAxisFastest) {
+  SweepSpec sweep;
+  sweep.axes.push_back(make_axis("buffer", {"2", "5"}));
+  sweep.axes.push_back(make_axis("epochs", {"1", "3", "4"}));
+  const std::vector<ArmSpec> arms = enumerate(sweep);
+  ASSERT_EQ(arms.size(), 6u);
+  // buffer varies slowest, epochs fastest.
+  EXPECT_EQ(arms[0].label, "buffer=2 epochs=1");
+  EXPECT_EQ(arms[1].label, "buffer=2 epochs=3");
+  EXPECT_EQ(arms[2].label, "buffer=2 epochs=4");
+  EXPECT_EQ(arms[3].label, "buffer=5 epochs=1");
+  EXPECT_EQ(arms[5].label, "buffer=5 epochs=4");
+  EXPECT_EQ(arms[0].params.buffer_size, 2u);
+  EXPECT_EQ(arms[0].params.local_epochs, 1u);
+  EXPECT_EQ(arms[5].params.buffer_size, 5u);
+  EXPECT_EQ(arms[5].params.local_epochs, 4u);
+}
+
+TEST(SpecTest, LaterAxisWinsOnFieldCollision) {
+  SweepSpec sweep;
+  sweep.axes.push_back(make_axis("buffer", {"2"}));
+  sweep.axes.push_back(make_axis("buffer", {"9"}));
+  const std::vector<ArmSpec> arms = enumerate(sweep);
+  ASSERT_EQ(arms.size(), 1u);
+  EXPECT_EQ(arms[0].params.buffer_size, 9u);
+}
+
+TEST(SpecTest, AxisValueExtraOverridesApplyAfterItsField) {
+  // The fig2a pattern: K=1 also switches the preset to fedasync.
+  Axis axis;
+  axis.field = "buffer";
+  axis.values.push_back({"1", "K=1", {{"algorithm", "fedasync"}}});
+  axis.values.push_back({"10", "K=10", {}});
+  SweepSpec sweep;
+  sweep.base.algorithm = "fedbuff";
+  sweep.axes.push_back(axis);
+  const std::vector<ArmSpec> arms = enumerate(sweep);
+  ASSERT_EQ(arms.size(), 2u);
+  EXPECT_EQ(arms[0].algorithm, "fedasync");
+  EXPECT_EQ(arms[0].params.buffer_size, 1u);
+  EXPECT_EQ(arms[0].label, "K=1");
+  EXPECT_EQ(arms[1].algorithm, "fedbuff");
+  EXPECT_EQ(arms[1].label, "K=10");
+}
+
+TEST(SpecTest, ApplyOverrideRejectsUnknownFieldAndBadValue) {
+  ArmSpec spec;
+  EXPECT_THROW(apply_override(spec, "no-such-field", "1"), Error);
+  EXPECT_THROW(apply_override(spec, "buffer", "many"), Error);
+  EXPECT_THROW(apply_override(spec, "stop-at-target", "maybe"), Error);
+}
+
+TEST(SpecTest, SeedCompoundAliasSetsAllThreeSeeds) {
+  ArmSpec spec;
+  apply_override(spec, "seed", "777");
+  EXPECT_EQ(spec.world.task.seed, 777u);
+  EXPECT_EQ(spec.world.fleet.seed, 777u);
+  EXPECT_EQ(spec.params.seed, 777u);
+}
+
+TEST(SpecTest, StalenessAcceptsInf) {
+  ArmSpec spec;
+  apply_override(spec, "staleness", "inf");
+  EXPECT_EQ(spec.params.staleness_limit, kNoStalenessLimit);
+  EXPECT_NE(canonical_config(spec).find("staleness=inf"), std::string::npos);
+  apply_override(spec, "beta", "7");
+  EXPECT_EQ(spec.params.staleness_limit, 7u);
+}
+
+TEST(SpecTest, CanonicalConfigIndependentOfConstructionOrder) {
+  ArmSpec a;
+  apply_override(a, "buffer", "5");
+  apply_override(a, "lr", "0.1");
+  apply_override(a, "algorithm", "fedbuff");
+
+  ArmSpec b;
+  apply_override(b, "algorithm", "fedbuff");
+  apply_override(b, "lr", "0.1");
+  apply_override(b, "buffer", "5");
+  b.label = "a different display label";
+
+  // Same final fields => same canonical config and hash, regardless of the
+  // order overrides were applied in or of the display label.
+  EXPECT_EQ(canonical_config(a), canonical_config(b));
+  EXPECT_EQ(config_hash(a), config_hash(b));
+}
+
+TEST(SpecTest, HashCoversEveryResultDeterminingField) {
+  // One representative override per serialized field; each must change the
+  // hash. Mirrors the FieldBinding table in spec.cpp — a new knob there
+  // should be added here too.
+  const std::vector<std::pair<const char*, const char*>> overrides = {
+      {"algorithm", "fedavg"},  {"task", "synth-emnist"},
+      {"task-clients", "7"},    {"samples", "13"},
+      {"test-samples", "111"},  {"dirichlet", "0.77"},
+      {"corrupt", "0.2"},       {"task-seed", "9"},
+      {"devices", "17"},        {"pareto", "1.11"},
+      {"cap", "3.5"},           {"spuw", "0.33"},
+      {"zipf-s", "2.2"},        {"max-idle", "7"},
+      {"idle-scale", "0.5"},    {"latency", "0.9"},
+      {"fleet-seed", "8"},      {"buffer", "3"},
+      {"concurrency", "9"},     {"staleness", "77"},
+      {"epochs", "2"},          {"batch", "7"},
+      {"lr", "0.123"},          {"clip", "1.5"},
+      {"alpha", "4.5"},         {"mu", "0.25"},
+      {"vartheta", "0.6"},      {"target", "0.55"},
+      {"stop-at-target", "false"}, {"rounds", "9"},
+      {"max-seconds", "123"},   {"eval-every", "3"},
+      {"eval-subset", "50"},    {"run-seed", "5"},
+  };
+  const ArmSpec base;
+  std::set<std::string> hashes{config_hash(base)};
+  for (const auto& [field, value] : overrides) {
+    ArmSpec spec = base;
+    apply_override(spec, field, value);
+    EXPECT_TRUE(hashes.insert(config_hash(spec)).second)
+        << "override " << field << "=" << value << " did not change the hash";
+  }
+}
+
+TEST(SpecTest, SeedlessKeyGroupsSeedReplicates) {
+  ArmSpec a;
+  apply_override(a, "seed", "42");
+  ArmSpec b = a;
+  apply_override(b, "seed", "1042");
+  EXPECT_NE(config_hash(a), config_hash(b));
+  EXPECT_EQ(seedless_key(a), seedless_key(b));
+
+  ArmSpec c = a;
+  apply_override(c, "buffer", "3");
+  EXPECT_NE(seedless_key(a), seedless_key(c));
+}
+
+TEST(SpecTest, AddSeedAxisUsesDerivedSeedConvention) {
+  SweepSpec sweep;
+  sweep.axes.push_back(make_axis("algorithm", {"seafl", "fedbuff"}));
+  add_seed_axis(sweep, 3, 42);
+  const std::vector<ArmSpec> arms = enumerate(sweep);
+  ASSERT_EQ(arms.size(), 6u);
+  // Seed axis is appended, so it varies fastest.
+  EXPECT_EQ(arms[0].label, "algorithm=seafl seed=42");
+  EXPECT_EQ(arms[1].label, "algorithm=seafl seed=1042");
+  EXPECT_EQ(arms[2].label, "algorithm=seafl seed=2042");
+  EXPECT_EQ(arms[2].params.seed, 2042u);
+  EXPECT_EQ(arms[2].world.task.seed, 2042u);
+  EXPECT_EQ(arms[2].world.fleet.seed, 2042u);
+}
+
+}  // namespace
+}  // namespace seafl::exp

@@ -1,0 +1,96 @@
+#include "exp/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace seafl::exp {
+namespace {
+
+TEST(SummaryTest, SummarizeKnownValues) {
+  const double values[] = {1.0, 2.0, 3.0, 4.0};
+  const SummaryStat s = summarize(values);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  // Sample variance of {1,2,3,4} is 5/3.
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(s.ci95, 1.96 * std::sqrt(5.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(SummaryTest, SummarizeDegenerateCases) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const double one[] = {7.0};
+  const SummaryStat s = summarize(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.stddev, 0.0);  // undefined for n=1; reported as 0
+  EXPECT_EQ(s.ci95, 0.0);
+}
+
+/// Fabricates a seed replicate of an arm without running a simulation.
+ArmResult fake_result(const std::string& algorithm, std::uint64_t seed,
+                      double final_accuracy, double time_to_target) {
+  ArmResult r;
+  r.spec.algorithm = algorithm;
+  apply_override(r.spec, "seed", std::to_string(seed));
+  r.spec.label = "algorithm=" + algorithm + " seed=" + std::to_string(seed);
+  r.hash = config_hash(r.spec);
+  r.result.final_accuracy = final_accuracy;
+  r.result.time_to_target = time_to_target;
+  r.result.curve = {{0.0, 0, final_accuracy, 1.0}};
+  r.result.rounds = 5;
+  return r;
+}
+
+TEST(SummaryTest, GroupsSeedReplicatesAndStripsSeedToken) {
+  const std::vector<ArmResult> results = {
+      fake_result("seafl", 42, 0.8, 100.0),
+      fake_result("seafl", 1042, 0.9, -1.0),  // never reached the target
+      fake_result("fedbuff", 42, 0.6, 300.0),
+      fake_result("fedbuff", 1042, 0.7, 500.0),
+  };
+  const std::vector<ArmSummary> summaries = summarize_by_arm(results);
+  ASSERT_EQ(summaries.size(), 2u);
+
+  // First-appearance order, seed token stripped from the label.
+  EXPECT_EQ(summaries[0].label, "algorithm=seafl");
+  EXPECT_EQ(summaries[1].label, "algorithm=fedbuff");
+
+  EXPECT_EQ(summaries[0].seeds, 2u);
+  EXPECT_EQ(summaries[0].reached, 1u);  // only the seed-42 replicate
+  // time-to-target statistics cover reached replicates only.
+  EXPECT_EQ(summaries[0].time_to_target.count, 1u);
+  EXPECT_DOUBLE_EQ(summaries[0].time_to_target.mean, 100.0);
+  EXPECT_DOUBLE_EQ(summaries[0].final_accuracy.mean, 0.85);
+
+  EXPECT_EQ(summaries[1].reached, 2u);
+  EXPECT_DOUBLE_EQ(summaries[1].time_to_target.mean, 400.0);
+}
+
+TEST(SummaryTest, RowMatchesHeaderWidth) {
+  const std::vector<ArmResult> results = {fake_result("seafl", 42, 0.8, 10.0)};
+  const std::vector<ArmSummary> summaries = summarize_by_arm(results);
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summary_row(summaries[0]).size(), summary_header().size());
+}
+
+TEST(SummaryTest, SweepJsonCarriesArmsAndSummaries) {
+  const std::vector<ArmResult> results = {
+      fake_result("seafl", 42, 0.8, 100.0),
+      fake_result("seafl", 1042, 0.9, 120.0),
+  };
+  const std::vector<ArmSummary> summaries = summarize_by_arm(results);
+  const Json doc = sweep_to_json(results, summaries);
+  ASSERT_EQ(doc.at("arms").as_array().size(), 2u);
+  ASSERT_EQ(doc.at("summaries").as_array().size(), 1u);
+  const Json& arm = doc.at("arms").as_array()[0];
+  EXPECT_EQ(arm.at("hash").as_string(), results[0].hash);
+  EXPECT_EQ(arm.at("config").as_string(), canonical_config(results[0].spec));
+  EXPECT_FALSE(arm.at("from_cache").as_bool());
+  EXPECT_EQ(doc.at("summaries").as_array()[0].at("seeds").as_u64(), 2u);
+  // The artifact round-trips through the parser (valid, canonical JSON).
+  EXPECT_EQ(Json::parse(doc.dump()).dump(), doc.dump());
+}
+
+}  // namespace
+}  // namespace seafl::exp
