@@ -15,6 +15,11 @@
 //                             seafl::exp also the number of concurrent
 //                             simulations (default 1)
 //   --cache-dir D --no-cache --refresh   result-cache control (exp harnesses)
+//   --trace-dir D             write per-arm trace journals (<hash>.trace.json
+//                             Chrome/Perfetto format + <hash>.jsonl); forces
+//                             execution of every unique arm
+//   --metrics                 profile kernels/phases per arm; summary lands
+//                             at <cache-dir>/<hash>.metrics.json
 // Defaults are sized for a single-core CI-class machine; pass --full for a
 // paper-scale run (600 samples/client as in §III).
 #pragma once
@@ -267,7 +272,7 @@ inline ExperimentParams make_params_spec(const CliArgs& args,
 }
 
 /// Runner options from CLI flags (--jobs, --cache-dir, --no-cache,
-/// --refresh).
+/// --refresh, --trace-dir, --metrics).
 inline exp::RunnerOptions make_runner_options(const CliArgs& args) {
   configure_jobs(args);
   exp::RunnerOptions opts;
@@ -275,6 +280,8 @@ inline exp::RunnerOptions make_runner_options(const CliArgs& args) {
   opts.cache_dir = args.get_string("cache-dir", "results/cache");
   opts.use_cache = !args.get_bool("no-cache", false);
   opts.refresh = args.get_bool("refresh", false);
+  opts.trace_dir = args.get_string("trace-dir", "");
+  opts.metrics = args.get_bool("metrics", false);
   return opts;
 }
 

@@ -3,7 +3,38 @@
 // synchronous FL pays straggler wall-clock; buffered designs amortize both.
 // Reports message counts, aggregation invocations and server combine work
 // per algorithm at equal round budgets.
+//
+// A second section measures the cost of the observability layer itself: the
+// same SEAFL simulation with obs off, with kernel/phase profiling on, and
+// with a full trace journal attached, reporting wall-clock slowdown against
+// the off baseline (targets: profiling < 5%; a full journal adds only event
+// appends on top). It also checks the guarantee the instrumentation is built
+// around — identical results in every mode.
+#include <chrono>
+
 #include "bench_common.h"
+#include "obs/obs.h"
+
+namespace {
+
+double run_timed(const char* algo, const seafl::ExperimentParams& params,
+                 const seafl::bench::World& world, seafl::obs::TraceSink* sink,
+                 seafl::RunResult* out) {
+  const auto start = std::chrono::steady_clock::now();
+  *out = seafl::run_arm(algo, params, world.task, world.fleet, sink);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool same_outcome(const seafl::RunResult& a, const seafl::RunResult& b) {
+  return a.final_accuracy == b.final_accuracy && a.final_time == b.final_time &&
+         a.rounds == b.rounds && a.total_updates == b.total_updates &&
+         a.model_uploads == b.model_uploads &&
+         a.mean_staleness == b.mean_staleness;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace seafl;
@@ -34,5 +65,54 @@ int main(int argc, char** argv) {
                    fmt(r.final_accuracy, 4)});
   }
   emit(table, args, "ext_overhead.csv");
+
+  // --- observability overhead ----------------------------------------------
+  const int reps = static_cast<int>(args.get_int("obs-reps", 2));
+  RunResult warmup;
+  run_timed("seafl", params, world, nullptr, &warmup);  // page caches, JIT-ish
+
+  auto best_of = [&](obs::TraceJournal* journal, bool profile,
+                     RunResult* out) {
+    double best = -1.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      if (journal != nullptr) journal->clear();  // keep one run's events
+      double s;
+      if (profile) {
+        obs::ProfilingScope scope;
+        s = run_timed("seafl", params, world, journal, out);
+      } else {
+        s = run_timed("seafl", params, world, journal, out);
+      }
+      if (best < 0.0 || s < best) best = s;
+    }
+    return best;
+  };
+
+  RunResult off, metrics_on, full;
+  obs::TraceJournal journal;
+  const double t_off = best_of(nullptr, /*profile=*/false, &off);
+  const double t_metrics = best_of(nullptr, /*profile=*/true, &metrics_on);
+  const double t_full = best_of(&journal, /*profile=*/true, &full);
+
+  Table obs_table("Observability overhead (SEAFL arm, best of " +
+                  std::to_string(reps) + ")");
+  obs_table.set_header(
+      {"mode", "wall-seconds", "slowdown", "events", "identical-result"});
+  auto slowdown = [&](double t) {
+    return fmt(100.0 * (t - t_off) / t_off, 2) + "%";
+  };
+  obs_table.add_row({"obs off", fmt(t_off, 3), "baseline", "0", "ref"});
+  obs_table.add_row({"metrics on", fmt(t_metrics, 3), slowdown(t_metrics), "0",
+                     same_outcome(off, metrics_on) ? "yes" : "NO"});
+  obs_table.add_row({"full trace", fmt(t_full, 3), slowdown(t_full),
+                     std::to_string(journal.events().size()),
+                     same_outcome(off, full) ? "yes" : "NO"});
+  obs_table.print();
+
+  if (!same_outcome(off, metrics_on) || !same_outcome(off, full)) {
+    std::fprintf(stderr,
+                 "ERROR: observability changed simulation results\n");
+    return 1;
+  }
   return 0;
 }

@@ -1,4 +1,4 @@
-#include "exp/json.h"
+#include "common/json.h"
 
 #include <cctype>
 #include <cmath>
@@ -7,7 +7,7 @@
 
 #include "common/error.h"
 
-namespace seafl::exp {
+namespace seafl {
 
 namespace {
 
@@ -297,4 +297,4 @@ Json Json::parse(const std::string& text) {
   return Parser(text).parse_document();
 }
 
-}  // namespace seafl::exp
+}  // namespace seafl

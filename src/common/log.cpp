@@ -1,15 +1,19 @@
 #include "common/log.h"
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 
 namespace seafl {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_sink_mutex;
+
+StderrSink& default_sink() {
+  static StderrSink sink;
+  return sink;
+}
+
+std::atomic<LineSink*> g_sink{nullptr};  // nullptr = default stderr sink
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -26,15 +30,20 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
+void set_log_sink(LineSink* sink) { g_sink.store(sink); }
+
 namespace detail {
 void log_line(LogLevel level, const std::string& message) {
   using clock = std::chrono::steady_clock;
   static const clock::time_point start = clock::now();
   const double elapsed =
       std::chrono::duration<double>(clock::now() - start).count();
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[%9.3f] [%s] %s\n", elapsed, level_tag(level),
-               message.c_str());
+  char prefix[40];
+  std::snprintf(prefix, sizeof(prefix), "[%9.3f] [%s] ", elapsed,
+                level_tag(level));
+  LineSink* sink = g_sink.load();
+  if (sink == nullptr) sink = &default_sink();
+  sink->write_line(prefix + message);
 }
 }  // namespace detail
 

@@ -1,9 +1,16 @@
-// Minimal leveled logger. Single global sink (stderr), thread-safe, with a
-// runtime-adjustable level so benches can silence per-round chatter.
+// Minimal leveled logger. One process-wide sink (stderr by default, any
+// LineSink via set_log_sink — the same abstraction the obs trace writers
+// use), thread-safe, with a runtime-adjustable level so benches can silence
+// per-round chatter and a rate-limited macro so per-round debug logging
+// stays usable at 100-client scale.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
+
+#include "common/sink.h"
 
 namespace seafl {
 
@@ -15,8 +22,12 @@ void set_log_level(LogLevel level);
 /// Returns the current global minimum level.
 LogLevel log_level();
 
+/// Redirects log output to `sink` (not owned; must outlive the redirection).
+/// nullptr restores the default stderr sink.
+void set_log_sink(LineSink* sink);
+
 namespace detail {
-/// Emits one formatted line (timestamped, level-tagged) to stderr.
+/// Emits one formatted line (timestamped, level-tagged) to the current sink.
 void log_line(LogLevel level, const std::string& message);
 }  // namespace detail
 
@@ -36,3 +47,24 @@ void log_line(LogLevel level, const std::string& message);
 #define SEAFL_INFO(...) SEAFL_LOG_AT(::seafl::LogLevel::kInfo, __VA_ARGS__)
 #define SEAFL_WARN(...) SEAFL_LOG_AT(::seafl::LogLevel::kWarn, __VA_ARGS__)
 #define SEAFL_ERROR(...) SEAFL_LOG_AT(::seafl::LogLevel::kError, __VA_ARGS__)
+
+// Rate limiting: logs occurrences 1, n+1, 2n+1, ... of this call site (the
+// counter is per-site and counts even while the level filter drops the
+// line, so lowering the level later keeps the cadence).
+#define SEAFL_LOG_EVERY_N(n, level, ...)                                     \
+  do {                                                                       \
+    static_assert((n) >= 1, "SEAFL_LOG_EVERY_N needs n >= 1");               \
+    static std::atomic<std::uint64_t> seafl_log_occurrences_{0};             \
+    if (seafl_log_occurrences_.fetch_add(1, std::memory_order_relaxed) %     \
+            (n) ==                                                           \
+        0) {                                                                 \
+      SEAFL_LOG_AT(level, __VA_ARGS__);                                      \
+    }                                                                        \
+  } while (false)
+
+#define SEAFL_DEBUG_EVERY_N(n, ...) \
+  SEAFL_LOG_EVERY_N(n, ::seafl::LogLevel::kDebug, __VA_ARGS__)
+#define SEAFL_INFO_EVERY_N(n, ...) \
+  SEAFL_LOG_EVERY_N(n, ::seafl::LogLevel::kInfo, __VA_ARGS__)
+#define SEAFL_WARN_EVERY_N(n, ...) \
+  SEAFL_LOG_EVERY_N(n, ::seafl::LogLevel::kWarn, __VA_ARGS__)

@@ -1,0 +1,38 @@
+#include "common/sink.h"
+
+#include "common/error.h"
+
+namespace seafl {
+
+void StderrSink::write_line(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fputc('\n', stderr);
+}
+
+void StderrSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fflush(stderr);
+}
+
+FileSink::FileSink(const std::string& path)
+    : path_(path), file_(std::fopen(path.c_str(), "w")) {
+  SEAFL_CHECK(file_ != nullptr, "cannot open '" << path << "' for writing");
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileSink::write_line(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+}
+
+void FileSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fflush(file_);
+}
+
+}  // namespace seafl

@@ -1,0 +1,55 @@
+// Line-oriented output sinks shared by the logger and the observability
+// journal writers: one abstraction for "append a text line somewhere",
+// with stderr and buffered-file implementations. Sinks are thread-safe —
+// concurrent write_line calls never interleave within a line.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace seafl {
+
+/// Abstract destination for text lines (newline appended by the sink).
+class LineSink {
+ public:
+  virtual ~LineSink() = default;
+  /// Appends `line` plus a newline. Must be safe to call concurrently.
+  virtual void write_line(std::string_view line) = 0;
+  /// Pushes buffered output to the underlying medium.
+  virtual void flush() {}
+};
+
+/// Writes lines to stderr (the logger's default destination).
+class StderrSink final : public LineSink {
+ public:
+  void write_line(std::string_view line) override;
+  void flush() override;
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Buffered file sink. The file is created (truncated) on construction and
+/// flushed + closed on destruction; construction throws Error when the path
+/// cannot be opened.
+class FileSink final : public LineSink {
+ public:
+  explicit FileSink(const std::string& path);
+  ~FileSink() override;
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  void write_line(std::string_view line) override;
+  void flush() override;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_;
+  std::mutex mutex_;
+};
+
+}  // namespace seafl

@@ -157,7 +157,7 @@ std::vector<std::string> known_algorithms() {
 
 RunResult run_arm(const std::string& algorithm,
                   const ExperimentParams& params, const FlTask& task,
-                  const Fleet& fleet) {
+                  const Fleet& fleet, obs::TraceSink* trace) {
   Arm arm = make_arm(algorithm, params);
   const ModelFactory factory =
       make_model(task.default_model, task.input, task.num_classes);
@@ -170,6 +170,7 @@ RunResult run_arm(const std::string& algorithm,
                       mlp_work;
   Simulation sim(task, factory, fleet, std::move(arm.strategy), arm.config,
                  work);
+  sim.set_trace_sink(trace);
   return sim.run();
 }
 

@@ -62,8 +62,11 @@ Arm make_arm(const std::string& algorithm, const ExperimentParams& params);
 std::vector<std::string> known_algorithms();
 
 /// Convenience: build the arm and run it against a task/fleet, using the
-/// task's default model and relative per-sample work.
+/// task's default model and relative per-sample work. A non-null `trace`
+/// receives the run's lifecycle events (see Simulation::set_trace_sink);
+/// results are identical either way.
 RunResult run_arm(const std::string& algorithm, const ExperimentParams& params,
-                  const FlTask& task, const Fleet& fleet);
+                  const FlTask& task, const Fleet& fleet,
+                  obs::TraceSink* trace = nullptr);
 
 }  // namespace seafl

@@ -1,72 +1,14 @@
-// Minimal JSON value type with a parser and serializer — just enough for the
-// experiment result cache and sweep artifacts, with no external dependency.
-//
-// Numbers are stored as double and serialized with 17 significant digits, so
-// every finite double survives a dump/parse round trip bit-exactly (the
-// cache's byte-identical-results guarantee depends on this). Objects keep
-// their keys sorted, making dumps canonical.
+// Compatibility re-export: the JSON value type moved to common/json.h so
+// lower layers (seafl::obs) can use it. Experiment code keeps spelling
+// exp::Json.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <string>
-#include <variant>
-#include <vector>
+#include "common/json.h"
 
 namespace seafl::exp {
 
-class Json;
-using JsonArray = std::vector<Json>;
-using JsonObject = std::map<std::string, Json>;
-
-/// A JSON document node: null, bool, number, string, array or object.
-class Json {
- public:
-  Json() : value_(nullptr) {}
-  Json(std::nullptr_t) : value_(nullptr) {}
-  Json(bool b) : value_(b) {}
-  Json(double d) : value_(d) {}
-  Json(int i) : value_(static_cast<double>(i)) {}
-  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
-  Json(std::uint64_t u) : value_(static_cast<double>(u)) {}
-  Json(const char* s) : value_(std::string(s)) {}
-  Json(std::string s) : value_(std::move(s)) {}
-  Json(JsonArray a) : value_(std::move(a)) {}
-  Json(JsonObject o) : value_(std::move(o)) {}
-
-  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
-  bool is_bool() const { return std::holds_alternative<bool>(value_); }
-  bool is_number() const { return std::holds_alternative<double>(value_); }
-  bool is_string() const { return std::holds_alternative<std::string>(value_); }
-  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
-  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
-
-  /// Typed accessors; throw Error when the node holds a different type.
-  bool as_bool() const;
-  double as_double() const;
-  std::uint64_t as_u64() const;  ///< number, checked non-negative & integral
-  std::size_t as_size() const { return static_cast<std::size_t>(as_u64()); }
-  const std::string& as_string() const;
-  const JsonArray& as_array() const;
-  const JsonObject& as_object() const;
-
-  /// Object member access; throws when not an object or the key is absent.
-  const Json& at(const std::string& key) const;
-  /// True when this is an object containing `key`.
-  bool contains(const std::string& key) const;
-
-  /// Serializes compactly (no whitespace). Deterministic: object keys are
-  /// sorted, doubles printed with up to 17 significant digits.
-  std::string dump() const;
-
-  /// Parses a complete JSON document; throws Error with the byte offset on
-  /// malformed input or trailing garbage.
-  static Json parse(const std::string& text);
-
- private:
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
-               JsonObject>
-      value_;
-};
+using Json = seafl::Json;
+using JsonArray = seafl::JsonArray;
+using JsonObject = seafl::JsonObject;
 
 }  // namespace seafl::exp

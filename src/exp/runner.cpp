@@ -1,13 +1,20 @@
 #include "exp/runner.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace seafl::exp {
 
@@ -33,12 +40,30 @@ std::string world_key(const ArmSpec& spec) {
 
 /// Executes one arm against its built world. The target-accuracy sentinel
 /// (< 0) resolves to the task's default here, after the dataset exists.
-RunResult execute(const ArmSpec& spec, const BuiltWorld& world) {
+RunResult execute(const ArmSpec& spec, const BuiltWorld& world,
+                  obs::TraceSink* trace) {
   ExperimentParams params = spec.params;
   if (params.target_accuracy < 0.0) {
     params.target_accuracy = world.task.target_accuracy;
   }
-  return run_arm(spec.algorithm, params, world.task, world.fleet);
+  return run_arm(spec.algorithm, params, world.task, world.fleet, trace);
+}
+
+void write_text_file(const std::string& path, const std::string& payload) {
+  std::ofstream out(path, std::ios::trunc);
+  SEAFL_CHECK(out.good(), "runner: cannot write " << path);
+  out << payload << "\n";
+}
+
+/// Per-arm timing summary written next to the cached result.
+Json metrics_json(const ArmSpec& spec, const std::string& hash,
+                  double wall_seconds, const obs::Snapshot& delta) {
+  JsonObject doc;
+  doc.emplace("label", Json(spec.label));
+  doc.emplace("hash", Json(hash));
+  doc.emplace("wall_seconds", Json(wall_seconds));
+  doc.emplace("metrics", delta.to_json());
+  return Json(std::move(doc));
 }
 
 }  // namespace
@@ -67,7 +92,9 @@ std::vector<ArmResult> Runner::run(const std::vector<ArmSpec>& arms) {
       continue;
     }
     first_of.emplace(results[i].hash, i);
-    if (options_.use_cache && !options_.refresh) {
+    // A trace request forces execution: a cached result has no journal.
+    const bool must_execute = !options_.trace_dir.empty();
+    if (options_.use_cache && !options_.refresh && !must_execute) {
       if (auto cached = cache_.load(results[i].hash, canonicals[i])) {
         results[i].result = std::move(*cached);
         results[i].from_cache = true;
@@ -93,6 +120,17 @@ std::vector<ArmResult> Runner::run(const std::vector<ArmSpec>& arms) {
   // indices from a shared counter; each result lands at its own index, so
   // completion order never affects the output.
   const std::size_t total = pending.size();
+  const bool tracing = !options_.trace_dir.empty();
+  if (tracing && total > 0) {
+    std::filesystem::create_directories(options_.trace_dir);
+  }
+  // Profiling stays on for the whole run() so worker threads started at any
+  // point record; per-arm attribution comes from snapshot deltas below.
+  std::optional<obs::ProfilingScope> profiling;
+  if (options_.metrics) {
+    profiling.emplace();
+    if (total > 0) std::filesystem::create_directories(cache_.dir());
+  }
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex progress_mutex;
@@ -107,11 +145,42 @@ std::vector<ArmResult> Runner::run(const std::vector<ArmSpec>& arms) {
         std::fflush(stderr);
       }
       const BuiltWorld& world = *worlds.at(world_key(arms[i]));
+      obs::TraceJournal journal;
+      obs::TraceSink* sink = tracing ? &journal : nullptr;
+      // With serial kernels everything the arm does happens on this thread,
+      // so the per-thread delta is exact. With jobs == 1 arms run one at a
+      // time and kernels may fan out to the pool; the global delta is then
+      // the right attribution.
+      obs::Snapshot before;
+      const auto wall_start = std::chrono::steady_clock::now();
+      if (options_.metrics) {
+        before = serial_kernels ? obs::Registry::global().thread_snapshot()
+                                : obs::Registry::global().snapshot();
+      }
       if (serial_kernels) {
         SerialKernelScope scope;
-        results[i].result = execute(arms[i], world);
+        results[i].result = execute(arms[i], world, sink);
       } else {
-        results[i].result = execute(arms[i], world);
+        results[i].result = execute(arms[i], world, sink);
+      }
+      if (options_.metrics) {
+        const obs::Snapshot after =
+            serial_kernels ? obs::Registry::global().thread_snapshot()
+                           : obs::Registry::global().snapshot();
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          wall_start)
+                .count();
+        write_text_file(
+            cache_.dir() + "/" + results[i].hash + ".metrics.json",
+            metrics_json(arms[i], results[i].hash, wall,
+                         obs::Snapshot::delta(before, after))
+                .dump());
+      }
+      if (tracing) {
+        const std::string base = options_.trace_dir + "/" + results[i].hash;
+        journal.write_chrome_trace(base + ".trace.json", arms[i].label);
+        journal.write_jsonl(base + ".jsonl");
       }
       if (options_.use_cache) {
         cache_.store(results[i].hash, canonicals[i], results[i].result);

@@ -38,6 +38,21 @@ struct RunnerOptions {
 
   /// Live "\r[done/total] label" line on stderr while simulating.
   bool progress = true;
+
+  /// When non-empty, each executed arm also writes its trace journal here:
+  /// <hash>.trace.json (Chrome trace-event format, Perfetto-loadable) and
+  /// <hash>.jsonl (one event per line). Forces execution — cache reads are
+  /// skipped so the traces exist — but results are still stored, and tracing
+  /// never changes them (see Simulation::set_trace_sink).
+  std::string trace_dir;
+
+  /// Enables kernel/phase profiling for the duration of run() and writes a
+  /// per-arm timing summary next to the cached result, at
+  /// <cache_dir>/<hash>.metrics.json (wall seconds plus the arm's
+  /// counter/histogram deltas: gemm, im2col, conv, client train, aggregate,
+  /// evaluate). Attribution is exact at any `jobs` value: concurrent arms
+  /// run with serial kernels, so a per-thread snapshot delta isolates each.
+  bool metrics = false;
 };
 
 /// One arm's outcome.

@@ -1,5 +1,7 @@
 #include "fl/client.h"
 
+#include "obs/profile.h"
+
 namespace seafl {
 
 ClientTrainer::ClientTrainer(const FlTask& task, const ModelFactory& factory,
@@ -15,6 +17,7 @@ ClientTrainResult ClientTrainer::train(std::size_t client,
                                        std::size_t epochs,
                                        std::uint64_t round,
                                        std::size_t frozen_layers) {
+  SEAFL_PROF_SCOPE("fl.client_train");
   SEAFL_CHECK(client < task_->partition.size(),
               "client " << client << " out of range");
   SEAFL_CHECK(base.size() == num_params_,

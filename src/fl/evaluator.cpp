@@ -1,6 +1,7 @@
 #include "fl/evaluator.h"
 
 #include "common/rng.h"
+#include "obs/profile.h"
 
 namespace seafl {
 
@@ -22,6 +23,7 @@ Evaluator::Evaluator(const FlTask& task, const ModelFactory& factory,
 }
 
 EvalResult Evaluator::evaluate(const ModelVector& weights) {
+  SEAFL_PROF_SCOPE("fl.evaluate");
   model_->set_parameters(weights);
   double total_loss = 0.0;
   std::size_t correct = 0;

@@ -4,8 +4,24 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "obs/profile.h"
 
 namespace seafl {
+
+namespace {
+
+/// Builds the common fields of a trace event (virtual timestamp comes from
+/// the caller so events can be stamped with past epoch-end times).
+obs::TraceEvent trace_event(obs::TraceEventKind kind, double time,
+                            std::uint64_t round) {
+  obs::TraceEvent e;
+  e.kind = kind;
+  e.time = time;
+  e.round = round;
+  return e;
+}
+
+}  // namespace
 
 Simulation::Simulation(const FlTask& task, const ModelFactory& factory,
                        const Fleet& fleet, StrategyPtr strategy,
@@ -171,6 +187,14 @@ void Simulation::start_training(std::size_t client) {
           : queue_.schedule_at(arrival, [this, client, epochs] {
               on_arrival(client, epochs);
             });
+  if (trace_ != nullptr) {
+    obs::TraceEvent e = trace_event(obs::TraceEventKind::kAssigned,
+                                    queue_.now(), state.base_round);
+    e.client = client;
+    e.base_round = state.base_round;
+    e.epochs = state.planned_epochs;
+    trace_->record(e);
+  }
   in_flight_.emplace(client, std::move(state));
   ++result_.model_downloads;
 }
@@ -199,6 +223,25 @@ void Simulation::on_arrival(std::size_t client, std::size_t epochs) {
   update.train_loss = trained.mean_loss;
   if (epochs < config_.local_epochs) ++result_.partial_updates;
   ++result_.model_uploads;
+  if (trace_ != nullptr) {
+    // Epoch completions were computed at assignment; journal them now with
+    // their (past) virtual end times, then the upload itself.
+    for (std::size_t e = 0; e < epochs && e < state.epoch_ends.size(); ++e) {
+      obs::TraceEvent ev = trace_event(obs::TraceEventKind::kEpochDone,
+                                       state.epoch_ends[e], state.base_round);
+      ev.client = client;
+      ev.base_round = state.base_round;
+      ev.epochs = e + 1;
+      trace_->record(ev);
+    }
+    obs::TraceEvent ev =
+        trace_event(obs::TraceEventKind::kUpload, queue_.now(), round_);
+    ev.client = client;
+    ev.base_round = state.base_round;
+    ev.epochs = epochs;
+    ev.value = static_cast<double>(staleness_of(state.base_round));
+    trace_->record(ev);
+  }
   buffer_.push_back(std::move(update));
 
   maybe_aggregate();
@@ -208,6 +251,13 @@ void Simulation::on_upload_lost(std::size_t client) {
   if (done_) return;
   const auto it = in_flight_.find(client);
   SEAFL_CHECK(it != in_flight_.end(), "lost upload from unknown client");
+  if (trace_ != nullptr) {
+    obs::TraceEvent e =
+        trace_event(obs::TraceEventKind::kUploadLost, queue_.now(), round_);
+    e.client = client;
+    e.base_round = it->second.base_round;
+    trace_->record(e);
+  }
   in_flight_.erase(it);
   ++result_.lost_uploads;
   if (config_.mode == FlMode::kSync) {
@@ -275,6 +325,12 @@ void Simulation::check_stale_clients() {
     if (staleness_of(state.base_round) >= config_.staleness_limit) {
       state.notified = true;
       ++result_.notifications;
+      if (trace_ != nullptr) {
+        obs::TraceEvent e = trace_event(obs::TraceEventKind::kNotified,
+                                        queue_.now(), round_);
+        e.client = client;
+        trace_->record(e);
+      }
       const double latency =
           fleet_->latency_seconds(client, round_, /*leg=*/2);
       const std::size_t c = client;
@@ -341,7 +397,10 @@ void Simulation::do_aggregate() {
   stat.mean_staleness /= static_cast<double>(buffer_.size());
   result_.total_updates += buffer_.size();
 
-  strategy_->aggregate(ctx, buffer_, global_);
+  {
+    SEAFL_PROF_SCOPE("fl.aggregate");
+    strategy_->aggregate(ctx, buffer_, global_);
+  }
   ++result_.aggregations;
   result_.server_aggregation_work +=
       static_cast<double>(buffer_.size()) *
@@ -356,6 +415,13 @@ void Simulation::do_aggregate() {
   ++round_;
   stat.round = round_;
   result_.round_log.push_back(stat);
+  if (trace_ != nullptr) {
+    obs::TraceEvent e =
+        trace_event(obs::TraceEventKind::kAggregate, queue_.now(), round_);
+    e.updates = stat.updates;
+    e.value = stat.mean_staleness;
+    trace_->record(e);
+  }
   evaluate_and_record();
   if (done_) return;
 
@@ -394,6 +460,12 @@ void Simulation::evaluate_and_record() {
   point.loss = eval.loss;
   result_.curve.push_back(point);
   result_.final_accuracy = eval.accuracy;
+  if (trace_ != nullptr) {
+    obs::TraceEvent e =
+        trace_event(obs::TraceEventKind::kEval, queue_.now(), round_);
+    e.value = eval.accuracy;
+    trace_->record(e);
+  }
 
   if (result_.time_to_target < 0.0 &&
       eval.accuracy >= config_.target_accuracy) {

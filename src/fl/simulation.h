@@ -32,6 +32,7 @@
 #include "fl/compression.h"
 #include "fl/evaluator.h"
 #include "fl/strategy.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/fleet.h"
 
@@ -54,6 +55,12 @@ class Simulation {
 
   /// Executes the session to a stop condition and returns its metrics.
   RunResult run();
+
+  /// Attaches an observer for client-lifecycle events (assigned, epoch_done,
+  /// notified, upload, upload_lost, aggregate, eval) on the virtual clock.
+  /// Not owned; null (the default) disables tracing. Observation only — the
+  /// run's RunResult is bitwise identical with or without a sink.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
   /// The strategy's display name (for tables).
   std::string strategy_name() const { return strategy_->name(); }
@@ -96,6 +103,7 @@ class Simulation {
   ClientTrainer trainer_;
   Evaluator evaluator_;
   EventQueue queue_;
+  obs::TraceSink* trace_ = nullptr;
 
   // --- run state ------------------------------------------------------------
   ModelVector initial_weights_;

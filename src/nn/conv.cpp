@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/profile.h"
 #include "tensor/gemm.h"
 
 namespace seafl {
@@ -31,6 +32,7 @@ void Conv2d::init(Rng& rng) {
 }
 
 void Conv2d::forward(const Tensor& input, Tensor& output, bool train) {
+  SEAFL_PROF_SCOPE("nn.conv_fwd");
   const std::size_t sample = geom_.channels * geom_.height * geom_.width;
   SEAFL_CHECK(input.numel() % sample == 0,
               name() << ": input numel " << input.numel()
@@ -59,6 +61,7 @@ void Conv2d::forward(const Tensor& input, Tensor& output, bool train) {
 }
 
 void Conv2d::backward(const Tensor& output_grad, Tensor& input_grad) {
+  SEAFL_PROF_SCOPE("nn.conv_bwd");
   const std::size_t sample = geom_.channels * geom_.height * geom_.width;
   const std::size_t batch = cached_input_.numel() / sample;
   const std::size_t oh = geom_.out_h();

@@ -1,0 +1,283 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace seafl::obs {
+
+namespace {
+
+// Per-kind id allocators. Ids are process-global (never reused), so metrics
+// from distinct Registry instances can share the thread-local tables below.
+std::atomic<std::size_t> g_next_counter_id{0};
+std::atomic<std::size_t> g_next_histogram_id{0};
+
+// The calling thread's cell-pointer table for one cell kind, indexed by
+// metric id. Entries are filled lazily on a metric's first touch from the
+// thread.
+template <typename Cell>
+std::vector<Cell*>& tls_table() {
+  thread_local std::vector<Cell*> table;
+  return table;
+}
+
+template <typename Cell>
+Cell* tls_lookup(std::size_t id) {
+  auto& table = tls_table<Cell>();
+  return id < table.size() ? table[id] : nullptr;
+}
+
+template <typename Cell>
+void tls_store(std::size_t id, Cell* cell) {
+  auto& table = tls_table<Cell>();
+  if (table.size() <= id) table.resize(id + 1, nullptr);
+  table[id] = cell;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- HistogramData
+
+std::uint64_t HistogramData::total_count() const {
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  return total;
+}
+
+double HistogramData::mean() const {
+  const std::uint64_t n = total_count();
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+// ----------------------------------------------------------------- Counter
+
+Counter::Counter(std::string name)
+    : name_(std::move(name)), id_(g_next_counter_id.fetch_add(1)) {}
+
+detail::CounterCell& Counter::cell() {
+  if (auto* cached = tls_lookup<detail::CounterCell>(id_)) return *cached;
+  std::lock_guard<std::mutex> lock(mutex_);
+  detail::CounterCell& fresh = cells_.emplace_back();
+  tls_store(id_, &fresh);
+  return fresh;
+}
+
+std::uint64_t Counter::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Counter::thread_total() const {
+  const auto* cached = tls_lookup<detail::CounterCell>(id_);
+  return cached ? cached->value.load(std::memory_order_relaxed) : 0;
+}
+
+void Counter::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& c : cells_) c.value.store(0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)),
+      id_(g_next_histogram_id.fetch_add(1)),
+      bounds_(std::move(bounds)) {
+  SEAFL_CHECK(!bounds_.empty(), "histogram '" << name_ << "' needs buckets");
+  SEAFL_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                  std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                      bounds_.end(),
+              "histogram '" << name_
+                            << "' bounds must be strictly increasing");
+}
+
+detail::HistogramCell& Histogram::cell() {
+  if (auto* cached = tls_lookup<detail::HistogramCell>(id_)) return *cached;
+  std::lock_guard<std::mutex> lock(mutex_);
+  detail::HistogramCell& fresh = cells_.emplace_back(bounds_.size() + 1);
+  tls_store(id_, &fresh);
+  return fresh;
+}
+
+void Histogram::observe(double v) {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  detail::HistogramCell& c = cell();
+  c.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  c.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramData Histogram::snapshot() const {
+  HistogramData data;
+  data.bounds = bounds_;
+  data.counts.assign(bounds_.size() + 1, 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& c : cells_) {
+    for (std::size_t i = 0; i < data.counts.size(); ++i)
+      data.counts[i] += c.counts[i].load(std::memory_order_relaxed);
+    data.sum += c.sum.load(std::memory_order_relaxed);
+  }
+  return data;
+}
+
+HistogramData Histogram::thread_snapshot() const {
+  HistogramData data;
+  data.bounds = bounds_;
+  data.counts.assign(bounds_.size() + 1, 0);
+  if (const auto* c = tls_lookup<detail::HistogramCell>(id_)) {
+    for (std::size_t i = 0; i < data.counts.size(); ++i)
+      data.counts[i] = c->counts[i].load(std::memory_order_relaxed);
+    data.sum = c->sum.load(std::memory_order_relaxed);
+  }
+  return data;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& c : cells_) {
+    for (auto& count : c.counts) count.store(0, std::memory_order_relaxed);
+    c.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------- Snapshot
+
+Snapshot Snapshot::delta(const Snapshot& before, const Snapshot& after) {
+  Snapshot d;
+  for (const auto& [name, value] : after.counters) {
+    const auto it = before.counters.find(name);
+    d.counters[name] = value - (it == before.counters.end() ? 0 : it->second);
+  }
+  d.gauges = after.gauges;
+  for (const auto& [name, data] : after.histograms) {
+    HistogramData diff = data;
+    if (const auto it = before.histograms.find(name);
+        it != before.histograms.end()) {
+      const HistogramData& prev = it->second;
+      for (std::size_t i = 0;
+           i < diff.counts.size() && i < prev.counts.size(); ++i)
+        diff.counts[i] -= prev.counts[i];
+      diff.sum -= prev.sum;
+    }
+    d.histograms.emplace(name, std::move(diff));
+  }
+  return d;
+}
+
+Json Snapshot::to_json() const {
+  JsonObject counter_obj;
+  for (const auto& [name, value] : counters)
+    counter_obj.emplace(name, Json(value));
+  JsonObject gauge_obj;
+  for (const auto& [name, value] : gauges) gauge_obj.emplace(name, Json(value));
+  JsonObject histo_obj;
+  for (const auto& [name, data] : histograms) {
+    JsonArray bounds;
+    for (const double b : data.bounds) bounds.push_back(Json(b));
+    JsonArray counts;
+    for (const auto c : data.counts) counts.push_back(Json(c));
+    JsonObject entry;
+    entry.emplace("bounds", Json(std::move(bounds)));
+    entry.emplace("counts", Json(std::move(counts)));
+    entry.emplace("sum", Json(data.sum));
+    entry.emplace("count", Json(data.total_count()));
+    entry.emplace("mean", Json(data.mean()));
+    histo_obj.emplace(name, Json(std::move(entry)));
+  }
+  JsonObject root;
+  root.emplace("counters", Json(std::move(counter_obj)));
+  root.emplace("gauges", Json(std::move(gauge_obj)));
+  root.emplace("histograms", Json(std::move(histo_obj)));
+  return Json(std::move(root));
+}
+
+// ---------------------------------------------------------------- Registry
+
+std::vector<double> default_time_buckets() {
+  // 1 µs doubling up to ~134 s: covers a single small GEMM through a full
+  // client training session.
+  std::vector<double> bounds;
+  bounds.reserve(28);
+  double b = 1e-6;
+  for (int i = 0; i < 28; ++i, b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: worker threads may record metrics during static
+  // destruction; a never-destroyed registry keeps their cached cell
+  // pointers valid for the life of the process.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::unique_ptr<Counter>(new Counter(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name))).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = default_time_buckets();
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(name, std::move(bounds))))
+             .first;
+  } else {
+    SEAFL_CHECK(bounds.empty() || bounds == it->second->bounds(),
+                "histogram '" << name
+                              << "' re-registered with different buckets");
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->total();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_)
+    snap.histograms[name] = h->snapshot();
+  return snap;
+}
+
+Snapshot Registry::thread_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_)
+    snap.counters[name] = c->thread_total();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_)
+    snap.histograms[name] = h->thread_snapshot();
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace seafl::obs

@@ -1,0 +1,176 @@
+// Thread-safe metrics registry: counters, gauges and fixed-bucket
+// histograms, designed so the hot path is one relaxed atomic bump on a
+// cache-line-private per-thread slot.
+//
+// Sharding model: every Counter/Histogram owns a set of cells, one per
+// thread that has ever touched it (allocated lazily, stable addresses,
+// never freed — the registry outlives all threads by design). A thread
+// finds its cell through a thread-local table indexed by the metric's
+// per-kind id, so after first touch an increment costs one bounds check,
+// one pointer load and one relaxed fetch_add — no locks, no false sharing.
+// snapshot() merges the cells; thread_snapshot() reads only the calling
+// thread's cells, which gives exact per-run attribution when the run's
+// kernels stay on one thread (the exp::Runner's SerialKernelScope mode).
+//
+// Gauges are single atomics (set/add of a current value has no useful
+// sharded merge and gauges are never on hot paths).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace seafl::obs {
+
+namespace detail {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+struct alignas(kCacheLine) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// One thread's histogram row: per-bucket counts plus the value sum.
+struct HistogramCell {
+  explicit HistogramCell(std::size_t buckets) : counts(buckets) {}
+  std::vector<std::atomic<std::uint64_t>> counts;
+  std::atomic<double> sum{0.0};
+};
+
+}  // namespace detail
+
+/// Merged (or single-thread) view of one histogram.
+struct HistogramData {
+  std::vector<double> bounds;          ///< upper bucket bounds, ascending
+  std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 (last = overflow)
+  double sum = 0.0;                    ///< sum of observed values
+
+  std::uint64_t total_count() const;
+  double mean() const;  ///< 0 when empty
+};
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    cell().value.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Sum over every thread's cell.
+  std::uint64_t total() const;
+  /// The calling thread's cell only (0 if this thread never incremented).
+  std::uint64_t thread_total() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name);
+  detail::CounterCell& cell();
+  void reset();
+
+  std::string name_;
+  std::size_t id_;
+  mutable std::mutex mutex_;                // guards cells_ growth
+  std::deque<detail::CounterCell> cells_;   // stable addresses
+};
+
+/// Last-written current value (not sharded; see file comment).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void reset() { value_.store(0.0); }
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts values v with
+/// bounds[i-1] < v <= bounds[i]; the last bucket is the +inf overflow.
+class Histogram {
+ public:
+  void observe(double v);
+  HistogramData snapshot() const;         ///< merged over all threads
+  HistogramData thread_snapshot() const;  ///< calling thread only
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, std::vector<double> bounds);
+  detail::HistogramCell& cell();
+  void reset();
+
+  std::string name_;
+  std::size_t id_;
+  std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::deque<detail::HistogramCell> cells_;
+};
+
+/// Point-in-time copy of a registry's metrics, mergeable and serializable.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// after - before, per metric (metrics absent from `before` count as 0;
+  /// gauges take the `after` value).
+  static Snapshot delta(const Snapshot& before, const Snapshot& after);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  ///  {"bounds": [...], "counts": [...], "sum": s, "count": n, "mean": m}}}
+  Json to_json() const;
+};
+
+/// Exponential seconds buckets (1 µs .. ~134 s) used by the profiling
+/// timers' latency histograms.
+std::vector<double> default_time_buckets();
+
+/// Named-metric registry. Registration is mutex-guarded and returns stable
+/// references; callers cache them (the SEAFL_PROF_SCOPE macro does this via
+/// a function-local static) so steady-state updates never take the lock.
+class Registry {
+ public:
+  /// The process-wide registry every built-in probe records into.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates the named metric. histogram() with empty `bounds`
+  /// uses default_time_buckets(); re-registering an existing histogram with
+  /// different non-empty bounds throws.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  Snapshot snapshot() const;
+  Snapshot thread_snapshot() const;
+
+  /// Zeroes every metric (cells are kept). Callers must ensure no
+  /// concurrent updates are in flight (test/bench harness use only).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace seafl::obs

@@ -1,0 +1,9 @@
+// Umbrella header for the observability subsystem (DESIGN.md §9):
+//  * metrics.h — thread-sharded counters / gauges / histograms + Registry
+//  * profile.h — SEAFL_PROF_SCOPE wall-clock probes over the registry
+//  * trace.h   — per-run virtual-time trace journals (JSONL + Chrome trace)
+#pragma once
+
+#include "obs/metrics.h"   // IWYU pragma: export
+#include "obs/profile.h"   // IWYU pragma: export
+#include "obs/trace.h"     // IWYU pragma: export

@@ -1,0 +1,33 @@
+#include "obs/profile.h"
+
+#include <map>
+#include <string>
+
+namespace seafl::obs {
+
+namespace detail {
+std::atomic<bool> g_profiling_enabled{false};
+}  // namespace detail
+
+void set_profiling_enabled(bool on) {
+  detail::g_profiling_enabled.store(on, std::memory_order_relaxed);
+}
+
+ProfSite& ProfSite::get(const char* name) {
+  // Leaked like the global registry: call sites hold references forever.
+  static std::mutex* mutex = new std::mutex();
+  static std::map<std::string, ProfSite*>* sites =
+      new std::map<std::string, ProfSite*>();
+  std::lock_guard<std::mutex> lock(*mutex);
+  auto it = sites->find(name);
+  if (it == sites->end()) {
+    Registry& registry = Registry::global();
+    auto* site = new ProfSite(registry.counter(std::string(name) + ".calls"),
+                              registry.histogram(std::string(name) +
+                                                 ".seconds"));
+    it = sites->emplace(name, site).first;
+  }
+  return *it->second;
+}
+
+}  // namespace seafl::obs

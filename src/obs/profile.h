@@ -1,0 +1,102 @@
+// Scoped wall-clock profiling probes for hot kernels and FL phases.
+//
+//   void gemm(...) {
+//     SEAFL_PROF_SCOPE("tensor.gemm");
+//     ...
+//   }
+//
+// registers (once, lazily) a "<name>.calls" counter and a "<name>.seconds"
+// latency histogram in the global obs::Registry, and on every pass through
+// the scope — while profiling is enabled — records one call and the scope's
+// elapsed wall time. Profiling is off by default; the disabled path costs
+// one relaxed atomic load (plus a one-time static-init guard per call
+// site), so instrumenting a kernel is free for normal runs. Virtual
+// (simulated) time is never involved here — these are real seconds; the
+// trace journal (obs/trace.h) covers the virtual timeline.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace seafl::obs {
+
+namespace detail {
+extern std::atomic<bool> g_profiling_enabled;
+}  // namespace detail
+
+/// Globally enables/disables all SEAFL_PROF_SCOPE probes.
+void set_profiling_enabled(bool on);
+inline bool profiling_enabled() {
+  return detail::g_profiling_enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII guard: enables profiling for a scope, restoring the previous state.
+class ProfilingScope {
+ public:
+  explicit ProfilingScope(bool on = true) : prev_(profiling_enabled()) {
+    set_profiling_enabled(on);
+  }
+  ~ProfilingScope() { set_profiling_enabled(prev_); }
+  ProfilingScope(const ProfilingScope&) = delete;
+  ProfilingScope& operator=(const ProfilingScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// One instrumented code location: its call counter + seconds histogram,
+/// interned by name so every call site with the same name shares metrics.
+class ProfSite {
+ public:
+  /// Finds or creates the site (thread-safe; call sites cache the result).
+  static ProfSite& get(const char* name);
+
+  void record(double seconds) {
+    calls_->add();
+    seconds_->observe(seconds);
+  }
+
+ private:
+  ProfSite(Counter& calls, Histogram& seconds)
+      : calls_(&calls), seconds_(&seconds) {}
+  Counter* calls_;
+  Histogram* seconds_;
+};
+
+/// Times a scope and records it into a ProfSite — a no-op (no clock reads)
+/// while profiling is disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(ProfSite& site)
+      : site_(profiling_enabled() ? &site : nullptr) {
+    if (site_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (site_ != nullptr) {
+      site_->record(std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  ProfSite* site_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace seafl::obs
+
+#define SEAFL_PROF_CONCAT_IMPL(a, b) a##b
+#define SEAFL_PROF_CONCAT(a, b) SEAFL_PROF_CONCAT_IMPL(a, b)
+
+/// Profiles the enclosing scope under `name` (a string literal).
+#define SEAFL_PROF_SCOPE(name)                                               \
+  static ::seafl::obs::ProfSite& SEAFL_PROF_CONCAT(seafl_prof_site_,         \
+                                                   __LINE__) =               \
+      ::seafl::obs::ProfSite::get(name);                                     \
+  ::seafl::obs::ScopedTimer SEAFL_PROF_CONCAT(seafl_prof_timer_, __LINE__)(  \
+      SEAFL_PROF_CONCAT(seafl_prof_site_, __LINE__))

@@ -1,0 +1,194 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/sink.h"
+
+namespace seafl::obs {
+
+namespace {
+
+constexpr double kMicrosPerVirtualSecond = 1e6;
+
+Json make_meta(const char* what, int pid, std::size_t tid,
+               const std::string& value) {
+  JsonObject args;
+  args.emplace("name", Json(value));
+  JsonObject e;
+  e.emplace("ph", Json("M"));
+  e.emplace("name", Json(what));
+  e.emplace("pid", Json(pid));
+  e.emplace("tid", Json(tid));
+  e.emplace("args", Json(std::move(args)));
+  return Json(std::move(e));
+}
+
+JsonObject make_event(const char* ph, const std::string& name, int pid,
+                      std::size_t tid, double time) {
+  JsonObject e;
+  e.emplace("ph", Json(ph));
+  e.emplace("name", Json(name));
+  e.emplace("pid", Json(pid));
+  e.emplace("tid", Json(tid));
+  e.emplace("ts", Json(time * kMicrosPerVirtualSecond));
+  return e;
+}
+
+}  // namespace
+
+const char* trace_event_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kAssigned: return "assigned";
+    case TraceEventKind::kEpochDone: return "epoch_done";
+    case TraceEventKind::kNotified: return "notified";
+    case TraceEventKind::kUpload: return "upload";
+    case TraceEventKind::kUploadLost: return "upload_lost";
+    case TraceEventKind::kAggregate: return "aggregate";
+    case TraceEventKind::kEval: return "eval";
+  }
+  return "unknown";
+}
+
+Json TraceJournal::event_json(const TraceEvent& event) {
+  JsonObject o;
+  o.emplace("event", Json(trace_event_name(event.kind)));
+  o.emplace("time", Json(event.time));
+  // Server events serialize client as null so every line shares one schema.
+  o.emplace("client", event.client == kServerTrack
+                          ? Json(nullptr)
+                          : Json(static_cast<std::uint64_t>(event.client)));
+  o.emplace("round", Json(event.round));
+  o.emplace("base_round", Json(event.base_round));
+  o.emplace("epochs", Json(static_cast<std::uint64_t>(event.epochs)));
+  o.emplace("updates", Json(static_cast<std::uint64_t>(event.updates)));
+  o.emplace("value", Json(event.value));
+  return Json(std::move(o));
+}
+
+void TraceJournal::write_jsonl(const std::string& path) const {
+  FileSink sink(path);
+  for (const TraceEvent& event : events_)
+    sink.write_line(event_json(event).dump());
+  sink.flush();
+}
+
+Json TraceJournal::chrome_trace(const std::string& run_label) const {
+  JsonArray out;
+
+  // Track metadata: pid 0 hosts one thread per client, pid 1 the server.
+  std::set<std::size_t> clients;
+  for (const TraceEvent& e : events_)
+    if (e.client != kServerTrack) clients.insert(e.client);
+  out.push_back(make_meta("process_name", 0, 0, "clients — " + run_label));
+  out.push_back(make_meta("process_name", 1, 0, "server — " + run_label));
+  out.push_back(make_meta("thread_name", 1, 0, "server"));
+  for (const std::size_t c : clients)
+    out.push_back(make_meta("thread_name", 0, c,
+                            "client " + std::to_string(c)));
+
+  // Training sessions become B/E slices per client track. The journal is in
+  // emission order, so each client's assigned event precedes its matching
+  // upload; remember the open slice's name to close it by name.
+  std::unordered_map<std::size_t, std::string> open_slice;
+  for (const TraceEvent& e : events_) {
+    switch (e.kind) {
+      case TraceEventKind::kAssigned: {
+        const std::string name = "train r" + std::to_string(e.round);
+        JsonObject b = make_event("B", name, 0, e.client, e.time);
+        JsonObject args;
+        args.emplace("base_round", Json(e.round));
+        args.emplace("planned_epochs",
+                     Json(static_cast<std::uint64_t>(e.epochs)));
+        b.emplace("args", Json(std::move(args)));
+        b.emplace("cat", Json("train"));
+        out.push_back(Json(std::move(b)));
+        open_slice[e.client] = name;
+        break;
+      }
+      case TraceEventKind::kUpload:
+      case TraceEventKind::kUploadLost: {
+        const auto it = open_slice.find(e.client);
+        const std::string name =
+            it != open_slice.end() ? it->second : std::string("train");
+        JsonObject end = make_event("E", name, 0, e.client, e.time);
+        JsonObject args;
+        args.emplace("epochs", Json(static_cast<std::uint64_t>(e.epochs)));
+        args.emplace("staleness", Json(e.value));
+        args.emplace("lost", Json(e.kind == TraceEventKind::kUploadLost));
+        end.emplace("args", Json(std::move(args)));
+        end.emplace("cat", Json("train"));
+        out.push_back(Json(std::move(end)));
+        if (it != open_slice.end()) open_slice.erase(it);
+        break;
+      }
+      case TraceEventKind::kEpochDone: {
+        JsonObject i = make_event(
+            "i", "epoch " + std::to_string(e.epochs), 0, e.client, e.time);
+        i.emplace("s", Json("t"));
+        out.push_back(Json(std::move(i)));
+        break;
+      }
+      case TraceEventKind::kNotified: {
+        JsonObject i = make_event("i", "notify", 0, e.client, e.time);
+        i.emplace("s", Json("t"));
+        out.push_back(Json(std::move(i)));
+        break;
+      }
+      case TraceEventKind::kAggregate: {
+        JsonObject i = make_event(
+            "i", "aggregate r" + std::to_string(e.round), 1, 0, e.time);
+        i.emplace("s", Json("t"));
+        JsonObject args;
+        args.emplace("updates", Json(static_cast<std::uint64_t>(e.updates)));
+        args.emplace("mean_staleness", Json(e.value));
+        i.emplace("args", Json(std::move(args)));
+        out.push_back(Json(std::move(i)));
+        break;
+      }
+      case TraceEventKind::kEval: {
+        JsonObject c = make_event("C", "accuracy", 1, 0, e.time);
+        JsonObject args;
+        args.emplace("accuracy", Json(e.value));
+        c.emplace("args", Json(std::move(args)));
+        out.push_back(Json(std::move(c)));
+        break;
+      }
+    }
+  }
+
+  // Clients still in flight when the run stopped leave open slices; close
+  // them at the journal's horizon so every exported B has a matching E.
+  if (!open_slice.empty()) {
+    double horizon = 0.0;
+    for (const TraceEvent& e : events_) horizon = std::max(horizon, e.time);
+    // Ordered for a deterministic document.
+    std::map<std::size_t, std::string> leftover(open_slice.begin(),
+                                                open_slice.end());
+    for (const auto& [client, name] : leftover) {
+      JsonObject end = make_event("E", name, 0, client, horizon);
+      JsonObject args;
+      args.emplace("unfinished", Json(true));
+      end.emplace("args", Json(std::move(args)));
+      end.emplace("cat", Json("train"));
+      out.push_back(Json(std::move(end)));
+    }
+  }
+
+  JsonObject root;
+  root.emplace("traceEvents", Json(std::move(out)));
+  root.emplace("displayTimeUnit", Json("ms"));
+  return Json(std::move(root));
+}
+
+void TraceJournal::write_chrome_trace(const std::string& path,
+                                      const std::string& run_label) const {
+  FileSink sink(path);
+  sink.write_line(chrome_trace(run_label).dump());
+  sink.flush();
+}
+
+}  // namespace seafl::obs

@@ -1,0 +1,97 @@
+// Per-run structured trace journal: client-lifecycle events on the
+// *virtual* clock, recorded through a TraceSink observer the Simulation
+// calls when one is attached (null by default — tracing never perturbs a
+// run's results; it only watches).
+//
+// Two export formats:
+//  * JSONL — one JSON object per event, in emission order, for scripted
+//    analysis (staleness traces, per-client participation timelines).
+//  * Chrome trace-event JSON — one track per client plus a server track,
+//    loadable in Perfetto / chrome://tracing, so a whole semi-async round's
+//    straggler and staleness structure is visually inspectable: training
+//    sessions are slices (begin at assignment, end at upload), epoch
+//    completions / notifications / aggregations are instants, and the
+//    accuracy curve is a counter track. Virtual seconds map to trace
+//    microseconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace seafl::obs {
+
+enum class TraceEventKind {
+  kAssigned,    ///< server dispatched the model; client starts training
+  kEpochDone,   ///< one local epoch's compute finished (emitted at upload)
+  kNotified,    ///< SEAFL^2 early-upload notification sent to the client
+  kUpload,      ///< client update arrived and entered the buffer
+  kUploadLost,  ///< client update was lost in transit
+  kAggregate,   ///< server aggregated the buffer; round advanced
+  kEval,        ///< global model evaluated
+};
+
+/// Stable lowercase name ("assigned", "upload", ...) used in both exports.
+const char* trace_event_name(TraceEventKind kind);
+
+/// Marks server-side events, which have no client track.
+inline constexpr std::size_t kServerTrack = static_cast<std::size_t>(-1);
+
+/// One journal entry. Field meaning varies by kind (unused fields are 0):
+///   kAssigned:   client, round (=base round), epochs (planned)
+///   kEpochDone:  client, round (base round), epochs (1-based epoch index)
+///   kNotified:   client, round (server round when sent)
+///   kUpload:     client, round (server), base_round, epochs (completed),
+///                value (staleness)
+///   kUploadLost: client, round (server), base_round
+///   kAggregate:  round (after advancing), updates, value (mean staleness)
+///   kEval:       round, value (accuracy)
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kAssigned;
+  double time = 0.0;  ///< virtual seconds
+  std::size_t client = kServerTrack;
+  std::uint64_t round = 0;
+  std::uint64_t base_round = 0;
+  std::size_t epochs = 0;
+  std::size_t updates = 0;
+  double value = 0.0;
+};
+
+/// Observer interface the Simulation reports into (see
+/// Simulation::set_trace_sink). Implementations must not mutate simulation
+/// state.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+/// In-memory journal with file exporters.
+class TraceJournal final : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// One event as a JSON object (kind expanded to its name; unused fields
+  /// included so every line has an identical schema).
+  static Json event_json(const TraceEvent& event);
+
+  /// Writes one JSON object per line, in emission order.
+  void write_jsonl(const std::string& path) const;
+
+  /// The journal as a Chrome trace-event document (see file comment).
+  Json chrome_trace(const std::string& run_label = "seafl run") const;
+
+  /// Writes chrome_trace() to `path`.
+  void write_chrome_trace(const std::string& path,
+                          const std::string& run_label = "seafl run") const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace seafl::obs

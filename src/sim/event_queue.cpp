@@ -1,6 +1,16 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 namespace seafl {
+
+namespace {
+
+/// Don't bother compacting tiny heaps; rebuilding costs more than the dead
+/// entries do.
+constexpr std::size_t kCompactFloor = 64;
+
+}  // namespace
 
 std::uint64_t EventQueue::schedule_at(double when, Callback cb) {
   SEAFL_CHECK(when >= now_, "cannot schedule in the past (when=" << when
@@ -9,7 +19,8 @@ std::uint64_t EventQueue::schedule_at(double when, Callback cb) {
                                                                   << ")");
   SEAFL_CHECK(cb != nullptr, "null event callback");
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq});
+  heap_.push_back(Entry{when, seq});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
   callbacks_.emplace(seq, std::move(cb));
   return seq;
 }
@@ -20,13 +31,35 @@ std::uint64_t EventQueue::schedule_after(double delay, Callback cb) {
 }
 
 bool EventQueue::cancel(std::uint64_t id) {
-  return callbacks_.erase(id) > 0;
+  const bool cancelled = callbacks_.erase(id) > 0;
+  if (cancelled) maybe_compact();
+  return cancelled;
+}
+
+void EventQueue::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+  heap_.pop_back();
+}
+
+void EventQueue::maybe_compact() {
+  // Every live callback has exactly one heap entry, so the dead count is
+  // heap_.size() - pending(). Rebuild once dead entries dominate: O(n) then,
+  // amortized O(1) per cancel, and the heap never exceeds 2x live + floor.
+  if (heap_.size() < kCompactFloor) return;
+  if (heap_.size() <= 2 * callbacks_.size()) return;
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) {
+                               return callbacks_.find(e.seq) ==
+                                      callbacks_.end();
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
 }
 
 bool EventQueue::run_one() {
   while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    heap_.pop();
+    const Entry top = heap_.front();
+    pop_top();
     const auto it = callbacks_.find(top.seq);
     if (it == callbacks_.end()) continue;  // cancelled
     Callback cb = std::move(it->second);
@@ -42,9 +75,9 @@ std::size_t EventQueue::run_until(double until) {
   std::size_t executed = 0;
   while (!heap_.empty()) {
     // Peek past cancelled entries without executing.
-    const Entry top = heap_.top();
+    const Entry top = heap_.front();
     if (callbacks_.find(top.seq) == callbacks_.end()) {
-      heap_.pop();
+      pop_top();
       continue;
     }
     if (top.time > until) break;

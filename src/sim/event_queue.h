@@ -7,7 +7,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -31,7 +30,11 @@ class EventQueue {
   /// Schedules `cb` after `delay` seconds of virtual time.
   std::uint64_t schedule_after(double delay, Callback cb);
 
-  /// Cancels a pending event; returns false if it already ran or never existed.
+  /// Cancels a pending event; returns false if it already ran or never
+  /// existed. Cancellation is lazy (the heap entry stays behind and is
+  /// skipped on pop), but once dead entries outnumber live ones the heap is
+  /// compacted, so heap_size() stays within a constant factor of pending()
+  /// under any cancel pattern.
   bool cancel(std::uint64_t id);
 
   /// Runs the next pending event (advancing the clock). Returns false when
@@ -49,6 +52,10 @@ class EventQueue {
   std::size_t pending() const { return callbacks_.size(); }
   bool empty() const { return pending() == 0; }
 
+  /// Heap entries currently held, dead (lazily-cancelled) ones included.
+  /// Bounded: compaction keeps this <= max(2 * pending(), a small floor).
+  std::size_t heap_size() const { return heap_.size(); }
+
  private:
   struct Entry {
     double time;
@@ -60,9 +67,15 @@ class EventQueue {
     }
   };
 
+  void pop_top();
+  void maybe_compact();
+
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // Min-heap (std::*_heap with std::greater) over a plain vector so
+  // compaction can rebuild it in place — std::priority_queue hides its
+  // container.
+  std::vector<Entry> heap_;
   // Callbacks keyed by seq; an entry absent from the map was cancelled (or
   // already ran), so its heap entry is skipped lazily.
   std::unordered_map<std::uint64_t, Callback> callbacks_;

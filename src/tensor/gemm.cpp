@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "obs/profile.h"
 
 namespace seafl {
 
@@ -94,6 +95,7 @@ void block_tt(std::size_t r0, std::size_t r1, std::size_t m, std::size_t n,
 void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
           std::size_t k, float alpha, std::span<const float> a,
           std::span<const float> b, float beta, std::span<float> c) {
+  SEAFL_PROF_SCOPE("tensor.gemm");
   if (m == 0 || n == 0) return;  // empty output: nothing to compute or check
   SEAFL_CHECK(a.size() >= m * k, "gemm: A too small (" << a.size() << " < "
                                                         << m * k << ")");

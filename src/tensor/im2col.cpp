@@ -1,11 +1,13 @@
 #include "tensor/im2col.h"
 
 #include "common/error.h"
+#include "obs/profile.h"
 
 namespace seafl {
 
 void im2col(const ConvGeom& g, std::span<const float> image,
             std::span<float> cols) {
+  SEAFL_PROF_SCOPE("tensor.im2col");
   SEAFL_CHECK(image.size() >= g.channels * g.height * g.width,
               "im2col: image buffer too small");
   SEAFL_CHECK(cols.size() >= g.col_rows() * g.col_cols(),
@@ -44,6 +46,7 @@ void im2col(const ConvGeom& g, std::span<const float> image,
 
 void col2im(const ConvGeom& g, std::span<const float> cols,
             std::span<float> image_grad) {
+  SEAFL_PROF_SCOPE("tensor.col2im");
   SEAFL_CHECK(image_grad.size() >= g.channels * g.height * g.width,
               "col2im: image buffer too small");
   SEAFL_CHECK(cols.size() >= g.col_rows() * g.col_cols(),

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace seafl {
+namespace {
+
+/// Captures lines in memory for assertions.
+class CaptureSink final : public LineSink {
+ public:
+  void write_line(std::string_view line) override {
+    lines.emplace_back(line);
+  }
+  std::vector<std::string> lines;
+};
+
+/// Redirects the logger for one test, restoring defaults afterwards.
+struct LogRedirect {
+  CaptureSink sink;
+  LogLevel prev_level;
+  explicit LogRedirect(LogLevel level = LogLevel::kDebug)
+      : prev_level(log_level()) {
+    set_log_level(level);
+    set_log_sink(&sink);
+  }
+  ~LogRedirect() {
+    set_log_sink(nullptr);
+    set_log_level(prev_level);
+  }
+};
+
+TEST(LogTest, RoutesThroughInstalledSink) {
+  LogRedirect log;
+  SEAFL_INFO("hello " << 42);
+  ASSERT_EQ(log.sink.lines.size(), 1u);
+  EXPECT_NE(log.sink.lines[0].find("hello 42"), std::string::npos);
+  EXPECT_NE(log.sink.lines[0].find("INFO"), std::string::npos);
+}
+
+TEST(LogTest, LevelFilterDropsBelowThreshold) {
+  LogRedirect log(LogLevel::kWarn);
+  SEAFL_DEBUG("dropped");
+  SEAFL_INFO("dropped");
+  SEAFL_WARN("kept");
+  SEAFL_ERROR("kept");
+  ASSERT_EQ(log.sink.lines.size(), 2u);
+  EXPECT_NE(log.sink.lines[0].find("WARN"), std::string::npos);
+  EXPECT_NE(log.sink.lines[1].find("ERROR"), std::string::npos);
+}
+
+TEST(LogTest, NullSinkRestoresStderrDefaultWithoutCrashing) {
+  {
+    LogRedirect log;
+    SEAFL_INFO("captured");
+    EXPECT_EQ(log.sink.lines.size(), 1u);
+  }
+  // Back on the default sink: must not crash (output goes to stderr).
+  SEAFL_LOG_AT(LogLevel::kOff, "never emitted");
+}
+
+TEST(LogTest, EveryNFiresFirstThenEveryNth) {
+  LogRedirect log;
+  for (int i = 0; i < 10; ++i) {
+    SEAFL_INFO_EVERY_N(4, "tick " << i);
+  }
+  // Occurrences 1, 5, 9.
+  ASSERT_EQ(log.sink.lines.size(), 3u);
+  EXPECT_NE(log.sink.lines[0].find("tick 0"), std::string::npos);
+  EXPECT_NE(log.sink.lines[1].find("tick 4"), std::string::npos);
+  EXPECT_NE(log.sink.lines[2].find("tick 8"), std::string::npos);
+}
+
+TEST(LogTest, EveryNCountersArePerCallSite) {
+  LogRedirect log;
+  for (int i = 0; i < 3; ++i) {
+    SEAFL_INFO_EVERY_N(2, "site A " << i);
+    SEAFL_INFO_EVERY_N(2, "site B " << i);
+  }
+  // Each site fires independently at occurrences 1 and 3.
+  ASSERT_EQ(log.sink.lines.size(), 4u);
+  EXPECT_NE(log.sink.lines[0].find("site A 0"), std::string::npos);
+  EXPECT_NE(log.sink.lines[1].find("site B 0"), std::string::npos);
+  EXPECT_NE(log.sink.lines[2].find("site A 2"), std::string::npos);
+  EXPECT_NE(log.sink.lines[3].find("site B 2"), std::string::npos);
+}
+
+TEST(LogTest, EveryNCountsWhileLevelFilterDrops) {
+  LogRedirect log(LogLevel::kError);
+  auto tick = [] { SEAFL_INFO_EVERY_N(3, "cadence"); };
+  tick();  // occurrence 1: would fire, but level drops it
+  tick();  // occurrence 2
+  set_log_level(LogLevel::kDebug);
+  tick();  // occurrence 3: counted through the silence, so not a multiple
+  EXPECT_TRUE(log.sink.lines.empty());
+  tick();  // occurrence 4: fires (3n + 1)
+  ASSERT_EQ(log.sink.lines.size(), 1u);
+}
+
+TEST(LogTest, FileSinkWritesLinesAndReportsPath) {
+  const std::string path = ::testing::TempDir() + "/log_sink_test.txt";
+  {
+    FileSink sink(path);
+    EXPECT_EQ(sink.path(), path);
+    set_log_sink(&sink);
+    const LogLevel prev = log_level();
+    set_log_level(LogLevel::kInfo);
+    SEAFL_INFO("to file");
+    set_log_sink(nullptr);
+    set_log_level(prev);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("to file"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LogTest, FileSinkThrowsOnUnwritablePath) {
+  EXPECT_THROW(FileSink("/nonexistent-dir/out.log"), Error);
+}
+
+}  // namespace
+}  // namespace seafl

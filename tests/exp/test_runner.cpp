@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "exp/cache.h"
 #include "exp/summary.h"
@@ -132,6 +134,96 @@ TEST(RunnerTest, TargetSentinelResolvesToTaskDefault) {
   // The sentinel (not the resolved value) is what the hash covers.
   EXPECT_NE(canonical_config(results[0].spec).find("target=-1"),
             std::string::npos);
+}
+
+TEST(RunnerTest, TraceDirWritesJournalsAndForcesExecution) {
+  const fs::path cache_dir =
+      fs::path(::testing::TempDir()) / "seafl_runner_trace_cache";
+  const fs::path trace_dir =
+      fs::path(::testing::TempDir()) / "seafl_runner_traces";
+  fs::remove_all(cache_dir);
+  fs::remove_all(trace_dir);
+
+  SweepSpec sweep = tiny_sweep();
+  RunnerOptions opts;
+  opts.cache_dir = cache_dir.string();
+  opts.progress = false;
+
+  // Warm the cache first so the trace run demonstrably bypasses it.
+  Runner warmup(opts);
+  const std::vector<ArmResult> baseline = warmup.run(sweep);
+  EXPECT_EQ(warmup.simulations_run(), 1u);
+
+  opts.trace_dir = trace_dir.string();
+  Runner tracer(opts);
+  const std::vector<ArmResult> traced = tracer.run(sweep);
+  EXPECT_EQ(tracer.simulations_run(), 1u);  // cache hit skipped on purpose
+  EXPECT_FALSE(traced[0].from_cache);
+  EXPECT_EQ(fingerprint(baseline), fingerprint(traced));  // tracing is inert
+
+  const fs::path chrome = trace_dir / (traced[0].hash + ".trace.json");
+  const fs::path jsonl = trace_dir / (traced[0].hash + ".jsonl");
+  ASSERT_TRUE(fs::exists(chrome));
+  ASSERT_TRUE(fs::exists(jsonl));
+
+  std::ifstream in(chrome);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+  EXPECT_FALSE(doc.at("traceEvents").as_array().empty());
+
+  std::ifstream lines(jsonl);
+  std::string line;
+  std::size_t uploads = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const Json event = Json::parse(line);
+    if (event.at("event").as_string() == "upload") ++uploads;
+  }
+  EXPECT_EQ(uploads, traced[0].result.model_uploads);
+
+  fs::remove_all(cache_dir);
+  fs::remove_all(trace_dir);
+}
+
+TEST(RunnerTest, MetricsWritesPerArmSummaries) {
+  const fs::path cache_dir =
+      fs::path(::testing::TempDir()) / "seafl_runner_metrics_cache";
+  fs::remove_all(cache_dir);
+
+  SweepSpec sweep = tiny_sweep();
+  sweep.axes.push_back(make_axis("algorithm", {"seafl", "fedbuff"}));
+  RunnerOptions opts;
+  opts.cache_dir = cache_dir.string();
+  opts.progress = false;
+  opts.metrics = true;
+  opts.jobs = 2;  // exercise the per-thread attribution path
+
+  Runner runner(opts);
+  const std::vector<ArmResult> results = runner.run(sweep);
+  ASSERT_EQ(results.size(), 2u);
+
+  for (const ArmResult& r : results) {
+    const fs::path path = cache_dir / (r.hash + ".metrics.json");
+    ASSERT_TRUE(fs::exists(path)) << path;
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const Json doc = Json::parse(buffer.str());
+    EXPECT_EQ(doc.at("hash").as_string(), r.hash);
+    EXPECT_EQ(doc.at("label").as_string(), r.spec.label);
+    EXPECT_GT(doc.at("wall_seconds").as_double(), 0.0);
+    // Each arm trained and aggregated, so its own phase deltas are non-zero.
+    const Json& counters = doc.at("metrics").at("counters");
+    EXPECT_GT(counters.at("fl.client_train.calls").as_u64(), 0u);
+    EXPECT_GT(counters.at("fl.aggregate.calls").as_u64(), 0u);
+    EXPECT_GT(counters.at("tensor.gemm.calls").as_u64(), 0u);
+    const Json& gemm = doc.at("metrics").at("histograms").at(
+        "tensor.gemm.seconds");
+    EXPECT_EQ(gemm.at("count").as_u64(),
+              counters.at("tensor.gemm.calls").as_u64());
+  }
+  fs::remove_all(cache_dir);
 }
 
 TEST(RunnerTest, SummariesComposeWithRunnerOutput) {

@@ -42,6 +42,38 @@ TEST(MetricsTest, TimeToAccuracyOnEmptyCurve) {
   EXPECT_DOUBLE_EQ(time_to_accuracy(RunResult{}, 0.5), -1.0);
 }
 
+TEST(MetricsTest, TimeToAccuracyReturnsFirstCrossingOnNonMonotoneCurve) {
+  // Async aggregation curves dip; the milestone is the *first* crossing,
+  // even if accuracy later falls back below the target.
+  RunResult r;
+  const double accs[] = {0.1, 0.5, 0.3, 0.6};
+  for (int i = 0; i < 4; ++i) {
+    AccuracyPoint p;
+    p.round = static_cast<std::uint64_t>(i);
+    p.time = i * 10.0;
+    p.accuracy = accs[i];
+    r.curve.push_back(p);
+  }
+  EXPECT_DOUBLE_EQ(time_to_accuracy(r, 0.4), 10.0);
+  EXPECT_DOUBLE_EQ(time_to_accuracy(r, 0.55), 30.0);
+}
+
+TEST(MetricsTest, TimeToAccuracyBoundaryTargets) {
+  const RunResult r = make_result();
+  // Exact match on a curve point counts as reached (>=, not >).
+  EXPECT_DOUBLE_EQ(time_to_accuracy(r, 0.2), 10.0);
+  // A zero/negative target is met by the very first evaluation.
+  EXPECT_DOUBLE_EQ(time_to_accuracy(r, -1.0), 0.0);
+  // Single-point curves work.
+  RunResult single;
+  AccuracyPoint p;
+  p.time = 5.0;
+  p.accuracy = 0.4;
+  single.curve.push_back(p);
+  EXPECT_DOUBLE_EQ(time_to_accuracy(single, 0.4), 5.0);
+  EXPECT_DOUBLE_EQ(time_to_accuracy(single, 0.41), -1.0);
+}
+
 TEST(MetricsTest, TailAccuracyAveragesLastPoints) {
   const RunResult r = make_result();
   EXPECT_NEAR(tail_accuracy(r, 1), 0.8, 1e-12);
@@ -89,6 +121,37 @@ TEST(MetricsTest, ParticipationFairness) {
   // Degenerate cases.
   RunResult empty;
   EXPECT_DOUBLE_EQ(participation_fairness(empty), 1.0);
+}
+
+TEST(MetricsTest, ParticipationFairnessActiveOnlyToggleDiverges) {
+  // One dominant client: active_only sees {8, 2} while the full view adds
+  // two idle zeros — the toggle must change the index accordingly.
+  RunResult r;
+  r.participation = {8, 2, 0, 0};
+  // Jain over {8,2}: 100 / (2 * 68).
+  EXPECT_NEAR(participation_fairness(r, /*active_only=*/true), 100.0 / 136.0,
+              1e-12);
+  // Jain over {8,2,0,0}: 100 / (4 * 68).
+  EXPECT_NEAR(participation_fairness(r, /*active_only=*/false), 100.0 / 272.0,
+              1e-12);
+  EXPECT_GT(participation_fairness(r, true), participation_fairness(r, false));
+}
+
+TEST(MetricsTest, ParticipationFairnessAllIdleOrAllEqual) {
+  RunResult idle;
+  idle.participation = {0, 0, 0};
+  // Active-only filters everything out -> vacuous fairness of 1.
+  EXPECT_DOUBLE_EQ(participation_fairness(idle, /*active_only=*/true), 1.0);
+
+  RunResult even;
+  even.participation = {3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(participation_fairness(even, /*active_only=*/true), 1.0);
+  EXPECT_DOUBLE_EQ(participation_fairness(even, /*active_only=*/false), 1.0);
+
+  RunResult solo;
+  solo.participation = {7};
+  EXPECT_DOUBLE_EQ(participation_fairness(solo, /*active_only=*/true), 1.0);
+  EXPECT_DOUBLE_EQ(participation_fairness(solo, /*active_only=*/false), 1.0);
 }
 
 TEST(MetricsTest, CsvRejectsBadPath) {

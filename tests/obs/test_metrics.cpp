@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace seafl::obs {
+namespace {
+
+TEST(CounterTest, AddsAndTotals) {
+  Registry r;
+  Counter& c = r.counter("events");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.total(), 42u);
+  EXPECT_EQ(c.thread_total(), 42u);
+  EXPECT_EQ(&r.counter("events"), &c);  // interned by name
+}
+
+TEST(CounterTest, ConcurrentIncrementsMergeExactly) {
+  Registry r;
+  Counter& c = r.counter("hits");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.total(), kThreads * kPerThread);
+  // This thread never incremented, so its shard is empty.
+  EXPECT_EQ(c.thread_total(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Registry r;
+  Gauge& g = r.gauge("queue_depth");
+  g.set(3.0);
+  g.add(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.5);
+}
+
+TEST(HistogramTest, BucketsAreUpperInclusive) {
+  Registry r;
+  Histogram& h = r.histogram("latency", {1.0, 2.0, 4.0});
+  // bucket i counts bounds[i-1] < v <= bounds[i]; the last is +inf overflow.
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (boundary is inclusive)
+  h.observe(1.5);   // bucket 1
+  h.observe(4.0);   // bucket 2
+  h.observe(100.0); // bucket 3 (overflow)
+  const HistogramData data = h.snapshot();
+  ASSERT_EQ(data.counts.size(), 4u);
+  EXPECT_EQ(data.counts[0], 2u);
+  EXPECT_EQ(data.counts[1], 1u);
+  EXPECT_EQ(data.counts[2], 1u);
+  EXPECT_EQ(data.counts[3], 1u);
+  EXPECT_EQ(data.total_count(), 5u);
+  EXPECT_DOUBLE_EQ(data.sum, 107.0);
+  EXPECT_DOUBLE_EQ(data.mean(), 107.0 / 5.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsMergeExactly) {
+  Registry r;
+  Histogram& h = r.histogram("work", {10.0, 100.0});
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.observe(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramData data = h.snapshot();
+  EXPECT_EQ(data.total_count(), kThreads * kPerThread);
+  EXPECT_EQ(data.counts[0], kThreads * kPerThread);
+  // Sums of 1.0 stay exact in a double far beyond this count.
+  EXPECT_DOUBLE_EQ(data.sum, static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(HistogramTest, ThreadSnapshotIsolatesCallingThread) {
+  Registry r;
+  Histogram& h = r.histogram("per_thread", {1.0});
+  h.observe(0.5);
+  std::thread other([&h] {
+    for (int i = 0; i < 10; ++i) h.observe(0.5);
+  });
+  other.join();
+  EXPECT_EQ(h.thread_snapshot().total_count(), 1u);
+  EXPECT_EQ(h.snapshot().total_count(), 11u);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  Registry r;
+  EXPECT_THROW(r.histogram("unsorted", {2.0, 1.0}), Error);
+  EXPECT_THROW(r.histogram("dupes", {1.0, 1.0}), Error);
+  r.histogram("ok", {1.0, 2.0});
+  // Re-registration must agree on buckets (or leave them unspecified).
+  EXPECT_THROW(r.histogram("ok", {1.0, 3.0}), Error);
+  EXPECT_NO_THROW(r.histogram("ok", {1.0, 2.0}));
+  EXPECT_NO_THROW(r.histogram("ok"));
+}
+
+TEST(HistogramTest, DefaultTimeBucketsAreDoublingMicroseconds) {
+  const std::vector<double> bounds = default_time_buckets();
+  ASSERT_EQ(bounds.size(), 28u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_DOUBLE_EQ(bounds[i], 2.0 * bounds[i - 1]);
+  Registry r;
+  EXPECT_EQ(r.histogram("t").bounds(), bounds);
+}
+
+TEST(SnapshotTest, DeltaSubtractsPerMetric) {
+  Registry r;
+  Counter& c = r.counter("calls");
+  Histogram& h = r.histogram("secs", {1.0});
+  Gauge& g = r.gauge("level");
+  c.add(5);
+  h.observe(0.5);
+  g.set(1.0);
+  const Snapshot before = r.snapshot();
+  c.add(7);
+  h.observe(0.5);
+  h.observe(2.0);
+  g.set(9.0);
+  const Snapshot after = r.snapshot();
+  const Snapshot d = Snapshot::delta(before, after);
+  EXPECT_EQ(d.counters.at("calls"), 7u);
+  EXPECT_EQ(d.histograms.at("secs").counts[0], 1u);
+  EXPECT_EQ(d.histograms.at("secs").counts[1], 1u);
+  EXPECT_DOUBLE_EQ(d.histograms.at("secs").sum, 2.5);
+  // Gauges are point-in-time: delta carries the `after` value.
+  EXPECT_DOUBLE_EQ(d.gauges.at("level"), 9.0);
+}
+
+TEST(SnapshotTest, MetricsAbsentFromBeforeCountFromZero) {
+  Snapshot before;
+  Snapshot after;
+  after.counters["new"] = 3;
+  const Snapshot d = Snapshot::delta(before, after);
+  EXPECT_EQ(d.counters.at("new"), 3u);
+}
+
+TEST(SnapshotTest, ToJsonRoundTripsThroughParser) {
+  Registry r;
+  r.counter("a.calls").add(2);
+  r.histogram("a.seconds", {1.0, 2.0}).observe(1.5);
+  r.gauge("depth").set(4.0);
+  const Json doc = Json::parse(r.snapshot().to_json().dump());
+  EXPECT_EQ(doc.at("counters").at("a.calls").as_u64(), 2u);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("depth").as_double(), 4.0);
+  const Json& h = doc.at("histograms").at("a.seconds");
+  EXPECT_EQ(h.at("bounds").as_array().size(), 2u);
+  EXPECT_EQ(h.at("counts").as_array().size(), 3u);
+  EXPECT_EQ(h.at("count").as_u64(), 1u);
+  EXPECT_DOUBLE_EQ(h.at("sum").as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(h.at("mean").as_double(), 1.5);
+}
+
+TEST(RegistryTest, ResetZeroesEverythingButKeepsMetrics) {
+  Registry r;
+  Counter& c = r.counter("n");
+  Histogram& h = r.histogram("h", {1.0});
+  r.gauge("g").set(2.0);
+  c.add(10);
+  h.observe(0.5);
+  r.reset();
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_EQ(h.snapshot().total_count(), 0u);
+  EXPECT_DOUBLE_EQ(r.gauge("g").value(), 0.0);
+  EXPECT_EQ(&r.counter("n"), &c);
+  c.add(1);  // cells survive reset; no re-registration needed
+  EXPECT_EQ(c.total(), 1u);
+}
+
+TEST(RegistryTest, GlobalIsStable) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace seafl::obs

@@ -1,0 +1,204 @@
+// Simulation-level guarantees of the observability layer: attaching a trace
+// sink never changes a run's results, and the journal's event stream is
+// consistent with the RunResult's own accounting.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/presets.h"
+#include "data/registry.h"
+#include "obs/obs.h"
+#include "sim/fleet.h"
+
+namespace seafl {
+namespace {
+
+struct Fixture {
+  FlTask task;
+  Fleet fleet;
+
+  Fixture()
+      : task(make_task([] {
+          TaskSpec spec;
+          spec.name = "synth-mnist";
+          spec.num_clients = 12;
+          spec.samples_per_client = 15;
+          spec.test_samples = 60;
+          return spec;
+        }())),
+        fleet([] {
+          FleetConfig fc;
+          fc.num_devices = 12;
+          fc.pareto_shape = 1.3;  // real stragglers -> staleness + notifies
+          fc.seed = 7;
+          return fc;
+        }()) {}
+
+  ExperimentParams params() const {
+    ExperimentParams p;
+    p.buffer_size = 3;
+    p.concurrency = 6;
+    p.staleness_limit = 2;
+    p.local_epochs = 2;
+    p.batch_size = 8;
+    p.max_rounds = 12;
+    p.stop_at_target = false;
+    p.seed = 42;
+    return p;
+  }
+};
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].time, b.curve[i].time);
+    EXPECT_EQ(a.curve[i].accuracy, b.curve[i].accuracy);
+    EXPECT_EQ(a.curve[i].loss, b.curve[i].loss);
+  }
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_updates, b.total_updates);
+  EXPECT_EQ(a.model_downloads, b.model_downloads);
+  EXPECT_EQ(a.model_uploads, b.model_uploads);
+  EXPECT_EQ(a.notifications, b.notifications);
+  EXPECT_EQ(a.lost_uploads, b.lost_uploads);
+  EXPECT_EQ(a.mean_staleness, b.mean_staleness);
+  ASSERT_EQ(a.final_weights.size(), b.final_weights.size());
+  for (std::size_t i = 0; i < a.final_weights.size(); ++i)
+    EXPECT_EQ(a.final_weights[i], b.final_weights[i]);  // bitwise
+}
+
+TEST(ObsSimulationTest, TracingIsObservationOnly) {
+  Fixture f;
+  const RunResult plain =
+      run_arm("seafl2", f.params(), f.task, f.fleet, nullptr);
+  obs::TraceJournal journal;
+  const RunResult traced =
+      run_arm("seafl2", f.params(), f.task, f.fleet, &journal);
+  EXPECT_FALSE(journal.events().empty());
+  expect_identical(plain, traced);
+}
+
+TEST(ObsSimulationTest, ProfilingIsObservationOnly) {
+  Fixture f;
+  const RunResult plain = run_arm("seafl", f.params(), f.task, f.fleet);
+  obs::ProfilingScope scope;
+  const RunResult profiled = run_arm("seafl", f.params(), f.task, f.fleet);
+  expect_identical(plain, profiled);
+  // The phase probes actually fired while enabled.
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  EXPECT_GT(snap.counters.at("fl.client_train.calls"), 0u);
+  EXPECT_GT(snap.counters.at("fl.aggregate.calls"), 0u);
+  EXPECT_GT(snap.counters.at("fl.evaluate.calls"), 0u);
+  EXPECT_GT(snap.counters.at("tensor.gemm.calls"), 0u);
+}
+
+TEST(ObsSimulationTest, JournalMatchesRunResultAccounting) {
+  Fixture f;
+  obs::TraceJournal journal;
+  const RunResult r = run_arm("seafl2", f.params(), f.task, f.fleet, &journal);
+
+  std::map<obs::TraceEventKind, std::size_t> counts;
+  for (const obs::TraceEvent& e : journal.events()) ++counts[e.kind];
+
+  EXPECT_EQ(counts[obs::TraceEventKind::kAssigned], r.model_downloads);
+  EXPECT_EQ(counts[obs::TraceEventKind::kUpload], r.model_uploads);
+  EXPECT_EQ(counts[obs::TraceEventKind::kUploadLost], r.lost_uploads);
+  EXPECT_EQ(counts[obs::TraceEventKind::kNotified], r.notifications);
+  EXPECT_EQ(counts[obs::TraceEventKind::kAggregate], r.aggregations);
+  EXPECT_EQ(counts[obs::TraceEventKind::kEval], r.curve.size());
+  EXPECT_EQ(r.rounds, 12u);
+}
+
+TEST(ObsSimulationTest, JournalSequenceMatchesRecordedRounds) {
+  Fixture f;
+  obs::TraceJournal journal;
+  const RunResult r = run_arm("seafl2", f.params(), f.task, f.fleet, &journal);
+
+  // Aggregate events mirror the round log, in order.
+  std::size_t agg_i = 0;
+  std::size_t eval_i = 0;
+  for (const obs::TraceEvent& e : journal.events()) {
+    EXPECT_GE(e.time, 0.0);
+    EXPECT_LE(e.time, r.final_time);
+    if (e.kind == obs::TraceEventKind::kAggregate) {
+      ASSERT_LT(agg_i, r.round_log.size());
+      EXPECT_EQ(e.round, r.round_log[agg_i].round);
+      EXPECT_EQ(e.updates, r.round_log[agg_i].updates);
+      EXPECT_EQ(e.value, r.round_log[agg_i].mean_staleness);
+      EXPECT_EQ(e.time, r.round_log[agg_i].time);
+      ++agg_i;
+    } else if (e.kind == obs::TraceEventKind::kEval) {
+      ASSERT_LT(eval_i, r.curve.size());
+      EXPECT_EQ(e.round, r.curve[eval_i].round);
+      EXPECT_EQ(e.value, r.curve[eval_i].accuracy);
+      ++eval_i;
+    }
+  }
+  EXPECT_EQ(agg_i, r.round_log.size());
+  EXPECT_EQ(eval_i, r.curve.size());
+}
+
+TEST(ObsSimulationTest, PerClientLifecycleIsWellFormed) {
+  Fixture f;
+  obs::TraceJournal journal;
+  run_arm("seafl2", f.params(), f.task, f.fleet, &journal);
+
+  // Per client: sessions alternate assigned -> (epochs/notify) -> upload or
+  // lost; epoch indices count up from 1 within a session.
+  std::map<std::size_t, bool> in_session;
+  std::map<std::size_t, std::size_t> last_epoch;
+  for (const obs::TraceEvent& e : journal.events()) {
+    switch (e.kind) {
+      case obs::TraceEventKind::kAssigned:
+        EXPECT_FALSE(in_session[e.client]) << "client " << e.client;
+        in_session[e.client] = true;
+        last_epoch[e.client] = 0;
+        EXPECT_GT(e.epochs, 0u);  // planned epochs
+        break;
+      case obs::TraceEventKind::kEpochDone:
+        EXPECT_TRUE(in_session[e.client]);
+        EXPECT_EQ(e.epochs, last_epoch[e.client] + 1);
+        last_epoch[e.client] = e.epochs;
+        break;
+      case obs::TraceEventKind::kUpload:
+        EXPECT_TRUE(in_session[e.client]);
+        EXPECT_EQ(e.epochs, last_epoch[e.client]);
+        EXPECT_GE(e.round, e.base_round);  // staleness is non-negative
+        EXPECT_EQ(e.value,
+                  static_cast<double>(e.round - e.base_round));
+        in_session[e.client] = false;
+        break;
+      case obs::TraceEventKind::kUploadLost:
+        EXPECT_TRUE(in_session[e.client]);
+        in_session[e.client] = false;
+        break;
+      case obs::TraceEventKind::kNotified:
+        EXPECT_TRUE(in_session[e.client]);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(ObsSimulationTest, ChromeExportOfARealRunParses) {
+  Fixture f;
+  obs::TraceJournal journal;
+  run_arm("fedbuff", f.params(), f.task, f.fleet, &journal);
+  const Json doc = Json::parse(journal.chrome_trace("fedbuff").dump());
+  const JsonArray& events = doc.at("traceEvents").as_array();
+  EXPECT_GT(events.size(), journal.events().size());  // + metadata rows
+  std::int64_t open = 0;
+  for (const Json& e : events) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "B") ++open;
+    if (ph == "E") --open;
+    EXPECT_GE(open, 0);  // never close an unopened slice
+  }
+  EXPECT_GE(open, 0);
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace seafl::obs {
+namespace {
+
+TraceEvent make(TraceEventKind kind, double time, std::size_t client) {
+  TraceEvent e;
+  e.kind = kind;
+  e.time = time;
+  e.client = client;
+  return e;
+}
+
+/// A minimal but complete client session: assigned -> epochs -> upload,
+/// then a server aggregate + eval.
+TraceJournal example_journal() {
+  TraceJournal j;
+  TraceEvent assigned = make(TraceEventKind::kAssigned, 0.0, 3);
+  assigned.round = 0;
+  assigned.base_round = 0;
+  assigned.epochs = 2;
+  j.record(assigned);
+
+  TraceEvent epoch = make(TraceEventKind::kEpochDone, 1.5, 3);
+  epoch.epochs = 1;
+  j.record(epoch);
+  epoch.time = 3.0;
+  epoch.epochs = 2;
+  j.record(epoch);
+
+  TraceEvent upload = make(TraceEventKind::kUpload, 3.25, 3);
+  upload.round = 1;
+  upload.base_round = 0;
+  upload.epochs = 2;
+  upload.value = 1.0;  // staleness
+  j.record(upload);
+
+  TraceEvent agg = make(TraceEventKind::kAggregate, 3.25, kServerTrack);
+  agg.round = 2;
+  agg.updates = 3;
+  agg.value = 0.5;
+  j.record(agg);
+
+  TraceEvent eval = make(TraceEventKind::kEval, 3.25, kServerTrack);
+  eval.round = 2;
+  eval.value = 0.75;
+  j.record(eval);
+  return j;
+}
+
+TEST(TraceTest, EventNamesAreStable) {
+  EXPECT_STREQ(trace_event_name(TraceEventKind::kAssigned), "assigned");
+  EXPECT_STREQ(trace_event_name(TraceEventKind::kEpochDone), "epoch_done");
+  EXPECT_STREQ(trace_event_name(TraceEventKind::kNotified), "notified");
+  EXPECT_STREQ(trace_event_name(TraceEventKind::kUpload), "upload");
+  EXPECT_STREQ(trace_event_name(TraceEventKind::kUploadLost), "upload_lost");
+  EXPECT_STREQ(trace_event_name(TraceEventKind::kAggregate), "aggregate");
+  EXPECT_STREQ(trace_event_name(TraceEventKind::kEval), "eval");
+}
+
+TEST(TraceTest, EventJsonHasUniformSchema) {
+  const TraceJournal j = example_journal();
+  for (const TraceEvent& e : j.events()) {
+    const Json doc = Json::parse(TraceJournal::event_json(e).dump());
+    for (const char* key :
+         {"event", "time", "client", "round", "base_round", "epochs",
+          "updates", "value"}) {
+      EXPECT_NO_THROW(doc.at(key)) << key;
+    }
+  }
+  // Server rows carry a null client.
+  const Json agg = Json::parse(
+      TraceJournal::event_json(j.events()[4]).dump());
+  EXPECT_TRUE(agg.at("client").is_null());
+  EXPECT_EQ(agg.at("event").as_string(), "aggregate");
+}
+
+TEST(TraceTest, JsonlIsOneValidObjectPerLine) {
+  const TraceJournal j = example_journal();
+  const std::string path = ::testing::TempDir() + "/trace_test.jsonl";
+  j.write_jsonl(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const Json doc = Json::parse(line);
+    EXPECT_NO_THROW(doc.at("event"));
+    ++lines;
+  }
+  EXPECT_EQ(lines, j.events().size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ChromeTraceIsWellFormed) {
+  const TraceJournal j = example_journal();
+  const Json doc = Json::parse(j.chrome_trace("unit test").dump());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const JsonArray& events = doc.at("traceEvents").as_array();
+  // 4 metadata rows (2 processes, server thread, 1 client thread) + 6 events.
+  ASSERT_EQ(events.size(), 10u);
+
+  std::size_t begins = 0, ends = 0, instants = 0, counters = 0, metas = 0;
+  for (const Json& e : events) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+    if (ph == "i") ++instants;
+    if (ph == "C") ++counters;
+    if (ph == "M") ++metas;
+    EXPECT_NO_THROW(e.at("pid"));
+    EXPECT_NO_THROW(e.at("tid"));
+  }
+  EXPECT_EQ(metas, 4u);
+  EXPECT_EQ(begins, 1u);
+  EXPECT_EQ(ends, 1u);
+  EXPECT_EQ(instants, 3u);  // 2 epoch markers + 1 aggregate
+  EXPECT_EQ(counters, 1u);  // accuracy track
+}
+
+TEST(TraceTest, ChromeSlicesBalanceAndMapVirtualSecondsToMicros) {
+  const TraceJournal j = example_journal();
+  const Json doc = Json::parse(j.chrome_trace().dump());
+  double begin_ts = -1.0, end_ts = -1.0;
+  std::string begin_name, end_name;
+  for (const Json& e : doc.at("traceEvents").as_array()) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "B") {
+      begin_ts = e.at("ts").as_double();
+      begin_name = e.at("name").as_string();
+      EXPECT_EQ(e.at("pid").as_u64(), 0u);
+      EXPECT_EQ(e.at("tid").as_u64(), 3u);
+    }
+    if (ph == "E") {
+      end_ts = e.at("ts").as_double();
+      end_name = e.at("name").as_string();
+    }
+  }
+  EXPECT_EQ(begin_name, "train r0");
+  EXPECT_EQ(end_name, begin_name);  // E closes the B by name
+  EXPECT_DOUBLE_EQ(begin_ts, 0.0);
+  EXPECT_DOUBLE_EQ(end_ts, 3.25 * 1e6);  // virtual seconds -> trace micros
+  EXPECT_LE(begin_ts, end_ts);
+}
+
+TEST(TraceTest, LostUploadStillClosesTheSlice) {
+  TraceJournal j;
+  TraceEvent assigned = make(TraceEventKind::kAssigned, 0.0, 1);
+  assigned.epochs = 2;
+  j.record(assigned);
+  TraceEvent lost = make(TraceEventKind::kUploadLost, 2.0, 1);
+  lost.epochs = 2;
+  j.record(lost);
+  const Json doc = Json::parse(j.chrome_trace().dump());
+  bool found_end = false;
+  for (const Json& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() != "E") continue;
+    found_end = true;
+    EXPECT_TRUE(e.at("args").at("lost").as_bool());
+  }
+  EXPECT_TRUE(found_end);
+}
+
+TEST(TraceTest, InFlightSessionsCloseAtTheHorizon) {
+  // A client still training when the run stops must not leave an unbalanced
+  // B slice; the exporter closes it at the journal's latest timestamp.
+  TraceJournal j;
+  TraceEvent assigned = make(TraceEventKind::kAssigned, 1.0, 5);
+  assigned.epochs = 2;
+  j.record(assigned);
+  j.record(make(TraceEventKind::kEval, 7.0, kServerTrack));
+  const Json doc = Json::parse(j.chrome_trace().dump());
+  std::size_t begins = 0, ends = 0;
+  for (const Json& e : doc.at("traceEvents").as_array()) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "B") ++begins;
+    if (ph == "E") {
+      ++ends;
+      EXPECT_DOUBLE_EQ(e.at("ts").as_double(), 7.0 * 1e6);
+      EXPECT_TRUE(e.at("args").at("unfinished").as_bool());
+    }
+  }
+  EXPECT_EQ(begins, 1u);
+  EXPECT_EQ(ends, 1u);
+}
+
+TEST(TraceTest, ClearEmptiesTheJournal) {
+  TraceJournal j = example_journal();
+  EXPECT_FALSE(j.events().empty());
+  j.clear();
+  EXPECT_TRUE(j.events().empty());
+  EXPECT_EQ(Json::parse(j.chrome_trace().dump())
+                .at("traceEvents")
+                .as_array()
+                .size(),
+            3u);  // only the process/server metadata rows remain
+}
+
+}  // namespace
+}  // namespace seafl::obs

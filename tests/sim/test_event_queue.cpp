@@ -138,5 +138,43 @@ TEST(EventQueueTest, RunOneOnEmptyQueueReturnsFalse) {
   EXPECT_DOUBLE_EQ(q.now(), 0.0);
 }
 
+// Regression: the schedule/cancel/reschedule pattern Simulation uses for
+// upload events (every SEAFL^2 notification cancels and reschedules an
+// arrival) must not accumulate dead heap entries without bound.
+TEST(EventQueueTest, CancelCompactsDeadHeapEntries) {
+  EventQueue q;
+  q.schedule_at(1e9, [] {});  // one live event keeps the queue non-empty
+  for (int i = 0; i < 100'000; ++i) {
+    const auto id = q.schedule_at(1.0 + i * 1e-6, [] {});
+    q.cancel(id);
+    // Bound from maybe_compact: at most 2x live entries, plus the floor
+    // below which compaction doesn't bother.
+    ASSERT_LE(q.heap_size(), 2 * q.pending() + 64);
+  }
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_LE(q.heap_size(), 66u);
+}
+
+TEST(EventQueueTest, CompactionPreservesOrderAndLiveEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<std::uint64_t> victims;
+  // Interleave survivors with a dominating majority of cancelled events so
+  // compaction definitely triggers mid-stream.
+  for (int i = 0; i < 300; ++i) {
+    const double t = 1.0 + i;
+    if (i % 3 == 0) {
+      q.schedule_at(t, [&order, i] { order.push_back(i); });
+    } else {
+      victims.push_back(q.schedule_at(t, [&order] { order.push_back(-1); }));
+    }
+  }
+  for (const auto id : victims) EXPECT_TRUE(q.cancel(id));
+  q.run_all();
+  std::vector<int> expected;
+  for (int i = 0; i < 300; i += 3) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
 }  // namespace
 }  // namespace seafl
