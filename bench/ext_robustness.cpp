@@ -1,7 +1,15 @@
-// Robustness bench (ours) — stresses SEAFL and FedBuff under the deployment
-// hazards a production FL system faces: lossy uplinks (devices go offline
-// mid-round), quantized uploads (communication compression), and clients
-// with corrupted labels. Shows which parts of the stack tolerate what.
+// Robustness bench (ours) — stresses the stack under the deployment hazards
+// a production FL system faces: device churn (clients crash mid-session and
+// come back later), lossy uplinks, quantized uploads, and clients with
+// corrupted labels. Each hazard is run twice: with a *passive* server
+// (plain SEAFL — a dead client stalls wait_for_stale aggregation forever)
+// and with the *recovering* server of DESIGN.md §10 (assignment deadlines
+// with re-dispatch, upload retries with backoff, degraded aggregation past
+// a round deadline, and pre-aggregation screening). A second table reports
+// the recovery counters so the mechanism, not just the outcome, is visible.
+#include <algorithm>
+#include <cmath>
+
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -14,28 +22,66 @@ int main(int argc, char** argv) {
   const auto base_seed =
       static_cast<std::uint64_t>(args.get_int("seed", 42));
 
+  // Probe the clean world once to learn its time scale: the churn intensity
+  // and the round deadline are meaningless as absolute seconds, so both are
+  // sized from the measured mean round interval. Deterministic — the probe
+  // is itself a fixed-seed run.
+  double round_interval = 0.0;
+  double session_seconds = 0.0;
+  {
+    WorldDefaults d;
+    d.pareto_shape = 1.1;
+    d.seed = base_seed;
+    const World world = make_world(args, d, /*use_flag_seed=*/false);
+    ExperimentParams probe = make_params(args, world);
+    probe.seed = base_seed;
+    probe.max_rounds = std::min<std::uint64_t>(probe.max_rounds, 10);
+    probe.stop_at_target = false;
+    const RunResult r = run_arm("seafl", probe, world.task, world.fleet);
+    round_interval = r.final_time / static_cast<double>(r.rounds);
+    // With M clients in flight and K consumed per round, a session spans
+    // about M/K rounds of virtual time.
+    session_seconds = round_interval *
+                      static_cast<double>(probe.concurrency) /
+                      static_cast<double>(probe.buffer_size);
+    std::printf("probe: round interval %.1fs, session %.1fs\n",
+                round_interval, session_seconds);
+  }
+  // mean uptime such that P(crash before upload) = 1 - exp(-s/up) = rate.
+  const auto uptime_for = [&](double crash_rate) {
+    return session_seconds / -std::log1p(-crash_rate);
+  };
+
   struct Hazard {
     std::string label;
+    double crash_rate;  ///< per-session crash probability (0 = no churn)
     double loss;
     std::size_t bits;
     double corrupt;
   };
   const std::vector<Hazard> hazards{
-      {"clean", 0.0, 0, 0.0},
-      {"20% upload loss", 0.2, 0, 0.0},
-      {"40% upload loss", 0.4, 0, 0.0},
-      {"8-bit uploads", 0.0, 8, 0.0},
-      {"4-bit uploads", 0.0, 4, 0.0},
-      {"20% corrupt clients", 0.0, 0, 0.2},
-      {"loss+4bit+corrupt", 0.2, 4, 0.2},
+      {"clean", 0.0, 0.0, 0, 0.0},
+      {"30% crash churn", 0.3, 0.0, 0, 0.0},
+      {"60% crash churn", 0.6, 0.0, 0, 0.0},
+      {"30% upload loss", 0.0, 0.3, 0, 0.0},
+      {"churn+loss", 0.3, 0.3, 0, 0.0},
+      {"4-bit uploads", 0.0, 0.0, 4, 0.0},
+      {"20% corrupt clients", 0.0, 0.0, 0, 0.2},
+      {"churn+loss+corrupt", 0.3, 0.3, 0, 0.2},
   };
 
-  Table table("Robustness — SEAFL vs FedBuff under deployment hazards (" +
-              std::to_string(seeds) + " seeds)");
+  Table table("Robustness — passive vs recovering SEAFL under deployment "
+              "hazards (" + std::to_string(seeds) + " seeds)");
   table.set_header(seed_header());
+  Table counters("Recovery counters (seed " + std::to_string(base_seed) +
+                 " run)");
+  counters.set_header({"arm", "crashes", "deadline-exp", "redispatch",
+                       "abandoned", "retries", "degraded", "screened",
+                       "clipped"});
 
   for (const auto& hazard : hazards) {
-    for (const std::string algo : {"seafl", "fedbuff"}) {
+    for (const std::string algo : {"seafl", "seafl-ft"}) {
+      RunResult first_run;
       const SeedAggregate agg =
           run_seeds(seeds, base_seed, [&](std::uint64_t seed) {
             WorldDefaults d;
@@ -48,16 +94,39 @@ int main(int argc, char** argv) {
             Arm arm = make_arm(algo, params);
             arm.config.upload_loss_prob = hazard.loss;
             arm.config.quantize_bits = hazard.bits;
+            if (hazard.crash_rate > 0.0) {
+              arm.config.faults.mean_uptime = uptime_for(hazard.crash_rate);
+              arm.config.faults.mean_downtime = 2.0 * round_interval;
+            }
+            if (algo == "seafl-ft")
+              arm.config.faults.round_deadline = 4.0 * round_interval;
+            // Hazards stretch rounds; cap by virtual time so a stalled
+            // passive run terminates instead of idling to max_rounds.
+            arm.config.max_virtual_seconds =
+                round_interval * 3.0 * static_cast<double>(params.max_rounds);
             const ModelFactory factory = make_model(
                 world.task.default_model, world.task.input,
                 world.task.num_classes);
             Simulation sim(world.task, factory, world.fleet,
                            std::move(arm.strategy), arm.config);
-            return sim.run();
+            RunResult r = sim.run();
+            if (seed == base_seed) first_run = r;
+            return r;
           });
-      table.add_row(seed_row(hazard.label + " / " + algo, agg));
+      const std::string label = hazard.label + " / " + algo;
+      table.add_row(seed_row(label, agg));
+      counters.add_row({label,
+                        std::to_string(first_run.client_crashes),
+                        std::to_string(first_run.deadline_expirations),
+                        std::to_string(first_run.redispatches),
+                        std::to_string(first_run.abandoned_slots),
+                        std::to_string(first_run.upload_retries),
+                        std::to_string(first_run.degraded_aggregations),
+                        std::to_string(first_run.screened_updates),
+                        std::to_string(first_run.clipped_updates)});
     }
   }
   emit(table, args, "ext_robustness.csv");
+  counters.print();
   return 0;
 }

@@ -61,6 +61,7 @@ enum class RngPurpose : std::uint64_t {
   kSelection = 6,      ///< server-side client selection
   kNetwork = 7,        ///< network latency sampling
   kDropout = 8,        ///< client availability / upload loss
+  kChurn = 9,          ///< device crash/recovery timelines (sim/hazard)
   kTest = 100,         ///< unit tests
 };
 

@@ -1,5 +1,8 @@
 #include "core/presets.h"
 
+#include <algorithm>
+
+#include "core/screening.h"
 #include "core/seafl_strategy.h"
 #include "fl/server_opt.h"
 #include "fl/strategies.h"
@@ -133,6 +136,27 @@ Arm make_arm(const std::string& algorithm, const ExperimentParams& params) {
         so);
     arm.label = "SEAFL+AvgM (beta=" +
                 std::to_string(params.staleness_limit) + ")";
+  } else if (algorithm == "seafl-ft") {
+    // Fault-tolerant SEAFL: Algorithm 1 plus the server recovery policies
+    // of DESIGN.md §10 — assignment deadlines with re-dispatch, upload
+    // retransmission with backoff, degraded (min_updates) aggregation once
+    // a round overruns, and pre-aggregation screening. The hazard itself
+    // (churn / loss rates, round_deadline time scale) is configured by the
+    // caller on arm.config.faults, since it depends on the fleet's speed.
+    c.staleness_limit = params.staleness_limit;
+    c.wait_for_stale = true;
+    c.faults.deadline_factor = 2.0;
+    c.faults.max_upload_retries = 2;
+    c.faults.min_updates = std::max<std::size_t>(1, params.buffer_size / 2);
+    ScreeningConfig sc;
+    sc.clip_multiple = 3.0;
+    sc.min_cosine = -0.5;  // only rejects updates pointing away from consensus
+    arm.strategy = std::make_unique<ScreenedStrategy>(
+        std::make_unique<SeaflStrategy>(
+            seafl_config(params, params.staleness_limit)),
+        sc);
+    arm.label = "SEAFL-FT (beta=" + std::to_string(params.staleness_limit) +
+                ", deadline x2)";
   } else if (algorithm == "safa-drop") {
     c.staleness_limit = params.staleness_limit;
     c.drop_stale = true;
@@ -150,9 +174,10 @@ Arm make_arm(const std::string& algorithm, const ExperimentParams& params) {
 }
 
 std::vector<std::string> known_algorithms() {
-  return {"seafl",        "seafl2",       "seafl2-sub", "seafl-inf",
-          "seafl-avgm",   "fedbuff",      "fedbuff-adam", "fedasync",
-          "fedavg",       "fedprox",      "fedsa-epochs", "safa-drop"};
+  return {"seafl",        "seafl2",       "seafl2-sub",   "seafl-inf",
+          "seafl-avgm",   "seafl-ft",     "fedbuff",      "fedbuff-adam",
+          "fedasync",     "fedavg",       "fedprox",      "fedsa-epochs",
+          "safa-drop"};
 }
 
 RunResult run_arm(const std::string& algorithm,

@@ -56,6 +56,9 @@ struct Arm {
 ///                  run proportionally fewer local epochs (FedSA-inspired)
 ///   "safa-drop"  — extension: FedBuff-style averaging that *drops* updates
 ///                  older than the staleness limit (SAFA's lag tolerance)
+///   "seafl-ft"   — seafl + fault recovery: assignment deadlines with
+///                  re-dispatch, upload retries with backoff, degraded
+///                  aggregation and update screening (DESIGN.md §10)
 Arm make_arm(const std::string& algorithm, const ExperimentParams& params);
 
 /// The algorithm names make_arm accepts.

@@ -1,0 +1,114 @@
+#include "core/screening.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace seafl {
+
+namespace {
+
+/// Median of a small vector (copy by value; buffers are K-sized).
+double median(std::vector<double> values) {
+  SEAFL_CHECK(!values.empty(), "median of empty vector");
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double m = values[mid];
+  if (values.size() % 2 == 0) {
+    // Lower neighbor: max of the left partition.
+    const double lo = *std::max_element(values.begin(), values.begin() + mid);
+    m = 0.5 * (m + lo);
+  }
+  return m;
+}
+
+}  // namespace
+
+ScreeningReport screen_updates(const ScreeningConfig& config,
+                               const ModelVector& global,
+                               std::vector<LocalUpdate>& buffer) {
+  ScreeningReport report;
+  report.entries.resize(buffer.size());
+  for (std::size_t i = 0; i < buffer.size(); ++i)
+    report.entries[i].client = buffer[i].client;
+  if (!config.enabled() || buffer.size() < config.min_buffer) return report;
+
+  const std::size_t dim = global.size();
+  // Deltas w_k - w_g and their norms.
+  std::vector<std::vector<float>> deltas(buffer.size());
+  std::vector<double> norms(buffer.size());
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    SEAFL_CHECK(buffer[i].weights.size() == dim,
+                "screening: update dimension mismatch");
+    auto& d = deltas[i];
+    d.resize(dim);
+    for (std::size_t j = 0; j < dim; ++j)
+      d[j] = buffer[i].weights[j] - global[j];
+    norms[i] = l2_norm(d);
+    report.entries[i].delta_norm = norms[i];
+  }
+
+  // Step 1 — norm clipping against the scale-free median bound.
+  if (config.clip_multiple > 0.0) {
+    const double bound = config.clip_multiple * median(norms);
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      if (norms[i] <= bound || norms[i] == 0.0) continue;
+      const auto scale = static_cast<float>(bound / norms[i]);
+      for (std::size_t j = 0; j < dim; ++j) {
+        deltas[i][j] *= scale;
+        buffer[i].weights[j] = global[j] + deltas[i][j];
+      }
+      report.entries[i].clipped = true;
+    }
+  }
+
+  // Step 2 — cosine rejection against the buffer's mean clipped delta.
+  if (config.min_cosine > -1.0) {
+    std::vector<float> mean(dim, 0.0f);
+    for (const auto& d : deltas)
+      for (std::size_t j = 0; j < dim; ++j) mean[j] += d[j];
+    const auto inv = static_cast<float>(1.0 / buffer.size());
+    for (std::size_t j = 0; j < dim; ++j) mean[j] *= inv;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      const double cos = cosine_similarity(deltas[i], mean);
+      report.entries[i].cosine = cos;
+      if (cos < config.min_cosine) report.entries[i].rejected = true;
+    }
+  }
+  return report;
+}
+
+ScreenedStrategy::ScreenedStrategy(StrategyPtr inner, ScreeningConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  SEAFL_CHECK(inner_ != nullptr, "null inner strategy");
+  SEAFL_CHECK(config_.min_cosine >= -1.0 && config_.min_cosine <= 1.0,
+              "min_cosine must lie in [-1, 1]");
+  SEAFL_CHECK(config_.clip_multiple >= 0.0,
+              "clip_multiple must be non-negative");
+}
+
+void ScreenedStrategy::aggregate(const AggregationContext& ctx,
+                                 std::span<const LocalUpdate> buffer,
+                                 ModelVector& global_out) {
+  SEAFL_CHECK(ctx.global != nullptr, "null global model in context");
+  // screen_updates rewrites clipped weights, so work on an owned copy.
+  std::vector<LocalUpdate> screened(buffer.begin(), buffer.end());
+  last_report_ = screen_updates(config_, *ctx.global, screened);
+  if (ctx.screening != nullptr) *ctx.screening = last_report_;
+
+  std::vector<LocalUpdate> kept;
+  kept.reserve(screened.size());
+  for (std::size_t i = 0; i < screened.size(); ++i)
+    if (!last_report_.entries[i].rejected)
+      kept.push_back(std::move(screened[i]));
+  if (kept.empty()) return;  // whole buffer quarantined: no-op round
+
+  AggregationContext inner_ctx = ctx;
+  inner_ctx.total_samples = 0;
+  for (const LocalUpdate& u : kept) inner_ctx.total_samples += u.num_samples;
+  inner_->aggregate(inner_ctx, kept, global_out);
+}
+
+}  // namespace seafl

@@ -1,0 +1,81 @@
+// Pre-aggregation update screening: L2-norm clipping plus a cosine-similarity
+// reject threshold, applied to client deltas before they reach the adaptive
+// weights (Eqs. 4-8).
+//
+// The paper's importance factor (Eq. 5) already *shrinks* dissimilar updates,
+// but a corrupt or Byzantine client still enters the weighted sum with
+// positive mass — and an update with a huge norm moves the global model no
+// matter how small its weight. Screening closes both holes with the standard
+// two-step defense (cf. AsyncFedED's anomaly discounting, norm-clipping in
+// robust aggregation):
+//
+//   1. Clip: every delta w_k - w_g whose L2 norm exceeds `clip_multiple` x
+//      the buffer's *median* delta norm is rescaled down to that bound. The
+//      median makes the bound scale-free: it tracks the honest majority as
+//      training converges and needs no per-task tuning.
+//   2. Reject: updates whose clipped delta points away from the buffer's
+//      mean clipped delta — cosine below `min_cosine`, reusing the same
+//      cosine kernel as the importance machinery (core/importance.h) — are
+//      quarantined: they do not enter the aggregation at all.
+//
+// Both steps are pure functions of the buffer, so screening preserves the
+// simulation's bitwise determinism. With fewer than `min_buffer` updates the
+// filter is a no-op (medians and mean directions are meaningless for 1-2
+// samples, and rejecting from a tiny buffer can stall a degraded round).
+//
+// ScreenedStrategy wraps any AggregationStrategy with this filter; it lives
+// in core (which links fl) so the simulation loop stays screening-agnostic
+// and observes outcomes through AggregationContext::screening.
+#pragma once
+
+#include "fl/strategy.h"
+
+namespace seafl {
+
+/// Screening thresholds. Default-constructed = fully disabled (no-op).
+struct ScreeningConfig {
+  /// Clip deltas to clip_multiple x the buffer's median delta norm.
+  /// 0 disables clipping. Values < 1 would clip the honest majority.
+  double clip_multiple = 0.0;
+  /// Quarantine updates with cos(delta_k, mean delta) below this.
+  /// -1 disables rejection. 0 rejects updates pointing > 90 deg away.
+  double min_cosine = -1.0;
+  /// Below this many buffered updates screening is a no-op.
+  std::size_t min_buffer = 3;
+
+  bool enabled() const { return clip_multiple > 0.0 || min_cosine > -1.0; }
+};
+
+/// Applies the filter to `buffer` against the global model `global`:
+/// clipped updates are rewritten in place (w_k := w_g + clipped delta) and
+/// rejected ones flagged in the returned report (one entry per update, in
+/// buffer order). The caller decides what "rejected" means — the
+/// ScreenedStrategy below excludes them from aggregation.
+ScreeningReport screen_updates(const ScreeningConfig& config,
+                               const ModelVector& global,
+                               std::vector<LocalUpdate>& buffer);
+
+/// Decorator: screens the buffer, then delegates the surviving updates to
+/// the wrapped strategy with a consistently adjusted context. If screening
+/// rejects the whole buffer the global model is left unchanged (a no-op
+/// aggregation). Publishes per-update outcomes via ctx.screening when set.
+class ScreenedStrategy : public AggregationStrategy {
+ public:
+  ScreenedStrategy(StrategyPtr inner, ScreeningConfig config);
+
+  void aggregate(const AggregationContext& ctx,
+                 std::span<const LocalUpdate> buffer,
+                 ModelVector& global_out) override;
+  std::string name() const override { return inner_->name() + "+screen"; }
+
+  const ScreeningConfig& config() const { return config_; }
+  /// Outcomes of the most recent aggregation (for inspection/tests).
+  const ScreeningReport& last_report() const { return last_report_; }
+
+ private:
+  StrategyPtr inner_;
+  ScreeningConfig config_;
+  ScreeningReport last_report_;
+};
+
+}  // namespace seafl

@@ -26,6 +26,7 @@
 #include "core/adaptive_weights.h"
 #include "core/importance.h"
 #include "core/presets.h"
+#include "core/screening.h"
 #include "core/seafl_strategy.h"
 #include "core/staleness.h"
 #include "core/weight_bounds.h"

@@ -15,7 +15,9 @@ namespace {
 
 /// Bumped whenever the cached-result layout changes; older entries become
 /// misses instead of parse errors.
-constexpr std::uint64_t kCacheVersion = 1;
+// v2: RunResult gained the fault-tolerance counters (client_crashes,
+// redispatches, ...). Old entries become misses and re-run.
+constexpr std::uint64_t kCacheVersion = 2;
 
 Json curve_to_json(const std::vector<AccuracyPoint>& curve) {
   JsonArray out;
@@ -95,6 +97,14 @@ Json result_to_json(const RunResult& r) {
   obj.emplace("dropped_updates", Json(r.dropped_updates));
   obj.emplace("stale_waits", Json(r.stale_waits));
   obj.emplace("mean_staleness", Json(r.mean_staleness));
+  obj.emplace("client_crashes", Json(r.client_crashes));
+  obj.emplace("deadline_expirations", Json(r.deadline_expirations));
+  obj.emplace("redispatches", Json(r.redispatches));
+  obj.emplace("abandoned_slots", Json(r.abandoned_slots));
+  obj.emplace("upload_retries", Json(r.upload_retries));
+  obj.emplace("degraded_aggregations", Json(r.degraded_aggregations));
+  obj.emplace("screened_updates", Json(r.screened_updates));
+  obj.emplace("clipped_updates", Json(r.clipped_updates));
   return Json(std::move(obj));
 }
 
@@ -120,6 +130,14 @@ RunResult result_from_json(const Json& json) {
   r.dropped_updates = json.at("dropped_updates").as_size();
   r.stale_waits = json.at("stale_waits").as_size();
   r.mean_staleness = json.at("mean_staleness").as_double();
+  r.client_crashes = json.at("client_crashes").as_size();
+  r.deadline_expirations = json.at("deadline_expirations").as_size();
+  r.redispatches = json.at("redispatches").as_size();
+  r.abandoned_slots = json.at("abandoned_slots").as_size();
+  r.upload_retries = json.at("upload_retries").as_size();
+  r.degraded_aggregations = json.at("degraded_aggregations").as_size();
+  r.screened_updates = json.at("screened_updates").as_size();
+  r.clipped_updates = json.at("clipped_updates").as_size();
   return r;
 }
 

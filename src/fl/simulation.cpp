@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/log.h"
 #include "obs/profile.h"
@@ -9,6 +10,9 @@
 namespace seafl {
 
 namespace {
+
+/// "No client" sentinel returned by pick_replacement.
+constexpr std::size_t kNoClient = static_cast<std::size_t>(-1);
 
 /// Builds the common fields of a trace event (virtual timestamp comes from
 /// the caller so events can be stamped with past epoch-end times).
@@ -33,25 +37,16 @@ Simulation::Simulation(const FlTask& task, const ModelFactory& factory,
       work_per_sample_(work_per_sample),
       trainer_(task, factory, config),
       evaluator_(task, factory, /*batch_size=*/64, config.eval_subset,
-                 config.seed) {
+                 config.seed),
+      churn_(ChurnConfig{config.faults.mean_uptime,
+                         config.faults.mean_downtime, config.seed},
+             task.num_clients()) {
   SEAFL_CHECK(strategy_ != nullptr, "null aggregation strategy");
   SEAFL_CHECK(fleet.size() >= task.num_clients(),
               "fleet has " << fleet.size() << " devices but task has "
                            << task.num_clients() << " clients");
-  SEAFL_CHECK(config_.concurrency >= 1 &&
-                  config_.concurrency <= task.num_clients(),
-              "concurrency " << config_.concurrency << " out of range");
-  SEAFL_CHECK(config_.buffer_size >= 1, "buffer size must be >= 1");
-  SEAFL_CHECK(config_.local_epochs >= 1, "need at least one local epoch");
-  SEAFL_CHECK(!(config_.wait_for_stale && config_.drop_stale),
-              "wait_for_stale and drop_stale are mutually exclusive");
   SEAFL_CHECK(work_per_sample_ > 0.0, "work_per_sample must be positive");
-  if (config_.mode == FlMode::kSemiAsync) {
-    SEAFL_CHECK(config_.buffer_size <= config_.concurrency,
-                "buffer size " << config_.buffer_size
-                               << " exceeds concurrency "
-                               << config_.concurrency);
-  }
+  validate_config();
   // Layer-wise initialization (He/Xavier) through a scratch instance, so the
   // initial global model is identical for every strategy sharing a seed.
   auto scratch = factory();
@@ -59,6 +54,59 @@ Simulation::Simulation(const FlTask& task, const ModelFactory& factory,
   scratch->init(init_rng);
   initial_weights_.resize(scratch->num_parameters());
   scratch->copy_parameters_to(initial_weights_);
+}
+
+void Simulation::validate_config() const {
+  const RunConfig& c = config_;
+  SEAFL_CHECK(c.concurrency >= 1 && c.concurrency <= task_->num_clients(),
+              "concurrency " << c.concurrency << " out of range [1, "
+                             << task_->num_clients() << "]");
+  SEAFL_CHECK(c.buffer_size >= 1, "buffer size must be >= 1");
+  SEAFL_CHECK(c.local_epochs >= 1, "need at least one local epoch");
+  SEAFL_CHECK(!(c.wait_for_stale && c.drop_stale),
+              "wait_for_stale and drop_stale are mutually exclusive");
+  if (c.mode == FlMode::kSemiAsync) {
+    SEAFL_CHECK(c.buffer_size <= c.concurrency,
+                "buffer size " << c.buffer_size << " exceeds concurrency "
+                               << c.concurrency);
+  }
+  SEAFL_CHECK(c.quantize_bits == 0 ||
+                  (c.quantize_bits >= 2 && c.quantize_bits <= 16),
+              "quantize_bits must be 0 (off) or in [2, 16], got "
+                  << c.quantize_bits);
+  SEAFL_CHECK(c.upload_loss_prob >= 0.0 && c.upload_loss_prob < 1.0,
+              "upload_loss_prob must lie in [0, 1), got "
+                  << c.upload_loss_prob);
+  SEAFL_CHECK(c.eval_every >= 1, "eval_every must be >= 1");
+
+  const FaultConfig& f = c.faults;
+  SEAFL_CHECK(f.mean_uptime >= 0.0, "mean_uptime must be non-negative");
+  if (f.churn_enabled()) {
+    SEAFL_CHECK(f.mean_downtime > 0.0,
+                "mean_downtime must be positive when churn is enabled");
+  }
+  SEAFL_CHECK(f.deadline_factor == 0.0 || f.deadline_factor >= 1.0,
+              "deadline_factor must be 0 (off) or >= 1 (a healthy client "
+              "must beat its own deadline), got "
+                  << f.deadline_factor);
+  if (f.max_upload_retries > 0) {
+    SEAFL_CHECK(f.retry_backoff > 0.0,
+                "retry_backoff must be positive when retries are enabled");
+    SEAFL_CHECK(f.retry_backoff_cap >= f.retry_backoff,
+                "retry_backoff_cap " << f.retry_backoff_cap
+                                     << " below retry_backoff "
+                                     << f.retry_backoff);
+  }
+  SEAFL_CHECK(f.round_deadline >= 0.0,
+              "round_deadline must be non-negative");
+  if (f.round_deadline > 0.0) {
+    SEAFL_CHECK(f.min_updates >= 1, "min_updates must be >= 1");
+    const std::size_t cap = c.mode == FlMode::kSemiAsync ? c.buffer_size
+                                                         : c.concurrency;
+    SEAFL_CHECK(f.min_updates <= cap,
+                "min_updates " << f.min_updates
+                               << " exceeds the aggregation target " << cap);
+  }
 }
 
 RunResult Simulation::run() {
@@ -72,6 +120,7 @@ RunResult Simulation::run() {
 
   // Baseline evaluation at t = 0.
   evaluate_and_record();
+  arm_round_deadline();
 
   while (!done_ && queue_.run_one()) {
   }
@@ -125,6 +174,25 @@ std::vector<std::size_t> Simulation::select_cohort(std::size_t count) const {
   return order;
 }
 
+std::uint64_t Simulation::schedule_transmission(std::size_t client,
+                                                InFlight& state,
+                                                double arrival,
+                                                std::size_t epochs) {
+  // Device churn preempts the network: a client that goes offline before its
+  // upload completes never delivers it. The crash event is simulator
+  // bookkeeping — the *server* only learns of it through a missed deadline.
+  if (state.crash_time < arrival) {
+    const double when = std::max(queue_.now(), state.crash_time);
+    return queue_.schedule_at(when, [this, client] { on_crash(client); });
+  }
+  if (state.lost) {
+    return queue_.schedule_at(arrival,
+                              [this, client] { on_upload_lost(client); });
+  }
+  return queue_.schedule_at(
+      arrival, [this, client, epochs] { on_arrival(client, epochs); });
+}
+
 void Simulation::start_training(std::size_t client) {
   SEAFL_CHECK(in_flight_.find(client) == in_flight_.end(),
               "client " << client << " already training");
@@ -159,7 +227,8 @@ void Simulation::start_training(std::size_t client) {
   }
 
   const std::size_t n = trainer_.client_samples(client);
-  double when = queue_.now() +
+  const double dispatch = queue_.now();
+  double when = dispatch +
                 fleet_->latency_seconds(client, round_, /*leg=*/0);
   state.epoch_ends.reserve(state.planned_epochs);
   for (std::size_t e = 0; e < state.planned_epochs; ++e) {
@@ -169,9 +238,13 @@ void Simulation::start_training(std::size_t client) {
   }
   const double arrival =
       when + fleet_->latency_seconds(client, round_, /*leg=*/1);
-  const std::size_t epochs = state.planned_epochs;
-  // Availability model: the upload may be lost in transit; the server
-  // notices at the expected arrival time and reassigns the slot.
+  // The device's next offline time is a fixed property of its churn
+  // timeline; a session dispatched to an offline device is dead on arrival
+  // (crash_time == dispatch).
+  state.crash_time = churn_.enabled()
+                         ? churn_.next_offline(client, dispatch)
+                         : std::numeric_limits<double>::infinity();
+  // Availability model: the upload may be lost in transit.
   if (config_.upload_loss_prob > 0.0) {
     // Keyed by a per-simulation draw counter, not (client, round): a retry
     // of the same client in the same round must get a fresh draw, or a
@@ -181,12 +254,17 @@ void Simulation::start_training(std::size_t client) {
     state.lost = drop_rng.bernoulli(config_.upload_loss_prob);
   }
   state.upload_event =
-      state.lost
-          ? queue_.schedule_at(arrival,
-                               [this, client] { on_upload_lost(client); })
-          : queue_.schedule_at(arrival, [this, client, epochs] {
-              on_arrival(client, epochs);
-            });
+      schedule_transmission(client, state, arrival, state.planned_epochs);
+  // Assignment deadline: the server expires the slot a fixed multiple of
+  // the expected session duration after dispatch. Scheduled *after* the
+  // transmission, so a healthy on-time upload (deadline_factor == 1) wins
+  // the (time, seq) tie and cancels the timer first.
+  if (config_.faults.deadline_factor > 0.0) {
+    const double deadline =
+        dispatch + config_.faults.deadline_factor * (arrival - dispatch);
+    state.deadline_event = queue_.schedule_at(
+        deadline, [this, client] { on_deadline(client); });
+  }
   if (trace_ != nullptr) {
     obs::TraceEvent e = trace_event(obs::TraceEventKind::kAssigned,
                                     queue_.now(), state.base_round);
@@ -205,6 +283,9 @@ void Simulation::on_arrival(std::size_t client, std::size_t epochs) {
   SEAFL_CHECK(it != in_flight_.end(), "arrival from unknown client");
   InFlight state = std::move(it->second);
   in_flight_.erase(it);
+  // The upload beat its deadline; disarm the timer. A deadline event never
+  // has id 0 (its session's transmission is always scheduled first).
+  if (state.deadline_event != 0) queue_.cancel(state.deadline_event);
 
   // Lazy training: compute the update now that its arrival time is due.
   ClientTrainResult trained =
@@ -251,38 +332,153 @@ void Simulation::on_upload_lost(std::size_t client) {
   if (done_) return;
   const auto it = in_flight_.find(client);
   SEAFL_CHECK(it != in_flight_.end(), "lost upload from unknown client");
+  InFlight& state = it->second;
   if (trace_ != nullptr) {
     obs::TraceEvent e =
         trace_event(obs::TraceEventKind::kUploadLost, queue_.now(), round_);
     e.client = client;
-    e.base_round = it->second.base_round;
+    e.base_round = state.base_round;
     trace_->record(e);
   }
-  in_flight_.erase(it);
   ++result_.lost_uploads;
+
+  // Client-side retransmission with capped exponential backoff. The client
+  // keeps its trained update and re-sends it; training is NOT redone.
+  const FaultConfig& f = config_.faults;
+  if (f.max_upload_retries > 0 && state.attempts - 1 < f.max_upload_retries) {
+    const double backoff =
+        std::min(f.retry_backoff_cap,
+                 f.retry_backoff *
+                     std::pow(2.0, static_cast<double>(state.attempts - 1)));
+    const double arrival =
+        queue_.now() + backoff +
+        fleet_->latency_seconds(client, state.base_round, /*leg=*/1);
+    ++state.attempts;
+    ++result_.upload_retries;
+    // Fresh loss draw per transmission (see start_training's counter note).
+    Rng drop_rng(config_.seed, RngPurpose::kDropout, client, round_,
+                 dropout_draws_++);
+    state.lost = drop_rng.bernoulli(config_.upload_loss_prob);
+    if (trace_ != nullptr) {
+      obs::TraceEvent e =
+          trace_event(obs::TraceEventKind::kRetry, queue_.now(), round_);
+      e.client = client;
+      e.base_round = state.base_round;
+      e.epochs = state.attempts - 1;  // retry number, 1-based
+      trace_->record(e);
+    }
+    state.upload_event =
+        schedule_transmission(client, state, arrival, state.planned_epochs);
+    return;
+  }
+
+  // Out of retries (or retries disabled): the slot is wasted unless the
+  // server reassigns it *now* — waiting for the next aggregation would
+  // strand the slot indefinitely under heavy loss.
+  if (state.deadline_event != 0) queue_.cancel(state.deadline_event);
+  in_flight_.erase(it);
   if (config_.mode == FlMode::kSync) {
     // A synchronous round cannot complete without the cohort; retry the
     // same client (models a re-transmission).
     start_training(client);
     return;
   }
-  // Semi-async: hand the slot to a client that is neither training nor
-  // waiting in the buffer (buffered clients restart after aggregation);
-  // fall back to the just-failed client when everyone else is busy.
+  const std::size_t replacement = pick_replacement(client, /*salt=*/777);
+  if (replacement != kNoClient) {
+    start_training(replacement);
+  } else {
+    ++result_.abandoned_slots;
+  }
+}
+
+std::size_t Simulation::pick_replacement(std::size_t exclude,
+                                         std::uint64_t salt) const {
+  // A usable replacement is neither training nor waiting in the buffer
+  // (buffered clients restart after aggregation), and is currently online —
+  // the server draws re-dispatch targets from the checked-in device pool.
   auto busy = [&](std::size_t candidate) {
     if (in_flight_.find(candidate) != in_flight_.end()) return true;
     for (const auto& u : buffer_)
       if (u.client == candidate) return true;
     return false;
   };
-  Rng rng(config_.seed, RngPurpose::kDropout, /*a=*/777, round_, client);
-  std::size_t replacement = client;
+  const double now = queue_.now();
+  Rng rng(config_.seed, RngPurpose::kDropout, salt, round_, exclude);
   for (int attempt = 0; attempt < 16; ++attempt) {
     const std::size_t candidate = rng.uniform_int(task_->num_clients());
-    if (!busy(candidate)) {
-      replacement = candidate;
-      break;
-    }
+    if (!busy(candidate) && churn_.online_at(candidate, now))
+      return candidate;
+  }
+  // Fall back to the excluded client itself when it is available (the
+  // pre-fault-layer behavior); otherwise give the slot up.
+  if (!busy(exclude) && churn_.online_at(exclude, now)) return exclude;
+  return kNoClient;
+}
+
+void Simulation::on_crash(std::size_t client) {
+  if (done_) return;
+  const auto it = in_flight_.find(client);
+  if (it == in_flight_.end()) return;
+  InFlight& state = it->second;
+  if (state.crashed) return;
+  state.crashed = true;
+  ++result_.client_crashes;
+  if (trace_ != nullptr) {
+    obs::TraceEvent e =
+        trace_event(obs::TraceEventKind::kCrash, queue_.now(), round_);
+    e.client = client;
+    e.base_round = state.base_round;
+    trace_->record(e);
+    // Journal the (already determined) recovery time so timelines can be
+    // reconstructed; the event is stamped in the future of the emission
+    // point, which the journal permits.
+    obs::TraceEvent r = trace_event(obs::TraceEventKind::kRecover,
+                                    churn_.next_online(client, queue_.now()),
+                                    round_);
+    r.client = client;
+    trace_->record(r);
+  }
+  // Nothing else happens here: the server cannot observe a device crash.
+  // With deadlines enabled, on_deadline reclaims the slot; a passive server
+  // waits for this client forever (and the run ends when the queue drains).
+}
+
+void Simulation::on_deadline(std::size_t client) {
+  if (done_) return;
+  const auto it = in_flight_.find(client);
+  if (it == in_flight_.end()) return;  // upload arrived; stale timer
+  ++result_.deadline_expirations;
+  if (trace_ != nullptr) {
+    obs::TraceEvent e = trace_event(obs::TraceEventKind::kDeadlineExpired,
+                                    queue_.now(), round_);
+    e.client = client;
+    e.base_round = it->second.base_round;
+    trace_->record(e);
+  }
+  reassign_slot(client, /*salt=*/778);
+}
+
+void Simulation::reassign_slot(std::size_t client, std::uint64_t salt) {
+  const auto it = in_flight_.find(client);
+  SEAFL_CHECK(it != in_flight_.end(), "reassigning an idle client");
+  InFlight& state = it->second;
+  // A crashed session's transmission event already fired (it *was* the
+  // crash); otherwise a retry/arrival may still be pending — kill it so the
+  // abandoned client cannot deliver into the buffer later.
+  if (!state.crashed) queue_.cancel(state.upload_event);
+  in_flight_.erase(it);
+
+  const std::size_t replacement = pick_replacement(client, salt);
+  if (replacement == kNoClient) {
+    ++result_.abandoned_slots;
+    return;
+  }
+  ++result_.redispatches;
+  if (trace_ != nullptr) {
+    obs::TraceEvent e =
+        trace_event(obs::TraceEventKind::kRedispatch, queue_.now(), round_);
+    e.client = replacement;
+    trace_->record(e);
   }
   start_training(replacement);
 }
@@ -292,7 +488,9 @@ void Simulation::on_notification(std::size_t client) {
   const auto it = in_flight_.find(client);
   if (it == in_flight_.end()) return;  // already uploaded
   InFlight& state = it->second;
-  if (state.lost) return;  // offline device: the notification goes unheard
+  // Unreachable devices cannot hear the notification: the session is either
+  // already dead (crashed) or its next transmission is doomed (lost).
+  if (state.crashed || state.lost) return;
 
   // The client stops after the epoch in progress at notification time.
   const double now = queue_.now();
@@ -305,16 +503,18 @@ void Simulation::on_notification(std::size_t client) {
   }
   if (stop_epoch >= state.planned_epochs) return;  // compute already done
 
-  queue_.cancel(state.upload_event);
-  state.planned_epochs = stop_epoch;
   const double arrival =
       state.epoch_ends[stop_epoch - 1] +
       fleet_->latency_seconds(client, state.base_round, /*leg=*/1);
   // The notification may arrive mid-epoch while the scheduled end is still
   // in the future; arrival must not precede the present.
   const double when = std::max(arrival, now);
-  state.upload_event = queue_.schedule_at(
-      when, [this, client, stop_epoch] { on_arrival(client, stop_epoch); });
+  queue_.cancel(state.upload_event);
+  state.planned_epochs = stop_epoch;
+  // Note the early upload can *rescue* a doomed session: if the device
+  // crashes after the truncated arrival but before the original one,
+  // schedule_transmission now sees crash_time >= arrival and delivers.
+  state.upload_event = schedule_transmission(client, state, when, stop_epoch);
 }
 
 void Simulation::check_stale_clients() {
@@ -339,11 +539,42 @@ void Simulation::check_stale_clients() {
   }
 }
 
+void Simulation::arm_round_deadline() {
+  if (config_.faults.round_deadline <= 0.0 || done_) return;
+  const std::uint64_t armed = round_;
+  queue_.schedule_after(config_.faults.round_deadline,
+                        [this, armed] { on_round_deadline(armed); });
+}
+
+void Simulation::on_round_deadline(std::uint64_t armed_round) {
+  if (done_ || round_ != armed_round) return;  // round closed in time
+  // Graceful degradation: from now until this round aggregates, the buffer
+  // target drops to min_updates. No re-arming — if even min_updates never
+  // arrive, the queue drains and the run ends instead of spinning.
+  round_deadline_passed_ = true;
+  maybe_aggregate();
+}
+
 void Simulation::maybe_aggregate() {
   if (done_) return;
 
+  const FaultConfig& f = config_.faults;
+  const bool degraded = round_deadline_passed_ && f.round_deadline > 0.0;
+
   if (config_.mode == FlMode::kSync) {
-    if (buffer_.size() >= sync_cohort_) do_aggregate();
+    const std::size_t required =
+        degraded ? std::min(f.min_updates, sync_cohort_) : sync_cohort_;
+    if (buffer_.size() < std::max<std::size_t>(required, 1)) return;
+    if (buffer_.size() < sync_cohort_) {
+      ++result_.degraded_aggregations;
+      if (trace_ != nullptr) {
+        obs::TraceEvent e = trace_event(
+            obs::TraceEventKind::kDegradedAggregate, queue_.now(), round_);
+        e.updates = buffer_.size();
+        trace_->record(e);
+      }
+    }
+    do_aggregate();
     return;
   }
 
@@ -355,34 +586,52 @@ void Simulation::maybe_aggregate() {
     result_.dropped_updates += before - buffer_.size();
   }
 
-  if (buffer_.size() < config_.buffer_size) return;
+  const std::size_t required =
+      degraded ? std::min(f.min_updates, config_.buffer_size)
+               : config_.buffer_size;
+  if (buffer_.size() < std::max<std::size_t>(required, 1)) return;
 
+  // Past the round deadline the server stops holding for stale clients —
+  // degrading the staleness bound beats stalling on a dead device.
+  bool stale_hold = false;
   if (config_.wait_for_stale &&
       config_.staleness_limit != kNoStalenessLimit) {
-    bool stale_in_flight = false;
     for (const auto& [client, state] : in_flight_) {
       if (staleness_of(state.base_round) >= config_.staleness_limit) {
-        stale_in_flight = true;
+        stale_hold = true;
         break;
       }
     }
-    if (stale_in_flight) {
-      ++result_.stale_waits;
-      check_stale_clients();  // SEAFL^2: tell them to report early
-      return;                 // SEAFL: hold aggregation until they arrive
-    }
+  }
+  if (stale_hold && !degraded) {
+    ++result_.stale_waits;
+    check_stale_clients();  // SEAFL^2: tell them to report early
+    return;                 // SEAFL: hold aggregation until they arrive
   }
 
+  // A degraded aggregation is one the deadline *forced*: the buffer target
+  // was relaxed, or a staleness hold was overridden with a full buffer.
+  if (buffer_.size() < config_.buffer_size || (degraded && stale_hold)) {
+    ++result_.degraded_aggregations;
+    if (trace_ != nullptr) {
+      obs::TraceEvent e = trace_event(obs::TraceEventKind::kDegradedAggregate,
+                                      queue_.now(), round_);
+      e.updates = buffer_.size();
+      trace_->record(e);
+    }
+  }
   do_aggregate();
 }
 
 void Simulation::do_aggregate() {
   SEAFL_CHECK(!buffer_.empty(), "aggregate with empty buffer");
 
+  ScreeningReport screening;
   AggregationContext ctx;
   ctx.round = round_;
   ctx.global = &global_;
   ctx.total_samples = 0;
+  ctx.screening = &screening;
   RoundStat stat;
   stat.updates = buffer_.size();
   stat.time = queue_.now();
@@ -405,14 +654,31 @@ void Simulation::do_aggregate() {
   result_.server_aggregation_work +=
       static_cast<double>(buffer_.size()) *
       static_cast<double>(global_.size());
+  // A screening strategy (core/screening.h) reports what it quarantined;
+  // surface it in the journal and the run counters.
+  for (const ScreeningReport::Entry& entry : screening.entries) {
+    if (entry.clipped) ++result_.clipped_updates;
+    if (!entry.rejected) continue;
+    ++result_.screened_updates;
+    if (trace_ != nullptr) {
+      obs::TraceEvent e =
+          trace_event(obs::TraceEventKind::kScreened, queue_.now(), round_);
+      e.client = entry.client;
+      e.value = entry.cosine;
+      trace_->record(e);
+    }
+  }
 
   // Remember the reporters before clearing: they receive the new model.
+  // Quarantined clients restart too — their *updates* were rejected, but
+  // idling the device would silently shrink concurrency.
   std::vector<std::size_t> reporters;
   reporters.reserve(buffer_.size());
   for (const auto& u : buffer_) reporters.push_back(u.client);
   buffer_.clear();
 
   ++round_;
+  round_deadline_passed_ = false;
   stat.round = round_;
   result_.round_log.push_back(stat);
   if (trace_ != nullptr) {
@@ -430,6 +696,7 @@ void Simulation::do_aggregate() {
     done_ = true;
     return;
   }
+  arm_round_deadline();
 
   if (config_.mode == FlMode::kSync) {
     // Fresh cohort every synchronous round.

@@ -35,6 +35,7 @@
 #include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/fleet.h"
+#include "sim/hazard.h"
 
 namespace seafl {
 
@@ -71,10 +72,14 @@ class Simulation {
     ModelVector base_weights;           ///< global snapshot at assignment
     std::vector<double> epoch_ends;     ///< virtual completion time per epoch
     std::uint64_t upload_event = 0;     ///< cancellable arrival event id
+    std::uint64_t deadline_event = 0;   ///< assignment-deadline timer (0=none)
     std::size_t planned_epochs = 0;     ///< epochs currently scheduled
     std::size_t frozen_layers = 0;      ///< sub-model training prefix
+    std::size_t attempts = 1;           ///< upload transmissions so far
+    double crash_time = 0.0;            ///< device goes offline at this time
     bool notified = false;              ///< SEAFL^2 notification sent
-    bool lost = false;                  ///< upload will be lost in transit
+    bool lost = false;                  ///< next transmission lost in transit
+    bool crashed = false;               ///< session dead (device offline)
   };
 
   // --- event handlers -------------------------------------------------------
@@ -85,10 +90,26 @@ class Simulation {
   void on_arrival(std::size_t client, std::size_t epochs);
   void on_upload_lost(std::size_t client);
   void on_notification(std::size_t client);
+  void on_crash(std::size_t client);
+  void on_deadline(std::size_t client);
+  void on_round_deadline(std::uint64_t armed_round);
+  void arm_round_deadline();
+  /// Abandons the client's session (cancelling pending events) and hands the
+  /// slot to a fresh online client. `salt` separates the RNG streams of the
+  /// loss-replacement and deadline-redispatch paths.
+  void reassign_slot(std::size_t client, std::uint64_t salt);
+  /// Draws an un-busy, currently-online replacement; npos when none found.
+  std::size_t pick_replacement(std::size_t exclude, std::uint64_t salt) const;
+  /// Schedules the (possibly crash-truncated) end of a transmission that is
+  /// expected to arrive at `arrival` carrying `epochs` epochs of training.
+  /// Returns the scheduled event id.
+  std::uint64_t schedule_transmission(std::size_t client, InFlight& state,
+                                      double arrival, std::size_t epochs);
   void maybe_aggregate();
   void do_aggregate();
   void evaluate_and_record();
   void check_stale_clients();
+  void validate_config() const;
   std::uint64_t staleness_of(std::uint64_t base_round) const {
     return round_ - base_round;
   }
@@ -103,6 +124,7 @@ class Simulation {
   ClientTrainer trainer_;
   Evaluator evaluator_;
   EventQueue queue_;
+  ChurnModel churn_;  ///< per-run device availability oracle (sim/hazard.h)
   obs::TraceSink* trace_ = nullptr;
 
   // --- run state ------------------------------------------------------------
@@ -113,6 +135,7 @@ class Simulation {
   std::unordered_map<std::size_t, InFlight> in_flight_;
   std::size_t sync_cohort_ = 0;  ///< cohort size awaited in sync mode
   bool done_ = false;
+  bool round_deadline_passed_ = false;  ///< degraded aggregation armed
   RunResult result_;
   double staleness_sum_ = 0.0;
   std::uint64_t dropout_draws_ = 0;  ///< see start_training's loss draw

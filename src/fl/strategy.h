@@ -7,16 +7,35 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "fl/types.h"
 
 namespace seafl {
+
+/// Per-update outcome of the pre-aggregation screening filter
+/// (core/screening.h). A screening strategy fills one entry per buffered
+/// update, in buffer order, through AggregationContext::screening so the
+/// simulation can journal quarantines and count them in RunResult without
+/// the fl layer depending on core.
+struct ScreeningReport {
+  struct Entry {
+    std::size_t client = 0;
+    double delta_norm = 0.0;  ///< L2 norm of w_k - w_g before clipping
+    double cosine = 1.0;      ///< similarity to the buffer's mean delta
+    bool clipped = false;     ///< delta was norm-clipped
+    bool rejected = false;    ///< update quarantined (excluded from Eq. 7)
+  };
+  std::vector<Entry> entries;
+};
 
 /// Read-only view the server exposes to a strategy at aggregation time.
 struct AggregationContext {
   std::uint64_t round = 0;           ///< current server round t
   const ModelVector* global = nullptr;  ///< w_t^g (never null)
   std::size_t total_samples = 0;     ///< sum of |D_k| over buffered updates
+  /// Out-channel for screening strategies; may be null (no report wanted).
+  ScreeningReport* screening = nullptr;
 };
 
 /// Combines a buffer of local updates into the next global model.

@@ -51,6 +51,48 @@ enum class SelectionPolicy {
   kDataWeighted,  ///< sample-count-proportional, without replacement
 };
 
+/// Fault injection and the server/client recovery policies that answer it
+/// (DESIGN.md §10). The hazard half (device churn) is simulated by a
+/// ChurnModel (sim/hazard.h) owned by the Simulation; the policy half is
+/// enforced by the simulation loop. All knobs default to off, so a fault-free
+/// config reproduces pre-fault-layer behavior exactly.
+struct FaultConfig {
+  // --- hazard: device churn -------------------------------------------------
+  /// Mean online interval (virtual seconds) of the per-client crash/recovery
+  /// process; a client that crashes mid-session never delivers its upload.
+  /// 0 disables churn entirely.
+  double mean_uptime = 0.0;
+  /// Mean offline interval after a crash (exponential).
+  double mean_downtime = 60.0;
+
+  // --- recovery: per-assignment deadlines -----------------------------------
+  /// The server expires an assignment `deadline_factor` x its expected
+  /// session duration after dispatch, cancels the presumed-dead client, and
+  /// re-dispatches the slot to a fresh online client. 0 disables; otherwise
+  /// must be >= 1 (a healthy client always beats its deadline).
+  double deadline_factor = 0.0;
+
+  // --- recovery: client upload retransmission -------------------------------
+  /// How many times a client re-sends an upload lost in transit
+  /// (upload_loss_prob) before giving up. 0 reproduces the one-shot loss.
+  std::size_t max_upload_retries = 0;
+  /// First retransmission backoff (virtual seconds); doubles per retry.
+  double retry_backoff = 1.0;
+  /// Cap on the exponential backoff.
+  double retry_backoff_cap = 32.0;
+
+  // --- recovery: round-deadline graceful degradation ------------------------
+  /// If the buffer cannot reach K within `round_deadline` virtual seconds of
+  /// the round start (too many assigned clients died), aggregate with
+  /// whatever is buffered once it holds >= min_updates instead of stalling.
+  /// 0 disables.
+  double round_deadline = 0.0;
+  /// Degraded-aggregation floor (1 <= min_updates <= K).
+  std::size_t min_updates = 1;
+
+  bool churn_enabled() const { return mean_uptime > 0.0; }
+};
+
 /// Orchestration parameters shared by all algorithms. Strategy-specific
 /// hyperparameters (alpha, mu, vartheta, ...) live in the strategy configs.
 struct RunConfig {
@@ -103,6 +145,9 @@ struct RunConfig {
   /// weights to this many bits (2..16). 0 disables (full float32 uploads).
   std::size_t quantize_bits = 0;
 
+  /// Fault injection + recovery policies (all off by default).
+  FaultConfig faults;
+
   // Stopping conditions (whichever hits first).
   std::uint64_t max_rounds = 300;
   double max_virtual_seconds = 1e9;
@@ -154,6 +199,16 @@ struct RunResult {
   std::size_t dropped_updates = 0;   ///< uploads discarded as too stale
   std::size_t stale_waits = 0;       ///< aggregations delayed for stale clients
   double mean_staleness = 0.0;       ///< mean S_k over aggregated updates
+
+  // Fault-tolerance accounting (DESIGN.md §10).
+  std::size_t client_crashes = 0;        ///< sessions killed by device churn
+  std::size_t deadline_expirations = 0;  ///< assignments the server expired
+  std::size_t redispatches = 0;          ///< expired slots handed to a fresh client
+  std::size_t abandoned_slots = 0;       ///< expirations with no replacement available
+  std::size_t upload_retries = 0;        ///< client retransmissions of lost uploads
+  std::size_t degraded_aggregations = 0; ///< rounds closed with < K updates
+  std::size_t screened_updates = 0;      ///< updates quarantined pre-aggregation
+  std::size_t clipped_updates = 0;       ///< updates norm-clipped pre-aggregation
 };
 
 }  // namespace seafl

@@ -49,6 +49,13 @@ const char* trace_event_name(TraceEventKind kind) {
     case TraceEventKind::kUploadLost: return "upload_lost";
     case TraceEventKind::kAggregate: return "aggregate";
     case TraceEventKind::kEval: return "eval";
+    case TraceEventKind::kCrash: return "crash";
+    case TraceEventKind::kRecover: return "recover";
+    case TraceEventKind::kDeadlineExpired: return "deadline_expired";
+    case TraceEventKind::kRedispatch: return "redispatch";
+    case TraceEventKind::kRetry: return "retry";
+    case TraceEventKind::kDegradedAggregate: return "degraded_aggregate";
+    case TraceEventKind::kScreened: return "screened";
   }
   return "unknown";
 }
@@ -110,19 +117,58 @@ Json TraceJournal::chrome_trace(const std::string& run_label) const {
         break;
       }
       case TraceEventKind::kUpload:
-      case TraceEventKind::kUploadLost: {
+      case TraceEventKind::kUploadLost:
+      case TraceEventKind::kCrash:
+      case TraceEventKind::kDeadlineExpired: {
+        // All four end a training session from the trace's point of view: a
+        // crash kills the client's session, a deadline abandons it server-
+        // side. A deadline after a crash finds no open slice (already
+        // closed) and emits only the instant marker below.
         const auto it = open_slice.find(e.client);
-        const std::string name =
-            it != open_slice.end() ? it->second : std::string("train");
-        JsonObject end = make_event("E", name, 0, e.client, e.time);
+        const bool close_slice =
+            it != open_slice.end() || e.kind == TraceEventKind::kUpload ||
+            e.kind == TraceEventKind::kUploadLost;
+        if (close_slice) {
+          const std::string name =
+              it != open_slice.end() ? it->second : std::string("train");
+          JsonObject end = make_event("E", name, 0, e.client, e.time);
+          JsonObject args;
+          args.emplace("epochs", Json(static_cast<std::uint64_t>(e.epochs)));
+          args.emplace("staleness", Json(e.value));
+          args.emplace("lost", Json(e.kind == TraceEventKind::kUploadLost));
+          args.emplace("outcome", Json(trace_event_name(e.kind)));
+          end.emplace("args", Json(std::move(args)));
+          end.emplace("cat", Json("train"));
+          out.push_back(Json(std::move(end)));
+          if (it != open_slice.end()) open_slice.erase(it);
+        }
+        if (e.kind == TraceEventKind::kCrash ||
+            e.kind == TraceEventKind::kDeadlineExpired) {
+          JsonObject i = make_event("i", trace_event_name(e.kind), 0,
+                                    e.client, e.time);
+          i.emplace("s", Json("t"));
+          out.push_back(Json(std::move(i)));
+        }
+        break;
+      }
+      case TraceEventKind::kRecover:
+      case TraceEventKind::kRedispatch:
+      case TraceEventKind::kRetry:
+      case TraceEventKind::kScreened: {
+        JsonObject i = make_event("i", trace_event_name(e.kind), 0, e.client,
+                                  e.time);
+        i.emplace("s", Json("t"));
+        out.push_back(Json(std::move(i)));
+        break;
+      }
+      case TraceEventKind::kDegradedAggregate: {
+        JsonObject i = make_event(
+            "i", "degraded r" + std::to_string(e.round), 1, 0, e.time);
+        i.emplace("s", Json("t"));
         JsonObject args;
-        args.emplace("epochs", Json(static_cast<std::uint64_t>(e.epochs)));
-        args.emplace("staleness", Json(e.value));
-        args.emplace("lost", Json(e.kind == TraceEventKind::kUploadLost));
-        end.emplace("args", Json(std::move(args)));
-        end.emplace("cat", Json("train"));
-        out.push_back(Json(std::move(end)));
-        if (it != open_slice.end()) open_slice.erase(it);
+        args.emplace("updates", Json(static_cast<std::uint64_t>(e.updates)));
+        i.emplace("args", Json(std::move(args)));
+        out.push_back(Json(std::move(i)));
         break;
       }
       case TraceEventKind::kEpochDone: {

@@ -31,6 +31,14 @@ enum class TraceEventKind {
   kUploadLost,  ///< client update was lost in transit
   kAggregate,   ///< server aggregated the buffer; round advanced
   kEval,        ///< global model evaluated
+  // Fault-tolerance events (DESIGN.md §10).
+  kCrash,       ///< device went offline mid-session; upload will never arrive
+  kRecover,     ///< device back online (stamped with the future recovery time)
+  kDeadlineExpired,    ///< server expired an assignment past its deadline
+  kRedispatch,  ///< expired slot handed to a replacement client
+  kRetry,       ///< client retransmits a lost upload after backoff
+  kDegradedAggregate,  ///< round closed with fewer than K updates
+  kScreened,    ///< update quarantined by pre-aggregation screening
 };
 
 /// Stable lowercase name ("assigned", "upload", ...) used in both exports.
@@ -48,6 +56,14 @@ inline constexpr std::size_t kServerTrack = static_cast<std::size_t>(-1);
 ///   kUploadLost: client, round (server), base_round
 ///   kAggregate:  round (after advancing), updates, value (mean staleness)
 ///   kEval:       round, value (accuracy)
+///   kCrash:      client, round (server), base_round; time = crash time
+///   kRecover:    client, round (server); time = recovery time (in the
+///                future at emission — journals are not time-sorted)
+///   kDeadlineExpired: client, round (server), base_round
+///   kRedispatch: client (the replacement), round (server)
+///   kRetry:      client, round (server), epochs (attempt number, 1-based)
+///   kDegradedAggregate: round (before advancing), updates (buffered count)
+///   kScreened:   client, round (server), value (cosine to the mean delta)
 struct TraceEvent {
   TraceEventKind kind = TraceEventKind::kAssigned;
   double time = 0.0;  ///< virtual seconds

@@ -1,0 +1,75 @@
+#include "sim/hazard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace seafl {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Exponential draw with the given mean. uniform() < 1, so log never sees 0.
+double exponential(Rng& rng, double mean) {
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+}  // namespace
+
+ChurnModel::ChurnModel(const ChurnConfig& config, std::size_t num_clients)
+    : config_(config) {
+  if (!enabled()) return;
+  SEAFL_CHECK(config.mean_uptime > 0.0, "mean_uptime must be positive");
+  SEAFL_CHECK(config.mean_downtime > 0.0,
+              "mean_downtime must be positive when churn is enabled");
+  timelines_.resize(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c)
+    timelines_[c].rng = Rng(config.seed, RngPurpose::kChurn, c);
+}
+
+void ChurnModel::extend_past(Timeline& tl, double t) const {
+  // Draws are strictly sequential per client, so the timeline is identical
+  // no matter which queries (or in what order) forced its generation.
+  while (tl.edges.empty() || tl.edges.back() <= t) {
+    const double last = tl.edges.empty() ? 0.0 : tl.edges.back();
+    const bool next_is_crash = tl.edges.size() % 2 == 0;
+    const double mean =
+        next_is_crash ? config_.mean_uptime : config_.mean_downtime;
+    tl.edges.push_back(last + exponential(tl.rng, mean));
+  }
+}
+
+std::size_t ChurnModel::interval_at(std::size_t client, double t) const {
+  SEAFL_CHECK(client < timelines_.size(),
+              "churn client " << client << " out of range");
+  Timeline& tl = timelines_[client];
+  extend_past(tl, t);
+  // Number of edges at or before t; intervals are [edge_{i-1}, edge_i).
+  return static_cast<std::size_t>(
+      std::upper_bound(tl.edges.begin(), tl.edges.end(), t) -
+      tl.edges.begin());
+}
+
+bool ChurnModel::online_at(std::size_t client, double t) const {
+  if (!enabled()) return true;
+  return interval_at(client, t) % 2 == 0;
+}
+
+double ChurnModel::next_offline(std::size_t client, double t) const {
+  if (!enabled()) return kInfinity;
+  const std::size_t i = interval_at(client, t);
+  if (i % 2 == 1) return t;  // already offline
+  return timelines_[client].edges[i];  // end of the current online interval
+}
+
+double ChurnModel::next_online(std::size_t client, double t) const {
+  if (!enabled()) return t;
+  const std::size_t i = interval_at(client, t);
+  if (i % 2 == 0) return t;  // already online
+  return timelines_[client].edges[i];  // end of the current offline interval
+}
+
+}  // namespace seafl

@@ -1,0 +1,77 @@
+// Device churn model: per-client crash/recovery timelines on the virtual
+// clock.
+//
+// Each client alternates online and offline intervals from t = 0 (everyone
+// starts online). Interval durations are exponential draws — mean
+// `mean_uptime` while online, `mean_downtime` while offline — from a
+// per-client stream derived from the root seed (RngPurpose::kChurn), so a
+// client's whole availability timeline is a pure function of (seed, client):
+// it does not depend on what the server does, on query order, or on whether
+// a trace sink is attached. This is the hazard half of the fault-tolerance
+// layer; the recovery policies that react to it (assignment deadlines,
+// re-dispatch, degraded aggregation) live in fl/simulation.
+//
+// Timelines are generated lazily: queries past the generated horizon extend
+// the per-client edge list by drawing further intervals in sequence. The
+// model is therefore cheap for short runs and must be owned per-simulation
+// (the lazy cache is not thread-safe; a Simulation is single-threaded).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace seafl {
+
+/// Churn process parameters. mean_uptime == 0 disables churn entirely
+/// (every client is permanently online and queries are O(1)).
+struct ChurnConfig {
+  double mean_uptime = 0.0;    ///< mean online interval, virtual seconds
+  double mean_downtime = 60.0; ///< mean offline interval after a crash
+  std::uint64_t seed = 42;     ///< root seed (kChurn streams derive from it)
+};
+
+/// Deterministic per-client availability oracle (see file comment).
+class ChurnModel {
+ public:
+  /// A disabled model: every client is always online.
+  ChurnModel() = default;
+
+  ChurnModel(const ChurnConfig& config, std::size_t num_clients);
+
+  bool enabled() const { return config_.mean_uptime > 0.0; }
+  std::size_t num_clients() const { return timelines_.size(); }
+
+  /// Is the client online at virtual time t?
+  bool online_at(std::size_t client, double t) const;
+
+  /// First time >= t at which the client is (or goes) offline. Returns t
+  /// itself when the client is already offline at t; infinity when churn is
+  /// disabled.
+  double next_offline(std::size_t client, double t) const;
+
+  /// First time >= t at which the client is (or comes back) online.
+  double next_online(std::size_t client, double t) const;
+
+ private:
+  struct Timeline {
+    // Interval boundaries in increasing order, starting from an online
+    // interval at t = 0: edges[0] is the first crash, edges[1] the first
+    // recovery, edges[2] the second crash, ... (even index = crash edge).
+    std::vector<double> edges;
+    Rng rng;
+  };
+
+  /// Extends the client's edge list until it strictly covers time t.
+  void extend_past(Timeline& tl, double t) const;
+
+  /// Index of the interval containing t (0 = initial online interval).
+  /// Even result = online, odd = offline. Extends the timeline as needed.
+  std::size_t interval_at(std::size_t client, double t) const;
+
+  ChurnConfig config_;
+  mutable std::vector<Timeline> timelines_;
+};
+
+}  // namespace seafl

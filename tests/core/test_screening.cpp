@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "core/screening.h"
+#include "fl/strategies.h"
+#include "tensor/ops.h"
+
+namespace seafl {
+namespace {
+
+LocalUpdate update(std::size_t client, std::vector<float> weights,
+                   std::size_t samples = 10) {
+  LocalUpdate u;
+  u.client = client;
+  u.weights = std::move(weights);
+  u.num_samples = samples;
+  return u;
+}
+
+ScreeningConfig clip_only(double multiple) {
+  ScreeningConfig c;
+  c.clip_multiple = multiple;
+  return c;
+}
+
+ScreeningConfig cosine_only(double min_cosine) {
+  ScreeningConfig c;
+  c.min_cosine = min_cosine;
+  return c;
+}
+
+TEST(ScreeningTest, DisabledConfigIsNoOp) {
+  const ModelVector global{0.0f, 0.0f};
+  std::vector<LocalUpdate> buffer{update(0, {5.0f, 0.0f}),
+                                  update(1, {0.0f, 5.0f}),
+                                  update(2, {100.0f, 0.0f})};
+  const auto before = buffer;
+  const ScreeningReport report =
+      screen_updates(ScreeningConfig{}, global, buffer);
+  ASSERT_EQ(report.entries.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(report.entries[i].clipped);
+    EXPECT_FALSE(report.entries[i].rejected);
+    EXPECT_EQ(buffer[i].weights, before[i].weights);
+  }
+}
+
+TEST(ScreeningTest, NoOpBelowMinBuffer) {
+  const ModelVector global{0.0f, 0.0f};
+  std::vector<LocalUpdate> buffer{update(0, {1.0f, 0.0f}),
+                                  update(1, {-100.0f, 0.0f})};
+  ScreeningConfig config = clip_only(2.0);
+  config.min_cosine = 0.0;
+  ASSERT_TRUE(config.enabled());
+  const auto before = buffer;
+  const ScreeningReport report = screen_updates(config, global, buffer);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    EXPECT_FALSE(report.entries[i].clipped);
+    EXPECT_FALSE(report.entries[i].rejected);
+    EXPECT_EQ(buffer[i].weights, before[i].weights);
+  }
+}
+
+TEST(ScreeningTest, ClipsAgainstMedianBound) {
+  const ModelVector global{1.0f, 1.0f};  // non-zero: deltas are w_k - w_g
+  // Four honest deltas of norm 1, one corrupt delta of norm 100.
+  std::vector<LocalUpdate> buffer{
+      update(0, {2.0f, 1.0f}), update(1, {1.0f, 2.0f}),
+      update(2, {0.0f, 1.0f}), update(3, {1.0f, 0.0f}),
+      update(4, {101.0f, 1.0f})};
+  const ScreeningReport report =
+      screen_updates(clip_only(2.0), global, buffer);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(report.entries[i].clipped) << "honest update " << i;
+    EXPECT_DOUBLE_EQ(report.entries[i].delta_norm, 1.0);
+  }
+  EXPECT_TRUE(report.entries[4].clipped);
+  EXPECT_DOUBLE_EQ(report.entries[4].delta_norm, 100.0);  // pre-clip norm
+  // Median norm 1, bound 2: the corrupt delta is rescaled to norm 2 and the
+  // buffered weights rewritten to w_g + clipped delta.
+  EXPECT_NEAR(buffer[4].weights[0], 1.0f + 2.0f, 1e-4);
+  EXPECT_NEAR(buffer[4].weights[1], 1.0f, 1e-4);
+}
+
+TEST(ScreeningTest, RejectsUpdatePointingAwayFromConsensus) {
+  const ModelVector global{0.0f, 0.0f};
+  // Four updates push +x, one pushes -x.
+  std::vector<LocalUpdate> buffer{
+      update(0, {1.0f, 0.1f}), update(1, {1.0f, -0.1f}),
+      update(2, {1.0f, 0.0f}), update(3, {1.0f, 0.05f}),
+      update(4, {-1.0f, 0.0f})};
+  const ScreeningReport report =
+      screen_updates(cosine_only(0.0), global, buffer);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(report.entries[i].rejected) << "honest update " << i;
+    EXPECT_GT(report.entries[i].cosine, 0.9);
+  }
+  EXPECT_TRUE(report.entries[4].rejected);
+  EXPECT_LT(report.entries[4].cosine, 0.0);
+}
+
+TEST(ScreeningTest, ClippingRunsBeforeCosine) {
+  const ModelVector global{0.0f, 0.0f};
+  // The corrupt update is both huge and opposed; after clipping it cannot
+  // dominate the mean direction, so the cosine step still catches it.
+  std::vector<LocalUpdate> buffer{
+      update(0, {1.0f, 0.0f}), update(1, {1.0f, 0.1f}),
+      update(2, {1.0f, -0.1f}), update(3, {-1000.0f, 0.0f})};
+  ScreeningConfig config = clip_only(2.0);
+  config.min_cosine = 0.0;
+  const ScreeningReport report = screen_updates(config, global, buffer);
+  EXPECT_TRUE(report.entries[3].clipped);
+  EXPECT_TRUE(report.entries[3].rejected);
+  EXPECT_FALSE(report.entries[0].rejected);
+}
+
+TEST(ScreenedStrategyTest, FiltersRejectedUpdatesFromAggregation) {
+  ScreeningConfig config = cosine_only(0.0);
+  ScreenedStrategy strategy(std::make_unique<FedAvgStrategy>(), config);
+  EXPECT_EQ(strategy.name(), "FedAvg+screen");
+
+  const ModelVector global{0.0f, 0.0f};
+  std::vector<LocalUpdate> buffer{
+      update(0, {1.0f, 0.0f}), update(1, {1.0f, 0.1f}),
+      update(2, {1.0f, -0.1f}), update(3, {-2.0f, 0.0f})};
+  ScreeningReport out;
+  AggregationContext ctx;
+  ctx.global = &global;
+  ctx.screening = &out;
+  for (const auto& u : buffer) ctx.total_samples += u.num_samples;
+
+  ModelVector result = global;
+  strategy.aggregate(ctx, buffer, result);
+
+  ASSERT_EQ(out.entries.size(), 4u);
+  EXPECT_TRUE(out.entries[3].rejected);
+  EXPECT_EQ(strategy.last_report().entries.size(), 4u);
+  // FedAvg over the three kept updates only: mean x-coordinate 1, not
+  // dragged negative by the quarantined one.
+  EXPECT_NEAR(result[0], 1.0f, 1e-4);
+}
+
+TEST(ScreenedStrategyTest, WholeBufferRejectedLeavesGlobalUnchanged) {
+  ScreeningConfig config = cosine_only(0.5);
+  ScreenedStrategy strategy(std::make_unique<FedAvgStrategy>(), config);
+  const ModelVector global{3.0f, -2.0f};
+  // Two opposite pairs: the mean delta is zero, every cosine is 0 < 0.5.
+  std::vector<LocalUpdate> buffer{
+      update(0, {4.0f, -2.0f}), update(1, {2.0f, -2.0f}),
+      update(2, {3.0f, -1.0f}), update(3, {3.0f, -3.0f})};
+  AggregationContext ctx;
+  ctx.global = &global;
+  ModelVector result = global;
+  strategy.aggregate(ctx, buffer, result);
+  for (const auto& e : strategy.last_report().entries)
+    EXPECT_TRUE(e.rejected);
+  EXPECT_EQ(result, global);
+}
+
+TEST(ScreenedStrategyTest, RejectsInvalidConfig) {
+  ScreeningConfig bad;
+  bad.min_cosine = 1.5;
+  EXPECT_THROW(ScreenedStrategy(std::make_unique<FedAvgStrategy>(), bad),
+               Error);
+  ScreeningConfig neg;
+  neg.clip_multiple = -1.0;
+  EXPECT_THROW(ScreenedStrategy(std::make_unique<FedAvgStrategy>(), neg),
+               Error);
+  EXPECT_THROW(ScreenedStrategy(nullptr, ScreeningConfig{}), Error);
+}
+
+}  // namespace
+}  // namespace seafl

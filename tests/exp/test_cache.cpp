@@ -34,6 +34,14 @@ RunResult sample_result() {
   r.dropped_updates = 1;
   r.stale_waits = 3;
   r.mean_staleness = 0.8;
+  r.client_crashes = 4;
+  r.deadline_expirations = 3;
+  r.redispatches = 2;
+  r.abandoned_slots = 1;
+  r.upload_retries = 5;
+  r.degraded_aggregations = 1;
+  r.screened_updates = 2;
+  r.clipped_updates = 6;
   return r;
 }
 
@@ -69,6 +77,14 @@ void expect_equal(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.dropped_updates, b.dropped_updates);
   EXPECT_EQ(a.stale_waits, b.stale_waits);
   EXPECT_EQ(a.mean_staleness, b.mean_staleness);
+  EXPECT_EQ(a.client_crashes, b.client_crashes);
+  EXPECT_EQ(a.deadline_expirations, b.deadline_expirations);
+  EXPECT_EQ(a.redispatches, b.redispatches);
+  EXPECT_EQ(a.abandoned_slots, b.abandoned_slots);
+  EXPECT_EQ(a.upload_retries, b.upload_retries);
+  EXPECT_EQ(a.degraded_aggregations, b.degraded_aggregations);
+  EXPECT_EQ(a.screened_updates, b.screened_updates);
+  EXPECT_EQ(a.clipped_updates, b.clipped_updates);
 }
 
 class CacheTest : public ::testing::Test {

@@ -220,6 +220,54 @@ TEST(SimulationTest, InvalidConfigsRejected) {
                           std::make_unique<FedBuffStrategy>(),
                           f.base_config()),
                Error);
+
+  for (const std::size_t bits : {1, 17}) {
+    c = f.base_config();
+    c.quantize_bits = bits;  // valid range is 0 or [2, 16]
+    EXPECT_THROW(Simulation(f.task, f.factory, fleet,
+                            std::make_unique<FedBuffStrategy>(), c),
+                 Error);
+  }
+
+  c = f.base_config();
+  c.upload_loss_prob = 1.0;  // a certain loss can never complete
+  EXPECT_THROW(Simulation(f.task, f.factory, fleet,
+                          std::make_unique<FedBuffStrategy>(), c),
+               Error);
+
+  c = f.base_config();
+  c.faults.deadline_factor = 0.5;  // < 1 would expire healthy clients
+  EXPECT_THROW(Simulation(f.task, f.factory, fleet,
+                          std::make_unique<FedBuffStrategy>(), c),
+               Error);
+
+  c = f.base_config();
+  c.faults.max_upload_retries = 2;
+  c.faults.retry_backoff = 0.0;
+  EXPECT_THROW(Simulation(f.task, f.factory, fleet,
+                          std::make_unique<FedBuffStrategy>(), c),
+               Error);
+
+  c = f.base_config();
+  c.faults.max_upload_retries = 2;
+  c.faults.retry_backoff_cap = 0.1;  // below retry_backoff
+  EXPECT_THROW(Simulation(f.task, f.factory, fleet,
+                          std::make_unique<FedBuffStrategy>(), c),
+               Error);
+
+  c = f.base_config();
+  c.faults.round_deadline = 100.0;
+  c.faults.min_updates = c.buffer_size + 1;  // can never trigger
+  EXPECT_THROW(Simulation(f.task, f.factory, fleet,
+                          std::make_unique<FedBuffStrategy>(), c),
+               Error);
+
+  c = f.base_config();
+  c.faults.mean_uptime = 50.0;
+  c.faults.mean_downtime = 0.0;  // churn enabled but no recovery interval
+  EXPECT_THROW(Simulation(f.task, f.factory, fleet,
+                          std::make_unique<FedBuffStrategy>(), c),
+               Error);
 }
 
 TEST(SimulationTest, OverheadAccountingIsConsistent) {

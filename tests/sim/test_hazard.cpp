@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "sim/hazard.h"
+
+namespace seafl {
+namespace {
+
+ChurnConfig churn_config(double uptime = 100.0, double downtime = 25.0,
+                         std::uint64_t seed = 42) {
+  ChurnConfig c;
+  c.mean_uptime = uptime;
+  c.mean_downtime = downtime;
+  c.seed = seed;
+  return c;
+}
+
+TEST(ChurnModelTest, DisabledModelIsAlwaysOnline) {
+  const ChurnModel def;  // default-constructed
+  const ChurnModel off(churn_config(/*uptime=*/0.0), 10);
+  for (const ChurnModel* m : {&def, &off}) {
+    EXPECT_FALSE(m->enabled());
+    EXPECT_TRUE(m->online_at(0, 0.0));
+    EXPECT_TRUE(m->online_at(0, 1e12));
+    EXPECT_EQ(m->next_offline(0, 5.0),
+              std::numeric_limits<double>::infinity());
+    EXPECT_EQ(m->next_online(0, 5.0), 5.0);
+  }
+}
+
+TEST(ChurnModelTest, EveryClientStartsOnline) {
+  const ChurnModel m(churn_config(), 20);
+  for (std::size_t c = 0; c < 20; ++c) EXPECT_TRUE(m.online_at(c, 0.0));
+}
+
+TEST(ChurnModelTest, TimelineAlternatesConsistently) {
+  const ChurnModel m(churn_config(/*uptime=*/10.0, /*downtime=*/5.0), 4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    double t = 0.0;
+    // Walk a few cycles: online until next_offline, offline until
+    // next_online, and the point queries must agree with the walk.
+    for (int cycle = 0; cycle < 5; ++cycle) {
+      ASSERT_TRUE(m.online_at(c, t));
+      const double down = m.next_offline(c, t);
+      ASSERT_GT(down, t);
+      // Just before the crash edge the client is still online; at it,
+      // offline (intervals are half-open [edge_{i-1}, edge_i)).
+      EXPECT_TRUE(m.online_at(c, std::nextafter(down, t)));
+      EXPECT_FALSE(m.online_at(c, down));
+      EXPECT_EQ(m.next_offline(c, down), down);  // already offline
+      const double up = m.next_online(c, down);
+      ASSERT_GT(up, down);
+      EXPECT_TRUE(m.online_at(c, up));
+      EXPECT_EQ(m.next_online(c, up), up);  // already online
+      t = up;
+    }
+  }
+}
+
+TEST(ChurnModelTest, QueryOrderDoesNotChangeTheTimeline) {
+  // Forward walk vs far-future-first: the lazily generated edges must agree.
+  const ChurnModel forward(churn_config(), 8);
+  const ChurnModel backward(churn_config(), 8);
+
+  std::vector<double> probes{0.0, 3.0, 47.0, 260.0, 1900.0};
+  // Force the far horizon first on one model.
+  for (std::size_t c = 0; c < 8; ++c) backward.online_at(c, 5000.0);
+
+  for (std::size_t c = 0; c < 8; ++c) {
+    for (const double t : probes) {
+      EXPECT_EQ(forward.online_at(c, t), backward.online_at(c, t));
+      EXPECT_DOUBLE_EQ(forward.next_offline(c, t),
+                       backward.next_offline(c, t));
+      EXPECT_DOUBLE_EQ(forward.next_online(c, t), backward.next_online(c, t));
+    }
+  }
+}
+
+TEST(ChurnModelTest, SeedAndClientChangeTheTimeline) {
+  const ChurnModel a(churn_config(), 4);
+  const ChurnModel b(churn_config(100.0, 25.0, /*seed=*/43), 4);
+  // Different seeds: first crash times differ (almost surely).
+  EXPECT_NE(a.next_offline(0, 0.0), b.next_offline(0, 0.0));
+  // Different clients of one model have independent streams.
+  EXPECT_NE(a.next_offline(0, 0.0), a.next_offline(1, 0.0));
+  // Same (seed, client) reproduces exactly.
+  const ChurnModel c(churn_config(), 4);
+  EXPECT_DOUBLE_EQ(a.next_offline(2, 0.0), c.next_offline(2, 0.0));
+}
+
+TEST(ChurnModelTest, MeanUptimeMatchesTheExponentialRoughly) {
+  // 400 clients' first crash times average near mean_uptime.
+  const double mean = 50.0;
+  const ChurnModel m(churn_config(mean, 10.0), 400);
+  double sum = 0.0;
+  for (std::size_t c = 0; c < 400; ++c) sum += m.next_offline(c, 0.0);
+  const double avg = sum / 400.0;
+  EXPECT_GT(avg, 0.75 * mean);
+  EXPECT_LT(avg, 1.25 * mean);
+}
+
+}  // namespace
+}  // namespace seafl
