@@ -40,11 +40,12 @@ void Dataset::gather(std::span<const std::size_t> indices,
                      bool as_images) const {
   const std::size_t batch = indices.size();
   const std::size_t numel = sample_numel();
-  const Shape shape = as_images
-                          ? Shape{batch, input_.channels, input_.height,
-                                  input_.width}
-                          : Shape{batch, numel};
-  if (features_out.shape() != shape) features_out = Tensor(shape);
+  if (as_images) {
+    features_out.ensure_shape(
+        {batch, input_.channels, input_.height, input_.width});
+  } else {
+    features_out.ensure_shape({batch, numel});
+  }
   labels_out.resize(batch);
   for (std::size_t b = 0; b < batch; ++b) {
     const std::size_t i = indices[b];

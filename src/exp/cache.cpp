@@ -17,7 +17,10 @@ namespace {
 /// misses instead of parse errors.
 // v2: RunResult gained the fault-tolerance counters (client_crashes,
 // redispatches, ...). Old entries become misses and re-run.
-constexpr std::uint64_t kCacheVersion = 2;
+// v3: the tiled GEMM changed the FP addition order inside kernels, so
+// numerically-sensitive cached curves no longer match what a fresh run
+// produces; invalidate rather than mix kernel generations in one sweep.
+constexpr std::uint64_t kCacheVersion = 3;
 
 Json curve_to_json(const std::vector<AccuracyPoint>& curve) {
   JsonArray out;

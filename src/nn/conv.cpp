@@ -5,6 +5,7 @@
 
 #include "obs/profile.h"
 #include "tensor/gemm.h"
+#include "tensor/workspace.h"
 
 namespace seafl {
 
@@ -16,8 +17,7 @@ Conv2d::Conv2d(ConvGeom in, std::size_t out_channels)
       weight_({out_channels, in.col_rows()}),
       bias_({out_channels}),
       weight_grad_({out_channels, in.col_rows()}),
-      bias_grad_({out_channels}),
-      cols_({in.col_rows(), in.col_cols()}) {
+      bias_grad_({out_channels}) {
   SEAFL_CHECK(out_channels > 0, "Conv2d needs at least one filter");
   SEAFL_CHECK(in.kernel_h <= in.height + 2 * in.pad &&
                   in.kernel_w <= in.width + 2 * in.pad,
@@ -41,21 +41,21 @@ void Conv2d::forward(const Tensor& input, Tensor& output, bool train) {
   const std::size_t oh = geom_.out_h();
   const std::size_t ow = geom_.out_w();
   const std::size_t out_sample = out_channels_ * oh * ow;
-  if (output.shape() != Shape{batch, out_channels_, oh, ow})
-    output = Tensor({batch, out_channels_, oh, ow});
+  output.ensure_shape({batch, out_channels_, oh, ow});
+
+  std::span<float> cols = Workspace::tls().floats(
+      WsSlot::kIm2colCols, geom_.col_rows() * geom_.col_cols());
+  // Bias is fused into the GEMM store loop: out[oc, i] = acc + bias[oc],
+  // the same addition order as the former post-GEMM plane sweep.
+  GemmEpilogue epi;
+  epi.row_bias = bias_.data();
 
   for (std::size_t b = 0; b < batch; ++b) {
-    im2col(geom_, {input.data() + b * sample, sample}, cols_.span());
-    // out[b] = W [OC, CR] * cols [CR, CC]
-    gemm(Trans::kNo, Trans::kNo, out_channels_, geom_.col_cols(),
-         geom_.col_rows(), 1.0f, weight_.span(), cols_.span(), 0.0f,
-         {output.data() + b * out_sample, out_sample});
-    float* out = output.data() + b * out_sample;
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const float bv = bias_[oc];
-      float* plane = out + oc * oh * ow;
-      for (std::size_t i = 0; i < oh * ow; ++i) plane[i] += bv;
-    }
+    im2col(geom_, {input.data() + b * sample, sample}, cols);
+    // out[b] = W [OC, CR] * cols [CR, CC] + bias
+    gemm_ex(Trans::kNo, Trans::kNo, out_channels_, geom_.col_cols(),
+            geom_.col_rows(), 1.0f, weight_.span(), cols, 0.0f,
+            {output.data() + b * out_sample, out_sample}, epi);
   }
   if (train) cached_input_ = input;
 }
@@ -69,19 +69,22 @@ void Conv2d::backward(const Tensor& output_grad, Tensor& input_grad) {
   const std::size_t out_sample = out_channels_ * oh * ow;
   SEAFL_CHECK(output_grad.numel() == batch * out_sample,
               name() << " backward: gradient shape mismatch");
-  if (input_grad.shape() != cached_input_.shape())
-    input_grad = Tensor(cached_input_.shape());
-  input_grad.fill(0.0f);
-  Tensor dcols({geom_.col_rows(), geom_.col_cols()});
+  input_grad.ensure_shape(cached_input_.shape());
+  input_grad.fill(0.0f);  // col2im accumulates
+
+  Workspace& ws = Workspace::tls();
+  const std::size_t col_numel = geom_.col_rows() * geom_.col_cols();
+  std::span<float> cols = ws.floats(WsSlot::kIm2colCols, col_numel);
+  std::span<float> dcols = ws.floats(WsSlot::kConvDcols, col_numel);
 
   for (std::size_t b = 0; b < batch; ++b) {
     const std::span<const float> dy{output_grad.data() + b * out_sample,
                                     out_sample};
     // Recompute cols for this sample (memory-lean: O(1) col buffers total).
-    im2col(geom_, {cached_input_.data() + b * sample, sample}, cols_.span());
+    im2col(geom_, {cached_input_.data() + b * sample, sample}, cols);
     // dW += dY [OC, CC] * cols^T [CC, CR]
     gemm(Trans::kNo, Trans::kYes, out_channels_, geom_.col_rows(),
-         geom_.col_cols(), 1.0f, dy, cols_.span(), 1.0f, weight_grad_.span());
+         geom_.col_cols(), 1.0f, dy, cols, 1.0f, weight_grad_.span());
     // db += per-channel sums of dY
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
       const float* plane = dy.data() + oc * oh * ow;
@@ -91,8 +94,8 @@ void Conv2d::backward(const Tensor& output_grad, Tensor& input_grad) {
     }
     // dcols = W^T [CR, OC] * dY [OC, CC]
     gemm(Trans::kYes, Trans::kNo, geom_.col_rows(), geom_.col_cols(),
-         out_channels_, 1.0f, weight_.span(), dy, 0.0f, dcols.span());
-    col2im(geom_, dcols.span(), {input_grad.data() + b * sample, sample});
+         out_channels_, 1.0f, weight_.span(), dy, 0.0f, dcols);
+    col2im(geom_, dcols, {input_grad.data() + b * sample, sample});
   }
 }
 
@@ -116,11 +119,12 @@ void MaxPool2d::forward(const Tensor& input, Tensor& output, bool train) {
   const std::size_t oh = geom_.out_h();
   const std::size_t ow = geom_.out_w();
   const std::size_t out_sample = geom_.channels * oh * ow;
-  if (output.shape() != Shape{batch, geom_.channels, oh, ow})
-    output = Tensor({batch, geom_.channels, oh, ow});
+  output.ensure_shape({batch, geom_.channels, oh, ow});
   if (train) {
     cached_input_shape_ = input.shape();
-    argmax_.resize(batch * out_sample);
+    // argmax_ stays layer-owned (a second pool's forward must not clobber
+    // it), but its storage recycles through the arena free list.
+    Workspace::tls().ensure_u32(argmax_, batch * out_sample);
   }
 
   for (std::size_t b = 0; b < batch; ++b) {
@@ -164,9 +168,8 @@ void MaxPool2d::backward(const Tensor& output_grad, Tensor& input_grad) {
   const std::size_t batch = argmax_.size() / out_sample;
   SEAFL_CHECK(output_grad.numel() == batch * out_sample,
               "MaxPool2d backward: gradient shape mismatch");
-  if (input_grad.shape() != cached_input_shape_)
-    input_grad = Tensor(cached_input_shape_);
-  input_grad.fill(0.0f);
+  input_grad.ensure_shape(cached_input_shape_);
+  input_grad.fill(0.0f);  // scatter-add target
   for (std::size_t b = 0; b < batch; ++b) {
     float* din = input_grad.data() + b * sample;
     const float* dout = output_grad.data() + b * out_sample;
@@ -192,8 +195,7 @@ void GlobalAvgPool::forward(const Tensor& input, Tensor& output,
   SEAFL_CHECK(input.numel() % sample == 0,
               "GlobalAvgPool: bad input size " << input.numel());
   batch_ = input.numel() / sample;
-  if (output.shape() != Shape{batch_, channels_})
-    output = Tensor({batch_, channels_});
+  output.ensure_shape({batch_, channels_});
   const float inv = 1.0f / static_cast<float>(height_ * width_);
   for (std::size_t b = 0; b < batch_; ++b) {
     const float* in = input.data() + b * sample;
@@ -211,8 +213,7 @@ void GlobalAvgPool::backward(const Tensor& output_grad, Tensor& input_grad) {
   const std::size_t sample = channels_ * height_ * width_;
   SEAFL_CHECK(output_grad.numel() == batch_ * channels_,
               "GlobalAvgPool backward: gradient shape mismatch");
-  if (input_grad.shape() != Shape{batch_, channels_, height_, width_})
-    input_grad = Tensor({batch_, channels_, height_, width_});
+  input_grad.ensure_shape({batch_, channels_, height_, width_});
   const float inv = 1.0f / static_cast<float>(height_ * width_);
   for (std::size_t b = 0; b < batch_; ++b) {
     float* din = input_grad.data() + b * sample;

@@ -25,6 +25,10 @@ class Conv2d : public Layer {
     return {&weight_grad_, &bias_grad_};
   }
   void init(Rng& rng) override;
+  void zero_grad() override {
+    weight_grad_.fill(0.0f);
+    bias_grad_.fill(0.0f);
+  }
   std::string name() const override;
 
   const ConvGeom& geom() const { return geom_; }
@@ -42,7 +46,9 @@ class Conv2d : public Layer {
   Tensor weight_grad_;
   Tensor bias_grad_;
   Tensor cached_input_;  // [B, C, H, W]
-  Tensor cols_;          // scratch [col_rows, col_cols], reused per sample
+  // im2col / dcols scratch lives in the thread-local Workspace arena
+  // (WsSlot::kIm2colCols / kConvDcols), not in the layer: the buffers are
+  // call-scoped and shared by every conv in the model.
 };
 
 /// 2-d max pooling (records argmax indices for the backward pass).

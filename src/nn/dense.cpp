@@ -29,14 +29,13 @@ void Dense::forward(const Tensor& input, Tensor& output, bool train) {
               "Dense(" << in_ << "->" << out_ << "): input numel "
                        << input.numel() << " not divisible by " << in_);
   const std::size_t batch = input.numel() / in_;
-  if (output.shape() != Shape{batch, out_}) output = Tensor({batch, out_});
-  // Y = X * W^T  (X is [B, in], W is [out, in] so W^T is [in, out])
-  gemm(Trans::kNo, Trans::kYes, batch, out_, in_, 1.0f, input.span(),
-       weight_.span(), 0.0f, output.span());
-  for (std::size_t b = 0; b < batch; ++b) {
-    float* row = output.data() + b * out_;
-    for (std::size_t j = 0; j < out_; ++j) row[j] += bias_[j];
-  }
+  output.ensure_shape({batch, out_});
+  // Y = X * W^T + bias  (X is [B, in], W is [out, in] so W^T is [in, out]);
+  // the per-column bias add is fused into the GEMM store loop.
+  GemmEpilogue epi;
+  epi.col_bias = bias_.data();
+  gemm_ex(Trans::kNo, Trans::kYes, batch, out_, in_, 1.0f, input.span(),
+          weight_.span(), 0.0f, output.span(), epi);
   if (train) cached_input_ = input;
 }
 
@@ -53,8 +52,7 @@ void Dense::backward(const Tensor& output_grad, Tensor& input_grad) {
     for (std::size_t j = 0; j < out_; ++j) bias_grad_[j] += row[j];
   }
   // dX = dY * W   ([B, out] * [out, in])
-  if (input_grad.shape() != cached_input_.shape())
-    input_grad = Tensor(cached_input_.shape());
+  input_grad.ensure_shape(cached_input_.shape());
   gemm(Trans::kNo, Trans::kNo, batch, in_, out_, 1.0f, output_grad.span(),
        weight_.span(), 0.0f, input_grad.span());
 }

@@ -21,6 +21,10 @@ class Dense : public Layer {
     return {&weight_grad_, &bias_grad_};
   }
   void init(Rng& rng) override;
+  void zero_grad() override {
+    weight_grad_.fill(0.0f);
+    bias_grad_.fill(0.0f);
+  }
   std::string name() const override;
 
   std::size_t in_features() const { return in_; }

@@ -48,8 +48,11 @@ class Layer {
   /// Short human-readable description, e.g. "Dense(64->32)".
   virtual std::string name() const = 0;
 
-  /// Sets all gradient tensors to zero.
-  void zero_grad() {
+  /// Sets all gradient tensors to zero. Layers with parameters override
+  /// this to fill their members directly — the default materializes the
+  /// gradients() vector, which would be the only per-step heap allocation
+  /// left on the training hot path.
+  virtual void zero_grad() {
     for (Tensor* g : gradients()) g->fill(0.0f);
   }
 };

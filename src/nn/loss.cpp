@@ -14,7 +14,7 @@ double SoftmaxCrossEntropy::forward(const Tensor& logits,
   classes_ = logits.dim(1);
   SEAFL_CHECK(labels.size() == batch,
               "label count " << labels.size() << " != batch " << batch);
-  if (probs_.shape() != logits.shape()) probs_ = Tensor(logits.shape());
+  probs_.ensure_shape(logits.shape());
   softmax_rows(logits.span(), probs_.span(), batch, classes_);
   labels_.assign(labels.begin(), labels.end());
 

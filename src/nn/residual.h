@@ -24,6 +24,10 @@ class ResidualBlock : public Layer {
   std::vector<Tensor*> parameters() override;
   std::vector<Tensor*> gradients() override;
   void init(Rng& rng) override;
+  void zero_grad() override {
+    conv1_.zero_grad();
+    conv2_.zero_grad();
+  }
   std::string name() const override;
 
  private:

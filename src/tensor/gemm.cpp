@@ -1,135 +1,185 @@
 #include "tensor/gemm.h"
 
-#include <vector>
+#include <algorithm>
+#include <atomic>
 
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "obs/profile.h"
+#include "tensor/microkernel.h"
+#include "tensor/pack.h"
+#include "tensor/workspace.h"
 
 namespace seafl {
 
 namespace {
 
-// Row-block size for parallel partitioning: small enough to balance, large
-// enough to amortize task dispatch.
-constexpr std::size_t kRowGrain = 16;
+using detail::gemm_store;
+using detail::kKC;
+using detail::kMR;
+using detail::kNR;
+
 // Work (in multiply-adds) below which we stay serial.
 constexpr std::size_t kSerialFlops = 1 << 16;
 
-// Computes one row block [r0, r1) of C for the given transposition case.
-// Layout reminders (row-major):
-//   NN: A is m×k (a[r*k+p]),        B is k×n (b[p*n+j])
-//   NT: A is m×k,                   B is n×k (b[j*k+p])
-//   TN: A is k×m (a[p*m+r]),        B is k×n
-//   TT: A is k×m,                   B is n×k
-void block_nn(std::size_t r0, std::size_t r1, std::size_t n, std::size_t k,
-              float alpha, const float* a, const float* b, float beta,
-              float* c) {
-  for (std::size_t r = r0; r < r1; ++r) {
-    float* crow = c + r * n;
-    if (beta == 0.0f) {
-      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
-    } else if (beta != 1.0f) {
-      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-    const float* arow = a + r * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = alpha * arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
+std::atomic<GemmBackend> g_backend{GemmBackend::kTiled};
 
-void block_nt(std::size_t r0, std::size_t r1, std::size_t n, std::size_t k,
-              float alpha, const float* a, const float* b, float beta,
-              float* c) {
-  for (std::size_t r = r0; r < r1; ++r) {
-    const float* arow = a + r * k;
+/// k == 0 / degenerate path: C gets only the epilogue (acc = 0).
+void epilogue_only(std::size_t m, std::size_t n, float alpha, float beta,
+                   float* c, const GemmEpilogue& epi) {
+  for (std::size_t r = 0; r < m; ++r) {
     float* crow = c + r * n;
     for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
+      crow[j] = gemm_store(0.0f, alpha, beta, crow[j], epi.row_bias, r,
+                           epi.col_bias, j, epi.relu);
     }
   }
 }
 
-void block_tn(std::size_t r0, std::size_t r1, std::size_t m, std::size_t n,
-              std::size_t k, float alpha, const float* a, const float* b,
-              float beta, float* c) {
-  for (std::size_t r = r0; r < r1; ++r) {
-    float* crow = c + r * n;
-    if (beta == 0.0f) {
-      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
-    } else if (beta != 1.0f) {
-      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+/// Computes row panels [plo, phi) against the caller-packed `bpack`. This is
+/// the unit of parallel work: each panel zeroes its own accumulator tiles,
+/// packs its own A panels into this thread's arena, and writes its C rows
+/// exactly once — so the result cannot depend on how panels are grouped
+/// into tasks.
+void tiled_chunk(Trans ta, std::size_t m, std::size_t n, std::size_t k,
+                 float alpha, const float* a, float beta, float* c,
+                 const GemmEpilogue& epi, const float* bpack, std::size_t plo,
+                 std::size_t phi) {
+  static const detail::MicrokernelFn kernel = detail::select_microkernel();
+  Workspace& ws = Workspace::tls();
+  const std::size_t npanels_n = (n + kNR - 1) / kNR;
+  float* acc = ws.floats(WsSlot::kGemmAcc, npanels_n * kMR * kNR).data();
+  float* apack =
+      ws.floats(WsSlot::kGemmPackA, kMR * std::min(k, kKC)).data();
+
+  for (std::size_t ip = plo; ip < phi; ++ip) {
+    const std::size_t r0 = ip * kMR;
+    std::fill(acc, acc + npanels_n * kMR * kNR, 0.0f);
+    {
+      SEAFL_PROF_SCOPE("tensor.microkernel");
+      for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
+        const std::size_t kc = std::min(kKC, k - p0);
+        detail::pack_a_panel(a, ta, m, k, r0, p0, kc, apack);
+        for (std::size_t jp = 0; jp < npanels_n; ++jp) {
+          kernel(kc, apack, bpack + jp * (k * kNR) + p0 * kNR,
+                 acc + jp * (kMR * kNR));
+        }
+      }
     }
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = alpha * a[p * m + r];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    const std::size_t mrem = std::min(kMR, m - r0);
+    for (std::size_t ii = 0; ii < mrem; ++ii) {
+      const std::size_t r = r0 + ii;
+      for (std::size_t jp = 0; jp < npanels_n; ++jp) {
+        const std::size_t j0 = jp * kNR;
+        const std::size_t jn = std::min(kNR, n - j0);
+        const float* tile = acc + jp * (kMR * kNR) + ii * kNR;
+        float* crow = c + r * n + j0;
+        for (std::size_t jj = 0; jj < jn; ++jj) {
+          crow[jj] = gemm_store(tile[jj], alpha, beta, crow[jj], epi.row_bias,
+                                r, epi.col_bias, j0 + jj, epi.relu);
+        }
+      }
     }
   }
 }
 
-void block_tt(std::size_t r0, std::size_t r1, std::size_t m, std::size_t n,
-              std::size_t k, float alpha, const float* a, const float* b,
-              float beta, float* c) {
-  for (std::size_t r = r0; r < r1; ++r) {
-    float* crow = c + r * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += a[p * m + r] * brow[p];
-      crow[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
-    }
-  }
+/// Packs op(B) into the caller's arena (workers read it; the pool's queue
+/// handoff orders the writes before any task runs).
+const float* pack_b_shared(Trans tb, std::size_t n, std::size_t k,
+                           const float* b) {
+  const std::size_t npanels_n = (n + kNR - 1) / kNR;
+  float* bpack =
+      Workspace::tls().floats(WsSlot::kGemmPackB, npanels_n * kNR * k).data();
+  detail::pack_b(b, tb, n, k, bpack);
+  return bpack;
 }
 
 }  // namespace
 
-void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
-          std::size_t k, float alpha, std::span<const float> a,
-          std::span<const float> b, float beta, std::span<float> c) {
+GemmBackend gemm_backend() {
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+void set_gemm_backend(GemmBackend backend) {
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void gemm_tiled(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+                std::size_t k, float alpha, const float* a, const float* b,
+                float beta, float* c, const GemmEpilogue& epilogue) {
+  const float* bpack = pack_b_shared(trans_b, n, k, b);
+  const std::size_t panels = (m + kMR - 1) / kMR;
+  auto chunk = [&](std::size_t lo, std::size_t hi) {
+    tiled_chunk(trans_a, m, n, k, alpha, a, beta, c, epilogue, bpack, lo, hi);
+  };
+  // Serial-kernel state short-circuits before any std::function forms, so
+  // the exp::Runner training path stays allocation-free; results are
+  // identical because panels never depend on the partition.
+  if (m * n * k <= kSerialFlops || serial_kernels_active()) {
+    chunk(0, panels);
+    return;
+  }
+  // Aim for >= ~4M multiply-adds per task so pool dispatch cost stays
+  // negligible; any grouping of panels yields bitwise-identical C.
+  constexpr std::size_t kTaskMadds = std::size_t{1} << 22;
+  const std::size_t panel_madds = std::max<std::size_t>(kMR * n * k, 1);
+  const std::size_t grain =
+      std::max<std::size_t>(1, kTaskMadds / panel_madds);
+  parallel_for_chunked(0, panels, chunk, grain);
+}
+
+void gemm_tiled_partitioned(Trans trans_a, Trans trans_b, std::size_t m,
+                            std::size_t n, std::size_t k, float alpha,
+                            const float* a, const float* b, float beta,
+                            float* c, const GemmEpilogue& epilogue,
+                            std::span<const std::size_t> panel_splits) {
+  const float* bpack = pack_b_shared(trans_b, n, k, b);
+  const std::size_t panels = (m + kMR - 1) / kMR;
+  std::size_t lo = 0;
+  for (std::size_t split : panel_splits) {
+    SEAFL_CHECK(split >= lo && split <= panels,
+                "gemm_tiled_partitioned: bad split " << split);
+    tiled_chunk(trans_a, m, n, k, alpha, a, beta, c, epilogue, bpack, lo,
+                split);
+    lo = split;
+  }
+  tiled_chunk(trans_a, m, n, k, alpha, a, beta, c, epilogue, bpack, lo,
+              panels);
+}
+
+}  // namespace detail
+
+void gemm_ex(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+             std::size_t k, float alpha, std::span<const float> a,
+             std::span<const float> b, float beta, std::span<float> c,
+             const GemmEpilogue& epilogue) {
   SEAFL_PROF_SCOPE("tensor.gemm");
   if (m == 0 || n == 0) return;  // empty output: nothing to compute or check
+  SEAFL_CHECK(c.size() >= m * n, "gemm: C too small (" << c.size() << " < "
+                                                        << m * n << ")");
+  if (k == 0) {
+    epilogue_only(m, n, alpha, beta, c.data(), epilogue);
+    return;
+  }
   SEAFL_CHECK(a.size() >= m * k, "gemm: A too small (" << a.size() << " < "
                                                         << m * k << ")");
   SEAFL_CHECK(b.size() >= k * n, "gemm: B too small (" << b.size() << " < "
                                                         << k * n << ")");
-  SEAFL_CHECK(c.size() >= m * n, "gemm: C too small (" << c.size() << " < "
-                                                        << m * n << ")");
-  if (k == 0) {
-    if (beta == 0.0f) {
-      for (std::size_t i = 0; i < m * n; ++i) c[i] = 0.0f;
-    } else if (beta != 1.0f) {
-      for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
-    }
-    return;
+  if (gemm_backend() == GemmBackend::kReference) {
+    detail::gemm_reference(trans_a, trans_b, m, n, k, alpha, a.data(),
+                           b.data(), beta, c.data(), epilogue);
+  } else {
+    detail::gemm_tiled(trans_a, trans_b, m, n, k, alpha, a.data(), b.data(),
+                       beta, c.data(), epilogue);
   }
+}
 
-  auto run_block = [&](std::size_t r0, std::size_t r1) {
-    if (trans_a == Trans::kNo && trans_b == Trans::kNo)
-      block_nn(r0, r1, n, k, alpha, a.data(), b.data(), beta, c.data());
-    else if (trans_a == Trans::kNo && trans_b == Trans::kYes)
-      block_nt(r0, r1, n, k, alpha, a.data(), b.data(), beta, c.data());
-    else if (trans_a == Trans::kYes && trans_b == Trans::kNo)
-      block_tn(r0, r1, m, n, k, alpha, a.data(), b.data(), beta, c.data());
-    else
-      block_tt(r0, r1, m, n, k, alpha, a.data(), b.data(), beta, c.data());
-  };
-
-  if (m * n * k <= kSerialFlops) {
-    run_block(0, m);
-    return;
-  }
-  parallel_for_chunked(
-      0, m, [&](std::size_t lo, std::size_t hi) { run_block(lo, hi); },
-      kRowGrain);
+void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, std::span<const float> a,
+          std::span<const float> b, float beta, std::span<float> c) {
+  gemm_ex(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, GemmEpilogue{});
 }
 
 void matmul(std::size_t m, std::size_t n, std::size_t k,

@@ -1,13 +1,22 @@
-// Blocked single-precision matrix multiplication.
+// Packed, cache-blocked, register-tiled single-precision matrix multiply.
 //
-// Two entry points cover everything the NN layers need:
-//   gemm       : C = alpha * op(A) * op(B) + beta * C
-//   The op() transposes are handled by four specialized kernels (NN, NT, TN,
-//   TT) so the inner loops stay branch-free and contiguous where possible.
+// Two backends serve the same contract (selected at runtime, tiled by
+// default):
+//   kTiled     — packs op(A)/op(B) panels into thread-local aligned buffers
+//                (all four transpose cases resolved at pack time) and
+//                computes with an unrolled MR x NR register-tile microkernel
+//                over Kc-blocked panels (tensor/microkernel.h, tensor/pack.h).
+//   kReference — the retained row-loop kernel, kept as the parity oracle and
+//                the recorded performance baseline.
 //
-// Rows of C are parallelized over the global thread pool; the result is
-// independent of thread count because each output element is written by
-// exactly one task.
+// Determinism contract: every C element is an ascending-k float addition
+// chain finished by one shared scalar epilogue (microkernel.h); each C row
+// is written by exactly one task, so results are bitwise identical across
+// thread counts, pool partitions, and (absent FMA contraction) across the
+// two backends. See DESIGN.md §11.
+//
+// The optional epilogue fuses the per-row / per-column bias add (and an
+// optional ReLU clamp) that the nn layers would otherwise loop over C for.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +27,37 @@ namespace seafl {
 /// Whether an input operand is used as-is or transposed.
 enum class Trans { kNo, kYes };
 
+/// Which kernel implementation serves gemm() calls.
+enum class GemmBackend { kReference, kTiled };
+
+/// Current process-wide backend (kTiled unless overridden).
+GemmBackend gemm_backend();
+
+/// Selects the backend for subsequent gemm() calls.
+void set_gemm_backend(GemmBackend backend);
+
+/// RAII backend override for tests and benches.
+class GemmBackendScope {
+ public:
+  explicit GemmBackendScope(GemmBackend backend) : prev_(gemm_backend()) {
+    set_gemm_backend(backend);
+  }
+  ~GemmBackendScope() { set_gemm_backend(prev_); }
+  GemmBackendScope(const GemmBackendScope&) = delete;
+  GemmBackendScope& operator=(const GemmBackendScope&) = delete;
+
+ private:
+  GemmBackend prev_;
+};
+
+/// Fused operations applied while C is written (instead of a second sweep):
+///   C[r,j] = alpha*acc + beta*C[r,j] + row_bias[r] + col_bias[j], then ReLU.
+struct GemmEpilogue {
+  const float* row_bias = nullptr;  ///< length m; conv bias (rows = channels)
+  const float* col_bias = nullptr;  ///< length n; dense bias (cols = features)
+  bool relu = false;                ///< clamp negatives after the bias adds
+};
+
 /// C[m,n] = alpha * op(A) * op(B) + beta * C, row-major.
 /// Dimensions are those of the *operated* matrices: op(A) is m×k, op(B) k×n.
 /// A therefore has physical shape m×k (kNo) or k×m (kYes), similarly B.
@@ -25,9 +65,41 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
           std::size_t k, float alpha, std::span<const float> a,
           std::span<const float> b, float beta, std::span<float> c);
 
+/// gemm with a fused epilogue (bias adds / ReLU) in the C-store loop.
+void gemm_ex(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+             std::size_t k, float alpha, std::span<const float> a,
+             std::span<const float> b, float beta, std::span<float> c,
+             const GemmEpilogue& epilogue);
+
 /// Convenience: C = A * B with zero-initialized accumulation.
 void matmul(std::size_t m, std::size_t n, std::size_t k,
             std::span<const float> a, std::span<const float> b,
             std::span<float> c);
+
+namespace detail {
+
+/// Reference backend entry (gemm_ref.cpp); same contract as gemm_ex.
+void gemm_reference(Trans trans_a, Trans trans_b, std::size_t m,
+                    std::size_t n, std::size_t k, float alpha, const float* a,
+                    const float* b, float beta, float* c,
+                    const GemmEpilogue& epilogue);
+
+/// Tiled backend entry (gemm.cpp); parallelizes row panels over the pool.
+void gemm_tiled(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+                std::size_t k, float alpha, const float* a, const float* b,
+                float beta, float* c, const GemmEpilogue& epilogue);
+
+/// Test hook: runs the tiled backend serially but split at the given
+/// ascending row-panel boundaries (interior split points of [0, npanels)),
+/// executing exactly the per-task function the pool runs. Used to prove the
+/// result is bitwise invariant to how panels are partitioned across workers
+/// without resizing the process-wide pool.
+void gemm_tiled_partitioned(Trans trans_a, Trans trans_b, std::size_t m,
+                            std::size_t n, std::size_t k, float alpha,
+                            const float* a, const float* b, float beta,
+                            float* c, const GemmEpilogue& epilogue,
+                            std::span<const std::size_t> panel_splits);
+
+}  // namespace detail
 
 }  // namespace seafl

@@ -1,0 +1,88 @@
+// Reference GEMM backend: the retained row-loop kernel.
+//
+// Serves three roles: the parity oracle for the tiled backend (identical
+// per-element addition chains, see microkernel.h), the recorded performance
+// baseline for bench/micro_tensor, and a fallback selectable at runtime via
+// set_gemm_backend(). Structure follows the pre-tiling kernel: row-parallel
+// over the pool, contiguous inner loops per transpose case — minus the
+// per-term zero-skip branches, which are hoisted out entirely (they cost a
+// branch per k step on dense data and perturb the addition chain when a
+// zero coincides with a -0.0 accumulator).
+#include <algorithm>
+
+#include "common/thread_pool.h"
+#include "tensor/gemm.h"
+#include "tensor/microkernel.h"
+#include "tensor/pack.h"
+
+namespace seafl::detail {
+
+namespace {
+
+// Row-block size for parallel partitioning: small enough to balance, large
+// enough to amortize task dispatch.
+constexpr std::size_t kRowGrain = 16;
+// Work (in multiply-adds) below which we stay serial.
+constexpr std::size_t kSerialFlops = 1 << 16;
+// Column-strip width: row accumulators live in this stack buffer so the
+// inner loops write registers/L1 instead of striding over C.
+constexpr std::size_t kJTile = 128;
+
+void ref_rows(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+              float alpha, const float* a, const float* b, float beta,
+              float* c, const GemmEpilogue& epi, std::size_t r0,
+              std::size_t r1) {
+  float acc[kJTile];
+  for (std::size_t r = r0; r < r1; ++r) {
+    float* crow = c + r * n;
+    for (std::size_t j0 = 0; j0 < n; j0 += kJTile) {
+      const std::size_t jn = std::min(kJTile, n - j0);
+      if (tb == Trans::kNo) {
+        // op(B) rows contiguous: p-outer, strip accumulators (NN / TN).
+        std::fill(acc, acc + jn, 0.0f);
+        for (std::size_t p = 0; p < k; ++p) {
+          const float av = a_elem(a, ta, m, k, r, p);
+          const float* brow = b + p * n + j0;
+          for (std::size_t jj = 0; jj < jn; ++jj) acc[jj] += av * brow[jj];
+        }
+      } else {
+        // op(B) columns contiguous: j-outer dot products (NT / TT).
+        for (std::size_t jj = 0; jj < jn; ++jj) {
+          const float* bcol = b + (j0 + jj) * k;
+          float s = 0.0f;
+          if (ta == Trans::kNo) {
+            const float* arow = a + r * k;
+            for (std::size_t p = 0; p < k; ++p) s += arow[p] * bcol[p];
+          } else {
+            for (std::size_t p = 0; p < k; ++p) s += a[p * m + r] * bcol[p];
+          }
+          acc[jj] = s;
+        }
+      }
+      for (std::size_t jj = 0; jj < jn; ++jj) {
+        crow[j0 + jj] =
+            gemm_store(acc[jj], alpha, beta, crow[j0 + jj], epi.row_bias, r,
+                       epi.col_bias, j0 + jj, epi.relu);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_reference(Trans trans_a, Trans trans_b, std::size_t m,
+                    std::size_t n, std::size_t k, float alpha, const float* a,
+                    const float* b, float beta, float* c,
+                    const GemmEpilogue& epilogue) {
+  auto rows = [&](std::size_t lo, std::size_t hi) {
+    ref_rows(trans_a, trans_b, m, n, k, alpha, a, b, beta, c, epilogue, lo,
+             hi);
+  };
+  if (m * n * k <= kSerialFlops || serial_kernels_active()) {
+    rows(0, m);
+    return;
+  }
+  parallel_for_chunked(0, m, rows, kRowGrain);
+}
+
+}  // namespace seafl::detail

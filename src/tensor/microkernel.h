@@ -1,0 +1,91 @@
+// The register-tiled GEMM microkernel and the shared C-store epilogue.
+//
+// Determinism contract (DESIGN.md §11): for every output element C[r,j],
+// both GEMM backends compute
+//
+//   acc  = sum over p ascending of op(A)[r,p] * op(B)[p,j]   (float chain)
+//   C    = alpha*acc [+ beta*C] [+ row_bias[r]] [+ col_bias[j]] [relu]
+//
+// as ONE float addition chain in strictly ascending k order, with the scalar
+// epilogue applied through the single `gemm_store` definition below. Because
+// the chain never depends on how rows are partitioned across tasks, results
+// are bitwise identical at any thread count, and the tiled and reference
+// backends agree bitwise whenever the compiler does not contract mul+add
+// into FMA (i.e. on any non-FMA target; under -march=native with FMA the
+// backends may differ by final-rounding ULPs — the parity tests encode
+// exactly this rule).
+#pragma once
+
+#include <cstddef>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SEAFL_RESTRICT __restrict__
+#else
+#define SEAFL_RESTRICT
+#endif
+
+namespace seafl::detail {
+
+/// Register-tile rows: how many C rows one microkernel invocation owns.
+inline constexpr std::size_t kMR = 4;
+/// Register-tile columns: SIMD lanes the compiler vectorizes over.
+inline constexpr std::size_t kNR = 8;
+/// K-panel depth: packed A panels are at most kMR*kKC floats (4 KiB) so the
+/// panel stays L1-resident while it is swept across every column panel.
+inline constexpr std::size_t kKC = 256;
+
+/// The one C-store expression shared by every backend (see header comment).
+inline float gemm_store(float acc, float alpha, float beta, float c_old,
+                        const float* row_bias, std::size_t r,
+                        const float* col_bias, std::size_t j, bool relu) {
+  float v = alpha * acc;
+  if (beta != 0.0f) v += beta * c_old;
+  if (row_bias != nullptr) v += row_bias[r];
+  if (col_bias != nullptr) v += col_bias[j];
+  if (relu) v = v > 0.0f ? v : 0.0f;
+  return v;
+}
+
+/// One register tile: acc[kMR][kNR] += A-panel x B-panel over `kc` steps.
+///
+///   apanel: kc x kMR, p-major (apanel[p*kMR + i] = op(A)[r0+i, p0+p])
+///   bpanel: kc x kNR, p-major (bpanel[p*kNR + j] = op(B)[p0+p, j0+j])
+///   acc:    kMR*kNR running tile, loaded and stored so accumulation can
+///           resume across K panels without breaking the addition chain
+///           (a float round-trips through memory exactly).
+///
+/// The p loop is strictly sequential; the compiler vectorizes the kNR inner
+/// loop (distinct accumulator lanes), which never reassociates any single
+/// element's chain.
+inline void microkernel(std::size_t kc, const float* SEAFL_RESTRICT apanel,
+                        const float* SEAFL_RESTRICT bpanel,
+                        float* SEAFL_RESTRICT acc) {
+  float r[kMR * kNR];
+  for (std::size_t i = 0; i < kMR * kNR; ++i) r[i] = acc[i];
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* SEAFL_RESTRICT ap = apanel + p * kMR;
+    const float* SEAFL_RESTRICT bp = bpanel + p * kNR;
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const float av = ap[i];
+      for (std::size_t j = 0; j < kNR; ++j) r[i * kNR + j] += av * bp[j];
+    }
+  }
+  for (std::size_t i = 0; i < kMR * kNR; ++i) acc[i] = r[i];
+}
+
+/// Signature shared by the portable microkernel and its SIMD variants.
+using MicrokernelFn = void (*)(std::size_t, const float* SEAFL_RESTRICT,
+                               const float* SEAFL_RESTRICT,
+                               float* SEAFL_RESTRICT);
+
+/// Picks the fastest microkernel the running CPU supports (currently the
+/// AVX2 variant on capable x86-64 hosts, else the portable kernel above).
+/// Every variant computes the identical ascending-p addition chain per
+/// element with separate multiply and add instructions, so the choice never
+/// changes results bitwise. Defined in microkernel_simd.cpp.
+MicrokernelFn select_microkernel();
+
+/// "avx2" or "portable" — recorded in benchmark JSON for reproducibility.
+const char* microkernel_name();
+
+}  // namespace seafl::detail

@@ -1,0 +1,69 @@
+// Runtime-dispatched SIMD variants of the GEMM microkernel.
+//
+// The portable microkernel in microkernel.h compiles against the build's
+// baseline ISA (plain x86-64 => SSE2). This translation unit additionally
+// compiles an AVX2 variant with a per-function target attribute and picks
+// between them once at startup with __builtin_cpu_supports, so the same
+// binary runs everywhere and uses 8-wide ymm arithmetic where available.
+//
+// Determinism: the AVX2 kernel is bitwise identical to the portable one.
+// Each vector lane is a distinct C element; within a lane the accumulation
+// is the same strictly ascending-p chain of IEEE single-precision multiply
+// then add. The function target is "avx2" WITHOUT "fma", so the compiler
+// cannot contract the explicit _mm256_mul_ps/_mm256_add_ps pair into a
+// fused multiply-add (under SEAFL_NATIVE=-march=native the whole build is
+// FMA-enabled and the usual native-build caveat from microkernel.h applies).
+
+#include "tensor/microkernel.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SEAFL_HAVE_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
+namespace seafl::detail {
+
+#if defined(SEAFL_HAVE_X86_DISPATCH)
+
+static_assert(kMR == 4 && kNR == 8,
+              "microkernel_avx2 hard-codes a 4x8 register tile");
+
+__attribute__((target("avx2"))) static void microkernel_avx2(
+    std::size_t kc, const float* SEAFL_RESTRICT apanel,
+    const float* SEAFL_RESTRICT bpanel, float* SEAFL_RESTRICT acc) {
+  __m256 r0 = _mm256_loadu_ps(acc + 0 * kNR);
+  __m256 r1 = _mm256_loadu_ps(acc + 1 * kNR);
+  __m256 r2 = _mm256_loadu_ps(acc + 2 * kNR);
+  __m256 r3 = _mm256_loadu_ps(acc + 3 * kNR);
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256 bv = _mm256_loadu_ps(bpanel + p * kNR);
+    const float* SEAFL_RESTRICT ap = apanel + p * kMR;
+    r0 = _mm256_add_ps(r0, _mm256_mul_ps(_mm256_broadcast_ss(ap + 0), bv));
+    r1 = _mm256_add_ps(r1, _mm256_mul_ps(_mm256_broadcast_ss(ap + 1), bv));
+    r2 = _mm256_add_ps(r2, _mm256_mul_ps(_mm256_broadcast_ss(ap + 2), bv));
+    r3 = _mm256_add_ps(r3, _mm256_mul_ps(_mm256_broadcast_ss(ap + 3), bv));
+  }
+  _mm256_storeu_ps(acc + 0 * kNR, r0);
+  _mm256_storeu_ps(acc + 1 * kNR, r1);
+  _mm256_storeu_ps(acc + 2 * kNR, r2);
+  _mm256_storeu_ps(acc + 3 * kNR, r3);
+}
+
+MicrokernelFn select_microkernel() {
+  if (__builtin_cpu_supports("avx2")) return &microkernel_avx2;
+  return &microkernel;
+}
+
+const char* microkernel_name() {
+  return __builtin_cpu_supports("avx2") ? "avx2" : "portable";
+}
+
+#else  // !defined(SEAFL_HAVE_X86_DISPATCH)
+
+MicrokernelFn select_microkernel() { return &microkernel; }
+
+const char* microkernel_name() { return "portable"; }
+
+#endif
+
+}  // namespace seafl::detail

@@ -16,71 +16,70 @@ void check_same_size(std::span<const float> a, std::span<const float> b) {
   SEAFL_CHECK(a.size() == b.size(),
               "span size mismatch: " << a.size() << " vs " << b.size());
 }
+
+// One dispatch point for every elementwise kernel: runs body(lo, hi) over
+// [0, n), serially when small, chunked across the global pool otherwise.
+// Results are thread-count independent because each index is written by
+// exactly one chunk. When kernels are serial (pool worker / SerialKernel-
+// Scope) the body runs directly — identical results, and no std::function
+// materializes, keeping the training hot path allocation-free.
+template <typename Body>
+void chunked_apply(std::size_t n, Body&& body) {
+  if (n < kParallelThreshold || serial_kernels_active()) {
+    body(std::size_t{0}, n);
+    return;
+  }
+  parallel_for_chunked(0, n, std::forward<Body>(body));
+}
 }  // namespace
 
 void add_inplace(std::span<float> y, std::span<const float> x) {
   check_same_size(y, x);
-  if (y.size() < kParallelThreshold) {
-    for (std::size_t i = 0; i < y.size(); ++i) y[i] += x[i];
-    return;
-  }
-  parallel_for_chunked(0, y.size(), [&](std::size_t lo, std::size_t hi) {
+  chunked_apply(y.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) y[i] += x[i];
   });
 }
 
 void sub_inplace(std::span<float> y, std::span<const float> x) {
   check_same_size(y, x);
-  if (y.size() < kParallelThreshold) {
-    for (std::size_t i = 0; i < y.size(); ++i) y[i] -= x[i];
-    return;
-  }
-  parallel_for_chunked(0, y.size(), [&](std::size_t lo, std::size_t hi) {
+  chunked_apply(y.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) y[i] -= x[i];
   });
 }
 
 void scale_inplace(std::span<float> y, float s) {
-  if (y.size() < kParallelThreshold) {
-    for (auto& v : y) v *= s;
-    return;
-  }
-  parallel_for_chunked(0, y.size(), [&](std::size_t lo, std::size_t hi) {
+  chunked_apply(y.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) y[i] *= s;
   });
 }
 
 void axpy(std::span<float> y, float a, std::span<const float> x) {
   check_same_size(y, x);
-  if (y.size() < kParallelThreshold) {
-    for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
-    return;
-  }
-  parallel_for_chunked(0, y.size(), [&](std::size_t lo, std::size_t hi) {
+  chunked_apply(y.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) y[i] += a * x[i];
   });
 }
 
 void axpby(std::span<float> y, float a, std::span<const float> x, float b) {
   check_same_size(y, x);
-  if (y.size() < kParallelThreshold) {
-    for (std::size_t i = 0; i < y.size(); ++i) y[i] = a * x[i] + b * y[i];
-    return;
-  }
-  parallel_for_chunked(0, y.size(), [&](std::size_t lo, std::size_t hi) {
+  chunked_apply(y.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) y[i] = a * x[i] + b * y[i];
   });
 }
 
 void relu_inplace(std::span<float> y) {
-  for (auto& v : y) v = v > 0.0f ? v : 0.0f;
+  chunked_apply(y.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) y[i] = y[i] > 0.0f ? y[i] : 0.0f;
+  });
 }
 
 void relu_backward_inplace(std::span<float> dy, std::span<const float> x) {
   check_same_size(dy, x);
-  for (std::size_t i = 0; i < dy.size(); ++i) {
-    if (x[i] <= 0.0f) dy[i] = 0.0f;
-  }
+  chunked_apply(dy.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (x[i] <= 0.0f) dy[i] = 0.0f;
+    }
+  });
 }
 
 double dot(std::span<const float> a, std::span<const float> b) {
@@ -98,6 +97,20 @@ double dot(std::span<const float> a, std::span<const float> b) {
   // parallel-vs-serial equality guarantee rests on this).
   constexpr std::size_t kBlock = 1 << 13;
   const std::size_t num_blocks = (a.size() + kBlock - 1) / kBlock;
+  if (serial_kernels_active()) {
+    // Same block structure, folded in index order — bitwise-equal to the
+    // pooled path with zero allocations.
+    double total = 0.0;
+    for (std::size_t blk = 0; blk < num_blocks; ++blk) {
+      const std::size_t lo = blk * kBlock;
+      const std::size_t hi = std::min(a.size(), lo + kBlock);
+      double acc = 0.0;
+      for (std::size_t i = lo; i < hi; ++i)
+        acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+      total += acc;
+    }
+    return total;
+  }
   std::vector<double> partials(num_blocks, 0.0);
   parallel_for(0, num_blocks, [&](std::size_t blk) {
     const std::size_t lo = blk * kBlock;

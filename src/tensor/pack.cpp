@@ -1,0 +1,64 @@
+#include "tensor/pack.h"
+
+#include <algorithm>
+
+#include "obs/profile.h"
+#include "tensor/microkernel.h"
+
+namespace seafl::detail {
+
+void pack_a_panel(const float* a, Trans ta, std::size_t m, std::size_t k,
+                  std::size_t r0, std::size_t p0, std::size_t kc,
+                  float* apack) {
+  SEAFL_PROF_SCOPE("tensor.pack");
+  const std::size_t mr = std::min(kMR, m - r0);
+  if (ta == Trans::kNo) {
+    // op(A) rows are contiguous: gather kMR strided row pointers.
+    const float* rows[kMR];
+    for (std::size_t i = 0; i < mr; ++i) rows[i] = a + (r0 + i) * k + p0;
+    for (std::size_t p = 0; p < kc; ++p) {
+      float* out = apack + p * kMR;
+      for (std::size_t i = 0; i < mr; ++i) out[i] = rows[i][p];
+      for (std::size_t i = mr; i < kMR; ++i) out[i] = 0.0f;
+    }
+  } else {
+    // op(A)[r, p] = a[p*m + r]: each p is a contiguous run of rows.
+    for (std::size_t p = 0; p < kc; ++p) {
+      const float* src = a + (p0 + p) * m + r0;
+      float* out = apack + p * kMR;
+      for (std::size_t i = 0; i < mr; ++i) out[i] = src[i];
+      for (std::size_t i = mr; i < kMR; ++i) out[i] = 0.0f;
+    }
+  }
+}
+
+void pack_b(const float* b, Trans tb, std::size_t n, std::size_t k,
+            float* bpack) {
+  SEAFL_PROF_SCOPE("tensor.pack");
+  const std::size_t npanels = (n + kNR - 1) / kNR;
+  for (std::size_t jp = 0; jp < npanels; ++jp) {
+    const std::size_t j0 = jp * kNR;
+    const std::size_t jn = std::min(kNR, n - j0);
+    float* panel = bpack + jp * (k * kNR);
+    if (tb == Trans::kNo) {
+      // op(B) rows contiguous: copy kNR-wide stripes row by row.
+      for (std::size_t p = 0; p < k; ++p) {
+        const float* src = b + p * n + j0;
+        float* out = panel + p * kNR;
+        for (std::size_t jj = 0; jj < jn; ++jj) out[jj] = src[jj];
+        for (std::size_t jj = jn; jj < kNR; ++jj) out[jj] = 0.0f;
+      }
+    } else {
+      // op(B)[p, j] = b[j*k + p]: walk each source column contiguously.
+      for (std::size_t jj = 0; jj < jn; ++jj) {
+        const float* src = b + (j0 + jj) * k;
+        for (std::size_t p = 0; p < k; ++p) panel[p * kNR + jj] = src[p];
+      }
+      for (std::size_t jj = jn; jj < kNR; ++jj) {
+        for (std::size_t p = 0; p < k; ++p) panel[p * kNR + jj] = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace seafl::detail

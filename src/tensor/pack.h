@@ -1,0 +1,41 @@
+// Operand packing for the tiled GEMM backend.
+//
+// All four transpose cases are resolved HERE, at pack time: the packed
+// layouts are transpose-free, so a single microkernel serves NN/NT/TN/TT.
+// Ragged edges are zero-padded up to the register-tile size — padding lanes
+// accumulate garbage*0 terms that never touch a real C element's chain, so
+// the microkernel needs no tail variants.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/gemm.h"
+
+namespace seafl::detail {
+
+/// op(A)[r, p] for the operated m x k view of a row-major buffer.
+inline float a_elem(const float* a, Trans ta, std::size_t m, std::size_t k,
+                    std::size_t r, std::size_t p) {
+  return ta == Trans::kNo ? a[r * k + p] : a[p * m + r];
+}
+
+/// op(B)[p, j] for the operated k x n view of a row-major buffer.
+inline float b_elem(const float* b, Trans tb, std::size_t n, std::size_t k,
+                    std::size_t p, std::size_t j) {
+  return tb == Trans::kNo ? b[p * n + j] : b[j * k + p];
+}
+
+/// Packs rows [r0, r0+kMR) x depth [p0, p0+kc) of op(A) into `apack`
+/// (p-major: apack[p*kMR + i]); rows at or past `m` are zero-filled.
+void pack_a_panel(const float* a, Trans ta, std::size_t m, std::size_t k,
+                  std::size_t r0, std::size_t p0, std::size_t kc,
+                  float* apack);
+
+/// Packs the full op(B) (k x n) into ceil(n/kNR) column panels:
+///   bpack[jp*(k*kNR) + p*kNR + jj] = op(B)[p, jp*kNR + jj]
+/// with columns at or past `n` zero-filled. `bpack` must hold
+/// ceil(n/kNR)*kNR*k floats.
+void pack_b(const float* b, Trans tb, std::size_t n, std::size_t k,
+            float* bpack);
+
+}  // namespace seafl::detail

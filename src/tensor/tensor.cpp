@@ -42,12 +42,27 @@ void Tensor::fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
-void Tensor::reshape(Shape new_shape) {
-  SEAFL_CHECK(shape_numel(new_shape) == data_.size(),
+void Tensor::reshape(std::span<const std::size_t> new_shape) {
+  std::size_t n = 1;
+  for (auto d : new_shape) n *= d;
+  SEAFL_CHECK(n == data_.size(),
               "reshape " << shape_to_string(shape_) << " -> "
-                         << shape_to_string(new_shape)
+                         << shape_to_string(Shape(new_shape.begin(),
+                                                  new_shape.end()))
                          << " changes element count");
-  shape_ = std::move(new_shape);
+  shape_.assign(new_shape.begin(), new_shape.end());
+}
+
+bool Tensor::ensure_shape(std::span<const std::size_t> shape) {
+  if (shape_.size() == shape.size() &&
+      std::equal(shape_.begin(), shape_.end(), shape.begin())) {
+    return false;
+  }
+  std::size_t n = 1;
+  for (auto d : shape) n *= d;
+  if (n != data_.size()) data_.resize(n, 0.0f);
+  shape_.assign(shape.begin(), shape.end());
+  return true;
 }
 
 void Tensor::fill_normal(Rng& rng, float mean, float stddev) {

@@ -81,9 +81,29 @@ class Tensor {
   /// Sets every element to `value`.
   void fill(float value);
 
-  /// Reinterprets the tensor with a new shape of equal numel (O(1) metadata
-  /// change; data is shared since storage is contiguous row-major).
-  void reshape(Shape new_shape);
+  /// Reinterprets the tensor with a new shape of equal numel (metadata-only
+  /// change; data is shared since storage is contiguous row-major). Takes a
+  /// span so steady-state calls reuse the shape vector's capacity instead of
+  /// allocating a temporary.
+  void reshape(std::span<const std::size_t> new_shape);
+  void reshape(std::initializer_list<std::size_t> new_shape) {
+    reshape(std::span<const std::size_t>(new_shape.begin(),
+                                         new_shape.size()));
+  }
+
+  /// Gives the tensor the requested shape, reusing existing storage. The
+  /// hot-path alternative to `*this = Tensor(shape)`: when the shape already
+  /// matches (the steady state in training loops) this compares and returns
+  /// without touching memory; otherwise it resizes in place — vector capacity
+  /// is retained across shrinks, so repeated forward/backward passes allocate
+  /// only until the largest batch has been seen. Existing element values are
+  /// preserved where sizes overlap; callers that accumulate (rather than
+  /// overwrite) must fill(0) themselves. Returns true when the shape changed.
+  bool ensure_shape(std::span<const std::size_t> shape);
+  bool ensure_shape(std::initializer_list<std::size_t> shape) {
+    return ensure_shape(std::span<const std::size_t>(shape.begin(),
+                                                     shape.size()));
+  }
 
   /// Fills with N(mean, stddev) samples drawn from `rng`.
   void fill_normal(Rng& rng, float mean, float stddev);

@@ -1,0 +1,149 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <new>
+
+namespace seafl {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+std::atomic<std::uint64_t> g_slot_allocs{0};
+
+// Bound on free-list entries per type; beyond it the smallest block is
+// dropped so pathological shape churn cannot hoard memory.
+constexpr std::size_t kMaxPooled = 32;
+
+float* aligned_alloc_floats(std::size_t n) {
+  return static_cast<float*>(
+      ::operator new(n * sizeof(float), std::align_val_t{Workspace::kAlign}));
+}
+
+void aligned_free_floats(float* p) {
+  ::operator delete(p, std::align_val_t{Workspace::kAlign});
+}
+
+template <typename T>
+std::vector<T> pool_take(std::vector<std::vector<T>>& pool, std::size_t n) {
+  // Prefer the smallest block that fits to keep big blocks for big asks.
+  std::size_t best = pool.size();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (pool[i].capacity() >= n &&
+        (best == pool.size() || pool[i].capacity() < pool[best].capacity()))
+      best = i;
+  }
+  std::vector<T> out;
+  if (best != pool.size()) {
+    out = std::move(pool[best]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  out.resize(n);
+  return out;
+}
+
+template <typename T>
+void pool_put(std::vector<std::vector<T>>& pool, std::vector<T>&& v) {
+  if (v.capacity() == 0) return;
+  if (pool.size() >= kMaxPooled) {
+    // Evict the smallest resident block if the newcomer is bigger.
+    auto smallest = std::min_element(
+        pool.begin(), pool.end(), [](const auto& a, const auto& b) {
+          return a.capacity() < b.capacity();
+        });
+    if (smallest->capacity() >= v.capacity()) return;
+    *smallest = std::move(v);
+    return;
+  }
+  pool.push_back(std::move(v));
+}
+
+}  // namespace
+
+Workspace& Workspace::tls() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+Workspace::~Workspace() {
+  for (auto& s : slots_) {
+    if (s.ptr != nullptr) aligned_free_floats(s.ptr);
+  }
+}
+
+void Workspace::grow(AlignedBuf& buf, std::size_t n, bool exact) {
+  if (buf.ptr != nullptr) aligned_free_floats(buf.ptr);
+  // Geometric growth so alternating sizes settle after one warmup pass.
+  const std::size_t cap = exact ? n : std::max(n, buf.cap + buf.cap / 2);
+  buf.ptr = aligned_alloc_floats(cap);
+  buf.cap = cap;
+  g_slot_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::span<float> Workspace::floats(WsSlot slot, std::size_t n) {
+  AlignedBuf& buf = slots_[static_cast<std::size_t>(slot)];
+  if (!enabled()) {
+    grow(buf, n, /*exact=*/true);  // fresh allocation every call ("before")
+  } else if (buf.cap < n) {
+    grow(buf, n, /*exact=*/false);
+  }
+  return {buf.ptr, n};
+}
+
+std::vector<float> Workspace::acquire_floats(std::size_t n) {
+  if (!enabled()) return std::vector<float>(n);
+  return pool_take(float_pool_, n);
+}
+
+std::vector<std::uint32_t> Workspace::acquire_u32(std::size_t n) {
+  if (!enabled()) return std::vector<std::uint32_t>(n);
+  return pool_take(u32_pool_, n);
+}
+
+void Workspace::release_floats(std::vector<float>&& v) {
+  if (enabled()) pool_put(float_pool_, std::move(v));
+}
+
+void Workspace::release_u32(std::vector<std::uint32_t>&& v) {
+  if (enabled()) pool_put(u32_pool_, std::move(v));
+}
+
+void Workspace::ensure_floats(std::vector<float>& v, std::size_t n) {
+  if (n <= v.capacity()) {
+    v.resize(n);
+    return;
+  }
+  std::vector<float> fresh = acquire_floats(n);
+  release_floats(std::move(v));
+  v = std::move(fresh);
+}
+
+void Workspace::ensure_u32(std::vector<std::uint32_t>& v, std::size_t n) {
+  if (n <= v.capacity()) {
+    v.resize(n);
+    return;
+  }
+  std::vector<std::uint32_t> fresh = acquire_u32(n);
+  release_u32(std::move(v));
+  v = std::move(fresh);
+}
+
+std::size_t Workspace::bytes_reserved() const {
+  std::size_t total = 0;
+  for (const auto& s : slots_) total += s.cap * sizeof(float);
+  return total;
+}
+
+void Workspace::set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Workspace::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Workspace::total_slot_allocs() {
+  return g_slot_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace seafl

@@ -1,0 +1,108 @@
+// Thread-local workspace arena for kernel scratch memory.
+//
+// Every hot-path scratch buffer in the tensor/nn layers — GEMM packing
+// panels, im2col column matrices, conv gradient columns — is acquired from
+// here instead of being allocated per call. Each thread owns one arena
+// (`Workspace::tls()`), so pool workers and callers never share buffers and
+// no locking is needed; buffers grow monotonically and are reused for the
+// life of the thread, which drives steady-state training-step allocations to
+// zero after warmup.
+//
+// Lifetime rules (see DESIGN.md §11):
+//  * A slot span is valid until the NEXT acquisition of the SAME slot on the
+//    SAME thread. Distinct slots never alias, so a kernel may hold several
+//    slots at once (conv backward holds im2col cols + dcols while GEMM holds
+//    its pack buffers).
+//  * Slots are call-scoped scratch only. State that must survive across
+//    layer calls (pooling argmax indices, activation tensors) is layer-owned;
+//    the arena only *recycles* its storage via acquire/release free lists.
+//  * Pool workers may read a buffer packed by the submitting thread (the
+//    pool's queue mutex orders the writes before the task runs), but only the
+//    owning thread ever writes a slot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace seafl {
+
+/// Scratch channels. Each enumerator is one independent per-thread buffer.
+enum class WsSlot : std::size_t {
+  kGemmPackA = 0,  ///< packed A panel (MR x Kc), per compute task
+  kGemmPackB,      ///< packed B panels (Kc x NR column panels), per caller
+  kGemmAcc,        ///< C accumulator tiles for one row panel, per task
+  kGemmRef,        ///< reference-kernel row accumulators
+  kIm2colCols,     ///< conv im2col column matrix [col_rows, col_cols]
+  kConvDcols,      ///< conv backward column-gradient matrix
+  kCount
+};
+
+/// Per-thread arena of aligned, growable scratch buffers plus a small
+/// free-list used to recycle storage of persistent layer buffers.
+class Workspace {
+ public:
+  /// 64-byte alignment: covers cache lines and any SIMD width the compiler
+  /// auto-vectorizes to (SSE/AVX/AVX-512).
+  static constexpr std::size_t kAlign = 64;
+
+  /// The calling thread's arena (constructed on first use).
+  static Workspace& tls();
+
+  /// Returns `n` floats of scratch for `slot`. Contents are unspecified.
+  /// The span is invalidated by the next floats() call for the same slot on
+  /// this thread (growth may reallocate).
+  std::span<float> floats(WsSlot slot, std::size_t n);
+
+  // ---- free-list recycling for persistent (layer-owned) buffers ----------
+
+  /// Returns a vector of exactly `n` elements, reusing previously released
+  /// storage when a large-enough block is available. Contents unspecified.
+  std::vector<float> acquire_floats(std::size_t n);
+  std::vector<std::uint32_t> acquire_u32(std::size_t n);
+
+  /// Donates a buffer's storage back to the free list.
+  void release_floats(std::vector<float>&& v);
+  void release_u32(std::vector<std::uint32_t>&& v);
+
+  /// Resizes `v` to exactly `n` elements without shrinking capacity,
+  /// drawing replacement storage from the free list when it must grow.
+  void ensure_floats(std::vector<float>& v, std::size_t n);
+  void ensure_u32(std::vector<std::uint32_t>& v, std::size_t n);
+
+  /// Bytes currently reserved by this thread's slot buffers.
+  std::size_t bytes_reserved() const;
+
+  // ---- instrumentation / bench hooks -------------------------------------
+
+  /// Globally enables/disables reuse. When disabled, every floats() call
+  /// allocates fresh exact-size storage and free lists are bypassed — the
+  /// pre-arena allocation behaviour, used by benches to measure "before".
+  static void set_enabled(bool on);
+  static bool enabled();
+
+  /// Process-wide count of slot-buffer (re)allocations. Flat after warmup
+  /// when the arena is enabled.
+  static std::uint64_t total_slot_allocs();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+ private:
+  Workspace() = default;
+  ~Workspace();
+
+  struct AlignedBuf {
+    float* ptr = nullptr;
+    std::size_t cap = 0;  // floats
+  };
+
+  void grow(AlignedBuf& buf, std::size_t n, bool exact);
+
+  AlignedBuf slots_[static_cast<std::size_t>(WsSlot::kCount)];
+  std::vector<std::vector<float>> float_pool_;
+  std::vector<std::vector<std::uint32_t>> u32_pool_;
+};
+
+}  // namespace seafl

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "obs/profile.h"
+#include "tensor/gemm.h"
 
 namespace seafl::obs {
 namespace {
@@ -70,6 +73,24 @@ TEST(ProfileTest, BuiltInKernelSitesExistAfterUse) {
   EXPECT_TRUE(snap.histograms.count("fl.client_train.seconds"));
   EXPECT_TRUE(snap.histograms.count("fl.aggregate.seconds"));
   EXPECT_TRUE(snap.histograms.count("fl.evaluate.seconds"));
+}
+
+TEST(ProfileTest, TiledGemmRecordsPackAndMicrokernelScopes) {
+  const std::uint64_t gemm_before = calls("tensor.gemm");
+  const std::uint64_t pack_before = calls("tensor.pack");
+  const std::uint64_t micro_before = calls("tensor.microkernel");
+  {
+    ProfilingScope scope;
+    GemmBackendScope backend(GemmBackend::kTiled);
+    const std::size_t m = 12, n = 20, k = 9;
+    std::vector<float> a(m * k, 0.5f), b(k * n, 0.25f), c(m * n, 0.0f);
+    gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a, b, 0.0f, c);
+  }
+  EXPECT_EQ(calls("tensor.gemm"), gemm_before + 1);
+  // pack: one B pack + one A pack per row panel (3 panels of 4 rows).
+  EXPECT_EQ(calls("tensor.pack"), pack_before + 4);
+  // microkernel: one scope per row panel.
+  EXPECT_EQ(calls("tensor.microkernel"), micro_before + 3);
 }
 
 }  // namespace

@@ -51,12 +51,15 @@ TEST_P(GemmTest, MatchesNaiveReference) {
 
   auto expected =
       reference_gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a, b, p.beta, c0);
-  auto actual = c0;
-  gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a, b, p.beta, actual);
-
-  for (std::size_t i = 0; i < expected.size(); ++i)
-    ASSERT_NEAR(actual[i], expected[i], 1e-4f)
-        << "at " << i << " for m=" << p.m << " n=" << p.n << " k=" << p.k;
+  for (GemmBackend be : {GemmBackend::kReference, GemmBackend::kTiled}) {
+    GemmBackendScope scope(be);
+    auto actual = c0;
+    gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a, b, p.beta, actual);
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      ASSERT_NEAR(actual[i], expected[i], 1e-4f)
+          << "backend " << static_cast<int>(be) << " at " << i << " for m="
+          << p.m << " n=" << p.n << " k=" << p.k;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

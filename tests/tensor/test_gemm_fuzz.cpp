@@ -2,6 +2,7 @@
 // reference across random shapes, transposes and scalars.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "common/rng.h"
@@ -52,6 +53,22 @@ TEST_P(GemmFuzz, RandomShapesMatchReference) {
           << " ta=" << (ta == Trans::kYes) << " tb=" << (tb == Trans::kYes)
           << " i=" << i;
     }
+
+    // Differential check between the two production backends: identical
+    // addition chains, so bitwise-equal on non-FMA targets (DESIGN.md §11).
+    std::vector<float> ref = c;
+    {
+      GemmBackendScope scope(GemmBackend::kReference);
+      gemm(ta, tb, m, n, k, alpha, a, b, beta, ref);
+    }
+#if !defined(__FMA__)
+    ASSERT_EQ(0, std::memcmp(actual.data(), ref.data(),
+                             actual.size() * sizeof(float)))
+        << "trial " << trial << " m=" << m << " n=" << n << " k=" << k;
+#else
+    for (std::size_t i = 0; i < actual.size(); ++i)
+      ASSERT_NEAR(actual[i], ref[i], 1e-4f) << "trial " << trial;
+#endif
   }
 }
 

@@ -1,0 +1,244 @@
+// Parity and determinism tests for the tiled GEMM backend (DESIGN.md §11):
+//  * tiled vs reference backend across all transpose cases, sizes that
+//    exercise every ragged register-tile edge, and alpha/beta combinations —
+//    bitwise-equal wherever the compiler cannot contract mul+add into FMA
+//    (the explicit FP-reassociation rule the contract allows);
+//  * fused epilogue (row/col bias, ReLU) parity against a post-pass;
+//  * bitwise invariance to how row panels are partitioned across workers,
+//    and to running the kernels serially vs on the pool.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/gemm.h"
+#include "tensor/microkernel.h"
+
+namespace seafl {
+namespace {
+
+// Under FMA contraction (-march=native builds) the two backends may round
+// differently; the contract then only promises near-equality.
+#if defined(__FMA__)
+constexpr bool kExpectBitwise = false;
+#else
+constexpr bool kExpectBitwise = true;
+#endif
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+void expect_parity(const std::vector<float>& tiled,
+                   const std::vector<float>& ref, const char* what) {
+  ASSERT_EQ(tiled.size(), ref.size());
+  if (kExpectBitwise) {
+    ASSERT_EQ(0,
+              std::memcmp(tiled.data(), ref.data(),
+                          tiled.size() * sizeof(float)))
+        << what << ": backends differ bitwise";
+  } else {
+    for (std::size_t i = 0; i < tiled.size(); ++i)
+      ASSERT_NEAR(tiled[i], ref[i], 1e-4f) << what << " at " << i;
+  }
+}
+
+void run_case(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+              float alpha, float beta) {
+  SCOPED_TRACE(::testing::Message()
+               << "m=" << m << " n=" << n << " k=" << k << " alpha=" << alpha
+               << " beta=" << beta << " ta=" << (ta == Trans::kYes)
+               << " tb=" << (tb == Trans::kYes));
+  const auto a = random_vec(m * k, 11 + m);
+  const auto b = random_vec(k * n, 23 + n);
+  const auto c0 = random_vec(m * n, 37 + k);
+
+  std::vector<float> c_ref = c0;
+  {
+    GemmBackendScope scope(GemmBackend::kReference);
+    gemm(ta, tb, m, n, k, alpha, a, b, beta, c_ref);
+  }
+  std::vector<float> c_tiled = c0;
+  {
+    GemmBackendScope scope(GemmBackend::kTiled);
+    gemm(ta, tb, m, n, k, alpha, a, b, beta, c_tiled);
+  }
+  expect_parity(c_tiled, c_ref, "gemm");
+}
+
+class GemmParityGrid
+    : public ::testing::TestWithParam<std::pair<Trans, Trans>> {};
+
+TEST_P(GemmParityGrid, BackendsAgreeAcrossSizesAndScalars) {
+  const auto [ta, tb] = GetParam();
+  // Sizes straddle every register-tile boundary: 1 < kMR, 3/7 ragged,
+  // 17 crosses two kNR panels raggedly, 64/129 exercise multi-panel paths.
+  const std::size_t sizes[] = {1, 3, 7, 17, 64, 129};
+  const float scalars[] = {0.0f, 1.0f, 0.5f};
+  for (std::size_t m : sizes)
+    for (std::size_t n : sizes)
+      for (std::size_t k : sizes)
+        for (float alpha : scalars)
+          for (float beta : scalars) run_case(ta, tb, m, n, k, alpha, beta);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposes, GemmParityGrid,
+    ::testing::Values(std::pair{Trans::kNo, Trans::kNo},
+                      std::pair{Trans::kNo, Trans::kYes},
+                      std::pair{Trans::kYes, Trans::kNo},
+                      std::pair{Trans::kYes, Trans::kYes}),
+    [](const auto& pinfo) {
+      return std::string(pinfo.param.first == Trans::kYes ? "T" : "N") +
+             (pinfo.param.second == Trans::kYes ? "T" : "N");
+    });
+
+TEST(GemmParityTest, DeepKCrossesKcBlockBoundary) {
+  // k = 311 > kKC = 256: the accumulator tile round-trips through memory
+  // between K panels; the addition chain must survive the spill.
+  static_assert(detail::kKC == 256);
+  for (Trans ta : {Trans::kNo, Trans::kYes})
+    for (Trans tb : {Trans::kNo, Trans::kYes})
+      run_case(ta, tb, 9, 21, 311, 1.0f, 0.5f);
+}
+
+TEST(GemmParityTest, FusedEpilogueMatchesPostPass) {
+  const std::size_t m = 33, n = 50, k = 27;
+  const auto a = random_vec(m * k, 5);
+  const auto b = random_vec(k * n, 6);
+  const auto row_bias = random_vec(m, 7);
+  const auto col_bias = random_vec(n, 8);
+
+  for (int relu = 0; relu < 2; ++relu) {
+    GemmEpilogue epi;
+    epi.row_bias = row_bias.data();
+    epi.col_bias = col_bias.data();
+    epi.relu = relu != 0;
+
+    std::vector<float> c_ref(m * n, 0.0f);
+    {
+      GemmBackendScope scope(GemmBackend::kReference);
+      gemm_ex(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a, b, 0.0f, c_ref, epi);
+    }
+    std::vector<float> c_tiled(m * n, 0.0f);
+    {
+      GemmBackendScope scope(GemmBackend::kTiled);
+      gemm_ex(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a, b, 0.0f, c_tiled, epi);
+    }
+    expect_parity(c_tiled, c_ref, relu ? "epilogue+relu" : "epilogue");
+
+    // The fusion must reproduce the former separate passes exactly: GEMM,
+    // then bias sweeps in the same add order, then the ReLU clamp. This
+    // holds bitwise on every target — it is the same backend both times.
+    std::vector<float> c_post(m * n, 0.0f);
+    gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a, b, 0.0f, c_post);
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t j = 0; j < n; ++j) {
+        float& v = c_post[r * n + j];
+        v += row_bias[r];
+        v += col_bias[j];
+        if (epi.relu) v = v > 0.0f ? v : 0.0f;
+      }
+    std::vector<float> c_fused(m * n, 0.0f);
+    gemm_ex(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a, b, 0.0f, c_fused, epi);
+    ASSERT_EQ(0, std::memcmp(c_fused.data(), c_post.data(),
+                             c_fused.size() * sizeof(float)));
+  }
+}
+
+TEST(GemmParityTest, ZeroAlphaBetaOnePreservesCBitwise) {
+  // alpha = 0, beta = 1: 0*acc + 1*C must hand C back bit-for-bit on both
+  // backends (finite operands; acc is still computed but contributes +0).
+  const std::size_t m = 5, n = 9, k = 4;
+  const auto a = random_vec(m * k, 1);
+  const auto b = random_vec(k * n, 2);
+  const auto c0 = random_vec(m * n, 3);
+  for (GemmBackend be : {GemmBackend::kReference, GemmBackend::kTiled}) {
+    GemmBackendScope scope(be);
+    std::vector<float> c = c0;
+    gemm(Trans::kNo, Trans::kNo, m, n, k, 0.0f, a, b, 1.0f, c);
+    ASSERT_EQ(0, std::memcmp(c.data(), c0.data(), c.size() * sizeof(float)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count / partition invariance.
+//
+// The process-wide pool cannot be resized once built, so worker-count
+// invariance is proven through detail::gemm_tiled_partitioned, which runs
+// exactly the per-task function the pool dispatches but at explicit panel
+// splits: one part (1 worker), two parts (2 workers), eight parts (8
+// workers). All partitions and the production entry point must agree
+// bitwise — this holds on every target, FMA or not, because every variant
+// runs the same microkernel code on the same panels.
+
+std::vector<float> run_partitioned(std::size_t m, std::size_t n,
+                                   std::size_t k, const std::vector<float>& a,
+                                   const std::vector<float>& b,
+                                   const std::vector<float>& c0,
+                                   std::span<const std::size_t> splits) {
+  std::vector<float> c = c0;
+  detail::gemm_tiled_partitioned(Trans::kNo, Trans::kYes, m, n, k, 1.0f,
+                                 a.data(), b.data(), 0.5f, c.data(),
+                                 GemmEpilogue{}, splits);
+  return c;
+}
+
+TEST(GemmParityTest, BitwiseInvariantToPanelPartition) {
+  const std::size_t m = 61, n = 45, k = 70;  // 16 row panels, ragged edges
+  const auto a = random_vec(m * k, 41);
+  const auto b = random_vec(n * k, 42);  // B is n x k for Trans::kYes
+  const auto c0 = random_vec(m * n, 43);
+  const std::size_t panels = (m + detail::kMR - 1) / detail::kMR;
+
+  const auto one_worker = run_partitioned(m, n, k, a, b, c0, {});
+  const std::vector<std::size_t> two{panels / 2};
+  std::vector<std::size_t> eight;
+  for (std::size_t w = 1; w < 8; ++w) eight.push_back(w * panels / 8);
+
+  const auto two_workers = run_partitioned(m, n, k, a, b, c0, two);
+  const auto eight_workers = run_partitioned(m, n, k, a, b, c0, eight);
+
+  std::vector<float> production = c0;
+  {
+    GemmBackendScope scope(GemmBackend::kTiled);
+    gemm(Trans::kNo, Trans::kYes, m, n, k, 1.0f, a, b, 0.5f, production);
+  }
+
+  const auto bits_equal = [](const std::vector<float>& x,
+                             const std::vector<float>& y) {
+    return std::memcmp(x.data(), y.data(), x.size() * sizeof(float)) == 0;
+  };
+  EXPECT_TRUE(bits_equal(one_worker, two_workers));
+  EXPECT_TRUE(bits_equal(one_worker, eight_workers));
+  EXPECT_TRUE(bits_equal(one_worker, production));
+}
+
+TEST(GemmParityTest, SerialScopeMatchesPooledExecution) {
+  // Large enough that the pooled path actually parallelizes.
+  const std::size_t m = 96, n = 80, k = 64;
+  const auto a = random_vec(m * k, 51);
+  const auto b = random_vec(k * n, 52);
+
+  for (GemmBackend be : {GemmBackend::kReference, GemmBackend::kTiled}) {
+    GemmBackendScope backend(be);
+    std::vector<float> pooled(m * n, 0.0f);
+    gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a, b, 0.0f, pooled);
+    std::vector<float> serial(m * n, 0.0f);
+    {
+      SerialKernelScope scope;
+      gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a, b, 0.0f, serial);
+    }
+    ASSERT_EQ(0, std::memcmp(pooled.data(), serial.data(),
+                             pooled.size() * sizeof(float)))
+        << "backend " << static_cast<int>(be);
+  }
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,144 @@
+// Tests for the thread-local workspace arena (tensor/workspace.h): slot
+// reuse, alignment, growth, the disabled ("before") mode, free-list
+// recycling, and per-thread isolation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "tensor/workspace.h"
+
+namespace seafl {
+namespace {
+
+TEST(WorkspaceTest, SameSlotReusesStorageAcrossCalls) {
+  Workspace& ws = Workspace::tls();
+  auto first = ws.floats(WsSlot::kIm2colCols, 256);
+  const std::uint64_t allocs_after_first = Workspace::total_slot_allocs();
+  for (int i = 0; i < 100; ++i) {
+    auto again = ws.floats(WsSlot::kIm2colCols, 256);
+    ASSERT_EQ(first.data(), again.data());
+    ASSERT_EQ(again.size(), 256u);
+  }
+  // Equal or smaller asks never reallocate.
+  auto smaller = ws.floats(WsSlot::kIm2colCols, 17);
+  EXPECT_EQ(first.data(), smaller.data());
+  EXPECT_EQ(Workspace::total_slot_allocs(), allocs_after_first);
+}
+
+TEST(WorkspaceTest, DistinctSlotsNeverAlias) {
+  Workspace& ws = Workspace::tls();
+  auto a = ws.floats(WsSlot::kGemmPackA, 512);
+  auto b = ws.floats(WsSlot::kGemmPackB, 512);
+  auto c = ws.floats(WsSlot::kConvDcols, 512);
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_NE(a.data(), c.data());
+  EXPECT_NE(b.data(), c.data());
+  // Acquiring one slot leaves the others' spans intact.
+  a[0] = 1.0f;
+  b[0] = 2.0f;
+  (void)ws.floats(WsSlot::kGemmAcc, 4096);
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(b[0], 2.0f);
+}
+
+TEST(WorkspaceTest, BuffersAre64ByteAligned) {
+  Workspace& ws = Workspace::tls();
+  for (std::size_t n : {1u, 7u, 100u, 4097u}) {
+    auto s = ws.floats(WsSlot::kGemmRef, n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s.data()) % Workspace::kAlign,
+              0u);
+  }
+}
+
+TEST(WorkspaceTest, GrowthIsGeometricUnderAlternatingSizes) {
+  Workspace& ws = Workspace::tls();
+  // Warm the slot at the large size; alternating smaller/larger asks must
+  // then be alloc-free (the arena never shrinks).
+  (void)ws.floats(WsSlot::kGemmAcc, 10000);
+  const std::uint64_t warm = Workspace::total_slot_allocs();
+  for (int i = 0; i < 50; ++i) {
+    (void)ws.floats(WsSlot::kGemmAcc, (i % 2) ? 10000 : 100);
+  }
+  EXPECT_EQ(Workspace::total_slot_allocs(), warm);
+  EXPECT_GE(ws.bytes_reserved(), 10000 * sizeof(float));
+}
+
+TEST(WorkspaceTest, DisabledModeAllocatesFreshEveryCall) {
+  Workspace::set_enabled(false);
+  Workspace& ws = Workspace::tls();
+  const std::uint64_t before = Workspace::total_slot_allocs();
+  (void)ws.floats(WsSlot::kIm2colCols, 64);
+  (void)ws.floats(WsSlot::kIm2colCols, 64);
+  (void)ws.floats(WsSlot::kIm2colCols, 64);
+  Workspace::set_enabled(true);
+  EXPECT_EQ(Workspace::total_slot_allocs(), before + 3);
+}
+
+TEST(WorkspaceTest, FreeListRecyclesReleasedStorage) {
+  Workspace& ws = Workspace::tls();
+  std::vector<float> v = ws.acquire_floats(1000);
+  const float* ptr = v.data();
+  ws.release_floats(std::move(v));
+  std::vector<float> again = ws.acquire_floats(800);  // smaller fits
+  EXPECT_EQ(again.data(), ptr);
+  EXPECT_EQ(again.size(), 800u);
+}
+
+TEST(WorkspaceTest, EnsureU32KeepsCapacityAcrossShrinkGrow) {
+  Workspace& ws = Workspace::tls();
+  std::vector<std::uint32_t> v;
+  ws.ensure_u32(v, 500);
+  const auto cap = v.capacity();
+  ws.ensure_u32(v, 10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.capacity(), cap);  // shrink never releases
+  ws.ensure_u32(v, 500);
+  EXPECT_EQ(v.size(), 500u);
+  EXPECT_EQ(v.capacity(), cap);  // regrow within capacity is alloc-free
+}
+
+TEST(WorkspaceTest, ThreadsGetDistinctArenas) {
+  Workspace& ws = Workspace::tls();
+  auto mine = ws.floats(WsSlot::kGemmPackA, 128);
+  float* other = nullptr;
+  std::thread t([&] {
+    other = Workspace::tls().floats(WsSlot::kGemmPackA, 128).data();
+  });
+  t.join();
+  EXPECT_NE(mine.data(), other);
+}
+
+TEST(TensorEnsureShapeTest, MatchingShapeIsANoop) {
+  Tensor t({4, 8});
+  const float* data = t.data();
+  t.fill(3.0f);
+  EXPECT_FALSE(t.ensure_shape({4, 8}));
+  EXPECT_EQ(t.data(), data);
+  EXPECT_EQ(t[0], 3.0f);
+}
+
+TEST(TensorEnsureShapeTest, ReshapeWithinCapacityKeepsStorage) {
+  Tensor t({10, 10});
+  const float* data = t.data();
+  EXPECT_TRUE(t.ensure_shape({5, 10}));  // shrink
+  EXPECT_EQ(t.numel(), 50u);
+  EXPECT_EQ(t.data(), data);
+  EXPECT_TRUE(t.ensure_shape({10, 10}));  // regrow within capacity
+  EXPECT_EQ(t.numel(), 100u);
+  EXPECT_EQ(t.data(), data);
+  EXPECT_EQ(t.shape(), (Shape{10, 10}));
+}
+
+TEST(TensorEnsureShapeTest, GrowthZeroFillsNewElements) {
+  Tensor t({2});
+  t.fill(7.0f);
+  EXPECT_TRUE(t.ensure_shape({2, 3}));
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 2; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+}  // namespace
+}  // namespace seafl
