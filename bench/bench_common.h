@@ -20,6 +20,9 @@
 //                             execution of every unique arm
 //   --metrics                 profile kernels/phases per arm; summary lands
 //                             at <cache-dir>/<hash>.metrics.json
+//   --eager [--sim-jobs N]    eager session execution inside each simulation
+//                             (DESIGN.md §12); results are bitwise identical
+//                             to the default lazy path
 // Defaults are sized for a single-core CI-class machine; pass --full for a
 // paper-scale run (600 samples/client as in §III).
 #pragma once
@@ -272,7 +275,7 @@ inline ExperimentParams make_params_spec(const CliArgs& args,
 }
 
 /// Runner options from CLI flags (--jobs, --cache-dir, --no-cache,
-/// --refresh, --trace-dir, --metrics).
+/// --refresh, --trace-dir, --metrics, --eager, --sim-jobs).
 inline exp::RunnerOptions make_runner_options(const CliArgs& args) {
   configure_jobs(args);
   exp::RunnerOptions opts;
@@ -282,6 +285,8 @@ inline exp::RunnerOptions make_runner_options(const CliArgs& args) {
   opts.refresh = args.get_bool("refresh", false);
   opts.trace_dir = args.get_string("trace-dir", "");
   opts.metrics = args.get_bool("metrics", false);
+  opts.eager_training = args.get_bool("eager", false);
+  opts.sim_jobs = static_cast<std::size_t>(args.get_int("sim-jobs", 0));
   return opts;
 }
 

@@ -28,6 +28,7 @@
 #include "common/thread_pool.h"
 #include "core/presets.h"
 #include "data/registry.h"
+#include "fl/client.h"
 #include "nn/model_zoo.h"
 #include "sim/fleet.h"
 #include "tensor/gemm.h"
@@ -304,6 +305,42 @@ double allocs_per_step(bool arena_enabled) {
   return static_cast<double>(after - before) / kSteps;
 }
 
+/// Heap allocations per ClientTrainer::train session, after warmup. The
+/// trainer owns every buffer a session needs (model activations via the
+/// arena, loader indices, result weights, FedProx scratch), so the
+/// steady-state count must be exactly zero — the eager executor leans on
+/// this to train on pool workers without allocator contention.
+double allocs_per_train_session() {
+  SerialKernelScope serial;
+  TaskSpec spec;
+  spec.name = "synth-mnist";
+  spec.num_clients = 4;
+  spec.samples_per_client = 20;
+  spec.test_samples = 20;
+  FlTask task = make_task(spec);
+  RunConfig config;
+  config.batch_size = 8;
+  config.local_epochs = 2;
+  config.seed = 42;
+  const ModelFactory factory =
+      make_model(task.default_model, task.input, task.num_classes);
+  ClientTrainer trainer(task, factory, config);
+  ModelVector base(trainer.num_params(), 0.01f);
+  // Warmup: one session per client, so every per-client buffer (batch
+  // tensors sized by that client's partition) reaches steady state.
+  for (std::size_t c = 0; c < spec.num_clients; ++c) {
+    trainer.train(c, base, config.local_epochs, /*round=*/0);
+  }
+  constexpr int kSessions = 8;
+  const std::uint64_t before = g_heap_allocs.load();
+  for (int i = 0; i < kSessions; ++i) {
+    trainer.train(i % spec.num_clients, base, config.local_epochs,
+                  /*round=*/static_cast<std::uint64_t>(1 + i));
+  }
+  const std::uint64_t after = g_heap_allocs.load();
+  return static_cast<double>(after - before) / kSessions;
+}
+
 double train_steps_per_sec(GemmBackend backend, bool smoke) {
   GemmBackendScope scope(backend);
   StepHarness h;
@@ -383,7 +420,8 @@ void write_train_json(const std::string& path, bool smoke) {
         << ", \"fig5_style_run_sec\": " << fig5_style_seconds(be, smoke)
         << "}";
   }
-  out << "\n  }\n}\n";
+  out << "\n  },\n  \"allocs_per_train_session\": "
+      << allocs_per_train_session() << "\n}\n";
 }
 
 }  // namespace

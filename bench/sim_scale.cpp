@@ -1,0 +1,158 @@
+// Simulation-throughput bench: rounds/sec of one SEAFL arm with the default
+// lazy (train-at-upload) session execution versus the eager executor
+// (DESIGN.md §12) at several worker budgets.
+//
+// The global pool cannot be resized once started, so the sweep fixes the
+// pool size once (--threads, default 8) and varies `sim_jobs` — the cap on
+// concurrently speculated sessions — across 1/2/4/8. On a host with enough
+// cores, sim_jobs IS the effective worker count; on a smaller host the
+// measurement is honest about it: the JSON records the machine's hardware
+// threads next to every number, and speedups saturate at the physical core
+// count.
+//
+// Every eager run is also checked bitwise against the serial baseline
+// (final_weights plus the headline counters) — a speedup that changes the
+// result would be a bug, not a win.
+//
+// Flags (on top of the bench_common world flags):
+//   --smoke       tiny run (CI): fewer rounds, one timing trial
+//   --threads N   global pool size (default 8)
+//   --json PATH   output path (default results/BENCH_sim.json)
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace seafl;
+using Clock = std::chrono::steady_clock;
+
+struct Measurement {
+  double best_seconds = 0.0;
+  RunResult result;
+};
+
+Measurement measure(const ExperimentParams& params,
+                    const bench::World& world, int trials) {
+  Measurement m;
+  for (int t = 0; t < trials; ++t) {
+    const auto t0 = Clock::now();
+    RunResult r = run_arm("seafl", params, world.task, world.fleet, nullptr);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (t == 0 || secs < m.best_seconds) m.best_seconds = secs;
+    m.result = std::move(r);
+  }
+  return m;
+}
+
+double rounds_per_sec(const Measurement& m) {
+  return static_cast<double>(m.result.rounds) / m.best_seconds;
+}
+
+bool bitwise_equal(const RunResult& a, const RunResult& b) {
+  return a.final_weights.size() == b.final_weights.size() &&
+         std::memcmp(a.final_weights.data(), b.final_weights.data(),
+                     a.final_weights.size() * sizeof(float)) == 0 &&
+         a.rounds == b.rounds && a.total_updates == b.total_updates &&
+         a.final_accuracy == b.final_accuracy &&
+         a.final_time == b.final_time &&
+         a.speculation_cut == b.speculation_cut &&
+         a.speculation_wasted == b.speculation_wasted;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace seafl::bench;
+  CliArgs args(argc, argv);
+
+  const bool smoke = args.get_bool("smoke", false);
+  const std::size_t threads =
+      static_cast<std::size_t>(args.get_int("threads", 8));
+  set_global_pool_threads(threads);
+
+  // Buffered SEAFL with K >= 4 and enough concurrent sessions that the
+  // executor has real overlap to exploit.
+  WorldDefaults defaults;
+  defaults.clients = 30;
+  defaults.samples_per_client = smoke ? 10 : 100;
+  defaults.test_samples = smoke ? 30 : 120;
+  const World world = make_world(args, defaults);
+
+  ExperimentParams params = make_params(
+      args, world, /*default_rounds=*/smoke ? 2 : 40,
+      /*default_concurrency=*/10);
+  params.buffer_size =
+      static_cast<std::size_t>(args.get_int("buffer", 5));  // K
+  params.local_epochs =
+      static_cast<std::size_t>(args.get_int("epochs", smoke ? 2 : 5));
+  params.batch_size = static_cast<std::size_t>(args.get_int("batch", 10));
+  params.stop_at_target = false;  // equal round budgets across modes
+  params.eval_every = 4;          // keep evaluation off the critical path
+
+  const int trials = smoke ? 1 : 2;
+
+  // Warmup run: faults in the dataset pages, settles arena slots.
+  { ExperimentParams w = params; measure(w, world, 1); }
+
+  ExperimentParams serial_params = params;
+  serial_params.eager_training = false;
+  const Measurement serial = measure(serial_params, world, trials);
+  const double serial_rps = rounds_per_sec(serial);
+  std::printf("serial: %.3f rounds/sec (%zu rounds in %.2fs)\n", serial_rps,
+              static_cast<std::size_t>(serial.result.rounds),
+              serial.best_seconds);
+
+  const std::size_t worker_counts[] = {1, 2, 4, 8};
+  std::string eager_json;
+  bool all_equal = true;
+  double speedup_at_4 = 0.0;
+  for (const std::size_t w : worker_counts) {
+    ExperimentParams ep = params;
+    ep.eager_training = true;
+    ep.sim_jobs = w;
+    const Measurement eager = measure(ep, world, trials);
+    const double rps = rounds_per_sec(eager);
+    const double speedup = rps / serial_rps;
+    const bool equal = bitwise_equal(serial.result, eager.result);
+    all_equal = all_equal && equal;
+    if (w == 4) speedup_at_4 = speedup;
+    std::printf(
+        "eager sim_jobs=%zu: %.3f rounds/sec, speedup %.2fx, bitwise %s\n",
+        w, rps, speedup, equal ? "equal" : "DIFFERENT");
+    if (!eager_json.empty()) eager_json += ",\n";
+    eager_json += "    \"" + std::to_string(w) +
+                  "\": {\"rounds_per_sec\": " + std::to_string(rps) +
+                  ", \"wall_sec\": " + std::to_string(eager.best_seconds) +
+                  ", \"speedup\": " + std::to_string(speedup) +
+                  ", \"bitwise_equal\": " + (equal ? "true" : "false") + "}";
+  }
+
+  const std::string path =
+      args.get_string("json", "results/BENCH_sim.json");
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream out(path);
+  out << "{\n  \"host_hardware_threads\": "
+      << std::thread::hardware_concurrency()
+      << ",\n  \"pool_threads\": " << global_pool().size()
+      << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n  \"config\": {\"algorithm\": \"seafl\", \"clients\": "
+      << defaults.clients << ", \"buffer_size\": " << params.buffer_size
+      << ", \"concurrency\": " << params.concurrency
+      << ", \"local_epochs\": " << params.local_epochs
+      << ", \"rounds\": " << params.max_rounds << "}"
+      << ",\n  \"serial\": {\"rounds_per_sec\": " << serial_rps
+      << ", \"wall_sec\": " << serial.best_seconds << "}"
+      << ",\n  \"eager\": {\n" << eager_json << "\n  }"
+      << ",\n  \"speedup_at_4_workers\": " << speedup_at_4
+      << ",\n  \"all_bitwise_equal\": " << (all_equal ? "true" : "false")
+      << "\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+  return all_equal ? 0 : 1;
+}

@@ -26,6 +26,8 @@ RunConfig base_config(const ExperimentParams& p) {
   c.eval_every = p.eval_every;
   c.eval_subset = p.eval_subset;
   c.seed = p.seed;
+  c.eager_training = p.eager_training;
+  c.sim_jobs = p.sim_jobs;
   return c;
 }
 

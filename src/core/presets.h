@@ -30,6 +30,13 @@ struct ExperimentParams {
   std::uint64_t eval_every = 1;
   std::size_t eval_subset = 0;
   std::uint64_t seed = 42;
+
+  /// Execution knobs (RunConfig::eager_training / sim_jobs): where client
+  /// training runs, never what it computes — results are bitwise invariant,
+  /// so these are deliberately NOT in the exp FieldBinding table and never
+  /// reach the config hash (a cached result serves eager and lazy alike).
+  bool eager_training = false;
+  std::size_t sim_jobs = 0;
 };
 
 /// A runnable algorithm arm.

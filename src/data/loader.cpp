@@ -15,6 +15,20 @@ DataLoader::DataLoader(const Dataset& dataset,
     SEAFL_CHECK(i < dataset.size(), "index " << i << " out of range");
 }
 
+void DataLoader::reset(const Dataset& dataset,
+                       std::span<const std::size_t> indices,
+                       std::size_t batch_size, bool as_images) {
+  SEAFL_CHECK(batch_size >= 1, "batch size must be positive");
+  SEAFL_CHECK(!indices.empty(), "DataLoader needs at least one sample");
+  for (const auto i : indices)
+    SEAFL_CHECK(i < dataset.size(), "index " << i << " out of range");
+  dataset_ = &dataset;
+  indices_.assign(indices.begin(), indices.end());
+  batch_size_ = batch_size;
+  as_images_ = as_images;
+  cursor_ = 0;
+}
+
 void DataLoader::begin_epoch(Rng& rng) {
   rng.shuffle(indices_);
   cursor_ = 0;

@@ -13,11 +13,22 @@ namespace seafl {
 /// Batch tensors are reused across calls (no steady-state allocation).
 class DataLoader {
  public:
+  /// Unbound loader; reset() must be called before use. Lets a long-lived
+  /// owner (e.g. ClientTrainer) rebind the loader per session while reusing
+  /// the index buffer's capacity.
+  DataLoader() = default;
+
   /// @param dataset backing store (must outlive the loader)
   /// @param indices subset this loader iterates (copied)
   /// @param batch_size max samples per batch (last batch may be smaller)
   /// @param as_images emit [B, C, H, W] batches instead of [B, numel]
   DataLoader(const Dataset& dataset, std::vector<std::size_t> indices,
+             std::size_t batch_size, bool as_images);
+
+  /// Rebinds the loader. The index subset is copied into the existing
+  /// buffer, so rebinding never allocates once the buffer has reached the
+  /// largest subset size seen.
+  void reset(const Dataset& dataset, std::span<const std::size_t> indices,
              std::size_t batch_size, bool as_images);
 
   /// Starts a new epoch: reshuffles with `rng` and rewinds.
@@ -32,10 +43,10 @@ class DataLoader {
   }
 
  private:
-  const Dataset* dataset_;
+  const Dataset* dataset_ = nullptr;
   std::vector<std::size_t> indices_;
-  std::size_t batch_size_;
-  bool as_images_;
+  std::size_t batch_size_ = 0;
+  bool as_images_ = false;
   std::size_t cursor_ = 0;
 };
 

@@ -20,7 +20,9 @@ namespace {
 // v3: the tiled GEMM changed the FP addition order inside kernels, so
 // numerically-sensitive cached curves no longer match what a fresh run
 // produces; invalidate rather than mix kernel generations in one sweep.
-constexpr std::uint64_t kCacheVersion = 3;
+// v4: RunResult gained the speculation counters (speculation_cut /
+// speculation_wasted); the result JSON has two more fields.
+constexpr std::uint64_t kCacheVersion = 4;
 
 Json curve_to_json(const std::vector<AccuracyPoint>& curve) {
   JsonArray out;
@@ -108,6 +110,8 @@ Json result_to_json(const RunResult& r) {
   obj.emplace("degraded_aggregations", Json(r.degraded_aggregations));
   obj.emplace("screened_updates", Json(r.screened_updates));
   obj.emplace("clipped_updates", Json(r.clipped_updates));
+  obj.emplace("speculation_cut", Json(r.speculation_cut));
+  obj.emplace("speculation_wasted", Json(r.speculation_wasted));
   return Json(std::move(obj));
 }
 
@@ -141,6 +145,8 @@ RunResult result_from_json(const Json& json) {
   r.degraded_aggregations = json.at("degraded_aggregations").as_size();
   r.screened_updates = json.at("screened_updates").as_size();
   r.clipped_updates = json.at("clipped_updates").as_size();
+  r.speculation_cut = json.at("speculation_cut").as_size();
+  r.speculation_wasted = json.at("speculation_wasted").as_size();
   return r;
 }
 

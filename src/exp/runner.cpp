@@ -40,12 +40,16 @@ std::string world_key(const ArmSpec& spec) {
 
 /// Executes one arm against its built world. The target-accuracy sentinel
 /// (< 0) resolves to the task's default here, after the dataset exists.
+/// `eager` / `sim_jobs` place the arm's client training on the shared pool;
+/// they never change the result (so the cache stays valid across modes).
 RunResult execute(const ArmSpec& spec, const BuiltWorld& world,
-                  obs::TraceSink* trace) {
+                  obs::TraceSink* trace, bool eager, std::size_t sim_jobs) {
   ExperimentParams params = spec.params;
   if (params.target_accuracy < 0.0) {
     params.target_accuracy = world.task.target_accuracy;
   }
+  params.eager_training = eager;
+  params.sim_jobs = eager ? sim_jobs : 0;
   return run_arm(spec.algorithm, params, world.task, world.fleet, trace);
 }
 
@@ -134,6 +138,13 @@ std::vector<ArmResult> Runner::run(const std::vector<ArmSpec>& arms) {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex progress_mutex;
+  const std::size_t jobs = std::max<std::size_t>(1, options_.jobs);
+  // Metrics attribution under jobs > 1 is a per-thread snapshot delta; an
+  // eager arm's training runs on other threads, so the combination would
+  // mis-attribute. Eager is pure placement — forcing it off is invisible in
+  // the results.
+  const bool eager =
+      options_.eager_training && !(options_.metrics && jobs > 1);
   auto run_indices = [&](bool serial_kernels) {
     for (std::size_t n = next.fetch_add(1); n < total;
          n = next.fetch_add(1)) {
@@ -159,9 +170,11 @@ std::vector<ArmResult> Runner::run(const std::vector<ArmSpec>& arms) {
       }
       if (serial_kernels) {
         SerialKernelScope scope;
-        results[i].result = execute(arms[i], world, sink);
+        results[i].result =
+            execute(arms[i], world, sink, eager, options_.sim_jobs);
       } else {
-        results[i].result = execute(arms[i], world, sink);
+        results[i].result =
+            execute(arms[i], world, sink, eager, options_.sim_jobs);
       }
       if (options_.metrics) {
         const obs::Snapshot after =
@@ -189,7 +202,6 @@ std::vector<ArmResult> Runner::run(const std::vector<ArmSpec>& arms) {
     }
   };
 
-  const std::size_t jobs = std::max<std::size_t>(1, options_.jobs);
   if (jobs == 1 || total <= 1) {
     run_indices(/*serial_kernels=*/false);
   } else {

@@ -53,6 +53,19 @@ struct RunnerOptions {
   /// evaluate). Attribution is exact at any `jobs` value: concurrent arms
   /// run with serial kernels, so a per-thread snapshot delta isolates each.
   bool metrics = false;
+
+  /// Intra-arm eager session execution (RunConfig::eager_training): each
+  /// executed simulation speculates its client sessions onto the shared
+  /// pool (DESIGN.md §12). Composes with `jobs` — arm workers and training
+  /// jobs drain one global pool, so the process never oversubscribes.
+  /// Results are bitwise identical either way; forced off when `metrics`
+  /// runs with jobs > 1, where exact per-thread attribution needs every
+  /// kernel of an arm to stay on the arm's own thread.
+  bool eager_training = false;
+
+  /// RunConfig::sim_jobs: cap on live speculated sessions per simulation
+  /// (0 = unlimited). Only meaningful with eager_training.
+  std::size_t sim_jobs = 0;
 };
 
 /// One arm's outcome.

@@ -1,5 +1,7 @@
 #include "fl/client.h"
 
+#include <algorithm>
+
 #include "obs/profile.h"
 
 namespace seafl {
@@ -12,11 +14,12 @@ ClientTrainer::ClientTrainer(const FlTask& task, const ModelFactory& factory,
   SEAFL_CHECK(num_params_ > 0, "model has no trainable parameters");
 }
 
-ClientTrainResult ClientTrainer::train(std::size_t client,
-                                       const ModelVector& base,
-                                       std::size_t epochs,
-                                       std::uint64_t round,
-                                       std::size_t frozen_layers) {
+const ClientTrainResult& ClientTrainer::train(std::size_t client,
+                                              const ModelVector& base,
+                                              std::size_t epochs,
+                                              std::uint64_t round,
+                                              std::size_t frozen_layers,
+                                              TrainObserver* observer) {
   SEAFL_PROF_SCOPE("fl.client_train");
   SEAFL_CHECK(client < task_->partition.size(),
               "client " << client << " out of range");
@@ -29,24 +32,23 @@ ClientTrainResult ClientTrainer::train(std::size_t client,
 
   model_->set_parameters(base);
   Sgd optimizer(config_.sgd);
-  DataLoader loader(task_->train, task_->partition[client],
-                    config_.batch_size, /*as_images=*/false);
+  loader_.reset(task_->train, task_->partition[client], config_.batch_size,
+                /*as_images=*/false);
 
   const bool proximal = config_.proximal_mu > 0.0;
   const float prox_step = static_cast<float>(
       config_.sgd.learning_rate * config_.proximal_mu);
-  std::vector<float> scratch;
-  if (proximal) scratch.resize(num_params_);
+  if (proximal) prox_scratch_.resize(num_params_);  // no-op after first call
 
-  ClientTrainResult result;
-  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+  std::size_t budget = epochs;
+  for (std::size_t epoch = 0; epoch < budget; ++epoch) {
     // The shuffle stream is keyed by (seed, client, round, epoch): epoch e of
     // a partial session matches epoch e of the full session bit-for-bit.
     Rng rng(config_.seed, RngPurpose::kClientTrain, client, round, epoch);
-    loader.begin_epoch(rng);
+    loader_.begin_epoch(rng);
     double epoch_loss = 0.0;
     std::size_t batches = 0;
-    while (loader.next(batch_features_, batch_labels_)) {
+    while (loader_.next(batch_features_, batch_labels_)) {
       const Tensor& logits = model_->forward(batch_features_, /*train=*/true);
       epoch_loss += loss_.forward(logits, batch_labels_);
       ++batches;
@@ -57,18 +59,24 @@ ClientTrainResult ClientTrainer::train(std::size_t client,
       if (proximal) {
         // FedProx: w -= lr * mu * (w - w_global), the gradient of the
         // proximal term mu/2 ||w - w_global||^2.
-        model_->copy_parameters_to(scratch);
-        for (std::size_t i = 0; i < scratch.size(); ++i)
-          scratch[i] -= prox_step * (scratch[i] - base[i]);
-        model_->set_parameters(scratch);
+        model_->copy_parameters_to(prox_scratch_);
+        for (std::size_t i = 0; i < prox_scratch_.size(); ++i)
+          prox_scratch_[i] -= prox_step * (prox_scratch_[i] - base[i]);
+        model_->set_parameters(prox_scratch_);
       }
     }
-    result.mean_loss = epoch_loss / static_cast<double>(batches);
+    result_.mean_loss = epoch_loss / static_cast<double>(batches);
+    if (observer != nullptr) {
+      const std::size_t limit =
+          observer->on_epoch_end(epoch + 1, result_.mean_loss, *model_);
+      // The budget only shrinks, and never below the epochs already done.
+      budget = std::min(budget, std::max(limit, epoch + 1));
+    }
   }
-  result.epochs = epochs;
-  result.weights.resize(num_params_);
-  model_->copy_parameters_to(result.weights);
-  return result;
+  result_.epochs = budget;
+  result_.weights.resize(num_params_);  // allocates on the first call only
+  model_->copy_parameters_to(result_.weights);
+  return result_;
 }
 
 }  // namespace seafl

@@ -16,8 +16,23 @@ struct ClientTrainResult {
   std::size_t epochs = 0;     ///< epochs actually executed
 };
 
+/// Observer of epoch boundaries within one training session (the eager
+/// executor's checkpoint/cut hook, DESIGN.md §12). Called after every
+/// completed epoch with the live model; the return value is the session's
+/// new total epoch budget. The budget can only shrink — values above the
+/// remaining plan are clamped — and returning `epochs_done` stops the
+/// session right there with the epochs it has.
+class TrainObserver {
+ public:
+  virtual ~TrainObserver() = default;
+  virtual std::size_t on_epoch_end(std::size_t epochs_done,
+                                   double epoch_mean_loss,
+                                   const Sequential& model) = 0;
+};
+
 /// Executes local training for any client of a task. One instance owns a
-/// single reusable model, so repeated calls do not reallocate layers.
+/// single reusable model plus result/scratch buffers, so repeated calls do
+/// not allocate at all once every buffer has reached its steady-state size.
 ///
 /// Determinism: the mini-batch schedule of (client, round) depends only on
 /// the run seed, the client id and the round — never on call order — so a
@@ -34,11 +49,17 @@ class ClientTrainer {
   std::size_t num_params() const { return num_params_; }
 
   /// Trains `epochs` local epochs for `client` starting from `base` weights.
+  /// The returned reference points into the trainer's reusable result buffer
+  /// and is invalidated by the next train() call — copy (or move fields out)
+  /// before training again.
   /// @param frozen_layers sub-model training: the first N layers keep their
   ///        base weights (forward still runs through them). 0 = full model.
-  ClientTrainResult train(std::size_t client, const ModelVector& base,
-                          std::size_t epochs, std::uint64_t round,
-                          std::size_t frozen_layers = 0);
+  /// @param observer optional per-epoch hook; may lower the epoch budget
+  ///        mid-session (see TrainObserver).
+  const ClientTrainResult& train(std::size_t client, const ModelVector& base,
+                                 std::size_t epochs, std::uint64_t round,
+                                 std::size_t frozen_layers = 0,
+                                 TrainObserver* observer = nullptr);
 
   /// Number of layers in the architecture (for sub-model planning).
   std::size_t num_layers() const { return model_->num_layers(); }
@@ -57,6 +78,9 @@ class ClientTrainer {
   Tensor batch_features_;
   std::vector<std::int32_t> batch_labels_;
   Tensor logit_grad_;
+  DataLoader loader_;               ///< rebound per session, capacity reused
+  ClientTrainResult result_;        ///< reused across sessions
+  std::vector<float> prox_scratch_; ///< FedProx pull buffer, reused
 };
 
 }  // namespace seafl

@@ -1,6 +1,9 @@
 #include "fl/evaluator.h"
 
+#include <algorithm>
+
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "obs/profile.h"
 
 namespace seafl {
@@ -8,8 +11,7 @@ namespace seafl {
 Evaluator::Evaluator(const FlTask& task, const ModelFactory& factory,
                      std::size_t batch_size, std::size_t subset,
                      std::uint64_t seed)
-    : task_(&task), model_(factory()), batch_size_(batch_size) {
-  SEAFL_CHECK(model_ != nullptr, "model factory returned null");
+    : task_(&task), factory_(factory), batch_size_(batch_size) {
   SEAFL_CHECK(batch_size_ >= 1, "batch size must be positive");
   const std::size_t n = task.test.size();
   SEAFL_CHECK(n > 0, "empty test set");
@@ -20,27 +22,98 @@ Evaluator::Evaluator(const FlTask& task, const ModelFactory& factory,
     rng.shuffle(indices_);
     indices_.resize(subset);
   }
+  // Build one context eagerly so a bad factory fails here, not mid-run on a
+  // pool worker.
+  auto slot = std::make_unique<Slot>();
+  slot->model = factory_();
+  SEAFL_CHECK(slot->model != nullptr, "model factory returned null");
+  num_params_ = slot->model->num_parameters();
+  free_slots_.push_back(slot.get());
+  slots_.push_back(std::move(slot));
+}
+
+Evaluator::Slot* Evaluator::acquire_slot() {
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    if (!free_slots_.empty()) {
+      Slot* slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+  }
+  // Grown lazily per concurrent chunk, outside the lock (the factory may be
+  // expensive); bounded by pool-workers + 1.
+  auto slot = std::make_unique<Slot>();
+  slot->model = factory_();
+  SEAFL_CHECK(slot->model != nullptr, "model factory returned null");
+  Slot* raw = slot.get();
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  slots_.push_back(std::move(slot));
+  return raw;
+}
+
+void Evaluator::release_slot(Slot* slot) {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  free_slots_.push_back(slot);
 }
 
 EvalResult Evaluator::evaluate(const ModelVector& weights) {
   SEAFL_PROF_SCOPE("fl.evaluate");
-  model_->set_parameters(weights);
+  // Validate here, on the caller: an exception thrown inside a pool chunk
+  // would tear down the process instead of propagating.
+  SEAFL_CHECK(weights.size() == num_params_,
+              "evaluate: weight vector has " << weights.size()
+                                             << " scalars, model needs "
+                                             << num_params_);
+  ++version_;
+  const std::size_t num_batches =
+      (indices_.size() + batch_size_ - 1) / batch_size_;
+  batch_loss_.resize(num_batches);
+  batch_correct_.resize(num_batches);
+
+  parallel_for_chunked(
+      0, num_batches,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        Slot* slot = acquire_slot();
+        // Weights load at most once per slot per pass; a slot reused for a
+        // second chunk of the same pass skips it.
+        if (slot->version != version_) {
+          slot->model->set_parameters(weights);
+          slot->version = version_;
+        }
+        // Chunks score whole batches and never share a slot, so intra-batch
+        // kernel work stays serial on this thread (workers are serial
+        // already; the scope covers the participating caller).
+        SerialKernelScope serial;
+        for (std::size_t b = chunk_begin; b < chunk_end; ++b) {
+          const std::size_t start = b * batch_size_;
+          const std::size_t take =
+              std::min(batch_size_, indices_.size() - start);
+          task_->test.gather({indices_.data() + start, take},
+                             slot->batch_features, slot->batch_labels,
+                             /*as_images=*/false);
+          const Tensor& logits =
+              slot->model->forward(slot->batch_features, /*train=*/false);
+          batch_loss_[b] = slot->loss.forward(logits, slot->batch_labels) *
+                           static_cast<double>(take);
+          batch_correct_[b] = slot->loss.correct();
+        }
+        release_slot(slot);
+      },
+      /*grain=*/1);
+
+  // Fixed-order reduction: identical accumulation order to the serial loop,
+  // so the result is invariant to how chunks were assigned.
   double total_loss = 0.0;
   std::size_t correct = 0;
-  std::size_t seen = 0;
-  for (std::size_t start = 0; start < indices_.size(); start += batch_size_) {
-    const std::size_t take = std::min(batch_size_, indices_.size() - start);
-    task_->test.gather({indices_.data() + start, take}, batch_features_,
-                       batch_labels_, /*as_images=*/false);
-    const Tensor& logits = model_->forward(batch_features_, /*train=*/false);
-    total_loss +=
-        loss_.forward(logits, batch_labels_) * static_cast<double>(take);
-    correct += loss_.correct();
-    seen += take;
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    total_loss += batch_loss_[b];
+    correct += batch_correct_[b];
   }
+  const auto seen = static_cast<double>(indices_.size());
   EvalResult out;
-  out.accuracy = static_cast<double>(correct) / static_cast<double>(seen);
-  out.loss = total_loss / static_cast<double>(seen);
+  out.accuracy = static_cast<double>(correct) / seen;
+  out.loss = total_loss / seen;
   return out;
 }
 

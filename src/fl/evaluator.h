@@ -1,6 +1,9 @@
 // Server-side test evaluation of a flat model vector.
 #pragma once
 
+#include <memory>
+#include <mutex>
+
 #include "data/registry.h"
 #include "fl/types.h"
 #include "nn/loss.h"
@@ -14,8 +17,15 @@ struct EvalResult {
 };
 
 /// Evaluates flat model vectors on a task's test set (optionally a fixed
-/// random subset to bound evaluation cost in benches). Owns one reusable
-/// model instance.
+/// random subset to bound evaluation cost in benches).
+///
+/// Batches are scored in parallel on the shared thread pool. The per-batch
+/// loss and correct-count land in fixed slots and are reduced in batch-index
+/// order afterwards, so the result is bitwise identical to the serial loop
+/// at any worker count (the fixed-block reduction idiom of DESIGN.md §8).
+/// Each concurrent chunk leases an evaluation context (model clone + batch
+/// tensors), so at most pool-workers + 1 contexts ever exist and their
+/// tensors are reused across evaluations instead of reallocating.
 class Evaluator {
  public:
   /// @param subset 0 = full test set, otherwise evaluate on `subset` samples
@@ -29,13 +39,31 @@ class Evaluator {
   std::size_t eval_samples() const { return indices_.size(); }
 
  private:
+  /// One leased evaluation context.
+  struct Slot {
+    std::unique_ptr<Sequential> model;
+    SoftmaxCrossEntropy loss;
+    Tensor batch_features;
+    std::vector<std::int32_t> batch_labels;
+    std::uint64_t version = 0;  ///< evaluate() pass whose weights are loaded
+  };
+
+  Slot* acquire_slot();
+  void release_slot(Slot* slot);
+
   const FlTask* task_;
-  std::unique_ptr<Sequential> model_;
+  ModelFactory factory_;
   std::size_t batch_size_;
+  std::size_t num_params_ = 0;  ///< for up-front dimension validation
   std::vector<std::size_t> indices_;
-  SoftmaxCrossEntropy loss_;
-  Tensor batch_features_;
-  std::vector<std::int32_t> batch_labels_;
+  std::uint64_t version_ = 0;  ///< bumped per evaluate() pass
+
+  std::mutex slots_mutex_;
+  std::vector<std::unique_ptr<Slot>> slots_;  ///< every context ever created
+  std::vector<Slot*> free_slots_;
+
+  std::vector<double> batch_loss_;          ///< per-batch loss * batch size
+  std::vector<std::size_t> batch_correct_;  ///< per-batch correct count
 };
 
 }  // namespace seafl

@@ -1,0 +1,354 @@
+#include "fl/executor.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+namespace seafl {
+
+namespace {
+
+enum class JobState { kQueued, kRunning, kDone, kAbandoned };
+
+}  // namespace
+
+/// One speculated session. `state` carries the ownership protocol: exactly
+/// one party wins the kQueued -> kRunning transition (a pool worker, or a
+/// stealing harvester; always under the executor mutex) and becomes the sole
+/// writer of `result` / the checkpoints until it publishes kDone.
+struct TrainingExecutor::Job {
+  std::size_t client = 0;
+  std::uint64_t round = 0;
+  std::size_t epochs = 0;
+  std::size_t frozen_layers = 0;
+  std::shared_ptr<const ModelVector> base;
+
+  std::atomic<JobState> state{JobState::kQueued};
+  /// Monotonically non-increasing epoch budget (cut() lowers it); the
+  /// training loop reads it at every epoch boundary.
+  std::atomic<std::size_t> epoch_limit{0};
+  /// Set by abandon(); a running job stops at its next epoch boundary.
+  std::atomic<bool> abandoned{false};
+
+  // Written by the job's runner, read by the harvester after it observes
+  // kDone (both under the executor mutex, so publication is by-lock).
+  ClientTrainResult result;
+  /// Per-epoch weight/loss checkpoints, recorded only when the run uses
+  /// partial training: a cut() that lands after the job passed stop_epoch is
+  /// served from checkpoint[stop_epoch - 1], which the per-epoch RNG keying
+  /// makes bit-identical to a fresh stop_epoch-epoch session.
+  std::vector<ModelVector> epoch_weights;
+  std::vector<double> epoch_losses;
+};
+
+/// State shared with pool closures through a shared_ptr, so a closure that
+/// runs after the executor (or the whole simulation) is gone still has a
+/// live object to cancel itself against. Only *running* jobs touch anything
+/// beyond this struct (the task, leased trainers); drain() therefore waits
+/// for running jobs only, never for closures still queued behind unrelated
+/// pool work — which is what keeps teardown deadlock-free when simulations
+/// themselves execute on pool workers (exp::Runner --jobs).
+struct TrainingExecutor::Shared {
+  const FlTask* task = nullptr;
+  ModelFactory factory;
+  RunConfig config;
+  bool checkpoint = false;  ///< record per-epoch prefixes (partial training)
+  std::size_t max_jobs = 0; ///< live-speculation cap; 0 = unlimited
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::unordered_map<std::size_t, std::shared_ptr<Job>> jobs;
+  std::vector<std::unique_ptr<ClientTrainer>> free_trainers;
+  std::size_t live_jobs = 0;     ///< queued + running, for the cap/gauge
+  std::size_t running_tasks = 0; ///< pool closures mid-training
+
+  // Cached metric handles (interned by name in the global registry).
+  obs::Counter* speculated;
+  obs::Counter* skipped;
+  obs::Counter* hits;
+  obs::Counter* steals;
+  obs::Counter* inline_trains;
+  obs::Counter* cuts;
+  obs::Counter* cancelled;
+  obs::Counter* wasted;
+  obs::Gauge* queue_depth;
+
+  std::unique_ptr<ClientTrainer> acquire_trainer();
+  void release_trainer(std::unique_ptr<ClientTrainer> trainer);
+};
+
+namespace {
+
+/// Epoch-boundary hook of a speculated job: checkpoints the prefix when the
+/// run can cut sessions, then reports the (possibly lowered) budget. An
+/// abandoned job stops immediately — nothing will read its result.
+class JobObserver final : public TrainObserver {
+ public:
+  JobObserver(TrainingExecutor::Job& job, bool checkpoint)
+      : job_(&job), checkpoint_(checkpoint) {}
+
+  std::size_t on_epoch_end(std::size_t epochs_done, double epoch_mean_loss,
+                           const Sequential& model) override {
+    if (checkpoint_) {
+      job_->epoch_weights.emplace_back(model.num_parameters());
+      model.copy_parameters_to(job_->epoch_weights.back());
+      job_->epoch_losses.push_back(epoch_mean_loss);
+    }
+    if (job_->abandoned.load(std::memory_order_relaxed)) return epochs_done;
+    return job_->epoch_limit.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TrainingExecutor::Job* job_;
+  bool checkpoint_;
+};
+
+}  // namespace
+
+std::unique_ptr<ClientTrainer> TrainingExecutor::Shared::acquire_trainer() {
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!free_trainers.empty()) {
+      auto trainer = std::move(free_trainers.back());
+      free_trainers.pop_back();
+      return trainer;
+    }
+  }
+  // Lazily grown outside the lock: leases happen at *execution* time, so the
+  // population is bounded by execution concurrency (pool workers + the
+  // event-loop thread), not by sessions in flight.
+  return std::make_unique<ClientTrainer>(*task, factory, config);
+}
+
+void TrainingExecutor::Shared::release_trainer(
+    std::unique_ptr<ClientTrainer> trainer) {
+  std::lock_guard<std::mutex> lock(mutex);
+  free_trainers.push_back(std::move(trainer));
+}
+
+namespace {
+
+/// Trains the job with a leased trainer. Sole writer of job.result by the
+/// state protocol; publishing kDone is the caller's duty.
+void run_job(TrainingExecutor::Shared& shared, TrainingExecutor::Job& job) {
+  auto trainer = shared.acquire_trainer();
+  {
+    JobObserver observer(job, shared.checkpoint);
+    job.result = trainer->train(job.client, *job.base, job.epochs, job.round,
+                                job.frozen_layers, &observer);
+  }
+  shared.release_trainer(std::move(trainer));
+}
+
+}  // namespace
+
+TrainingExecutor::TrainingExecutor(const FlTask& task,
+                                   const ModelFactory& factory,
+                                   const RunConfig& config)
+    : shared_(std::make_shared<Shared>()) {
+  shared_->task = &task;
+  shared_->factory = factory;
+  shared_->config = config;
+  shared_->checkpoint = config.partial_training;
+  shared_->max_jobs = config.sim_jobs;
+  obs::Registry& reg = obs::Registry::global();
+  shared_->speculated = &reg.counter("fl.executor.speculated");
+  shared_->skipped = &reg.counter("fl.executor.skipped");
+  shared_->hits = &reg.counter("fl.executor.hits");
+  shared_->steals = &reg.counter("fl.executor.steals");
+  shared_->inline_trains = &reg.counter("fl.executor.inline_trains");
+  shared_->cuts = &reg.counter("fl.executor.cuts");
+  shared_->cancelled = &reg.counter("fl.executor.cancelled");
+  shared_->wasted = &reg.counter("fl.executor.wasted");
+  shared_->queue_depth = &reg.gauge("fl.executor.queue_depth");
+}
+
+TrainingExecutor::~TrainingExecutor() { drain(); }
+
+void TrainingExecutor::speculate(std::size_t client,
+                                 std::shared_ptr<const ModelVector> base,
+                                 std::size_t epochs, std::uint64_t round,
+                                 std::size_t frozen_layers) {
+  SEAFL_CHECK(base != nullptr, "speculate without a base snapshot");
+  auto shared = shared_;
+  auto job = std::make_shared<Job>();
+  job->client = client;
+  job->round = round;
+  job->epochs = epochs;
+  job->frozen_layers = frozen_layers;
+  job->base = std::move(base);
+  job->epoch_limit.store(epochs, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    SEAFL_CHECK(shared->jobs.find(client) == shared->jobs.end(),
+                "client " << client << " already speculated");
+    if (shared->max_jobs > 0 && shared->live_jobs >= shared->max_jobs) {
+      shared->skipped->add();
+      return;  // over the cap: this session trains at harvest time
+    }
+    shared->jobs.emplace(client, job);
+    ++shared->live_jobs;
+    shared->queue_depth->set(static_cast<double>(shared->live_jobs));
+  }
+  shared->speculated->add();
+  global_pool().submit([shared, job] {
+    {
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      JobState expected = JobState::kQueued;
+      if (!job->state.compare_exchange_strong(expected, JobState::kRunning))
+        return;  // stolen by a harvester or abandoned before we ran
+      ++shared->running_tasks;
+    }
+    // Pool workers already run with serial kernels (thread_pool.cpp); the
+    // scope is belt-and-braces for the determinism contract.
+    SerialKernelScope serial;
+    run_job(*shared, *job);
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    job->state.store(JobState::kDone, std::memory_order_relaxed);
+    --shared->running_tasks;
+    --shared->live_jobs;
+    shared->queue_depth->set(static_cast<double>(shared->live_jobs));
+    shared->cv.notify_all();
+  });
+}
+
+void TrainingExecutor::cut(std::size_t client, std::size_t stop_epoch) {
+  auto shared = shared_;
+  std::lock_guard<std::mutex> lock(shared->mutex);
+  const auto it = shared->jobs.find(client);
+  if (it == shared->jobs.end()) return;  // cap skip: nothing speculated
+  Job& job = *it->second;
+  std::size_t current = job.epoch_limit.load(std::memory_order_relaxed);
+  while (stop_epoch < current &&
+         !job.epoch_limit.compare_exchange_weak(current, stop_epoch,
+                                                std::memory_order_relaxed)) {
+  }
+  shared->cuts->add();
+}
+
+void TrainingExecutor::abandon(std::size_t client) {
+  auto shared = shared_;
+  std::lock_guard<std::mutex> lock(shared->mutex);
+  const auto it = shared->jobs.find(client);
+  if (it == shared->jobs.end()) return;  // cap skip: nothing speculated
+  std::shared_ptr<Job> job = std::move(it->second);
+  shared->jobs.erase(it);
+  JobState expected = JobState::kQueued;
+  if (job->state.compare_exchange_strong(expected, JobState::kAbandoned)) {
+    // Never started: no compute lost. Its pool closure will see the state
+    // and return without touching anything beyond Shared.
+    shared->cancelled->add();
+    --shared->live_jobs;
+    shared->queue_depth->set(static_cast<double>(shared->live_jobs));
+    return;
+  }
+  // Running (stops at its next epoch boundary) or already done: either way
+  // the trained epochs are discarded. live_jobs accounting stays with the
+  // worker's completion path.
+  job->abandoned.store(true, std::memory_order_relaxed);
+  shared->wasted->add();
+}
+
+ClientTrainResult TrainingExecutor::harvest(std::size_t client,
+                                            const ModelVector& base,
+                                            std::size_t epochs,
+                                            std::uint64_t round,
+                                            std::size_t frozen_layers) {
+  auto shared = shared_;
+  std::shared_ptr<Job> job;
+  bool stolen = false;
+  {
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    const auto it = shared->jobs.find(client);
+    if (it != shared->jobs.end()) {
+      job = std::move(it->second);
+      shared->jobs.erase(it);
+      JobState expected = JobState::kQueued;
+      stolen = job->state.compare_exchange_strong(expected, JobState::kRunning);
+    }
+  }
+
+  if (job == nullptr) {
+    // Speculation was skipped at the cap: train now, exactly like the lazy
+    // path would have.
+    shared->inline_trains->add();
+    auto trainer = shared->acquire_trainer();
+    ClientTrainResult result =
+        trainer->train(client, base, epochs, round, frozen_layers);
+    shared->release_trainer(std::move(trainer));
+    return result;
+  }
+
+  if (stolen) {
+    // The pool has not picked the job up yet; running it inline (with
+    // whatever kernel parallelism this thread normally has) keeps the
+    // harvester from ever blocking on queue capacity — the property that
+    // makes nesting simulations inside pool workers deadlock-free.
+    shared->steals->add();
+    run_job(*shared, *job);
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    job->state.store(JobState::kDone, std::memory_order_relaxed);
+    --shared->live_jobs;
+    shared->queue_depth->set(static_cast<double>(shared->live_jobs));
+  } else {
+    // Running on a worker (wait for it) or already done (no wait).
+    SEAFL_PROF_SCOPE("fl.executor_harvest_wait");
+    std::unique_lock<std::mutex> lock(shared->mutex);
+    shared->cv.wait(lock, [&] {
+      return job->state.load(std::memory_order_relaxed) == JobState::kDone;
+    });
+    shared->hits->add();
+  }
+
+  SEAFL_CHECK(epochs <= job->epochs,
+              "harvest asks for " << epochs << " epochs of a " << job->epochs
+                                  << "-epoch speculation");
+  if (job->result.epochs == epochs) return std::move(job->result);
+  // The job overshot a late cut(); serve the checkpointed epoch prefix.
+  if (epochs >= 1 && epochs <= job->epoch_weights.size()) {
+    ClientTrainResult result;
+    result.weights = std::move(job->epoch_weights[epochs - 1]);
+    result.mean_loss = job->epoch_losses[epochs - 1];
+    result.epochs = epochs;
+    return result;
+  }
+  // Defensive fallback (a cut without checkpointing enabled — cannot happen
+  // through the Simulation, which only cuts under partial_training): retrain
+  // the exact prefix inline.
+  shared->inline_trains->add();
+  auto trainer = shared->acquire_trainer();
+  ClientTrainResult result =
+      trainer->train(client, base, epochs, round, frozen_layers);
+  shared->release_trainer(std::move(trainer));
+  return result;
+}
+
+void TrainingExecutor::drain() {
+  auto shared = shared_;
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  for (auto& [client, job] : shared->jobs) {
+    JobState expected = JobState::kQueued;
+    if (job->state.compare_exchange_strong(expected, JobState::kAbandoned)) {
+      shared->cancelled->add();
+      --shared->live_jobs;
+    } else {
+      job->abandoned.store(true, std::memory_order_relaxed);
+      shared->wasted->add();
+    }
+  }
+  shared->jobs.clear();
+  // Only running closures touch the task / leased trainers; closures still
+  // queued cancel themselves against Shared (kept alive by their own
+  // shared_ptr) whenever they eventually run.
+  shared->cv.wait(lock, [&] { return shared->running_tasks == 0; });
+  shared->queue_depth->set(static_cast<double>(shared->live_jobs));
+}
+
+}  // namespace seafl

@@ -1,0 +1,98 @@
+// Speculative client-training executor (DESIGN.md §12): overlaps the real
+// CPU work of client training sessions with the virtual-clock event loop.
+//
+// Every client update is a pure function of its dispatch-time inputs
+// (base_weights, client, round, epochs, frozen_layers, seed), so the
+// simulation may compute it any time between dispatch and harvest. The
+// executor enqueues the session onto the shared ThreadPool the moment the
+// server assigns it (Simulation::start_training) and hands the finished
+// result back when the upload event fires (Simulation::on_arrival) —
+// bitwise identical to the lazy serial path, because pool workers run with
+// serial kernels and the kernels themselves are thread-count invariant
+// (DESIGN.md §11).
+//
+// Lifecycle of a speculated job:
+//   speculate() ── queued ──> running ──> done ──> harvest()
+//        │            │                    │
+//        │            └── harvest() steals a still-queued job and runs it
+//        │                inline on the caller (never blocks on the queue,
+//        │                so simulations running *on* pool workers — the
+//        │                exp::Runner's --jobs mode — cannot deadlock)
+//        ├── cut(stop_epoch): SEAFL^2 notification truncated the session;
+//        │   the running job observes the lowered epoch budget at its next
+//        │   epoch boundary, or the harvest serves the checkpointed prefix
+//        │   (per-epoch RNG keying makes epoch e of the partial session
+//        │   equal epoch e of the full one bit-for-bit)
+//        └── abandon(): deadline re-dispatch / lost-upload give-up; the job
+//            is detached (a running one stops at its next epoch boundary)
+//            and its work discarded — never waited on.
+//
+// Trainer leasing: jobs borrow a ClientTrainer (model clone + workspaces)
+// from a free list sized by observed execution concurrency, so at most
+// pool-workers + 1 trainer instances ever exist regardless of how many
+// sessions are in flight.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fl/client.h"
+
+namespace seafl {
+
+/// Runs client training sessions eagerly on the shared thread pool.
+/// Thread-compatible: all public methods are called from the simulation's
+/// event-loop thread; the internal state they share with pool workers is
+/// synchronized inside.
+class TrainingExecutor {
+ public:
+  /// @param task / @param factory / @param config exactly what the
+  ///        simulation's own ClientTrainer was built from, so leased
+  ///        trainers compute identical sessions. `task` must outlive the
+  ///        executor.
+  TrainingExecutor(const FlTask& task, const ModelFactory& factory,
+                   const RunConfig& config);
+
+  /// Abandons whatever is still in flight and joins running jobs.
+  ~TrainingExecutor();
+
+  TrainingExecutor(const TrainingExecutor&) = delete;
+  TrainingExecutor& operator=(const TrainingExecutor&) = delete;
+
+  /// Enqueues the session dispatched to `client`. `base` is the global-model
+  /// snapshot the session starts from (shared, immutable). No-op when the
+  /// live-job cap (RunConfig::sim_jobs) is reached — the session then trains
+  /// at harvest time instead. A client can hold at most one job.
+  void speculate(std::size_t client, std::shared_ptr<const ModelVector> base,
+                 std::size_t epochs, std::uint64_t round,
+                 std::size_t frozen_layers);
+
+  /// SEAFL^2 partial training: lowers the session's epoch budget to
+  /// `stop_epoch`. Safe when the client has no job (cap skip, already done).
+  void cut(std::size_t client, std::size_t stop_epoch);
+
+  /// Detaches `client`'s job without waiting for it; its result is
+  /// discarded. Safe when the client has no job.
+  void abandon(std::size_t client);
+
+  /// Returns the finished session for `client`, blocking only if the job is
+  /// genuinely mid-training on a worker. A still-queued job is stolen and
+  /// run inline; a missing job (cap skip) trains inline from the arguments,
+  /// which must match what speculate() was — or would have been — given.
+  ClientTrainResult harvest(std::size_t client, const ModelVector& base,
+                            std::size_t epochs, std::uint64_t round,
+                            std::size_t frozen_layers);
+
+  /// Abandons every remaining job and blocks until no task is running.
+  void drain();
+
+  // Implementation types, public so the .cpp's file-scope helpers (the pool
+  // closure, the epoch observer) can name them; not part of the API.
+  struct Job;
+  struct Shared;
+
+ private:
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace seafl

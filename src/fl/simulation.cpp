@@ -47,6 +47,8 @@ Simulation::Simulation(const FlTask& task, const ModelFactory& factory,
                            << task.num_clients() << " clients");
   SEAFL_CHECK(work_per_sample_ > 0.0, "work_per_sample must be positive");
   validate_config();
+  if (config_.eager_training)
+    executor_ = std::make_unique<TrainingExecutor>(task, factory, config_);
   // Layer-wise initialization (He/Xavier) through a scratch instance, so the
   // initial global model is identical for every strategy sharing a seed.
   auto scratch = factory();
@@ -78,6 +80,8 @@ void Simulation::validate_config() const {
               "upload_loss_prob must lie in [0, 1), got "
                   << c.upload_loss_prob);
   SEAFL_CHECK(c.eval_every >= 1, "eval_every must be >= 1");
+  SEAFL_CHECK(c.sim_jobs == 0 || c.eager_training,
+              "sim_jobs requires eager_training");
 
   const FaultConfig& f = c.faults;
   SEAFL_CHECK(f.mean_uptime >= 0.0, "mean_uptime must be non-negative");
@@ -109,8 +113,28 @@ void Simulation::validate_config() const {
   }
 }
 
+void Simulation::refresh_global_snapshot() {
+  global_snapshot_ = std::make_shared<ModelVector>(global_);
+}
+
+void Simulation::abandon_speculation(std::size_t client) {
+  // Counted in BOTH execution modes: the counter reflects a protocol event
+  // (a dispatched session whose training the server will never use), not
+  // executor bookkeeping, so RunResult stays identical lazy-vs-eager.
+  ++result_.speculation_wasted;
+  if (executor_ == nullptr) return;
+  executor_->abandon(client);
+  if (trace_ != nullptr) {
+    obs::TraceEvent e = trace_event(obs::TraceEventKind::kSpeculationAbandoned,
+                                    queue_.now(), round_);
+    e.client = client;
+    trace_->record(e);
+  }
+}
+
 RunResult Simulation::run() {
   global_ = initial_weights_;
+  refresh_global_snapshot();
   result_.participation.assign(task_->num_clients(), 0);
 
   // Select the starting cohort.
@@ -124,6 +148,10 @@ RunResult Simulation::run() {
 
   while (!done_ && queue_.run_one()) {
   }
+  // Sessions still in flight at the stop condition never upload; their
+  // speculated jobs are cut loose (observation counters may tick, RunResult
+  // does not — the lazy path never trains them either).
+  if (executor_ != nullptr) executor_->drain();
 
   result_.rounds = round_;
   result_.final_time = queue_.now();
@@ -198,7 +226,7 @@ void Simulation::start_training(std::size_t client) {
               "client " << client << " already training");
   InFlight state;
   state.base_round = round_;
-  state.base_weights = global_;
+  state.base_weights = global_snapshot_;
   state.planned_epochs = config_.local_epochs;
   if (config_.adaptive_epochs) {
     // FedSA-style load shedding: slow devices run proportionally fewer
@@ -273,6 +301,21 @@ void Simulation::start_training(std::size_t client) {
     e.epochs = state.planned_epochs;
     trace_->record(e);
   }
+  if (executor_ != nullptr) {
+    // Speculate now, while the session's virtual transmission is in flight;
+    // the upload event harvests the result. Doomed sessions (loss, churn)
+    // are speculated too — the server cannot know, and neither may the
+    // executor.
+    executor_->speculate(client, state.base_weights, state.planned_epochs,
+                         state.base_round, state.frozen_layers);
+    if (trace_ != nullptr) {
+      obs::TraceEvent e = trace_event(obs::TraceEventKind::kSpeculate,
+                                      queue_.now(), state.base_round);
+      e.client = client;
+      e.epochs = state.planned_epochs;
+      trace_->record(e);
+    }
+  }
   in_flight_.emplace(client, std::move(state));
   ++result_.model_downloads;
 }
@@ -287,10 +330,25 @@ void Simulation::on_arrival(std::size_t client, std::size_t epochs) {
   // has id 0 (its session's transmission is always scheduled first).
   if (state.deadline_event != 0) queue_.cancel(state.deadline_event);
 
-  // Lazy training: compute the update now that its arrival time is due.
-  ClientTrainResult trained =
-      trainer_.train(client, state.base_weights, epochs, state.base_round,
-                     state.frozen_layers);
+  // The update is computed now that its arrival is due: harvested from the
+  // speculative executor when eager, trained inline when lazy. Identical
+  // bytes either way (DESIGN.md §12).
+  ClientTrainResult trained;
+  if (executor_ != nullptr) {
+    trained = executor_->harvest(client, *state.base_weights, epochs,
+                                 state.base_round, state.frozen_layers);
+    if (trace_ != nullptr) {
+      obs::TraceEvent e = trace_event(obs::TraceEventKind::kHarvest,
+                                      queue_.now(), round_);
+      e.client = client;
+      e.base_round = state.base_round;
+      e.epochs = epochs;
+      trace_->record(e);
+    }
+  } else {
+    trained = trainer_.train(client, *state.base_weights, epochs,
+                             state.base_round, state.frozen_layers);
+  }
 
   LocalUpdate update;
   update.client = client;
@@ -376,6 +434,7 @@ void Simulation::on_upload_lost(std::size_t client) {
   // server reassigns it *now* — waiting for the next aggregation would
   // strand the slot indefinitely under heavy loss.
   if (state.deadline_event != 0) queue_.cancel(state.deadline_event);
+  abandon_speculation(client);
   in_flight_.erase(it);
   if (config_.mode == FlMode::kSync) {
     // A synchronous round cannot complete without the cohort; retry the
@@ -466,6 +525,7 @@ void Simulation::reassign_slot(std::size_t client, std::uint64_t salt) {
   // crash); otherwise a retry/arrival may still be pending — kill it so the
   // abandoned client cannot deliver into the buffer later.
   if (!state.crashed) queue_.cancel(state.upload_event);
+  abandon_speculation(client);
   in_flight_.erase(it);
 
   const std::size_t replacement = pick_replacement(client, salt);
@@ -502,6 +562,13 @@ void Simulation::on_notification(std::size_t client) {
     }
   }
   if (stop_epoch >= state.planned_epochs) return;  // compute already done
+
+  // A dispatched session got truncated. Counted in both execution modes
+  // (see abandon_speculation); the executor additionally lowers the
+  // speculated job's epoch budget — or, if the job already trained past
+  // stop_epoch, the harvest serves its checkpointed prefix.
+  ++result_.speculation_cut;
+  if (executor_ != nullptr) executor_->cut(client, stop_epoch);
 
   const double arrival =
       state.epoch_ends[stop_epoch - 1] +
@@ -650,6 +717,10 @@ void Simulation::do_aggregate() {
     SEAFL_PROF_SCOPE("fl.aggregate");
     strategy_->aggregate(ctx, buffer_, global_);
   }
+  // The new model becomes the base snapshot of every assignment until the
+  // next aggregation. Sessions (and speculated jobs) holding the previous
+  // snapshot keep it alive through their shared_ptr.
+  refresh_global_snapshot();
   ++result_.aggregations;
   result_.server_aggregation_work +=
       static_cast<double>(buffer_.size()) *

@@ -19,18 +19,24 @@
 //  In sync mode (FedAvg) the server instead waits for the whole cohort and
 //  re-samples a fresh cohort each round.
 //
-// Client updates are computed lazily at upload time. They are pure functions
-// of (assigned weights, client id, round), so the simulation is deterministic
-// and partial re-training (fewer epochs of the same session) reproduces the
-// exact epoch prefix.
+// Client updates are pure functions of (assigned weights, client id, round),
+// so the simulation is deterministic and partial re-training (fewer epochs
+// of the same session) reproduces the exact epoch prefix. By default they
+// are computed lazily at upload time on the event-loop thread; with
+// RunConfig::eager_training a TrainingExecutor instead speculates them onto
+// the shared thread pool at dispatch time and the upload event harvests the
+// finished result — same results bit-for-bit, overlapped wall-clock
+// (DESIGN.md §12).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
 #include "fl/client.h"
 #include "fl/compression.h"
 #include "fl/evaluator.h"
+#include "fl/executor.h"
 #include "fl/strategy.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
@@ -69,7 +75,10 @@ class Simulation {
  private:
   struct InFlight {
     std::uint64_t base_round = 0;       ///< t_k
-    ModelVector base_weights;           ///< global snapshot at assignment
+    /// Immutable global snapshot at assignment, shared by every session of
+    /// the same round (and by that round's speculated executor jobs, which
+    /// may outlive the session server-side).
+    std::shared_ptr<const ModelVector> base_weights;
     std::vector<double> epoch_ends;     ///< virtual completion time per epoch
     std::uint64_t upload_event = 0;     ///< cancellable arrival event id
     std::uint64_t deadline_event = 0;   ///< assignment-deadline timer (0=none)
@@ -110,6 +119,11 @@ class Simulation {
   void evaluate_and_record();
   void check_stale_clients();
   void validate_config() const;
+  /// Re-snapshots `global_` for new assignments (once per aggregation).
+  void refresh_global_snapshot();
+  /// Counts an after-dispatch abandonment (both execution modes) and, when
+  /// eager, detaches the client's speculated job.
+  void abandon_speculation(std::size_t client);
   std::uint64_t staleness_of(std::uint64_t base_round) const {
     return round_ - base_round;
   }
@@ -123,6 +137,8 @@ class Simulation {
 
   ClientTrainer trainer_;
   Evaluator evaluator_;
+  /// Non-null iff config_.eager_training (DESIGN.md §12).
+  std::unique_ptr<TrainingExecutor> executor_;
   EventQueue queue_;
   ChurnModel churn_;  ///< per-run device availability oracle (sim/hazard.h)
   obs::TraceSink* trace_ = nullptr;
@@ -130,6 +146,9 @@ class Simulation {
   // --- run state ------------------------------------------------------------
   ModelVector initial_weights_;
   ModelVector global_;
+  /// Copy of `global_` frozen at the last aggregation; what InFlight and
+  /// speculated jobs reference as their base.
+  std::shared_ptr<const ModelVector> global_snapshot_;
   std::uint64_t round_ = 0;
   std::vector<LocalUpdate> buffer_;
   std::unordered_map<std::size_t, InFlight> in_flight_;

@@ -159,6 +159,20 @@ struct RunConfig {
 
   SelectionPolicy selection = SelectionPolicy::kRandom;
 
+  /// Eager session execution (DESIGN.md §12): train each dispatched session
+  /// speculatively on the shared ThreadPool at assignment time instead of
+  /// lazily at upload time. Pure placement of compute — RunResult (down to
+  /// final_weights) is bitwise identical with the executor on or off, at any
+  /// worker count.
+  bool eager_training = false;
+
+  /// Cap on concurrently speculated sessions when eager_training is on.
+  /// 0 = unlimited (bounded by `concurrency` anyway). Sessions dispatched at
+  /// the cap skip speculation and train at harvest time like the lazy path;
+  /// only where compute happens changes, never the results. Requires
+  /// eager_training.
+  std::size_t sim_jobs = 0;
+
   std::uint64_t seed = 42;
 };
 
@@ -209,6 +223,14 @@ struct RunResult {
   std::size_t degraded_aggregations = 0; ///< rounds closed with < K updates
   std::size_t screened_updates = 0;      ///< updates quarantined pre-aggregation
   std::size_t clipped_updates = 0;       ///< updates norm-clipped pre-aggregation
+
+  // Speculative-execution accounting (DESIGN.md §12). Both count *protocol*
+  // events of the simulation — a partial-training cut of a dispatched
+  // session, and a session abandoned after dispatch (deadline re-dispatch or
+  // an out-of-retries lost upload) whose training the lazy path never runs —
+  // so they are identical whether eager_training is on or off.
+  std::size_t speculation_cut = 0;     ///< sessions truncated after dispatch
+  std::size_t speculation_wasted = 0;  ///< dispatched sessions never harvested
 };
 
 }  // namespace seafl

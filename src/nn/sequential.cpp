@@ -7,7 +7,29 @@ namespace seafl {
 Sequential& Sequential::add(LayerPtr layer) {
   SEAFL_CHECK(layer != nullptr, "cannot add null layer");
   layers_.push_back(std::move(layer));
+  slots_built_ = false;
   return *this;
+}
+
+const std::vector<Sequential::ParamSlot>& Sequential::parameter_slots()
+    const {
+  if (!slots_built_) {
+    slots_.clear();
+    num_params_ = 0;
+    for (std::size_t li = 0; li < layers_.size(); ++li) {
+      Layer& l = *layers_[li];
+      const auto params = l.parameters();
+      const auto grads = l.gradients();
+      SEAFL_CHECK(params.size() == grads.size(),
+                  "layer " << l.name() << ": parameter/gradient mismatch");
+      for (std::size_t pi = 0; pi < params.size(); ++pi) {
+        slots_.push_back({params[pi], grads[pi], li});
+        num_params_ += params[pi]->numel();
+      }
+    }
+    slots_built_ = true;
+  }
+  return slots_;
 }
 
 void Sequential::init(Rng& rng) {
@@ -43,10 +65,8 @@ void Sequential::zero_grad() {
 }
 
 std::size_t Sequential::num_parameters() const {
-  std::size_t n = 0;
-  for (const auto& l : layers_)
-    for (Tensor* p : const_cast<Layer&>(*l).parameters()) n += p->numel();
-  return n;
+  parameter_slots();
+  return num_params_;
 }
 
 void Sequential::copy_parameters_to(std::span<float> out) const {
@@ -54,11 +74,10 @@ void Sequential::copy_parameters_to(std::span<float> out) const {
               "parameter buffer size mismatch: " << out.size() << " vs "
                                                  << num_parameters());
   std::size_t offset = 0;
-  for (const auto& l : layers_) {
-    for (Tensor* p : const_cast<Layer&>(*l).parameters()) {
-      std::copy(p->data(), p->data() + p->numel(), out.data() + offset);
-      offset += p->numel();
-    }
+  for (const ParamSlot& s : parameter_slots()) {
+    std::copy(s.param->data(), s.param->data() + s.param->numel(),
+              out.data() + offset);
+    offset += s.param->numel();
   }
 }
 
@@ -67,12 +86,10 @@ void Sequential::set_parameters(std::span<const float> in) {
               "parameter buffer size mismatch: " << in.size() << " vs "
                                                  << num_parameters());
   std::size_t offset = 0;
-  for (auto& l : layers_) {
-    for (Tensor* p : l->parameters()) {
-      std::copy(in.data() + offset, in.data() + offset + p->numel(),
-                p->data());
-      offset += p->numel();
-    }
+  for (const ParamSlot& s : parameter_slots()) {
+    std::copy(in.data() + offset, in.data() + offset + s.param->numel(),
+              s.param->data());
+    offset += s.param->numel();
   }
 }
 
@@ -80,11 +97,10 @@ void Sequential::copy_gradients_to(std::span<float> out) const {
   SEAFL_CHECK(out.size() == num_parameters(),
               "gradient buffer size mismatch");
   std::size_t offset = 0;
-  for (const auto& l : layers_) {
-    for (Tensor* g : const_cast<Layer&>(*l).gradients()) {
-      std::copy(g->data(), g->data() + g->numel(), out.data() + offset);
-      offset += g->numel();
-    }
+  for (const ParamSlot& s : parameter_slots()) {
+    std::copy(s.grad->data(), s.grad->data() + s.grad->numel(),
+              out.data() + offset);
+    offset += s.grad->numel();
   }
 }
 

@@ -42,6 +42,21 @@ class Sequential {
   /// Zeroes all parameter gradients.
   void zero_grad();
 
+  /// One trainable tensor paired with its gradient and owning layer index.
+  /// Pointers are stable for the model's lifetime: layers are held by
+  /// unique_ptr and never removed, and the tensors are layer members.
+  struct ParamSlot {
+    Tensor* param;
+    Tensor* grad;
+    std::size_t layer;
+  };
+
+  /// Flat view over every (parameter, gradient) pair in layer order, built
+  /// once and cached (add() invalidates it). Hot paths — the optimizer step
+  /// and flat import/export — iterate this instead of materializing the
+  /// per-layer parameters()/gradients() vectors on every call.
+  const std::vector<ParamSlot>& parameter_slots() const;
+
   /// Total number of trainable scalars.
   std::size_t num_parameters() const;
 
@@ -67,6 +82,9 @@ class Sequential {
   std::vector<LayerPtr> layers_;
   std::vector<Tensor> activations_;  // output of each layer (train mode)
   Tensor grad_a_, grad_b_;           // ping-pong gradient buffers
+  mutable std::vector<ParamSlot> slots_;  // lazy cache, see parameter_slots()
+  mutable std::size_t num_params_ = 0;
+  mutable bool slots_built_ = false;
 };
 
 /// Factory producing fresh, *uninitialized* model instances. Clients use it

@@ -12,56 +12,51 @@ void Sgd::step(Sequential& model, std::size_t frozen_layers) {
   const float mu = config_.momentum;
   const float wd = config_.weight_decay;
 
+  // The model's cached flat slot table keeps this loop allocation-free —
+  // materializing the per-layer parameters()/gradients() vectors here was
+  // the last heap traffic on the per-batch training path.
+  const auto& slots = model.parameter_slots();
+
   // Global-norm gradient clipping: scale every gradient by
   // clip / max(clip, ||g||) before the update, as in standard FL stacks.
   if (config_.clip_norm > 0.0f) {
     double sq = 0.0;
-    for (std::size_t li = 0; li < model.num_layers(); ++li) {
-      for (Tensor* g : model.layer(li).gradients()) {
-        for (std::size_t i = 0; i < g->numel(); ++i) {
-          const double v = (*g)[i];
-          sq += v * v;
-        }
+    for (const Sequential::ParamSlot& s : slots) {
+      const Tensor& g = *s.grad;
+      for (std::size_t i = 0; i < g.numel(); ++i) {
+        const double v = g[i];
+        sq += v * v;
       }
     }
     const double norm = std::sqrt(sq);
     if (norm > config_.clip_norm) {
       const float scale = static_cast<float>(config_.clip_norm / norm);
-      for (std::size_t li = 0; li < model.num_layers(); ++li)
-        for (Tensor* g : model.layer(li).gradients())
-          for (std::size_t i = 0; i < g->numel(); ++i) (*g)[i] *= scale;
+      for (const Sequential::ParamSlot& s : slots)
+        for (std::size_t i = 0; i < s.grad->numel(); ++i)
+          (*s.grad)[i] *= scale;
     }
   }
 
-  std::size_t slot = 0;
-  for (std::size_t li = 0; li < model.num_layers(); ++li) {
-    Layer& layer = model.layer(li);
-    const auto params = layer.parameters();
-    const auto grads = layer.gradients();
-    SEAFL_CHECK(params.size() == grads.size(),
-                "layer " << layer.name() << ": parameter/gradient mismatch");
-    if (li < frozen_layers) {
-      slot += params.size();  // keep momentum slots aligned
-      continue;
-    }
-    for (std::size_t pi = 0; pi < params.size(); ++pi, ++slot) {
-      Tensor& p = *params[pi];
-      const Tensor& g = *grads[pi];
-      SEAFL_CHECK(p.numel() == g.numel(),
-                  "parameter/gradient size mismatch in " << layer.name());
-      if (mu > 0.0f) {
-        if (velocity_.size() <= slot) velocity_.resize(slot + 1);
-        auto& v = velocity_[slot];
-        if (v.size() != p.numel()) v.assign(p.numel(), 0.0f);
-        for (std::size_t i = 0; i < p.numel(); ++i) {
-          const float grad = g[i] + wd * p[i];
-          v[i] = mu * v[i] + grad;
-          p[i] -= lr * v[i];
-        }
-      } else {
-        for (std::size_t i = 0; i < p.numel(); ++i) {
-          p[i] -= lr * (g[i] + wd * p[i]);
-        }
+  for (std::size_t slot = 0; slot < slots.size(); ++slot) {
+    const Sequential::ParamSlot& s = slots[slot];
+    if (s.layer < frozen_layers) continue;  // momentum slots stay aligned
+    Tensor& p = *s.param;
+    const Tensor& g = *s.grad;
+    SEAFL_CHECK(p.numel() == g.numel(),
+                "parameter/gradient size mismatch in "
+                    << model.layer(s.layer).name());
+    if (mu > 0.0f) {
+      if (velocity_.size() <= slot) velocity_.resize(slot + 1);
+      auto& v = velocity_[slot];
+      if (v.size() != p.numel()) v.assign(p.numel(), 0.0f);
+      for (std::size_t i = 0; i < p.numel(); ++i) {
+        const float grad = g[i] + wd * p[i];
+        v[i] = mu * v[i] + grad;
+        p[i] -= lr * v[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < p.numel(); ++i) {
+        p[i] -= lr * (g[i] + wd * p[i]);
       }
     }
   }

@@ -56,6 +56,10 @@ const char* trace_event_name(TraceEventKind kind) {
     case TraceEventKind::kRetry: return "retry";
     case TraceEventKind::kDegradedAggregate: return "degraded_aggregate";
     case TraceEventKind::kScreened: return "screened";
+    case TraceEventKind::kSpeculate: return "speculate";
+    case TraceEventKind::kHarvest: return "harvest";
+    case TraceEventKind::kSpeculationAbandoned:
+      return "speculation_abandoned";
   }
   return "unknown";
 }
@@ -154,7 +158,10 @@ Json TraceJournal::chrome_trace(const std::string& run_label) const {
       case TraceEventKind::kRecover:
       case TraceEventKind::kRedispatch:
       case TraceEventKind::kRetry:
-      case TraceEventKind::kScreened: {
+      case TraceEventKind::kScreened:
+      case TraceEventKind::kSpeculate:
+      case TraceEventKind::kHarvest:
+      case TraceEventKind::kSpeculationAbandoned: {
         JsonObject i = make_event("i", trace_event_name(e.kind), 0, e.client,
                                   e.time);
         i.emplace("s", Json("t"));

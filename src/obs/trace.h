@@ -39,6 +39,11 @@ enum class TraceEventKind {
   kRetry,       ///< client retransmits a lost upload after backoff
   kDegradedAggregate,  ///< round closed with fewer than K updates
   kScreened,    ///< update quarantined by pre-aggregation screening
+  // Eager-executor events (DESIGN.md §12). Emitted only when eager training
+  // is on — journals may differ lazy-vs-eager, run *results* never do.
+  kSpeculate,   ///< session enqueued onto the training executor at dispatch
+  kHarvest,     ///< upload event consumed the speculated session's result
+  kSpeculationAbandoned,  ///< abandoned session's speculated job detached
 };
 
 /// Stable lowercase name ("assigned", "upload", ...) used in both exports.
@@ -64,6 +69,9 @@ inline constexpr std::size_t kServerTrack = static_cast<std::size_t>(-1);
 ///   kRetry:      client, round (server), epochs (attempt number, 1-based)
 ///   kDegradedAggregate: round (before advancing), updates (buffered count)
 ///   kScreened:   client, round (server), value (cosine to the mean delta)
+///   kSpeculate:  client, round (=base round), epochs (planned)
+///   kHarvest:    client, round (server), base_round, epochs (harvested)
+///   kSpeculationAbandoned: client, round (server)
 struct TraceEvent {
   TraceEventKind kind = TraceEventKind::kAssigned;
   double time = 0.0;  ///< virtual seconds

@@ -42,6 +42,8 @@ RunResult sample_result() {
   r.degraded_aggregations = 1;
   r.screened_updates = 2;
   r.clipped_updates = 6;
+  r.speculation_cut = 7;
+  r.speculation_wasted = 3;
   return r;
 }
 
@@ -85,6 +87,8 @@ void expect_equal(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.degraded_aggregations, b.degraded_aggregations);
   EXPECT_EQ(a.screened_updates, b.screened_updates);
   EXPECT_EQ(a.clipped_updates, b.clipped_updates);
+  EXPECT_EQ(a.speculation_cut, b.speculation_cut);
+  EXPECT_EQ(a.speculation_wasted, b.speculation_wasted);
 }
 
 class CacheTest : public ::testing::Test {

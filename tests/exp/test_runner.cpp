@@ -74,6 +74,25 @@ TEST(RunnerTest, ParallelIsBitwiseIdenticalToSerial) {
   }
 }
 
+TEST(RunnerTest, EagerTrainingIsBitwiseIdenticalAtAnyJobs) {
+  // Arm-level parallelism and intra-arm eager speculation share one pool;
+  // every combination must reproduce the plain serial sweep bit for bit.
+  SweepSpec sweep = tiny_sweep();
+  sweep.axes.push_back(make_axis("algorithm", {"seafl", "seafl2"}));
+
+  Runner baseline(quiet(1));
+  const std::string expected = fingerprint(baseline.run(sweep));
+
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{3}}) {
+    RunnerOptions opts = quiet(jobs);
+    opts.eager_training = true;
+    opts.sim_jobs = 2;
+    Runner eager(opts);
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    EXPECT_EQ(fingerprint(eager.run(sweep)), expected);
+  }
+}
+
 TEST(RunnerTest, WarmCacheExecutesZeroSimulations) {
   const fs::path dir =
       fs::path(::testing::TempDir()) / "seafl_runner_cache_test";

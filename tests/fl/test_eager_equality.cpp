@@ -1,0 +1,203 @@
+// The eager executor's contract (DESIGN.md §12): RunResult — down to
+// final_weights, bit for bit — is invariant to eager_training on/off and to
+// the sim_jobs cap, including under partial training (SEAFL^2 cuts),
+// faults (abandoned speculations) and an attached trace sink.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "core/seafl_strategy.h"
+#include "fl/simulation.h"
+#include "fl/strategies.h"
+#include "obs/trace.h"
+
+namespace seafl {
+namespace {
+
+struct Fixture {
+  FlTask task;
+  ModelFactory factory;
+  FleetConfig fleet_config;
+
+  Fixture() {
+    TaskSpec spec;
+    spec.name = "synth-mnist";
+    spec.num_clients = 12;
+    spec.samples_per_client = 15;
+    spec.test_samples = 60;
+    task = make_task(spec);
+    factory = make_model(task.default_model, task.input, task.num_classes);
+    fleet_config.num_devices = 12;
+    fleet_config.pareto_shape = 1.5;
+    fleet_config.seed = 7;
+  }
+
+  RunConfig base_config() const {
+    RunConfig c;
+    c.buffer_size = 3;
+    c.concurrency = 6;
+    c.local_epochs = 2;
+    c.batch_size = 8;
+    c.sgd.learning_rate = 0.05f;
+    c.max_rounds = 8;
+    c.target_accuracy = 0.99;  // effectively unreachable
+    c.stop_at_target = false;
+    c.seed = 42;
+    return c;
+  }
+
+  StrategyPtr strategy() const {
+    return std::make_unique<FedBuffStrategy>();
+  }
+
+  RunResult run(const RunConfig& c, obs::TraceSink* trace = nullptr) const {
+    Fleet fleet(fleet_config);
+    Simulation sim(task, factory, fleet, strategy(), c);
+    sim.set_trace_sink(trace);
+    return sim.run();
+  }
+};
+
+void expect_bitwise_equal(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.final_weights.size(), b.final_weights.size());
+  EXPECT_EQ(std::memcmp(a.final_weights.data(), b.final_weights.data(),
+                        a.final_weights.size() * sizeof(float)),
+            0);
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].time, b.curve[i].time);
+    EXPECT_EQ(a.curve[i].round, b.curve[i].round);
+    EXPECT_EQ(a.curve[i].accuracy, b.curve[i].accuracy);
+    EXPECT_EQ(a.curve[i].loss, b.curve[i].loss);
+  }
+  ASSERT_EQ(a.round_log.size(), b.round_log.size());
+  for (std::size_t i = 0; i < a.round_log.size(); ++i) {
+    EXPECT_EQ(a.round_log[i].round, b.round_log[i].round);
+    EXPECT_EQ(a.round_log[i].time, b.round_log[i].time);
+    EXPECT_EQ(a.round_log[i].updates, b.round_log[i].updates);
+    EXPECT_EQ(a.round_log[i].mean_staleness, b.round_log[i].mean_staleness);
+    EXPECT_EQ(a.round_log[i].partial, b.round_log[i].partial);
+  }
+  EXPECT_EQ(a.participation, b.participation);
+  EXPECT_EQ(a.time_to_target, b.time_to_target);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_updates, b.total_updates);
+  EXPECT_EQ(a.partial_updates, b.partial_updates);
+  EXPECT_EQ(a.model_downloads, b.model_downloads);
+  EXPECT_EQ(a.model_uploads, b.model_uploads);
+  EXPECT_EQ(a.notifications, b.notifications);
+  EXPECT_EQ(a.lost_uploads, b.lost_uploads);
+  EXPECT_EQ(a.aggregations, b.aggregations);
+  EXPECT_EQ(a.server_aggregation_work, b.server_aggregation_work);
+  EXPECT_EQ(a.dropped_updates, b.dropped_updates);
+  EXPECT_EQ(a.stale_waits, b.stale_waits);
+  EXPECT_EQ(a.mean_staleness, b.mean_staleness);
+  EXPECT_EQ(a.client_crashes, b.client_crashes);
+  EXPECT_EQ(a.redispatches, b.redispatches);
+  EXPECT_EQ(a.upload_retries, b.upload_retries);
+  EXPECT_EQ(a.speculation_cut, b.speculation_cut);
+  EXPECT_EQ(a.speculation_wasted, b.speculation_wasted);
+}
+
+/// Runs lazy once, then eager at several sim_jobs caps; every eager run
+/// must be bitwise identical to the lazy baseline.
+void check_invariance(const Fixture& f, const RunConfig& base) {
+  RunConfig lazy = base;
+  lazy.eager_training = false;
+  const RunResult reference = f.run(lazy);
+  for (const std::size_t cap : {std::size_t{0}, std::size_t{1},
+                                std::size_t{2}, std::size_t{4}}) {
+    RunConfig eager = base;
+    eager.eager_training = true;
+    eager.sim_jobs = cap;
+    const RunResult got = f.run(eager);
+    SCOPED_TRACE("sim_jobs=" + std::to_string(cap));
+    expect_bitwise_equal(reference, got);
+  }
+}
+
+TEST(EagerEqualityTest, BufferedSemiAsyncRun) {
+  const Fixture f;
+  check_invariance(f, f.base_config());
+}
+
+TEST(EagerEqualityTest, PartialTrainingCutsSessions) {
+  const Fixture f;
+  RunConfig c = f.base_config();
+  c.staleness_limit = 1;  // aggressive: notifications fire constantly
+  c.partial_training = true;
+  // The scenario must actually exercise the cut path, or the test is vacuous.
+  RunConfig probe = c;
+  probe.eager_training = false;
+  const RunResult r = f.run(probe);
+  ASSERT_GT(r.speculation_cut, 0u);
+  ASSERT_GT(r.partial_updates, 0u);
+  check_invariance(f, c);
+}
+
+TEST(EagerEqualityTest, LostUploadsAbandonSpeculations) {
+  const Fixture f;
+  RunConfig c = f.base_config();
+  c.upload_loss_prob = 0.35;  // no retries: every loss abandons the session
+  RunConfig probe = c;
+  probe.eager_training = false;
+  const RunResult r = f.run(probe);
+  ASSERT_GT(r.speculation_wasted, 0u);
+  check_invariance(f, c);
+}
+
+TEST(EagerEqualityTest, UploadRetriesReuseTheHarvestedResult) {
+  const Fixture f;
+  RunConfig c = f.base_config();
+  c.upload_loss_prob = 0.35;
+  c.faults.max_upload_retries = 2;
+  RunConfig probe = c;
+  probe.eager_training = false;
+  const RunResult r = f.run(probe);
+  ASSERT_GT(r.upload_retries, 0u);
+  check_invariance(f, c);
+}
+
+TEST(EagerEqualityTest, SubmodelTrainingFreezesLayers) {
+  const Fixture f;
+  RunConfig c = f.base_config();
+  c.staleness_limit = 2;
+  c.partial_training = true;
+  c.submodel_training = true;
+  c.submodel_slowdown_threshold = 1.2;  // most devices freeze a prefix
+  check_invariance(f, c);
+}
+
+TEST(EagerEqualityTest, TraceSinkDoesNotPerturbResults) {
+  const Fixture f;
+  RunConfig lazy = f.base_config();
+  const RunResult reference = f.run(lazy);
+  RunConfig eager = lazy;
+  eager.eager_training = true;
+  eager.sim_jobs = 2;
+  obs::TraceJournal journal;
+  const RunResult got = f.run(eager, &journal);
+  expect_bitwise_equal(reference, got);
+  // The journal must actually record the speculation lifecycle.
+  std::size_t speculates = 0, harvests = 0;
+  for (const auto& e : journal.events()) {
+    speculates += e.kind == obs::TraceEventKind::kSpeculate ? 1 : 0;
+    harvests += e.kind == obs::TraceEventKind::kHarvest ? 1 : 0;
+  }
+  EXPECT_GT(speculates, 0u);
+  EXPECT_GT(harvests, 0u);
+}
+
+TEST(EagerEqualityTest, SimJobsRequiresEagerTraining) {
+  const Fixture f;
+  RunConfig c = f.base_config();
+  c.sim_jobs = 2;  // without eager_training: invalid
+  Fleet fleet(f.fleet_config);
+  EXPECT_THROW(Simulation(f.task, f.factory, fleet, f.strategy(), c), Error);
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "fl/client.h"
 #include "fl/evaluator.h"
 
@@ -98,6 +99,37 @@ TEST(EvaluatorTest, SubsetIsSeedStable) {
   Evaluator a(f.task, f.factory, 32, 40, 5);
   Evaluator b(f.task, f.factory, 32, 40, 5);
   EXPECT_DOUBLE_EQ(a.evaluate(w).accuracy, b.evaluate(w).accuracy);
+}
+
+TEST(EvaluatorTest, ParallelMatchesSerialBitwise) {
+  // The fixed-block reduction contract: pool-parallel batch scoring must be
+  // bitwise identical to the degraded serial loop, not merely close.
+  Fixture f;
+  const ModelVector w = f.initial_weights();
+  Evaluator eval(f.task, f.factory, 16, 0, 1);
+  const EvalResult parallel = eval.evaluate(w);
+  EvalResult serial;
+  {
+    SerialKernelScope scope;
+    serial = eval.evaluate(w);
+  }
+  EXPECT_EQ(parallel.accuracy, serial.accuracy);
+  EXPECT_EQ(parallel.loss, serial.loss);
+}
+
+TEST(EvaluatorTest, SlotsReloadWeightsAcrossPasses) {
+  // Leased contexts cache the loaded weights per pass (version stamp); a
+  // second pass with different weights must not reuse stale parameters.
+  Fixture f;
+  Evaluator eval(f.task, f.factory, 16, 0, 1);
+  const ModelVector a = f.initial_weights(1);
+  const ModelVector b = f.initial_weights(2);
+  const EvalResult ra1 = eval.evaluate(a);
+  const EvalResult rb = eval.evaluate(b);
+  const EvalResult ra2 = eval.evaluate(a);
+  EXPECT_EQ(ra1.accuracy, ra2.accuracy);
+  EXPECT_EQ(ra1.loss, ra2.loss);
+  EXPECT_NE(ra1.loss, rb.loss);
 }
 
 TEST(EvaluatorTest, RejectsWrongDimension) {

@@ -1,0 +1,190 @@
+// Unit tests of the speculative training executor (DESIGN.md §12): every
+// path to a harvested result — completed on a worker, stolen while queued,
+// cut to a shorter epoch budget, abandoned and retrained, skipped at the
+// live-job cap — must produce bitwise the same ClientTrainResult as a
+// direct ClientTrainer call with the same inputs.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "fl/executor.h"
+
+namespace seafl {
+namespace {
+
+struct Fixture {
+  FlTask task;
+  ModelFactory factory;
+  RunConfig config;
+
+  Fixture() {
+    TaskSpec spec;
+    spec.name = "synth-mnist";
+    spec.num_clients = 6;
+    spec.samples_per_client = 12;
+    spec.test_samples = 20;
+    task = make_task(spec);
+    factory = make_model(task.default_model, task.input, task.num_classes);
+    config.local_epochs = 3;
+    config.batch_size = 6;
+    config.sgd.learning_rate = 0.05f;
+    config.seed = 42;
+    config.eager_training = true;
+  }
+
+  std::shared_ptr<const ModelVector> base() const {
+    ClientTrainer probe(task, factory, config);
+    return std::make_shared<const ModelVector>(probe.num_params(), 0.01f);
+  }
+
+  /// The ground truth: what the lazy path would compute.
+  ClientTrainResult direct(std::size_t client, const ModelVector& base,
+                           std::size_t epochs, std::uint64_t round) const {
+    ClientTrainer trainer(task, factory, config);
+    return trainer.train(client, base, epochs, round);
+  }
+};
+
+void expect_same(const ClientTrainResult& a, const ClientTrainResult& b) {
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.mean_loss, b.mean_loss);
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  EXPECT_EQ(std::memcmp(a.weights.data(), b.weights.data(),
+                        a.weights.size() * sizeof(float)),
+            0);
+}
+
+/// Occupies every pool worker until release(), so speculated jobs stay
+/// queued and the harvest/abandon paths for *queued* jobs are deterministic.
+class PoolBlocker {
+ public:
+  PoolBlocker() {
+    auto gate = gate_.get_future().share();
+    for (std::size_t i = 0; i < global_pool().size(); ++i) {
+      blocked_.push_back(global_pool().submit([gate] { gate.wait(); }));
+    }
+  }
+  ~PoolBlocker() { release(); }
+  void release() {
+    if (released_) return;
+    released_ = true;
+    gate_.set_value();
+    for (auto& b : blocked_) b.get();
+  }
+
+ private:
+  std::promise<void> gate_;
+  std::vector<std::future<void>> blocked_;
+  bool released_ = false;
+};
+
+TEST(ExecutorTest, HarvestMatchesDirectTrainer) {
+  const Fixture f;
+  const auto base = f.base();
+  TrainingExecutor ex(f.task, f.factory, f.config);
+  ex.speculate(2, base, 3, /*round=*/1, 0);
+  const ClientTrainResult got = ex.harvest(2, *base, 3, 1, 0);
+  expect_same(got, f.direct(2, *base, 3, 1));
+}
+
+TEST(ExecutorTest, StealsQueuedJobWithoutBlocking) {
+  const Fixture f;
+  const auto base = f.base();
+  TrainingExecutor ex(f.task, f.factory, f.config);
+  PoolBlocker blocker;  // job cannot start: harvest must steal + run inline
+  ex.speculate(0, base, 2, 4, 0);
+  const ClientTrainResult got = ex.harvest(0, *base, 2, 4, 0);
+  blocker.release();
+  expect_same(got, f.direct(0, *base, 2, 4));
+}
+
+TEST(ExecutorTest, CutLowersEpochBudget) {
+  Fixture f;
+  f.config.partial_training = true;  // enables epoch checkpoints
+  const auto base = f.base();
+  TrainingExecutor ex(f.task, f.factory, f.config);
+  {
+    PoolBlocker blocker;  // cut lands while the job is still queued
+    ex.speculate(1, base, 3, 2, 0);
+    ex.cut(1, 1);
+  }
+  const ClientTrainResult got = ex.harvest(1, *base, 1, 2, 0);
+  EXPECT_EQ(got.epochs, 1u);
+  expect_same(got, f.direct(1, *base, 1, 2));
+}
+
+TEST(ExecutorTest, CheckpointServesPrefixOfFinishedSession) {
+  Fixture f;
+  f.config.partial_training = true;
+  const auto base = f.base();
+  TrainingExecutor ex(f.task, f.factory, f.config);
+  // The job may run all 3 epochs before the (never-sent) cut would land;
+  // harvesting 1 epoch must then come from the epoch-1 checkpoint — the
+  // per-epoch RNG keying makes it the exact prefix of the full session.
+  ex.speculate(3, base, 3, 5, 0);
+  const ClientTrainResult got = ex.harvest(3, *base, 1, 5, 0);
+  EXPECT_EQ(got.epochs, 1u);
+  expect_same(got, f.direct(3, *base, 1, 5));
+}
+
+TEST(ExecutorTest, AbandonedJobRetrainsOnHarvest) {
+  const Fixture f;
+  const auto base = f.base();
+  TrainingExecutor ex(f.task, f.factory, f.config);
+  ex.speculate(4, base, 2, 3, 0);
+  ex.abandon(4);
+  ex.abandon(4);  // idempotent: no job is fine
+  // A re-dispatched session harvests from scratch (fresh inputs).
+  const ClientTrainResult got = ex.harvest(4, *base, 2, 7, 0);
+  expect_same(got, f.direct(4, *base, 2, 7));
+}
+
+TEST(ExecutorTest, AbandonAfterCancelWhileQueued) {
+  const Fixture f;
+  const auto base = f.base();
+  TrainingExecutor ex(f.task, f.factory, f.config);
+  {
+    PoolBlocker blocker;
+    ex.speculate(5, base, 2, 1, 0);
+    ex.abandon(5);  // still queued: the closure must self-cancel later
+  }
+  ex.drain();  // must not wait on the cancelled job
+  const ClientTrainResult got = ex.harvest(5, *base, 2, 2, 0);
+  expect_same(got, f.direct(5, *base, 2, 2));
+}
+
+TEST(ExecutorTest, CapSkipTrainsInlineAtHarvest) {
+  Fixture f;
+  f.config.sim_jobs = 1;
+  const auto base = f.base();
+  TrainingExecutor ex(f.task, f.factory, f.config);
+  ex.speculate(0, base, 2, 1, 0);
+  ex.speculate(1, base, 2, 1, 0);  // over the cap: skipped
+  const ClientTrainResult a = ex.harvest(0, *base, 2, 1, 0);
+  const ClientTrainResult b = ex.harvest(1, *base, 2, 1, 0);
+  expect_same(a, f.direct(0, *base, 2, 1));
+  expect_same(b, f.direct(1, *base, 2, 1));
+}
+
+TEST(ExecutorTest, DestructorDrainsInFlightJobs) {
+  const Fixture f;
+  const auto base = f.base();
+  {
+    TrainingExecutor ex(f.task, f.factory, f.config);
+    for (std::size_t c = 0; c < 4; ++c) ex.speculate(c, base, 2, 1, 0);
+    // No harvest: destruction must abandon + join without hanging.
+  }
+  {
+    TrainingExecutor ex(f.task, f.factory, f.config);
+    PoolBlocker blocker;
+    for (std::size_t c = 0; c < 4; ++c) ex.speculate(c, base, 2, 1, 0);
+    ex.drain();  // queued-only jobs: nothing to wait on
+  }
+}
+
+}  // namespace
+}  // namespace seafl
