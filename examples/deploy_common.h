@@ -1,0 +1,69 @@
+// Shared flag plumbing of the seafl_server / seafl_client binaries. Both
+// sides of a deployment MUST build the task and the run configuration from
+// the same flags (the hello handshake checks seed and model size, but the
+// partition, architecture and schedule have to match by construction).
+#pragma once
+
+#include <cstdio>
+
+#include "core/seafl.h"
+
+namespace seafl::deploy_cli {
+
+/// Flags shared by both binaries, printed under --help.
+inline void print_common_flags() {
+  std::printf(
+      "  --task NAME             federated task (default synth-mnist)\n"
+      "  --clients N             number of clients in the task (default 3)\n"
+      "  --samples N             train samples per client (default 64)\n"
+      "  --dirichlet A           label-skew concentration (default 0.3)\n"
+      "  --algo NAME             algorithm arm (default seafl, see presets)\n"
+      "  --buffer K              aggregation buffer size (default 2)\n"
+      "  --concurrency M         clients training at once (default 3)\n"
+      "  --epochs E              local epochs per session (default 2)\n"
+      "  --rounds R              stop after R aggregations (default 3)\n"
+      "  --target A              target accuracy (default: task default)\n"
+      "  --stop-at-target B      halt at the target (default false)\n"
+      "  --deadline-factor F     per-session deadline multiple, 0=off "
+      "(default 0)\n"
+      "  --upload-retries N      client reconnect-and-resend attempts "
+      "(default 2)\n"
+      "  --seed S                run seed; must match across processes "
+      "(default 42)\n");
+}
+
+inline TaskSpec task_spec_from_flags(const CliArgs& args) {
+  TaskSpec spec;
+  spec.name = args.get_string("task", "synth-mnist");
+  spec.num_clients = static_cast<std::size_t>(args.get_int("clients", 3));
+  spec.samples_per_client =
+      static_cast<std::size_t>(args.get_int("samples", 64));
+  spec.dirichlet_alpha = args.get_double("dirichlet", 0.3);
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  return spec;
+}
+
+/// The (strategy, config) arm both processes agree on. Deployment-sized
+/// defaults: a localhost handful of clients, a few short rounds.
+inline Arm arm_from_flags(const CliArgs& args, const FlTask& task) {
+  ExperimentParams params;
+  params.buffer_size = static_cast<std::size_t>(args.get_int("buffer", 2));
+  params.concurrency =
+      static_cast<std::size_t>(args.get_int("concurrency", 3));
+  params.local_epochs = static_cast<std::size_t>(args.get_int("epochs", 2));
+  params.max_rounds = static_cast<std::uint64_t>(args.get_int("rounds", 3));
+  params.target_accuracy = args.get_double("target", task.target_accuracy);
+  params.stop_at_target = args.get_bool("stop-at-target", false);
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  Arm arm = make_arm(args.get_string("algo", "seafl"), params);
+  arm.config.faults.deadline_factor = args.get_double("deadline-factor", 0.0);
+  arm.config.faults.max_upload_retries =
+      static_cast<std::size_t>(args.get_int("upload-retries", 2));
+  return arm;
+}
+
+inline ModelFactory model_from_task(const FlTask& task) {
+  return make_model(task.default_model, task.input, task.num_classes);
+}
+
+}  // namespace seafl::deploy_cli

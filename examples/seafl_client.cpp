@@ -1,0 +1,85 @@
+// The SEAFL client binary (DESIGN.md §13): one federated device as a real
+// process. Connects to a seafl_server, registers its client id, then trains
+// every dispatched session and uploads the result — honoring SEAFL^2
+// early-upload notifications and cancellations between epochs.
+//
+// The task/run flags MUST match the server's: both sides derive the
+// dataset partition, the architecture and the schedule from them (the hello
+// handshake cross-checks seed and model size).
+//
+//   ./seafl_client --connect 127.0.0.1:7070 --client 0
+#include <cstdio>
+
+#include "deploy_common.h"
+
+namespace {
+
+void print_help() {
+  std::printf(
+      "seafl_client: SEAFL federated-learning client\n\n"
+      "usage: seafl_client --connect HOST:PORT --client ID [flags]\n\n"
+      "transport flags:\n"
+      "  --connect HOST:PORT     server endpoint (required; numeric IPv4 or\n"
+      "                          'localhost'; a bare PORT means localhost)\n"
+      "  --client ID             this device's client id in [0, --clients)\n"
+      "  --connect-timeout S     connection timeout (default 10)\n"
+      "  --wall-clock B          clients always run on the wall clock; only\n"
+      "                          --wall-clock=true is accepted\n"
+      "  --crash-after N         fault-injection: abruptly disconnect after\n"
+      "                          receiving N dispatches (default 0 = never)\n\n"
+      "run flags (must match the server's):\n");
+  seafl::deploy_cli::print_common_flags();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace seafl;
+  CliArgs args(argc, argv);
+  if (args.has("help")) {
+    print_help();
+    return 0;
+  }
+
+  try {
+    SEAFL_CHECK(args.has("connect"),
+                "--connect HOST:PORT is required (see --help)");
+    SEAFL_CHECK(args.has("client"), "--client ID is required (see --help)");
+    SEAFL_CHECK(args.get_bool("wall-clock", true),
+                "--wall-clock=false is invalid: a deployed client lives on "
+                "the wall clock");
+    const HostPort server =
+        args.get_host_port("connect", HostPort{"127.0.0.1", 0});
+
+    const FlTask task = make_task(deploy_cli::task_spec_from_flags(args));
+    const Arm arm = deploy_cli::arm_from_flags(args, task);
+
+    DeployClientOptions options;
+    options.client_id = static_cast<std::size_t>(args.get_int("client", 0));
+    options.host = server.host;
+    options.port = server.port;
+    options.connect_timeout = args.get_double("connect-timeout", 10.0);
+    options.crash_after_dispatches =
+        static_cast<std::size_t>(args.get_int("crash-after", 0));
+
+    DeployClient client(task, deploy_cli::model_from_task(task), arm.config,
+                        options);
+    std::printf("seafl_client %zu: connecting to %s:%u\n", options.client_id,
+                options.host.c_str(), static_cast<unsigned>(options.port));
+    std::fflush(stdout);
+    const DeployClientStats stats = client.run();
+    std::printf(
+        "client %zu: %zu dispatches, %zu uploads (%zu partial), "
+        "%zu cancels, %zu retries, last eval %.4f @ round %llu%s%s\n",
+        options.client_id, stats.dispatches, stats.uploads,
+        stats.partial_uploads, stats.cancels, stats.upload_retries,
+        stats.last_eval_accuracy,
+        static_cast<unsigned long long>(stats.last_eval_round),
+        stats.shutdown_received ? ", shutdown" : "",
+        stats.crashed ? ", crashed" : "");
+    return stats.shutdown_received || stats.crashed ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "seafl_client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,114 @@
+// The SEAFL server binary (DESIGN.md §13). Two modes, same server logic:
+//
+//   virtual (default)    the discrete-event Simulation — the whole "fleet"
+//                        is simulated in-process on the virtual clock.
+//   deployment (--listen) real TCP on the wall clock: bind a port, wait for
+//                        --expect client processes (seafl_client) to
+//                        register, then run the protocol over the wire.
+//
+// Deployment quickstart (1 server + 3 clients on localhost):
+//
+//   ./seafl_server --listen 7070 --expect 3 &
+//   ./seafl_client --connect 127.0.0.1:7070 --client 0 &
+//   ./seafl_client --connect 127.0.0.1:7070 --client 1 &
+//   ./seafl_client --connect 127.0.0.1:7070 --client 2
+#include <cstdio>
+
+#include "deploy_common.h"
+
+namespace {
+
+void print_help() {
+  std::printf(
+      "seafl_server: SEAFL federated-learning server\n\n"
+      "usage: seafl_server [flags]\n\n"
+      "transport flags:\n"
+      "  --listen PORT           deployment mode: serve real clients on this\n"
+      "                          TCP port (0 = ephemeral). Without --listen\n"
+      "                          the run is a virtual-time simulation.\n"
+      "  --wall-clock B          deployment requires the wall clock; only\n"
+      "                          --wall-clock=true is valid with --listen\n"
+      "                          (default), and the flag is rejected in\n"
+      "                          virtual mode, which is event-driven.\n"
+      "  --expect N              registrations to wait for before round 1\n"
+      "                          (default: --concurrency)\n"
+      "  --max-wall-seconds S    hard wall-clock cap on the run, 0 = off\n"
+      "                          (default 120)\n"
+      "  --deadline-init S       seed for the session-deadline RTT estimate\n"
+      "                          (default 0: measure first)\n"
+      "  --trace-out PREFIX      write PREFIX.jsonl + PREFIX.trace.json\n\n"
+      "run flags (must match the clients'):\n");
+  seafl::deploy_cli::print_common_flags();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace seafl;
+  CliArgs args(argc, argv);
+  if (args.has("help")) {
+    print_help();
+    return 0;
+  }
+
+  try {
+    const bool deployment = args.has("listen");
+    const bool wall_clock = args.get_bool("wall-clock", deployment);
+    SEAFL_CHECK(!deployment || wall_clock,
+                "--listen requires the wall clock; --wall-clock=false is "
+                "only valid for the virtual (no --listen) mode");
+    SEAFL_CHECK(deployment || !args.has("wall-clock") || !wall_clock,
+                "--wall-clock without --listen is meaningless: the virtual "
+                "mode advances event time, not wall time");
+
+    const FlTask task = make_task(deploy_cli::task_spec_from_flags(args));
+    Arm arm = deploy_cli::arm_from_flags(args, task);
+
+    if (!deployment) {
+      // Virtual mode: the same ServerCore on the event-queue transport.
+      FleetConfig fleet_config;
+      fleet_config.num_devices = task.num_clients();
+      fleet_config.seed = arm.config.seed;
+      const Fleet fleet(fleet_config);
+      Simulation sim(task, deploy_cli::model_from_task(task), fleet,
+                     std::move(arm.strategy), arm.config);
+      const RunResult result = sim.run();
+      std::printf("virtual run: %llu rounds, accuracy %.4f at t=%.1fs\n",
+                  static_cast<unsigned long long>(result.rounds),
+                  result.final_accuracy, result.final_time);
+      return 0;
+    }
+
+    DeployServerOptions options;
+    options.port = args.get_port("listen", 0);
+    options.expected_clients = static_cast<std::size_t>(
+        args.get_int("expect",
+                     static_cast<std::int64_t>(arm.config.concurrency)));
+    options.max_wall_seconds = args.get_double("max-wall-seconds", 120.0);
+    options.deadline_init_seconds = args.get_double("deadline-init", 0.0);
+    const std::string trace_prefix = args.get_string("trace-out", "");
+    if (!trace_prefix.empty()) {
+      options.trace_jsonl_path = trace_prefix + ".jsonl";
+      options.trace_chrome_path = trace_prefix + ".trace.json";
+    }
+
+    DeployServer server(task, deploy_cli::model_from_task(task),
+                        std::move(arm.strategy), arm.config, options);
+    std::printf("seafl_server: listening on port %u, waiting for %zu "
+                "clients (%s)\n",
+                static_cast<unsigned>(server.port()),
+                options.expected_clients, arm.label.c_str());
+    std::fflush(stdout);
+    const RunResult result = server.run();
+    std::printf(
+        "deployment run: %llu rounds, accuracy %.4f, %zu uploads, "
+        "%zu crashes, %zu redispatches, wall %.1fs\n",
+        static_cast<unsigned long long>(result.rounds),
+        result.final_accuracy, result.model_uploads, result.client_crashes,
+        result.redispatches, result.final_time);
+    return result.rounds > 0 ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "seafl_server: %s\n", e.what());
+    return 1;
+  }
+}

@@ -50,6 +50,56 @@ double CliArgs::get_double(const std::string& name, double fallback) const {
   return std::strtod(it->second.c_str(), nullptr);
 }
 
+namespace {
+
+/// Strict decimal port parse: digits only, value <= 65535.
+bool parse_port(const std::string& text, std::uint16_t& port) {
+  if (text.empty() || text.size() > 5) return false;
+  std::uint32_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (value > 65535) return false;
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+}  // namespace
+
+std::uint16_t CliArgs::get_port(const std::string& name,
+                                std::uint16_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  std::uint16_t port = 0;
+  SEAFL_CHECK(parse_port(it->second, port),
+              "flag --" << name << " needs a port in [0, 65535], got '"
+                        << it->second << "'");
+  return port;
+}
+
+HostPort CliArgs::get_host_port(const std::string& name,
+                                const HostPort& fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  HostPort out = fallback;
+  const auto colon = v.rfind(':');
+  std::string port_text;
+  if (colon == std::string::npos) {
+    port_text = v;  // bare port, host from the fallback
+  } else {
+    out.host = v.substr(0, colon);
+    port_text = v.substr(colon + 1);
+    SEAFL_CHECK(!out.host.empty(),
+                "flag --" << name << " has an empty host in '" << v << "'");
+  }
+  SEAFL_CHECK(parse_port(port_text, out.port) && out.port != 0,
+              "flag --" << name << " needs host:port with a port in "
+                        << "[1, 65535], got '" << v << "'");
+  return out;
+}
+
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;

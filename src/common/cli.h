@@ -9,6 +9,12 @@
 
 namespace seafl {
 
+/// A parsed "host:port" endpoint (see CliArgs::get_host_port).
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
 /// Parses argv into a flag map and exposes typed getters with defaults.
 /// Unknown flags are collected (not rejected) so harness wrappers can pass
 /// through extra options.
@@ -25,6 +31,18 @@ class CliArgs {
   double get_double(const std::string& name, double fallback) const;
   /// Boolean flags: "--fast" or "--fast=true/false/1/0".
   bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Port-valued flag ("--listen 7070"). Validates the value is an integer
+  /// in [0, 65535] (0 = pick an ephemeral port); throws seafl::Error
+  /// otherwise.
+  std::uint16_t get_port(const std::string& name,
+                         std::uint16_t fallback) const;
+
+  /// Endpoint flag ("--connect host:port"). A bare "port" value reuses the
+  /// fallback host. Validates a non-empty host and a port in [1, 65535];
+  /// throws seafl::Error on malformed values.
+  HostPort get_host_port(const std::string& name,
+                         const HostPort& fallback) const;
 
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }

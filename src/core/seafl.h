@@ -33,6 +33,7 @@
 #include "data/registry.h"
 #include "common/stats.h"
 #include "fl/compression.h"
+#include "fl/deploy.h"
 #include "fl/metrics.h"
 #include "fl/server_opt.h"
 #include "fl/simulation.h"

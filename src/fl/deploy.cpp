@@ -1,0 +1,594 @@
+#include "fl/deploy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace seafl {
+
+namespace {
+
+obs::TraceEvent make_event(obs::TraceEventKind kind, double time,
+                           std::uint64_t round) {
+  obs::TraceEvent e;
+  e.kind = kind;
+  e.time = time;
+  e.round = round;
+  return e;
+}
+
+}  // namespace
+
+// --- DeployServer -----------------------------------------------------------
+
+DeployServer::DeployServer(const FlTask& task, const ModelFactory& factory,
+                           StrategyPtr strategy, RunConfig config,
+                           DeployServerOptions options)
+    : task_(&task),
+      strategy_(std::move(strategy)),
+      config_(config),
+      options_(std::move(options)),
+      evaluator_(task, factory, /*batch_size=*/64, config.eval_subset,
+                 config.seed),
+      core_(strategy_.get(), config_) {
+  validate_run_config(config_, task.num_clients());
+  SEAFL_CHECK(options_.expected_clients >= 1 &&
+                  options_.expected_clients <= task.num_clients(),
+              "expected_clients " << options_.expected_clients
+                                  << " out of range [1, "
+                                  << task.num_clients() << "]");
+  initial_weights_ = initial_global_weights(factory, config_.seed);
+  transport_ = net::SocketTransport::listen(options_.port);
+  transport_->set_handler(this);
+}
+
+void DeployServer::record(obs::TraceEventKind kind, std::size_t client,
+                          std::uint64_t base_round, std::size_t epochs,
+                          std::size_t updates, double value) {
+  obs::TraceEvent e = make_event(kind, now(), core_.round());
+  e.client = client;
+  e.base_round = base_round;
+  e.epochs = epochs;
+  e.updates = updates;
+  e.value = value;
+  journal_.record(e);
+}
+
+RunResult DeployServer::run() {
+  if (options_.max_wall_seconds > 0.0) {
+    transport_->schedule_after(options_.max_wall_seconds, [this] {
+      if (done_) return;
+      SEAFL_INFO("deploy server: wall-clock limit reached, finishing");
+      finish();
+    });
+  }
+  while (transport_->run_one()) {
+  }
+
+  RunResult& res = core_.result();
+  res.rounds = core_.round();
+  res.final_time = now();
+  res.final_weights = core_.global();
+  if (res.total_updates > 0)
+    res.mean_staleness =
+        core_.staleness_sum() / static_cast<double>(res.total_updates);
+  if (!options_.trace_jsonl_path.empty())
+    journal_.write_jsonl(options_.trace_jsonl_path);
+  if (!options_.trace_chrome_path.empty())
+    journal_.write_chrome_trace(options_.trace_chrome_path, "seafl deploy");
+  return res;
+}
+
+void DeployServer::on_message(net::PeerId peer, const net::Message& message) {
+  if (done_) return;
+  if (message.is<net::HelloMsg>()) {
+    handle_hello(peer, message.as<net::HelloMsg>());
+  } else if (message.is<net::UploadMsg>()) {
+    handle_upload(peer, message.as<net::UploadMsg>());
+  }
+  // Anything else from a client is protocol noise; tolerated silently.
+}
+
+void DeployServer::handle_hello(net::PeerId peer, const net::HelloMsg& msg) {
+  if (msg.client >= task_->num_clients() ||
+      msg.model_params != initial_weights_.size() ||
+      msg.seed != config_.seed) {
+    SEAFL_INFO("deploy server: rejecting hello (client " << msg.client
+              << ", params " << msg.model_params << ", seed " << msg.seed
+              << ")");
+    transport_->close_peer(peer);
+    return;
+  }
+  const auto existing = client_peer_.find(msg.client);
+  if (existing != client_peer_.end()) {
+    if (transport_->connected(existing->second)) {
+      // Same id from a second live connection: an impostor or a bug.
+      transport_->close_peer(peer);
+      return;
+    }
+    peer_client_.erase(existing->second);  // stale mapping: re-registration
+  }
+  client_peer_[msg.client] = peer;
+  peer_client_[peer] = msg.client;
+
+  net::WelcomeMsg welcome;
+  welcome.client = msg.client;
+  welcome.round = core_.round();
+  welcome.clients_expected = options_.expected_clients;
+  transport_->send(peer, net::Message{welcome});
+
+  if (!started_ && client_peer_.size() >= options_.expected_clients)
+    start_run();
+}
+
+void DeployServer::start_run() {
+  started_ = true;
+  core_.begin(initial_weights_, task_->num_clients());
+  evaluate_and_record();  // baseline at t ~ 0
+  if (done_) return;      // a trivially-met target stops before round 1
+  arm_round_deadline();
+  const std::size_t cohort =
+      std::min(config_.concurrency, client_peer_.size());
+  std::size_t dispatched = 0;
+  for (const auto& [client, peer] : client_peer_) {
+    if (dispatched == cohort) break;
+    dispatch_to(client);
+    ++dispatched;
+  }
+}
+
+void DeployServer::dispatch_to(std::size_t client) {
+  const auto peer_it = client_peer_.find(client);
+  if (peer_it == client_peer_.end() ||
+      !transport_->connected(peer_it->second))
+    return;
+  if (client_session_.find(client) != client_session_.end()) return;
+
+  Session session;
+  session.client = client;
+  session.base_round = core_.round();
+  session.dispatch_time = now();
+  session.planned_epochs = config_.local_epochs;
+  const std::uint64_t id = ++next_session_;
+
+  net::DispatchMsg msg;
+  msg.session = id;
+  msg.base_round = session.base_round;
+  msg.epochs = static_cast<std::uint32_t>(session.planned_epochs);
+  msg.frozen_layers = 0;
+  msg.weights = core_.global();
+  transport_->send(peer_it->second, net::Message{std::move(msg)});
+
+  // Assignment deadline: a multiple of the *observed* session round trip
+  // (the virtual mode multiplies the fleet's expected duration; a real
+  // server has to measure instead).
+  if (config_.faults.deadline_factor > 0.0) {
+    const double estimate = rtt_estimate_ > 0.0
+                                ? rtt_estimate_
+                                : options_.deadline_init_seconds;
+    if (estimate > 0.0) {
+      session.deadline_timer = transport_->schedule_after(
+          config_.faults.deadline_factor * estimate,
+          [this, id] { on_session_deadline(id); });
+    }
+  }
+  record(obs::TraceEventKind::kAssigned, client, session.base_round,
+         session.planned_epochs, 0, 0.0);
+  sessions_[id] = session;
+  client_session_[client] = id;
+  ++core_.result().model_downloads;
+}
+
+void DeployServer::handle_upload(net::PeerId peer, const net::UploadMsg& msg) {
+  const auto client_it = peer_client_.find(peer);
+  if (client_it == peer_client_.end()) {
+    transport_->close_peer(peer);  // uploads require registration
+    return;
+  }
+  const auto session_it = sessions_.find(msg.session);
+  if (session_it == sessions_.end()) return;  // expired/canceled; too late
+  const Session session = session_it->second;
+  if (session.client != client_it->second) return;  // not your session
+  if (msg.weights.size() != initial_weights_.size()) {
+    transport_->close_peer(peer);
+    return;
+  }
+  if (session.deadline_timer != 0) transport_->cancel(session.deadline_timer);
+  sessions_.erase(session_it);
+  client_session_.erase(session.client);
+
+  const double round_trip = now() - session.dispatch_time;
+  rtt_estimate_ = rtt_estimate_ > 0.0
+                      ? 0.7 * rtt_estimate_ + 0.3 * round_trip
+                      : round_trip;
+  if (msg.attempt > 1) {
+    core_.result().upload_retries += msg.attempt - 1;
+    record(obs::TraceEventKind::kRetry, session.client, session.base_round,
+           msg.attempt - 1, 0, 0.0);
+  }
+
+  LocalUpdate update;
+  update.client = session.client;
+  update.base_round = session.base_round;
+  update.weights = msg.weights;
+  update.num_samples = task_->partition.at(session.client).size();
+  update.epochs_completed = msg.epochs_completed;
+  update.arrival_time = now();
+  update.train_loss = msg.train_loss;
+  if (update.epochs_completed < config_.local_epochs)
+    ++core_.result().partial_updates;
+  ++core_.result().model_uploads;
+  record(obs::TraceEventKind::kUpload, session.client, session.base_round,
+         update.epochs_completed, 0,
+         static_cast<double>(core_.staleness_of(session.base_round)));
+  core_.add_update(std::move(update));
+
+  after_buffer_change();
+}
+
+void DeployServer::after_buffer_change() {
+  if (done_) return;
+  std::vector<std::uint64_t> in_flight_rounds;
+  in_flight_rounds.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_)
+    in_flight_rounds.push_back(session.base_round);
+
+  const AggregateOutcome outcome =
+      core_.try_aggregate(now(), in_flight_rounds, &journal_);
+  if (outcome.stale_hold) {
+    notify_stale_sessions();
+    return;
+  }
+  if (!outcome.aggregated) return;
+
+  evaluate_and_record();
+  if (done_) {
+    finish();
+    return;
+  }
+  if (core_.round() >= config_.max_rounds) {
+    finish();
+    return;
+  }
+  arm_round_deadline();
+  for (const std::size_t reporter : outcome.reporters) {
+    const auto peer_it = client_peer_.find(reporter);
+    if (peer_it == client_peer_.end() ||
+        !transport_->connected(peer_it->second)) {
+      ++core_.result().abandoned_slots;  // reporter left between rounds
+      continue;
+    }
+    dispatch_to(reporter);
+  }
+  notify_stale_sessions();
+}
+
+void DeployServer::notify_stale_sessions() {
+  if (config_.staleness_limit == kNoStalenessLimit) return;
+  if (!config_.partial_training) return;
+  for (auto& [id, session] : sessions_) {
+    if (session.notified) continue;
+    if (core_.staleness_of(session.base_round) < config_.staleness_limit)
+      continue;
+    session.notified = true;
+    ++core_.result().notifications;
+    record(obs::TraceEventKind::kNotified, session.client,
+           session.base_round, 0, 0, 0.0);
+    const auto peer_it = client_peer_.find(session.client);
+    if (peer_it != client_peer_.end()) {
+      net::NotifyMsg msg;
+      msg.session = id;
+      transport_->send(peer_it->second, net::Message{msg});
+    }
+  }
+}
+
+void DeployServer::arm_round_deadline() {
+  if (config_.faults.round_deadline <= 0.0 || done_) return;
+  const std::uint64_t armed = core_.round();
+  transport_->schedule_after(config_.faults.round_deadline, [this, armed] {
+    if (done_ || core_.round() != armed) return;  // round closed in time
+    core_.note_round_deadline();
+    after_buffer_change();
+  });
+}
+
+void DeployServer::on_session_deadline(std::uint64_t session_id) {
+  if (done_) return;
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;  // upload won the race
+  ++core_.result().deadline_expirations;
+  record(obs::TraceEventKind::kDeadlineExpired, it->second.client,
+         it->second.base_round, 0, 0, 0.0);
+  reassign(session_id, /*send_cancel=*/true);
+}
+
+void DeployServer::reassign(std::uint64_t session_id, bool send_cancel) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  const Session session = it->second;
+  if (session.deadline_timer != 0) transport_->cancel(session.deadline_timer);
+  if (send_cancel) {
+    const auto peer_it = client_peer_.find(session.client);
+    if (peer_it != client_peer_.end() &&
+        transport_->connected(peer_it->second)) {
+      net::CancelMsg msg;
+      msg.session = session_id;
+      transport_->send(peer_it->second, net::Message{msg});
+    }
+  }
+  sessions_.erase(it);
+  client_session_.erase(session.client);
+
+  // Deterministic replacement policy: the first registered, connected,
+  // currently idle client. (The virtual mode draws from an RNG to model a
+  // population; a deployment picks from who is actually checked in.)
+  for (const auto& [client, peer] : client_peer_) {
+    if (!transport_->connected(peer)) continue;
+    if (client_session_.find(client) != client_session_.end()) continue;
+    ++core_.result().redispatches;
+    record(obs::TraceEventKind::kRedispatch, client, 0, 0, 0, 0.0);
+    dispatch_to(client);
+    return;
+  }
+  ++core_.result().abandoned_slots;
+}
+
+void DeployServer::on_peer_disconnected(net::PeerId peer) {
+  const auto client_it = peer_client_.find(peer);
+  if (client_it == peer_client_.end()) return;  // never registered
+  const std::size_t client = client_it->second;
+  peer_client_.erase(client_it);
+  client_peer_.erase(client);
+  if (done_) return;
+
+  const auto session_it = client_session_.find(client);
+  if (session_it != client_session_.end()) {
+    // A live session's device vanished: that is a crash as far as the
+    // protocol is concerned. Reclaim the slot immediately — the transport
+    // told us, no need to wait for the deadline timer.
+    ++core_.result().client_crashes;
+    record(obs::TraceEventKind::kCrash, client,
+           sessions_.at(session_it->second).base_round, 0, 0, 0.0);
+    reassign(session_it->second, /*send_cancel=*/false);
+  }
+  if (started_ && client_peer_.empty()) {
+    SEAFL_INFO("deploy server: all clients disconnected, finishing");
+    finish();
+  }
+}
+
+void DeployServer::evaluate_and_record() {
+  if (core_.round() % config_.eval_every != 0 && !done_) return;
+  const EvalResult eval = evaluator_.evaluate(core_.global());
+  AccuracyPoint point;
+  point.time = now();
+  point.round = core_.round();
+  point.accuracy = eval.accuracy;
+  point.loss = eval.loss;
+  RunResult& res = core_.result();
+  res.curve.push_back(point);
+  res.final_accuracy = eval.accuracy;
+  record(obs::TraceEventKind::kEval, obs::kServerTrack, 0, 0, 0,
+         eval.accuracy);
+
+  net::EvalMsg broadcast;
+  broadcast.round = core_.round();
+  broadcast.accuracy = eval.accuracy;
+  broadcast.loss = eval.loss;
+  for (const auto& [client, peer] : client_peer_)
+    transport_->send(peer, net::Message{broadcast});
+
+  if (res.time_to_target < 0.0 && eval.accuracy >= config_.target_accuracy) {
+    res.time_to_target = now();
+    if (config_.stop_at_target) done_ = true;
+  }
+}
+
+void DeployServer::finish() {
+  done_ = true;
+  net::ShutdownMsg msg;
+  msg.rounds = core_.round();
+  msg.final_accuracy = core_.result().final_accuracy;
+  for (const auto& [client, peer] : client_peer_)
+    transport_->send(peer, net::Message{msg});
+  transport_->flush(/*timeout_seconds=*/2.0);
+  transport_->stop();
+}
+
+// --- DeployClient -----------------------------------------------------------
+
+/// Epoch-boundary hook of a deployed training session: pumps the socket so
+/// Notify/Cancel frames sent mid-session are seen, then shrinks the epoch
+/// budget accordingly (TrainObserver's contract — returning `epochs_done`
+/// ends the session after the epoch that just finished, which is exactly
+/// SEAFL^2's "upload after your current epoch").
+class SessionObserver final : public TrainObserver {
+ public:
+  SessionObserver(DeployClient* client, std::size_t planned)
+      : client_(client), planned_(planned) {}
+
+  std::size_t on_epoch_end(std::size_t epochs_done, double /*mean_loss*/,
+                           const Sequential& /*model*/) override {
+    client_->transport_->poll_io(/*timeout_seconds=*/0.0);
+    if (client_->done_) return epochs_done;
+    if (client_->active_canceled_) return epochs_done;
+    if (client_->active_notified_) return epochs_done;
+    return planned_;
+  }
+
+ private:
+  DeployClient* client_;
+  std::size_t planned_;
+};
+
+DeployClient::DeployClient(const FlTask& task, const ModelFactory& factory,
+                           RunConfig config, DeployClientOptions options)
+    : task_(&task),
+      config_(config),
+      options_(std::move(options)),
+      trainer_(task, factory, config) {
+  SEAFL_CHECK(options_.client_id < task.num_clients(),
+              "client id " << options_.client_id << " out of range [0, "
+                           << task.num_clients() << ")");
+  SEAFL_CHECK(options_.port != 0, "client needs a server port");
+}
+
+bool DeployClient::connect_and_register() {
+  transport_ = net::SocketTransport::connect(options_.host, options_.port,
+                                             options_.connect_timeout);
+  transport_->set_handler(this);
+  server_ = transport_->peers().front();
+  net::HelloMsg hello;
+  hello.client = options_.client_id;
+  hello.model_params = trainer_.num_params();
+  hello.seed = config_.seed;
+  return transport_->send(server_, net::Message{hello});
+}
+
+DeployClientStats DeployClient::run() {
+  connect_and_register();
+  for (;;) {
+    while (!done_ && transport_->run_one()) {
+      while (!done_ && !pending_.empty()) {
+        net::DispatchMsg dispatch = std::move(pending_.front());
+        pending_.pop_front();
+        train_session(dispatch);
+      }
+    }
+    if (done_ || !server_lost_) break;
+    server_lost_ = false;
+    if (!reconnect_with_backoff()) break;  // server gone for good
+  }
+  return stats_;
+}
+
+void DeployClient::on_peer_disconnected(net::PeerId peer) {
+  if (peer != server_ || done_) return;
+  // Dispatches from the dead connection are void: the server counts their
+  // sessions as crashed the moment it sees our EOF. Training them would
+  // produce uploads it must reject.
+  pending_.clear();
+  server_lost_ = true;
+  transport_->stop();  // unwind to run(), which owns reconnection
+}
+
+bool DeployClient::reconnect_with_backoff() {
+  const FaultConfig& f = config_.faults;
+  for (std::size_t attempt = 1; attempt <= f.max_upload_retries; ++attempt) {
+    const double backoff =
+        std::min(f.retry_backoff_cap,
+                 f.retry_backoff *
+                     std::pow(2.0, static_cast<double>(attempt - 1)));
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    try {
+      if (connect_and_register()) return true;
+    } catch (const Error&) {
+      // Unreachable this attempt; back off further.
+    }
+  }
+  return false;
+}
+
+void DeployClient::on_message(net::PeerId /*peer*/,
+                              const net::Message& message) {
+  if (message.is<net::DispatchMsg>()) {
+    ++stats_.dispatches;
+    if (options_.crash_after_dispatches > 0 &&
+        stats_.dispatches >= options_.crash_after_dispatches) {
+      // Fault-injection hook: the device dies mid-session. An abrupt local
+      // close — the server finds out through EOF, exactly like a real crash.
+      stats_.crashed = true;
+      done_ = true;
+      pending_.clear();
+      transport_->close_peer(server_);
+      transport_->stop();
+      return;
+    }
+    pending_.push_back(message.as<net::DispatchMsg>());
+  } else if (message.is<net::NotifyMsg>()) {
+    const std::uint64_t session = message.as<net::NotifyMsg>().session;
+    // For the active session the flag is read between epochs; for a queued
+    // one it applies the moment training starts (first epoch, then upload).
+    if (session == active_session_) active_notified_ = true;
+    for (auto& pending : pending_)
+      if (pending.session == session) active_notified_ = true;
+  } else if (message.is<net::CancelMsg>()) {
+    const std::uint64_t session = message.as<net::CancelMsg>().session;
+    if (session == active_session_) active_canceled_ = true;
+    const auto before = pending_.size();
+    std::erase_if(pending_, [session](const net::DispatchMsg& d) {
+      return d.session == session;
+    });
+    stats_.cancels += before - pending_.size();
+  } else if (message.is<net::EvalMsg>()) {
+    const auto& eval = message.as<net::EvalMsg>();
+    stats_.last_eval_round = eval.round;
+    stats_.last_eval_accuracy = eval.accuracy;
+  } else if (message.is<net::ShutdownMsg>()) {
+    stats_.shutdown_received = true;
+    done_ = true;
+    transport_->stop();
+  }
+}
+
+void DeployClient::train_session(const net::DispatchMsg& dispatch) {
+  active_session_ = dispatch.session;
+  active_notified_ = false;
+  active_canceled_ = false;
+  // Messages may have raced ahead of training; a Notify/Cancel that arrived
+  // while this dispatch sat in the queue was folded into the flags above.
+  SessionObserver observer(this, dispatch.epochs);
+  const ClientTrainResult& trained = trainer_.train(
+      options_.client_id, dispatch.weights, dispatch.epochs,
+      dispatch.base_round, dispatch.frozen_layers, &observer);
+  active_session_ = 0;
+  if (done_) return;  // shutdown/crash mid-session: the upload has no taker
+  if (active_canceled_) {
+    ++stats_.cancels;  // trained for nothing; the server moved on
+    return;
+  }
+
+  net::UploadMsg upload;
+  upload.session = dispatch.session;
+  upload.client = options_.client_id;
+  upload.base_round = dispatch.base_round;
+  upload.num_samples = trainer_.client_samples(options_.client_id);
+  upload.epochs_completed = static_cast<std::uint32_t>(trained.epochs);
+  upload.train_loss = trained.mean_loss;
+  upload.weights = trained.weights;  // copy: the trainer's buffer is reused
+  if (trained.epochs < dispatch.epochs) ++stats_.partial_uploads;
+  upload_with_retries(std::move(upload));
+}
+
+void DeployClient::upload_with_retries(net::UploadMsg upload) {
+  const FaultConfig& f = config_.faults;
+  const std::size_t max_attempts = 1 + f.max_upload_retries;
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    upload.attempt = static_cast<std::uint32_t>(attempt);
+    if (transport_->connected(server_) &&
+        transport_->send(server_, net::Message{upload}) &&
+        transport_->flush(/*timeout_seconds=*/10.0)) {
+      ++stats_.uploads;
+      return;
+    }
+    if (attempt == max_attempts) return;  // out of retries: update is lost
+    ++stats_.upload_retries;
+    const double backoff =
+        std::min(f.retry_backoff_cap,
+                 f.retry_backoff *
+                     std::pow(2.0, static_cast<double>(attempt - 1)));
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    try {
+      connect_and_register();  // fresh connection, fresh hello
+    } catch (const Error&) {
+      // Server unreachable; the loop either retries or gives up.
+    }
+  }
+}
+
+}  // namespace seafl

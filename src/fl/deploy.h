@@ -1,0 +1,195 @@
+// Real-transport deployment mode (DESIGN.md §13): the SEAFL server protocol
+// running over TCP sockets on the wall clock, against client *processes*.
+//
+// DeployServer drives the same transport-independent ServerCore as the
+// virtual-time Simulation — buffering, staleness policy, (degraded)
+// aggregation, the round log — while this layer owns what a real deployment
+// adds: registration, per-session dispatch over the wire, deadline timers
+// fed by an observed round-trip estimate, crash detection via disconnects,
+// and slot re-dispatch. DeployClient is the matching device loop: register,
+// train what arrives, honor SEAFL^2 notify (upload after the current epoch)
+// and cancel (discard the session) mid-training, upload with retries.
+//
+// Determinism: local training is still a pure function of (weights, client,
+// round), so every individual update is reproducible. What wall time does
+// NOT preserve is arrival *order* — buffer composition, staleness and
+// therefore the aggregate sequence may differ run to run (DESIGN.md §13
+// spells out the contract). The virtual path through ServerCore stays
+// bitwise identical.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "fl/client.h"
+#include "fl/evaluator.h"
+#include "fl/server_core.h"
+#include "net/socket_transport.h"
+#include "obs/trace.h"
+
+namespace seafl {
+
+struct DeployServerOptions {
+  std::uint16_t port = 0;          ///< 0 = ephemeral; read back via port()
+  std::size_t expected_clients = 0;  ///< registrations before round 1 starts
+  /// Hard wall-clock cap on run(); the run finishes (gracefully, with
+  /// whatever model it has) when it expires. 0 disables.
+  double max_wall_seconds = 0.0;
+  /// Seed for the session round-trip estimate that deadline timers multiply
+  /// (FaultConfig::deadline_factor). 0 = no deadlines until the first
+  /// completed session provides a measurement.
+  double deadline_init_seconds = 0.0;
+  std::string trace_jsonl_path;   ///< journal export on finish ("" = off)
+  std::string trace_chrome_path;  ///< chrome trace export on finish ("" = off)
+};
+
+/// The server side of a deployment run. Single-threaded: construct (binds
+/// the listen socket immediately), then run() until the stop condition.
+class DeployServer final : public net::MessageHandler {
+ public:
+  DeployServer(const FlTask& task, const ModelFactory& factory,
+               StrategyPtr strategy, RunConfig config,
+               DeployServerOptions options);
+
+  /// The bound listen port (valid right after construction).
+  std::uint16_t port() const { return transport_->port(); }
+
+  /// Serves the run to completion and returns its metrics (wall-clock
+  /// timestamps in RunResult's time fields).
+  RunResult run();
+
+  /// The run's trace journal (dispatch→upload lifecycles on the wall clock).
+  const obs::TraceJournal& journal() const { return journal_; }
+  const net::SocketStats& socket_stats() const { return transport_->stats(); }
+
+  // --- net::MessageHandler ---------------------------------------------------
+  void on_message(net::PeerId peer, const net::Message& message) override;
+  void on_peer_disconnected(net::PeerId peer) override;
+
+ private:
+  struct Session {
+    std::size_t client = 0;
+    std::uint64_t base_round = 0;
+    double dispatch_time = 0.0;
+    std::uint64_t deadline_timer = 0;  ///< transport timer id (0 = none)
+    std::size_t planned_epochs = 0;
+    bool notified = false;
+  };
+
+  double now() const { return transport_->clock().now(); }
+  void handle_hello(net::PeerId peer, const net::HelloMsg& msg);
+  void handle_upload(net::PeerId peer, const net::UploadMsg& msg);
+  void start_run();
+  void dispatch_to(std::size_t client);
+  /// Aggregation decision + everything that follows one (eval broadcast,
+  /// stop conditions, re-dispatch, stale notifications).
+  void after_buffer_change();
+  void notify_stale_sessions();
+  void arm_round_deadline();
+  void on_session_deadline(std::uint64_t session_id);
+  /// Tears down `session_id` and hands the slot to the first idle
+  /// registered client (deterministic order), counting redispatch/abandon.
+  void reassign(std::uint64_t session_id, bool send_cancel);
+  void evaluate_and_record();
+  void finish();
+  void record(obs::TraceEventKind kind, std::size_t client,
+              std::uint64_t base_round, std::size_t epochs, std::size_t updates,
+              double value);
+
+  const FlTask* task_;
+  StrategyPtr strategy_;
+  RunConfig config_;
+  DeployServerOptions options_;
+  Evaluator evaluator_;
+  ServerCore core_;
+  ModelVector initial_weights_;
+  std::unique_ptr<net::SocketTransport> transport_;
+  obs::TraceJournal journal_;
+
+  std::map<std::size_t, net::PeerId> client_peer_;  ///< registered clients
+  std::map<net::PeerId, std::size_t> peer_client_;
+  std::map<std::uint64_t, Session> sessions_;       ///< live, by session id
+  std::map<std::size_t, std::uint64_t> client_session_;
+  std::uint64_t next_session_ = 0;
+  /// EWMA of observed dispatch→upload round trips (seconds); what
+  /// deadline_factor multiplies. Seeded by options_.deadline_init_seconds.
+  double rtt_estimate_ = 0.0;
+  bool started_ = false;
+  bool done_ = false;
+};
+
+struct DeployClientOptions {
+  std::size_t client_id = 0;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  double connect_timeout = 10.0;
+  /// Fault-injection hook for tests: after receiving this many dispatches,
+  /// the client abruptly closes its connection (mid-session, never
+  /// uploading) and run() returns. 0 disables.
+  std::size_t crash_after_dispatches = 0;
+};
+
+/// What a client process saw during its run (for logs and test assertions).
+struct DeployClientStats {
+  std::size_t dispatches = 0;
+  std::size_t uploads = 0;
+  std::size_t partial_uploads = 0;  ///< uploads cut short by a Notify
+  std::size_t cancels = 0;          ///< sessions discarded on a Cancel
+  std::size_t upload_retries = 0;   ///< reconnect-and-resend attempts used
+  std::uint64_t last_eval_round = 0;
+  double last_eval_accuracy = 0.0;
+  bool shutdown_received = false;
+  bool crashed = false;  ///< the crash_after_dispatches hook fired
+};
+
+/// The device side: connects, registers, trains dispatched sessions and
+/// uploads, reacting to Notify/Cancel between epochs. Single-threaded;
+/// run() blocks until the server's Shutdown (or a terminal failure).
+class DeployClient final : public net::MessageHandler {
+ public:
+  DeployClient(const FlTask& task, const ModelFactory& factory,
+               RunConfig config, DeployClientOptions options);
+
+  DeployClientStats run();
+
+  // --- net::MessageHandler ---------------------------------------------------
+  void on_message(net::PeerId peer, const net::Message& message) override;
+  void on_peer_disconnected(net::PeerId peer) override;
+
+ private:
+  friend class SessionObserver;
+
+  bool connect_and_register();
+  /// Replaces the dead connection: backoff + fresh connect_and_register,
+  /// up to faults.max_upload_retries attempts. Only callable from run()'s
+  /// top level — it destroys the current transport.
+  bool reconnect_with_backoff();
+  void train_session(const net::DispatchMsg& dispatch);
+  /// Sends the upload; on a dead connection, reconnects with backoff and
+  /// re-sends (attempt increments per try) up to faults.max_upload_retries.
+  void upload_with_retries(net::UploadMsg upload);
+
+  const FlTask* task_;
+  RunConfig config_;
+  DeployClientOptions options_;
+  ClientTrainer trainer_;
+  std::unique_ptr<net::SocketTransport> transport_;
+  net::PeerId server_ = 0;
+
+  std::deque<net::DispatchMsg> pending_;  ///< dispatches awaiting training
+  /// Session the trainer is currently inside (0 = none); Notify/Cancel for
+  /// it flip the flags below, which the epoch-boundary observer reads.
+  std::uint64_t active_session_ = 0;
+  bool active_notified_ = false;
+  bool active_canceled_ = false;
+  bool done_ = false;
+  /// The server's connection died outside an upload. Set by the disconnect
+  /// callback (which must not touch transport_); run() reconnects or quits.
+  bool server_lost_ = false;
+  DeployClientStats stats_;
+};
+
+}  // namespace seafl

@@ -1,0 +1,248 @@
+#include "fl/server_core.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "obs/profile.h"
+
+namespace seafl {
+
+namespace {
+
+obs::TraceEvent trace_event(obs::TraceEventKind kind, double time,
+                            std::uint64_t round) {
+  obs::TraceEvent e;
+  e.kind = kind;
+  e.time = time;
+  e.round = round;
+  return e;
+}
+
+}  // namespace
+
+void validate_run_config(const RunConfig& c, std::size_t num_clients) {
+  SEAFL_CHECK(c.concurrency >= 1 && c.concurrency <= num_clients,
+              "concurrency " << c.concurrency << " out of range [1, "
+                             << num_clients << "]");
+  SEAFL_CHECK(c.buffer_size >= 1, "buffer size must be >= 1");
+  SEAFL_CHECK(c.local_epochs >= 1, "need at least one local epoch");
+  SEAFL_CHECK(!(c.wait_for_stale && c.drop_stale),
+              "wait_for_stale and drop_stale are mutually exclusive");
+  if (c.mode == FlMode::kSemiAsync) {
+    SEAFL_CHECK(c.buffer_size <= c.concurrency,
+                "buffer size " << c.buffer_size << " exceeds concurrency "
+                               << c.concurrency);
+  }
+  SEAFL_CHECK(c.quantize_bits == 0 ||
+                  (c.quantize_bits >= 2 && c.quantize_bits <= 16),
+              "quantize_bits must be 0 (off) or in [2, 16], got "
+                  << c.quantize_bits);
+  SEAFL_CHECK(c.upload_loss_prob >= 0.0 && c.upload_loss_prob < 1.0,
+              "upload_loss_prob must lie in [0, 1), got "
+                  << c.upload_loss_prob);
+  SEAFL_CHECK(c.eval_every >= 1, "eval_every must be >= 1");
+  SEAFL_CHECK(c.sim_jobs == 0 || c.eager_training,
+              "sim_jobs requires eager_training");
+
+  const FaultConfig& f = c.faults;
+  SEAFL_CHECK(f.mean_uptime >= 0.0, "mean_uptime must be non-negative");
+  if (f.churn_enabled()) {
+    SEAFL_CHECK(f.mean_downtime > 0.0,
+                "mean_downtime must be positive when churn is enabled");
+  }
+  SEAFL_CHECK(f.deadline_factor == 0.0 || f.deadline_factor >= 1.0,
+              "deadline_factor must be 0 (off) or >= 1 (a healthy client "
+              "must beat its own deadline), got "
+                  << f.deadline_factor);
+  if (f.max_upload_retries > 0) {
+    SEAFL_CHECK(f.retry_backoff > 0.0,
+                "retry_backoff must be positive when retries are enabled");
+    SEAFL_CHECK(f.retry_backoff_cap >= f.retry_backoff,
+                "retry_backoff_cap " << f.retry_backoff_cap
+                                     << " below retry_backoff "
+                                     << f.retry_backoff);
+  }
+  SEAFL_CHECK(f.round_deadline >= 0.0,
+              "round_deadline must be non-negative");
+  if (f.round_deadline > 0.0) {
+    SEAFL_CHECK(f.min_updates >= 1, "min_updates must be >= 1");
+    const std::size_t cap = c.mode == FlMode::kSemiAsync ? c.buffer_size
+                                                         : c.concurrency;
+    SEAFL_CHECK(f.min_updates <= cap,
+                "min_updates " << f.min_updates
+                               << " exceeds the aggregation target " << cap);
+  }
+}
+
+ModelVector initial_global_weights(const ModelFactory& factory,
+                                   std::uint64_t seed) {
+  auto scratch = factory();
+  Rng init_rng(seed, RngPurpose::kInit);
+  scratch->init(init_rng);
+  ModelVector weights(scratch->num_parameters());
+  scratch->copy_parameters_to(weights);
+  return weights;
+}
+
+ServerCore::ServerCore(AggregationStrategy* strategy, const RunConfig& config)
+    : strategy_(strategy), config_(&config) {
+  SEAFL_CHECK(strategy_ != nullptr, "null aggregation strategy");
+}
+
+void ServerCore::begin(ModelVector initial, std::size_t num_clients) {
+  global_ = std::move(initial);
+  round_ = 0;
+  buffer_.clear();
+  round_deadline_passed_ = false;
+  staleness_sum_ = 0.0;
+  result_ = RunResult{};
+  result_.participation.assign(num_clients, 0);
+}
+
+void ServerCore::add_update(LocalUpdate update) {
+  buffer_.push_back(std::move(update));
+}
+
+AggregateOutcome ServerCore::try_aggregate(
+    double now, const std::vector<std::uint64_t>& in_flight_base_rounds,
+    obs::TraceSink* trace) {
+  AggregateOutcome outcome;
+  const RunConfig& config = *config_;
+  const FaultConfig& f = config.faults;
+  const bool degraded = round_deadline_passed_ && f.round_deadline > 0.0;
+
+  if (config.mode == FlMode::kSync) {
+    const std::size_t cohort = config.concurrency;
+    const std::size_t required =
+        degraded ? std::min(f.min_updates, cohort) : cohort;
+    if (buffer_.size() < std::max<std::size_t>(required, 1)) return outcome;
+    if (buffer_.size() < cohort) {
+      ++result_.degraded_aggregations;
+      if (trace != nullptr) {
+        obs::TraceEvent e = trace_event(
+            obs::TraceEventKind::kDegradedAggregate, now, round_);
+        e.updates = buffer_.size();
+        trace->record(e);
+      }
+    }
+    do_aggregate(now, trace, outcome);
+    return outcome;
+  }
+
+  if (config.drop_stale && config.staleness_limit != kNoStalenessLimit) {
+    const auto before = buffer_.size();
+    std::erase_if(buffer_, [&](const LocalUpdate& u) {
+      return staleness_of(u.base_round) > config.staleness_limit;
+    });
+    result_.dropped_updates += before - buffer_.size();
+  }
+
+  const std::size_t required =
+      degraded ? std::min(f.min_updates, config.buffer_size)
+               : config.buffer_size;
+  if (buffer_.size() < std::max<std::size_t>(required, 1)) return outcome;
+
+  // Past the round deadline the server stops holding for stale clients —
+  // degrading the staleness bound beats stalling on a dead device.
+  bool stale_hold = false;
+  if (config.wait_for_stale &&
+      config.staleness_limit != kNoStalenessLimit) {
+    for (const std::uint64_t base_round : in_flight_base_rounds) {
+      if (staleness_of(base_round) >= config.staleness_limit) {
+        stale_hold = true;
+        break;
+      }
+    }
+  }
+  if (stale_hold && !degraded) {
+    ++result_.stale_waits;
+    outcome.stale_hold = true;  // SEAFL: hold; SEAFL^2: driver notifies
+    return outcome;
+  }
+
+  // A degraded aggregation is one the deadline *forced*: the buffer target
+  // was relaxed, or a staleness hold was overridden with a full buffer.
+  if (buffer_.size() < config.buffer_size || (degraded && stale_hold)) {
+    ++result_.degraded_aggregations;
+    if (trace != nullptr) {
+      obs::TraceEvent e = trace_event(obs::TraceEventKind::kDegradedAggregate,
+                                      now, round_);
+      e.updates = buffer_.size();
+      trace->record(e);
+    }
+  }
+  do_aggregate(now, trace, outcome);
+  return outcome;
+}
+
+void ServerCore::do_aggregate(double now, obs::TraceSink* trace,
+                              AggregateOutcome& outcome) {
+  SEAFL_CHECK(!buffer_.empty(), "aggregate with empty buffer");
+  const RunConfig& config = *config_;
+
+  ScreeningReport screening;
+  AggregationContext ctx;
+  ctx.round = round_;
+  ctx.global = &global_;
+  ctx.total_samples = 0;
+  ctx.screening = &screening;
+  RoundStat stat;
+  stat.updates = buffer_.size();
+  stat.time = now;
+  for (const auto& u : buffer_) {
+    ctx.total_samples += u.num_samples;
+    const auto s = static_cast<double>(staleness_of(u.base_round));
+    staleness_sum_ += s;
+    stat.mean_staleness += s;
+    if (u.epochs_completed < config.local_epochs) ++stat.partial;
+    ++result_.participation[u.client];
+  }
+  stat.mean_staleness /= static_cast<double>(buffer_.size());
+  result_.total_updates += buffer_.size();
+
+  {
+    SEAFL_PROF_SCOPE("fl.aggregate");
+    strategy_->aggregate(ctx, buffer_, global_);
+  }
+  ++result_.aggregations;
+  result_.server_aggregation_work +=
+      static_cast<double>(buffer_.size()) *
+      static_cast<double>(global_.size());
+  // A screening strategy (core/screening.h) reports what it quarantined;
+  // surface it in the journal and the run counters.
+  for (const ScreeningReport::Entry& entry : screening.entries) {
+    if (entry.clipped) ++result_.clipped_updates;
+    if (!entry.rejected) continue;
+    ++result_.screened_updates;
+    if (trace != nullptr) {
+      obs::TraceEvent e =
+          trace_event(obs::TraceEventKind::kScreened, now, round_);
+      e.client = entry.client;
+      e.value = entry.cosine;
+      trace->record(e);
+    }
+  }
+
+  // Remember the reporters before clearing: they receive the new model.
+  // Quarantined clients restart too — their *updates* were rejected, but
+  // idling the device would silently shrink concurrency.
+  outcome.reporters.reserve(buffer_.size());
+  for (const auto& u : buffer_) outcome.reporters.push_back(u.client);
+  buffer_.clear();
+
+  ++round_;
+  round_deadline_passed_ = false;
+  stat.round = round_;
+  result_.round_log.push_back(stat);
+  if (trace != nullptr) {
+    obs::TraceEvent e =
+        trace_event(obs::TraceEventKind::kAggregate, now, round_);
+    e.updates = stat.updates;
+    e.value = stat.mean_staleness;
+    trace->record(e);
+  }
+  outcome.aggregated = true;
+}
+
+}  // namespace seafl

@@ -1,0 +1,102 @@
+// Transport-independent server state machine (DESIGN.md §13): the buffer,
+// the global model, the round counter and the aggregation decision of
+// Algorithms 1–2, factored out of the virtual-time Simulation so the real
+// socket deployment (fl/deploy.h) runs the *same* code, not a re-creation
+// of it. Everything here is a pure function of (config, fed updates,
+// supplied timestamps) — no clock, no scheduling, no I/O — which is what
+// keeps the virtual path bitwise identical after the extraction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/strategy.h"
+#include "nn/sequential.h"
+#include "obs/trace.h"
+
+namespace seafl {
+
+/// Validates the orchestration parameters shared by both deployment modes.
+/// Throws seafl::Error on the first violation.
+void validate_run_config(const RunConfig& config, std::size_t num_clients);
+
+/// Layer-wise He/Xavier initialization through a scratch model instance, so
+/// the initial global model is identical for every strategy (and every
+/// deployment mode) sharing a seed.
+ModelVector initial_global_weights(const ModelFactory& factory,
+                                   std::uint64_t seed);
+
+/// What ServerCore::try_aggregate decided.
+struct AggregateOutcome {
+  bool aggregated = false;
+  /// Semi-async only: the buffer is full but an in-flight session is at the
+  /// staleness limit and the policy holds aggregation (SEAFL §IV.B). The
+  /// driver should nudge over-limit clients (SEAFL^2 notifications).
+  bool stale_hold = false;
+  /// Clients whose updates formed the new model, in buffer (arrival) order;
+  /// the driver re-dispatches the fresh model to them. Empty unless
+  /// `aggregated`.
+  std::vector<std::size_t> reporters;
+};
+
+/// The server's aggregation brain, shared by fl::Simulation (virtual time)
+/// and fl::DeployServer (wall time). Owns the global model, the update
+/// buffer, the round counter and the RunResult; drivers own dispatch,
+/// deadlines, evaluation and everything that touches a clock or a wire.
+class ServerCore {
+ public:
+  /// `strategy` and `config` are borrowed and must outlive the core.
+  ServerCore(AggregationStrategy* strategy, const RunConfig& config);
+
+  /// Resets run state: installs the initial global model and sizes the
+  /// participation histogram.
+  void begin(ModelVector initial, std::size_t num_clients);
+
+  /// Buffers one arrived update (the driver has already stamped
+  /// arrival_time and counted upload metrics).
+  void add_update(LocalUpdate update);
+
+  /// Runs the aggregation decision of maybe_aggregate() at time `now`:
+  /// drop-stale filtering, the (possibly degraded) buffer target, the
+  /// wait-for-stale hold, and — when the decision is "go" — the full
+  /// aggregation (strategy call, screening bookkeeping, round advance,
+  /// round log, kDegradedAggregate/kScreened/kAggregate trace events).
+  /// `in_flight_base_rounds` are the base rounds of the driver's live
+  /// sessions (order irrelevant), consulted only by the stale-hold check.
+  AggregateOutcome try_aggregate(
+      double now, const std::vector<std::uint64_t>& in_flight_base_rounds,
+      obs::TraceSink* trace);
+
+  /// The round deadline passed: until the next aggregation the buffer
+  /// target degrades to FaultConfig::min_updates.
+  void note_round_deadline() { round_deadline_passed_ = true; }
+
+  std::uint64_t round() const { return round_; }
+  std::uint64_t staleness_of(std::uint64_t base_round) const {
+    return round_ - base_round;
+  }
+  ModelVector& global() { return global_; }
+  const ModelVector& global() const { return global_; }
+  const std::vector<LocalUpdate>& buffer() const { return buffer_; }
+  /// Mutable: drivers own the protocol counters (uploads, retries, ...).
+  RunResult& result() { return result_; }
+  const RunResult& result() const { return result_; }
+  /// Sum of per-update staleness over all aggregated updates (for the
+  /// run-end mean).
+  double staleness_sum() const { return staleness_sum_; }
+
+ private:
+  void do_aggregate(double now, obs::TraceSink* trace,
+                    AggregateOutcome& outcome);
+
+  AggregationStrategy* strategy_;
+  const RunConfig* config_;
+  ModelVector global_;
+  std::uint64_t round_ = 0;
+  std::vector<LocalUpdate> buffer_;
+  bool round_deadline_passed_ = false;
+  RunResult result_;
+  double staleness_sum_ = 0.0;
+};
+
+}  // namespace seafl

@@ -40,105 +40,42 @@ Simulation::Simulation(const FlTask& task, const ModelFactory& factory,
                  config.seed),
       churn_(ChurnConfig{config.faults.mean_uptime,
                          config.faults.mean_downtime, config.seed},
-             task.num_clients()) {
-  SEAFL_CHECK(strategy_ != nullptr, "null aggregation strategy");
+             task.num_clients()),
+      core_(strategy_.get(), config_) {
   SEAFL_CHECK(fleet.size() >= task.num_clients(),
               "fleet has " << fleet.size() << " devices but task has "
                            << task.num_clients() << " clients");
   SEAFL_CHECK(work_per_sample_ > 0.0, "work_per_sample must be positive");
-  validate_config();
+  validate_run_config(config_, task.num_clients());
   if (config_.eager_training)
     executor_ = std::make_unique<TrainingExecutor>(task, factory, config_);
-  // Layer-wise initialization (He/Xavier) through a scratch instance, so the
-  // initial global model is identical for every strategy sharing a seed.
-  auto scratch = factory();
-  Rng init_rng(config_.seed, RngPurpose::kInit);
-  scratch->init(init_rng);
-  initial_weights_.resize(scratch->num_parameters());
-  scratch->copy_parameters_to(initial_weights_);
-}
-
-void Simulation::validate_config() const {
-  const RunConfig& c = config_;
-  SEAFL_CHECK(c.concurrency >= 1 && c.concurrency <= task_->num_clients(),
-              "concurrency " << c.concurrency << " out of range [1, "
-                             << task_->num_clients() << "]");
-  SEAFL_CHECK(c.buffer_size >= 1, "buffer size must be >= 1");
-  SEAFL_CHECK(c.local_epochs >= 1, "need at least one local epoch");
-  SEAFL_CHECK(!(c.wait_for_stale && c.drop_stale),
-              "wait_for_stale and drop_stale are mutually exclusive");
-  if (c.mode == FlMode::kSemiAsync) {
-    SEAFL_CHECK(c.buffer_size <= c.concurrency,
-                "buffer size " << c.buffer_size << " exceeds concurrency "
-                               << c.concurrency);
-  }
-  SEAFL_CHECK(c.quantize_bits == 0 ||
-                  (c.quantize_bits >= 2 && c.quantize_bits <= 16),
-              "quantize_bits must be 0 (off) or in [2, 16], got "
-                  << c.quantize_bits);
-  SEAFL_CHECK(c.upload_loss_prob >= 0.0 && c.upload_loss_prob < 1.0,
-              "upload_loss_prob must lie in [0, 1), got "
-                  << c.upload_loss_prob);
-  SEAFL_CHECK(c.eval_every >= 1, "eval_every must be >= 1");
-  SEAFL_CHECK(c.sim_jobs == 0 || c.eager_training,
-              "sim_jobs requires eager_training");
-
-  const FaultConfig& f = c.faults;
-  SEAFL_CHECK(f.mean_uptime >= 0.0, "mean_uptime must be non-negative");
-  if (f.churn_enabled()) {
-    SEAFL_CHECK(f.mean_downtime > 0.0,
-                "mean_downtime must be positive when churn is enabled");
-  }
-  SEAFL_CHECK(f.deadline_factor == 0.0 || f.deadline_factor >= 1.0,
-              "deadline_factor must be 0 (off) or >= 1 (a healthy client "
-              "must beat its own deadline), got "
-                  << f.deadline_factor);
-  if (f.max_upload_retries > 0) {
-    SEAFL_CHECK(f.retry_backoff > 0.0,
-                "retry_backoff must be positive when retries are enabled");
-    SEAFL_CHECK(f.retry_backoff_cap >= f.retry_backoff,
-                "retry_backoff_cap " << f.retry_backoff_cap
-                                     << " below retry_backoff "
-                                     << f.retry_backoff);
-  }
-  SEAFL_CHECK(f.round_deadline >= 0.0,
-              "round_deadline must be non-negative");
-  if (f.round_deadline > 0.0) {
-    SEAFL_CHECK(f.min_updates >= 1, "min_updates must be >= 1");
-    const std::size_t cap = c.mode == FlMode::kSemiAsync ? c.buffer_size
-                                                         : c.concurrency;
-    SEAFL_CHECK(f.min_updates <= cap,
-                "min_updates " << f.min_updates
-                               << " exceeds the aggregation target " << cap);
-  }
+  initial_weights_ = initial_global_weights(factory, config_.seed);
 }
 
 void Simulation::refresh_global_snapshot() {
-  global_snapshot_ = std::make_shared<ModelVector>(global_);
+  global_snapshot_ = std::make_shared<ModelVector>(core_.global());
 }
 
 void Simulation::abandon_speculation(std::size_t client) {
   // Counted in BOTH execution modes: the counter reflects a protocol event
   // (a dispatched session whose training the server will never use), not
   // executor bookkeeping, so RunResult stays identical lazy-vs-eager.
-  ++result_.speculation_wasted;
+  ++result().speculation_wasted;
   if (executor_ == nullptr) return;
   executor_->abandon(client);
   if (trace_ != nullptr) {
     obs::TraceEvent e = trace_event(obs::TraceEventKind::kSpeculationAbandoned,
-                                    queue_.now(), round_);
+                                    queue().now(), round());
     e.client = client;
     trace_->record(e);
   }
 }
 
 RunResult Simulation::run() {
-  global_ = initial_weights_;
+  core_.begin(initial_weights_, task_->num_clients());
   refresh_global_snapshot();
-  result_.participation.assign(task_->num_clients(), 0);
 
   // Select the starting cohort.
-  sync_cohort_ = config_.concurrency;
   for (const std::size_t client : select_cohort(config_.concurrency))
     start_training(client);
 
@@ -146,20 +83,21 @@ RunResult Simulation::run() {
   evaluate_and_record();
   arm_round_deadline();
 
-  while (!done_ && queue_.run_one()) {
+  while (!done_ && transport_.run_one()) {
   }
   // Sessions still in flight at the stop condition never upload; their
   // speculated jobs are cut loose (observation counters may tick, RunResult
   // does not — the lazy path never trains them either).
   if (executor_ != nullptr) executor_->drain();
 
-  result_.rounds = round_;
-  result_.final_time = queue_.now();
-  result_.final_weights = global_;
-  if (result_.total_updates > 0)
-    result_.mean_staleness =
-        staleness_sum_ / static_cast<double>(result_.total_updates);
-  return result_;
+  RunResult& res = result();
+  res.rounds = round();
+  res.final_time = queue().now();
+  res.final_weights = core_.global();
+  if (res.total_updates > 0)
+    res.mean_staleness =
+        core_.staleness_sum() / static_cast<double>(res.total_updates);
+  return res;
 }
 
 std::vector<std::size_t> Simulation::select_cohort(std::size_t count) const {
@@ -167,7 +105,7 @@ std::vector<std::size_t> Simulation::select_cohort(std::size_t count) const {
   SEAFL_CHECK(count <= n, "cohort " << count << " exceeds client count " << n);
   std::vector<std::size_t> order(n);
   for (std::size_t i = 0; i < n; ++i) order[i] = i;
-  Rng rng(config_.seed, RngPurpose::kSelection, /*a=*/round_);
+  Rng rng(config_.seed, RngPurpose::kSelection, /*a=*/core_.round());
 
   switch (config_.selection) {
     case SelectionPolicy::kRandom:
@@ -210,14 +148,14 @@ std::uint64_t Simulation::schedule_transmission(std::size_t client,
   // upload completes never delivers it. The crash event is simulator
   // bookkeeping — the *server* only learns of it through a missed deadline.
   if (state.crash_time < arrival) {
-    const double when = std::max(queue_.now(), state.crash_time);
-    return queue_.schedule_at(when, [this, client] { on_crash(client); });
+    const double when = std::max(queue().now(), state.crash_time);
+    return queue().schedule_at(when, [this, client] { on_crash(client); });
   }
   if (state.lost) {
-    return queue_.schedule_at(arrival,
-                              [this, client] { on_upload_lost(client); });
+    return queue().schedule_at(arrival,
+                               [this, client] { on_upload_lost(client); });
   }
-  return queue_.schedule_at(
+  return queue().schedule_at(
       arrival, [this, client, epochs] { on_arrival(client, epochs); });
 }
 
@@ -225,7 +163,7 @@ void Simulation::start_training(std::size_t client) {
   SEAFL_CHECK(in_flight_.find(client) == in_flight_.end(),
               "client " << client << " already training");
   InFlight state;
-  state.base_round = round_;
+  state.base_round = round();
   state.base_weights = global_snapshot_;
   state.planned_epochs = config_.local_epochs;
   if (config_.adaptive_epochs) {
@@ -255,9 +193,9 @@ void Simulation::start_training(std::size_t client) {
   }
 
   const std::size_t n = trainer_.client_samples(client);
-  const double dispatch = queue_.now();
+  const double dispatch = queue().now();
   double when = dispatch +
-                fleet_->latency_seconds(client, round_, /*leg=*/0);
+                fleet_->latency_seconds(client, round(), /*leg=*/0);
   state.epoch_ends.reserve(state.planned_epochs);
   for (std::size_t e = 0; e < state.planned_epochs; ++e) {
     when += fleet_->epoch_compute_seconds(client, n, work);
@@ -265,7 +203,7 @@ void Simulation::start_training(std::size_t client) {
     state.epoch_ends.push_back(when);
   }
   const double arrival =
-      when + fleet_->latency_seconds(client, round_, /*leg=*/1);
+      when + fleet_->latency_seconds(client, round(), /*leg=*/1);
   // The device's next offline time is a fixed property of its churn
   // timeline; a session dispatched to an offline device is dead on arrival
   // (crash_time == dispatch).
@@ -277,7 +215,7 @@ void Simulation::start_training(std::size_t client) {
     // Keyed by a per-simulation draw counter, not (client, round): a retry
     // of the same client in the same round must get a fresh draw, or a
     // sync-mode retry loop would re-lose the upload forever.
-    Rng drop_rng(config_.seed, RngPurpose::kDropout, client, round_,
+    Rng drop_rng(config_.seed, RngPurpose::kDropout, client, round(),
                  dropout_draws_++);
     state.lost = drop_rng.bernoulli(config_.upload_loss_prob);
   }
@@ -290,12 +228,12 @@ void Simulation::start_training(std::size_t client) {
   if (config_.faults.deadline_factor > 0.0) {
     const double deadline =
         dispatch + config_.faults.deadline_factor * (arrival - dispatch);
-    state.deadline_event = queue_.schedule_at(
+    state.deadline_event = queue().schedule_at(
         deadline, [this, client] { on_deadline(client); });
   }
   if (trace_ != nullptr) {
     obs::TraceEvent e = trace_event(obs::TraceEventKind::kAssigned,
-                                    queue_.now(), state.base_round);
+                                    queue().now(), state.base_round);
     e.client = client;
     e.base_round = state.base_round;
     e.epochs = state.planned_epochs;
@@ -310,14 +248,14 @@ void Simulation::start_training(std::size_t client) {
                          state.base_round, state.frozen_layers);
     if (trace_ != nullptr) {
       obs::TraceEvent e = trace_event(obs::TraceEventKind::kSpeculate,
-                                      queue_.now(), state.base_round);
+                                      queue().now(), state.base_round);
       e.client = client;
       e.epochs = state.planned_epochs;
       trace_->record(e);
     }
   }
   in_flight_.emplace(client, std::move(state));
-  ++result_.model_downloads;
+  ++result().model_downloads;
 }
 
 void Simulation::on_arrival(std::size_t client, std::size_t epochs) {
@@ -328,7 +266,7 @@ void Simulation::on_arrival(std::size_t client, std::size_t epochs) {
   in_flight_.erase(it);
   // The upload beat its deadline; disarm the timer. A deadline event never
   // has id 0 (its session's transmission is always scheduled first).
-  if (state.deadline_event != 0) queue_.cancel(state.deadline_event);
+  if (state.deadline_event != 0) queue().cancel(state.deadline_event);
 
   // The update is computed now that its arrival is due: harvested from the
   // speculative executor when eager, trained inline when lazy. Identical
@@ -339,7 +277,7 @@ void Simulation::on_arrival(std::size_t client, std::size_t epochs) {
                                  state.base_round, state.frozen_layers);
     if (trace_ != nullptr) {
       obs::TraceEvent e = trace_event(obs::TraceEventKind::kHarvest,
-                                      queue_.now(), round_);
+                                      queue().now(), round());
       e.client = client;
       e.base_round = state.base_round;
       e.epochs = epochs;
@@ -358,10 +296,10 @@ void Simulation::on_arrival(std::size_t client, std::size_t epochs) {
     quantize_model(update.weights, config_.quantize_bits);
   update.num_samples = trainer_.client_samples(client);
   update.epochs_completed = epochs;
-  update.arrival_time = queue_.now();
+  update.arrival_time = queue().now();
   update.train_loss = trained.mean_loss;
-  if (epochs < config_.local_epochs) ++result_.partial_updates;
-  ++result_.model_uploads;
+  if (epochs < config_.local_epochs) ++result().partial_updates;
+  ++result().model_uploads;
   if (trace_ != nullptr) {
     // Epoch completions were computed at assignment; journal them now with
     // their (past) virtual end times, then the upload itself.
@@ -374,14 +312,14 @@ void Simulation::on_arrival(std::size_t client, std::size_t epochs) {
       trace_->record(ev);
     }
     obs::TraceEvent ev =
-        trace_event(obs::TraceEventKind::kUpload, queue_.now(), round_);
+        trace_event(obs::TraceEventKind::kUpload, queue().now(), round());
     ev.client = client;
     ev.base_round = state.base_round;
     ev.epochs = epochs;
     ev.value = static_cast<double>(staleness_of(state.base_round));
     trace_->record(ev);
   }
-  buffer_.push_back(std::move(update));
+  core_.add_update(std::move(update));
 
   maybe_aggregate();
 }
@@ -393,12 +331,12 @@ void Simulation::on_upload_lost(std::size_t client) {
   InFlight& state = it->second;
   if (trace_ != nullptr) {
     obs::TraceEvent e =
-        trace_event(obs::TraceEventKind::kUploadLost, queue_.now(), round_);
+        trace_event(obs::TraceEventKind::kUploadLost, queue().now(), round());
     e.client = client;
     e.base_round = state.base_round;
     trace_->record(e);
   }
-  ++result_.lost_uploads;
+  ++result().lost_uploads;
 
   // Client-side retransmission with capped exponential backoff. The client
   // keeps its trained update and re-sends it; training is NOT redone.
@@ -409,17 +347,17 @@ void Simulation::on_upload_lost(std::size_t client) {
                  f.retry_backoff *
                      std::pow(2.0, static_cast<double>(state.attempts - 1)));
     const double arrival =
-        queue_.now() + backoff +
+        queue().now() + backoff +
         fleet_->latency_seconds(client, state.base_round, /*leg=*/1);
     ++state.attempts;
-    ++result_.upload_retries;
+    ++result().upload_retries;
     // Fresh loss draw per transmission (see start_training's counter note).
-    Rng drop_rng(config_.seed, RngPurpose::kDropout, client, round_,
+    Rng drop_rng(config_.seed, RngPurpose::kDropout, client, round(),
                  dropout_draws_++);
     state.lost = drop_rng.bernoulli(config_.upload_loss_prob);
     if (trace_ != nullptr) {
       obs::TraceEvent e =
-          trace_event(obs::TraceEventKind::kRetry, queue_.now(), round_);
+          trace_event(obs::TraceEventKind::kRetry, queue().now(), round());
       e.client = client;
       e.base_round = state.base_round;
       e.epochs = state.attempts - 1;  // retry number, 1-based
@@ -433,7 +371,7 @@ void Simulation::on_upload_lost(std::size_t client) {
   // Out of retries (or retries disabled): the slot is wasted unless the
   // server reassigns it *now* — waiting for the next aggregation would
   // strand the slot indefinitely under heavy loss.
-  if (state.deadline_event != 0) queue_.cancel(state.deadline_event);
+  if (state.deadline_event != 0) queue().cancel(state.deadline_event);
   abandon_speculation(client);
   in_flight_.erase(it);
   if (config_.mode == FlMode::kSync) {
@@ -446,7 +384,7 @@ void Simulation::on_upload_lost(std::size_t client) {
   if (replacement != kNoClient) {
     start_training(replacement);
   } else {
-    ++result_.abandoned_slots;
+    ++result().abandoned_slots;
   }
 }
 
@@ -457,12 +395,12 @@ std::size_t Simulation::pick_replacement(std::size_t exclude,
   // the server draws re-dispatch targets from the checked-in device pool.
   auto busy = [&](std::size_t candidate) {
     if (in_flight_.find(candidate) != in_flight_.end()) return true;
-    for (const auto& u : buffer_)
+    for (const auto& u : core_.buffer())
       if (u.client == candidate) return true;
     return false;
   };
-  const double now = queue_.now();
-  Rng rng(config_.seed, RngPurpose::kDropout, salt, round_, exclude);
+  const double now = transport_.queue().now();
+  Rng rng(config_.seed, RngPurpose::kDropout, salt, core_.round(), exclude);
   for (int attempt = 0; attempt < 16; ++attempt) {
     const std::size_t candidate = rng.uniform_int(task_->num_clients());
     if (!busy(candidate) && churn_.online_at(candidate, now))
@@ -481,10 +419,10 @@ void Simulation::on_crash(std::size_t client) {
   InFlight& state = it->second;
   if (state.crashed) return;
   state.crashed = true;
-  ++result_.client_crashes;
+  ++result().client_crashes;
   if (trace_ != nullptr) {
     obs::TraceEvent e =
-        trace_event(obs::TraceEventKind::kCrash, queue_.now(), round_);
+        trace_event(obs::TraceEventKind::kCrash, queue().now(), round());
     e.client = client;
     e.base_round = state.base_round;
     trace_->record(e);
@@ -492,8 +430,8 @@ void Simulation::on_crash(std::size_t client) {
     // reconstructed; the event is stamped in the future of the emission
     // point, which the journal permits.
     obs::TraceEvent r = trace_event(obs::TraceEventKind::kRecover,
-                                    churn_.next_online(client, queue_.now()),
-                                    round_);
+                                    churn_.next_online(client, queue().now()),
+                                    round());
     r.client = client;
     trace_->record(r);
   }
@@ -506,10 +444,10 @@ void Simulation::on_deadline(std::size_t client) {
   if (done_) return;
   const auto it = in_flight_.find(client);
   if (it == in_flight_.end()) return;  // upload arrived; stale timer
-  ++result_.deadline_expirations;
+  ++result().deadline_expirations;
   if (trace_ != nullptr) {
     obs::TraceEvent e = trace_event(obs::TraceEventKind::kDeadlineExpired,
-                                    queue_.now(), round_);
+                                    queue().now(), round());
     e.client = client;
     e.base_round = it->second.base_round;
     trace_->record(e);
@@ -524,19 +462,19 @@ void Simulation::reassign_slot(std::size_t client, std::uint64_t salt) {
   // A crashed session's transmission event already fired (it *was* the
   // crash); otherwise a retry/arrival may still be pending — kill it so the
   // abandoned client cannot deliver into the buffer later.
-  if (!state.crashed) queue_.cancel(state.upload_event);
+  if (!state.crashed) queue().cancel(state.upload_event);
   abandon_speculation(client);
   in_flight_.erase(it);
 
   const std::size_t replacement = pick_replacement(client, salt);
   if (replacement == kNoClient) {
-    ++result_.abandoned_slots;
+    ++result().abandoned_slots;
     return;
   }
-  ++result_.redispatches;
+  ++result().redispatches;
   if (trace_ != nullptr) {
     obs::TraceEvent e =
-        trace_event(obs::TraceEventKind::kRedispatch, queue_.now(), round_);
+        trace_event(obs::TraceEventKind::kRedispatch, queue().now(), round());
     e.client = replacement;
     trace_->record(e);
   }
@@ -553,7 +491,7 @@ void Simulation::on_notification(std::size_t client) {
   if (state.crashed || state.lost) return;
 
   // The client stops after the epoch in progress at notification time.
-  const double now = queue_.now();
+  const double now = queue().now();
   std::size_t stop_epoch = state.planned_epochs;
   for (std::size_t e = 0; e < state.epoch_ends.size(); ++e) {
     if (state.epoch_ends[e] > now) {
@@ -567,7 +505,7 @@ void Simulation::on_notification(std::size_t client) {
   // (see abandon_speculation); the executor additionally lowers the
   // speculated job's epoch budget — or, if the job already trained past
   // stop_epoch, the harvest serves its checkpointed prefix.
-  ++result_.speculation_cut;
+  ++result().speculation_cut;
   if (executor_ != nullptr) executor_->cut(client, stop_epoch);
 
   const double arrival =
@@ -576,7 +514,7 @@ void Simulation::on_notification(std::size_t client) {
   // The notification may arrive mid-epoch while the scheduled end is still
   // in the future; arrival must not precede the present.
   const double when = std::max(arrival, now);
-  queue_.cancel(state.upload_event);
+  queue().cancel(state.upload_event);
   state.planned_epochs = stop_epoch;
   // Note the early upload can *rescue* a doomed session: if the device
   // crashes after the truncated arrival but before the original one,
@@ -591,179 +529,64 @@ void Simulation::check_stale_clients() {
     if (state.notified) continue;
     if (staleness_of(state.base_round) >= config_.staleness_limit) {
       state.notified = true;
-      ++result_.notifications;
+      ++result().notifications;
       if (trace_ != nullptr) {
         obs::TraceEvent e = trace_event(obs::TraceEventKind::kNotified,
-                                        queue_.now(), round_);
+                                        queue().now(), round());
         e.client = client;
         trace_->record(e);
       }
       const double latency =
-          fleet_->latency_seconds(client, round_, /*leg=*/2);
+          fleet_->latency_seconds(client, round(), /*leg=*/2);
       const std::size_t c = client;
-      queue_.schedule_after(latency, [this, c] { on_notification(c); });
+      queue().schedule_after(latency, [this, c] { on_notification(c); });
     }
   }
 }
 
 void Simulation::arm_round_deadline() {
   if (config_.faults.round_deadline <= 0.0 || done_) return;
-  const std::uint64_t armed = round_;
-  queue_.schedule_after(config_.faults.round_deadline,
-                        [this, armed] { on_round_deadline(armed); });
+  const std::uint64_t armed = round();
+  queue().schedule_after(config_.faults.round_deadline,
+                         [this, armed] { on_round_deadline(armed); });
 }
 
 void Simulation::on_round_deadline(std::uint64_t armed_round) {
-  if (done_ || round_ != armed_round) return;  // round closed in time
+  if (done_ || round() != armed_round) return;  // round closed in time
   // Graceful degradation: from now until this round aggregates, the buffer
   // target drops to min_updates. No re-arming — if even min_updates never
   // arrive, the queue drains and the run ends instead of spinning.
-  round_deadline_passed_ = true;
+  core_.note_round_deadline();
   maybe_aggregate();
 }
 
 void Simulation::maybe_aggregate() {
   if (done_) return;
 
-  const FaultConfig& f = config_.faults;
-  const bool degraded = round_deadline_passed_ && f.round_deadline > 0.0;
+  // The stale-hold check wants the base rounds of the live sessions; their
+  // order is irrelevant (it is an any-of predicate).
+  std::vector<std::uint64_t> in_flight_rounds;
+  in_flight_rounds.reserve(in_flight_.size());
+  for (const auto& [client, state] : in_flight_)
+    in_flight_rounds.push_back(state.base_round);
 
-  if (config_.mode == FlMode::kSync) {
-    const std::size_t required =
-        degraded ? std::min(f.min_updates, sync_cohort_) : sync_cohort_;
-    if (buffer_.size() < std::max<std::size_t>(required, 1)) return;
-    if (buffer_.size() < sync_cohort_) {
-      ++result_.degraded_aggregations;
-      if (trace_ != nullptr) {
-        obs::TraceEvent e = trace_event(
-            obs::TraceEventKind::kDegradedAggregate, queue_.now(), round_);
-        e.updates = buffer_.size();
-        trace_->record(e);
-      }
-    }
-    do_aggregate();
-    return;
-  }
-
-  if (config_.drop_stale && config_.staleness_limit != kNoStalenessLimit) {
-    const auto before = buffer_.size();
-    std::erase_if(buffer_, [&](const LocalUpdate& u) {
-      return staleness_of(u.base_round) > config_.staleness_limit;
-    });
-    result_.dropped_updates += before - buffer_.size();
-  }
-
-  const std::size_t required =
-      degraded ? std::min(f.min_updates, config_.buffer_size)
-               : config_.buffer_size;
-  if (buffer_.size() < std::max<std::size_t>(required, 1)) return;
-
-  // Past the round deadline the server stops holding for stale clients —
-  // degrading the staleness bound beats stalling on a dead device.
-  bool stale_hold = false;
-  if (config_.wait_for_stale &&
-      config_.staleness_limit != kNoStalenessLimit) {
-    for (const auto& [client, state] : in_flight_) {
-      if (staleness_of(state.base_round) >= config_.staleness_limit) {
-        stale_hold = true;
-        break;
-      }
-    }
-  }
-  if (stale_hold && !degraded) {
-    ++result_.stale_waits;
+  const AggregateOutcome outcome =
+      core_.try_aggregate(queue().now(), in_flight_rounds, trace_);
+  if (outcome.stale_hold) {
     check_stale_clients();  // SEAFL^2: tell them to report early
     return;                 // SEAFL: hold aggregation until they arrive
   }
+  if (!outcome.aggregated) return;
 
-  // A degraded aggregation is one the deadline *forced*: the buffer target
-  // was relaxed, or a staleness hold was overridden with a full buffer.
-  if (buffer_.size() < config_.buffer_size || (degraded && stale_hold)) {
-    ++result_.degraded_aggregations;
-    if (trace_ != nullptr) {
-      obs::TraceEvent e = trace_event(obs::TraceEventKind::kDegradedAggregate,
-                                      queue_.now(), round_);
-      e.updates = buffer_.size();
-      trace_->record(e);
-    }
-  }
-  do_aggregate();
-}
-
-void Simulation::do_aggregate() {
-  SEAFL_CHECK(!buffer_.empty(), "aggregate with empty buffer");
-
-  ScreeningReport screening;
-  AggregationContext ctx;
-  ctx.round = round_;
-  ctx.global = &global_;
-  ctx.total_samples = 0;
-  ctx.screening = &screening;
-  RoundStat stat;
-  stat.updates = buffer_.size();
-  stat.time = queue_.now();
-  for (const auto& u : buffer_) {
-    ctx.total_samples += u.num_samples;
-    const auto s = static_cast<double>(staleness_of(u.base_round));
-    staleness_sum_ += s;
-    stat.mean_staleness += s;
-    if (u.epochs_completed < config_.local_epochs) ++stat.partial;
-    ++result_.participation[u.client];
-  }
-  stat.mean_staleness /= static_cast<double>(buffer_.size());
-  result_.total_updates += buffer_.size();
-
-  {
-    SEAFL_PROF_SCOPE("fl.aggregate");
-    strategy_->aggregate(ctx, buffer_, global_);
-  }
   // The new model becomes the base snapshot of every assignment until the
   // next aggregation. Sessions (and speculated jobs) holding the previous
   // snapshot keep it alive through their shared_ptr.
   refresh_global_snapshot();
-  ++result_.aggregations;
-  result_.server_aggregation_work +=
-      static_cast<double>(buffer_.size()) *
-      static_cast<double>(global_.size());
-  // A screening strategy (core/screening.h) reports what it quarantined;
-  // surface it in the journal and the run counters.
-  for (const ScreeningReport::Entry& entry : screening.entries) {
-    if (entry.clipped) ++result_.clipped_updates;
-    if (!entry.rejected) continue;
-    ++result_.screened_updates;
-    if (trace_ != nullptr) {
-      obs::TraceEvent e =
-          trace_event(obs::TraceEventKind::kScreened, queue_.now(), round_);
-      e.client = entry.client;
-      e.value = entry.cosine;
-      trace_->record(e);
-    }
-  }
-
-  // Remember the reporters before clearing: they receive the new model.
-  // Quarantined clients restart too — their *updates* were rejected, but
-  // idling the device would silently shrink concurrency.
-  std::vector<std::size_t> reporters;
-  reporters.reserve(buffer_.size());
-  for (const auto& u : buffer_) reporters.push_back(u.client);
-  buffer_.clear();
-
-  ++round_;
-  round_deadline_passed_ = false;
-  stat.round = round_;
-  result_.round_log.push_back(stat);
-  if (trace_ != nullptr) {
-    obs::TraceEvent e =
-        trace_event(obs::TraceEventKind::kAggregate, queue_.now(), round_);
-    e.updates = stat.updates;
-    e.value = stat.mean_staleness;
-    trace_->record(e);
-  }
   evaluate_and_record();
   if (done_) return;
 
-  if (round_ >= config_.max_rounds ||
-      queue_.now() >= config_.max_virtual_seconds) {
+  if (round() >= config_.max_rounds ||
+      queue().now() >= config_.max_virtual_seconds) {
     done_ = true;
     return;
   }
@@ -771,14 +594,14 @@ void Simulation::do_aggregate() {
 
   if (config_.mode == FlMode::kSync) {
     // Fresh cohort every synchronous round.
-    for (const std::size_t client : select_cohort(sync_cohort_))
+    for (const std::size_t client : select_cohort(config_.concurrency))
       start_training(client);
   } else {
     // Reporters resume training on the fresh model (Algorithm 1: the server
     // sends w_{t+1} to the K newly updated clients). Duplicate-client guard:
     // a client cannot report twice in one buffer because it only restarts
     // after reporting.
-    for (const auto client : reporters) start_training(client);
+    for (const auto client : outcome.reporters) start_training(client);
     // Staleness of the remaining in-flight clients just grew; in SEAFL^2
     // this is where over-limit devices get notified.
     check_stale_clients();
@@ -786,28 +609,28 @@ void Simulation::do_aggregate() {
 }
 
 void Simulation::evaluate_and_record() {
-  if (round_ % config_.eval_every != 0 && !done_) {
+  if (round() % config_.eval_every != 0 && !done_) {
     // Skip: sampling cadence. (Round 0 and stop-time evals always run.)
     return;
   }
-  const EvalResult eval = evaluator_.evaluate(global_);
+  const EvalResult eval = evaluator_.evaluate(core_.global());
   AccuracyPoint point;
-  point.time = queue_.now();
-  point.round = round_;
+  point.time = queue().now();
+  point.round = round();
   point.accuracy = eval.accuracy;
   point.loss = eval.loss;
-  result_.curve.push_back(point);
-  result_.final_accuracy = eval.accuracy;
+  result().curve.push_back(point);
+  result().final_accuracy = eval.accuracy;
   if (trace_ != nullptr) {
     obs::TraceEvent e =
-        trace_event(obs::TraceEventKind::kEval, queue_.now(), round_);
+        trace_event(obs::TraceEventKind::kEval, queue().now(), round());
     e.value = eval.accuracy;
     trace_->record(e);
   }
 
-  if (result_.time_to_target < 0.0 &&
+  if (result().time_to_target < 0.0 &&
       eval.accuracy >= config_.target_accuracy) {
-    result_.time_to_target = queue_.now();
+    result().time_to_target = queue().now();
     if (config_.stop_at_target) done_ = true;
   }
 }

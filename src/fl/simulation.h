@@ -37,7 +37,9 @@
 #include "fl/compression.h"
 #include "fl/evaluator.h"
 #include "fl/executor.h"
+#include "fl/server_core.h"
 #include "fl/strategy.h"
+#include "net/transport.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/fleet.h"
@@ -115,18 +117,24 @@ class Simulation {
   std::uint64_t schedule_transmission(std::size_t client, InFlight& state,
                                       double arrival, std::size_t epochs);
   void maybe_aggregate();
-  void do_aggregate();
   void evaluate_and_record();
   void check_stale_clients();
-  void validate_config() const;
-  /// Re-snapshots `global_` for new assignments (once per aggregation).
+  /// Re-snapshots the global model for new assignments (once per
+  /// aggregation).
   void refresh_global_snapshot();
   /// Counts an after-dispatch abandonment (both execution modes) and, when
   /// eager, detaches the client's speculated job.
   void abandon_speculation(std::size_t client);
   std::uint64_t staleness_of(std::uint64_t base_round) const {
-    return round_ - base_round;
+    return core_.staleness_of(base_round);
   }
+  std::uint64_t round() const { return core_.round(); }
+  /// The event queue under the virtual transport. The simulation addresses
+  /// it directly (run_until, tie-order guarantees) — that affordance is
+  /// exactly what distinguishes it from the deployment server, which only
+  /// sees the Transport surface.
+  EventQueue& queue() { return transport_.queue(); }
+  RunResult& result() { return core_.result(); }
 
   // --- wiring ---------------------------------------------------------------
   const FlTask* task_;
@@ -139,24 +147,22 @@ class Simulation {
   Evaluator evaluator_;
   /// Non-null iff config_.eager_training (DESIGN.md §12).
   std::unique_ptr<TrainingExecutor> executor_;
-  EventQueue queue_;
+  /// Virtual time + event delivery (net/transport.h). The simulation's
+  /// "network" is this transport's timer queue.
+  net::VirtualTransport transport_;
   ChurnModel churn_;  ///< per-run device availability oracle (sim/hazard.h)
   obs::TraceSink* trace_ = nullptr;
 
   // --- run state ------------------------------------------------------------
+  /// Buffer, global model, round counter, aggregation decision — the
+  /// transport-independent half, shared verbatim with fl::DeployServer.
+  ServerCore core_;
   ModelVector initial_weights_;
-  ModelVector global_;
-  /// Copy of `global_` frozen at the last aggregation; what InFlight and
-  /// speculated jobs reference as their base.
+  /// Copy of the global model frozen at the last aggregation; what InFlight
+  /// and speculated jobs reference as their base.
   std::shared_ptr<const ModelVector> global_snapshot_;
-  std::uint64_t round_ = 0;
-  std::vector<LocalUpdate> buffer_;
   std::unordered_map<std::size_t, InFlight> in_flight_;
-  std::size_t sync_cohort_ = 0;  ///< cohort size awaited in sync mode
   bool done_ = false;
-  bool round_deadline_passed_ = false;  ///< degraded aggregation armed
-  RunResult result_;
-  double staleness_sum_ = 0.0;
   std::uint64_t dropout_draws_ = 0;  ///< see start_training's loss draw
 };
 

@@ -1,0 +1,52 @@
+// Time source abstraction (DESIGN.md §13). Every consumer of "now" in the
+// server stack reads a Clock, so the same protocol logic runs under the
+// simulation's virtual time (VirtualClock over an EventQueue) or under real
+// elapsed time (WallClock over std::chrono::steady_clock).
+//
+// Contract: now() is monotonically non-decreasing, in seconds, starting at
+// (or near) 0 when the owning run begins. VirtualClock is deterministic;
+// WallClock is, by nature, not — see DESIGN.md §13 for exactly which outputs
+// stay deterministic under each.
+#pragma once
+
+#include <chrono>
+
+#include "sim/event_queue.h"
+
+namespace seafl::net {
+
+/// Read-only time source, in seconds since the run started.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now() const = 0;
+};
+
+/// Virtual time: forwards to the discrete-event queue that drives the run.
+/// now() advances only when the queue executes an event, so everything
+/// observing this clock is deterministic.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(const EventQueue& queue) : queue_(&queue) {}
+  double now() const override { return queue_->now(); }
+
+ private:
+  const EventQueue* queue_;
+};
+
+/// Wall time: seconds elapsed on the monotonic system clock since this
+/// object was constructed (one WallClock per process/run).
+class WallClock final : public Clock {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+  double now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace seafl::net

@@ -1,0 +1,348 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace seafl::net {
+
+namespace {
+
+/// Keeps a peer's flushed-prefix bookkeeping from pinning a large buffer.
+constexpr std::size_t kTxCompactThreshold = 1u << 20;
+
+int to_poll_ms(double seconds) {
+  if (seconds <= 0.0) return 0;
+  const double ms = std::ceil(seconds * 1000.0);
+  return static_cast<int>(std::min(ms, 60'000.0));
+}
+
+void set_tcp_nodelay(int fd) {
+  int one = 1;
+  // Best effort: latency tuning, not correctness.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+[[noreturn]] void throw_errno(const std::string& what, int err) {
+  throw Error(what + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(int listen_fd, std::uint16_t port,
+                                 SocketOptions options)
+    : options_(options), listen_fd_(listen_fd), port_(port) {
+  SEAFL_CHECK(options_.max_poll_seconds > 0.0,
+              "max_poll_seconds must be positive");
+  SEAFL_CHECK(options_.max_recv_buffer >=
+                  kFrameHeaderBytes + kMaxFramePayload,
+              "max_recv_buffer must admit one maximum-size frame");
+}
+
+std::unique_ptr<SocketTransport> SocketTransport::listen(
+    std::uint16_t port, SocketOptions options) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket()", errno);
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw_errno("bind()", err);
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw_errno("listen()", err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw_errno("getsockname()", err);
+  }
+  return std::unique_ptr<SocketTransport>(
+      new SocketTransport(fd, ntohs(bound.sin_port), options));
+}
+
+std::unique_ptr<SocketTransport> SocketTransport::connect(
+    const std::string& host, std::uint16_t port, double timeout_seconds,
+    SocketOptions options) {
+  SEAFL_CHECK(port != 0, "cannot connect to port 0");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  SEAFL_CHECK(::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) == 1,
+              "host '" << host
+                       << "' is not a numeric IPv4 address or localhost");
+
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket()", errno);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      const int err = errno;
+      ::close(fd);
+      throw_errno("connect to " + host + ":" + std::to_string(port), err);
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, to_poll_ms(timeout_seconds));
+    if (rc <= 0) {
+      ::close(fd);
+      throw Error("connect to " + host + ":" + std::to_string(port) +
+                  " timed out after " + std::to_string(timeout_seconds) +
+                  " s");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    (void)::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      throw_errno("connect to " + host + ":" + std::to_string(port), err);
+    }
+  }
+  set_tcp_nodelay(fd);
+
+  auto transport = std::unique_ptr<SocketTransport>(
+      new SocketTransport(-1, port, options));
+  const PeerId id = ++transport->next_peer_;
+  transport->peers_[id].fd = fd;
+  return transport;
+}
+
+SocketTransport::~SocketTransport() {
+  for (auto& [id, peer] : peers_) ::close(peer.fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::vector<PeerId> SocketTransport::peers() const {
+  std::vector<PeerId> out;
+  out.reserve(peers_.size());
+  for (const auto& [id, peer] : peers_) out.push_back(id);
+  return out;
+}
+
+std::uint64_t SocketTransport::schedule_at(double when, Callback cb) {
+  // A wall timestamp computed before a slow operation may already be in the
+  // past by the time it reaches us; "now" is the closest honest deadline.
+  return timers_.schedule_at(std::max(when, timers_.now()), std::move(cb));
+}
+
+std::uint64_t SocketTransport::schedule_after(double delay, Callback cb) {
+  SEAFL_CHECK(delay >= 0.0, "negative delay " << delay);
+  return schedule_at(clock_.now() + delay, std::move(cb));
+}
+
+bool SocketTransport::run_one() {
+  if (stopped_) return false;
+  timers_.run_until(clock_.now());  // fire due timers (may stop() us)
+  deliver_disconnects();
+  if (stopped_) return false;
+  double timeout = options_.max_poll_seconds;
+  if (const auto next = timers_.next_time())
+    timeout = std::clamp(*next - clock_.now(), 0.0, timeout);
+  poll_io(timeout);
+  deliver_disconnects();
+  return !stopped_;
+}
+
+void SocketTransport::deliver_disconnects() {
+  // A callback may drop further peers (failed sends), growing the queue
+  // while we drain it — hence the index loop over a stable-for-append
+  // vector instead of iterators.
+  for (std::size_t i = 0; i < pending_disconnects_.size(); ++i) {
+    const PeerId id = pending_disconnects_[i];
+    if (handler_ != nullptr) handler_->on_peer_disconnected(id);
+  }
+  pending_disconnects_.clear();
+}
+
+void SocketTransport::poll_io(double timeout_seconds) {
+  std::vector<pollfd> fds;
+  std::vector<PeerId> ids;
+  fds.reserve(peers_.size() + 1);
+  ids.reserve(peers_.size());
+  if (listen_fd_ >= 0) fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  for (const auto& [id, peer] : peers_) {
+    short events = POLLIN;
+    if (peer.tx_off < peer.tx.size()) events |= POLLOUT;
+    fds.push_back(pollfd{peer.fd, events, 0});
+    ids.push_back(id);
+  }
+  // poll() with zero fds is a plain bounded sleep, which is exactly what a
+  // peerless transport should do instead of spinning.
+  const int rc = ::poll(fds.empty() ? nullptr : fds.data(),
+                        static_cast<nfds_t>(fds.size()),
+                        to_poll_ms(timeout_seconds));
+  if (rc <= 0) return;  // timeout or EINTR: nothing ready
+
+  std::size_t base = 0;
+  if (listen_fd_ >= 0) {
+    if ((fds[0].revents & POLLIN) != 0) accept_pending();
+    base = 1;
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const PeerId id = ids[i];
+    const short revents = fds[base + i].revents;
+    if (revents == 0) continue;
+    // A handler callback for an earlier peer may have closed this one.
+    if (peers_.find(id) == peers_.end()) continue;
+    if ((revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      if (!read_peer(id)) continue;
+    }
+    if (peers_.find(id) == peers_.end()) continue;
+    if ((revents & POLLOUT) != 0) (void)write_peer(id);
+  }
+}
+
+void SocketTransport::accept_pending() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or a transient accept error
+    }
+    set_tcp_nodelay(fd);
+    const PeerId id = ++next_peer_;
+    peers_[id].fd = fd;
+    if (handler_ != nullptr) handler_->on_peer_connected(id);
+  }
+}
+
+bool SocketTransport::read_peer(PeerId id) {
+  {
+    Peer& peer = peers_.at(id);
+    char buf[65536];
+    for (;;) {
+      const ssize_t n = ::recv(peer.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        peer.rx.append(buf, static_cast<std::size_t>(n));
+        stats_.bytes_received += static_cast<std::uint64_t>(n);
+        if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+        continue;
+      }
+      if (n == 0) {  // orderly EOF
+        ++stats_.disconnects;
+        drop_peer(id, /*notify=*/true);
+        return false;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      ++stats_.disconnects;
+      drop_peer(id, /*notify=*/true);
+      return false;
+    }
+  }
+
+  // Deliver every complete frame. The handler may send, close peers or
+  // stop the transport, so re-look the peer up each iteration.
+  for (;;) {
+    const auto it = peers_.find(id);
+    if (it == peers_.end()) return false;
+    std::string& rx = it->second.rx;
+    if (rx.empty()) break;
+    const DecodeResult decoded = decode_frame(rx.data(), rx.size());
+    if (decoded.status == DecodeStatus::kNeedMoreData) {
+      if (rx.size() > options_.max_recv_buffer) {
+        ++stats_.protocol_errors;
+        drop_peer(id, /*notify=*/true);
+        return false;
+      }
+      break;
+    }
+    if (is_fatal(decoded.status)) {
+      ++stats_.protocol_errors;
+      drop_peer(id, /*notify=*/true);
+      return false;
+    }
+    rx.erase(0, decoded.consumed);
+    ++stats_.frames_received;
+    if (handler_ != nullptr) handler_->on_message(id, decoded.message);
+  }
+  return peers_.find(id) != peers_.end();
+}
+
+bool SocketTransport::write_peer(PeerId id) {
+  Peer& peer = peers_.at(id);
+  while (peer.tx_off < peer.tx.size()) {
+    const ssize_t n =
+        ::send(peer.fd, peer.tx.data() + peer.tx_off,
+               peer.tx.size() - peer.tx_off, MSG_NOSIGNAL);
+    if (n >= 0) {
+      peer.tx_off += static_cast<std::size_t>(n);
+      stats_.bytes_sent += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    ++stats_.disconnects;
+    drop_peer(id, /*notify=*/true);
+    return false;
+  }
+  if (peer.tx_off == peer.tx.size()) {
+    peer.tx.clear();
+    peer.tx_off = 0;
+  } else if (peer.tx_off >= kTxCompactThreshold) {
+    peer.tx.erase(0, peer.tx_off);
+    peer.tx_off = 0;
+  }
+  return true;
+}
+
+bool SocketTransport::send(PeerId peer, const Message& message) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return false;
+  it->second.tx.append(encode_frame(message));
+  ++stats_.frames_sent;
+  (void)write_peer(peer);  // opportunistic flush; queue drains on POLLOUT
+  return true;
+}
+
+void SocketTransport::close_peer(PeerId peer) {
+  drop_peer(peer, /*notify=*/false);
+}
+
+void SocketTransport::drop_peer(PeerId id, bool notify) {
+  const auto it = peers_.find(id);
+  if (it == peers_.end()) return;
+  ::close(it->second.fd);
+  peers_.erase(it);
+  // Deferred, not fired here: drop_peer runs beneath send()/flush() calls
+  // made by handlers that may be mid-iteration over their own peer maps.
+  // The callback fires at run_one()'s top level instead (peer ids are
+  // never reused, so a late notice cannot alias a new connection).
+  if (notify) pending_disconnects_.push_back(id);
+}
+
+bool SocketTransport::flush(double timeout_seconds) {
+  const double deadline = clock_.now() + timeout_seconds;
+  for (;;) {
+    bool pending = false;
+    for (const auto& [id, peer] : peers_)
+      if (peer.tx_off < peer.tx.size()) pending = true;
+    if (!pending) return true;
+    const double remaining = deadline - clock_.now();
+    if (remaining <= 0.0) return false;
+    poll_io(std::min(remaining, options_.max_poll_seconds));
+  }
+}
+
+}  // namespace seafl::net

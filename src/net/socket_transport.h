@@ -1,0 +1,156 @@
+// Real-socket Transport (DESIGN.md §13): localhost/LAN TCP with a poll(2)
+// event loop, per-peer send queues and wall-clock timers.
+//
+// Threading model: one SocketTransport is driven by exactly one thread (the
+// one calling run_one()/poll_io()); it is not internally synchronized.
+// Cross-process concurrency comes from running one transport per process —
+// or per std::thread in the in-process loopback tests.
+//
+// Robustness contract:
+//  * partial reads/writes are normal: frames are reassembled from the recv
+//    buffer and flushed from the send queue as the socket drains;
+//  * EOF and connection errors surface as on_peer_disconnected, never as
+//    exceptions, once the connection is established. Disconnect callbacks
+//    are deferred to run_one()'s top level — they never fire re-entrantly
+//    beneath a handler's own send()/flush()/poll_io() call, so a handler
+//    may broadcast while iterating its peer bookkeeping;
+//  * a peer sending a malformed frame (wire.h's fatal decode statuses) is
+//    closed and reported disconnected — one bad client cannot take down
+//    the server.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace seafl::net {
+
+/// Tuning knobs for a SocketTransport.
+struct SocketOptions {
+  /// Longest one run_one() call may block in poll() when no timer is due
+  /// sooner. Keeps shutdown/stop latency bounded.
+  double max_poll_seconds = 0.05;
+  /// Per-peer receive-buffer cap; a peer whose buffered-but-unparseable
+  /// input exceeds this is treated as misbehaving and closed. Must admit
+  /// one max-size frame.
+  std::size_t max_recv_buffer = kFrameHeaderBytes + kMaxFramePayload;
+};
+
+/// I/O counters (monotonic over the transport's lifetime).
+struct SocketStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t protocol_errors = 0;  ///< peers closed on malformed input
+  std::uint64_t disconnects = 0;      ///< remote EOF / connection errors
+};
+
+class SocketTransport final : public Transport {
+ public:
+  /// Server: binds and listens on `port` (0 = ephemeral; read the result
+  /// back with port()). Throws seafl::Error on bind/listen failure.
+  static std::unique_ptr<SocketTransport> listen(std::uint16_t port,
+                                                 SocketOptions options = {});
+
+  /// Client: connects to host:port within `timeout_seconds`. The host must
+  /// be a numeric IPv4 address or "localhost". Throws seafl::Error on
+  /// failure or timeout. The server appears as the single peer.
+  static std::unique_ptr<SocketTransport> connect(const std::string& host,
+                                                  std::uint16_t port,
+                                                  double timeout_seconds,
+                                                  SocketOptions options = {});
+
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Installs the event receiver (not owned; may be null to drop events).
+  void set_handler(MessageHandler* handler) { handler_ = handler; }
+
+  /// The locally bound port (listen mode: the answer to port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Currently connected peers, ascending (stable broadcast order).
+  std::vector<PeerId> peers() const;
+  std::size_t peer_count() const { return peers_.size(); }
+  bool connected(PeerId peer) const { return peers_.count(peer) != 0; }
+
+  /// Serializes and enqueues `message` for `peer`, then opportunistically
+  /// flushes. Returns false if the peer is not connected (the message is
+  /// dropped — the caller learns about dead peers via the handler).
+  bool send(PeerId peer, const Message& message);
+
+  /// Locally closes a peer (no on_peer_disconnected callback).
+  void close_peer(PeerId peer);
+
+  /// Blocks until every send queue drained or `timeout_seconds` elapsed.
+  /// Returns true when all queues are empty. Incoming frames received
+  /// meanwhile are delivered normally.
+  bool flush(double timeout_seconds);
+
+  /// Makes run_one() return false from now on. Callable from handlers.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  /// One I/O pass: poll up to `timeout_seconds` (0 = non-blocking), then
+  /// accept/read/write and deliver decoded frames. Exposed separately from
+  /// run_one() so a handler deep in a long computation (a client mid-epoch)
+  /// can pump the socket without re-entering timer dispatch.
+  void poll_io(double timeout_seconds);
+
+  const SocketStats& stats() const { return stats_; }
+
+  // --- Transport -------------------------------------------------------------
+  Clock& clock() override { return clock_; }
+  const Clock& clock() const override { return clock_; }
+  std::uint64_t schedule_at(double when, Callback cb) override;
+  std::uint64_t schedule_after(double delay, Callback cb) override;
+  bool cancel(std::uint64_t id) override { return timers_.cancel(id); }
+  /// Fires due timers, then polls I/O once. Returns false once stopped.
+  bool run_one() override;
+
+ private:
+  struct Peer {
+    int fd = -1;
+    std::string rx;          ///< unparsed inbound bytes
+    std::string tx;          ///< unsent outbound bytes
+    std::size_t tx_off = 0;  ///< sent prefix of tx
+  };
+
+  SocketTransport(int listen_fd, std::uint16_t port, SocketOptions options);
+
+  void accept_pending();
+  /// Reads until EAGAIN; decodes and delivers frames. Returns false when
+  /// the peer was closed (EOF, error, protocol violation).
+  bool read_peer(PeerId id);
+  /// Writes queued bytes until EAGAIN. Returns false when the peer broke.
+  bool write_peer(PeerId id);
+  void drop_peer(PeerId id, bool notify);
+  /// Fires queued on_peer_disconnected callbacks (run_one-level only).
+  void deliver_disconnects();
+
+  SocketOptions options_;
+  WallClock clock_;
+  /// Wall-clock timer store: the same EventQueue the simulation uses, but
+  /// only ever advanced to clock_.now() — ordering and cancellation come
+  /// for free, determinism is not claimed (DESIGN.md §13).
+  EventQueue timers_;
+  MessageHandler* handler_ = nullptr;
+  int listen_fd_ = -1;  ///< -1 in connect mode
+  std::uint16_t port_ = 0;
+  PeerId next_peer_ = 0;
+  std::map<PeerId, Peer> peers_;
+  /// Peers dropped since the last run_one-level dispatch; their
+  /// on_peer_disconnected is owed but must not fire mid-send (re-entrancy).
+  std::vector<PeerId> pending_disconnects_;
+  SocketStats stats_;
+  bool stopped_ = false;
+};
+
+}  // namespace seafl::net

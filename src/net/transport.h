@@ -1,0 +1,105 @@
+// Transport abstraction (DESIGN.md §13): the seam between the server's
+// protocol logic and how time passes / messages move.
+//
+// Both deployment modes implement the same small surface:
+//  * a Clock (net/clock.h) for "now",
+//  * cancellable timers (schedule_at / schedule_after / cancel),
+//  * run_one(), which makes one unit of progress — executing the next
+//    virtual event, or polling sockets and firing due wall-clock timers.
+//
+// VirtualTransport (here) is the simulation's path: timers ARE the message
+// deliveries — a simulated upload is a callback scheduled at its virtual
+// arrival time, so no peer/message surface exists. SocketTransport
+// (net/socket_transport.h) adds the peer surface: real frames on real TCP
+// connections, delivered through a MessageHandler, with timers running on
+// the wall clock between polls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/clock.h"
+#include "sim/event_queue.h"
+
+namespace seafl::net {
+
+/// Identifies one connected peer of a SocketTransport (monotonic, never
+/// reused within a transport's lifetime).
+using PeerId = std::uint64_t;
+
+struct Message;  // net/wire.h
+
+/// Receives socket-transport events. Callbacks run on the thread driving
+/// run_one(); they may send(), close_peer() and schedule timers, but must
+/// not destroy the transport.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  /// A peer completed the TCP accept (server side only).
+  virtual void on_peer_connected(PeerId peer) { (void)peer; }
+  /// One decoded frame arrived from `peer`.
+  virtual void on_message(PeerId peer, const Message& message) = 0;
+  /// The peer's connection ended (EOF, error, or a protocol violation).
+  /// Not invoked for peers closed locally via close_peer().
+  virtual void on_peer_disconnected(PeerId peer) { (void)peer; }
+};
+
+/// Timers + clock + progress, implemented by both deployment modes.
+class Transport {
+ public:
+  using Callback = std::function<void()>;
+
+  virtual ~Transport() = default;
+
+  virtual Clock& clock() = 0;
+  virtual const Clock& clock() const = 0;
+
+  /// Schedules `cb` at absolute time `when` on this transport's clock.
+  /// Returns an id usable with cancel().
+  virtual std::uint64_t schedule_at(double when, Callback cb) = 0;
+
+  /// Schedules `cb` after `delay` seconds on this transport's clock.
+  virtual std::uint64_t schedule_after(double delay, Callback cb) = 0;
+
+  /// Cancels a pending timer; false if it already fired or never existed.
+  virtual bool cancel(std::uint64_t id) = 0;
+
+  /// Makes one unit of progress. Virtual: runs the next event (false when
+  /// the queue is empty). Socket: fires due timers and polls I/O once
+  /// (false once stop() has been requested).
+  virtual bool run_one() = 0;
+};
+
+/// The simulation's transport: a thin, zero-overhead veneer over the
+/// discrete-event queue. Owning it (rather than a bare EventQueue) is what
+/// lets fl::Simulation state its dependency as "a Transport + a Clock" —
+/// the regression gate is that routing through this class is bitwise
+/// identical to the pre-abstraction direct calls, which forwarding
+/// one-liners guarantee.
+class VirtualTransport final : public Transport {
+ public:
+  VirtualTransport() : clock_(queue_) {}
+
+  Clock& clock() override { return clock_; }
+  const Clock& clock() const override { return clock_; }
+
+  std::uint64_t schedule_at(double when, Callback cb) override {
+    return queue_.schedule_at(when, std::move(cb));
+  }
+  std::uint64_t schedule_after(double delay, Callback cb) override {
+    return queue_.schedule_after(delay, std::move(cb));
+  }
+  bool cancel(std::uint64_t id) override { return queue_.cancel(id); }
+  bool run_one() override { return queue_.run_one(); }
+
+  /// The underlying queue, for simulation-only affordances (run_until,
+  /// pending-event introspection in tests).
+  EventQueue& queue() { return queue_; }
+  const EventQueue& queue() const { return queue_; }
+
+ private:
+  EventQueue queue_;
+  VirtualClock clock_;
+};
+
+}  // namespace seafl::net

@@ -1,0 +1,322 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.h"
+#include "nn/serialize.h"
+
+namespace seafl::net {
+
+namespace {
+
+// --- little-endian primitives ----------------------------------------------
+// Written byte-by-byte so the format is identical on any host endianness.
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked sequential reader over a payload. Every read_* reports
+/// failure by flipping `ok`; callers check once at the end, so a truncated
+/// payload falls through harmlessly instead of branching at every field.
+struct Cursor {
+  const unsigned char* p;
+  std::size_t remaining;
+  bool ok = true;
+
+  bool take(std::size_t n) {
+    if (!ok || remaining < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::uint16_t read_u16() {
+    if (!take(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(p[0]) |
+                      static_cast<std::uint16_t>(p[1]) << 8;
+    p += 2;
+    remaining -= 2;
+    return v;
+  }
+
+  std::uint32_t read_u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+    p += 4;
+    remaining -= 4;
+    return v;
+  }
+
+  std::uint64_t read_u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    p += 8;
+    remaining -= 8;
+    return v;
+  }
+
+  double read_f64() { return std::bit_cast<double>(read_u64()); }
+
+  /// Reads an embedded SEAFLMDL container (nn/serialize).
+  std::vector<float> read_model() {
+    if (!ok) return {};
+    try {
+      std::size_t consumed = 0;
+      std::vector<float> weights = decode_model_vector(p, remaining, &consumed);
+      p += consumed;
+      remaining -= consumed;
+      return weights;
+    } catch (const Error&) {
+      ok = false;
+      return {};
+    }
+  }
+};
+
+// --- per-type payload codecs ------------------------------------------------
+
+void encode_body(std::string& out, const HelloMsg& m) {
+  put_u64(out, m.client);
+  put_u64(out, m.model_params);
+  put_u64(out, m.seed);
+}
+
+bool decode_body(Cursor& c, HelloMsg& m) {
+  m.client = c.read_u64();
+  m.model_params = c.read_u64();
+  m.seed = c.read_u64();
+  return c.ok;
+}
+
+void encode_body(std::string& out, const WelcomeMsg& m) {
+  put_u64(out, m.client);
+  put_u64(out, m.round);
+  put_u64(out, m.clients_expected);
+}
+
+bool decode_body(Cursor& c, WelcomeMsg& m) {
+  m.client = c.read_u64();
+  m.round = c.read_u64();
+  m.clients_expected = c.read_u64();
+  return c.ok;
+}
+
+void encode_body(std::string& out, const DispatchMsg& m) {
+  put_u64(out, m.session);
+  put_u64(out, m.base_round);
+  put_u32(out, m.epochs);
+  put_u32(out, m.frozen_layers);
+  append_model_vector(out, m.weights);
+}
+
+bool decode_body(Cursor& c, DispatchMsg& m) {
+  m.session = c.read_u64();
+  m.base_round = c.read_u64();
+  m.epochs = c.read_u32();
+  m.frozen_layers = c.read_u32();
+  m.weights = c.read_model();
+  return c.ok;
+}
+
+void encode_body(std::string& out, const NotifyMsg& m) {
+  put_u64(out, m.session);
+}
+
+bool decode_body(Cursor& c, NotifyMsg& m) {
+  m.session = c.read_u64();
+  return c.ok;
+}
+
+void encode_body(std::string& out, const CancelMsg& m) {
+  put_u64(out, m.session);
+}
+
+bool decode_body(Cursor& c, CancelMsg& m) {
+  m.session = c.read_u64();
+  return c.ok;
+}
+
+void encode_body(std::string& out, const UploadMsg& m) {
+  put_u64(out, m.session);
+  put_u64(out, m.client);
+  put_u64(out, m.base_round);
+  put_u64(out, m.num_samples);
+  put_u32(out, m.epochs_completed);
+  put_u32(out, m.attempt);
+  put_f64(out, m.train_loss);
+  append_model_vector(out, m.weights);
+}
+
+bool decode_body(Cursor& c, UploadMsg& m) {
+  m.session = c.read_u64();
+  m.client = c.read_u64();
+  m.base_round = c.read_u64();
+  m.num_samples = c.read_u64();
+  m.epochs_completed = c.read_u32();
+  m.attempt = c.read_u32();
+  m.train_loss = c.read_f64();
+  m.weights = c.read_model();
+  return c.ok;
+}
+
+void encode_body(std::string& out, const EvalMsg& m) {
+  put_u64(out, m.round);
+  put_f64(out, m.accuracy);
+  put_f64(out, m.loss);
+}
+
+bool decode_body(Cursor& c, EvalMsg& m) {
+  m.round = c.read_u64();
+  m.accuracy = c.read_f64();
+  m.loss = c.read_f64();
+  return c.ok;
+}
+
+void encode_body(std::string& out, const ShutdownMsg& m) {
+  put_u64(out, m.rounds);
+  put_f64(out, m.final_accuracy);
+}
+
+bool decode_body(Cursor& c, ShutdownMsg& m) {
+  m.rounds = c.read_u64();
+  m.final_accuracy = c.read_f64();
+  return c.ok;
+}
+
+template <typename T>
+bool decode_as(Cursor& c, Message& out) {
+  T body;
+  if (!decode_body(c, body)) return false;
+  // A payload with trailing bytes is malformed too: the sender and receiver
+  // disagree about the message layout, which must not pass silently.
+  if (c.remaining != 0) return false;
+  out.body = std::move(body);
+  return true;
+}
+
+}  // namespace
+
+MsgType Message::type() const {
+  // Indexed by MessageBody's alternative order, which mirrors MsgType.
+  static constexpr MsgType kByIndex[] = {
+      MsgType::kHello,  MsgType::kWelcome, MsgType::kDispatch,
+      MsgType::kNotify, MsgType::kCancel,  MsgType::kUpload,
+      MsgType::kEval,   MsgType::kShutdown};
+  static_assert(sizeof(kByIndex) / sizeof(kByIndex[0]) ==
+                std::variant_size_v<MessageBody>);
+  return kByIndex[body.index()];
+}
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kWelcome: return "welcome";
+    case MsgType::kDispatch: return "dispatch";
+    case MsgType::kNotify: return "notify";
+    case MsgType::kCancel: return "cancel";
+    case MsgType::kUpload: return "upload";
+    case MsgType::kEval: return "eval";
+    case MsgType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+bool is_fatal(DecodeStatus status) {
+  return status != DecodeStatus::kOk && status != DecodeStatus::kNeedMoreData;
+}
+
+std::string encode_frame(const Message& message) {
+  std::string payload;
+  std::visit([&payload](const auto& body) { encode_body(payload, body); },
+             message.body);
+  SEAFL_CHECK(payload.size() <= kMaxFramePayload,
+              "frame payload " << payload.size() << " exceeds the "
+                               << kMaxFramePayload << "-byte wire limit");
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(frame, kWireMagic);
+  put_u16(frame, kWireVersion);
+  put_u16(frame, static_cast<std::uint16_t>(message.type()));
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
+DecodeResult decode_frame(const void* data, std::size_t size) {
+  DecodeResult result;
+  if (size < kFrameHeaderBytes) return result;  // kNeedMoreData
+
+  Cursor header{static_cast<const unsigned char*>(data), size};
+  const std::uint32_t magic = header.read_u32();
+  const std::uint16_t version = header.read_u16();
+  const std::uint16_t type = header.read_u16();
+  const std::uint32_t payload_len = header.read_u32();
+
+  if (magic != kWireMagic) {
+    result.status = DecodeStatus::kBadMagic;
+    return result;
+  }
+  if (version != kWireVersion) {
+    result.status = DecodeStatus::kBadVersion;
+    return result;
+  }
+  if (type < static_cast<std::uint16_t>(MsgType::kHello) ||
+      type > static_cast<std::uint16_t>(MsgType::kShutdown)) {
+    result.status = DecodeStatus::kBadType;
+    return result;
+  }
+  if (payload_len > kMaxFramePayload) {
+    result.status = DecodeStatus::kOversized;
+    return result;
+  }
+  if (size - kFrameHeaderBytes < payload_len) return result;  // kNeedMoreData
+
+  Cursor c{static_cast<const unsigned char*>(data) + kFrameHeaderBytes,
+           payload_len};
+  bool ok = false;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kHello: ok = decode_as<HelloMsg>(c, result.message); break;
+    case MsgType::kWelcome:
+      ok = decode_as<WelcomeMsg>(c, result.message);
+      break;
+    case MsgType::kDispatch:
+      ok = decode_as<DispatchMsg>(c, result.message);
+      break;
+    case MsgType::kNotify: ok = decode_as<NotifyMsg>(c, result.message); break;
+    case MsgType::kCancel: ok = decode_as<CancelMsg>(c, result.message); break;
+    case MsgType::kUpload: ok = decode_as<UploadMsg>(c, result.message); break;
+    case MsgType::kEval: ok = decode_as<EvalMsg>(c, result.message); break;
+    case MsgType::kShutdown:
+      ok = decode_as<ShutdownMsg>(c, result.message);
+      break;
+  }
+  if (!ok) {
+    result.status = DecodeStatus::kMalformed;
+    return result;
+  }
+  result.status = DecodeStatus::kOk;
+  result.consumed = kFrameHeaderBytes + payload_len;
+  return result;
+}
+
+}  // namespace seafl::net

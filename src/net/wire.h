@@ -1,0 +1,146 @@
+// Length-prefixed binary wire protocol for the SEAFL deployment mode
+// (DESIGN.md §13). Every frame is
+//
+//   [u32 magic "WLFS"][u16 version][u16 type][u32 payload_len][payload]
+//
+// with all integers little-endian. Frames carry the federated protocol's
+// message types: registration (hello/welcome), model dispatch, the upload
+// (a retry is an upload re-sent with attempt > 1), SEAFL^2's early-upload
+// notification, session cancellation, evaluation broadcasts and shutdown.
+// Model payloads are embedded as SEAFLMDL containers (nn/serialize), so a
+// dispatch's weights field is byte-identical to a saved model file.
+//
+// Decoding is defensive by design: a malformed header (bad magic, unknown
+// version or type, oversized length) or a payload that does not parse is a
+// *status*, never a crash — the transport closes the offending peer and the
+// process keeps serving everyone else.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace seafl::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x53464C57u;  // "WLFS" on the wire
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Frame header size in bytes (magic + version + type + payload length).
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+/// Upper bound on one frame's payload (a vgg_lite model is ~1 MB; this
+/// leaves two orders of magnitude of headroom while rejecting absurd
+/// lengths before any allocation happens).
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 28;
+
+enum class MsgType : std::uint16_t {
+  kHello = 1,     ///< client -> server: register (id, model size, seed echo)
+  kWelcome = 2,   ///< server -> client: registration accepted
+  kDispatch = 3,  ///< server -> client: train these weights
+  kNotify = 4,    ///< server -> client: upload after your current epoch
+  kCancel = 5,    ///< server -> client: session expired, discard it
+  kUpload = 6,    ///< client -> server: trained update (attempt > 1 = retry)
+  kEval = 7,      ///< server -> client: round closed, accuracy broadcast
+  kShutdown = 8,  ///< server -> client: run complete, disconnect
+};
+
+struct HelloMsg {
+  std::uint64_t client = 0;        ///< client id in [0, num_clients)
+  std::uint64_t model_params = 0;  ///< flat model size (config echo check)
+  std::uint64_t seed = 0;          ///< run seed (config echo check)
+};
+
+struct WelcomeMsg {
+  std::uint64_t client = 0;
+  std::uint64_t round = 0;            ///< server round at registration
+  std::uint64_t clients_expected = 0; ///< registrations the run waits for
+};
+
+struct DispatchMsg {
+  std::uint64_t session = 0;     ///< server-unique session id
+  std::uint64_t base_round = 0;  ///< t_k of the dispatched weights
+  std::uint32_t epochs = 0;      ///< planned local epochs
+  std::uint32_t frozen_layers = 0;
+  std::vector<float> weights;
+};
+
+struct NotifyMsg {
+  std::uint64_t session = 0;
+};
+
+struct CancelMsg {
+  std::uint64_t session = 0;
+};
+
+struct UploadMsg {
+  std::uint64_t session = 0;
+  std::uint64_t client = 0;
+  std::uint64_t base_round = 0;
+  std::uint64_t num_samples = 0;
+  std::uint32_t epochs_completed = 0;
+  std::uint32_t attempt = 1;  ///< 1 = first transmission, >1 = retry
+  double train_loss = 0.0;
+  std::vector<float> weights;
+};
+
+struct EvalMsg {
+  std::uint64_t round = 0;
+  double accuracy = 0.0;
+  double loss = 0.0;
+};
+
+struct ShutdownMsg {
+  std::uint64_t rounds = 0;
+  double final_accuracy = 0.0;
+};
+
+using MessageBody = std::variant<HelloMsg, WelcomeMsg, DispatchMsg, NotifyMsg,
+                                 CancelMsg, UploadMsg, EvalMsg, ShutdownMsg>;
+
+/// One protocol message; the wire type tag is derived from the body's
+/// variant alternative.
+struct Message {
+  MessageBody body;
+
+  MsgType type() const;
+
+  template <typename T>
+  const T& as() const {
+    return std::get<T>(body);
+  }
+  template <typename T>
+  bool is() const {
+    return std::holds_alternative<T>(body);
+  }
+};
+
+/// Stable lowercase name ("hello", "dispatch", ...) for logs and tests.
+const char* msg_type_name(MsgType type);
+
+/// Serializes `message` into one complete frame.
+std::string encode_frame(const Message& message);
+
+enum class DecodeStatus {
+  kOk,            ///< one frame decoded; `consumed` bytes were used
+  kNeedMoreData,  ///< the buffer holds a frame prefix; read more and retry
+  kBadMagic,      ///< not a SEAFL frame — close the connection
+  kBadVersion,    ///< protocol version mismatch — close the connection
+  kBadType,       ///< unknown message type — close the connection
+  kOversized,     ///< header claims a payload above kMaxFramePayload
+  kMalformed,     ///< sized payload present but does not parse
+};
+
+/// True for the statuses after which a connection cannot continue (any
+/// status except kOk / kNeedMoreData).
+bool is_fatal(DecodeStatus status);
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMoreData;
+  std::size_t consumed = 0;  ///< bytes to drop from the buffer (kOk only)
+  Message message;           ///< valid when status == kOk
+};
+
+/// Attempts to decode one frame from the front of `data`. Never throws and
+/// never reads past `size`, whatever the bytes contain.
+DecodeResult decode_frame(const void* data, std::size_t size);
+
+}  // namespace seafl::net

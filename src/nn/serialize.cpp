@@ -11,42 +11,66 @@ namespace seafl {
 namespace {
 constexpr char kMagic[8] = {'S', 'E', 'A', 'F', 'L', 'M', 'D', 'L'};
 constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes =
+    sizeof(kMagic) + sizeof(std::uint32_t) + sizeof(std::uint64_t);
 }  // namespace
+
+void append_model_vector(std::string& out, const std::vector<float>& weights) {
+  out.append(kMagic, sizeof(kMagic));
+  out.append(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const std::uint64_t count = weights.size();
+  out.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.append(reinterpret_cast<const char*>(weights.data()),
+             count * sizeof(float));
+}
+
+std::vector<float> decode_model_vector(const void* data, std::size_t size,
+                                       std::size_t* consumed) {
+  const char* p = static_cast<const char*>(data);
+  SEAFL_CHECK(size >= kHeaderBytes, "truncated model container ("
+                                        << size << " bytes, header needs "
+                                        << kHeaderBytes << ")");
+  SEAFL_CHECK(std::memcmp(p, kMagic, sizeof(kMagic)) == 0,
+              "bad model container magic");
+  std::uint32_t version = 0;
+  std::memcpy(&version, p + sizeof(kMagic), sizeof(version));
+  SEAFL_CHECK(version == kVersion,
+              "unsupported model container version " << version);
+  std::uint64_t count = 0;
+  std::memcpy(&count, p + sizeof(kMagic) + sizeof(version), sizeof(count));
+  const std::size_t payload = static_cast<std::size_t>(count) * sizeof(float);
+  SEAFL_CHECK(count <= (size - kHeaderBytes) / sizeof(float),
+              "truncated model payload: header claims "
+                  << count << " floats, " << (size - kHeaderBytes)
+                  << " bytes follow");
+  std::vector<float> weights(static_cast<std::size_t>(count));
+  std::memcpy(weights.data(), p + kHeaderBytes, payload);
+  if (consumed != nullptr) *consumed = kHeaderBytes + payload;
+  return weights;
+}
 
 void save_model_vector(const std::vector<float>& weights,
                        const std::string& path) {
+  std::string blob;
+  blob.reserve(kHeaderBytes + weights.size() * sizeof(float));
+  append_model_vector(blob, weights);
   std::ofstream out(path, std::ios::binary);
   SEAFL_CHECK(out.good(), "cannot open '" << path << "' for writing");
-  out.write(kMagic, sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
-  const std::uint64_t count = weights.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  out.write(reinterpret_cast<const char*>(weights.data()),
-            static_cast<std::streamsize>(count * sizeof(float)));
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
   SEAFL_CHECK(out.good(), "write to '" << path << "' failed");
 }
 
 std::vector<float> load_model_vector(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   SEAFL_CHECK(in.good(), "cannot open '" << path << "' for reading");
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  SEAFL_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-              "'" << path << "' is not a SEAFL model file");
-  std::uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  SEAFL_CHECK(in.good() && version == kVersion,
-              "unsupported model file version " << version);
-  std::uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  SEAFL_CHECK(in.good(), "truncated model file '" << path << "'");
-  std::vector<float> weights(count);
-  in.read(reinterpret_cast<char*>(weights.data()),
-          static_cast<std::streamsize>(count * sizeof(float)));
-  SEAFL_CHECK(in.good() || in.gcount() ==
-                  static_cast<std::streamsize>(count * sizeof(float)),
-              "truncated payload in '" << path << "'");
-  return weights;
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  SEAFL_CHECK(!in.bad(), "read from '" << path << "' failed");
+  try {
+    return decode_model_vector(blob.data(), blob.size());
+  } catch (const Error& e) {
+    throw Error("'" + path + "': " + e.what());
+  }
 }
 
 }  // namespace seafl

@@ -19,4 +19,17 @@ void save_model_vector(const std::vector<float>& weights,
 /// file, bad magic, version mismatch or truncated payload.
 std::vector<float> load_model_vector(const std::string& path);
 
+/// Appends the SEAFLMDL container (magic, version, count, float payload) to
+/// `out` — byte-for-byte what save_model_vector writes to disk. The wire
+/// protocol (net/wire) embeds model payloads in this form, so a captured
+/// frame's weights can be dumped to a file and loaded back directly.
+void append_model_vector(std::string& out, const std::vector<float>& weights);
+
+/// Parses one SEAFLMDL container from the front of `data`. On success
+/// `*consumed` (when non-null) receives the container's byte length. Throws
+/// seafl::Error on bad magic, version mismatch or truncation; never reads
+/// past `size`.
+std::vector<float> decode_model_vector(const void* data, std::size_t size,
+                                       std::size_t* consumed = nullptr);
+
 }  // namespace seafl

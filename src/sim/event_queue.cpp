@@ -56,6 +56,18 @@ void EventQueue::maybe_compact() {
   std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
 }
 
+std::optional<double> EventQueue::next_time() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.front();
+    if (callbacks_.find(top.seq) == callbacks_.end()) {
+      pop_top();  // cancelled; discard lazily like run_until does
+      continue;
+    }
+    return top.time;
+  }
+  return std::nullopt;
+}
+
 bool EventQueue::run_one() {
   while (!heap_.empty()) {
     const Entry top = heap_.front();

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -51,6 +52,11 @@ class EventQueue {
 
   std::size_t pending() const { return callbacks_.size(); }
   bool empty() const { return pending() == 0; }
+
+  /// Time of the earliest pending event, or nullopt when the queue is empty.
+  /// Prunes lazily-cancelled heap heads as a side effect. Wall-clock drivers
+  /// (net::SocketTransport) use this to bound their poll timeout.
+  std::optional<double> next_time();
 
   /// Heap entries currently held, dead (lazily-cancelled) ones included.
   /// Bounded: compaction keeps this <= max(2 * pending(), a small floor).

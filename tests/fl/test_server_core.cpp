@@ -1,0 +1,272 @@
+// ServerCore unit contract (DESIGN.md §13): the transport-independent
+// aggregation brain shared by the virtual Simulation and the socket
+// DeployServer — buffer targets, stale-hold, degraded rounds, sync mode,
+// reporters, and the config/initial-weights helpers both drivers call.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+#include "fl/server_core.h"
+#include "nn/model_zoo.h"
+#include "obs/trace.h"
+
+namespace seafl {
+namespace {
+
+/// Replaces the global model with the buffer's plain mean — enough to
+/// observe that aggregation ran and what it consumed.
+class MeanStub final : public AggregationStrategy {
+ public:
+  void aggregate(const AggregationContext& /*ctx*/,
+                 std::span<const LocalUpdate> buffer,
+                 ModelVector& global_out) override {
+    ++calls;
+    last_buffer_size = buffer.size();
+    for (std::size_t j = 0; j < global_out.size(); ++j) {
+      float sum = 0.0f;
+      for (const LocalUpdate& u : buffer) sum += u.weights[j];
+      global_out[j] = sum / static_cast<float>(buffer.size());
+    }
+  }
+  std::string name() const override { return "mean-stub"; }
+
+  int calls = 0;
+  std::size_t last_buffer_size = 0;
+};
+
+LocalUpdate update_from(std::size_t client, std::uint64_t base_round,
+                        float value, std::size_t model_size) {
+  LocalUpdate u;
+  u.client = client;
+  u.base_round = base_round;
+  u.weights.assign(model_size, value);
+  u.num_samples = 10;
+  u.epochs_completed = 1;
+  return u;
+}
+
+RunConfig semi_async_config() {
+  RunConfig c;
+  c.mode = FlMode::kSemiAsync;
+  c.buffer_size = 2;
+  c.concurrency = 4;
+  c.local_epochs = 1;
+  c.stop_at_target = false;
+  return c;
+}
+
+TEST(ServerCore, BuffersUntilTargetThenAggregates) {
+  const RunConfig config = semi_async_config();
+  MeanStub strategy;
+  ServerCore core(&strategy, config);
+  core.begin(ModelVector{0.0f, 0.0f}, /*num_clients=*/4);
+
+  core.add_update(update_from(0, 0, 2.0f, 2));
+  AggregateOutcome out = core.try_aggregate(1.0, {}, nullptr);
+  EXPECT_FALSE(out.aggregated);
+  EXPECT_FALSE(out.stale_hold);
+  EXPECT_EQ(strategy.calls, 0);
+  EXPECT_EQ(core.round(), 0u);
+
+  core.add_update(update_from(1, 0, 4.0f, 2));
+  out = core.try_aggregate(2.0, {}, nullptr);
+  EXPECT_TRUE(out.aggregated);
+  EXPECT_EQ(strategy.calls, 1);
+  EXPECT_EQ(strategy.last_buffer_size, 2u);
+  EXPECT_EQ(core.round(), 1u);
+  EXPECT_TRUE(core.buffer().empty());
+  EXPECT_FLOAT_EQ(core.global()[0], 3.0f);  // mean of 2 and 4
+  ASSERT_EQ(out.reporters.size(), 2u);      // arrival order
+  EXPECT_EQ(out.reporters[0], 0u);
+  EXPECT_EQ(out.reporters[1], 1u);
+
+  const RunResult& res = core.result();
+  EXPECT_EQ(res.aggregations, 1u);
+  EXPECT_EQ(res.total_updates, 2u);
+  EXPECT_EQ(res.participation[0], 1u);
+  EXPECT_EQ(res.participation[1], 1u);
+  ASSERT_EQ(res.round_log.size(), 1u);
+  EXPECT_EQ(res.round_log[0].updates, 2u);
+}
+
+TEST(ServerCore, StaleHoldWhenInFlightSessionAtLimit) {
+  RunConfig config = semi_async_config();
+  config.wait_for_stale = true;
+  config.staleness_limit = 2;
+  MeanStub strategy;
+  ServerCore core(&strategy, config);
+  core.begin(ModelVector{0.0f}, 4);
+
+  // Advance to round 2 so an in-flight base_round 0 has staleness 2.
+  for (std::uint64_t r = 0; r < 2; ++r) {
+    core.add_update(update_from(0, r, 1.0f, 1));
+    core.add_update(update_from(1, r, 1.0f, 1));
+    ASSERT_TRUE(core.try_aggregate(1.0, {}, nullptr).aggregated);
+  }
+  ASSERT_EQ(core.round(), 2u);
+
+  core.add_update(update_from(2, 2, 1.0f, 1));
+  core.add_update(update_from(3, 2, 1.0f, 1));
+  // A session dispatched at round 0 is exactly at the limit: hold.
+  AggregateOutcome out = core.try_aggregate(3.0, {0}, nullptr);
+  EXPECT_FALSE(out.aggregated);
+  EXPECT_TRUE(out.stale_hold);
+  EXPECT_EQ(core.result().stale_waits, 1u);
+  EXPECT_EQ(core.buffer().size(), 2u);  // buffer intact while holding
+
+  // Fresh in-flight sessions release the hold.
+  out = core.try_aggregate(4.0, {2, 2}, nullptr);
+  EXPECT_TRUE(out.aggregated);
+  EXPECT_FALSE(out.stale_hold);
+}
+
+TEST(ServerCore, DropStaleDiscardsOverLimitUpdates) {
+  RunConfig config = semi_async_config();
+  config.drop_stale = true;
+  config.staleness_limit = 1;
+  MeanStub strategy;
+  ServerCore core(&strategy, config);
+  core.begin(ModelVector{0.0f}, 4);
+
+  for (std::uint64_t r = 0; r < 2; ++r) {
+    core.add_update(update_from(0, r, 1.0f, 1));
+    core.add_update(update_from(1, r, 1.0f, 1));
+    ASSERT_TRUE(core.try_aggregate(1.0, {}, nullptr).aggregated);
+  }
+  ASSERT_EQ(core.round(), 2u);
+
+  core.add_update(update_from(2, 0, 1.0f, 1));  // staleness 2 > limit 1
+  core.add_update(update_from(3, 2, 1.0f, 1));  // fresh
+  const AggregateOutcome out = core.try_aggregate(3.0, {}, nullptr);
+  EXPECT_FALSE(out.aggregated);  // dropping left one update, below K=2
+  EXPECT_EQ(core.result().dropped_updates, 1u);
+  ASSERT_EQ(core.buffer().size(), 1u);
+  EXPECT_EQ(core.buffer()[0].client, 3u);
+}
+
+TEST(ServerCore, RoundDeadlineDegradesBufferTarget) {
+  RunConfig config = semi_async_config();
+  config.faults.round_deadline = 5.0;
+  config.faults.min_updates = 1;
+  MeanStub strategy;
+  ServerCore core(&strategy, config);
+  obs::TraceJournal journal;
+  core.begin(ModelVector{0.0f}, 4);
+
+  core.add_update(update_from(0, 0, 2.0f, 1));
+  EXPECT_FALSE(core.try_aggregate(1.0, {}, &journal).aggregated);
+
+  core.note_round_deadline();
+  const AggregateOutcome out = core.try_aggregate(6.0, {}, &journal);
+  EXPECT_TRUE(out.aggregated);
+  EXPECT_EQ(strategy.last_buffer_size, 1u);
+  EXPECT_EQ(core.result().degraded_aggregations, 1u);
+  const auto degraded =
+      std::count_if(journal.events().begin(), journal.events().end(),
+                    [](const obs::TraceEvent& e) {
+                      return e.kind == obs::TraceEventKind::kDegradedAggregate;
+                    });
+  EXPECT_EQ(degraded, 1);
+
+  // The deadline flag resets with the aggregation: the next round is back
+  // to the full target.
+  core.add_update(update_from(1, 1, 1.0f, 1));
+  EXPECT_FALSE(core.try_aggregate(7.0, {}, &journal).aggregated);
+}
+
+TEST(ServerCore, SyncModeWaitsForFullCohort) {
+  RunConfig config;
+  config.mode = FlMode::kSync;
+  config.concurrency = 3;
+  config.buffer_size = 1;  // ignored in sync mode
+  config.local_epochs = 1;
+  MeanStub strategy;
+  ServerCore core(&strategy, config);
+  core.begin(ModelVector{0.0f}, 4);
+
+  core.add_update(update_from(0, 0, 1.0f, 1));
+  core.add_update(update_from(1, 0, 1.0f, 1));
+  EXPECT_FALSE(core.try_aggregate(1.0, {}, nullptr).aggregated);
+  core.add_update(update_from(2, 0, 1.0f, 1));
+  const AggregateOutcome out = core.try_aggregate(2.0, {}, nullptr);
+  EXPECT_TRUE(out.aggregated);
+  EXPECT_EQ(strategy.last_buffer_size, 3u);
+  EXPECT_EQ(out.reporters.size(), 3u);
+}
+
+TEST(ServerCore, BeginResetsAllRunState) {
+  const RunConfig config = semi_async_config();
+  MeanStub strategy;
+  ServerCore core(&strategy, config);
+  core.begin(ModelVector{0.0f}, 4);
+  core.add_update(update_from(0, 0, 2.0f, 1));
+  core.add_update(update_from(1, 0, 4.0f, 1));
+  ASSERT_TRUE(core.try_aggregate(1.0, {}, nullptr).aggregated);
+  ASSERT_EQ(core.round(), 1u);
+
+  core.begin(ModelVector{9.0f}, 2);
+  EXPECT_EQ(core.round(), 0u);
+  EXPECT_TRUE(core.buffer().empty());
+  EXPECT_FLOAT_EQ(core.global()[0], 9.0f);
+  EXPECT_DOUBLE_EQ(core.staleness_sum(), 0.0);
+  EXPECT_EQ(core.result().aggregations, 0u);
+  EXPECT_EQ(core.result().participation.size(), 2u);
+}
+
+TEST(ServerCore, ValidateRunConfigRejectsBadParameters) {
+  const std::size_t n = 10;
+  {
+    RunConfig c = semi_async_config();
+    c.concurrency = 0;
+    EXPECT_THROW(validate_run_config(c, n), Error);
+  }
+  {
+    RunConfig c = semi_async_config();
+    c.concurrency = n + 1;
+    EXPECT_THROW(validate_run_config(c, n), Error);
+  }
+  {
+    RunConfig c = semi_async_config();
+    c.buffer_size = 0;
+    EXPECT_THROW(validate_run_config(c, n), Error);
+  }
+  {
+    RunConfig c = semi_async_config();
+    c.buffer_size = c.concurrency + 1;  // K > M in semi-async
+    EXPECT_THROW(validate_run_config(c, n), Error);
+  }
+  {
+    RunConfig c = semi_async_config();
+    c.wait_for_stale = true;
+    c.drop_stale = true;
+    EXPECT_THROW(validate_run_config(c, n), Error);
+  }
+  {
+    RunConfig c = semi_async_config();
+    c.faults.deadline_factor = 0.5;  // must be 0 or >= 1
+    EXPECT_THROW(validate_run_config(c, n), Error);
+  }
+  {
+    RunConfig c = semi_async_config();
+    c.faults.round_deadline = 1.0;
+    c.faults.min_updates = c.buffer_size + 1;
+    EXPECT_THROW(validate_run_config(c, n), Error);
+  }
+  EXPECT_NO_THROW(validate_run_config(semi_async_config(), n));
+}
+
+TEST(ServerCore, InitialGlobalWeightsAreSeedDeterministic) {
+  InputSpec input;
+  input.width = 16;
+  const ModelFactory factory = make_model(ModelKind::kMlp, input, 4);
+  const ModelVector a = initial_global_weights(factory, 42);
+  const ModelVector b = initial_global_weights(factory, 42);
+  const ModelVector c = initial_global_weights(factory, 43);
+  EXPECT_EQ(a, b);       // same seed: bitwise identical
+  EXPECT_NE(a, c);       // different seed: different init
+  EXPECT_FALSE(a.empty());
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,65 @@
+// Clock contract (DESIGN.md §13): VirtualClock mirrors the event queue's
+// deterministic time; WallClock measures real elapsed time from its
+// construction; VirtualTransport forwards to its queue bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "net/transport.h"
+
+namespace seafl::net {
+namespace {
+
+TEST(NetClock, VirtualClockTracksQueueTime) {
+  EventQueue queue;
+  VirtualClock clock(queue);
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+
+  queue.schedule_at(2.5, [] {});
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);  // scheduling does not advance time
+  ASSERT_TRUE(queue.run_one());
+  EXPECT_DOUBLE_EQ(clock.now(), 2.5);
+}
+
+TEST(NetClock, WallClockStartsNearZeroAndAdvances) {
+  WallClock clock;
+  const double start = clock.now();
+  EXPECT_GE(start, 0.0);
+  EXPECT_LT(start, 1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double later = clock.now();
+  EXPECT_GE(later, start + 0.015);
+}
+
+TEST(NetClock, WallClockIsMonotonic) {
+  WallClock clock;
+  double prev = clock.now();
+  for (int i = 0; i < 1000; ++i) {
+    const double cur = clock.now();
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(NetClock, VirtualTransportForwardsToQueue) {
+  VirtualTransport transport;
+  EXPECT_DOUBLE_EQ(transport.clock().now(), 0.0);
+
+  int fired = 0;
+  transport.schedule_at(1.0, [&] { ++fired; });
+  const std::uint64_t cancelable =
+      transport.schedule_after(2.0, [&] { fired += 100; });
+  EXPECT_TRUE(transport.cancel(cancelable));
+  EXPECT_FALSE(transport.cancel(cancelable));  // already canceled
+
+  ASSERT_TRUE(transport.run_one());
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(transport.clock().now(), 1.0);
+  // The canceled event is lazily discarded; the queue then reports empty.
+  EXPECT_FALSE(transport.run_one());
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace seafl::net

@@ -1,0 +1,171 @@
+// Deployment-mode integration (DESIGN.md §13): a DeployServer and several
+// DeployClients exchanging real frames over real localhost sockets, each in
+// its own thread — the in-process analogue of `seafl_server --listen` plus N
+// `seafl_client` processes. Asserts rounds complete, the trace journal
+// records dispatch→upload lifecycles, and a client crashing mid-round is
+// detected and its slot re-dispatched.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/seafl.h"
+
+namespace seafl {
+namespace {
+
+std::size_t count_kind(const obs::TraceJournal& journal,
+                       obs::TraceEventKind kind) {
+  return static_cast<std::size_t>(
+      std::count_if(journal.events().begin(), journal.events().end(),
+                    [kind](const obs::TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::size_t count_kind_for_client(const obs::TraceJournal& journal,
+                                  obs::TraceEventKind kind,
+                                  std::size_t client) {
+  return static_cast<std::size_t>(std::count_if(
+      journal.events().begin(), journal.events().end(),
+      [kind, client](const obs::TraceEvent& e) {
+        return e.kind == kind && e.client == client;
+      }));
+}
+
+FlTask small_task(std::size_t num_clients) {
+  TaskSpec spec;
+  spec.name = "synth-mnist";
+  spec.num_clients = num_clients;
+  spec.samples_per_client = 24;
+  spec.test_samples = 60;
+  spec.seed = 7;
+  return make_task(spec);
+}
+
+Arm small_arm(std::size_t concurrency) {
+  ExperimentParams params;
+  params.buffer_size = 2;
+  params.concurrency = concurrency;
+  params.local_epochs = 1;
+  params.batch_size = 8;
+  params.max_rounds = 3;
+  params.stop_at_target = false;
+  params.seed = 7;
+  return make_arm("seafl", params);
+}
+
+TEST(Loopback, ThreeClientsCompleteThreeRounds) {
+  constexpr std::size_t kClients = 3;
+  const FlTask task = small_task(kClients);
+  const ModelFactory model =
+      make_model(task.default_model, task.input, task.num_classes);
+  Arm arm = small_arm(/*concurrency=*/3);
+
+  DeployServerOptions opts;
+  opts.port = 0;
+  opts.expected_clients = kClients;
+  opts.max_wall_seconds = 60.0;  // hang backstop; never the intended exit
+  DeployServer server(task, model, std::move(arm.strategy), arm.config, opts);
+  const std::uint16_t port = server.port();
+  ASSERT_NE(port, 0);
+
+  std::array<DeployClientStats, kClients> stats;
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      DeployClientOptions copt;
+      copt.client_id = i;
+      copt.port = port;
+      DeployClient client(task, model, arm.config, copt);
+      stats[i] = client.run();
+    });
+  }
+  const RunResult res = server.run();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(res.rounds, 3u);
+  EXPECT_GE(res.model_uploads, 6u);  // 3 rounds x K=2, plus any extras
+  EXPECT_EQ(res.client_crashes, 0u);
+  EXPECT_TRUE(std::isfinite(res.final_accuracy));
+  EXPECT_GE(res.curve.size(), 2u);  // baseline + at least one round eval
+
+  // Journal lifecycle: every upload follows a dispatch of the same client,
+  // every aggregation is journaled, and upload counts agree exactly.
+  const obs::TraceJournal& journal = server.journal();
+  EXPECT_EQ(count_kind(journal, obs::TraceEventKind::kUpload),
+            res.model_uploads);
+  EXPECT_EQ(count_kind(journal, obs::TraceEventKind::kAggregate), res.rounds);
+  EXPECT_GE(count_kind(journal, obs::TraceEventKind::kAssigned),
+            count_kind(journal, obs::TraceEventKind::kUpload));
+  for (std::size_t i = 0; i < kClients; ++i) {
+    EXPECT_GE(
+        count_kind_for_client(journal, obs::TraceEventKind::kAssigned, i),
+        count_kind_for_client(journal, obs::TraceEventKind::kUpload, i))
+        << "client " << i;
+  }
+
+  for (std::size_t i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(stats[i].shutdown_received) << "client " << i;
+    EXPECT_GE(stats[i].dispatches, 1u) << "client " << i;
+    EXPECT_FALSE(stats[i].crashed) << "client " << i;
+  }
+  EXPECT_GE(server.socket_stats().frames_received, res.model_uploads);
+  EXPECT_EQ(server.socket_stats().protocol_errors, 0u);
+}
+
+TEST(Loopback, CrashedClientIsDetectedAndSlotRedispatched) {
+  constexpr std::size_t kClients = 4;
+  const FlTask task = small_task(kClients);
+  const ModelFactory model =
+      make_model(task.default_model, task.input, task.num_classes);
+  Arm arm = small_arm(/*concurrency=*/3);
+
+  DeployServerOptions opts;
+  opts.port = 0;
+  opts.expected_clients = kClients;
+  opts.max_wall_seconds = 60.0;
+  DeployServer server(task, model, std::move(arm.strategy), arm.config, opts);
+  const std::uint16_t port = server.port();
+
+  std::array<DeployClientStats, kClients> stats;
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      DeployClientOptions copt;
+      copt.client_id = i;
+      copt.port = port;
+      // Client 0 dies abruptly on its first dispatch, mid-round: the server
+      // must notice the EOF, count the crash and hand the slot on.
+      if (i == 0) copt.crash_after_dispatches = 1;
+      DeployClient client(task, model, arm.config, copt);
+      stats[i] = client.run();
+    });
+  }
+  const RunResult res = server.run();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(res.rounds, 3u);  // the run survives the crash
+  EXPECT_GE(res.client_crashes, 1u);
+  EXPECT_GE(res.redispatches, 1u);
+  EXPECT_TRUE(stats[0].crashed);
+  EXPECT_FALSE(stats[0].shutdown_received);
+  EXPECT_EQ(stats[0].uploads, 0u);
+
+  const obs::TraceJournal& journal = server.journal();
+  EXPECT_GE(count_kind(journal, obs::TraceEventKind::kCrash), 1u);
+  EXPECT_GE(count_kind(journal, obs::TraceEventKind::kRedispatch), 1u);
+  EXPECT_EQ(count_kind(journal, obs::TraceEventKind::kAggregate), res.rounds);
+  // The crashed client never uploaded anything the server accepted.
+  EXPECT_EQ(count_kind_for_client(journal, obs::TraceEventKind::kUpload, 0),
+            0u);
+
+  for (std::size_t i = 1; i < kClients; ++i) {
+    EXPECT_TRUE(stats[i].shutdown_received) << "client " << i;
+    EXPECT_FALSE(stats[i].crashed) << "client " << i;
+  }
+}
+
+}  // namespace
+}  // namespace seafl

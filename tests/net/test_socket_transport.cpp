@@ -1,0 +1,266 @@
+// SocketTransport contract (DESIGN.md §13): real loopback TCP exchanged
+// through the poll event loop — framing across partial reads/writes,
+// disconnect reporting, malformed-input quarantine, wall-clock timers.
+// Single-threaded: both endpoints live in the test and are pumped
+// alternately, which is exactly the transport's documented driving model.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+
+#include "common/error.h"
+#include "net/socket_transport.h"
+
+namespace seafl::net {
+namespace {
+
+struct Recorder final : MessageHandler {
+  std::vector<PeerId> connected;
+  std::vector<PeerId> disconnected;
+  std::vector<std::pair<PeerId, Message>> messages;
+
+  void on_peer_connected(PeerId peer) override { connected.push_back(peer); }
+  void on_message(PeerId peer, const Message& message) override {
+    messages.emplace_back(peer, message);
+  }
+  void on_peer_disconnected(PeerId peer) override {
+    disconnected.push_back(peer);
+  }
+};
+
+/// Pumps every transport until `pred` holds or `timeout` wall seconds pass.
+bool pump_until(std::initializer_list<SocketTransport*> transports,
+                const std::function<bool()>& pred, double timeout = 5.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout));
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    for (SocketTransport* t : transports) t->run_one();
+  }
+  return true;
+}
+
+/// A connected (server, client) pair with recorders installed; the server
+/// has accepted the client by the time the fixture returns.
+struct Pair {
+  std::unique_ptr<SocketTransport> server;
+  std::unique_ptr<SocketTransport> client;
+  Recorder server_events;
+  Recorder client_events;
+  PeerId client_on_server = 0;  ///< the client, as the server names it
+  PeerId server_on_client = 0;  ///< the server, as the client names it
+};
+
+Pair make_pair_connected() {
+  Pair p;
+  SocketOptions fast;
+  fast.max_poll_seconds = 0.01;
+  p.server = SocketTransport::listen(0, fast);
+  p.server->set_handler(&p.server_events);
+  p.client = SocketTransport::connect("127.0.0.1", p.server->port(),
+                                      /*timeout_seconds=*/5.0, fast);
+  p.client->set_handler(&p.client_events);
+  p.server_on_client = p.client->peers().front();
+  EXPECT_TRUE(pump_until({p.server.get(), p.client.get()},
+                         [&] { return !p.server_events.connected.empty(); }));
+  p.client_on_server = p.server_events.connected.front();
+  return p;
+}
+
+TEST(SocketTransport, ListenAssignsEphemeralPort) {
+  const auto t = SocketTransport::listen(0);
+  EXPECT_NE(t->port(), 0);
+  EXPECT_EQ(t->peer_count(), 0u);
+}
+
+TEST(SocketTransport, ConnectToUnservedPortThrows) {
+  std::uint16_t dead_port;
+  {
+    const auto t = SocketTransport::listen(0);
+    dead_port = t->port();
+  }  // listener gone; nobody serves dead_port now
+  EXPECT_THROW(SocketTransport::connect("127.0.0.1", dead_port, 1.0), Error);
+  EXPECT_THROW(SocketTransport::connect("not-an-ip", 1, 1.0), Error);
+  EXPECT_THROW(SocketTransport::connect("127.0.0.1", 0, 1.0), Error);
+}
+
+TEST(SocketTransport, ExchangeMessagesBothWays) {
+  Pair p = make_pair_connected();
+
+  HelloMsg hello;
+  hello.client = 7;
+  hello.model_params = 1234;
+  hello.seed = 42;
+  EXPECT_TRUE(p.client->send(p.server_on_client, Message{hello}));
+  ASSERT_TRUE(pump_until({p.server.get(), p.client.get()},
+                         [&] { return !p.server_events.messages.empty(); }));
+  const auto& [from, msg] = p.server_events.messages.front();
+  EXPECT_EQ(from, p.client_on_server);
+  ASSERT_TRUE(msg.is<HelloMsg>());
+  EXPECT_EQ(msg.as<HelloMsg>().client, 7u);
+
+  WelcomeMsg welcome;
+  welcome.client = 7;
+  EXPECT_TRUE(p.server->send(p.client_on_server, Message{welcome}));
+  ASSERT_TRUE(pump_until({p.server.get(), p.client.get()},
+                         [&] { return !p.client_events.messages.empty(); }));
+  EXPECT_TRUE(p.client_events.messages.front().second.is<WelcomeMsg>());
+
+  EXPECT_GE(p.server->stats().frames_received, 1u);
+  EXPECT_GE(p.client->stats().frames_received, 1u);
+}
+
+TEST(SocketTransport, LargeFrameSurvivesPartialWrites) {
+  Pair p = make_pair_connected();
+
+  // ~1.6 MB of weights: far beyond a socket buffer, so the frame crosses
+  // several POLLOUT flushes and several reassembling reads.
+  DispatchMsg big;
+  big.session = 1;
+  big.weights.resize(400000);
+  for (std::size_t i = 0; i < big.weights.size(); ++i)
+    big.weights[i] = static_cast<float>(i % 1024) * 0.25f;
+  ASSERT_TRUE(p.server->send(p.client_on_server, Message{big}));
+
+  ASSERT_TRUE(pump_until({p.server.get(), p.client.get()},
+                         [&] { return !p.client_events.messages.empty(); },
+                         10.0));
+  const Message& got = p.client_events.messages.front().second;
+  ASSERT_TRUE(got.is<DispatchMsg>());
+  EXPECT_EQ(got.as<DispatchMsg>().weights, big.weights);
+}
+
+TEST(SocketTransport, FlushDrainsQueuedBytes) {
+  Pair p = make_pair_connected();
+  DispatchMsg big;
+  big.weights.assign(300000, 1.5f);
+  ASSERT_TRUE(p.server->send(p.client_on_server, Message{big}));
+  EXPECT_TRUE(p.server->flush(/*timeout_seconds=*/10.0));
+  ASSERT_TRUE(pump_until({p.client.get()},
+                         [&] { return !p.client_events.messages.empty(); },
+                         10.0));
+  EXPECT_EQ(p.client_events.messages.front().second.as<DispatchMsg>().weights,
+            big.weights);
+}
+
+TEST(SocketTransport, SendToUnknownPeerReturnsFalse) {
+  Pair p = make_pair_connected();
+  EXPECT_FALSE(p.server->send(p.client_on_server + 1000, Message{NotifyMsg{}}));
+}
+
+TEST(SocketTransport, RemoteEofReportsDisconnect) {
+  Pair p = make_pair_connected();
+  p.client.reset();  // closes the socket: the server must see EOF
+  ASSERT_TRUE(pump_until({p.server.get()}, [&] {
+    return !p.server_events.disconnected.empty();
+  }));
+  EXPECT_EQ(p.server_events.disconnected.front(), p.client_on_server);
+  EXPECT_EQ(p.server->peer_count(), 0u);
+  EXPECT_FALSE(p.server->connected(p.client_on_server));
+  EXPECT_EQ(p.server->stats().disconnects, 1u);
+}
+
+TEST(SocketTransport, LocalCloseDoesNotCallBack) {
+  Pair p = make_pair_connected();
+  p.server->close_peer(p.client_on_server);
+  EXPECT_FALSE(p.server->connected(p.client_on_server));
+  // The locally closing side gets no callback; the remote side sees EOF.
+  ASSERT_TRUE(pump_until({p.server.get(), p.client.get()}, [&] {
+    return !p.client_events.disconnected.empty();
+  }));
+  EXPECT_TRUE(p.server_events.disconnected.empty());
+  EXPECT_EQ(p.client_events.disconnected.front(), p.server_on_client);
+}
+
+TEST(SocketTransport, MalformedFrameClosesOnlyThatPeer) {
+  Pair p = make_pair_connected();
+
+  // A raw byte-level client: 16 bytes that are not a SEAFL frame.
+  const int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(p.server->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(raw, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_TRUE(pump_until({p.server.get()},
+                         [&] { return p.server_events.connected.size() == 2; }));
+  const PeerId bad_peer = p.server_events.connected.back();
+  ASSERT_EQ(::send(raw, "GARBAGEGARBAGE!!", 16, 0), 16);
+
+  ASSERT_TRUE(pump_until({p.server.get()}, [&] {
+    return p.server->stats().protocol_errors >= 1;
+  }));
+  EXPECT_FALSE(p.server->connected(bad_peer));
+  ASSERT_EQ(p.server_events.disconnected.size(), 1u);
+  EXPECT_EQ(p.server_events.disconnected.front(), bad_peer);
+  ::close(raw);
+
+  // The well-behaved peer is unaffected and still served.
+  EXPECT_TRUE(p.server->connected(p.client_on_server));
+  EXPECT_TRUE(p.server->send(p.client_on_server, Message{NotifyMsg{5}}));
+  ASSERT_TRUE(pump_until({p.server.get(), p.client.get()},
+                         [&] { return !p.client_events.messages.empty(); }));
+  EXPECT_TRUE(p.client_events.messages.front().second.is<NotifyMsg>());
+}
+
+TEST(SocketTransport, SplitHeaderAcrossWritesReassembles) {
+  Pair p = make_pair_connected();
+  const std::string frame = encode_frame(Message{CancelMsg{77}});
+
+  const int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(p.server->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(raw, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // One byte at a time, pumping in between: the worst possible framing.
+  for (char byte : frame) {
+    ASSERT_EQ(::send(raw, &byte, 1, 0), 1);
+    p.server->run_one();
+  }
+  ASSERT_TRUE(pump_until({p.server.get()},
+                         [&] { return !p.server_events.messages.empty(); }));
+  const Message& got = p.server_events.messages.front().second;
+  ASSERT_TRUE(got.is<CancelMsg>());
+  EXPECT_EQ(got.as<CancelMsg>().session, 77u);
+  ::close(raw);
+}
+
+TEST(SocketTransport, WallTimersFireAndCancel) {
+  SocketOptions fast;
+  fast.max_poll_seconds = 0.01;
+  const auto t = SocketTransport::listen(0, fast);
+
+  bool fired = false;
+  t->schedule_after(0.03, [&] { fired = true; });
+  const std::uint64_t never = t->schedule_after(60.0, [&] { fired = false; });
+  EXPECT_TRUE(t->cancel(never));
+
+  ASSERT_TRUE(pump_until({t.get()}, [&] { return fired; }, 5.0));
+  EXPECT_GE(t->clock().now(), 0.03);
+  EXPECT_FALSE(t->cancel(never));  // canceled once already
+}
+
+TEST(SocketTransport, StopEndsRunLoop) {
+  const auto t = SocketTransport::listen(0);
+  t->schedule_after(0.0, [&] { t->stop(); });
+  EXPECT_FALSE(t->run_one());  // timer fires first, stop() wins
+  EXPECT_TRUE(t->stopped());
+  EXPECT_FALSE(t->run_one());
+}
+
+}  // namespace
+}  // namespace seafl::net
