@@ -1,0 +1,296 @@
+// Communication-efficiency bench (ours) — sweeps the upload codecs of
+// src/compress against link bandwidth and deployment hazards, measuring the
+// SEAFL-relevant interaction: staleness is mostly *upload time*, so shrinking
+// bytes-on-wire shrinks staleness, which feeds straight into the adaptive
+// aggregation weights. Arms: float32 (no compression), int8 / int4
+// stochastic quantization, and top-k sparsification with error feedback.
+// Bandwidths: infinite (the latency-only pre-model behaviour) and a tight
+// uplink sized from a probe run so a float32 upload costs a sizable fraction
+// of one round. Hazards: clean and crash churn.
+//
+// Writes results/BENCH_comm.json with per-arm aggregates (time-to-target,
+// mean staleness, total upload MB, raw/wire compression ratio) plus the
+// headline check: under the tight uplink, int8 must show lower mean update
+// staleness than float32.
+//
+// Flags (on top of the bench_common world flags):
+//   --seeds N     seed replicates per arm (default 2)
+//   --smoke       tiny run (CI): one seed, few rounds, small world
+//   --json PATH   output path (default results/BENCH_comm.json)
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace seafl;
+
+struct CodecArm {
+  std::string label;
+  compress::CompressionConfig compression;
+};
+
+struct CommAggregate {
+  double mean_time = -1.0;  ///< mean time-to-target over reached seeds
+  std::size_t reached = 0;
+  std::size_t seeds = 0;
+  double mean_final_accuracy = 0.0;
+  double mean_staleness = 0.0;
+  double mean_upload_mb = 0.0;
+  double mean_ratio = 1.0;  ///< raw bytes / wire bytes
+};
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace seafl::bench;
+  CliArgs args(argc, argv);
+
+  const bool smoke = args.get_bool("smoke", false);
+  const std::size_t seeds =
+      static_cast<std::size_t>(args.get_int("seeds", smoke ? 1 : 2));
+  const auto base_seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  WorldDefaults defaults;
+  defaults.clients = smoke ? 12 : 40;
+  defaults.samples_per_client = smoke ? 10 : 40;
+  defaults.test_samples = smoke ? 30 : 120;
+  defaults.concurrency = smoke ? 6 : 12;
+  defaults.pareto_shape = 1.2;
+  defaults.seed = base_seed;
+  const std::uint64_t rounds = static_cast<std::uint64_t>(
+      args.get_int("rounds", smoke ? 3 : 30));
+
+  // World pieces are rebuilt per (bandwidth, seed): the uplink draw is part
+  // of FleetConfig, so each bandwidth preset is its own fleet.
+  const auto make_specs = [&](std::uint64_t seed) {
+    TaskSpec ts;
+    ts.name = args.get_string("task", defaults.task);
+    ts.num_clients =
+        static_cast<std::size_t>(args.get_int("clients", defaults.clients));
+    ts.samples_per_client = static_cast<std::size_t>(
+        args.get_int("samples", defaults.samples_per_client));
+    ts.test_samples = static_cast<std::size_t>(
+        args.get_int("test-samples", defaults.test_samples));
+    ts.dirichlet_alpha =
+        args.get_double("dirichlet", defaults.dirichlet_alpha);
+    ts.seed = seed;
+    FleetConfig fc;
+    fc.num_devices = ts.num_clients;
+    fc.pareto_shape = args.get_double("pareto", defaults.pareto_shape);
+    fc.speed_cap = args.get_double("cap", defaults.speed_cap);
+    fc.seed = seed;
+    return std::make_pair(ts, fc);
+  };
+
+  const auto make_base_params = [&](const FlTask& task, std::uint64_t seed) {
+    ExperimentParams p;
+    p.concurrency = static_cast<std::size_t>(
+        args.get_int("concurrency", defaults.concurrency));
+    p.buffer_size =
+        static_cast<std::size_t>(args.get_int("buffer", smoke ? 2 : 4));
+    p.local_epochs =
+        static_cast<std::size_t>(args.get_int("epochs", smoke ? 2 : 3));
+    p.batch_size = static_cast<std::size_t>(args.get_int("batch", 10));
+    p.max_rounds = rounds;
+    p.target_accuracy = args.get_double("target", task.target_accuracy);
+    p.stop_at_target = false;  // equal round budgets across codecs
+    p.eval_subset = static_cast<std::size_t>(args.get_int("eval-subset", 60));
+    p.eval_every = 2;
+    p.seed = seed;
+    return p;
+  };
+
+  configure_jobs(args);
+
+  // --- probe: learn the clean world's time scale and the model size --------
+  double round_interval = 0.0;
+  std::size_t model_dim = 0;
+  {
+    auto [ts, fc] = make_specs(base_seed);
+    const FlTask task = make_task(ts);
+    const Fleet fleet(fc);
+    const ModelFactory factory =
+        make_model(task.default_model, task.input, task.num_classes);
+    model_dim = factory()->num_parameters();
+    ExperimentParams probe = make_base_params(task, base_seed);
+    probe.max_rounds = std::min<std::uint64_t>(probe.max_rounds, 8);
+    const RunResult r = run_arm("seafl", probe, task, fleet);
+    round_interval = r.final_time / static_cast<double>(std::max<std::uint64_t>(
+                                        r.rounds, 1));
+  }
+  const std::size_t float_bytes = compress::transfer_bytes(model_dim, 0);
+  // Tight uplink: a mean-speed device spends ~3/4 of a round interval
+  // shipping one float32 upload (tail devices far more), so compression has
+  // real time to win back. "inf" (0) is the exact latency-only behaviour.
+  const double tight_uplink =
+      static_cast<double>(float_bytes) / (0.75 * round_interval);
+  std::printf("probe: round interval %.2fs, model %zu params, float32 upload "
+              "%zu B, tight uplink %.0f B/s\n",
+              round_interval, model_dim, float_bytes, tight_uplink);
+
+  const std::vector<CodecArm> codecs = [] {
+    std::vector<CodecArm> arms;
+    arms.push_back({"float32", {}});
+    CodecArm int8{"int8", {}};
+    compress::apply_codec_name(int8.compression, "int8");
+    arms.push_back(int8);
+    CodecArm int4{"int4", {}};
+    compress::apply_codec_name(int4.compression, "int4");
+    arms.push_back(int4);
+    CodecArm topk{"topk-10%+ef", {}};
+    compress::apply_codec_name(topk.compression, "topk");
+    topk.compression.topk_fraction = 0.1;
+    topk.compression.bits = 32;
+    topk.compression.error_feedback = true;
+    arms.push_back(topk);
+    return arms;
+  }();
+
+  struct Bandwidth {
+    std::string label;
+    double uplink;  ///< mean bytes/sec; 0 = infinite (latency only)
+  };
+  const std::vector<Bandwidth> bandwidths{{"inf", 0.0},
+                                          {"tight", tight_uplink}};
+  struct Hazard {
+    std::string label;
+    double crash_rate;  ///< per-session crash probability
+  };
+  const std::vector<Hazard> hazards{{"clean", 0.0}, {"churn", 0.3}};
+  // Session span estimate for churn sizing, as in ext_robustness.
+  const double session_seconds = round_interval * 3.0;
+
+  Table table("Communication efficiency — codec x bandwidth x hazard (" +
+              std::to_string(seeds) + " seeds, " + std::to_string(rounds) +
+              " rounds)");
+  table.set_header({"arm", "mean-time-to-target", "reached", "mean-final-acc",
+                    "mean-staleness", "upload-MB", "ratio"});
+
+  std::string arms_json;
+  double staleness_float32_tight = -1.0;
+  double staleness_int8_tight = -1.0;
+  for (const Bandwidth& bw : bandwidths) {
+    for (const Hazard& hazard : hazards) {
+      for (const CodecArm& codec : codecs) {
+        CommAggregate agg;
+        agg.seeds = seeds;
+        double time_sum = 0.0;
+        double ratio_sum = 0.0;
+        for (std::size_t i = 0; i < seeds; ++i) {
+          const std::uint64_t seed = base_seed + 1000 * i;
+          auto [ts, fc] = make_specs(seed);
+          fc.mean_uplink_bytes_per_sec = bw.uplink;
+          const FlTask task = make_task(ts);
+          const Fleet fleet(fc);
+          ExperimentParams params = make_base_params(task, seed);
+          // seafl-inf: adaptive SEAFL weighting with no staleness hold, so
+          // mean staleness reflects upload time directly. (Plain seafl's
+          // wait_for_stale would *stall aggregation* behind slow float32
+          // uploads — capping staleness while blowing up time-to-target —
+          // which hides exactly the effect this bench measures.)
+          Arm arm = make_arm(args.get_string("algo", "seafl-inf"), params);
+          arm.config.compression = codec.compression;
+          if (hazard.crash_rate > 0.0) {
+            arm.config.faults.mean_uptime =
+                session_seconds / -std::log1p(-hazard.crash_rate);
+            arm.config.faults.mean_downtime = 2.0 * round_interval;
+            arm.config.faults.deadline_factor = 3.0;
+          }
+          // Tight links stretch rounds; cap by virtual time so a stalled
+          // arm terminates instead of idling to max_rounds.
+          arm.config.max_virtual_seconds =
+              round_interval * 6.0 * static_cast<double>(params.max_rounds);
+          const ModelFactory factory = make_model(
+              task.default_model, task.input, task.num_classes);
+          Simulation sim(task, factory, fleet, std::move(arm.strategy),
+                         arm.config);
+          const RunResult r = sim.run();
+          if (r.time_to_target >= 0.0) {
+            time_sum += r.time_to_target;
+            ++agg.reached;
+          }
+          agg.mean_final_accuracy += r.final_accuracy;
+          agg.mean_staleness += r.mean_staleness;
+          agg.mean_upload_mb +=
+              static_cast<double>(r.upload_wire_bytes) / 1e6;
+          ratio_sum += r.upload_wire_bytes > 0
+                           ? static_cast<double>(r.upload_raw_bytes) /
+                                 static_cast<double>(r.upload_wire_bytes)
+                           : 1.0;
+        }
+        if (agg.reached > 0) agg.mean_time = time_sum / agg.reached;
+        agg.mean_final_accuracy /= seeds;
+        agg.mean_staleness /= seeds;
+        agg.mean_upload_mb /= seeds;
+        agg.mean_ratio = ratio_sum / seeds;
+
+        const std::string label =
+            codec.label + " / " + bw.label + " / " + hazard.label;
+        if (bw.label == "tight" && hazard.label == "clean") {
+          if (codec.label == "float32")
+            staleness_float32_tight = agg.mean_staleness;
+          if (codec.label == "int8") staleness_int8_tight = agg.mean_staleness;
+        }
+        table.add_row({label, fmt_time_or_na(agg.mean_time),
+                       std::to_string(agg.reached) + "/" +
+                           std::to_string(agg.seeds),
+                       fmt(agg.mean_final_accuracy, 4),
+                       fmt(agg.mean_staleness, 2), fmt(agg.mean_upload_mb, 3),
+                       fmt(agg.mean_ratio, 2)});
+        if (!arms_json.empty()) arms_json += ",\n";
+        arms_json +=
+            "    \"" + label + "\": {\"time_to_target\": " +
+            json_number(agg.mean_time) +
+            ", \"reached\": " + std::to_string(agg.reached) +
+            ", \"final_accuracy\": " + json_number(agg.mean_final_accuracy) +
+            ", \"mean_staleness\": " + json_number(agg.mean_staleness) +
+            ", \"upload_mb\": " + json_number(agg.mean_upload_mb) +
+            ", \"compression_ratio\": " + json_number(agg.mean_ratio) + "}";
+      }
+    }
+  }
+
+  const bool int8_reduces_staleness =
+      staleness_int8_tight >= 0.0 && staleness_float32_tight >= 0.0 &&
+      staleness_int8_tight < staleness_float32_tight;
+  std::printf("tight/clean staleness: float32 %.3f vs int8 %.3f -> %s\n",
+              staleness_float32_tight, staleness_int8_tight,
+              int8_reduces_staleness ? "int8 reduces staleness"
+                                     : "NO reduction");
+
+  emit(table, args, "ext_compression.csv");
+
+  const std::string path = args.get_string("json", "results/BENCH_comm.json");
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream out(path);
+  out << "{\n  \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n  \"seeds\": " << seeds << ",\n  \"rounds\": " << rounds
+      << ",\n  \"model_params\": " << model_dim
+      << ",\n  \"float32_upload_bytes\": " << float_bytes
+      << ",\n  \"round_interval_sec\": " << json_number(round_interval)
+      << ",\n  \"tight_uplink_bytes_per_sec\": " << json_number(tight_uplink)
+      << ",\n  \"arms\": {\n" << arms_json << "\n  }"
+      << ",\n  \"staleness_float32_tight_clean\": "
+      << json_number(staleness_float32_tight)
+      << ",\n  \"staleness_int8_tight_clean\": "
+      << json_number(staleness_int8_tight)
+      << ",\n  \"int8_reduces_staleness_under_tight_uplink\": "
+      << (int8_reduces_staleness ? "true" : "false") << "\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+  // The headline claim needs a real-sized run; smoke worlds are too small
+  // for staleness to differentiate, so smoke only checks that every arm ran.
+  return (smoke || int8_reduces_staleness) ? 0 : 1;
+}

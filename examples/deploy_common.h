@@ -28,6 +28,13 @@ inline void print_common_flags() {
       "(default 0)\n"
       "  --upload-retries N      client reconnect-and-resend attempts "
       "(default 2)\n"
+      "  --codec NAME            upload codec: identity|float32|quantize|"
+      "int8|int4|topk (default identity)\n"
+      "  --codec-bits N          value width for quantize/topk (default 8)\n"
+      "  --topk F                coordinate fraction topk keeps "
+      "(default 0.1)\n"
+      "  --error-feedback B      carry dropped mass across rounds "
+      "(default true)\n"
       "  --seed S                run seed; must match across processes "
       "(default 42)\n");
 }
@@ -55,6 +62,13 @@ inline Arm arm_from_flags(const CliArgs& args, const FlTask& task) {
   params.target_accuracy = args.get_double("target", task.target_accuracy);
   params.stop_at_target = args.get_bool("stop-at-target", false);
   params.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  // Both processes derive the codec from the same flags, so a compressed
+  // upload always meets a server holding the matching decoder.
+  params.codec = args.get_string("codec", "identity");
+  params.codec_bits =
+      static_cast<std::size_t>(args.get_int("codec-bits", 8));
+  params.topk_fraction = args.get_double("topk", 0.1);
+  params.error_feedback = args.get_bool("error-feedback", true);
   Arm arm = make_arm(args.get_string("algo", "seafl"), params);
   arm.config.faults.deadline_factor = args.get_double("deadline-factor", 0.0);
   arm.config.faults.max_upload_retries =

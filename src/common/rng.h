@@ -62,6 +62,7 @@ enum class RngPurpose : std::uint64_t {
   kNetwork = 7,        ///< network latency sampling
   kDropout = 8,        ///< client availability / upload loss
   kChurn = 9,          ///< device crash/recovery timelines (sim/hazard)
+  kCompress = 10,      ///< stochastic-rounding noise in upload codecs
   kTest = 100,         ///< unit tests
 };
 

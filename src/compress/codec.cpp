@@ -1,0 +1,634 @@
+#include "compress/codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace seafl::compress {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'E', 'A', 'F', 'L', 'C', 'M', 'P'};
+constexpr std::uint16_t kContainerVersion = 1;
+// Same ceiling the wire protocol enforces on whole frames (1<<28 payload
+// bytes / 4 bytes per float): a dim claim past this can never be legitimate,
+// so reject it before any size arithmetic can overflow.
+constexpr std::uint64_t kMaxDim = (1ULL << 28) / 4;
+
+void append_u16(std::string& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+void append_f32(std::string& out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  append_u32(out, bits);
+}
+std::uint16_t load_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+std::uint32_t load_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+std::uint64_t load_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+float load_f32(const unsigned char* p) {
+  const std::uint32_t bits = load_u32(p);
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Packs fixed-width unsigned values (2..16 bits each) LSB-first into bytes.
+class BitWriter {
+ public:
+  explicit BitWriter(std::string& out) : out_(out) {}
+  void push(std::uint32_t value, std::uint32_t bits) {
+    acc_ |= static_cast<std::uint64_t>(value) << filled_;
+    filled_ += bits;
+    while (filled_ >= 8) {
+      out_.push_back(static_cast<char>(acc_ & 0xff));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+  void flush() {
+    if (filled_ > 0) {
+      out_.push_back(static_cast<char>(acc_ & 0xff));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  std::string& out_;
+  std::uint64_t acc_ = 0;
+  std::uint32_t filled_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const unsigned char* data, std::size_t size)
+      : data_(data), size_(size) {}
+  std::uint32_t pull(std::uint32_t bits) {
+    while (filled_ < bits) {
+      SEAFL_DCHECK(pos_ < size_, "bit reader overrun");
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << filled_;
+      filled_ += 8;
+    }
+    const std::uint32_t v =
+        static_cast<std::uint32_t>(acc_ & ((1ULL << bits) - 1));
+    acc_ >>= bits;
+    filled_ -= bits;
+    return v;
+  }
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  std::uint32_t filled_ = 0;
+};
+
+std::size_t packed_bytes(std::uint64_t count, std::uint64_t bits) {
+  return static_cast<std::size_t>((count * bits + 7) / 8);
+}
+
+/// Payload bytes the container must carry for this exact metadata tuple —
+/// the data-independence contract made checkable at decode time.
+std::size_t expected_payload_bytes(CodecKind codec, std::uint64_t bits,
+                                   std::uint64_t dim, std::uint64_t k) {
+  switch (codec) {
+    case CodecKind::kIdentity:
+      return static_cast<std::size_t>(dim) * 4;
+    case CodecKind::kQuantize:
+      return packed_bytes(dim, bits);
+    case CodecKind::kTopK:
+      return static_cast<std::size_t>(k) * 4 +
+             (bits == 32 ? static_cast<std::size_t>(k) * 4
+                         : packed_bytes(k, bits));
+  }
+  return 0;  // unreachable; kinds are validated before use
+}
+
+std::size_t topk_count(double fraction, std::size_t dim) {
+  const auto k = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(dim)));
+  return std::min(std::max<std::size_t>(k, 1), dim);
+}
+
+/// Grid half-width: quantized levels are integers in [-half, half], so the
+/// level count is 2*half + 1 == 2^bits - 1 (symmetric, zero-preserving —
+/// the same grid as the legacy deterministic quantizer).
+std::int64_t grid_half(std::uint64_t bits) {
+  return (static_cast<std::int64_t>(1) << (bits - 1)) - 1;
+}
+
+/// The encode-side input: delta against base, plus carried residual.
+std::vector<float> encode_input(const std::vector<float>& weights,
+                                const std::vector<float>& base,
+                                std::vector<float>* residual) {
+  const std::size_t dim = weights.size();
+  SEAFL_CHECK(base.size() == dim, "codec base/weights dim mismatch: "
+                                      << base.size() << " vs " << dim);
+  if (residual != nullptr) {
+    if (residual->empty()) residual->assign(dim, 0.0f);
+    SEAFL_CHECK(residual->size() == dim,
+                "error-feedback residual dim mismatch: " << residual->size()
+                                                         << " vs " << dim);
+  }
+  std::vector<float> input(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    input[i] = (weights[i] - base[i]) +
+               (residual != nullptr ? (*residual)[i] : 0.0f);
+  }
+  return input;
+}
+
+/// Stochastically rounds value/step to an integer level in [-half, half].
+/// One uniform draw per call, always consumed (keeps the stream position a
+/// pure function of the element index).
+std::int64_t stochastic_level(double value, double step, std::int64_t half,
+                              Rng& rng) {
+  const double u = rng.uniform();
+  const double x = value / step;
+  const double lo = std::floor(x);
+  std::int64_t q = static_cast<std::int64_t>(lo) + (u < (x - lo) ? 1 : 0);
+  return std::clamp<std::int64_t>(q, -half, half);
+}
+
+// --- quantize ----------------------------------------------------------------
+
+class QuantizeCodec final : public Codec {
+ public:
+  explicit QuantizeCodec(const CompressionConfig& config) : config_(config) {}
+  const char* name() const override { return "quantize"; }
+  CodecKind kind() const override { return CodecKind::kQuantize; }
+
+  std::size_t encoded_bytes_for(std::size_t dim) const override {
+    return kContainerHeaderBytes +
+           expected_payload_bytes(CodecKind::kQuantize, config_.bits, dim, dim);
+  }
+
+  CompressedUpdate encode(const std::vector<float>& weights,
+                          const std::vector<float>& base,
+                          std::vector<float>* residual, std::size_t client,
+                          std::uint64_t round,
+                          std::uint64_t seed) const override {
+    const std::vector<float> input = encode_input(weights, base, residual);
+    const std::size_t dim = input.size();
+    const std::uint64_t bits = config_.bits;
+    const std::int64_t half = grid_half(bits);
+
+    double max_abs = 0.0;
+    for (const float v : input)
+      max_abs = std::max(max_abs, std::fabs(static_cast<double>(v)));
+
+    CompressedUpdate out;
+    out.codec = CodecKind::kQuantize;
+    out.bits = static_cast<std::uint32_t>(bits);
+    out.dim = dim;
+    out.k = dim;
+    out.payload.reserve(packed_bytes(dim, bits));
+    if (max_abs > 0.0) {
+      const double step = max_abs / static_cast<double>(half);
+      out.scale = static_cast<float>(step);
+      Rng rng(seed, RngPurpose::kCompress, client, round);
+      BitWriter writer(out.payload);
+      for (std::size_t i = 0; i < dim; ++i) {
+        const std::int64_t q = stochastic_level(input[i], step, half, rng);
+        writer.push(static_cast<std::uint32_t>(q + half),
+                    static_cast<std::uint32_t>(bits));
+      }
+      writer.flush();
+    } else {
+      // All-zero input: keep the size contract (payload length is a pure
+      // function of dim) with a zero scale that decodes to a zero delta.
+      out.scale = 0.0f;
+      out.payload.assign(packed_bytes(dim, bits), '\0');
+    }
+
+    if (residual != nullptr) {
+      // New residual = what this encode failed to transmit, computed via the
+      // same reconstruction the server performs so sim and deploy agree
+      // bitwise on the carried state.
+      const std::vector<float> delta = decode_delta(out);
+      for (std::size_t i = 0; i < dim; ++i)
+        (*residual)[i] = input[i] - delta[i];
+    }
+    return out;
+  }
+
+  std::vector<float> decode(const CompressedUpdate& update,
+                            const std::vector<float>& base) const override {
+    SEAFL_CHECK(update.dim == base.size(),
+                "compressed update dim " << update.dim
+                                         << " != base dim " << base.size());
+    std::vector<float> weights = decode_delta(update);
+    for (std::size_t i = 0; i < weights.size(); ++i) weights[i] += base[i];
+    return weights;
+  }
+
+  /// Shared reconstruction of the dense delta (used by decode and by the
+  /// encoder's residual update).
+  static std::vector<float> decode_delta(const CompressedUpdate& update) {
+    const auto dim = static_cast<std::size_t>(update.dim);
+    std::vector<float> delta(dim, 0.0f);
+    if (update.scale == 0.0f) return delta;
+    const std::int64_t half = grid_half(update.bits);
+    const double step = static_cast<double>(update.scale);
+    BitReader reader(
+        reinterpret_cast<const unsigned char*>(update.payload.data()),
+        update.payload.size());
+    for (std::size_t i = 0; i < dim; ++i) {
+      const std::int64_t q =
+          static_cast<std::int64_t>(reader.pull(update.bits)) - half;
+      delta[i] = static_cast<float>(static_cast<double>(q) * step);
+    }
+    return delta;
+  }
+
+ private:
+  CompressionConfig config_;
+};
+
+// --- top-k -------------------------------------------------------------------
+
+class TopKCodec final : public Codec {
+ public:
+  explicit TopKCodec(const CompressionConfig& config) : config_(config) {}
+  const char* name() const override { return "topk"; }
+  CodecKind kind() const override { return CodecKind::kTopK; }
+
+  std::size_t encoded_bytes_for(std::size_t dim) const override {
+    const std::size_t k = topk_count(config_.topk_fraction, dim);
+    return kContainerHeaderBytes +
+           expected_payload_bytes(CodecKind::kTopK, config_.bits, dim, k);
+  }
+
+  CompressedUpdate encode(const std::vector<float>& weights,
+                          const std::vector<float>& base,
+                          std::vector<float>* residual, std::size_t client,
+                          std::uint64_t round,
+                          std::uint64_t seed) const override {
+    const std::vector<float> input = encode_input(weights, base, residual);
+    const std::size_t dim = input.size();
+    const std::size_t k = topk_count(config_.topk_fraction, dim);
+
+    // Largest-magnitude coordinates, ties broken by lower index so selection
+    // is deterministic; stored in ascending index order.
+    std::vector<std::uint32_t> order(dim);
+    std::iota(order.begin(), order.end(), 0u);
+    std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       const float ma = std::fabs(input[a]);
+                       const float mb = std::fabs(input[b]);
+                       if (ma != mb) return ma > mb;
+                       return a < b;
+                     });
+    std::vector<std::uint32_t> selected(order.begin(), order.begin() + k);
+    std::sort(selected.begin(), selected.end());
+
+    CompressedUpdate out;
+    out.codec = CodecKind::kTopK;
+    out.bits = static_cast<std::uint32_t>(config_.bits);
+    out.dim = dim;
+    out.k = k;
+    out.payload.reserve(
+        expected_payload_bytes(CodecKind::kTopK, config_.bits, dim, k));
+    for (const std::uint32_t idx : selected) append_u32(out.payload, idx);
+
+    if (config_.bits == 32) {
+      out.scale = 0.0f;
+      for (const std::uint32_t idx : selected)
+        append_f32(out.payload, input[idx]);
+    } else {
+      double max_abs = 0.0;
+      for (const std::uint32_t idx : selected)
+        max_abs = std::max(max_abs, std::fabs(static_cast<double>(input[idx])));
+      const std::int64_t half = grid_half(config_.bits);
+      if (max_abs > 0.0) {
+        const double step = max_abs / static_cast<double>(half);
+        out.scale = static_cast<float>(step);
+        Rng rng(seed, RngPurpose::kCompress, client, round);
+        BitWriter writer(out.payload);
+        for (const std::uint32_t idx : selected) {
+          const std::int64_t q = stochastic_level(input[idx], step, half, rng);
+          writer.push(static_cast<std::uint32_t>(q + half),
+                      static_cast<std::uint32_t>(config_.bits));
+        }
+        writer.flush();
+      } else {
+        out.scale = 0.0f;
+        out.payload.append(packed_bytes(k, config_.bits), '\0');
+      }
+    }
+
+    if (residual != nullptr) {
+      const std::vector<float> delta = decode_delta(out);
+      for (std::size_t i = 0; i < dim; ++i)
+        (*residual)[i] = input[i] - delta[i];
+    }
+    return out;
+  }
+
+  std::vector<float> decode(const CompressedUpdate& update,
+                            const std::vector<float>& base) const override {
+    SEAFL_CHECK(update.dim == base.size(),
+                "compressed update dim " << update.dim
+                                         << " != base dim " << base.size());
+    std::vector<float> weights = decode_delta(update);
+    for (std::size_t i = 0; i < weights.size(); ++i) weights[i] += base[i];
+    return weights;
+  }
+
+  /// Dense delta from the sparse payload. Index bounds come off the wire in
+  /// deployment, so they are checked with a throwing SEAFL_CHECK — the
+  /// server catches and drops the peer instead of crashing.
+  static std::vector<float> decode_delta(const CompressedUpdate& update) {
+    const auto dim = static_cast<std::size_t>(update.dim);
+    const auto k = static_cast<std::size_t>(update.k);
+    std::vector<float> delta(dim, 0.0f);
+    const auto* bytes =
+        reinterpret_cast<const unsigned char*>(update.payload.data());
+    const unsigned char* values = bytes + k * 4;
+    BitReader reader(values, update.payload.size() - k * 4);
+    const std::int64_t half = update.bits == 32 ? 0 : grid_half(update.bits);
+    const double step = static_cast<double>(update.scale);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::uint32_t idx = load_u32(bytes + i * 4);
+      SEAFL_CHECK(idx < dim, "top-k index " << idx << " out of range (dim "
+                                            << dim << ")");
+      if (update.bits == 32) {
+        delta[idx] = load_f32(values + i * 4);
+      } else if (update.scale != 0.0f) {
+        const std::int64_t q =
+            static_cast<std::int64_t>(reader.pull(update.bits)) - half;
+        delta[idx] = static_cast<float>(static_cast<double>(q) * step);
+      }
+    }
+    return delta;
+  }
+
+ private:
+  CompressionConfig config_;
+};
+
+// --- identity ----------------------------------------------------------------
+
+class IdentityCodec final : public Codec {
+ public:
+  const char* name() const override { return "identity"; }
+  CodecKind kind() const override { return CodecKind::kIdentity; }
+
+  std::size_t encoded_bytes_for(std::size_t dim) const override {
+    return kContainerHeaderBytes + dim * 4;
+  }
+
+  CompressedUpdate encode(const std::vector<float>& weights,
+                          const std::vector<float>& base,
+                          std::vector<float>* /*residual*/,
+                          std::size_t /*client*/, std::uint64_t /*round*/,
+                          std::uint64_t /*seed*/) const override {
+    SEAFL_CHECK(base.size() == weights.size(),
+                "codec base/weights dim mismatch: " << base.size() << " vs "
+                                                    << weights.size());
+    // Absolute weights, not a delta: float addition does not round-trip
+    // (base + (w - base) != w in general), and identity promises bitwise
+    // fidelity. The residual is untouched — nothing is dropped.
+    CompressedUpdate out;
+    out.codec = CodecKind::kIdentity;
+    out.bits = 32;
+    out.dim = weights.size();
+    out.k = weights.size();
+    out.payload.reserve(weights.size() * 4);
+    for (const float w : weights) append_f32(out.payload, w);
+    return out;
+  }
+
+  std::vector<float> decode(const CompressedUpdate& update,
+                            const std::vector<float>& base) const override {
+    SEAFL_CHECK(update.dim == base.size(),
+                "compressed update dim " << update.dim
+                                         << " != base dim " << base.size());
+    const auto dim = static_cast<std::size_t>(update.dim);
+    std::vector<float> weights(dim);
+    const auto* bytes =
+        reinterpret_cast<const unsigned char*>(update.payload.data());
+    for (std::size_t i = 0; i < dim; ++i) weights[i] = load_f32(bytes + i * 4);
+    return weights;
+  }
+};
+
+}  // namespace
+
+const char* codec_kind_name(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kIdentity:
+      return "identity";
+    case CodecKind::kQuantize:
+      return "quantize";
+    case CodecKind::kTopK:
+      return "topk";
+  }
+  return "unknown";
+}
+
+void apply_codec_name(CompressionConfig& config, const std::string& name) {
+  if (name == "identity" || name == "float32") {
+    config.codec = CodecKind::kIdentity;
+  } else if (name == "quantize") {
+    config.codec = CodecKind::kQuantize;
+  } else if (name == "int8") {
+    config.codec = CodecKind::kQuantize;
+    config.bits = 8;
+  } else if (name == "int4") {
+    config.codec = CodecKind::kQuantize;
+    config.bits = 4;
+  } else if (name == "topk") {
+    config.codec = CodecKind::kTopK;
+  } else {
+    throw Error("unknown codec \"" + name +
+                "\" (want identity|float32|quantize|int8|int4|topk)");
+  }
+}
+
+void validate_compression(const CompressionConfig& config) {
+  switch (config.codec) {
+    case CodecKind::kIdentity:
+      return;  // the plain path; other knobs are inert
+    case CodecKind::kQuantize:
+      SEAFL_CHECK(config.bits >= 2 && config.bits <= 16,
+                  "compression.bits must be in [2, 16] for the quantize "
+                  "codec, got "
+                      << config.bits);
+      return;
+    case CodecKind::kTopK:
+      SEAFL_CHECK(config.topk_fraction > 0.0 && config.topk_fraction <= 1.0,
+                  "compression.topk_fraction must be in (0, 1], got "
+                      << config.topk_fraction);
+      SEAFL_CHECK(config.bits == 32 ||
+                      (config.bits >= 2 && config.bits <= 16),
+                  "compression.bits must be 32 (raw float values) or in "
+                  "[2, 16] for the topk codec, got "
+                      << config.bits);
+      SEAFL_CHECK(config.bits >= 8 || config.error_feedback,
+                  "topk with " << config.bits
+                               << "-bit values requires error_feedback: "
+                                  "sparsification plus coarse quantization "
+                                  "drops too much mass to converge without "
+                                  "a carried residual");
+      return;
+  }
+  throw Error("unknown codec kind");
+}
+
+void append_compressed(std::string& out, const CompressedUpdate& update) {
+  out.append(kMagic, sizeof(kMagic));
+  append_u16(out, kContainerVersion);
+  out.push_back(static_cast<char>(update.codec));
+  out.push_back(static_cast<char>(update.bits));
+  append_u64(out, update.dim);
+  append_u64(out, update.k);
+  append_f32(out, update.scale);
+  out.append(update.payload);
+}
+
+CompressedUpdate decode_compressed(const void* data, std::size_t size,
+                                   std::size_t* consumed) {
+  SEAFL_CHECK(size >= kContainerHeaderBytes,
+              "compressed container truncated: " << size << " bytes");
+  const auto* p = static_cast<const unsigned char*>(data);
+  SEAFL_CHECK(std::memcmp(p, kMagic, sizeof(kMagic)) == 0,
+              "bad compressed container magic");
+  const std::uint16_t version = load_u16(p + 8);
+  SEAFL_CHECK(version == kContainerVersion,
+              "unsupported compressed container version " << version);
+  CompressedUpdate update;
+  const std::uint8_t codec_byte = p[10];
+  SEAFL_CHECK(codec_byte <= static_cast<std::uint8_t>(CodecKind::kTopK),
+              "unknown codec byte " << static_cast<int>(codec_byte));
+  update.codec = static_cast<CodecKind>(codec_byte);
+  update.bits = p[11];
+  update.dim = load_u64(p + 12);
+  update.k = load_u64(p + 20);
+  update.scale = load_f32(p + 28);
+
+  SEAFL_CHECK(update.dim <= kMaxDim,
+              "compressed container dim " << update.dim << " exceeds limit");
+  SEAFL_CHECK(update.k <= update.dim, "compressed container k " << update.k
+                                                                << " > dim "
+                                                                << update.dim);
+  switch (update.codec) {
+    case CodecKind::kIdentity:
+      SEAFL_CHECK(update.bits == 32 && update.k == update.dim,
+                  "malformed identity container metadata");
+      break;
+    case CodecKind::kQuantize:
+      SEAFL_CHECK(update.bits >= 2 && update.bits <= 16 &&
+                      update.k == update.dim,
+                  "malformed quantize container metadata");
+      break;
+    case CodecKind::kTopK:
+      SEAFL_CHECK(update.bits == 32 || (update.bits >= 2 && update.bits <= 16),
+                  "malformed topk container metadata");
+      SEAFL_CHECK(update.dim == 0 || update.k >= 1,
+                  "malformed topk container metadata");
+      break;
+  }
+  const std::size_t payload_bytes =
+      expected_payload_bytes(update.codec, update.bits, update.dim, update.k);
+  SEAFL_CHECK(size - kContainerHeaderBytes >= payload_bytes,
+              "compressed container payload truncated: want "
+                  << payload_bytes << ", have " << size - kContainerHeaderBytes);
+  update.payload.assign(
+      reinterpret_cast<const char*>(p + kContainerHeaderBytes), payload_bytes);
+  if (consumed != nullptr) *consumed = kContainerHeaderBytes + payload_bytes;
+  return update;
+}
+
+std::unique_ptr<Codec> make_codec(const CompressionConfig& config) {
+  validate_compression(config);
+  switch (config.codec) {
+    case CodecKind::kIdentity:
+      return std::make_unique<IdentityCodec>();
+    case CodecKind::kQuantize:
+      return std::make_unique<QuantizeCodec>(config);
+    case CodecKind::kTopK:
+      return std::make_unique<TopKCodec>(config);
+  }
+  throw Error("unknown codec kind");
+}
+
+std::size_t transfer_bytes(std::size_t dim, std::size_t bits) {
+  if (bits == 0) return kFloatContainerHeaderBytes + dim * sizeof(float);
+  SEAFL_CHECK(bits >= 2 && bits <= 16, "quantization bits out of range");
+  return kContainerHeaderBytes + packed_bytes(dim, bits);
+}
+
+std::size_t upload_wire_bytes(const CompressionConfig& config,
+                              std::size_t legacy_quantize_bits,
+                              std::size_t dim) {
+  if (!config.enabled()) return transfer_bytes(dim, legacy_quantize_bits);
+  switch (config.codec) {
+    case CodecKind::kQuantize:
+      return kContainerHeaderBytes +
+             expected_payload_bytes(CodecKind::kQuantize, config.bits, dim,
+                                    dim);
+    case CodecKind::kTopK: {
+      const std::size_t k = topk_count(config.topk_fraction, dim);
+      return kContainerHeaderBytes +
+             expected_payload_bytes(CodecKind::kTopK, config.bits, dim, k);
+    }
+    case CodecKind::kIdentity:
+      break;  // unreachable: enabled() excludes identity
+  }
+  return transfer_bytes(dim, 0);
+}
+
+// Absorbed verbatim from the original fl/compression.cpp — the arithmetic
+// (float max-abs accumulation, pow-derived level count, double rounding) is
+// part of the legacy quantize_bits bitwise-reproducibility contract and must
+// not be "cleaned up".
+namespace {
+double legacy_grid_step(const std::vector<float>& weights, std::size_t bits) {
+  SEAFL_CHECK(bits >= 2 && bits <= 16,
+              "quantization bits must be in [2, 16], got " << bits);
+  float max_abs = 0.0f;
+  for (const float w : weights) max_abs = std::max(max_abs, std::abs(w));
+  if (max_abs == 0.0f) return 0.0;
+  const double levels = std::pow(2.0, static_cast<double>(bits)) - 1.0;
+  // Symmetric grid: (levels - 1) / 2 positive steps reach +max_abs.
+  return 2.0 * max_abs / (levels - 1.0);
+}
+}  // namespace
+
+double quantize_model_inplace(std::vector<float>& weights, std::size_t bits) {
+  const double step = legacy_grid_step(weights, bits);
+  if (step == 0.0) return 0.0;
+  for (auto& w : weights) {
+    w = static_cast<float>(std::round(static_cast<double>(w) / step) * step);
+  }
+  return step;
+}
+
+double quantization_error_bound(const std::vector<float>& weights,
+                                std::size_t bits) {
+  return legacy_grid_step(weights, bits) / 2.0;
+}
+
+}  // namespace seafl::compress

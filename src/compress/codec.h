@@ -1,0 +1,175 @@
+// Upload compression subsystem (DESIGN.md §14): codecs that turn a trained
+// model vector into real bytes — the exact bytes the wire ships and the
+// bandwidth model charges for — plus the matching server-side decode.
+//
+// Three codecs:
+//  * identity  — float32 passthrough of the absolute weights (bitwise exact);
+//  * quantize  — stochastic uniform quantization of the *delta* against the
+//    dispatched base weights, `bits` (2..16) per scalar. Rounding noise is
+//    drawn from a counter-keyed stream, so encode is a pure deterministic
+//    function of (weights, base, residual, client, round, seed);
+//  * topk      — top-k sparsification of the delta by magnitude (fraction of
+//    coordinates kept), values stored as float32 or further quantized.
+//
+// Error feedback: when enabled, the coordinate mass a codec drops (the
+// residual) is carried per client and folded into that client's *next*
+// encode, so compression error accumulates into later uploads instead of
+// being lost — the property AsyncFedED-style adaptive weighting relies on
+// (update geometry survives transmission in expectation).
+//
+// Every encode is data-independent in *size*: encoded_bytes_for(dim) equals
+// encoded_bytes() of any actual encode of a dim-length vector. That is what
+// lets the virtual simulation schedule an upload's transmission time at
+// dispatch, before the trained weights exist (fl/simulation.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace seafl::compress {
+
+enum class CodecKind : std::uint8_t {
+  kIdentity = 0,  ///< float32 passthrough (no compression on the wire)
+  kQuantize = 1,  ///< stochastic uniform quantization of the delta
+  kTopK = 2,      ///< top-k delta sparsification (+ optional quantization)
+};
+
+/// Stable lowercase name ("identity", "quantize", "topk").
+const char* codec_kind_name(CodecKind kind);
+
+/// The upload-compression knobs of a run (RunConfig::compression).
+struct CompressionConfig {
+  CodecKind codec = CodecKind::kIdentity;
+  /// Bits per stored value: quantize needs [2, 16]; topk takes 32 (raw
+  /// float32 values) or [2, 16] (kept values quantized too).
+  std::size_t bits = 8;
+  /// Fraction of coordinates kTopK keeps, in (0, 1]. At least one
+  /// coordinate is always kept.
+  double topk_fraction = 0.1;
+  /// Carry dropped/rounded mass into the client's next encode.
+  bool error_feedback = true;
+
+  /// Identity means the plain float32 upload path everywhere (wire frames,
+  /// byte accounting and timing all unchanged from a config predating the
+  /// compress subsystem).
+  bool enabled() const { return codec != CodecKind::kIdentity; }
+};
+
+/// Parses a codec selector into `config`. Accepts the three kind names plus
+/// the width aliases "float32" (identity), "int8" and "int4" (quantize with
+/// bits forced to 8 / 4). Throws seafl::Error on anything else.
+void apply_codec_name(CompressionConfig& config, const std::string& name);
+
+/// Throws seafl::Error with a field-specific message on the first invalid or
+/// conflicting knob (bad bit width, topk_fraction out of (0, 1], coarse
+/// top-k without error feedback).
+void validate_compression(const CompressionConfig& config);
+
+// --- the compressed-model container -----------------------------------------
+
+/// SEAFLCMP container header: magic(8) + version(u16) + codec(u8) + bits(u8)
+/// + dim(u64) + k(u64) + scale(f32).
+inline constexpr std::size_t kContainerHeaderBytes = 32;
+
+/// Header size of the plain SEAFLMDL float32 container (nn/serialize):
+/// magic(8) + version(u32) + count(u64). Pinned by a test against
+/// append_model_vector so the two layers cannot drift apart.
+inline constexpr std::size_t kFloatContainerHeaderBytes = 20;
+
+/// One encoded model update: metadata plus the packed payload. The bytes of
+/// append_compressed() are exactly what the wire ships and exactly what
+/// encoded_bytes() reports — the acceptance contract tying server-logged
+/// bytes-on-wire to the codec.
+struct CompressedUpdate {
+  CodecKind codec = CodecKind::kIdentity;
+  std::uint32_t bits = 32;  ///< stored value width (32 = raw float)
+  std::uint64_t dim = 0;    ///< original vector length
+  std::uint64_t k = 0;      ///< stored coordinates (== dim unless topk)
+  float scale = 0.0f;       ///< quantization grid step (0 = none/all-zero)
+  std::string payload;      ///< packed values (+ u32 indices for topk), LE
+
+  /// Container bytes: header + payload.
+  std::size_t encoded_bytes() const {
+    return kContainerHeaderBytes + payload.size();
+  }
+};
+
+/// Appends the SEAFLCMP container for `update` to `out`.
+void append_compressed(std::string& out, const CompressedUpdate& update);
+
+/// Parses one container from the front of `data`. Validates the header and
+/// that the payload length matches what (codec, bits, dim, k) requires;
+/// throws seafl::Error on anything malformed (wire decoding converts that
+/// into a close-the-peer status, never a crash). On success `*consumed`
+/// (when non-null) receives the container's total byte length.
+CompressedUpdate decode_compressed(const void* data, std::size_t size,
+                                   std::size_t* consumed = nullptr);
+
+// --- the codec interface -----------------------------------------------------
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual const char* name() const = 0;
+  virtual CodecKind kind() const = 0;
+
+  /// Container bytes of any encode of a dim-length vector (data-independent
+  /// by design; see file comment).
+  virtual std::size_t encoded_bytes_for(std::size_t dim) const = 0;
+
+  /// Encodes trained `weights` against `base` (the dispatched global
+  /// snapshot the client trained from). A non-null `residual` is the
+  /// client's carried error-feedback state: it is folded into this encode's
+  /// input and rewritten to the new encode error — exactly one accumulation
+  /// per call (an empty vector is treated as zeros and sized to dim).
+  /// Deterministic in (weights, base, *residual, client, round, seed); the
+  /// stochastic-rounding stream is Rng(seed, kCompress, client, round).
+  virtual CompressedUpdate encode(const std::vector<float>& weights,
+                                  const std::vector<float>& base,
+                                  std::vector<float>* residual,
+                                  std::size_t client, std::uint64_t round,
+                                  std::uint64_t seed) const = 0;
+
+  /// Reconstructs absolute weights: base + decoded delta (identity ignores
+  /// `base` and returns the stored weights bitwise). Throws seafl::Error on
+  /// a payload whose indices or dimensions are inconsistent.
+  virtual std::vector<float> decode(const CompressedUpdate& update,
+                                    const std::vector<float>& base) const = 0;
+};
+
+/// Builds the codec `config` selects (validates first).
+std::unique_ptr<Codec> make_codec(const CompressionConfig& config);
+
+// --- byte accounting ---------------------------------------------------------
+
+/// Bytes on the wire for one model upload at the given precision. Includes
+/// the container header: bits = 0 is a plain SEAFLMDL float32 container,
+/// otherwise a SEAFLCMP container of packed `bits`-wide values.
+std::size_t transfer_bytes(std::size_t dim, std::size_t bits);
+
+/// On-wire bytes of one dim-length upload under a run's compression knobs:
+/// the codec's container when compression is on, else transfer_bytes with
+/// the legacy quantize_bits (0 = plain float32).
+std::size_t upload_wire_bytes(const CompressionConfig& config,
+                              std::size_t legacy_quantize_bits,
+                              std::size_t dim);
+
+// --- legacy shim (absorbed from fl/compression) ------------------------------
+
+/// Deterministic (round-to-nearest) uniform symmetric quantization of
+/// `weights` in place to `bits` bits per scalar (2..16). Returns the grid
+/// step; 0 for an all-zero vector. This is the historical `quantize_bits`
+/// fault knob — byte-for-byte the pre-subsystem arithmetic, kept separate
+/// from the stochastic kQuantize codec so legacy configs stay bitwise
+/// reproducible.
+double quantize_model_inplace(std::vector<float>& weights, std::size_t bits);
+
+/// Worst-case absolute rounding error of quantize_model_inplace: half the
+/// grid step.
+double quantization_error_bound(const std::vector<float>& weights,
+                                std::size_t bits);
+
+}  // namespace seafl::compress

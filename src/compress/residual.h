@@ -1,0 +1,45 @@
+// Per-client error-feedback state for the upload codecs (DESIGN.md §14).
+//
+// Each client carries one residual vector: the mass its last delivered
+// encode dropped, folded into the next encode's input. The lifecycle rule
+// that makes this correct under faults is *advance on the encode that gets
+// delivered, never per attempt*:
+//  * the virtual Simulation encodes exactly once, at the upload's arrival
+//    event, so lost-forever uploads, crashed clients and deadline
+//    re-dispatches never touch the residual;
+//  * the deployment client encodes once per training session before the
+//    retry loop, and every retry re-sends those same bytes, so a retransmit
+//    cannot double-accumulate either.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace seafl::compress {
+
+/// Lazily materialized per-client residual vectors. Not thread-safe: both
+/// drivers touch it from their single event/handler thread.
+class ResidualStore {
+ public:
+  /// The client's residual, created as `dim` zeros on first access. Pass the
+  /// returned vector to Codec::encode, which folds it in and rewrites it.
+  std::vector<float>& for_client(std::size_t client, std::size_t dim) {
+    auto& r = residuals_[client];
+    if (r.empty()) r.assign(dim, 0.0f);
+    return r;
+  }
+
+  /// Drops a client's carried state (e.g. when its data is reassigned to a
+  /// fresh device identity — stale error mass would no longer correspond to
+  /// anything that client observed).
+  void reset(std::size_t client) { residuals_.erase(client); }
+
+  bool has(std::size_t client) const { return residuals_.count(client) > 0; }
+  std::size_t size() const { return residuals_.size(); }
+
+ private:
+  std::unordered_map<std::size_t, std::vector<float>> residuals_;
+};
+
+}  // namespace seafl::compress

@@ -28,6 +28,12 @@ RunConfig base_config(const ExperimentParams& p) {
   c.seed = p.seed;
   c.eager_training = p.eager_training;
   c.sim_jobs = p.sim_jobs;
+  // Width knobs first, then the selector: the "int8"/"int4" aliases force
+  // their own bit width and must win over codec_bits.
+  c.compression.bits = p.codec_bits;
+  c.compression.topk_fraction = p.topk_fraction;
+  c.compression.error_feedback = p.error_feedback;
+  compress::apply_codec_name(c.compression, p.codec);
   return c;
 }
 

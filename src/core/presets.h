@@ -31,6 +31,15 @@ struct ExperimentParams {
   std::size_t eval_subset = 0;
   std::uint64_t seed = 42;
 
+  /// Upload compression (DESIGN.md §14). `codec` takes the selector names of
+  /// compress::apply_codec_name ("identity", "float32", "quantize", "int8",
+  /// "int4", "topk"); the width aliases override `codec_bits`. Identity
+  /// keeps every byte-level behaviour of a pre-compression config.
+  std::string codec = "identity";
+  std::size_t codec_bits = 8;        ///< value width for quantize/topk
+  double topk_fraction = 0.1;        ///< coordinate fraction topk keeps
+  bool error_feedback = true;        ///< carry dropped mass across rounds
+
   /// Execution knobs (RunConfig::eager_training / sim_jobs): where client
   /// training runs, never what it computes — results are bitwise invariant,
   /// so these are deliberately NOT in the exp FieldBinding table and never

@@ -22,7 +22,10 @@ namespace {
 // produces; invalidate rather than mix kernel generations in one sweep.
 // v4: RunResult gained the speculation counters (speculation_cut /
 // speculation_wasted); the result JSON has two more fields.
-constexpr std::uint64_t kCacheVersion = 4;
+// v5: RunResult gained the communication accounting (upload_wire_bytes /
+// upload_raw_bytes), and transfer_bytes now charges container headers, so
+// cached byte counts from older versions would under-report.
+constexpr std::uint64_t kCacheVersion = 5;
 
 Json curve_to_json(const std::vector<AccuracyPoint>& curve) {
   JsonArray out;
@@ -112,6 +115,8 @@ Json result_to_json(const RunResult& r) {
   obj.emplace("clipped_updates", Json(r.clipped_updates));
   obj.emplace("speculation_cut", Json(r.speculation_cut));
   obj.emplace("speculation_wasted", Json(r.speculation_wasted));
+  obj.emplace("upload_wire_bytes", Json(r.upload_wire_bytes));
+  obj.emplace("upload_raw_bytes", Json(r.upload_raw_bytes));
   return Json(std::move(obj));
 }
 
@@ -147,6 +152,8 @@ RunResult result_from_json(const Json& json) {
   r.clipped_updates = json.at("clipped_updates").as_size();
   r.speculation_cut = json.at("speculation_cut").as_size();
   r.speculation_wasted = json.at("speculation_wasted").as_size();
+  r.upload_wire_bytes = json.at("upload_wire_bytes").as_size();
+  r.upload_raw_bytes = json.at("upload_raw_bytes").as_size();
   return r;
 }
 

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/error.h"
+#include "compress/codec.h"
 
 namespace seafl::exp {
 
@@ -172,6 +173,13 @@ const std::vector<FieldBinding>& field_table() {
          s.world.fleet.mean_latency = parse_double("latency", v);
        },
        [](const ArmSpec& s) { return fmt_double(s.world.fleet.mean_latency); }},
+      {"uplink",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.fleet.mean_uplink_bytes_per_sec = parse_double("uplink", v);
+       },
+       [](const ArmSpec& s) {
+         return fmt_double(s.world.fleet.mean_uplink_bytes_per_sec);
+       }},
       {"fleet-seed",
        [](ArmSpec& s, const std::string& v) {
          s.world.fleet.seed = parse_u64("fleet-seed", v);
@@ -270,6 +278,34 @@ const std::vector<FieldBinding>& field_table() {
          s.params.seed = parse_u64("run-seed", v);
        },
        [](const ArmSpec& s) { return std::to_string(s.params.seed); }},
+
+      // --- upload compression (DESIGN.md §14) ---------------------------------
+      {"codec",
+       [](ArmSpec& s, const std::string& v) {
+         // Validate eagerly so a sweep over a typo fails at enumeration,
+         // not mid-run; the string itself is what serializes.
+         compress::CompressionConfig probe;
+         compress::apply_codec_name(probe, v);
+         s.params.codec = v;
+       },
+       [](const ArmSpec& s) { return s.params.codec; }},
+      {"codec-bits",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.codec_bits = parse_size("codec-bits", v);
+       },
+       [](const ArmSpec& s) { return std::to_string(s.params.codec_bits); }},
+      {"topk",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.topk_fraction = parse_double("topk", v);
+       },
+       [](const ArmSpec& s) { return fmt_double(s.params.topk_fraction); }},
+      {"error-feedback",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.error_feedback = parse_bool("error-feedback", v);
+       },
+       [](const ArmSpec& s) {
+         return std::string(s.params.error_feedback ? "true" : "false");
+       }},
 
       // --- compound aliases (not serialized; expand to the fields above) ----
       {"seed",

@@ -1,26 +1,37 @@
-// Upload compression: uniform symmetric quantization of model vectors, the
-// simplest of the communication-efficiency techniques §II surveys. Values
-// are snapped to a grid of 2^bits - 1 levels spanning [-max|w|, max|w|];
-// the dequantized vector is returned in place (simulation exchanges logical
-// floats; only the byte accounting changes).
+// Byte-compatible shim over src/compress (DESIGN.md §14), kept so legacy
+// call sites and the historical `quantize_bits` fault knob keep their exact
+// signatures and arithmetic. The implementations moved verbatim; new code
+// should include compress/codec.h directly.
+//
+// One deliberate behaviour change rides along: transfer_bytes now includes
+// the container header (SEAFLMDL for float32, SEAFLCMP for packed bits), so
+// the byte accounting matches what the wire actually ships.
 #pragma once
 
 #include <cstddef>
 
+#include "compress/codec.h"
 #include "fl/types.h"
 
 namespace seafl {
 
 /// Quantizes `weights` in place to `bits` bits per scalar (2..16).
 /// Returns the quantization scale (grid step); 0 for an all-zero vector.
-double quantize_model(ModelVector& weights, std::size_t bits);
+inline double quantize_model(ModelVector& weights, std::size_t bits) {
+  return compress::quantize_model_inplace(weights, bits);
+}
 
 /// Worst-case absolute rounding error of quantize_model for this vector:
 /// half the grid step.
-double quantization_error_bound(const ModelVector& weights, std::size_t bits);
+inline double quantization_error_bound(const ModelVector& weights,
+                                       std::size_t bits) {
+  return compress::quantization_error_bound(weights, bits);
+}
 
 /// Bytes on the wire for one model transfer at the given precision
-/// (bits = 0 means uncompressed float32).
-std::size_t transfer_bytes(std::size_t dim, std::size_t bits);
+/// (bits = 0 means uncompressed float32). Includes the container header.
+inline std::size_t transfer_bytes(std::size_t dim, std::size_t bits) {
+  return compress::transfer_bytes(dim, bits);
+}
 
 }  // namespace seafl

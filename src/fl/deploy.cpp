@@ -89,6 +89,8 @@ void DeployServer::on_message(net::PeerId peer, const net::Message& message) {
     handle_hello(peer, message.as<net::HelloMsg>());
   } else if (message.is<net::UploadMsg>()) {
     handle_upload(peer, message.as<net::UploadMsg>());
+  } else if (message.is<net::CompressedUploadMsg>()) {
+    handle_compressed_upload(peer, message.as<net::CompressedUploadMsg>());
   }
   // Anything else from a client is protocol noise; tolerated silently.
 }
@@ -128,6 +130,8 @@ void DeployServer::handle_hello(net::PeerId peer, const net::HelloMsg& msg) {
 void DeployServer::start_run() {
   started_ = true;
   core_.begin(initial_weights_, task_->num_clients());
+  if (core_.codec() != nullptr)
+    global_snapshot_ = std::make_shared<const ModelVector>(core_.global());
   evaluate_and_record();  // baseline at t ~ 0
   if (done_) return;      // a trivially-met target stops before round 1
   arm_round_deadline();
@@ -153,6 +157,7 @@ void DeployServer::dispatch_to(std::size_t client) {
   session.base_round = core_.round();
   session.dispatch_time = now();
   session.planned_epochs = config_.local_epochs;
+  session.base_weights = global_snapshot_;  // null when compression is off
   const std::uint64_t id = ++next_session_;
 
   net::DispatchMsg msg;
@@ -225,7 +230,70 @@ void DeployServer::handle_upload(net::PeerId peer, const net::UploadMsg& msg) {
   record(obs::TraceEventKind::kUpload, session.client, session.base_round,
          update.epochs_completed, 0,
          static_cast<double>(core_.staleness_of(session.base_round)));
+  core_.count_upload_bytes(
+      compress::transfer_bytes(update.weights.size(), 0),
+      compress::transfer_bytes(update.weights.size(), 0));
   core_.add_update(std::move(update));
+
+  after_buffer_change();
+}
+
+void DeployServer::handle_compressed_upload(
+    net::PeerId peer, const net::CompressedUploadMsg& msg) {
+  const auto client_it = peer_client_.find(peer);
+  if (client_it == peer_client_.end()) {
+    transport_->close_peer(peer);  // uploads require registration
+    return;
+  }
+  const auto session_it = sessions_.find(msg.session);
+  if (session_it == sessions_.end()) return;  // expired/canceled; too late
+  const Session session = session_it->second;
+  if (session.client != client_it->second) return;  // not your session
+  if (core_.codec() == nullptr || session.base_weights == nullptr ||
+      msg.update.dim != initial_weights_.size()) {
+    // Compressed bytes against a run that did not configure a codec (or a
+    // wrong-sized model): a config mismatch, handled like a bad hello.
+    transport_->close_peer(peer);
+    return;
+  }
+
+  LocalUpdate update;
+  update.client = session.client;
+  update.base_round = session.base_round;
+  update.num_samples = task_->partition.at(session.client).size();
+  update.epochs_completed = msg.epochs_completed;
+  update.arrival_time = now();
+  update.train_loss = msg.train_loss;
+  try {
+    core_.add_encoded_update(std::move(update), msg.update,
+                             *session.base_weights, &journal_);
+  } catch (const Error&) {
+    // The container parsed on the wire but its contents are hostile (e.g.
+    // a top-k index out of range). Drop the peer; the session stays live,
+    // so the disconnect path reclaims the slot exactly like a crash.
+    transport_->close_peer(peer);
+    return;
+  }
+
+  if (session.deadline_timer != 0) transport_->cancel(session.deadline_timer);
+  sessions_.erase(msg.session);
+  client_session_.erase(session.client);
+
+  const double round_trip = now() - session.dispatch_time;
+  rtt_estimate_ = rtt_estimate_ > 0.0
+                      ? 0.7 * rtt_estimate_ + 0.3 * round_trip
+                      : round_trip;
+  if (msg.attempt > 1) {
+    core_.result().upload_retries += msg.attempt - 1;
+    record(obs::TraceEventKind::kRetry, session.client, session.base_round,
+           msg.attempt - 1, 0, 0.0);
+  }
+  if (msg.epochs_completed < config_.local_epochs)
+    ++core_.result().partial_updates;
+  ++core_.result().model_uploads;
+  record(obs::TraceEventKind::kUpload, session.client, session.base_round,
+         msg.epochs_completed, 0,
+         static_cast<double>(core_.staleness_of(session.base_round)));
 
   after_buffer_change();
 }
@@ -245,6 +313,8 @@ void DeployServer::after_buffer_change() {
   }
   if (!outcome.aggregated) return;
 
+  if (core_.codec() != nullptr)
+    global_snapshot_ = std::make_shared<const ModelVector>(core_.global());
   evaluate_and_record();
   if (done_) {
     finish();
@@ -436,6 +506,9 @@ DeployClient::DeployClient(const FlTask& task, const ModelFactory& factory,
               "client id " << options_.client_id << " out of range [0, "
                            << task.num_clients() << ")");
   SEAFL_CHECK(options_.port != 0, "client needs a server port");
+  compress::validate_compression(config_.compression);
+  if (config_.compression.enabled())
+    codec_ = compress::make_codec(config_.compression);
 }
 
 bool DeployClient::connect_and_register() {
@@ -553,6 +626,27 @@ void DeployClient::train_session(const net::DispatchMsg& dispatch) {
     return;
   }
 
+  if (trained.epochs < dispatch.epochs) ++stats_.partial_uploads;
+
+  if (codec_ != nullptr) {
+    net::CompressedUploadMsg upload;
+    upload.session = dispatch.session;
+    upload.client = options_.client_id;
+    upload.base_round = dispatch.base_round;
+    upload.num_samples = trainer_.client_samples(options_.client_id);
+    upload.epochs_completed = static_cast<std::uint32_t>(trained.epochs);
+    upload.train_loss = trained.mean_loss;
+    // Encode exactly once per trained session — every retry re-sends these
+    // same bytes, so the residual advances once whatever the network does.
+    ModelVector* residual =
+        config_.compression.error_feedback ? &residual_ : nullptr;
+    upload.update =
+        codec_->encode(trained.weights, dispatch.weights, residual,
+                       options_.client_id, dispatch.base_round, config_.seed);
+    upload_with_retries(std::move(upload));
+    return;
+  }
+
   net::UploadMsg upload;
   upload.session = dispatch.session;
   upload.client = options_.client_id;
@@ -561,11 +655,11 @@ void DeployClient::train_session(const net::DispatchMsg& dispatch) {
   upload.epochs_completed = static_cast<std::uint32_t>(trained.epochs);
   upload.train_loss = trained.mean_loss;
   upload.weights = trained.weights;  // copy: the trainer's buffer is reused
-  if (trained.epochs < dispatch.epochs) ++stats_.partial_uploads;
   upload_with_retries(std::move(upload));
 }
 
-void DeployClient::upload_with_retries(net::UploadMsg upload) {
+template <typename UploadLike>
+void DeployClient::upload_with_retries(UploadLike upload) {
   const FaultConfig& f = config_.faults;
   const std::size_t max_attempts = 1 + f.max_upload_retries;
   for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {

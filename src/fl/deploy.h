@@ -24,6 +24,7 @@
 #include <memory>
 #include <string>
 
+#include "compress/codec.h"
 #include "fl/client.h"
 #include "fl/evaluator.h"
 #include "fl/server_core.h"
@@ -76,12 +77,17 @@ class DeployServer final : public net::MessageHandler {
     double dispatch_time = 0.0;
     std::uint64_t deadline_timer = 0;  ///< transport timer id (0 = none)
     std::size_t planned_epochs = 0;
+    /// Immutable global snapshot at dispatch; the delta base a compressed
+    /// upload of this session decodes against (null when compression is off).
+    std::shared_ptr<const ModelVector> base_weights;
     bool notified = false;
   };
 
   double now() const { return transport_->clock().now(); }
   void handle_hello(net::PeerId peer, const net::HelloMsg& msg);
   void handle_upload(net::PeerId peer, const net::UploadMsg& msg);
+  void handle_compressed_upload(net::PeerId peer,
+                                const net::CompressedUploadMsg& msg);
   void start_run();
   void dispatch_to(std::size_t client);
   /// Aggregation decision + everything that follows one (eval broadcast,
@@ -106,6 +112,10 @@ class DeployServer final : public net::MessageHandler {
   Evaluator evaluator_;
   ServerCore core_;
   ModelVector initial_weights_;
+  /// Copy of the global model frozen at the last aggregation; dispatched
+  /// sessions share it as their compression base. Maintained only when a
+  /// codec is configured (the plain path never needs it).
+  std::shared_ptr<const ModelVector> global_snapshot_;
   std::unique_ptr<net::SocketTransport> transport_;
   obs::TraceJournal journal_;
 
@@ -170,7 +180,11 @@ class DeployClient final : public net::MessageHandler {
   void train_session(const net::DispatchMsg& dispatch);
   /// Sends the upload; on a dead connection, reconnects with backoff and
   /// re-sends (attempt increments per try) up to faults.max_upload_retries.
-  void upload_with_retries(net::UploadMsg upload);
+  /// Works for UploadMsg and CompressedUploadMsg alike — a retry re-sends
+  /// the *same* already-encoded bytes, so error feedback never
+  /// double-accumulates across attempts.
+  template <typename UploadLike>
+  void upload_with_retries(UploadLike upload);
 
   const FlTask* task_;
   RunConfig config_;
@@ -178,6 +192,13 @@ class DeployClient final : public net::MessageHandler {
   ClientTrainer trainer_;
   std::unique_ptr<net::SocketTransport> transport_;
   net::PeerId server_ = 0;
+
+  /// Upload encoder; non-null iff config_.compression is enabled. The
+  /// error-feedback residual advances exactly once per trained session
+  /// (before the first transmission attempt), mirroring the simulation's
+  /// advance-on-delivery rule (DESIGN.md §14).
+  std::unique_ptr<compress::Codec> codec_;
+  ModelVector residual_;
 
   std::deque<net::DispatchMsg> pending_;  ///< dispatches awaiting training
   /// Session the trainer is currently inside (0 = none); Notify/Cancel for

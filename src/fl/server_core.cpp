@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "obs/profile.h"
 
 namespace seafl {
@@ -38,6 +39,13 @@ void validate_run_config(const RunConfig& c, std::size_t num_clients) {
                   (c.quantize_bits >= 2 && c.quantize_bits <= 16),
               "quantize_bits must be 0 (off) or in [2, 16], got "
                   << c.quantize_bits);
+  // The codec knobs validate as a unit (bit widths, topk_fraction range,
+  // conflicting combinations like coarse top-k without error feedback).
+  compress::validate_compression(c.compression);
+  SEAFL_CHECK(c.quantize_bits == 0 || !c.compression.enabled(),
+              "quantize_bits (legacy lossy-float knob) and compression.codec "
+              "are mutually exclusive: pick the codec's quantization, not "
+              "both");
   SEAFL_CHECK(c.upload_loss_prob >= 0.0 && c.upload_loss_prob < 1.0,
               "upload_loss_prob must lie in [0, 1), got "
                   << c.upload_loss_prob);
@@ -88,6 +96,8 @@ ModelVector initial_global_weights(const ModelFactory& factory,
 ServerCore::ServerCore(AggregationStrategy* strategy, const RunConfig& config)
     : strategy_(strategy), config_(&config) {
   SEAFL_CHECK(strategy_ != nullptr, "null aggregation strategy");
+  if (config.compression.enabled())
+    codec_ = compress::make_codec(config.compression);
 }
 
 void ServerCore::begin(ModelVector initial, std::size_t num_clients) {
@@ -102,6 +112,40 @@ void ServerCore::begin(ModelVector initial, std::size_t num_clients) {
 
 void ServerCore::add_update(LocalUpdate update) {
   buffer_.push_back(std::move(update));
+}
+
+void ServerCore::add_encoded_update(LocalUpdate update,
+                                    const compress::CompressedUpdate& encoded,
+                                    const ModelVector& base,
+                                    obs::TraceSink* trace) {
+  SEAFL_CHECK(codec_ != nullptr,
+              "add_encoded_update without compression enabled");
+  // Decode first: a malformed payload must throw before any accounting or
+  // buffering mutates the run (deployment catches and drops the peer).
+  update.weights = codec_->decode(encoded, base);
+
+  const std::size_t wire = encoded.encoded_bytes();
+  const std::size_t raw = compress::transfer_bytes(update.weights.size(), 0);
+  count_upload_bytes(wire, raw);
+  if (trace != nullptr) {
+    obs::TraceEvent e = trace_event(obs::TraceEventKind::kCompressed,
+                                    update.arrival_time, round_);
+    e.client = update.client;
+    e.base_round = update.base_round;
+    e.updates = wire;
+    e.value = static_cast<double>(raw) / static_cast<double>(wire);
+    trace->record(e);
+  }
+  buffer_.push_back(std::move(update));
+}
+
+void ServerCore::count_upload_bytes(std::size_t wire_bytes,
+                                    std::size_t raw_bytes) {
+  result_.upload_wire_bytes += wire_bytes;
+  result_.upload_raw_bytes += raw_bytes;
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("fl.compress.wire_bytes").add(wire_bytes);
+  reg.counter("fl.compress.raw_bytes").add(raw_bytes);
 }
 
 AggregateOutcome ServerCore::try_aggregate(

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "compress/codec.h"
 #include "fl/strategy.h"
 #include "nn/sequential.h"
 #include "obs/trace.h"
@@ -56,6 +58,23 @@ class ServerCore {
   /// arrival_time and counted upload metrics).
   void add_update(LocalUpdate update);
 
+  /// Buffers one arrived *compressed* update: decodes it against `base`
+  /// (the global snapshot dispatched to the client) ahead of screening and
+  /// aggregation, and counts the exact container bytes-on-wire plus a
+  /// kCompressed journal event. `update.weights` is ignored and replaced by
+  /// the decode. Requires config.compression to be enabled; decoding a
+  /// malformed payload throws seafl::Error *before* any state changes, so a
+  /// deployment server can catch and drop the peer.
+  void add_encoded_update(LocalUpdate update,
+                          const compress::CompressedUpdate& encoded,
+                          const ModelVector& base, obs::TraceSink* trace);
+
+  /// Adds one delivered upload to the run's communication accounting
+  /// (RunResult::upload_wire_bytes / upload_raw_bytes + obs counters).
+  /// Drivers call this on the plain-float path; add_encoded_update does it
+  /// internally.
+  void count_upload_bytes(std::size_t wire_bytes, std::size_t raw_bytes);
+
   /// Runs the aggregation decision of maybe_aggregate() at time `now`:
   /// drop-stale filtering, the (possibly degraded) buffer target, the
   /// wait-for-stale hold, and — when the decision is "go" — the full
@@ -85,12 +104,16 @@ class ServerCore {
   /// run-end mean).
   double staleness_sum() const { return staleness_sum_; }
 
+  /// The decode side of the run's codec; null when compression is off.
+  const compress::Codec* codec() const { return codec_.get(); }
+
  private:
   void do_aggregate(double now, obs::TraceSink* trace,
                     AggregateOutcome& outcome);
 
   AggregationStrategy* strategy_;
   const RunConfig* config_;
+  std::unique_ptr<compress::Codec> codec_;  ///< null = compression off
   ModelVector global_;
   std::uint64_t round_ = 0;
   std::vector<LocalUpdate> buffer_;

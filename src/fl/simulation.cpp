@@ -50,6 +50,12 @@ Simulation::Simulation(const FlTask& task, const ModelFactory& factory,
   if (config_.eager_training)
     executor_ = std::make_unique<TrainingExecutor>(task, factory, config_);
   initial_weights_ = initial_global_weights(factory, config_.seed);
+  if (config_.compression.enabled())
+    client_codec_ = compress::make_codec(config_.compression);
+  // Priced at dispatch time by the fleet's bandwidth model; every codec's
+  // encoded size is a pure function of the dimension, so this is exact.
+  upload_payload_bytes_ = compress::upload_wire_bytes(
+      config_.compression, config_.quantize_bits, initial_weights_.size());
 }
 
 void Simulation::refresh_global_snapshot() {
@@ -203,7 +209,7 @@ void Simulation::start_training(std::size_t client) {
     state.epoch_ends.push_back(when);
   }
   const double arrival =
-      when + fleet_->latency_seconds(client, round(), /*leg=*/1);
+      when + fleet_->upload_seconds(client, round(), upload_payload_bytes_);
   // The device's next offline time is a fixed property of its churn
   // timeline; a session dispatched to an offline device is dead on arrival
   // (crash_time == dispatch).
@@ -291,9 +297,6 @@ void Simulation::on_arrival(std::size_t client, std::size_t epochs) {
   LocalUpdate update;
   update.client = client;
   update.base_round = state.base_round;
-  update.weights = std::move(trained.weights);
-  if (config_.quantize_bits > 0)
-    quantize_model(update.weights, config_.quantize_bits);
   update.num_samples = trainer_.client_samples(client);
   update.epochs_completed = epochs;
   update.arrival_time = queue().now();
@@ -319,7 +322,27 @@ void Simulation::on_arrival(std::size_t client, std::size_t epochs) {
     ev.value = static_cast<double>(staleness_of(state.base_round));
     trace_->record(ev);
   }
-  core_.add_update(std::move(update));
+  if (client_codec_ != nullptr) {
+    // Encode at the single delivery event: retransmissions of a lost upload
+    // are the *same* bytes re-sent (they never reach this handler), so the
+    // error-feedback residual advances exactly once per delivered update.
+    ModelVector* residual = nullptr;
+    if (config_.compression.error_feedback)
+      residual = &residuals_.for_client(client, trained.weights.size());
+    const compress::CompressedUpdate encoded = client_codec_->encode(
+        trained.weights, *state.base_weights, residual, client,
+        state.base_round, config_.seed);
+    core_.add_encoded_update(std::move(update), encoded, *state.base_weights,
+                             trace_);
+  } else {
+    update.weights = std::move(trained.weights);
+    if (config_.quantize_bits > 0)
+      quantize_model(update.weights, config_.quantize_bits);
+    core_.count_upload_bytes(
+        transfer_bytes(update.weights.size(), config_.quantize_bits),
+        transfer_bytes(update.weights.size(), 0));
+    core_.add_update(std::move(update));
+  }
 
   maybe_aggregate();
 }
@@ -348,7 +371,8 @@ void Simulation::on_upload_lost(std::size_t client) {
                      std::pow(2.0, static_cast<double>(state.attempts - 1)));
     const double arrival =
         queue().now() + backoff +
-        fleet_->latency_seconds(client, state.base_round, /*leg=*/1);
+        fleet_->upload_seconds(client, state.base_round,
+                               upload_payload_bytes_);
     ++state.attempts;
     ++result().upload_retries;
     // Fresh loss draw per transmission (see start_training's counter note).
@@ -510,7 +534,7 @@ void Simulation::on_notification(std::size_t client) {
 
   const double arrival =
       state.epoch_ends[stop_epoch - 1] +
-      fleet_->latency_seconds(client, state.base_round, /*leg=*/1);
+      fleet_->upload_seconds(client, state.base_round, upload_payload_bytes_);
   // The notification may arrive mid-epoch while the scheduled end is still
   // in the future; arrival must not precede the present.
   const double when = std::max(arrival, now);

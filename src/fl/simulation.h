@@ -33,6 +33,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "compress/residual.h"
 #include "fl/client.h"
 #include "fl/compression.h"
 #include "fl/evaluator.h"
@@ -164,6 +165,19 @@ class Simulation {
   std::unordered_map<std::size_t, InFlight> in_flight_;
   bool done_ = false;
   std::uint64_t dropout_draws_ = 0;  ///< see start_training's loss draw
+
+  // --- upload compression (DESIGN.md §14) -----------------------------------
+  /// Client-side encoder; non-null iff config_.compression is enabled (the
+  /// matching decoder lives in ServerCore).
+  std::unique_ptr<compress::Codec> client_codec_;
+  /// Per-client error-feedback residuals. Advanced only at a *delivered*
+  /// upload's arrival event — lost-forever, crashed and re-dispatched
+  /// sessions never encode, so their residuals carry untouched (and the
+  /// lazy-training optimization of never training doomed sessions stands).
+  compress::ResidualStore residuals_;
+  /// Bytes of one upload on the virtual wire (data-independent per codec,
+  /// so it is known at dispatch time and prices the transmission).
+  std::size_t upload_payload_bytes_ = 0;
 };
 
 }  // namespace seafl

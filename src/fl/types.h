@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "compress/codec.h"
 #include "nn/sgd.h"
 
 namespace seafl {
@@ -143,7 +144,16 @@ struct RunConfig {
 
   /// Communication compression: uniform symmetric quantization of uploaded
   /// weights to this many bits (2..16). 0 disables (full float32 uploads).
+  /// Legacy fault knob: logical floats still cross the wire and only the
+  /// byte accounting changes. Mutually exclusive with `compression`.
   std::size_t quantize_bits = 0;
+
+  /// First-class upload compression (DESIGN.md §14): clients encode real
+  /// byte payloads (stochastic quantization / top-k with error feedback),
+  /// the server decodes ahead of screening/aggregation, and with a fleet
+  /// uplink bandwidth model the smaller payload directly shortens upload
+  /// time — i.e. compression reduces staleness. Identity codec = off.
+  compress::CompressionConfig compression;
 
   /// Fault injection + recovery policies (all off by default).
   FaultConfig faults;
@@ -231,6 +241,12 @@ struct RunResult {
   // so they are identical whether eager_training is on or off.
   std::size_t speculation_cut = 0;     ///< sessions truncated after dispatch
   std::size_t speculation_wasted = 0;  ///< dispatched sessions never harvested
+
+  // Communication accounting (DESIGN.md §14): container bytes the delivered
+  // uploads occupied on the (virtual or real) wire, and what plain float32
+  // containers would have cost — raw/wire is the run's compression ratio.
+  std::size_t upload_wire_bytes = 0;
+  std::size_t upload_raw_bytes = 0;
 };
 
 }  // namespace seafl

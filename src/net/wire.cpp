@@ -91,6 +91,22 @@ struct Cursor {
       return {};
     }
   }
+
+  /// Reads an embedded SEAFLCMP container (compress/codec.h).
+  compress::CompressedUpdate read_compressed() {
+    if (!ok) return {};
+    try {
+      std::size_t consumed = 0;
+      compress::CompressedUpdate update =
+          compress::decode_compressed(p, remaining, &consumed);
+      p += consumed;
+      remaining -= consumed;
+      return update;
+    } catch (const Error&) {
+      ok = false;
+      return {};
+    }
+  }
 };
 
 // --- per-type payload codecs ------------------------------------------------
@@ -203,6 +219,29 @@ bool decode_body(Cursor& c, ShutdownMsg& m) {
   return c.ok;
 }
 
+void encode_body(std::string& out, const CompressedUploadMsg& m) {
+  put_u64(out, m.session);
+  put_u64(out, m.client);
+  put_u64(out, m.base_round);
+  put_u64(out, m.num_samples);
+  put_u32(out, m.epochs_completed);
+  put_u32(out, m.attempt);
+  put_f64(out, m.train_loss);
+  compress::append_compressed(out, m.update);
+}
+
+bool decode_body(Cursor& c, CompressedUploadMsg& m) {
+  m.session = c.read_u64();
+  m.client = c.read_u64();
+  m.base_round = c.read_u64();
+  m.num_samples = c.read_u64();
+  m.epochs_completed = c.read_u32();
+  m.attempt = c.read_u32();
+  m.train_loss = c.read_f64();
+  m.update = c.read_compressed();
+  return c.ok;
+}
+
 template <typename T>
 bool decode_as(Cursor& c, Message& out) {
   T body;
@@ -219,9 +258,9 @@ bool decode_as(Cursor& c, Message& out) {
 MsgType Message::type() const {
   // Indexed by MessageBody's alternative order, which mirrors MsgType.
   static constexpr MsgType kByIndex[] = {
-      MsgType::kHello,  MsgType::kWelcome, MsgType::kDispatch,
-      MsgType::kNotify, MsgType::kCancel,  MsgType::kUpload,
-      MsgType::kEval,   MsgType::kShutdown};
+      MsgType::kHello,  MsgType::kWelcome,  MsgType::kDispatch,
+      MsgType::kNotify, MsgType::kCancel,   MsgType::kUpload,
+      MsgType::kEval,   MsgType::kShutdown, MsgType::kCompressedUpload};
   static_assert(sizeof(kByIndex) / sizeof(kByIndex[0]) ==
                 std::variant_size_v<MessageBody>);
   return kByIndex[body.index()];
@@ -237,6 +276,7 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kUpload: return "upload";
     case MsgType::kEval: return "eval";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kCompressedUpload: return "compressed_upload";
   }
   return "unknown";
 }
@@ -281,7 +321,7 @@ DecodeResult decode_frame(const void* data, std::size_t size) {
     return result;
   }
   if (type < static_cast<std::uint16_t>(MsgType::kHello) ||
-      type > static_cast<std::uint16_t>(MsgType::kShutdown)) {
+      type > static_cast<std::uint16_t>(MsgType::kCompressedUpload)) {
     result.status = DecodeStatus::kBadType;
     return result;
   }
@@ -308,6 +348,9 @@ DecodeResult decode_frame(const void* data, std::size_t size) {
     case MsgType::kEval: ok = decode_as<EvalMsg>(c, result.message); break;
     case MsgType::kShutdown:
       ok = decode_as<ShutdownMsg>(c, result.message);
+      break;
+    case MsgType::kCompressedUpload:
+      ok = decode_as<CompressedUploadMsg>(c, result.message);
       break;
   }
   if (!ok) {

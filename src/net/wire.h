@@ -21,6 +21,8 @@
 #include <variant>
 #include <vector>
 
+#include "compress/codec.h"
+
 namespace seafl::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x53464C57u;  // "WLFS" on the wire
@@ -41,6 +43,10 @@ enum class MsgType : std::uint16_t {
   kUpload = 6,    ///< client -> server: trained update (attempt > 1 = retry)
   kEval = 7,      ///< server -> client: round closed, accuracy broadcast
   kShutdown = 8,  ///< server -> client: run complete, disconnect
+  /// client -> server: trained update as a SEAFLCMP compressed container
+  /// (src/compress) instead of SEAFLMDL floats — the wire actually ships
+  /// the smaller payload when a run enables a codec.
+  kCompressedUpload = 9,
 };
 
 struct HelloMsg {
@@ -93,8 +99,23 @@ struct ShutdownMsg {
   double final_accuracy = 0.0;
 };
 
-using MessageBody = std::variant<HelloMsg, WelcomeMsg, DispatchMsg, NotifyMsg,
-                                 CancelMsg, UploadMsg, EvalMsg, ShutdownMsg>;
+/// UploadMsg's compressed twin: same metadata, but the model travels as the
+/// codec's exact container bytes (compress::append_compressed), so the bytes
+/// a server logs for the update equal CompressedUpdate::encoded_bytes().
+struct CompressedUploadMsg {
+  std::uint64_t session = 0;
+  std::uint64_t client = 0;
+  std::uint64_t base_round = 0;
+  std::uint64_t num_samples = 0;
+  std::uint32_t epochs_completed = 0;
+  std::uint32_t attempt = 1;  ///< 1 = first transmission, >1 = retry
+  double train_loss = 0.0;
+  compress::CompressedUpdate update;
+};
+
+using MessageBody =
+    std::variant<HelloMsg, WelcomeMsg, DispatchMsg, NotifyMsg, CancelMsg,
+                 UploadMsg, EvalMsg, ShutdownMsg, CompressedUploadMsg>;
 
 /// One protocol message; the wire type tag is derived from the body's
 /// variant alternative.

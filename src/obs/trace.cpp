@@ -60,6 +60,7 @@ const char* trace_event_name(TraceEventKind kind) {
     case TraceEventKind::kHarvest: return "harvest";
     case TraceEventKind::kSpeculationAbandoned:
       return "speculation_abandoned";
+    case TraceEventKind::kCompressed: return "compressed";
   }
   return "unknown";
 }
@@ -161,7 +162,8 @@ Json TraceJournal::chrome_trace(const std::string& run_label) const {
       case TraceEventKind::kScreened:
       case TraceEventKind::kSpeculate:
       case TraceEventKind::kHarvest:
-      case TraceEventKind::kSpeculationAbandoned: {
+      case TraceEventKind::kSpeculationAbandoned:
+      case TraceEventKind::kCompressed: {
         JsonObject i = make_event("i", trace_event_name(e.kind), 0, e.client,
                                   e.time);
         i.emplace("s", Json("t"));

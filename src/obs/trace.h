@@ -44,6 +44,8 @@ enum class TraceEventKind {
   kSpeculate,   ///< session enqueued onto the training executor at dispatch
   kHarvest,     ///< upload event consumed the speculated session's result
   kSpeculationAbandoned,  ///< abandoned session's speculated job detached
+  // Communication-efficiency events (DESIGN.md §14).
+  kCompressed,  ///< compressed upload decoded server-side
 };
 
 /// Stable lowercase name ("assigned", "upload", ...) used in both exports.
@@ -72,6 +74,8 @@ inline constexpr std::size_t kServerTrack = static_cast<std::size_t>(-1);
 ///   kSpeculate:  client, round (=base round), epochs (planned)
 ///   kHarvest:    client, round (server), base_round, epochs (harvested)
 ///   kSpeculationAbandoned: client, round (server)
+///   kCompressed: client, round (server), base_round, updates (container
+///                bytes-on-wire), value (compression ratio raw/wire)
 struct TraceEvent {
   TraceEventKind kind = TraceEventKind::kAssigned;
   double time = 0.0;  ///< virtual seconds

@@ -18,6 +18,17 @@ Fleet::Fleet(const FleetConfig& config)
     Rng rng(config.seed, RngPurpose::kDeviceSpeed, k);
     slowdown_[k] = speed.sample_capped(rng, config.speed_cap);
   }
+  if (config.mean_uplink_bytes_per_sec > 0.0) {
+    // Heavy-tailed link speeds, independent of compute speeds: the a-label
+    // offset keeps the stream disjoint from latency draws (a = device,
+    // b = round) the same way idle_seconds offsets within kDeviceSpeed.
+    uplink_.resize(config.num_devices);
+    for (std::size_t k = 0; k < config.num_devices; ++k) {
+      Rng rng(config.seed, RngPurpose::kNetwork, /*a=*/2'000'000 + k);
+      uplink_[k] = config.mean_uplink_bytes_per_sec /
+                   speed.sample_capped(rng, config.speed_cap);
+    }
+  }
 }
 
 double Fleet::slowdown(std::size_t device) const {
@@ -48,6 +59,21 @@ double Fleet::latency_seconds(std::size_t device, std::uint64_t round,
   if (config_.mean_latency <= 0.0) return 0.0;
   Rng rng(config_.seed, RngPurpose::kNetwork, device, round, leg);
   return config_.mean_latency * rng.uniform(0.8, 1.2);
+}
+
+double Fleet::uplink_bytes_per_sec(std::size_t device) const {
+  if (uplink_.empty()) return 0.0;
+  SEAFL_CHECK(device < uplink_.size(), "device " << device << " out of range");
+  return uplink_[device];
+}
+
+double Fleet::upload_seconds(std::size_t device, std::uint64_t round,
+                             std::size_t payload_bytes) const {
+  double seconds = latency_seconds(device, round, /*leg=*/1);
+  if (!uplink_.empty()) {
+    seconds += static_cast<double>(payload_bytes) / uplink_bytes_per_sec(device);
+  }
+  return seconds;
 }
 
 double Fleet::training_seconds(std::size_t device, std::uint64_t round,

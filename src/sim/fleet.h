@@ -44,6 +44,15 @@ struct FleetConfig {
   // Network latency per transfer direction (seconds); jittered ±20%.
   double mean_latency = 0.2;
 
+  // Uplink bandwidth model (DESIGN.md §14): mean bytes/second a device can
+  // push, so an upload's transmission time is payload_bytes / bandwidth on
+  // top of the latency. Per-device bandwidth is the mean divided by a
+  // persistent Pareto slowdown (same shape/cap as compute speed, drawn from
+  // an independent stream) — the heavy-tailed slow *links* that compression
+  // is meant to rescue. 0 disables: payload size does not affect timing,
+  // which is the exact pre-bandwidth-model behavior.
+  double mean_uplink_bytes_per_sec = 0.0;
+
   std::uint64_t seed = 42;
 };
 
@@ -73,6 +82,17 @@ class Fleet {
   double latency_seconds(std::size_t device, std::uint64_t round,
                          std::uint64_t leg) const;
 
+  /// Persistent uplink bandwidth of device k in bytes/second; 0 when the
+  /// bandwidth model is off (treat as infinite).
+  double uplink_bytes_per_sec(std::size_t device) const;
+
+  /// Full upload duration for a payload of `payload_bytes`: upload-leg
+  /// latency plus transmission time over the device's uplink. Collapses to
+  /// latency_seconds(device, round, 1) exactly when the bandwidth model is
+  /// off.
+  double upload_seconds(std::size_t device, std::uint64_t round,
+                        std::size_t payload_bytes) const;
+
   /// Full local-training duration: E epochs of compute plus E idle periods
   /// (the paper's devices idle after each completed epoch).
   double training_seconds(std::size_t device, std::uint64_t round,
@@ -84,6 +104,7 @@ class Fleet {
  private:
   FleetConfig config_;
   std::vector<double> slowdown_;
+  std::vector<double> uplink_;  ///< bytes/sec per device; empty when off
   ZipfSampler idle_sampler_;
 };
 

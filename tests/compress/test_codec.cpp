@@ -1,0 +1,300 @@
+#include "compress/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/serialize.h"
+
+namespace seafl::compress {
+namespace {
+
+std::vector<float> random_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> w(n);
+  for (auto& v : w) v = static_cast<float>(rng.normal(0.0, 0.5));
+  return w;
+}
+
+CompressionConfig quantize_config(std::size_t bits) {
+  CompressionConfig c;
+  c.codec = CodecKind::kQuantize;
+  c.bits = bits;
+  return c;
+}
+
+CompressionConfig topk_config(double fraction, std::size_t bits,
+                              bool error_feedback = true) {
+  CompressionConfig c;
+  c.codec = CodecKind::kTopK;
+  c.topk_fraction = fraction;
+  c.bits = bits;
+  c.error_feedback = error_feedback;
+  return c;
+}
+
+// --- config plumbing ---------------------------------------------------------
+
+TEST(CompressionConfigTest, CodecNamesAndAliases) {
+  CompressionConfig c;
+  apply_codec_name(c, "int4");
+  EXPECT_EQ(c.codec, CodecKind::kQuantize);
+  EXPECT_EQ(c.bits, 4u);
+  apply_codec_name(c, "int8");
+  EXPECT_EQ(c.bits, 8u);
+  apply_codec_name(c, "topk");
+  EXPECT_EQ(c.codec, CodecKind::kTopK);
+  EXPECT_EQ(c.bits, 8u);  // selector alone leaves the width alone
+  apply_codec_name(c, "float32");
+  EXPECT_EQ(c.codec, CodecKind::kIdentity);
+  EXPECT_FALSE(c.enabled());
+  EXPECT_THROW(apply_codec_name(c, "gzip"), Error);
+}
+
+TEST(CompressionConfigTest, ValidationRejectsConflictingKnobs) {
+  EXPECT_THROW(validate_compression(quantize_config(1)), Error);
+  EXPECT_THROW(validate_compression(quantize_config(17)), Error);
+  EXPECT_NO_THROW(validate_compression(quantize_config(2)));
+  EXPECT_NO_THROW(validate_compression(quantize_config(16)));
+
+  EXPECT_THROW(validate_compression(topk_config(0.0, 32)), Error);
+  EXPECT_THROW(validate_compression(topk_config(1.5, 32)), Error);
+  EXPECT_THROW(validate_compression(topk_config(0.1, 20)), Error);
+  // Coarse top-k without a carried residual loses too much mass.
+  EXPECT_THROW(validate_compression(topk_config(0.1, 4, false)), Error);
+  EXPECT_NO_THROW(validate_compression(topk_config(0.1, 4, true)));
+  EXPECT_NO_THROW(validate_compression(topk_config(0.1, 8, false)));
+  EXPECT_NO_THROW(validate_compression(topk_config(1.0, 32, false)));
+}
+
+// --- container ---------------------------------------------------------------
+
+TEST(ContainerTest, RoundTripPreservesEveryField) {
+  CompressedUpdate u;
+  u.codec = CodecKind::kTopK;
+  u.bits = 32;
+  u.dim = 10;
+  u.k = 2;
+  u.scale = 0.0f;
+  u.payload = std::string(2 * 4 + 2 * 4, '\x5a');
+  std::string bytes;
+  append_compressed(bytes, u);
+  EXPECT_EQ(bytes.size(), u.encoded_bytes());
+
+  std::size_t consumed = 0;
+  const CompressedUpdate back =
+      decode_compressed(bytes.data(), bytes.size(), &consumed);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(back.codec, u.codec);
+  EXPECT_EQ(back.bits, u.bits);
+  EXPECT_EQ(back.dim, u.dim);
+  EXPECT_EQ(back.k, u.k);
+  EXPECT_EQ(back.scale, u.scale);
+  EXPECT_EQ(back.payload, u.payload);
+}
+
+TEST(ContainerTest, DecodeRejectsMalformedHeaders) {
+  CompressedUpdate u;
+  u.codec = CodecKind::kQuantize;
+  u.bits = 8;
+  u.dim = 4;
+  u.k = 4;
+  u.scale = 0.5f;
+  u.payload = std::string(4, '\x01');
+  std::string bytes;
+  append_compressed(bytes, u);
+
+  // Truncation, bad magic, bad version, bad codec byte, bad bit width,
+  // k > dim, truncated payload: each must throw, never crash.
+  EXPECT_THROW(decode_compressed(bytes.data(), kContainerHeaderBytes - 1),
+               Error);
+  {
+    std::string bad = bytes;
+    bad[0] = 'X';
+    EXPECT_THROW(decode_compressed(bad.data(), bad.size()), Error);
+  }
+  {
+    std::string bad = bytes;
+    bad[8] = 9;  // version
+    EXPECT_THROW(decode_compressed(bad.data(), bad.size()), Error);
+  }
+  {
+    std::string bad = bytes;
+    bad[10] = 7;  // codec byte
+    EXPECT_THROW(decode_compressed(bad.data(), bad.size()), Error);
+  }
+  {
+    std::string bad = bytes;
+    bad[11] = 1;  // bits below the quantize floor
+    EXPECT_THROW(decode_compressed(bad.data(), bad.size()), Error);
+  }
+  {
+    std::string bad = bytes;
+    bad[20] = 9;  // k = 9 > dim = 4
+    EXPECT_THROW(decode_compressed(bad.data(), bad.size()), Error);
+  }
+  EXPECT_THROW(decode_compressed(bytes.data(), bytes.size() - 1), Error);
+}
+
+TEST(ContainerTest, FloatContainerHeaderMatchesSerializeLayer) {
+  // kFloatContainerHeaderBytes pins the SEAFLMDL header size the byte
+  // accounting assumes; if nn/serialize grows its header this fails loudly.
+  std::string out;
+  append_model_vector(out, std::vector<float>(7, 1.0f));
+  EXPECT_EQ(out.size(), kFloatContainerHeaderBytes + 7 * sizeof(float));
+}
+
+// --- codec behaviour ---------------------------------------------------------
+
+TEST(CodecTest, IdentityIsBitwiseAndSizedExactly) {
+  CompressionConfig c;  // identity
+  const auto codec = make_codec(c);
+  const std::vector<float> w = random_vector(37, 1);
+  const std::vector<float> base = random_vector(37, 2);
+  const CompressedUpdate enc = codec->encode(w, base, nullptr, 3, 5, 42);
+  EXPECT_EQ(enc.encoded_bytes(), codec->encoded_bytes_for(w.size()));
+  const std::vector<float> back = codec->decode(enc, base);
+  EXPECT_EQ(back, w);  // bitwise: identity ships absolute weights
+}
+
+TEST(CodecTest, EncodedSizeIsDataIndependent) {
+  // The simulation prices an upload at dispatch, before the trained weights
+  // exist — encoded_bytes_for must equal every actual encode's size.
+  for (const std::size_t dim : {1ul, 3ul, 64ul, 999ul}) {
+    const std::vector<float> base(dim, 0.0f);
+    for (const auto& config :
+         {quantize_config(8), quantize_config(3), topk_config(0.1, 32),
+          topk_config(0.25, 5)}) {
+      const auto codec = make_codec(config);
+      const CompressedUpdate a =
+          codec->encode(random_vector(dim, dim), base, nullptr, 0, 0, 7);
+      const CompressedUpdate b =
+          codec->encode(std::vector<float>(dim, 0.0f), base, nullptr, 0, 0, 7);
+      EXPECT_EQ(a.encoded_bytes(), codec->encoded_bytes_for(dim));
+      EXPECT_EQ(b.encoded_bytes(), codec->encoded_bytes_for(dim));
+    }
+  }
+}
+
+TEST(CodecTest, QuantizeRoundTripErrorBoundedByStep) {
+  for (const std::size_t bits : {2ul, 4ul, 8ul, 16ul}) {
+    const auto codec = make_codec(quantize_config(bits));
+    const std::vector<float> base = random_vector(301, 11);
+    std::vector<float> w = base;
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w[i] += static_cast<float>(0.01 * std::sin(static_cast<double>(i)));
+    const CompressedUpdate enc = codec->encode(w, base, nullptr, 1, 2, 3);
+    const std::vector<float> back = codec->decode(enc, base);
+    ASSERT_EQ(back.size(), w.size());
+    // Stochastic rounding moves a value at most one grid step.
+    for (std::size_t i = 0; i < w.size(); ++i)
+      EXPECT_LE(std::fabs(back[i] - w[i]),
+                static_cast<double>(enc.scale) + 1e-6)
+          << "bits=" << bits << " i=" << i;
+  }
+}
+
+TEST(CodecTest, EncodeIsDeterministicAndKeyedByClientAndRound) {
+  const auto codec = make_codec(quantize_config(4));
+  const std::vector<float> w = random_vector(128, 5);
+  const std::vector<float> base(128, 0.0f);
+  const CompressedUpdate a = codec->encode(w, base, nullptr, 7, 9, 42);
+  const CompressedUpdate b = codec->encode(w, base, nullptr, 7, 9, 42);
+  EXPECT_EQ(a.payload, b.payload);
+  EXPECT_EQ(a.scale, b.scale);
+  // A different client, round or seed draws a different rounding stream.
+  EXPECT_NE(codec->encode(w, base, nullptr, 8, 9, 42).payload, a.payload);
+  EXPECT_NE(codec->encode(w, base, nullptr, 7, 10, 42).payload, a.payload);
+  EXPECT_NE(codec->encode(w, base, nullptr, 7, 9, 43).payload, a.payload);
+}
+
+TEST(CodecTest, QuantizeAllZeroDeltaKeepsSizeContract) {
+  const auto codec = make_codec(quantize_config(8));
+  const std::vector<float> base = random_vector(33, 3);
+  const CompressedUpdate enc = codec->encode(base, base, nullptr, 0, 0, 1);
+  EXPECT_EQ(enc.scale, 0.0f);
+  EXPECT_EQ(enc.encoded_bytes(), codec->encoded_bytes_for(base.size()));
+  EXPECT_EQ(codec->decode(enc, base), base);
+}
+
+TEST(CodecTest, TopKKeepsLargestMagnitudeCoordinates) {
+  const auto codec = make_codec(topk_config(0.25, 32, false));
+  std::vector<float> base(8, 0.0f);
+  std::vector<float> w{0.1f, -5.0f, 0.2f, 3.0f, -0.1f, 0.0f, 0.05f, -0.2f};
+  const CompressedUpdate enc = codec->encode(w, base, nullptr, 0, 0, 1);
+  EXPECT_EQ(enc.k, 2u);  // ceil(0.25 * 8)
+  const std::vector<float> back = codec->decode(enc, base);
+  EXPECT_FLOAT_EQ(back[1], -5.0f);
+  EXPECT_FLOAT_EQ(back[3], 3.0f);
+  for (const std::size_t i : {0ul, 2ul, 4ul, 5ul, 6ul, 7ul})
+    EXPECT_EQ(back[i], 0.0f) << "i=" << i;
+}
+
+TEST(CodecTest, TopKAlwaysKeepsAtLeastOneCoordinate) {
+  const auto codec = make_codec(topk_config(0.001, 32, false));
+  const std::vector<float> base(3, 0.0f);
+  const CompressedUpdate enc =
+      codec->encode({1.0f, 2.0f, 3.0f}, base, nullptr, 0, 0, 1);
+  EXPECT_EQ(enc.k, 1u);
+  EXPECT_FLOAT_EQ(codec->decode(enc, base)[2], 3.0f);
+}
+
+TEST(CodecTest, ErrorFeedbackResidualEqualsWhatWasDropped) {
+  const auto codec = make_codec(topk_config(0.2, 32));
+  const std::vector<float> base(50, 0.0f);
+  const std::vector<float> w = random_vector(50, 13);
+  std::vector<float> residual;  // empty = zeros, sized by the codec
+  const CompressedUpdate enc = codec->encode(w, base, &residual, 0, 0, 1);
+  const std::vector<float> back = codec->decode(enc, base);
+  ASSERT_EQ(residual.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_NEAR(residual[i], w[i] - back[i], 1e-6) << "i=" << i;
+
+  // Second round: the carried residual is folded into the next encode, so a
+  // coordinate dropped twice accumulates until it wins top-k selection.
+  const std::vector<float> w2 = w;
+  std::vector<float> residual2 = residual;
+  const CompressedUpdate enc2 = codec->encode(w2, base, &residual2, 0, 1, 1);
+  const std::vector<float> back2 = codec->decode(enc2, base);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_NEAR(residual2[i], (w2[i] + residual[i]) - back2[i], 1e-6);
+}
+
+TEST(CodecTest, DecodeRejectsOutOfRangeTopKIndex) {
+  const auto codec = make_codec(topk_config(0.5, 32, false));
+  const std::vector<float> base(4, 0.0f);
+  CompressedUpdate enc =
+      codec->encode({1.0f, 2.0f, 3.0f, 4.0f}, base, nullptr, 0, 0, 1);
+  enc.payload[0] = '\x09';  // first stored index -> 9, out of range for dim 4
+  EXPECT_THROW(codec->decode(enc, base), Error);
+}
+
+TEST(CodecTest, DecodeRejectsDimMismatch) {
+  const auto codec = make_codec(quantize_config(8));
+  const std::vector<float> base(16, 0.0f);
+  const CompressedUpdate enc =
+      codec->encode(random_vector(16, 1), base, nullptr, 0, 0, 1);
+  EXPECT_THROW(codec->decode(enc, std::vector<float>(15, 0.0f)), Error);
+}
+
+// --- byte accounting ---------------------------------------------------------
+
+TEST(ByteAccountingTest, UploadWireBytesMatchesCodecs) {
+  const std::size_t dim = 1000;
+  CompressionConfig off;
+  EXPECT_EQ(upload_wire_bytes(off, 0, dim), transfer_bytes(dim, 0));
+  EXPECT_EQ(upload_wire_bytes(off, 8, dim), transfer_bytes(dim, 8));
+  for (const auto& config : {quantize_config(8), quantize_config(3),
+                             topk_config(0.1, 32), topk_config(0.1, 4)}) {
+    const auto codec = make_codec(config);
+    EXPECT_EQ(upload_wire_bytes(config, 0, dim), codec->encoded_bytes_for(dim))
+        << codec->name() << " bits=" << config.bits;
+  }
+}
+
+}  // namespace
+}  // namespace seafl::compress

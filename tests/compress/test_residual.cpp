@@ -1,0 +1,84 @@
+#include "compress/residual.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace seafl::compress {
+namespace {
+
+TEST(ResidualStoreTest, LazilyCreatesZeroVectors) {
+  ResidualStore store;
+  EXPECT_FALSE(store.has(3));
+  EXPECT_EQ(store.size(), 0u);
+  std::vector<float>& r = store.for_client(3, 5);
+  EXPECT_EQ(r, std::vector<float>(5, 0.0f));
+  EXPECT_TRUE(store.has(3));
+  EXPECT_EQ(store.size(), 1u);
+  r[2] = 1.5f;
+  EXPECT_EQ(store.for_client(3, 5)[2], 1.5f);  // same storage, not a copy
+}
+
+TEST(ResidualStoreTest, ResetDropsCarriedState) {
+  ResidualStore store;
+  store.for_client(7, 4)[0] = 2.0f;
+  store.reset(7);
+  EXPECT_FALSE(store.has(7));
+  EXPECT_EQ(store.for_client(7, 4)[0], 0.0f);
+}
+
+TEST(ResidualStoreTest, ClientsAreIndependent) {
+  ResidualStore store;
+  store.for_client(1, 3)[0] = 1.0f;
+  store.for_client(2, 3)[0] = -1.0f;
+  EXPECT_EQ(store.for_client(1, 3)[0], 1.0f);
+  EXPECT_EQ(store.for_client(2, 3)[0], -1.0f);
+}
+
+// The fault-path contract: re-encoding the SAME delivered bytes must never
+// touch the residual twice. Both drivers guarantee this by construction
+// (encode exactly once per delivered upload); here we pin the primitive that
+// makes retries safe — encode with residual=nullptr leaves carried state
+// untouched, so a driver that prices or probes an encode cannot corrupt it.
+TEST(ResidualStoreTest, ResidualOnlyAdvancesWhenPassedToEncode) {
+  CompressionConfig config;
+  config.codec = CodecKind::kTopK;
+  config.topk_fraction = 0.25;
+  config.bits = 32;
+  config.error_feedback = true;
+  const auto codec = make_codec(config);
+
+  ResidualStore store;
+  const std::vector<float> base(8, 0.0f);
+  const std::vector<float> w{4.0f, 0.1f, 0.2f, -3.0f, 0.05f, 0.0f, 0.1f, 0.2f};
+
+  // A probe encode (no residual pointer) must not create or mutate state.
+  codec->encode(w, base, nullptr, /*client=*/5, /*round=*/0, /*seed=*/1);
+  EXPECT_FALSE(store.has(5));
+
+  std::vector<float>& r = store.for_client(5, w.size());
+  const CompressedUpdate first = codec->encode(w, base, &r, 5, 0, 1);
+  const std::vector<float> after_first = r;
+  // Dropped coordinates carried forward; kept ones cleared.
+  EXPECT_EQ(after_first[0], 0.0f);
+  EXPECT_EQ(after_first[3], 0.0f);
+  EXPECT_FLOAT_EQ(after_first[1], 0.1f);
+
+  // A retry re-sends `first` verbatim — nothing re-encodes, so the residual
+  // is bitwise what it was after the single delivered encode.
+  EXPECT_EQ(store.for_client(5, w.size()), after_first);
+
+  // The next *delivered* encode folds the carried mass in exactly once.
+  std::vector<float> expected_input(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    expected_input[i] = w[i] + after_first[i];
+  const CompressedUpdate second = codec->encode(w, base, &r, 5, 1, 1);
+  const std::vector<float> delta = codec->decode(second, base);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_NEAR(r[i], expected_input[i] - delta[i], 1e-6) << "i=" << i;
+}
+
+}  // namespace
+}  // namespace seafl::compress

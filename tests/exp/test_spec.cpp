@@ -66,6 +66,10 @@ TEST(SpecTest, ApplyOverrideRejectsUnknownFieldAndBadValue) {
   EXPECT_THROW(apply_override(spec, "no-such-field", "1"), Error);
   EXPECT_THROW(apply_override(spec, "buffer", "many"), Error);
   EXPECT_THROW(apply_override(spec, "stop-at-target", "maybe"), Error);
+  // Codec selectors are validated at enumeration time, not mid-run.
+  EXPECT_THROW(apply_override(spec, "codec", "gzip"), Error);
+  apply_override(spec, "codec", "topk");
+  EXPECT_EQ(spec.params.codec, "topk");
 }
 
 TEST(SpecTest, SeedCompoundAliasSetsAllThreeSeeds) {
@@ -125,6 +129,9 @@ TEST(SpecTest, HashCoversEveryResultDeterminingField) {
       {"stop-at-target", "false"}, {"rounds", "9"},
       {"max-seconds", "123"},   {"eval-every", "3"},
       {"eval-subset", "50"},    {"run-seed", "5"},
+      {"uplink", "200000"},     {"codec", "int8"},
+      {"codec-bits", "6"},      {"topk", "0.05"},
+      {"error-feedback", "false"},
   };
   const ArmSpec base;
   std::set<std::string> hashes{config_hash(base)};

@@ -1,0 +1,206 @@
+// End-to-end compression behaviour inside the virtual-clock Simulation:
+// determinism under faults, exact byte accounting, the bandwidth model's
+// effect on finish time, and residual correctness across re-dispatch paths.
+#include <gtest/gtest.h>
+
+#include "compress/codec.h"
+#include "fl/simulation.h"
+#include "fl/strategies.h"
+
+namespace seafl {
+namespace {
+
+struct Fixture {
+  FlTask task;
+  ModelFactory factory;
+  FleetConfig fleet_config;
+
+  explicit Fixture(double pareto_shape = 1.5) {
+    TaskSpec spec;
+    spec.name = "synth-mnist";
+    spec.num_clients = 12;
+    spec.samples_per_client = 15;
+    spec.test_samples = 60;
+    task = make_task(spec);
+    factory = make_model(task.default_model, task.input, task.num_classes);
+    fleet_config.num_devices = 12;
+    fleet_config.pareto_shape = pareto_shape;
+    fleet_config.seed = 7;
+  }
+
+  RunConfig base_config() const {
+    RunConfig c;
+    c.buffer_size = 3;
+    c.concurrency = 6;
+    c.local_epochs = 2;
+    c.batch_size = 8;
+    c.sgd.learning_rate = 0.05f;
+    c.max_rounds = 10;
+    c.target_accuracy = 0.99;
+    c.stop_at_target = false;
+    c.seed = 42;
+    return c;
+  }
+
+  RunResult run(const RunConfig& c) const {
+    Fleet fleet(fleet_config);
+    Simulation sim(task, factory, fleet,
+                   std::make_unique<FedBuffStrategy>(), c);
+    return sim.run();
+  }
+};
+
+RunConfig with_codec(RunConfig c, const char* name) {
+  compress::apply_codec_name(c.compression, name);
+  return c;
+}
+
+void expect_bitwise_equal(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.final_weights.size(), b.final_weights.size());
+  for (std::size_t i = 0; i < a.final_weights.size(); ++i)
+    ASSERT_EQ(a.final_weights[i], b.final_weights[i]) << "weight " << i;
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.mean_staleness, b.mean_staleness);
+  EXPECT_EQ(a.total_updates, b.total_updates);
+  EXPECT_EQ(a.upload_wire_bytes, b.upload_wire_bytes);
+  EXPECT_EQ(a.upload_raw_bytes, b.upload_raw_bytes);
+}
+
+TEST(CompressSimTest, CompressedRunsAreDeterministic) {
+  Fixture f;
+  for (const char* name : {"int8", "int4", "topk"}) {
+    const RunConfig c = with_codec(f.base_config(), name);
+    expect_bitwise_equal(f.run(c), f.run(c));
+  }
+}
+
+TEST(CompressSimTest, DeterministicUnderFaultsAndLoss) {
+  // Lost uploads, churn and deadline re-dispatch all interact with the
+  // residual lifecycle; two identical runs must still agree bitwise.
+  Fixture f(/*pareto_shape=*/1.05);
+  RunConfig c = with_codec(f.base_config(), "topk");
+  c.compression.error_feedback = true;
+  c.upload_loss_prob = 0.25;
+  c.faults.mean_uptime = 120.0;
+  c.faults.mean_downtime = 30.0;
+  c.faults.deadline_factor = 3.0;
+  c.max_rounds = 8;
+  const auto a = f.run(c);
+  const auto b = f.run(c);
+  EXPECT_GT(a.lost_uploads, 0u);
+  expect_bitwise_equal(a, b);
+}
+
+TEST(CompressSimTest, EagerMatchesLazyWithErrorFeedback) {
+  // The speculative executor replays sessions out of order; the residual is
+  // server-side state advanced at arrival, so results must stay bitwise
+  // identical to the lazy path.
+  Fixture f;
+  RunConfig c = with_codec(f.base_config(), "topk");
+  c.compression.error_feedback = true;
+  c.max_rounds = 8;
+  const auto lazy = f.run(c);
+  c.eager_training = true;
+  c.sim_jobs = 4;
+  const auto eager = f.run(c);
+  expect_bitwise_equal(lazy, eager);
+}
+
+TEST(CompressSimTest, WireBytesMatchCodecSizeExactly) {
+  Fixture f;
+  const std::size_t dim = f.factory()->num_parameters();
+  for (const char* name : {"float32", "int8", "int4", "topk"}) {
+    const RunConfig c = with_codec(f.base_config(), name);
+    const auto r = f.run(c);
+    std::size_t per_upload = 0;
+    if (c.compression.enabled()) {
+      per_upload = compress::make_codec(c.compression)->encoded_bytes_for(dim);
+    } else {
+      per_upload = compress::transfer_bytes(dim, 0);
+    }
+    // Every upload has the same data-independent size, so the totals divide
+    // exactly — this is the invariant that lets the sim price uploads at
+    // dispatch time.
+    EXPECT_EQ(r.upload_wire_bytes, r.model_uploads * per_upload) << name;
+    EXPECT_EQ(r.upload_raw_bytes,
+              r.model_uploads * compress::transfer_bytes(dim, 0))
+        << name;
+    if (c.compression.enabled() &&
+        c.compression.codec != compress::CodecKind::kIdentity) {
+      EXPECT_LT(r.upload_wire_bytes, r.upload_raw_bytes) << name;
+    }
+  }
+}
+
+TEST(CompressSimTest, TightUplinkMakesCompressionFinishSooner) {
+  // The whole point of the bandwidth model: when upload time is dominated by
+  // bytes/uplink, int8 finishes the same rounds in less virtual time.
+  Fixture f;
+  const std::size_t dim = f.factory()->num_parameters();
+  // Price the uplink so one float32 upload costs several seconds.
+  f.fleet_config.mean_uplink_bytes_per_sec =
+      static_cast<double>(compress::transfer_bytes(dim, 0)) / 5.0;
+  const auto full = f.run(with_codec(f.base_config(), "float32"));
+  const auto int8 = f.run(with_codec(f.base_config(), "int8"));
+  EXPECT_EQ(full.rounds, int8.rounds);
+  EXPECT_LT(int8.final_time, full.final_time);
+}
+
+TEST(CompressSimTest, ZeroUplinkMeansBandwidthIsFree) {
+  // mean_uplink_bytes_per_sec = 0 must be byte-for-byte the pre-bandwidth
+  // behaviour: payload size cannot influence timing.
+  Fixture f;
+  const auto full = f.run(with_codec(f.base_config(), "float32"));
+  const auto int8 = f.run(with_codec(f.base_config(), "int8"));
+  EXPECT_EQ(full.final_time, int8.final_time);
+}
+
+TEST(CompressSimTest, CompressedRunsStillLearn) {
+  Fixture f;
+  for (const char* name : {"int8", "topk"}) {
+    RunConfig c = with_codec(f.base_config(), name);
+    c.max_rounds = 20;
+    const auto r = f.run(c);
+    EXPECT_GT(r.final_accuracy, r.curve.front().accuracy + 0.3) << name;
+  }
+}
+
+TEST(CompressSimTest, ErrorFeedbackHelpsCoarseTopK) {
+  // Dropping 90% of coordinates without carrying the error loses mass every
+  // round; the residual recovers most of it.
+  Fixture f;
+  RunConfig c = with_codec(f.base_config(), "topk");
+  c.compression.topk_fraction = 0.1;
+  c.max_rounds = 20;
+  c.compression.error_feedback = true;
+  const auto with_ef = f.run(c);
+  c.compression.error_feedback = false;
+  const auto without = f.run(c);
+  EXPECT_GT(with_ef.final_accuracy, without.final_accuracy);
+}
+
+TEST(CompressSimTest, LegacyQuantizeBitsPathUnchanged) {
+  // quantize_bits is the pre-codec in-place path; it must keep working and
+  // keep its own byte accounting (no SEAFLCMP container on the wire).
+  Fixture f;
+  const std::size_t dim = f.factory()->num_parameters();
+  RunConfig c = f.base_config();
+  c.quantize_bits = 8;
+  const auto r = f.run(c);
+  EXPECT_GT(r.final_accuracy, r.curve.front().accuracy);
+  EXPECT_EQ(r.upload_wire_bytes,
+            r.model_uploads * compress::transfer_bytes(dim, 8));
+}
+
+TEST(CompressSimTest, ConflictingKnobsRejected) {
+  Fixture f;
+  Fleet fleet(f.fleet_config);
+  RunConfig c = with_codec(f.base_config(), "int8");
+  c.quantize_bits = 8;  // legacy and first-class compression together
+  EXPECT_THROW(Simulation(f.task, f.factory, fleet,
+                          std::make_unique<FedBuffStrategy>(), c),
+               Error);
+}
+
+}  // namespace
+}  // namespace seafl

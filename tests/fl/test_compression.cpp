@@ -74,10 +74,12 @@ TEST(QuantizeTest, RejectsBadBitWidths) {
 }
 
 TEST(TransferBytesTest, CompressionRatio) {
-  EXPECT_EQ(transfer_bytes(1000, 0), 4000u);  // float32
-  EXPECT_EQ(transfer_bytes(1000, 8), 1000u);  // 4x smaller
-  EXPECT_EQ(transfer_bytes(1000, 4), 500u);
-  EXPECT_EQ(transfer_bytes(3, 2), 1u);  // rounds up to whole bytes
+  // Counts now include the container header: 20 bytes for a plain SEAFLMDL
+  // float32 upload, 32 for a packed SEAFLCMP one (src/compress).
+  EXPECT_EQ(transfer_bytes(1000, 0), 4020u);  // float32
+  EXPECT_EQ(transfer_bytes(1000, 8), 1032u);  // ~4x smaller
+  EXPECT_EQ(transfer_bytes(1000, 4), 532u);
+  EXPECT_EQ(transfer_bytes(3, 2), 33u);  // rounds up to whole bytes
   EXPECT_THROW(transfer_bytes(10, 1), Error);
 }
 

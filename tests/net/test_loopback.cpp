@@ -115,6 +115,63 @@ TEST(Loopback, ThreeClientsCompleteThreeRounds) {
   EXPECT_EQ(server.socket_stats().protocol_errors, 0u);
 }
 
+TEST(Loopback, CompressedUploadsRoundTripAndAccountExactly) {
+  // ISSUE 7 acceptance: with a codec on, the loopback run completes and the
+  // server-logged bytes-on-wire equal Codec::encoded_bytes_for exactly —
+  // the sockets carried precisely the container bytes the codec produced.
+  constexpr std::size_t kClients = 3;
+  const FlTask task = small_task(kClients);
+  const ModelFactory model =
+      make_model(task.default_model, task.input, task.num_classes);
+  Arm arm = small_arm(/*concurrency=*/3);
+  compress::apply_codec_name(arm.config.compression, "int8");
+
+  DeployServerOptions opts;
+  opts.port = 0;
+  opts.expected_clients = kClients;
+  opts.max_wall_seconds = 60.0;
+  DeployServer server(task, model, std::move(arm.strategy), arm.config, opts);
+  const std::uint16_t port = server.port();
+  ASSERT_NE(port, 0);
+
+  std::array<DeployClientStats, kClients> stats;
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      DeployClientOptions copt;
+      copt.client_id = i;
+      copt.port = port;
+      DeployClient client(task, model, arm.config, copt);
+      stats[i] = client.run();
+    });
+  }
+  const RunResult res = server.run();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(res.rounds, 3u);
+  EXPECT_EQ(res.client_crashes, 0u);
+  EXPECT_TRUE(std::isfinite(res.final_accuracy));
+  for (std::size_t i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(stats[i].shutdown_received) << "client " << i;
+    EXPECT_GE(stats[i].uploads, 1u) << "client " << i;
+  }
+
+  const std::size_t dim = model()->num_parameters();
+  const auto codec = compress::make_codec(arm.config.compression);
+  EXPECT_EQ(res.upload_wire_bytes, res.model_uploads * codec->encoded_bytes_for(dim));
+  EXPECT_EQ(res.upload_raw_bytes,
+            res.model_uploads * compress::transfer_bytes(dim, 0));
+  EXPECT_LT(res.upload_wire_bytes, res.upload_raw_bytes);
+
+  // Every accepted upload was journaled as a compressed arrival.
+  const obs::TraceJournal& journal = server.journal();
+  EXPECT_EQ(count_kind(journal, obs::TraceEventKind::kCompressed),
+            res.model_uploads);
+  EXPECT_EQ(count_kind(journal, obs::TraceEventKind::kUpload),
+            res.model_uploads);
+  EXPECT_EQ(server.socket_stats().protocol_errors, 0u);
+}
+
 TEST(Loopback, CrashedClientIsDetectedAndSlotRedispatched) {
   constexpr std::size_t kClients = 4;
   const FlTask task = small_task(kClients);

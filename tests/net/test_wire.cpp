@@ -127,6 +127,56 @@ TEST(Wire, UploadRoundTrip) {
   EXPECT_EQ(u.weights, msg.weights);
 }
 
+TEST(Wire, CompressedUploadRoundTrip) {
+  CompressedUploadMsg msg;
+  msg.session = 21;
+  msg.client = 4;
+  msg.base_round = 8;
+  msg.num_samples = 50;
+  msg.epochs_completed = 2;
+  msg.attempt = 3;
+  msg.train_loss = 1.75;
+  msg.update.codec = compress::CodecKind::kQuantize;
+  msg.update.bits = 8;
+  msg.update.dim = 6;
+  msg.update.k = 6;
+  msg.update.scale = 0.125f;
+  msg.update.payload = std::string("\x00\x7f\x01\xfe\x40\x80", 6);
+  const Message out = round_trip(Message{msg});
+  ASSERT_TRUE(out.is<CompressedUploadMsg>());
+  EXPECT_EQ(out.type(), MsgType::kCompressedUpload);
+  const CompressedUploadMsg& u = out.as<CompressedUploadMsg>();
+  EXPECT_EQ(u.session, 21u);
+  EXPECT_EQ(u.client, 4u);
+  EXPECT_EQ(u.base_round, 8u);
+  EXPECT_EQ(u.num_samples, 50u);
+  EXPECT_EQ(u.epochs_completed, 2u);
+  EXPECT_EQ(u.attempt, 3u);
+  EXPECT_DOUBLE_EQ(u.train_loss, 1.75);
+  EXPECT_EQ(u.update.codec, msg.update.codec);
+  EXPECT_EQ(u.update.bits, msg.update.bits);
+  EXPECT_EQ(u.update.dim, msg.update.dim);
+  EXPECT_EQ(u.update.k, msg.update.k);
+  EXPECT_EQ(u.update.scale, msg.update.scale);
+  EXPECT_EQ(u.update.payload, msg.update.payload);
+}
+
+TEST(Wire, CompressedUploadCorruptContainerIsMalformed) {
+  CompressedUploadMsg msg;
+  msg.update.codec = compress::CodecKind::kTopK;
+  msg.update.bits = 32;
+  msg.update.dim = 4;
+  msg.update.k = 1;
+  msg.update.payload = std::string(8, '\x01');
+  std::string frame = encode_frame(Message{msg});
+  // Corrupt the SEAFLCMP magic inside the embedded container: the frame
+  // header still parses, but the payload must report malformed, not throw.
+  const std::size_t container_at = frame.size() - msg.update.encoded_bytes();
+  frame[container_at] = 'X';
+  EXPECT_EQ(decode_frame(frame.data(), frame.size()).status,
+            DecodeStatus::kMalformed);
+}
+
 TEST(Wire, EvalAndShutdownRoundTrip) {
   {
     EvalMsg msg;
@@ -161,6 +211,7 @@ TEST(Wire, MsgTypeNamesAreStable) {
   EXPECT_STREQ(msg_type_name(MsgType::kUpload), "upload");
   EXPECT_STREQ(msg_type_name(MsgType::kEval), "eval");
   EXPECT_STREQ(msg_type_name(MsgType::kShutdown), "shutdown");
+  EXPECT_STREQ(msg_type_name(MsgType::kCompressedUpload), "compressed_upload");
 }
 
 TEST(Wire, EmptyAndTruncatedHeaderNeedMoreData) {
@@ -203,7 +254,7 @@ TEST(Wire, MalformedHeaderTable) {
       {"future version", kWireMagic, 2, 4, 0, DecodeStatus::kBadVersion},
       {"version zero", kWireMagic, 0, 4, 0, DecodeStatus::kBadVersion},
       {"type zero", kWireMagic, kWireVersion, 0, 0, DecodeStatus::kBadType},
-      {"type past shutdown", kWireMagic, kWireVersion, 9, 0,
+      {"type past compressed upload", kWireMagic, kWireVersion, 10, 0,
        DecodeStatus::kBadType},
       {"type max", kWireMagic, kWireVersion, 0xFFFF, 0,
        DecodeStatus::kBadType},
