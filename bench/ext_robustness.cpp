@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
     double loss;
     std::size_t bits;
     double corrupt;
+    double diurnal = 0.0;  ///< diurnal period in round intervals (0 = off)
   };
   const std::vector<Hazard> hazards{
       {"clean", 0.0, 0.0, 0, 0.0},
@@ -68,6 +69,10 @@ int main(int argc, char** argv) {
       {"4-bit uploads", 0.0, 0.0, 4, 0.0},
       {"20% corrupt clients", 0.0, 0.0, 0, 0.2},
       {"churn+loss+corrupt", 0.3, 0.3, 0, 0.2},
+      // Diurnal availability (DESIGN.md §15): each device online for half of
+      // an ~8-round day at a per-device phase, alone and on top of churn.
+      {"diurnal", 0.0, 0.0, 0, 0.0, 8.0},
+      {"diurnal+churn", 0.3, 0.0, 0, 0.0, 8.0},
   };
 
   Table table("Robustness — passive vs recovering SEAFL under deployment "
@@ -97,6 +102,11 @@ int main(int argc, char** argv) {
             if (hazard.crash_rate > 0.0) {
               arm.config.faults.mean_uptime = uptime_for(hazard.crash_rate);
               arm.config.faults.mean_downtime = 2.0 * round_interval;
+            }
+            if (hazard.diurnal > 0.0) {
+              arm.config.faults.diurnal_period =
+                  hazard.diurnal * round_interval;
+              arm.config.faults.diurnal_online_fraction = 0.5;
             }
             if (algo == "seafl-ft")
               arm.config.faults.round_deadline = 4.0 * round_interval;

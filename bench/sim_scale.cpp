@@ -15,9 +15,13 @@
 // result would be a bug, not a win.
 //
 // Flags (on top of the bench_common world flags):
-//   --smoke       tiny run (CI): fewer rounds, one timing trial
-//   --threads N   global pool size (default 8)
-//   --json PATH   output path (default results/BENCH_sim.json)
+//   --smoke            tiny run (CI): fewer rounds, one timing trial
+//   --threads N        global pool size (default 8)
+//   --json PATH        output path (default results/BENCH_sim.json)
+//   --checkpoint-split also run the horizon as two legs — run to R/2, write
+//                      a checkpoint, halt, resume in a fresh simulation —
+//                      and check the result is bitwise identical to the
+//                      straight run (DESIGN.md §15); recorded in the JSON
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -52,6 +56,31 @@ Measurement measure(const ExperimentParams& params,
 
 double rounds_per_sec(const Measurement& m) {
   return static_cast<double>(m.result.rounds) / m.best_seconds;
+}
+
+/// One leg of the checkpoint-split check: the seafl arm with the
+/// checkpoint knobs applied (run_arm keeps them out of ExperimentParams on
+/// purpose — they never change results, so they never reach the exp hash).
+RunResult run_split_leg(const ExperimentParams& params,
+                        const bench::World& world, std::uint64_t every,
+                        std::uint64_t halt_after, const std::string& dir,
+                        bool resume) {
+  Arm arm = make_arm("seafl", params);
+  arm.config.checkpoint_every_rounds = every;
+  arm.config.checkpoint_dir = dir;
+  arm.config.halt_after_rounds = halt_after;
+  const ModelFactory factory =
+      make_model(world.task.default_model, world.task.input,
+                 world.task.num_classes);
+  const double mlp_work = estimate_flops_per_sample(
+      ModelKind::kMlp, InputSpec{1, 1, 32}, world.task.num_classes);
+  const double work =
+      estimate_flops_per_sample(world.task.default_model, world.task.input,
+                                world.task.num_classes) /
+      mlp_work;
+  Simulation sim(world.task, factory, world.fleet, std::move(arm.strategy),
+                 arm.config, work);
+  return resume ? sim.resume_from_dir(dir) : sim.run();
 }
 
 bool bitwise_equal(const RunResult& a, const RunResult& b) {
@@ -133,6 +162,44 @@ int main(int argc, char** argv) {
                   ", \"bitwise_equal\": " + (equal ? "true" : "false") + "}";
   }
 
+  // Optional long-horizon split: N rounds straight == N/2 rounds + durable
+  // checkpoint + crash + resume-in-a-fresh-process + N/2 rounds, bitwise.
+  std::string split_json;
+  if (args.get_bool("checkpoint-split", false)) {
+    const std::uint64_t total = params.max_rounds;
+    const std::uint64_t half = std::max<std::uint64_t>(1, total / 2);
+    const std::string dir = "results/sim_scale_ckpt";
+    std::filesystem::remove_all(dir);
+
+    auto t0 = Clock::now();
+    const RunResult straight =
+        run_split_leg(params, world, 0, 0, "", false);
+    const double straight_secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    t0 = Clock::now();
+    run_split_leg(params, world, half, half, dir, false);  // leg 1: crash
+    const RunResult resumed =
+        run_split_leg(params, world, half, 0, dir, true);  // leg 2: resume
+    const double split_secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    const bool split_equal = bitwise_equal(straight, resumed);
+    all_equal = all_equal && split_equal;
+    std::printf(
+        "checkpoint-split: %llu rounds straight (%.2fs) vs halt@%llu + "
+        "resume (%.2fs), bitwise %s\n",
+        static_cast<unsigned long long>(total), straight_secs,
+        static_cast<unsigned long long>(half), split_secs,
+        split_equal ? "equal" : "DIFFERENT");
+    split_json =
+        ",\n  \"checkpoint_split\": {\"rounds\": " + std::to_string(total) +
+        ", \"halt_at\": " + std::to_string(half) +
+        ", \"straight_wall_sec\": " + std::to_string(straight_secs) +
+        ", \"split_wall_sec\": " + std::to_string(split_secs) +
+        ", \"bitwise_equal\": " + (split_equal ? "true" : "false") + "}";
+  }
+
   const std::string path =
       args.get_string("json", "results/BENCH_sim.json");
   std::filesystem::create_directories(
@@ -152,7 +219,7 @@ int main(int argc, char** argv) {
       << ",\n  \"eager\": {\n" << eager_json << "\n  }"
       << ",\n  \"speedup_at_4_workers\": " << speedup_at_4
       << ",\n  \"all_bitwise_equal\": " << (all_equal ? "true" : "false")
-      << "\n}\n";
+      << split_json << "\n}\n";
   std::printf("wrote %s\n", path.c_str());
   return all_equal ? 0 : 1;
 }

@@ -28,6 +28,9 @@ inline void print_common_flags() {
       "(default 0)\n"
       "  --upload-retries N      client reconnect-and-resend attempts "
       "(default 2)\n"
+      "  --retry-backoff S       first reconnect delay, doubling per attempt "
+      "(default 1)\n"
+      "  --retry-backoff-cap S   ceiling on the doubling delay (default 32)\n"
       "  --codec NAME            upload codec: identity|float32|quantize|"
       "int8|int4|topk (default identity)\n"
       "  --codec-bits N          value width for quantize/topk (default 8)\n"
@@ -73,6 +76,9 @@ inline Arm arm_from_flags(const CliArgs& args, const FlTask& task) {
   arm.config.faults.deadline_factor = args.get_double("deadline-factor", 0.0);
   arm.config.faults.max_upload_retries =
       static_cast<std::size_t>(args.get_int("upload-retries", 2));
+  arm.config.faults.retry_backoff = args.get_double("retry-backoff", 1.0);
+  arm.config.faults.retry_backoff_cap =
+      args.get_double("retry-backoff-cap", 32.0);
   return arm;
 }
 

@@ -13,7 +13,9 @@
 //   ./seafl_client --connect 127.0.0.1:7070 --client 1 &
 //   ./seafl_client --connect 127.0.0.1:7070 --client 2
 #include <cstdio>
+#include <filesystem>
 
+#include "ckpt/store.h"
 #include "deploy_common.h"
 
 namespace {
@@ -37,6 +39,15 @@ void print_help() {
       "  --deadline-init S       seed for the session-deadline RTT estimate\n"
       "                          (default 0: measure first)\n"
       "  --trace-out PREFIX      write PREFIX.jsonl + PREFIX.trace.json\n\n"
+      "checkpoint/resume flags (DESIGN.md §15; both modes):\n"
+      "  --checkpoint-dir DIR    durable checkpoint directory (required by\n"
+      "                          --checkpoint-every)\n"
+      "  --checkpoint-every N    write a checkpoint every N rounds (0 = off)\n"
+      "  --checkpoint-keep K     checkpoints retained in the dir (default 3)\n"
+      "  --halt-after-rounds N   crash drill: stop abruptly (no shutdown\n"
+      "                          handshake) once round N completes (0 = off)\n"
+      "  --resume-from PATH      resume from this checkpoint file, or the\n"
+      "                          newest checkpoint when PATH is a directory\n\n"
       "run flags (must match the clients'):\n");
   seafl::deploy_cli::print_common_flags();
 }
@@ -63,6 +74,14 @@ int main(int argc, char** argv) {
 
     const FlTask task = make_task(deploy_cli::task_spec_from_flags(args));
     Arm arm = deploy_cli::arm_from_flags(args, task);
+    arm.config.checkpoint_dir = args.get_string("checkpoint-dir", "");
+    arm.config.checkpoint_every_rounds = static_cast<std::uint64_t>(
+        args.get_int("checkpoint-every", 0));
+    arm.config.checkpoint_keep =
+        static_cast<std::size_t>(args.get_int("checkpoint-keep", 3));
+    arm.config.halt_after_rounds = static_cast<std::uint64_t>(
+        args.get_int("halt-after-rounds", 0));
+    const std::string resume_from = args.get_string("resume-from", "");
 
     if (!deployment) {
       // Virtual mode: the same ServerCore on the event-queue transport.
@@ -72,7 +91,25 @@ int main(int argc, char** argv) {
       const Fleet fleet(fleet_config);
       Simulation sim(task, deploy_cli::model_from_task(task), fleet,
                      std::move(arm.strategy), arm.config);
-      const RunResult result = sim.run();
+      RunResult result;
+      if (!resume_from.empty()) {
+        std::error_code ec;
+        if (std::filesystem::is_directory(resume_from, ec)) {
+          result = sim.resume_from_dir(resume_from);
+        } else {
+          ckpt::RunCheckpoint c;
+          const ckpt::DecodeStatus status =
+              ckpt::load_checkpoint_file(resume_from, c);
+          SEAFL_CHECK(status == ckpt::DecodeStatus::kOk,
+                      "cannot load checkpoint "
+                          << resume_from << ": "
+                          << ckpt::status_name(status));
+          result = sim.resume(c);
+        }
+        std::printf("virtual run: resumed from checkpoint\n");
+      } else {
+        result = sim.run();
+      }
       std::printf("virtual run: %llu rounds, accuracy %.4f at t=%.1fs\n",
                   static_cast<unsigned long long>(result.rounds),
                   result.final_accuracy, result.final_time);
@@ -86,6 +123,7 @@ int main(int argc, char** argv) {
                      static_cast<std::int64_t>(arm.config.concurrency)));
     options.max_wall_seconds = args.get_double("max-wall-seconds", 120.0);
     options.deadline_init_seconds = args.get_double("deadline-init", 0.0);
+    options.resume_from = resume_from;
     const std::string trace_prefix = args.get_string("trace-out", "");
     if (!trace_prefix.empty()) {
       options.trace_jsonl_path = trace_prefix + ".jsonl";

@@ -1,0 +1,430 @@
+#include "ckpt/checkpoint.h"
+
+#include <set>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "nn/serialize.h"
+
+namespace seafl::ckpt {
+
+namespace {
+
+// Section ids. New sections get fresh ids; decoders skip unknown ids, so
+// adding a section is forward compatible and removing one is a version bump.
+constexpr std::uint32_t kSecMeta = 1;
+constexpr std::uint32_t kSecGlobal = 2;
+constexpr std::uint32_t kSecResult = 3;
+constexpr std::uint32_t kSecBuffer = 4;
+constexpr std::uint32_t kSecStrategy = 5;
+constexpr std::uint32_t kSecSessions = 6;
+constexpr std::uint32_t kSecPending = 7;
+constexpr std::uint32_t kSecBases = 8;
+constexpr std::uint32_t kSecResiduals = 9;
+constexpr std::uint32_t kSecDeploy = 10;
+
+/// Parses one embedded SEAFLMDL container at the reader's position and
+/// advances past it. Returns false on any malformation.
+bool read_model(bytes::Reader& r, const unsigned char* base,
+                ModelVector& out) {
+  if (!r.ok()) return false;
+  std::size_t consumed = 0;
+  try {
+    out = decode_model_vector(base + r.pos(), r.remaining(), &consumed);
+  } catch (const Error&) {
+    return false;
+  }
+  return r.bytes(consumed) != nullptr;
+}
+
+/// Guards a decoded element count against absurd values before reserving:
+/// every list element below occupies at least 8 payload bytes, so a count
+/// beyond remaining/8 cannot be genuine.
+bool plausible_count(const bytes::Reader& r, std::uint64_t count) {
+  return count <= r.remaining() / 8;
+}
+
+// --- RunResult binary codec (field order mirrors exp/cache.cpp's JSON) ----
+
+std::string encode_result(const RunResult& r) {
+  std::string out;
+  bytes::put_u64(out, r.curve.size());
+  for (const AccuracyPoint& p : r.curve) {
+    bytes::put_f64(out, p.time);
+    bytes::put_u64(out, p.round);
+    bytes::put_f64(out, p.accuracy);
+    bytes::put_f64(out, p.loss);
+  }
+  bytes::put_u64(out, r.round_log.size());
+  for (const RoundStat& s : r.round_log) {
+    bytes::put_u64(out, s.round);
+    bytes::put_f64(out, s.time);
+    bytes::put_u64(out, s.updates);
+    bytes::put_f64(out, s.mean_staleness);
+    bytes::put_u64(out, s.partial);
+  }
+  bytes::put_u64(out, r.participation.size());
+  for (const std::size_t count : r.participation) bytes::put_u64(out, count);
+  append_model_vector(out, r.final_weights);
+  bytes::put_f64(out, r.time_to_target);
+  bytes::put_f64(out, r.final_accuracy);
+  bytes::put_f64(out, r.final_time);
+  bytes::put_u64(out, r.rounds);
+  bytes::put_u64(out, r.total_updates);
+  bytes::put_u64(out, r.partial_updates);
+  bytes::put_u64(out, r.model_downloads);
+  bytes::put_u64(out, r.model_uploads);
+  bytes::put_u64(out, r.notifications);
+  bytes::put_u64(out, r.lost_uploads);
+  bytes::put_u64(out, r.aggregations);
+  bytes::put_f64(out, r.server_aggregation_work);
+  bytes::put_u64(out, r.dropped_updates);
+  bytes::put_u64(out, r.stale_waits);
+  bytes::put_f64(out, r.mean_staleness);
+  bytes::put_u64(out, r.client_crashes);
+  bytes::put_u64(out, r.deadline_expirations);
+  bytes::put_u64(out, r.redispatches);
+  bytes::put_u64(out, r.abandoned_slots);
+  bytes::put_u64(out, r.upload_retries);
+  bytes::put_u64(out, r.degraded_aggregations);
+  bytes::put_u64(out, r.screened_updates);
+  bytes::put_u64(out, r.clipped_updates);
+  bytes::put_u64(out, r.speculation_cut);
+  bytes::put_u64(out, r.speculation_wasted);
+  bytes::put_u64(out, r.upload_wire_bytes);
+  bytes::put_u64(out, r.upload_raw_bytes);
+  return out;
+}
+
+bool decode_result(const std::string& payload, RunResult& r) {
+  const unsigned char* base =
+      reinterpret_cast<const unsigned char*>(payload.data());
+  bytes::Reader in(payload.data(), payload.size());
+  const std::uint64_t curve_count = in.u64();
+  if (!plausible_count(in, curve_count)) return false;
+  r.curve.resize(static_cast<std::size_t>(curve_count));
+  for (AccuracyPoint& p : r.curve) {
+    p.time = in.f64();
+    p.round = in.u64();
+    p.accuracy = in.f64();
+    p.loss = in.f64();
+  }
+  const std::uint64_t log_count = in.u64();
+  if (!plausible_count(in, log_count)) return false;
+  r.round_log.resize(static_cast<std::size_t>(log_count));
+  for (RoundStat& s : r.round_log) {
+    s.round = in.u64();
+    s.time = in.f64();
+    s.updates = static_cast<std::size_t>(in.u64());
+    s.mean_staleness = in.f64();
+    s.partial = static_cast<std::size_t>(in.u64());
+  }
+  const std::uint64_t part_count = in.u64();
+  if (!plausible_count(in, part_count)) return false;
+  r.participation.resize(static_cast<std::size_t>(part_count));
+  for (std::size_t& count : r.participation) {
+    count = static_cast<std::size_t>(in.u64());
+  }
+  if (!read_model(in, base, r.final_weights)) return false;
+  r.time_to_target = in.f64();
+  r.final_accuracy = in.f64();
+  r.final_time = in.f64();
+  r.rounds = in.u64();
+  r.total_updates = static_cast<std::size_t>(in.u64());
+  r.partial_updates = static_cast<std::size_t>(in.u64());
+  r.model_downloads = static_cast<std::size_t>(in.u64());
+  r.model_uploads = static_cast<std::size_t>(in.u64());
+  r.notifications = static_cast<std::size_t>(in.u64());
+  r.lost_uploads = static_cast<std::size_t>(in.u64());
+  r.aggregations = static_cast<std::size_t>(in.u64());
+  r.server_aggregation_work = in.f64();
+  r.dropped_updates = static_cast<std::size_t>(in.u64());
+  r.stale_waits = static_cast<std::size_t>(in.u64());
+  r.mean_staleness = in.f64();
+  r.client_crashes = static_cast<std::size_t>(in.u64());
+  r.deadline_expirations = static_cast<std::size_t>(in.u64());
+  r.redispatches = static_cast<std::size_t>(in.u64());
+  r.abandoned_slots = static_cast<std::size_t>(in.u64());
+  r.upload_retries = static_cast<std::size_t>(in.u64());
+  r.degraded_aggregations = static_cast<std::size_t>(in.u64());
+  r.screened_updates = static_cast<std::size_t>(in.u64());
+  r.clipped_updates = static_cast<std::size_t>(in.u64());
+  r.speculation_cut = static_cast<std::size_t>(in.u64());
+  r.speculation_wasted = static_cast<std::size_t>(in.u64());
+  r.upload_wire_bytes = static_cast<std::size_t>(in.u64());
+  r.upload_raw_bytes = static_cast<std::size_t>(in.u64());
+  return in.ok() && in.remaining() == 0;
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const RunCheckpoint& c) {
+  ContainerWriter w;
+  {
+    std::string meta;
+    bytes::put_u64(meta, c.seed);
+    bytes::put_u64(meta, c.model_dim);
+    bytes::put_u64(meta, c.num_clients);
+    bytes::put_u8(meta, c.origin);
+    bytes::put_f64(meta, c.now);
+    bytes::put_u64(meta, c.round);
+    bytes::put_f64(meta, c.staleness_sum);
+    bytes::put_u8(meta, c.round_deadline_passed ? 1 : 0);
+    bytes::put_u64(meta, c.dropout_draws);
+    w.add(kSecMeta, std::move(meta));
+  }
+  {
+    std::string global;
+    append_model_vector(global, c.global);
+    w.add(kSecGlobal, std::move(global));
+  }
+  w.add(kSecResult, encode_result(c.result));
+  {
+    std::string buffer;
+    bytes::put_u64(buffer, c.buffer.size());
+    for (const LocalUpdate& u : c.buffer) {
+      bytes::put_u64(buffer, u.client);
+      bytes::put_u64(buffer, u.base_round);
+      bytes::put_u64(buffer, u.num_samples);
+      bytes::put_u64(buffer, u.epochs_completed);
+      bytes::put_f64(buffer, u.arrival_time);
+      bytes::put_f64(buffer, u.train_loss);
+      append_model_vector(buffer, u.weights);
+    }
+    w.add(kSecBuffer, std::move(buffer));
+  }
+  w.add(kSecStrategy, c.strategy_state);
+  {
+    std::string sessions;
+    bytes::put_u64(sessions, c.sessions.size());
+    for (const SessionRecord& s : c.sessions) {
+      bytes::put_u64(sessions, s.client);
+      bytes::put_u64(sessions, s.base_round);
+      bytes::put_u64(sessions, s.epoch_ends.size());
+      for (const double t : s.epoch_ends) bytes::put_f64(sessions, t);
+      bytes::put_u64(sessions, s.planned_epochs);
+      bytes::put_u64(sessions, s.frozen_layers);
+      bytes::put_u64(sessions, s.attempts);
+      bytes::put_f64(sessions, s.crash_time);
+      bytes::put_u8(sessions, s.notified ? 1 : 0);
+      bytes::put_u8(sessions, s.lost ? 1 : 0);
+      bytes::put_u8(sessions, s.crashed ? 1 : 0);
+      bytes::put_u8(sessions, s.has_tx ? 1 : 0);
+      bytes::put_u64(sessions, s.tx_seq);
+      bytes::put_f64(sessions, s.tx_time);
+      bytes::put_u8(sessions, static_cast<std::uint8_t>(s.tx_kind));
+      bytes::put_u64(sessions, s.tx_epochs);
+      bytes::put_u8(sessions, s.has_deadline ? 1 : 0);
+      bytes::put_u64(sessions, s.deadline_seq);
+      bytes::put_f64(sessions, s.deadline_time);
+    }
+    w.add(kSecSessions, std::move(sessions));
+  }
+  {
+    std::string pending;
+    bytes::put_u64(pending, c.pending_notifies.size());
+    for (const PendingNotify& n : c.pending_notifies) {
+      bytes::put_u64(pending, n.seq);
+      bytes::put_u64(pending, n.client);
+      bytes::put_f64(pending, n.time);
+    }
+    bytes::put_u64(pending, c.pending_round_deadlines.size());
+    for (const PendingRoundDeadline& d : c.pending_round_deadlines) {
+      bytes::put_u64(pending, d.seq);
+      bytes::put_u64(pending, d.armed_round);
+      bytes::put_f64(pending, d.time);
+    }
+    w.add(kSecPending, std::move(pending));
+  }
+  {
+    std::string bases;
+    bytes::put_u64(bases, c.bases.size());
+    for (const auto& [round, weights] : c.bases) {  // std::map: sorted
+      bytes::put_u64(bases, round);
+      append_model_vector(bases, weights);
+    }
+    w.add(kSecBases, std::move(bases));
+  }
+  {
+    std::string residuals;
+    bytes::put_u64(residuals, c.residuals.size());
+    for (const auto& [client, residual] : c.residuals) {  // sorted
+      bytes::put_u64(residuals, client);
+      append_model_vector(residuals, residual);
+    }
+    w.add(kSecResiduals, std::move(residuals));
+  }
+  {
+    std::string deploy;
+    bytes::put_f64(deploy, c.rtt_estimate);
+    bytes::put_u64(deploy, c.next_session);
+    w.add(kSecDeploy, std::move(deploy));
+  }
+  return w.finish();
+}
+
+DecodeStatus decode_checkpoint(const void* data, std::size_t size,
+                               RunCheckpoint& out) {
+  out = RunCheckpoint{};
+  std::vector<Section> sections;
+  const DecodeStatus container = parse_container(data, size, sections);
+  if (container != DecodeStatus::kOk) return container;
+
+  RunCheckpoint c;
+  std::set<std::uint32_t> seen;
+  for (const Section& sec : sections) {
+    if (!seen.insert(sec.id).second) return DecodeStatus::kMalformed;
+    const unsigned char* base =
+        reinterpret_cast<const unsigned char*>(sec.payload.data());
+    bytes::Reader in(sec.payload.data(), sec.payload.size());
+    switch (sec.id) {
+      case kSecMeta: {
+        c.seed = in.u64();
+        c.model_dim = in.u64();
+        c.num_clients = in.u64();
+        c.origin = in.u8();
+        c.now = in.f64();
+        c.round = in.u64();
+        c.staleness_sum = in.f64();
+        c.round_deadline_passed = in.u8() != 0;
+        c.dropout_draws = in.u64();
+        if (!in.ok() || in.remaining() != 0) return DecodeStatus::kMalformed;
+        break;
+      }
+      case kSecGlobal: {
+        if (!read_model(in, base, c.global) || in.remaining() != 0) {
+          return DecodeStatus::kMalformed;
+        }
+        break;
+      }
+      case kSecResult: {
+        if (!decode_result(sec.payload, c.result)) {
+          return DecodeStatus::kMalformed;
+        }
+        break;
+      }
+      case kSecBuffer: {
+        const std::uint64_t count = in.u64();
+        if (!plausible_count(in, count)) return DecodeStatus::kMalformed;
+        c.buffer.resize(static_cast<std::size_t>(count));
+        for (LocalUpdate& u : c.buffer) {
+          u.client = static_cast<std::size_t>(in.u64());
+          u.base_round = in.u64();
+          u.num_samples = static_cast<std::size_t>(in.u64());
+          u.epochs_completed = static_cast<std::size_t>(in.u64());
+          u.arrival_time = in.f64();
+          u.train_loss = in.f64();
+          if (!read_model(in, base, u.weights)) {
+            return DecodeStatus::kMalformed;
+          }
+        }
+        if (!in.ok() || in.remaining() != 0) return DecodeStatus::kMalformed;
+        break;
+      }
+      case kSecStrategy: {
+        c.strategy_state = sec.payload;
+        break;
+      }
+      case kSecSessions: {
+        const std::uint64_t count = in.u64();
+        if (!plausible_count(in, count)) return DecodeStatus::kMalformed;
+        c.sessions.resize(static_cast<std::size_t>(count));
+        for (SessionRecord& s : c.sessions) {
+          s.client = static_cast<std::size_t>(in.u64());
+          s.base_round = in.u64();
+          const std::uint64_t epochs = in.u64();
+          if (!plausible_count(in, epochs)) return DecodeStatus::kMalformed;
+          s.epoch_ends.resize(static_cast<std::size_t>(epochs));
+          for (double& t : s.epoch_ends) t = in.f64();
+          s.planned_epochs = static_cast<std::size_t>(in.u64());
+          s.frozen_layers = static_cast<std::size_t>(in.u64());
+          s.attempts = static_cast<std::size_t>(in.u64());
+          s.crash_time = in.f64();
+          s.notified = in.u8() != 0;
+          s.lost = in.u8() != 0;
+          s.crashed = in.u8() != 0;
+          s.has_tx = in.u8() != 0;
+          s.tx_seq = in.u64();
+          s.tx_time = in.f64();
+          const std::uint8_t kind = in.u8();
+          if (kind > static_cast<std::uint8_t>(TxKind::kCrash)) {
+            return DecodeStatus::kMalformed;
+          }
+          s.tx_kind = static_cast<TxKind>(kind);
+          s.tx_epochs = static_cast<std::size_t>(in.u64());
+          s.has_deadline = in.u8() != 0;
+          s.deadline_seq = in.u64();
+          s.deadline_time = in.f64();
+        }
+        if (!in.ok() || in.remaining() != 0) return DecodeStatus::kMalformed;
+        break;
+      }
+      case kSecPending: {
+        const std::uint64_t notifies = in.u64();
+        if (!plausible_count(in, notifies)) return DecodeStatus::kMalformed;
+        c.pending_notifies.resize(static_cast<std::size_t>(notifies));
+        for (PendingNotify& n : c.pending_notifies) {
+          n.seq = in.u64();
+          n.client = static_cast<std::size_t>(in.u64());
+          n.time = in.f64();
+        }
+        const std::uint64_t deadlines = in.u64();
+        if (!plausible_count(in, deadlines)) return DecodeStatus::kMalformed;
+        c.pending_round_deadlines.resize(static_cast<std::size_t>(deadlines));
+        for (PendingRoundDeadline& d : c.pending_round_deadlines) {
+          d.seq = in.u64();
+          d.armed_round = in.u64();
+          d.time = in.f64();
+        }
+        if (!in.ok() || in.remaining() != 0) return DecodeStatus::kMalformed;
+        break;
+      }
+      case kSecBases: {
+        const std::uint64_t count = in.u64();
+        if (!plausible_count(in, count)) return DecodeStatus::kMalformed;
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const std::uint64_t round = in.u64();
+          ModelVector weights;
+          if (!read_model(in, base, weights)) return DecodeStatus::kMalformed;
+          if (!c.bases.emplace(round, std::move(weights)).second) {
+            return DecodeStatus::kMalformed;  // duplicate base round
+          }
+        }
+        if (!in.ok() || in.remaining() != 0) return DecodeStatus::kMalformed;
+        break;
+      }
+      case kSecResiduals: {
+        const std::uint64_t count = in.u64();
+        if (!plausible_count(in, count)) return DecodeStatus::kMalformed;
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const std::uint64_t client = in.u64();
+          std::vector<float> residual;
+          if (!read_model(in, base, residual)) {
+            return DecodeStatus::kMalformed;
+          }
+          if (!c.residuals.emplace(client, std::move(residual)).second) {
+            return DecodeStatus::kMalformed;  // duplicate client
+          }
+        }
+        if (!in.ok() || in.remaining() != 0) return DecodeStatus::kMalformed;
+        break;
+      }
+      case kSecDeploy: {
+        c.rtt_estimate = in.f64();
+        c.next_session = in.u64();
+        if (!in.ok() || in.remaining() != 0) return DecodeStatus::kMalformed;
+        break;
+      }
+      default:
+        break;  // unknown section: skip (forward compatibility)
+    }
+  }
+  if (!seen.count(kSecMeta) || !seen.count(kSecGlobal) ||
+      !seen.count(kSecResult)) {
+    return DecodeStatus::kMalformed;
+  }
+  out = std::move(c);
+  return DecodeStatus::kOk;
+}
+
+}  // namespace seafl::ckpt

@@ -1,0 +1,132 @@
+// Typed checkpoint model on top of the SEAFLCKPT container (DESIGN.md §15).
+//
+// RunCheckpoint is the complete durable state of a run: everything that is
+// NOT a pure function of the (task, fleet, config, seed) tuple. The
+// determinism contract (per-client counter-keyed RNG, DESIGN.md §12) keeps
+// this small — client training state, churn timelines, fleet speeds,
+// evaluator subsets and diurnal schedules are all re-derivable, so only the
+// server-side accumulated state travels: global weights, strategy state,
+// RunResult counters, the aggregation buffer, in-flight sessions with their
+// pending event descriptors, dispatched base-weight snapshots, compression
+// residuals and (for deployments) the wall-clock session bookkeeping.
+//
+// Both drivers share this one struct: fl::Simulation fills every field,
+// DeployServer leaves the virtual-event fields empty (sessions die with the
+// process on a real transport; the deadline machinery re-dispatches).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ckpt/container.h"
+#include "fl/types.h"
+
+namespace seafl::ckpt {
+
+/// Pending transmission-event kinds of an in-flight session (which
+/// Simulation handler the event queue would have invoked).
+enum class TxKind : std::uint8_t {
+  kArrival = 0,  ///< healthy upload completes
+  kLost = 1,     ///< upload lost in transit (retry machinery fires)
+  kCrash = 2,    ///< device churn kills the session first
+};
+
+/// One in-flight training session, plus descriptors of its scheduled
+/// events. Event closures cannot be serialized; (seq, time, kind) is enough
+/// to rebuild them, and re-scheduling in ascending original-seq order
+/// replays (time, seq) tie-breaks identically.
+struct SessionRecord {
+  std::size_t client = 0;
+  std::uint64_t base_round = 0;
+  std::vector<double> epoch_ends;
+  std::size_t planned_epochs = 0;
+  std::size_t frozen_layers = 0;
+  std::size_t attempts = 0;
+  double crash_time = 0.0;
+  bool notified = false;
+  bool lost = false;
+  bool crashed = false;
+
+  /// Pending transmission event; absent once the session crashed (the
+  /// transmission event already fired as the crash).
+  bool has_tx = false;
+  std::uint64_t tx_seq = 0;
+  double tx_time = 0.0;
+  TxKind tx_kind = TxKind::kArrival;
+  std::size_t tx_epochs = 0;
+
+  /// Pending per-assignment deadline timer (deadline_factor > 0).
+  bool has_deadline = false;
+  std::uint64_t deadline_seq = 0;
+  double deadline_time = 0.0;
+};
+
+/// A scheduled SEAFL² partial-training notification.
+struct PendingNotify {
+  std::uint64_t seq = 0;
+  std::size_t client = 0;
+  double time = 0.0;
+};
+
+/// A scheduled round-deadline check. Stale entries (armed_round behind the
+/// current round) are serialized too: their no-op firing still advances the
+/// virtual clock, which can determine the run's final_time.
+struct PendingRoundDeadline {
+  std::uint64_t seq = 0;
+  std::uint64_t armed_round = 0;
+  double time = 0.0;
+};
+
+/// The complete durable state of a run at a round boundary.
+struct RunCheckpoint {
+  // --- identity (validated against the live run before restore) ----------
+  std::uint64_t seed = 0;
+  std::uint64_t model_dim = 0;
+  std::uint64_t num_clients = 0;
+  /// 0 = virtual simulation, 1 = deployment server.
+  std::uint8_t origin = 0;
+
+  // --- clock + server core ------------------------------------------------
+  double now = 0.0;
+  std::uint64_t round = 0;
+  double staleness_sum = 0.0;
+  bool round_deadline_passed = false;
+  std::uint64_t dropout_draws = 0;
+
+  ModelVector global;
+  RunResult result;
+  std::vector<LocalUpdate> buffer;
+
+  /// Opaque strategy state (Strategy::save_state), e.g. server-side
+  /// optimizer moments or SEAFL's last weight breakdown.
+  std::string strategy_state;
+
+  // --- virtual-simulation session state -----------------------------------
+  std::vector<SessionRecord> sessions;
+  std::vector<PendingNotify> pending_notifies;
+  std::vector<PendingRoundDeadline> pending_round_deadlines;
+  /// Dispatched base-weight snapshots for sessions whose base_round is
+  /// behind the current round (the current round's base is the global
+  /// model itself and is not duplicated here).
+  std::map<std::uint64_t, ModelVector> bases;
+
+  // --- compression --------------------------------------------------------
+  std::map<std::uint64_t, std::vector<float>> residuals;
+
+  // --- deployment extras --------------------------------------------------
+  double rtt_estimate = 0.0;
+  std::uint64_t next_session = 0;
+};
+
+/// Serializes a checkpoint into one SEAFLCKPT container byte string.
+/// Deterministic: the same state always produces the same bytes.
+std::string encode_checkpoint(const RunCheckpoint& c);
+
+/// Decodes a container produced by encode_checkpoint. Never throws; on any
+/// non-kOk status `out` is default-initialized.
+DecodeStatus decode_checkpoint(const void* data, std::size_t size,
+                               RunCheckpoint& out);
+
+}  // namespace seafl::ckpt

@@ -1,0 +1,116 @@
+#include "ckpt/container.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace seafl::ckpt {
+
+namespace {
+
+/// Sanity bound on the section count: a real checkpoint has around ten
+/// sections, so anything in the millions is garbage input, not a container.
+constexpr std::uint32_t kMaxSections = 1u << 20;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+const char* status_name(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kTruncated: return "truncated";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadCrc: return "bad-crc";
+    case DecodeStatus::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+void ContainerWriter::add(std::uint32_t id, std::string payload) {
+  sections_.push_back(Section{id, std::move(payload)});
+}
+
+std::string ContainerWriter::finish() const {
+  std::string out;
+  out.append(kContainerMagic, sizeof(kContainerMagic));
+  bytes::put_u32(out, kContainerVersion);
+  bytes::put_u32(out, static_cast<std::uint32_t>(sections_.size()));
+  for (const Section& s : sections_) {
+    bytes::put_u32(out, s.id);
+    bytes::put_u64(out, s.payload.size());
+    out.append(s.payload);
+  }
+  bytes::put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+DecodeStatus parse_container(const void* data, std::size_t size,
+                             std::vector<Section>& out) {
+  out.clear();
+  constexpr std::size_t kHeader = sizeof(kContainerMagic) + 4 + 4;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  if (size < sizeof(kContainerMagic)) return DecodeStatus::kTruncated;
+  if (std::memcmp(p, kContainerMagic, sizeof(kContainerMagic)) != 0) {
+    return DecodeStatus::kBadMagic;
+  }
+  if (size < kHeader) return DecodeStatus::kTruncated;
+
+  bytes::Reader header(p + sizeof(kContainerMagic),
+                       size - sizeof(kContainerMagic));
+  const std::uint32_t version = header.u32();
+  if (version != kContainerVersion) return DecodeStatus::kBadVersion;
+  const std::uint32_t count = header.u32();
+  if (count > kMaxSections) return DecodeStatus::kMalformed;
+
+  // Walk the declared structure first so a short file reads as truncation
+  // (the CRC range is only known once the structure is complete).
+  std::vector<Section> sections;
+  sections.reserve(count);
+  bytes::Reader body(p + kHeader, size - kHeader);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t id = body.u32();
+    const std::uint64_t len = body.u64();
+    if (!body.ok()) return DecodeStatus::kTruncated;
+    if (len > body.remaining()) return DecodeStatus::kTruncated;
+    const unsigned char* payload = body.bytes(static_cast<std::size_t>(len));
+    Section s;
+    s.id = id;
+    s.payload.assign(reinterpret_cast<const char*>(payload),
+                     static_cast<std::size_t>(len));
+    sections.push_back(std::move(s));
+  }
+  if (body.remaining() < 4) return DecodeStatus::kTruncated;
+  if (body.remaining() > 4) return DecodeStatus::kMalformed;  // trailing slack
+
+  const std::size_t crc_pos = size - 4;
+  bytes::Reader tail(p + crc_pos, 4);
+  if (tail.u32() != crc32(p, crc_pos)) return DecodeStatus::kBadCrc;
+
+  out = std::move(sections);
+  return DecodeStatus::kOk;
+}
+
+}  // namespace seafl::ckpt

@@ -1,0 +1,71 @@
+// SEAFLCKPT: the versioned binary checkpoint container (DESIGN.md §15).
+//
+// Layout:   magic "SEAFLCKP" (8 bytes)
+//           u32 version
+//           u32 section count
+//           sections: [u32 id][u64 byte length][payload] ...
+//           u32 CRC32 over every byte before it
+//
+// Sections are opaque byte blobs keyed by a numeric id; unknown ids are
+// skipped on decode (forward compatibility), and the typed layer on top
+// (checkpoint.h) decides which sections are required. Decoding follows the
+// net/wire discipline: it never throws, and every failure is classified —
+// a short file is kTruncated (retryable: the previous container in a
+// retention set may still be whole), everything else is fatal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seafl::ckpt {
+
+inline constexpr char kContainerMagic[8] = {'S', 'E', 'A', 'F',
+                                            'L', 'C', 'K', 'P'};
+inline constexpr std::uint32_t kContainerVersion = 1;
+
+/// Why a container (or the typed checkpoint inside it) failed to decode.
+enum class DecodeStatus {
+  kOk,
+  kTruncated,   ///< ran out of bytes before the structure completed
+  kBadMagic,    ///< not a SEAFLCKPT container at all
+  kBadVersion,  ///< container from a different format generation
+  kBadCrc,      ///< structure complete but the checksum disagrees
+  kMalformed,   ///< checksum fine, internal structure inconsistent
+};
+
+/// Truncation is the only retryable failure: a reader that races a writer
+/// (or inspects a file cut short by a crash) should fall back to an older
+/// checkpoint. Every other failure means this container can never load.
+inline bool is_fatal(DecodeStatus s) {
+  return s != DecodeStatus::kOk && s != DecodeStatus::kTruncated;
+}
+
+const char* status_name(DecodeStatus s);
+
+/// One decoded section: id + payload bytes.
+struct Section {
+  std::uint32_t id = 0;
+  std::string payload;
+};
+
+/// Accumulates sections and seals them into one container byte string.
+class ContainerWriter {
+ public:
+  void add(std::uint32_t id, std::string payload);
+  /// Magic + version + sections + trailing CRC32.
+  std::string finish() const;
+
+ private:
+  std::vector<Section> sections_;
+};
+
+/// Parses a container into its sections. Never throws; on any non-kOk
+/// status `out` is left empty.
+DecodeStatus parse_container(const void* data, std::size_t size,
+                             std::vector<Section>& out);
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of a byte span.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+}  // namespace seafl::ckpt

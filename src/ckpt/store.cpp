@@ -1,0 +1,141 @@
+#include "ckpt/store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace seafl::ckpt {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kPrefix = "ckpt_";
+constexpr const char* kSuffix = ".seaflckpt";
+
+/// Parses `ckpt_<round>.seaflckpt`; nullopt for anything else (temp files,
+/// foreign files in the directory).
+std::optional<std::uint64_t> round_of(const std::string& name) {
+  const std::size_t prefix = std::string(kPrefix).size();
+  const std::size_t suffix = std::string(kSuffix).size();
+  if (name.size() <= prefix + suffix) return std::nullopt;
+  if (name.compare(0, prefix, kPrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix, suffix, kSuffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits = name.substr(prefix, name.size() - prefix - suffix);
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t round = 0;
+  for (const char ch : digits) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    round = round * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  return round;
+}
+
+/// fsync a path (file or directory); best-effort for directories, which
+/// some filesystems refuse to open.
+void sync_path(const std::string& path, bool required) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    SEAFL_CHECK(!required, "ckpt: cannot open for fsync: " << path);
+    return;
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  SEAFL_CHECK(rc == 0 || !required, "ckpt: fsync failed: " << path);
+}
+
+}  // namespace
+
+std::string checkpoint_path(const std::string& dir, std::uint64_t round) {
+  return dir + "/" + kPrefix + std::to_string(round) + kSuffix;
+}
+
+std::vector<std::uint64_t> list_checkpoint_rounds(const std::string& dir) {
+  std::vector<std::uint64_t> rounds;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const auto round = round_of(entry.path().filename().string());
+    if (round) rounds.push_back(*round);
+  }
+  std::sort(rounds.begin(), rounds.end());
+  return rounds;
+}
+
+std::optional<std::string> latest_checkpoint(const std::string& dir) {
+  const std::vector<std::uint64_t> rounds = list_checkpoint_rounds(dir);
+  if (rounds.empty()) return std::nullopt;
+  return checkpoint_path(dir, rounds.back());
+}
+
+void write_checkpoint_file(const std::string& dir, std::uint64_t round,
+                           const std::string& bytes, std::size_t keep) {
+  SEAFL_CHECK(keep >= 1, "ckpt: retention must keep at least one checkpoint");
+  fs::create_directories(dir);
+  const std::string final_path = checkpoint_path(dir, round);
+  const std::string tmp = final_path + ".tmp." + std::to_string(::getpid());
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  SEAFL_CHECK(fd >= 0, "ckpt: cannot create " << tmp);
+  std::size_t written = 0;
+  bool io_ok = true;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n <= 0) {
+      io_ok = false;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // The rename is only atomic-durable if the payload hit the platter first.
+  if (io_ok) io_ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!io_ok) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    SEAFL_CHECK(false, "ckpt: short write or fsync failure on " << tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    std::error_code rm;
+    fs::remove(tmp, rm);
+    SEAFL_CHECK(false, "ckpt: rename failed: " << tmp << " -> " << final_path);
+  }
+  sync_path(dir, /*required=*/false);  // persist the directory entry
+
+  // Retention: drop the oldest rounds beyond the newest `keep`.
+  const std::vector<std::uint64_t> rounds = list_checkpoint_rounds(dir);
+  if (rounds.size() > keep) {
+    for (std::size_t i = 0; i + keep < rounds.size(); ++i) {
+      std::error_code rm;
+      fs::remove(checkpoint_path(dir, rounds[i]), rm);
+    }
+  }
+}
+
+void write_retained(const std::string& dir, const RunCheckpoint& c,
+                    std::size_t keep) {
+  write_checkpoint_file(dir, c.round, encode_checkpoint(c), keep);
+}
+
+DecodeStatus load_checkpoint_file(const std::string& path,
+                                  RunCheckpoint& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return DecodeStatus::kTruncated;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  return decode_checkpoint(bytes.data(), bytes.size(), out);
+}
+
+}  // namespace seafl::ckpt

@@ -1,0 +1,45 @@
+// Durable checkpoint files: atomic writes, retention, discovery.
+//
+// Each checkpoint is one file `<dir>/ckpt_<round>.seaflckpt`. Writes follow
+// the exp cache pattern hardened for durability: write to `*.tmp.<pid>`,
+// fsync the file, rename into place, fsync the directory — so a reader (or
+// a restarted server) only ever sees either the previous complete
+// checkpoint or the new complete one, never a torn file, even across a
+// power cut. A keep-last-N retention policy prunes the oldest rounds after
+// every successful write.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+
+namespace seafl::ckpt {
+
+/// File path of the checkpoint of `round` under `dir`.
+std::string checkpoint_path(const std::string& dir, std::uint64_t round);
+
+/// Atomically writes `bytes` as the checkpoint of `round`, creating `dir`
+/// if needed, then prunes all but the newest `keep` rounds (keep >= 1).
+/// Throws seafl::Error on I/O failure (after removing the temp file).
+void write_checkpoint_file(const std::string& dir, std::uint64_t round,
+                           const std::string& bytes, std::size_t keep);
+
+/// Convenience: encode + write + prune in one call.
+void write_retained(const std::string& dir, const RunCheckpoint& c,
+                    std::size_t keep);
+
+/// Rounds with a checkpoint file under `dir`, ascending. Empty if the
+/// directory is missing.
+std::vector<std::uint64_t> list_checkpoint_rounds(const std::string& dir);
+
+/// Path of the newest checkpoint under `dir`, if any.
+std::optional<std::string> latest_checkpoint(const std::string& dir);
+
+/// Reads and decodes one checkpoint file. An unreadable / short file
+/// reports kTruncated; decode failures classify as in container.h.
+DecodeStatus load_checkpoint_file(const std::string& path, RunCheckpoint& out);
+
+}  // namespace seafl::ckpt

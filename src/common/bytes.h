@@ -1,0 +1,142 @@
+// Little-endian byte (de)serialization primitives shared by binary
+// container formats (the SEAFLCKPT checkpoint container; net/wire keeps its
+// own private copies for wire-protocol stability). Writers append to a
+// std::string; the Reader is bounds-checked and never throws — after any
+// failed read `ok()` turns false and every later read returns zero, so a
+// decoder can run a whole parse and check validity once at the end.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace seafl::bytes {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void put_f64(std::string& out, double v) {
+  static_assert(sizeof(double) == 8, "IEEE-754 double expected");
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, 8);
+  put_u64(out, bits);
+}
+
+inline void put_f32(std::string& out, float v) {
+  static_assert(sizeof(float) == 4, "IEEE-754 float expected");
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, 4);
+  put_u32(out, bits);
+}
+
+/// Length-prefixed byte blob (u64 length + payload).
+inline void put_blob(std::string& out, const std::string& blob) {
+  put_u64(out, blob.size());
+  out.append(blob);
+}
+
+/// Bounds-checked sequential reader over a byte span it does not own.
+class Reader {
+ public:
+  Reader(const void* data, std::size_t size)
+      : data_(static_cast<const unsigned char*>(data)), size_(size) {}
+
+  bool ok() const { return ok_; }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return ok_ ? size_ - pos_ : 0; }
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return data_[pos_ - 1];
+  }
+
+  std::uint16_t u16() {
+    if (!take(2)) return 0;
+    const unsigned char* p = data_ + pos_ - 2;
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+  }
+
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    const unsigned char* p = data_ + pos_ - 4;
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    const unsigned char* p = data_ + pos_ - 8;
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, 8);
+    return ok_ ? v : 0.0;
+  }
+
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v = 0.0f;
+    std::memcpy(&v, &bits, 4);
+    return ok_ ? v : 0.0f;
+  }
+
+  /// Length-prefixed blob written by put_blob. Empty on failure.
+  std::string blob() {
+    const std::uint64_t len = u64();
+    if (!ok_ || len > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string out(reinterpret_cast<const char*>(data_ + pos_),
+                    static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return out;
+  }
+
+  /// Raw byte run without a length prefix. Null on failure.
+  const unsigned char* bytes(std::size_t n) {
+    if (!take(n)) return nullptr;
+    return data_ + pos_ - n;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace seafl::bytes

@@ -63,6 +63,7 @@ enum class RngPurpose : std::uint64_t {
   kDropout = 8,        ///< client availability / upload loss
   kChurn = 9,          ///< device crash/recovery timelines (sim/hazard)
   kCompress = 10,      ///< stochastic-rounding noise in upload codecs
+  kSchedule = 11,      ///< diurnal availability phase (sim/schedule)
   kTest = 100,         ///< unit tests
 };
 

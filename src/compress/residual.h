@@ -38,6 +38,17 @@ class ResidualStore {
   bool has(std::size_t client) const { return residuals_.count(client) > 0; }
   std::size_t size() const { return residuals_.size(); }
 
+  /// Read-only view of every materialized residual, for checkpoint capture
+  /// (the caller sorts by client before serializing).
+  const std::unordered_map<std::size_t, std::vector<float>>& all() const {
+    return residuals_;
+  }
+
+  /// Reinstalls one checkpointed residual verbatim (checkpoint restore).
+  void restore(std::size_t client, std::vector<float> residual) {
+    residuals_[client] = std::move(residual);
+  }
+
  private:
   std::unordered_map<std::size_t, std::vector<float>> residuals_;
 };

@@ -34,6 +34,8 @@ RunConfig base_config(const ExperimentParams& p) {
   c.compression.topk_fraction = p.topk_fraction;
   c.compression.error_feedback = p.error_feedback;
   compress::apply_codec_name(c.compression, p.codec);
+  c.faults.diurnal_period = p.diurnal_period;
+  c.faults.diurnal_online_fraction = p.diurnal_online_fraction;
   return c;
 }
 

@@ -40,6 +40,12 @@ struct ExperimentParams {
   double topk_fraction = 0.1;        ///< coordinate fraction topk keeps
   bool error_feedback = true;        ///< carry dropped mass across rounds
 
+  /// Diurnal availability (FaultConfig::diurnal_*): each client is online
+  /// for a contiguous `diurnal_online_fraction` of every `diurnal_period`
+  /// virtual seconds, at a per-client phase. 0 disables the overlay.
+  double diurnal_period = 0.0;
+  double diurnal_online_fraction = 0.5;
+
   /// Execution knobs (RunConfig::eager_training / sim_jobs): where client
   /// training runs, never what it computes — results are bitwise invariant,
   /// so these are deliberately NOT in the exp FieldBinding table and never

@@ -72,6 +72,15 @@ class ScreenedStrategy : public AggregationStrategy {
   /// Outcomes of the most recent aggregation (for inspection/tests).
   const ScreeningReport& last_report() const { return last_report_; }
 
+  /// Screening itself is a pure function of each buffer; only the wrapped
+  /// strategy carries cross-round state.
+  void save_state(std::string& out) const override {
+    inner_->save_state(out);
+  }
+  bool restore_state(const unsigned char* data, std::size_t size) override {
+    return inner_->restore_state(data, size);
+  }
+
  private:
   StrategyPtr inner_;
   ScreeningConfig config_;

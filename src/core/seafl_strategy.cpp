@@ -1,5 +1,6 @@
 #include "core/seafl_strategy.h"
 
+#include "common/bytes.h"
 #include "tensor/ops.h"
 
 namespace seafl {
@@ -50,6 +51,39 @@ void SeaflStrategy::aggregate(const AggregationContext& ctx,
 
   // Eq. 8: server mixing into the global model.
   mix_into_global(aggregate, config_.vartheta, global_out);
+}
+
+void SeaflStrategy::save_state(std::string& out) const {
+  bytes::put_u64(out, last_breakdown_.size());
+  for (const WeightBreakdown& b : last_breakdown_) {
+    bytes::put_u64(out, b.staleness);
+    bytes::put_f64(out, b.gamma);
+    bytes::put_f64(out, b.theta);
+    bytes::put_f64(out, b.importance);
+    bytes::put_f64(out, b.data_fraction);
+    bytes::put_f64(out, b.raw);
+    bytes::put_f64(out, b.weight);
+  }
+}
+
+bool SeaflStrategy::restore_state(const unsigned char* data,
+                                  std::size_t size) {
+  bytes::Reader in(data, size);
+  const std::uint64_t count = in.u64();
+  if (!in.ok() || count > in.remaining() / 8) return false;
+  std::vector<WeightBreakdown> breakdown(static_cast<std::size_t>(count));
+  for (WeightBreakdown& b : breakdown) {
+    b.staleness = in.u64();
+    b.gamma = in.f64();
+    b.theta = in.f64();
+    b.importance = in.f64();
+    b.data_fraction = in.f64();
+    b.raw = in.f64();
+    b.weight = in.f64();
+  }
+  if (!in.ok() || in.remaining() != 0) return false;
+  last_breakdown_ = std::move(breakdown);
+  return true;
 }
 
 }  // namespace seafl

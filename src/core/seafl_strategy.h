@@ -39,6 +39,10 @@ class SeaflStrategy : public AggregationStrategy {
                  ModelVector& global_out) override;
   std::string name() const override { return "SEAFL"; }
 
+  /// The staleness/importance breakdown of the last aggregation.
+  void save_state(std::string& out) const override;
+  bool restore_state(const unsigned char* data, std::size_t size) override;
+
   /// Weight breakdowns of the most recent aggregation (for inspection).
   const std::vector<WeightBreakdown>& last_breakdown() const {
     return last_breakdown_;

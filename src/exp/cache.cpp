@@ -25,7 +25,11 @@ namespace {
 // v5: RunResult gained the communication accounting (upload_wire_bytes /
 // upload_raw_bytes), and transfer_bytes now charges container headers, so
 // cached byte counts from older versions would under-report.
-constexpr std::uint64_t kCacheVersion = 5;
+// v6: Simulation's in-flight session table became insertion-order
+// independent (checkpoint/resume work), which can reorder SEAFL^2
+// notification ties; arms also gained the diurnal availability knobs.
+// Cached curves from older binaries may not match a fresh run.
+constexpr std::uint64_t kCacheVersion = 6;
 
 Json curve_to_json(const std::vector<AccuracyPoint>& curve) {
   JsonArray out;

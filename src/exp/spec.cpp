@@ -307,6 +307,20 @@ const std::vector<FieldBinding>& field_table() {
          return std::string(s.params.error_feedback ? "true" : "false");
        }},
 
+      // --- diurnal availability (DESIGN.md §15) ------------------------------
+      {"diurnal-period",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.diurnal_period = parse_double("diurnal-period", v);
+       },
+       [](const ArmSpec& s) { return fmt_double(s.params.diurnal_period); }},
+      {"diurnal-online",
+       [](ArmSpec& s, const std::string& v) {
+         s.params.diurnal_online_fraction = parse_double("diurnal-online", v);
+       },
+       [](const ArmSpec& s) {
+         return fmt_double(s.params.diurnal_online_fraction);
+       }},
+
       // --- compound aliases (not serialized; expand to the fields above) ----
       {"seed",
        [](ArmSpec& s, const std::string& v) {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <thread>
 
+#include "ckpt/store.h"
 #include "common/error.h"
 #include "common/log.h"
 
@@ -42,6 +44,29 @@ DeployServer::DeployServer(const FlTask& task, const ModelFactory& factory,
                                   << " out of range [1, "
                                   << task.num_clients() << "]");
   initial_weights_ = initial_global_weights(factory, config_.seed);
+  if (!options_.resume_from.empty()) {
+    std::string path = options_.resume_from;
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      const std::optional<std::string> latest = ckpt::latest_checkpoint(path);
+      SEAFL_CHECK(latest.has_value(), "no checkpoint found under " << path);
+      path = *latest;
+    }
+    ckpt::RunCheckpoint c;
+    const ckpt::DecodeStatus status = ckpt::load_checkpoint_file(path, c);
+    SEAFL_CHECK(status == ckpt::DecodeStatus::kOk,
+                "cannot load checkpoint " << path << ": "
+                                          << ckpt::status_name(status));
+    SEAFL_CHECK(c.origin == 1,
+                "checkpoint " << path
+                              << " was taken by a simulation, not a server");
+    SEAFL_CHECK(c.seed == config_.seed &&
+                    c.model_dim == initial_weights_.size() &&
+                    c.num_clients == task.num_clients(),
+                "checkpoint " << path
+                              << " does not match this run's configuration");
+    resume_ckpt_ = std::move(c);
+  }
   transport_ = net::SocketTransport::listen(options_.port);
   transport_->set_handler(this);
 }
@@ -129,11 +154,35 @@ void DeployServer::handle_hello(net::PeerId peer, const net::HelloMsg& msg) {
 
 void DeployServer::start_run() {
   started_ = true;
-  core_.begin(initial_weights_, task_->num_clients());
+  if (resume_ckpt_.has_value()) {
+    // Crash recovery: reinstall the checkpointed round instead of round 0.
+    // The old process's live sessions are orphans — their clients already
+    // saw the EOF and re-registered — so the restored round is simply
+    // dispatched afresh. next_session_ continues from the checkpoint, so a
+    // straggler upload for a pre-crash session id can never alias a new one.
+    const ckpt::RunCheckpoint& c = *resume_ckpt_;
+    core_.restore(c.global, c.round, c.buffer, c.result, c.staleness_sum,
+                  c.round_deadline_passed);
+    SEAFL_CHECK(
+        strategy_->restore_state(
+            reinterpret_cast<const unsigned char*>(c.strategy_state.data()),
+            c.strategy_state.size()),
+        "checkpoint strategy state does not fit strategy "
+            << strategy_->name());
+    rtt_estimate_ = c.rtt_estimate;
+    next_session_ = c.next_session;
+    resume_ckpt_.reset();
+    SEAFL_INFO("deploy server: resumed from checkpoint at round "
+               << core_.round());
+  } else {
+    core_.begin(initial_weights_, task_->num_clients());
+  }
   if (core_.codec() != nullptr)
     global_snapshot_ = std::make_shared<const ModelVector>(core_.global());
-  evaluate_and_record();  // baseline at t ~ 0
-  if (done_) return;      // a trivially-met target stops before round 1
+  if (core_.round() == 0) {
+    evaluate_and_record();  // baseline at t ~ 0 (fresh starts only)
+    if (done_) return;      // a trivially-met target stops before round 1
+  }
   arm_round_deadline();
   const std::size_t cohort =
       std::min(config_.concurrency, client_peer_.size());
@@ -335,6 +384,41 @@ void DeployServer::after_buffer_change() {
     dispatch_to(reporter);
   }
   notify_stale_sessions();
+
+  // Checkpoint AFTER dispatch, mirroring the simulation's hook placement.
+  maybe_write_checkpoint();
+  // Crash drill (chaos tests / kill-and-resume smoke): die N rounds in
+  // WITHOUT the shutdown handshake — clients see a bare EOF and enter their
+  // reconnect loop, exactly as after a real SIGKILL.
+  if (config_.halt_after_rounds > 0 &&
+      core_.round() >= config_.halt_after_rounds) {
+    SEAFL_INFO("deploy server: halt_after_rounds reached, dying abruptly");
+    done_ = true;
+    transport_->stop();
+  }
+}
+
+void DeployServer::maybe_write_checkpoint() {
+  const std::uint64_t every = config_.checkpoint_every_rounds;
+  if (every == 0 || done_ || core_.round() == 0 ||
+      core_.round() % every != 0)
+    return;
+  ckpt::RunCheckpoint c;
+  c.seed = config_.seed;
+  c.model_dim = initial_weights_.size();
+  c.num_clients = task_->num_clients();
+  c.origin = 1;
+  c.now = now();
+  c.round = core_.round();
+  c.staleness_sum = core_.staleness_sum();
+  c.round_deadline_passed = core_.round_deadline_passed();
+  c.global = core_.global();
+  c.result = core_.result();
+  c.buffer = core_.buffer();
+  strategy_->save_state(c.strategy_state);
+  c.rtt_estimate = rtt_estimate_;
+  c.next_session = next_session_;
+  ckpt::write_retained(config_.checkpoint_dir, c, config_.checkpoint_keep);
 }
 
 void DeployServer::notify_stale_sessions() {

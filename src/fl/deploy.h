@@ -22,8 +22,10 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "ckpt/checkpoint.h"
 #include "compress/codec.h"
 #include "fl/client.h"
 #include "fl/evaluator.h"
@@ -45,6 +47,15 @@ struct DeployServerOptions {
   double deadline_init_seconds = 0.0;
   std::string trace_jsonl_path;   ///< journal export on finish ("" = off)
   std::string trace_chrome_path;  ///< chrome trace export on finish ("" = off)
+  /// Restart path (DESIGN.md §15): a checkpoint file — or a directory, in
+  /// which case the newest checkpoint in it — written by a previous server
+  /// process of the *same* run configuration. When the expected clients have
+  /// re-registered, the run resumes from the stored round instead of round 0
+  /// (orphaned sessions died with the old process; the restored round is
+  /// dispatched to whoever is checked in). "" starts fresh. Periodic
+  /// checkpoint *writes* are governed by RunConfig::checkpoint_every_rounds
+  /// / checkpoint_dir / checkpoint_keep, shared with the simulation.
+  std::string resume_from;
 };
 
 /// The server side of a deployment run. Single-threaded: construct (binds
@@ -96,6 +107,12 @@ class DeployServer final : public net::MessageHandler {
   void notify_stale_sessions();
   void arm_round_deadline();
   void on_session_deadline(std::uint64_t session_id);
+  /// End-of-aggregation hook: durably writes the server's restartable state
+  /// (core + strategy + rtt estimate + session-id counter; live sessions
+  /// are deliberately excluded — they die with the process and the deadline
+  /// machinery re-dispatches their rounds) every
+  /// RunConfig::checkpoint_every_rounds rounds.
+  void maybe_write_checkpoint();
   /// Tears down `session_id` and hands the slot to the first idle
   /// registered client (deterministic order), counting redispatch/abandon.
   void reassign(std::uint64_t session_id, bool send_cancel);
@@ -127,6 +144,9 @@ class DeployServer final : public net::MessageHandler {
   /// EWMA of observed dispatch→upload round trips (seconds); what
   /// deadline_factor multiplies. Seeded by options_.deadline_init_seconds.
   double rtt_estimate_ = 0.0;
+  /// Loaded in the constructor from options_.resume_from; consumed by
+  /// start_run (restore instead of begin) once the clients are back.
+  std::optional<ckpt::RunCheckpoint> resume_ckpt_;
   bool started_ = false;
   bool done_ = false;
 };

@@ -52,12 +52,26 @@ void validate_run_config(const RunConfig& c, std::size_t num_clients) {
   SEAFL_CHECK(c.eval_every >= 1, "eval_every must be >= 1");
   SEAFL_CHECK(c.sim_jobs == 0 || c.eager_training,
               "sim_jobs requires eager_training");
+  if (c.checkpoint_every_rounds > 0) {
+    SEAFL_CHECK(!c.checkpoint_dir.empty(),
+                "checkpoint_dir must be set when checkpoint_every_rounds > 0");
+  }
+  SEAFL_CHECK(c.checkpoint_keep >= 1,
+              "checkpoint_keep must retain at least one checkpoint");
 
   const FaultConfig& f = c.faults;
   SEAFL_CHECK(f.mean_uptime >= 0.0, "mean_uptime must be non-negative");
   if (f.churn_enabled()) {
     SEAFL_CHECK(f.mean_downtime > 0.0,
                 "mean_downtime must be positive when churn is enabled");
+  }
+  SEAFL_CHECK(f.diurnal_period >= 0.0,
+              "diurnal_period must be non-negative");
+  if (f.diurnal_enabled()) {
+    SEAFL_CHECK(
+        f.diurnal_online_fraction > 0.0 && f.diurnal_online_fraction <= 1.0,
+        "diurnal_online_fraction must be in (0, 1], got "
+            << f.diurnal_online_fraction);
   }
   SEAFL_CHECK(f.deadline_factor == 0.0 || f.deadline_factor >= 1.0,
               "deadline_factor must be 0 (off) or >= 1 (a healthy client "
@@ -108,6 +122,17 @@ void ServerCore::begin(ModelVector initial, std::size_t num_clients) {
   staleness_sum_ = 0.0;
   result_ = RunResult{};
   result_.participation.assign(num_clients, 0);
+}
+
+void ServerCore::restore(ModelVector global, std::uint64_t round,
+                         std::vector<LocalUpdate> buffer, RunResult result,
+                         double staleness_sum, bool round_deadline_passed) {
+  global_ = std::move(global);
+  round_ = round;
+  buffer_ = std::move(buffer);
+  result_ = std::move(result);
+  staleness_sum_ = staleness_sum;
+  round_deadline_passed_ = round_deadline_passed;
 }
 
 void ServerCore::add_update(LocalUpdate update) {

@@ -54,6 +54,14 @@ class ServerCore {
   /// participation histogram.
   void begin(ModelVector initial, std::size_t num_clients);
 
+  /// Reinstalls a checkpointed mid-run state (DESIGN.md §15): the global
+  /// model, round counter, pending buffer, accumulated RunResult and
+  /// staleness sum exactly as they were when the checkpoint was taken.
+  /// Replaces begin() on the resume path.
+  void restore(ModelVector global, std::uint64_t round,
+               std::vector<LocalUpdate> buffer, RunResult result,
+               double staleness_sum, bool round_deadline_passed);
+
   /// Buffers one arrived update (the driver has already stamped
   /// arrival_time and counted upload metrics).
   void add_update(LocalUpdate update);
@@ -103,6 +111,8 @@ class ServerCore {
   /// Sum of per-update staleness over all aggregated updates (for the
   /// run-end mean).
   double staleness_sum() const { return staleness_sum_; }
+  /// Whether the current round is past its deadline (degraded target).
+  bool round_deadline_passed() const { return round_deadline_passed_; }
 
   /// The decode side of the run's codec; null when compression is off.
   const compress::Codec* codec() const { return codec_.get(); }

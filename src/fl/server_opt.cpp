@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/bytes.h"
 #include "common/error.h"
 
 namespace seafl {
@@ -67,6 +68,35 @@ void ServerOptStrategy::aggregate(const AggregationContext& ctx,
       break;
     }
   }
+}
+
+void ServerOptStrategy::save_state(std::string& out) const {
+  bytes::put_u64(out, step_);
+  bytes::put_u64(out, momentum_.size());
+  for (const double m : momentum_) bytes::put_f64(out, m);
+  bytes::put_u64(out, variance_.size());
+  for (const double v : variance_) bytes::put_f64(out, v);
+  inner_->save_state(out);
+}
+
+bool ServerOptStrategy::restore_state(const unsigned char* data,
+                                      std::size_t size) {
+  bytes::Reader in(data, size);
+  const std::uint64_t step = in.u64();
+  const std::uint64_t m_count = in.u64();
+  if (!in.ok() || m_count > in.remaining() / 8) return false;
+  std::vector<double> momentum(static_cast<std::size_t>(m_count));
+  for (double& m : momentum) m = in.f64();
+  const std::uint64_t v_count = in.u64();
+  if (!in.ok() || v_count > in.remaining() / 8) return false;
+  std::vector<double> variance(static_cast<std::size_t>(v_count));
+  for (double& v : variance) v = in.f64();
+  if (!in.ok()) return false;
+  if (!inner_->restore_state(data + in.pos(), size - in.pos())) return false;
+  step_ = step;
+  momentum_ = std::move(momentum);
+  variance_ = std::move(variance);
+  return true;
 }
 
 std::string ServerOptStrategy::name() const {

@@ -39,6 +39,10 @@ class ServerOptStrategy : public AggregationStrategy {
                  ModelVector& global_out) override;
   std::string name() const override;
 
+  /// Optimizer moments + step count, then the inner strategy's state.
+  void save_state(std::string& out) const override;
+  bool restore_state(const unsigned char* data, std::size_t size) override;
+
  private:
   StrategyPtr inner_;
   ServerOptConfig config_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "ckpt/store.h"
 #include "common/log.h"
 #include "obs/profile.h"
 
@@ -40,6 +41,9 @@ Simulation::Simulation(const FlTask& task, const ModelFactory& factory,
                  config.seed),
       churn_(ChurnConfig{config.faults.mean_uptime,
                          config.faults.mean_downtime, config.seed},
+             ScheduleConfig{config.faults.diurnal_period,
+                            config.faults.diurnal_online_fraction,
+                            config.seed},
              task.num_clients()),
       core_(strategy_.get(), config_) {
   SEAFL_CHECK(fleet.size() >= task.num_clients(),
@@ -88,7 +92,10 @@ RunResult Simulation::run() {
   // Baseline evaluation at t = 0.
   evaluate_and_record();
   arm_round_deadline();
+  return drive();
+}
 
+RunResult Simulation::drive() {
   while (!done_ && transport_.run_one()) {
   }
   // Sessions still in flight at the stop condition never upload; their
@@ -150,17 +157,27 @@ std::uint64_t Simulation::schedule_transmission(std::size_t client,
                                                 InFlight& state,
                                                 double arrival,
                                                 std::size_t epochs) {
+  // Each branch also records a checkpoint descriptor on the session
+  // (tx_time/tx_kind/tx_epochs): closures cannot be serialized, so restore
+  // replays the event from these fields instead.
+  state.tx_epochs = epochs;
   // Device churn preempts the network: a client that goes offline before its
   // upload completes never delivers it. The crash event is simulator
   // bookkeeping — the *server* only learns of it through a missed deadline.
   if (state.crash_time < arrival) {
     const double when = std::max(queue().now(), state.crash_time);
+    state.tx_time = when;
+    state.tx_kind = ckpt::TxKind::kCrash;
     return queue().schedule_at(when, [this, client] { on_crash(client); });
   }
   if (state.lost) {
+    state.tx_time = arrival;
+    state.tx_kind = ckpt::TxKind::kLost;
     return queue().schedule_at(arrival,
                                [this, client] { on_upload_lost(client); });
   }
+  state.tx_time = arrival;
+  state.tx_kind = ckpt::TxKind::kArrival;
   return queue().schedule_at(
       arrival, [this, client, epochs] { on_arrival(client, epochs); });
 }
@@ -234,6 +251,7 @@ void Simulation::start_training(std::size_t client) {
   if (config_.faults.deadline_factor > 0.0) {
     const double deadline =
         dispatch + config_.faults.deadline_factor * (arrival - dispatch);
+    state.deadline_time = deadline;
     state.deadline_event = queue().schedule_at(
         deadline, [this, client] { on_deadline(client); });
   }
@@ -563,7 +581,10 @@ void Simulation::check_stale_clients() {
       const double latency =
           fleet_->latency_seconds(client, round(), /*leg=*/2);
       const std::size_t c = client;
-      queue().schedule_after(latency, [this, c] { on_notification(c); });
+      const double when = queue().now() + latency;
+      const std::uint64_t id =
+          queue().schedule_at(when, [this, c] { on_notification(c); });
+      pending_notifies_.emplace(id, PendingNotifyInfo{c, when});
     }
   }
 }
@@ -571,8 +592,11 @@ void Simulation::check_stale_clients() {
 void Simulation::arm_round_deadline() {
   if (config_.faults.round_deadline <= 0.0 || done_) return;
   const std::uint64_t armed = round();
-  queue().schedule_after(config_.faults.round_deadline,
-                         [this, armed] { on_round_deadline(armed); });
+  const double when = queue().now() + config_.faults.round_deadline;
+  const std::uint64_t id =
+      queue().schedule_at(when, [this, armed] { on_round_deadline(armed); });
+  pending_round_deadlines_.emplace(id,
+                                   PendingRoundDeadlineInfo{armed, when});
 }
 
 void Simulation::on_round_deadline(std::uint64_t armed_round) {
@@ -630,6 +654,295 @@ void Simulation::maybe_aggregate() {
     // this is where over-limit devices get notified.
     check_stale_clients();
   }
+
+  // Checkpoint AFTER dispatch: the snapshot must hold the exact state an
+  // uninterrupted run carries into the next round (fresh sessions included).
+  maybe_write_checkpoint();
+  // Drill hook: simulate a crash N rounds in (split-run tests, bench legs).
+  // Checked after the checkpoint hook — a halt at a checkpoint round leaves
+  // the file behind for the resuming leg, unlike the max_rounds stop which
+  // short-circuits before dispatch.
+  if (config_.halt_after_rounds > 0 && round() >= config_.halt_after_rounds)
+    done_ = true;
+}
+
+void Simulation::prune_pending_events() {
+  std::erase_if(pending_notifies_,
+                [this](const auto& kv) { return !queue().is_pending(kv.first); });
+  std::erase_if(pending_round_deadlines_,
+                [this](const auto& kv) { return !queue().is_pending(kv.first); });
+}
+
+void Simulation::respeculate_in_flight() {
+  if (executor_ == nullptr) return;
+  // Client order (in_flight_ is ordered by id), so a drained-and-relaunched
+  // run and a restored run queue identical job sequences. Sessions whose
+  // budget was already cut re-speculate at the cut budget — the update is a
+  // pure function of the inputs, so the harvested bytes are unchanged.
+  for (const auto& [client, state] : in_flight_) {
+    if (state.crashed) continue;  // nothing will ever harvest it
+    executor_->speculate(client, state.base_weights, state.planned_epochs,
+                         state.base_round, state.frozen_layers);
+  }
+}
+
+void Simulation::maybe_write_checkpoint() {
+  const std::uint64_t every = config_.checkpoint_every_rounds;
+  if (every == 0 || done_ || round() == 0 || round() % every != 0) return;
+  // Speculation drains before the snapshot: a checkpoint must not depend on
+  // in-progress executor jobs (a restored process starts with an empty
+  // executor regardless). The drain and relaunch tick only observation
+  // counters, so the run's RunResult is bitwise identical with
+  // checkpointing on or off.
+  if (executor_ != nullptr) executor_->drain();
+  const ckpt::RunCheckpoint snapshot = capture_checkpoint();
+  ckpt::write_retained(config_.checkpoint_dir, snapshot,
+                       config_.checkpoint_keep);
+  respeculate_in_flight();
+}
+
+ckpt::RunCheckpoint Simulation::capture_checkpoint() {
+  prune_pending_events();
+  ckpt::RunCheckpoint c;
+  c.seed = config_.seed;
+  c.model_dim = initial_weights_.size();
+  c.num_clients = task_->num_clients();
+  c.origin = 0;
+  c.now = queue().now();
+  c.round = round();
+  c.staleness_sum = core_.staleness_sum();
+  c.round_deadline_passed = core_.round_deadline_passed();
+  c.dropout_draws = dropout_draws_;
+  c.global = core_.global();
+  c.result = result();
+  c.buffer = core_.buffer();
+  strategy_->save_state(c.strategy_state);
+  for (const auto& [client, state] : in_flight_) {
+    ckpt::SessionRecord s;
+    s.client = client;
+    s.base_round = state.base_round;
+    s.epoch_ends = state.epoch_ends;
+    s.planned_epochs = state.planned_epochs;
+    s.frozen_layers = state.frozen_layers;
+    s.attempts = state.attempts;
+    s.crash_time = state.crash_time;
+    s.notified = state.notified;
+    s.lost = state.lost;
+    s.crashed = state.crashed;
+    // A crashed session's transmission event already fired (it *was* the
+    // crash); every other live session has one pending.
+    s.has_tx = queue().is_pending(state.upload_event);
+    s.tx_seq = state.upload_event;
+    s.tx_time = state.tx_time;
+    s.tx_kind = state.tx_kind;
+    s.tx_epochs = state.tx_epochs;
+    s.has_deadline = state.deadline_event != 0 &&
+                     queue().is_pending(state.deadline_event);
+    s.deadline_seq = state.deadline_event;
+    s.deadline_time = state.deadline_time;
+    c.sessions.push_back(std::move(s));
+    // Older base snapshots are deduplicated by round; the current round's
+    // base IS the global model, which the checkpoint already carries.
+    if (state.base_round < c.round)
+      c.bases.emplace(state.base_round, *state.base_weights);
+  }
+  for (const auto& [id, info] : pending_notifies_) {
+    ckpt::PendingNotify p;
+    p.seq = id;
+    p.client = info.client;
+    p.time = info.time;
+    c.pending_notifies.push_back(p);
+  }
+  for (const auto& [id, info] : pending_round_deadlines_) {
+    ckpt::PendingRoundDeadline p;
+    p.seq = id;
+    p.armed_round = info.armed_round;
+    p.time = info.time;
+    c.pending_round_deadlines.push_back(p);
+  }
+  for (const auto& [client, residual] : residuals_.all())
+    c.residuals.emplace(client, residual);
+  return c;
+}
+
+void Simulation::restore_state(const ckpt::RunCheckpoint& c) {
+  SEAFL_CHECK(c.origin == 0,
+              "checkpoint was taken by a deployment server, not a simulation");
+  SEAFL_CHECK(c.seed == config_.seed,
+              "checkpoint seed " << c.seed << " != run seed " << config_.seed);
+  SEAFL_CHECK(c.model_dim == initial_weights_.size(),
+              "checkpoint model dim " << c.model_dim << " != "
+                                      << initial_weights_.size());
+  SEAFL_CHECK(c.num_clients == task_->num_clients(),
+              "checkpoint has " << c.num_clients << " clients, task has "
+                                << task_->num_clients());
+  SEAFL_CHECK(in_flight_.empty() && queue().empty() && queue().now() == 0.0,
+              "resume requires a freshly constructed simulation");
+
+  core_.restore(c.global, c.round, c.buffer, c.result, c.staleness_sum,
+                c.round_deadline_passed);
+  SEAFL_CHECK(
+      strategy_->restore_state(
+          reinterpret_cast<const unsigned char*>(c.strategy_state.data()),
+          c.strategy_state.size()),
+      "checkpoint strategy state does not fit strategy "
+          << strategy_->name());
+  queue().advance_to(c.now);
+  dropout_draws_ = c.dropout_draws;
+  refresh_global_snapshot();
+  for (const auto& [client, residual] : c.residuals)
+    residuals_.restore(static_cast<std::size_t>(client), residual);
+
+  // Base-weight snapshots, shared across same-round sessions exactly as in
+  // the original run. The current round's base is the restored global.
+  std::map<std::uint64_t, std::shared_ptr<const ModelVector>> bases;
+  bases.emplace(c.round, global_snapshot_);
+  for (const auto& [base_round, weights] : c.bases)
+    bases.emplace(base_round, std::make_shared<const ModelVector>(weights));
+
+  for (const auto& s : c.sessions) {
+    const auto base = bases.find(s.base_round);
+    SEAFL_CHECK(base != bases.end(), "checkpoint session for client "
+                                         << s.client
+                                         << " references missing base round "
+                                         << s.base_round);
+    InFlight state;
+    state.base_round = s.base_round;
+    state.base_weights = base->second;
+    state.epoch_ends = s.epoch_ends;
+    state.planned_epochs = s.planned_epochs;
+    state.frozen_layers = s.frozen_layers;
+    state.attempts = s.attempts;
+    state.crash_time = s.crash_time;
+    state.notified = s.notified;
+    state.lost = s.lost;
+    state.crashed = s.crashed;
+    state.tx_time = s.tx_time;
+    state.tx_kind = s.tx_kind;
+    state.tx_epochs = s.tx_epochs;
+    state.deadline_time = s.deadline_time;
+    in_flight_.emplace(s.client, std::move(state));
+  }
+
+  // Replay every pending event in ascending *original* sequence order: the
+  // queue breaks same-time ties by insertion sequence, so re-inserting in
+  // the original relative order makes ties fire exactly as they would have
+  // in the uninterrupted run. (New events scheduled after the resume always
+  // get higher sequence numbers than the replayed ones — in both runs.)
+  struct Replay {
+    std::uint64_t orig_seq = 0;
+    enum class Kind { kTx, kDeadline, kNotify, kRoundDeadline } kind;
+    std::size_t client = 0;
+    double time = 0.0;
+    std::size_t epochs = 0;
+    ckpt::TxKind tx_kind = ckpt::TxKind::kArrival;
+    std::uint64_t armed_round = 0;
+  };
+  std::vector<Replay> events;
+  for (const auto& s : c.sessions) {
+    if (s.has_tx) {
+      Replay r;
+      r.orig_seq = s.tx_seq;
+      r.kind = Replay::Kind::kTx;
+      r.client = s.client;
+      r.time = s.tx_time;
+      r.epochs = s.tx_epochs;
+      r.tx_kind = s.tx_kind;
+      events.push_back(r);
+    }
+    if (s.has_deadline) {
+      Replay r;
+      r.orig_seq = s.deadline_seq;
+      r.kind = Replay::Kind::kDeadline;
+      r.client = s.client;
+      r.time = s.deadline_time;
+      events.push_back(r);
+    }
+  }
+  for (const auto& p : c.pending_notifies) {
+    Replay r;
+    r.orig_seq = p.seq;
+    r.kind = Replay::Kind::kNotify;
+    r.client = static_cast<std::size_t>(p.client);
+    r.time = p.time;
+    events.push_back(r);
+  }
+  for (const auto& p : c.pending_round_deadlines) {
+    Replay r;
+    r.orig_seq = p.seq;
+    r.kind = Replay::Kind::kRoundDeadline;
+    r.armed_round = p.armed_round;
+    r.time = p.time;
+    events.push_back(r);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Replay& a, const Replay& b) {
+              return a.orig_seq < b.orig_seq;
+            });
+  for (const Replay& ev : events) {
+    switch (ev.kind) {
+      case Replay::Kind::kTx: {
+        std::uint64_t id = 0;
+        const std::size_t cl = ev.client;
+        switch (ev.tx_kind) {
+          case ckpt::TxKind::kCrash:
+            id = queue().schedule_at(ev.time, [this, cl] { on_crash(cl); });
+            break;
+          case ckpt::TxKind::kLost:
+            id = queue().schedule_at(ev.time,
+                                     [this, cl] { on_upload_lost(cl); });
+            break;
+          case ckpt::TxKind::kArrival: {
+            const std::size_t epochs = ev.epochs;
+            id = queue().schedule_at(
+                ev.time, [this, cl, epochs] { on_arrival(cl, epochs); });
+            break;
+          }
+        }
+        in_flight_.at(cl).upload_event = id;
+        break;
+      }
+      case Replay::Kind::kDeadline: {
+        const std::size_t cl = ev.client;
+        in_flight_.at(cl).deadline_event =
+            queue().schedule_at(ev.time, [this, cl] { on_deadline(cl); });
+        break;
+      }
+      case Replay::Kind::kNotify: {
+        const std::size_t cl = ev.client;
+        const std::uint64_t id =
+            queue().schedule_at(ev.time, [this, cl] { on_notification(cl); });
+        pending_notifies_.emplace(id, PendingNotifyInfo{cl, ev.time});
+        break;
+      }
+      case Replay::Kind::kRoundDeadline: {
+        const std::uint64_t armed = ev.armed_round;
+        const std::uint64_t id = queue().schedule_at(
+            ev.time, [this, armed] { on_round_deadline(armed); });
+        pending_round_deadlines_.emplace(
+            id, PendingRoundDeadlineInfo{armed, ev.time});
+        break;
+      }
+    }
+  }
+
+  respeculate_in_flight();
+  done_ = false;
+}
+
+RunResult Simulation::resume(const ckpt::RunCheckpoint& checkpoint) {
+  restore_state(checkpoint);
+  return drive();
+}
+
+RunResult Simulation::resume_from_dir(const std::string& dir) {
+  const std::optional<std::string> path = ckpt::latest_checkpoint(dir);
+  SEAFL_CHECK(path.has_value(), "no checkpoint found under " << dir);
+  ckpt::RunCheckpoint c;
+  const ckpt::DecodeStatus status = ckpt::load_checkpoint_file(*path, c);
+  SEAFL_CHECK(status == ckpt::DecodeStatus::kOk,
+              "cannot load " << *path << ": " << ckpt::status_name(status));
+  return resume(c);
 }
 
 void Simulation::evaluate_and_record() {

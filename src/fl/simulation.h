@@ -29,10 +29,11 @@
 // (DESIGN.md §12).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
+#include "ckpt/checkpoint.h"
 #include "compress/residual.h"
 #include "fl/client.h"
 #include "fl/compression.h"
@@ -66,6 +67,23 @@ class Simulation {
   /// Executes the session to a stop condition and returns its metrics.
   RunResult run();
 
+  /// Resumes a checkpointed run (DESIGN.md §15) on a freshly constructed
+  /// Simulation with the *same* (task, factory, fleet, strategy, config,
+  /// work_per_sample) the checkpoint was taken under: reinstalls the
+  /// durable state, re-schedules the serialized pending events in their
+  /// original sequence order, and drives to a stop condition. The combined
+  /// run (leg before the checkpoint + this leg) is bitwise identical to the
+  /// uninterrupted run. Throws seafl::Error on an incompatible checkpoint.
+  RunResult resume(const ckpt::RunCheckpoint& checkpoint);
+
+  /// Loads the newest checkpoint under `dir` and resumes from it.
+  RunResult resume_from_dir(const std::string& dir);
+
+  /// Serializes the complete durable run state at the current instant.
+  /// Meaningful at round boundaries (where maybe_write_checkpoint calls
+  /// it); exposed for tests.
+  ckpt::RunCheckpoint capture_checkpoint();
+
   /// Attaches an observer for client-lifecycle events (assigned, epoch_done,
   /// notified, upload, upload_lost, aggregate, eval) on the virtual clock.
   /// Not owned; null (the default) disables tracing. Observation only — the
@@ -92,6 +110,25 @@ class Simulation {
     bool notified = false;              ///< SEAFL^2 notification sent
     bool lost = false;                  ///< next transmission lost in transit
     bool crashed = false;               ///< session dead (device offline)
+    // Checkpoint descriptors for the pending events above: closures cannot
+    // be serialized, so schedule_transmission / start_training also record
+    // what they scheduled (fire time, event kind, payload) for replay.
+    double tx_time = 0.0;               ///< upload_event fire time
+    ckpt::TxKind tx_kind = ckpt::TxKind::kArrival;
+    std::size_t tx_epochs = 0;          ///< epochs an arrival would carry
+    double deadline_time = 0.0;         ///< deadline_event fire time
+  };
+
+  /// Tracking records for fire-and-forget events (SEAFL^2 notifications and
+  /// round deadlines) so a checkpoint can replay them. Keyed by the event
+  /// queue id; entries whose event already fired are pruned lazily.
+  struct PendingNotifyInfo {
+    std::size_t client = 0;
+    double time = 0.0;
+  };
+  struct PendingRoundDeadlineInfo {
+    std::uint64_t armed_round = 0;
+    double time = 0.0;
   };
 
   // --- event handlers -------------------------------------------------------
@@ -120,6 +157,24 @@ class Simulation {
   void maybe_aggregate();
   void evaluate_and_record();
   void check_stale_clients();
+  // --- checkpoint/resume (DESIGN.md §15) ------------------------------------
+  /// Runs the event loop to a stop condition and finalizes the RunResult.
+  /// Shared tail of run() and resume().
+  RunResult drive();
+  /// End-of-aggregation hook: every RunConfig::checkpoint_every_rounds
+  /// rounds, drains speculation, captures the run state and durably writes
+  /// it under RunConfig::checkpoint_dir. Observation-only: the run's
+  /// RunResult is bitwise identical with checkpointing on or off.
+  void maybe_write_checkpoint();
+  /// Installs a checkpoint's state on this freshly constructed simulation
+  /// (core, clock, sessions, pending events, residuals, strategy state).
+  void restore_state(const ckpt::RunCheckpoint& checkpoint);
+  /// Re-launches speculation for every live in-flight session (eager mode
+  /// only); used after a drain and on restore.
+  void respeculate_in_flight();
+  /// Drops tracking entries for notification / round-deadline events that
+  /// already fired, keeping the bookkeeping proportional to live events.
+  void prune_pending_events();
   /// Re-snapshots the global model for new assignments (once per
   /// aggregation).
   void refresh_global_snapshot();
@@ -162,7 +217,13 @@ class Simulation {
   /// Copy of the global model frozen at the last aggregation; what InFlight
   /// and speculated jobs reference as their base.
   std::shared_ptr<const ModelVector> global_snapshot_;
-  std::unordered_map<std::size_t, InFlight> in_flight_;
+  /// Ordered by client id so every in_flight_ walk (stale scans, checkpoint
+  /// capture, re-speculation) is independent of insertion history — a
+  /// restored run must iterate sessions exactly like the original.
+  std::map<std::size_t, InFlight> in_flight_;
+  /// Live fire-and-forget events, keyed by event id (see the Info structs).
+  std::map<std::uint64_t, PendingNotifyInfo> pending_notifies_;
+  std::map<std::uint64_t, PendingRoundDeadlineInfo> pending_round_deadlines_;
   bool done_ = false;
   std::uint64_t dropout_draws_ = 0;  ///< see start_training's loss draw
 

@@ -51,6 +51,22 @@ class AggregationStrategy {
 
   /// Display name used in bench tables ("SEAFL", "FedBuff", ...).
   virtual std::string name() const = 0;
+
+  /// Appends the strategy's cross-round accumulated state (server optimizer
+  /// moments, SEAFL's last weight breakdown, ...) to `out` for
+  /// checkpointing (DESIGN.md §15). The stateless default appends nothing.
+  /// Decorators serialize their own state and then recurse into the wrapped
+  /// strategy, so a whole decorator chain round-trips as one blob.
+  virtual void save_state(std::string& out) const { (void)out; }
+
+  /// Restores state written by save_state on an identically configured
+  /// strategy. Returns false when the blob does not match this strategy
+  /// (e.g. a checkpoint taken under a different algorithm); the stateless
+  /// default accepts exactly the empty blob it saves.
+  virtual bool restore_state(const unsigned char* data, std::size_t size) {
+    (void)data;
+    return size == 0;
+  }
 };
 
 using StrategyPtr = std::unique_ptr<AggregationStrategy>;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "compress/codec.h"
@@ -66,6 +67,15 @@ struct FaultConfig {
   /// Mean offline interval after a crash (exponential).
   double mean_downtime = 60.0;
 
+  // --- hazard: diurnal availability windows ---------------------------------
+  /// Deterministic day/night schedule (sim/schedule.h): each client is only
+  /// reachable inside its periodic online window, with a per-client phase
+  /// drawn from the seed. Composes with churn (a client must satisfy both).
+  /// 0 disables the schedule.
+  double diurnal_period = 0.0;
+  /// In-window share of each diurnal period, (0, 1].
+  double diurnal_online_fraction = 0.5;
+
   // --- recovery: per-assignment deadlines -----------------------------------
   /// The server expires an assignment `deadline_factor` x its expected
   /// session duration after dispatch, cancels the presumed-dead client, and
@@ -92,6 +102,7 @@ struct FaultConfig {
   std::size_t min_updates = 1;
 
   bool churn_enabled() const { return mean_uptime > 0.0; }
+  bool diurnal_enabled() const { return diurnal_period > 0.0; }
 };
 
 /// Orchestration parameters shared by all algorithms. Strategy-specific
@@ -182,6 +193,24 @@ struct RunConfig {
   /// only where compute happens changes, never the results. Requires
   /// eager_training.
   std::size_t sim_jobs = 0;
+
+  /// Durable checkpoint/resume (DESIGN.md §15): snapshot the complete run
+  /// state into `checkpoint_dir` every this many rounds. 0 disables.
+  /// Observation-only: a run with checkpointing on is bitwise identical to
+  /// the same run with it off, and a run resumed from any checkpoint is
+  /// bitwise identical to the uninterrupted run.
+  std::uint64_t checkpoint_every_rounds = 0;
+  /// Where checkpoint files live; must be non-empty when checkpointing is
+  /// enabled. Retention keeps the newest `checkpoint_keep` rounds.
+  std::string checkpoint_dir;
+  std::size_t checkpoint_keep = 3;
+
+  /// Stop the run once `round >= halt_after_rounds`, checked *after* the
+  /// round's checkpoint hook (unlike max_rounds, which short-circuits
+  /// before it). 0 disables. This is the controlled-crash knob: split-run
+  /// legs and kill-and-resume drills end a leg on a freshly written
+  /// checkpoint and hand the rest of the horizon to a resumed process.
+  std::uint64_t halt_after_rounds = 0;
 
   std::uint64_t seed = 42;
 };

@@ -12,6 +12,13 @@ constexpr std::size_t kCompactFloor = 64;
 
 }  // namespace
 
+void EventQueue::advance_to(double t) {
+  SEAFL_CHECK(t >= now_,
+              "cannot advance backwards (t=" << t << ", now=" << now_ << ")");
+  SEAFL_CHECK(empty(), "advance_to on a queue with pending events");
+  now_ = t;
+}
+
 std::uint64_t EventQueue::schedule_at(double when, Callback cb) {
   SEAFL_CHECK(when >= now_, "cannot schedule in the past (when=" << when
                                                                   << ", now="

@@ -24,6 +24,11 @@ class EventQueue {
   /// Current virtual time in seconds (monotonically non-decreasing).
   double now() const { return now_; }
 
+  /// Jumps the clock forward to `t` (>= now) without running anything.
+  /// Checkpoint restore uses this to re-enter a run mid-stream before
+  /// re-scheduling the serialized pending events.
+  void advance_to(double t);
+
   /// Schedules `cb` at absolute virtual time `when` (>= now). Returns an id
   /// usable with cancel().
   std::uint64_t schedule_at(double when, Callback cb);
@@ -52,6 +57,13 @@ class EventQueue {
 
   std::size_t pending() const { return callbacks_.size(); }
   bool empty() const { return pending() == 0; }
+
+  /// Whether the event with this id is still scheduled (neither run nor
+  /// cancelled). Checkpoint capture uses this to tell live tracked events
+  /// from ones that already fired.
+  bool is_pending(std::uint64_t id) const {
+    return callbacks_.count(id) > 0;
+  }
 
   /// Time of the earliest pending event, or nullopt when the queue is empty.
   /// Prunes lazily-cancelled heap heads as a side effect. Wall-clock drivers

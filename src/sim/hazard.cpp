@@ -20,8 +20,13 @@ double exponential(Rng& rng, double mean) {
 }  // namespace
 
 ChurnModel::ChurnModel(const ChurnConfig& config, std::size_t num_clients)
-    : config_(config) {
-  if (!enabled()) return;
+    : ChurnModel(config, ScheduleConfig{}, num_clients) {}
+
+ChurnModel::ChurnModel(const ChurnConfig& config,
+                       const ScheduleConfig& schedule,
+                       std::size_t num_clients)
+    : config_(config), schedule_(schedule, num_clients) {
+  if (!churn_enabled()) return;
   SEAFL_CHECK(config.mean_uptime > 0.0, "mean_uptime must be positive");
   SEAFL_CHECK(config.mean_downtime > 0.0,
               "mean_downtime must be positive when churn is enabled");
@@ -53,23 +58,49 @@ std::size_t ChurnModel::interval_at(std::size_t client, double t) const {
       tl.edges.begin());
 }
 
-bool ChurnModel::online_at(std::size_t client, double t) const {
-  if (!enabled()) return true;
-  return interval_at(client, t) % 2 == 0;
-}
-
-double ChurnModel::next_offline(std::size_t client, double t) const {
-  if (!enabled()) return kInfinity;
+double ChurnModel::churn_next_offline(std::size_t client, double t) const {
+  if (!churn_enabled()) return kInfinity;
   const std::size_t i = interval_at(client, t);
   if (i % 2 == 1) return t;  // already offline
   return timelines_[client].edges[i];  // end of the current online interval
 }
 
-double ChurnModel::next_online(std::size_t client, double t) const {
-  if (!enabled()) return t;
+double ChurnModel::churn_next_online(std::size_t client, double t) const {
+  if (!churn_enabled()) return t;
   const std::size_t i = interval_at(client, t);
   if (i % 2 == 0) return t;  // already online
   return timelines_[client].edges[i];  // end of the current offline interval
+}
+
+bool ChurnModel::online_at(std::size_t client, double t) const {
+  if (churn_enabled() && interval_at(client, t) % 2 != 0) return false;
+  return schedule_.online_at(client, t);
+}
+
+double ChurnModel::next_offline(std::size_t client, double t) const {
+  if (!enabled()) return kInfinity;
+  if (!online_at(client, t)) return t;
+  // Online in both components: offline begins when either one flips.
+  return std::min(churn_next_offline(client, t),
+                  schedule_.next_offline(client, t));
+}
+
+double ChurnModel::next_online(std::size_t client, double t) const {
+  if (!enabled()) return t;
+  // Fixpoint: advance to each component's next online time until both agree.
+  // Every iteration either converges or strictly advances past at least one
+  // component's offline interval, so this terminates for any real timeline;
+  // the iteration bound guards against degenerate configurations.
+  double at = t;
+  for (std::size_t iter = 0; iter < 100000; ++iter) {
+    const double next =
+        std::max(churn_next_online(client, at), schedule_.next_online(client, at));
+    if (next == at) return at;
+    at = next;
+  }
+  SEAFL_CHECK(false, "next_online did not converge for client "
+                         << client << " from t=" << t);
+  return at;
 }
 
 }  // namespace seafl

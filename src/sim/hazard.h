@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "sim/schedule.h"
 
 namespace seafl {
 
@@ -40,8 +41,15 @@ class ChurnModel {
 
   ChurnModel(const ChurnConfig& config, std::size_t num_clients);
 
-  bool enabled() const { return config_.mean_uptime > 0.0; }
-  std::size_t num_clients() const { return timelines_.size(); }
+  /// Churn with a diurnal overlay (sim/schedule.h): a client is online iff
+  /// its crash/recovery process AND its schedule window both say so.
+  ChurnModel(const ChurnConfig& config, const ScheduleConfig& schedule,
+             std::size_t num_clients);
+
+  bool enabled() const { return churn_enabled() || schedule_.enabled(); }
+  std::size_t num_clients() const {
+    return churn_enabled() ? timelines_.size() : schedule_.num_clients();
+  }
 
   /// Is the client online at virtual time t?
   bool online_at(std::size_t client, double t) const;
@@ -55,6 +63,8 @@ class ChurnModel {
   double next_online(std::size_t client, double t) const;
 
  private:
+  bool churn_enabled() const { return config_.mean_uptime > 0.0; }
+
   struct Timeline {
     // Interval boundaries in increasing order, starting from an online
     // interval at t = 0: edges[0] is the first crash, edges[1] the first
@@ -70,7 +80,13 @@ class ChurnModel {
   /// Even result = online, odd = offline. Extends the timeline as needed.
   std::size_t interval_at(std::size_t client, double t) const;
 
+  /// Component queries ignoring the other component (each treats its own
+  /// disabled state as "always online").
+  double churn_next_offline(std::size_t client, double t) const;
+  double churn_next_online(std::size_t client, double t) const;
+
   ChurnConfig config_;
+  ScheduleTable schedule_;
   mutable std::vector<Timeline> timelines_;
 };
 

@@ -1,0 +1,66 @@
+#include "sim/schedule.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace seafl {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+}  // namespace
+
+ScheduleTable::ScheduleTable(const ScheduleConfig& config,
+                             std::size_t num_clients)
+    : config_(config) {
+  if (!enabled()) return;
+  SEAFL_CHECK(config.period > 0.0, "schedule period must be positive");
+  SEAFL_CHECK(config.online_fraction > 0.0 && config.online_fraction <= 1.0,
+              "online_fraction must be in (0, 1], got "
+                  << config.online_fraction);
+  phases_.resize(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    Rng rng(config.seed, RngPurpose::kSchedule, c);
+    phases_[c] = rng.uniform() * config.period;
+  }
+}
+
+double ScheduleTable::local_time(std::size_t client, double t) const {
+  SEAFL_CHECK(client < phases_.size(),
+              "schedule client " << client << " out of range");
+  double local = std::fmod(t - phases_[client], config_.period);
+  if (local < 0.0) local += config_.period;
+  return local;
+}
+
+bool ScheduleTable::online_at(std::size_t client, double t) const {
+  if (!enabled()) return true;
+  return local_time(client, t) < config_.online_fraction * config_.period;
+}
+
+double ScheduleTable::next_offline(std::size_t client, double t) const {
+  if (!enabled() || config_.online_fraction >= 1.0) return kInfinity;
+  const double window = config_.online_fraction * config_.period;
+  const double local = local_time(client, t);
+  if (local >= window) return t;  // already out of window
+  double at = t + (window - local);
+  // When the crossing lies within an ulp of t the sum can round back inside
+  // the window; nudge to the first representable out-of-window instant so
+  // the contract (!online_at(result)) holds exactly — the churn fixpoint
+  // composition relies on it.
+  while (online_at(client, at)) at = std::nextafter(at, kInfinity);
+  return at;
+}
+
+double ScheduleTable::next_online(std::size_t client, double t) const {
+  if (!enabled()) return t;
+  const double window = config_.online_fraction * config_.period;
+  const double local = local_time(client, t);
+  if (local < window) return t;  // already in-window
+  double at = t + (config_.period - local);
+  while (!online_at(client, at)) at = std::nextafter(at, kInfinity);
+  return at;
+}
+
+}  // namespace seafl

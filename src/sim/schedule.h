@@ -1,0 +1,63 @@
+// Diurnal availability schedule: periodic per-client online windows.
+//
+// Long-horizon runs need day/night population swings that the memoryless
+// churn process cannot express: a phone is reliably on charge overnight and
+// reliably pocketed at work, every day. ScheduleTable models this as a
+// deterministic periodic gate — client k is online during
+//     [phase_k + n * period,  phase_k + n * period + online_fraction * period)
+// for every integer n, with phase_k drawn once per client from the root
+// seed (RngPurpose::kSchedule). Like the churn timelines the whole table is
+// a pure function of (seed, client), so it needs no checkpointing and every
+// query is O(1).
+//
+// The schedule composes with ChurnModel as an overlay (hazard.h): a client
+// is online iff both its churn process and its schedule window say so —
+// i.e. random crashes ride on top of the deterministic diurnal tide.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace seafl {
+
+/// Diurnal window parameters. period == 0 disables the schedule (every
+/// client permanently in-window).
+struct ScheduleConfig {
+  double period = 0.0;           ///< full day length, virtual seconds
+  double online_fraction = 0.5;  ///< in-window share of each period, (0, 1]
+  std::uint64_t seed = 42;       ///< root seed (kSchedule streams derive)
+};
+
+/// Deterministic periodic availability gate (see file comment).
+class ScheduleTable {
+ public:
+  /// A disabled table: every client is always in-window.
+  ScheduleTable() = default;
+
+  ScheduleTable(const ScheduleConfig& config, std::size_t num_clients);
+
+  bool enabled() const { return config_.period > 0.0; }
+  std::size_t num_clients() const { return phases_.size(); }
+
+  /// Is the client inside an online window at virtual time t (>= 0)?
+  bool online_at(std::size_t client, double t) const;
+
+  /// First time >= t at which the client is (or falls) out of window.
+  /// Returns t when already out; infinity when the schedule is disabled or
+  /// online_fraction == 1.
+  double next_offline(std::size_t client, double t) const;
+
+  /// First time >= t at which the client is (or comes back) in-window.
+  double next_online(std::size_t client, double t) const;
+
+ private:
+  /// Position of t inside the client's period, in [0, period).
+  double local_time(std::size_t client, double t) const;
+
+  ScheduleConfig config_;
+  std::vector<double> phases_;  ///< per-client window offset in [0, period)
+};
+
+}  // namespace seafl

@@ -1,0 +1,416 @@
+// SEAFLCKPT container + typed checkpoint codec (DESIGN.md §15): round
+// trips, deterministic encoding, and the full decode-failure classification
+// table — every corruption a crashed writer or a bit-rotted disk can
+// produce must map to the right DecodeStatus without ever throwing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/container.h"
+#include "common/bytes.h"
+
+namespace seafl::ckpt {
+namespace {
+
+std::string small_container() {
+  ContainerWriter w;
+  w.add(1, "alpha");
+  w.add(2, std::string("\x00\x01\x02", 3));
+  w.add(7, "");
+  return w.finish();
+}
+
+DecodeStatus parse(const std::string& bytes, std::vector<Section>& out) {
+  return parse_container(bytes.data(), bytes.size(), out);
+}
+
+TEST(CkptContainer, RoundTripsSections) {
+  const std::string bytes = small_container();
+  std::vector<Section> sections;
+  ASSERT_EQ(parse(bytes, sections), DecodeStatus::kOk);
+  ASSERT_EQ(sections.size(), 3u);
+  EXPECT_EQ(sections[0].id, 1u);
+  EXPECT_EQ(sections[0].payload, "alpha");
+  EXPECT_EQ(sections[1].id, 2u);
+  EXPECT_EQ(sections[1].payload, std::string("\x00\x01\x02", 3));
+  EXPECT_EQ(sections[2].id, 7u);
+  EXPECT_TRUE(sections[2].payload.empty());
+}
+
+TEST(CkptContainer, EmptyContainerIsValid) {
+  const std::string bytes = ContainerWriter{}.finish();
+  std::vector<Section> sections;
+  EXPECT_EQ(parse(bytes, sections), DecodeStatus::kOk);
+  EXPECT_TRUE(sections.empty());
+}
+
+TEST(CkptContainer, EncodingIsDeterministic) {
+  EXPECT_EQ(small_container(), small_container());
+}
+
+TEST(CkptContainer, EveryStrictPrefixReadsAsTruncated) {
+  // The crash-mid-write failure mode: any prefix of a valid container —
+  // including cuts through the magic, a section header, a payload and the
+  // trailing CRC — must classify as retryable truncation, never as a fatal
+  // status (the retention set may hold an older complete checkpoint).
+  const std::string bytes = small_container();
+  std::vector<Section> sections;
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const DecodeStatus s = parse_container(bytes.data(), len, sections);
+    EXPECT_EQ(s, DecodeStatus::kTruncated) << "prefix length " << len;
+    EXPECT_FALSE(is_fatal(s));
+    EXPECT_TRUE(sections.empty());
+  }
+}
+
+TEST(CkptContainer, WrongMagicIsFatal) {
+  std::string bytes = small_container();
+  bytes[0] ^= 0x40;
+  std::vector<Section> sections;
+  const DecodeStatus s = parse(bytes, sections);
+  EXPECT_EQ(s, DecodeStatus::kBadMagic);
+  EXPECT_TRUE(is_fatal(s));
+}
+
+TEST(CkptContainer, UnknownVersionIsFatal) {
+  std::string bytes = small_container();
+  // Version lives right after the 8-byte magic, little-endian u32.
+  bytes[8] = static_cast<char>(kContainerVersion + 1);
+  std::vector<Section> sections;
+  const DecodeStatus s = parse(bytes, sections);
+  EXPECT_EQ(s, DecodeStatus::kBadVersion);
+  EXPECT_TRUE(is_fatal(s));
+}
+
+TEST(CkptContainer, FlippedPayloadByteIsBadCrc) {
+  std::string bytes = small_container();
+  // Flip one bit inside the first section's payload: the structure still
+  // walks, only the checksum disagrees.
+  const std::size_t payload_start = 8 + 4 + 4 + 4 + 8;
+  bytes[payload_start] ^= 0x01;
+  std::vector<Section> sections;
+  const DecodeStatus s = parse(bytes, sections);
+  EXPECT_EQ(s, DecodeStatus::kBadCrc);
+  EXPECT_TRUE(is_fatal(s));
+  EXPECT_TRUE(sections.empty());
+}
+
+TEST(CkptContainer, TrailingSlackIsMalformed) {
+  std::string bytes = small_container() + "x";
+  std::vector<Section> sections;
+  EXPECT_EQ(parse(bytes, sections), DecodeStatus::kMalformed);
+}
+
+TEST(CkptContainer, AbsurdSectionCountIsMalformed) {
+  // A section count in the millions cannot be genuine; it must be rejected
+  // before any allocation, not treated as a truncated billion-entry walk.
+  std::string bytes;
+  bytes.append(kContainerMagic, sizeof(kContainerMagic));
+  bytes::put_u32(bytes, kContainerVersion);
+  bytes::put_u32(bytes, 0xFFFFFFFFu);
+  std::vector<Section> sections;
+  EXPECT_EQ(parse(bytes, sections), DecodeStatus::kMalformed);
+}
+
+TEST(CkptContainer, Crc32MatchesKnownVector) {
+  // IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+}
+
+// --- typed checkpoint codec -------------------------------------------------
+
+RunCheckpoint populated_checkpoint() {
+  RunCheckpoint c;
+  c.seed = 42;
+  c.model_dim = 4;
+  c.num_clients = 3;
+  c.origin = 0;
+  c.now = 123.5;
+  c.round = 7;
+  c.staleness_sum = 9.25;
+  c.round_deadline_passed = true;
+  c.dropout_draws = 11;
+  c.global = {1.0f, -2.0f, 0.5f, 3.25f};
+  c.strategy_state = std::string("opaque\x00state", 12);
+
+  c.result.rounds = 7;
+  c.result.total_updates = 21;
+  c.result.model_uploads = 23;
+  c.result.final_time = 123.5;
+  c.result.mean_staleness = 0.4;
+  c.result.final_weights = c.global;
+  c.result.curve.push_back(AccuracyPoint{0.0, 0, 0.1, 2.3});
+  c.result.curve.push_back(AccuracyPoint{60.0, 3, 0.5, 1.1});
+  c.result.round_log.push_back(RoundStat{3, 60.0, 3, 0.33, 1});
+  c.result.participation = {7, 8, 6};
+  c.result.upload_wire_bytes = 4096;
+  c.result.upload_raw_bytes = 8192;
+
+  LocalUpdate u;
+  u.client = 2;
+  u.base_round = 6;
+  u.num_samples = 15;
+  u.epochs_completed = 2;
+  u.arrival_time = 120.0;
+  u.train_loss = 0.7;
+  u.weights = {0.1f, 0.2f, 0.3f, 0.4f};
+  c.buffer.push_back(u);
+
+  SessionRecord s;
+  s.client = 1;
+  s.base_round = 6;
+  s.epoch_ends = {118.0, 125.0};
+  s.planned_epochs = 2;
+  s.attempts = 1;
+  s.notified = true;
+  s.has_tx = true;
+  s.tx_seq = 91;
+  s.tx_time = 130.0;
+  s.tx_kind = TxKind::kLost;
+  s.tx_epochs = 2;
+  s.has_deadline = true;
+  s.deadline_seq = 92;
+  s.deadline_time = 140.0;
+  c.sessions.push_back(s);
+  SessionRecord crashed;
+  crashed.client = 0;
+  crashed.base_round = 7;
+  crashed.crashed = true;
+  crashed.crash_time = 121.0;
+  c.sessions.push_back(crashed);
+
+  c.pending_notifies.push_back(PendingNotify{93, 2, 124.0});
+  c.pending_round_deadlines.push_back(PendingRoundDeadline{94, 7, 150.0});
+  c.bases.emplace(6, ModelVector{0.9f, -0.9f, 0.0f, 1.0f});
+  c.residuals.emplace(1, std::vector<float>{0.01f, -0.02f, 0.0f, 0.03f});
+  c.rtt_estimate = 0.25;
+  c.next_session = 95;
+  return c;
+}
+
+void expect_checkpoints_equal(const RunCheckpoint& a, const RunCheckpoint& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.model_dim, b.model_dim);
+  EXPECT_EQ(a.num_clients, b.num_clients);
+  EXPECT_EQ(a.origin, b.origin);
+  EXPECT_EQ(a.now, b.now);
+  EXPECT_EQ(a.round, b.round);
+  EXPECT_EQ(a.staleness_sum, b.staleness_sum);
+  EXPECT_EQ(a.round_deadline_passed, b.round_deadline_passed);
+  EXPECT_EQ(a.dropout_draws, b.dropout_draws);
+  EXPECT_EQ(a.global, b.global);
+  EXPECT_EQ(a.strategy_state, b.strategy_state);
+  EXPECT_EQ(a.result.rounds, b.result.rounds);
+  EXPECT_EQ(a.result.total_updates, b.result.total_updates);
+  EXPECT_EQ(a.result.model_uploads, b.result.model_uploads);
+  EXPECT_EQ(a.result.final_time, b.result.final_time);
+  EXPECT_EQ(a.result.mean_staleness, b.result.mean_staleness);
+  EXPECT_EQ(a.result.final_weights, b.result.final_weights);
+  EXPECT_EQ(a.result.participation, b.result.participation);
+  EXPECT_EQ(a.result.upload_wire_bytes, b.result.upload_wire_bytes);
+  EXPECT_EQ(a.result.upload_raw_bytes, b.result.upload_raw_bytes);
+  ASSERT_EQ(a.result.curve.size(), b.result.curve.size());
+  for (std::size_t i = 0; i < a.result.curve.size(); ++i) {
+    EXPECT_EQ(a.result.curve[i].time, b.result.curve[i].time);
+    EXPECT_EQ(a.result.curve[i].round, b.result.curve[i].round);
+    EXPECT_EQ(a.result.curve[i].accuracy, b.result.curve[i].accuracy);
+    EXPECT_EQ(a.result.curve[i].loss, b.result.curve[i].loss);
+  }
+  ASSERT_EQ(a.result.round_log.size(), b.result.round_log.size());
+  for (std::size_t i = 0; i < a.result.round_log.size(); ++i) {
+    EXPECT_EQ(a.result.round_log[i].round, b.result.round_log[i].round);
+    EXPECT_EQ(a.result.round_log[i].updates, b.result.round_log[i].updates);
+  }
+  ASSERT_EQ(a.buffer.size(), b.buffer.size());
+  for (std::size_t i = 0; i < a.buffer.size(); ++i) {
+    EXPECT_EQ(a.buffer[i].client, b.buffer[i].client);
+    EXPECT_EQ(a.buffer[i].base_round, b.buffer[i].base_round);
+    EXPECT_EQ(a.buffer[i].num_samples, b.buffer[i].num_samples);
+    EXPECT_EQ(a.buffer[i].epochs_completed, b.buffer[i].epochs_completed);
+    EXPECT_EQ(a.buffer[i].arrival_time, b.buffer[i].arrival_time);
+    EXPECT_EQ(a.buffer[i].train_loss, b.buffer[i].train_loss);
+    EXPECT_EQ(a.buffer[i].weights, b.buffer[i].weights);
+  }
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    const SessionRecord& x = a.sessions[i];
+    const SessionRecord& y = b.sessions[i];
+    EXPECT_EQ(x.client, y.client);
+    EXPECT_EQ(x.base_round, y.base_round);
+    EXPECT_EQ(x.epoch_ends, y.epoch_ends);
+    EXPECT_EQ(x.planned_epochs, y.planned_epochs);
+    EXPECT_EQ(x.frozen_layers, y.frozen_layers);
+    EXPECT_EQ(x.attempts, y.attempts);
+    EXPECT_EQ(x.crash_time, y.crash_time);
+    EXPECT_EQ(x.notified, y.notified);
+    EXPECT_EQ(x.lost, y.lost);
+    EXPECT_EQ(x.crashed, y.crashed);
+    EXPECT_EQ(x.has_tx, y.has_tx);
+    EXPECT_EQ(x.tx_seq, y.tx_seq);
+    EXPECT_EQ(x.tx_time, y.tx_time);
+    EXPECT_EQ(x.tx_kind, y.tx_kind);
+    EXPECT_EQ(x.tx_epochs, y.tx_epochs);
+    EXPECT_EQ(x.has_deadline, y.has_deadline);
+    EXPECT_EQ(x.deadline_seq, y.deadline_seq);
+    EXPECT_EQ(x.deadline_time, y.deadline_time);
+  }
+  ASSERT_EQ(a.pending_notifies.size(), b.pending_notifies.size());
+  for (std::size_t i = 0; i < a.pending_notifies.size(); ++i) {
+    EXPECT_EQ(a.pending_notifies[i].seq, b.pending_notifies[i].seq);
+    EXPECT_EQ(a.pending_notifies[i].client, b.pending_notifies[i].client);
+    EXPECT_EQ(a.pending_notifies[i].time, b.pending_notifies[i].time);
+  }
+  ASSERT_EQ(a.pending_round_deadlines.size(),
+            b.pending_round_deadlines.size());
+  for (std::size_t i = 0; i < a.pending_round_deadlines.size(); ++i) {
+    EXPECT_EQ(a.pending_round_deadlines[i].seq,
+              b.pending_round_deadlines[i].seq);
+    EXPECT_EQ(a.pending_round_deadlines[i].armed_round,
+              b.pending_round_deadlines[i].armed_round);
+    EXPECT_EQ(a.pending_round_deadlines[i].time,
+              b.pending_round_deadlines[i].time);
+  }
+  EXPECT_EQ(a.bases, b.bases);
+  EXPECT_EQ(a.residuals, b.residuals);
+  EXPECT_EQ(a.rtt_estimate, b.rtt_estimate);
+  EXPECT_EQ(a.next_session, b.next_session);
+}
+
+TEST(CkptCheckpoint, RoundTripsEveryField) {
+  const RunCheckpoint c = populated_checkpoint();
+  const std::string bytes = encode_checkpoint(c);
+  RunCheckpoint out;
+  ASSERT_EQ(decode_checkpoint(bytes.data(), bytes.size(), out),
+            DecodeStatus::kOk);
+  expect_checkpoints_equal(c, out);
+}
+
+TEST(CkptCheckpoint, EncodingIsDeterministic) {
+  const RunCheckpoint c = populated_checkpoint();
+  EXPECT_EQ(encode_checkpoint(c), encode_checkpoint(populated_checkpoint()));
+}
+
+TEST(CkptCheckpoint, UnknownSectionIsSkipped) {
+  // Forward compatibility: a future writer may append sections this decoder
+  // has never heard of; it must decode what it knows and ignore the rest.
+  const RunCheckpoint c = populated_checkpoint();
+  std::vector<Section> sections;
+  const std::string bytes = encode_checkpoint(c);
+  ASSERT_EQ(parse(bytes, sections), DecodeStatus::kOk);
+  ContainerWriter w;
+  for (const Section& s : sections) w.add(s.id, s.payload);
+  w.add(9999, "from the future");
+  const std::string extended = w.finish();
+  RunCheckpoint out;
+  ASSERT_EQ(decode_checkpoint(extended.data(), extended.size(), out),
+            DecodeStatus::kOk);
+  expect_checkpoints_equal(c, out);
+}
+
+TEST(CkptCheckpoint, DuplicateSectionIsMalformed) {
+  const std::string bytes = encode_checkpoint(populated_checkpoint());
+  std::vector<Section> sections;
+  ASSERT_EQ(parse(bytes, sections), DecodeStatus::kOk);
+  ContainerWriter w;
+  for (const Section& s : sections) w.add(s.id, s.payload);
+  w.add(sections.front().id, sections.front().payload);
+  const std::string doubled = w.finish();
+  RunCheckpoint out;
+  EXPECT_EQ(decode_checkpoint(doubled.data(), doubled.size(), out),
+            DecodeStatus::kMalformed);
+}
+
+TEST(CkptCheckpoint, MissingRequiredSectionIsMalformed) {
+  // A container that parses but lacks meta/global/result can never restore
+  // a run; dropping any one of them must classify as malformed.
+  const std::string bytes = encode_checkpoint(populated_checkpoint());
+  std::vector<Section> sections;
+  ASSERT_EQ(parse(bytes, sections), DecodeStatus::kOk);
+  for (const std::uint32_t required : {1u, 2u, 3u}) {
+    ContainerWriter w;
+    for (const Section& s : sections) {
+      if (s.id != required) w.add(s.id, s.payload);
+    }
+    const std::string partial = w.finish();
+    RunCheckpoint out;
+    EXPECT_EQ(decode_checkpoint(partial.data(), partial.size(), out),
+              DecodeStatus::kMalformed)
+        << "without section " << required;
+  }
+}
+
+TEST(CkptCheckpoint, GarbledSectionPayloadIsMalformed) {
+  // Rebuild the container with a corrupted sessions payload but a correct
+  // CRC: the damage must be caught by the typed layer, not the checksum.
+  const std::string bytes = encode_checkpoint(populated_checkpoint());
+  std::vector<Section> sections;
+  ASSERT_EQ(parse(bytes, sections), DecodeStatus::kOk);
+  ContainerWriter w;
+  for (const Section& s : sections) {
+    std::string payload = s.payload;
+    if (s.id == 6 && !payload.empty()) payload.resize(payload.size() / 2);
+    w.add(s.id, std::move(payload));
+  }
+  const std::string garbled = w.finish();
+  RunCheckpoint out;
+  EXPECT_EQ(decode_checkpoint(garbled.data(), garbled.size(), out),
+            DecodeStatus::kMalformed);
+}
+
+TEST(CkptCheckpoint, TruncationsOfRealCheckpointNeverFatal) {
+  const std::string bytes = encode_checkpoint(populated_checkpoint());
+  RunCheckpoint out;
+  // Sampling stride keeps the quadratic scan cheap; include the last bytes
+  // where the CRC itself is cut.
+  for (std::size_t len = 0; len < bytes.size();
+       len += (len > bytes.size() - 16 ? 1 : 37)) {
+    const DecodeStatus s = decode_checkpoint(bytes.data(), len, out);
+    EXPECT_EQ(s, DecodeStatus::kTruncated) << "prefix length " << len;
+  }
+}
+
+TEST(CkptCheckpoint, RandomBytesNeverDecodeAndNeverThrow) {
+  // Deterministic xorshift fuzz: whatever the bytes, decode must return a
+  // classification — no exceptions, no crashes, and never a false kOk.
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bytes(static_cast<std::size_t>(next() % 512), '\0');
+    for (char& ch : bytes) ch = static_cast<char>(next() & 0xFF);
+    // Half the trials start with valid magic so the fuzz reaches the body.
+    if (trial % 2 == 0 && bytes.size() >= sizeof(kContainerMagic)) {
+      std::memcpy(bytes.data(), kContainerMagic, sizeof(kContainerMagic));
+    }
+    RunCheckpoint out;
+    const DecodeStatus s =
+        decode_checkpoint(bytes.data(), bytes.size(), out);
+    EXPECT_NE(s, DecodeStatus::kOk);
+  }
+}
+
+TEST(CkptCheckpoint, MutatedRealCheckpointNeverCrashes) {
+  // Flip bytes all over a genuine checkpoint: every mutation must classify
+  // (kOk is conceivable only if the mutation misses the CRC range, which a
+  // single in-range flip cannot).
+  const std::string original = encode_checkpoint(populated_checkpoint());
+  for (std::size_t pos = 0; pos < original.size(); pos += 13) {
+    std::string bytes = original;
+    bytes[pos] = static_cast<char>(bytes[pos] ^ 0xA5);
+    RunCheckpoint out;
+    const DecodeStatus s =
+        decode_checkpoint(bytes.data(), bytes.size(), out);
+    EXPECT_NE(s, DecodeStatus::kOk) << "flip at " << pos;
+  }
+}
+
+}  // namespace
+}  // namespace seafl::ckpt

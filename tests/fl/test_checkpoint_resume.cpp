@@ -1,0 +1,294 @@
+// Durable checkpoint/resume (DESIGN.md §15): the split-run contract. A run
+// that executes N rounds straight must be bitwise identical — final
+// weights, every counter, every curve point — to a run that executes N/2
+// rounds, writes a checkpoint, dies, and is resumed by a *fresh* Simulation
+// from the file. Exercised across the executors (lazy/eager), compression
+// codecs (with error feedback), churn + deadlines, SEAFL^2 notifications
+// and server-side optimizer state, since each drags different state into
+// the checkpoint.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "ckpt/store.h"
+#include "core/seafl.h"
+
+namespace seafl {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Fixture {
+  FlTask task;
+  ModelFactory factory;
+  FleetConfig fleet_config;
+  std::string dir;
+
+  explicit Fixture(const std::string& tag) {
+    TaskSpec spec;
+    spec.name = "synth-mnist";
+    spec.num_clients = 12;
+    spec.samples_per_client = 15;
+    spec.test_samples = 60;
+    task = make_task(spec);
+    factory = make_model(task.default_model, task.input, task.num_classes);
+    fleet_config.num_devices = 12;
+    fleet_config.pareto_shape = 1.5;
+    fleet_config.seed = 7;
+    dir = (fs::temp_directory_path() / ("seafl_resume_test_" + tag)).string();
+    fs::remove_all(dir);
+  }
+  ~Fixture() { fs::remove_all(dir); }
+
+  ExperimentParams base_params() const {
+    ExperimentParams p;
+    p.buffer_size = 3;
+    p.concurrency = 6;
+    p.local_epochs = 2;
+    p.batch_size = 8;
+    p.max_rounds = 8;
+    p.stop_at_target = false;
+    p.seed = 42;
+    return p;
+  }
+
+  /// One run of `algo` with the checkpoint knobs applied; `resume` starts
+  /// from the newest checkpoint in `dir` instead of round 0.
+  template <typename Tweak>
+  RunResult run(const std::string& algo, const ExperimentParams& params,
+                Tweak tweak, std::uint64_t every, std::uint64_t halt,
+                bool resume) const {
+    Arm arm = make_arm(algo, params);
+    tweak(arm.config);
+    arm.config.checkpoint_every_rounds = every;
+    arm.config.checkpoint_dir = every > 0 ? dir : "";
+    arm.config.halt_after_rounds = halt;
+    Fleet fleet(fleet_config);
+    Simulation sim(task, factory, fleet, std::move(arm.strategy), arm.config);
+    return resume ? sim.resume_from_dir(dir) : sim.run();
+  }
+};
+
+void expect_bitwise_equal(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.final_weights.size(), b.final_weights.size());
+  EXPECT_EQ(std::memcmp(a.final_weights.data(), b.final_weights.data(),
+                        a.final_weights.size() * sizeof(float)),
+            0);
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].time, b.curve[i].time) << "curve point " << i;
+    EXPECT_EQ(a.curve[i].round, b.curve[i].round);
+    EXPECT_EQ(a.curve[i].accuracy, b.curve[i].accuracy) << "curve point " << i;
+    EXPECT_EQ(a.curve[i].loss, b.curve[i].loss);
+  }
+  ASSERT_EQ(a.round_log.size(), b.round_log.size());
+  for (std::size_t i = 0; i < a.round_log.size(); ++i) {
+    EXPECT_EQ(a.round_log[i].round, b.round_log[i].round);
+    EXPECT_EQ(a.round_log[i].time, b.round_log[i].time) << "round " << i;
+    EXPECT_EQ(a.round_log[i].updates, b.round_log[i].updates);
+    EXPECT_EQ(a.round_log[i].mean_staleness, b.round_log[i].mean_staleness);
+    EXPECT_EQ(a.round_log[i].partial, b.round_log[i].partial);
+  }
+  EXPECT_EQ(a.participation, b.participation);
+  EXPECT_EQ(a.time_to_target, b.time_to_target);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_updates, b.total_updates);
+  EXPECT_EQ(a.partial_updates, b.partial_updates);
+  EXPECT_EQ(a.model_downloads, b.model_downloads);
+  EXPECT_EQ(a.model_uploads, b.model_uploads);
+  EXPECT_EQ(a.notifications, b.notifications);
+  EXPECT_EQ(a.lost_uploads, b.lost_uploads);
+  EXPECT_EQ(a.aggregations, b.aggregations);
+  EXPECT_EQ(a.server_aggregation_work, b.server_aggregation_work);
+  EXPECT_EQ(a.dropped_updates, b.dropped_updates);
+  EXPECT_EQ(a.stale_waits, b.stale_waits);
+  EXPECT_EQ(a.mean_staleness, b.mean_staleness);
+  EXPECT_EQ(a.client_crashes, b.client_crashes);
+  EXPECT_EQ(a.deadline_expirations, b.deadline_expirations);
+  EXPECT_EQ(a.redispatches, b.redispatches);
+  EXPECT_EQ(a.abandoned_slots, b.abandoned_slots);
+  EXPECT_EQ(a.upload_retries, b.upload_retries);
+  EXPECT_EQ(a.degraded_aggregations, b.degraded_aggregations);
+  EXPECT_EQ(a.screened_updates, b.screened_updates);
+  EXPECT_EQ(a.clipped_updates, b.clipped_updates);
+  EXPECT_EQ(a.speculation_cut, b.speculation_cut);
+  EXPECT_EQ(a.speculation_wasted, b.speculation_wasted);
+  EXPECT_EQ(a.upload_wire_bytes, b.upload_wire_bytes);
+  EXPECT_EQ(a.upload_raw_bytes, b.upload_raw_bytes);
+}
+
+/// The acceptance check: straight N rounds vs halt-at-N/2 + fresh-process
+/// resume, bitwise.
+template <typename Tweak>
+void check_split_equality(const Fixture& f, const std::string& algo,
+                          const ExperimentParams& params, Tweak tweak) {
+  const std::uint64_t half = params.max_rounds / 2;
+  const RunResult straight = f.run(algo, params, tweak, 0, 0, false);
+  const RunResult leg1 = f.run(algo, params, tweak, half, half, false);
+  EXPECT_EQ(leg1.rounds, half);
+  const RunResult resumed = f.run(algo, params, tweak, 0, 0, true);
+  EXPECT_EQ(resumed.rounds, params.max_rounds);
+  expect_bitwise_equal(straight, resumed);
+}
+
+void no_tweak(RunConfig&) {}
+
+TEST(CheckpointResume, LazyRunSplitsBitwise) {
+  const Fixture f("lazy");
+  check_split_equality(f, "seafl", f.base_params(), no_tweak);
+}
+
+TEST(CheckpointResume, EagerExecutorSplitsBitwise) {
+  const Fixture f("eager");
+  ExperimentParams p = f.base_params();
+  p.eager_training = true;
+  p.sim_jobs = 2;
+  check_split_equality(f, "seafl", p, no_tweak);
+}
+
+TEST(CheckpointResume, Int8CompressionSplitsBitwise) {
+  const Fixture f("int8");
+  ExperimentParams p = f.base_params();
+  p.codec = "int8";
+  check_split_equality(f, "seafl", p, no_tweak);
+}
+
+TEST(CheckpointResume, TopKErrorFeedbackSplitsBitwise) {
+  // Error feedback carries per-client residual vectors across rounds; the
+  // checkpoint must restore every residual or the resumed leg diverges.
+  const Fixture f("topk");
+  ExperimentParams p = f.base_params();
+  p.codec = "topk";
+  p.topk_fraction = 0.25;
+  p.error_feedback = true;
+  check_split_equality(f, "seafl", p, no_tweak);
+}
+
+TEST(CheckpointResume, ChurnAndDeadlinesSplitBitwise) {
+  // Device churn + per-assignment deadlines + round-deadline degradation:
+  // the checkpoint carries crashed sessions, pending deadline events and
+  // the dropout-draw counter.
+  const Fixture f("churn");
+  const ExperimentParams p = f.base_params();
+  const auto tweak = [](RunConfig& c) {
+    c.faults.mean_uptime = 120.0;
+    c.faults.mean_downtime = 30.0;
+    c.faults.deadline_factor = 2.0;
+    c.faults.max_upload_retries = 1;
+    c.faults.round_deadline = 300.0;
+    c.faults.min_updates = 1;
+    c.upload_loss_prob = 0.2;
+  };
+  // The hazard must actually bite, or the test collapses into the clean one.
+  const RunResult probe = f.run("seafl", p, tweak, 0, 0, false);
+  ASSERT_GT(probe.client_crashes + probe.lost_uploads, 0u);
+  check_split_equality(f, "seafl", p, tweak);
+}
+
+TEST(CheckpointResume, DiurnalScheduleSplitsBitwise) {
+  const Fixture f("diurnal");
+  const ExperimentParams p = f.base_params();
+  const auto tweak = [](RunConfig& c) {
+    c.faults.diurnal_period = 400.0;
+    c.faults.diurnal_online_fraction = 0.6;
+    c.faults.deadline_factor = 2.0;
+  };
+  check_split_equality(f, "seafl", p, tweak);
+}
+
+TEST(CheckpointResume, Seafl2NotificationsSplitBitwise) {
+  // SEAFL^2 schedules notify events for stale sessions; those pending
+  // events must replay with their original tie order after a resume.
+  const Fixture f("seafl2");
+  ExperimentParams p = f.base_params();
+  p.staleness_limit = 1;
+  const RunResult probe = f.run("seafl2", p, no_tweak, 0, 0, false);
+  ASSERT_GT(probe.notifications, 0u);
+  check_split_equality(f, "seafl2", p, no_tweak);
+}
+
+TEST(CheckpointResume, ServerOptimizerStateSplitsBitwise) {
+  // FedBuff+Adam keeps first/second moments on the server; they ride in the
+  // opaque strategy-state section.
+  const Fixture f("adam");
+  check_split_equality(f, "fedbuff-adam", f.base_params(), no_tweak);
+}
+
+TEST(CheckpointResume, ScreenedStrategySplitsBitwise) {
+  // seafl-ft wraps SEAFL in screening; its reference-update state and the
+  // recovery machinery all have to survive the restore.
+  const Fixture f("ft");
+  const ExperimentParams p = f.base_params();
+  const auto tweak = [](RunConfig& c) {
+    c.faults.mean_uptime = 150.0;
+    c.faults.mean_downtime = 40.0;
+  };
+  check_split_equality(f, "seafl-ft", p, tweak);
+}
+
+TEST(CheckpointResume, CheckpointWritesDoNotPerturbTheRun) {
+  // Observation-only contract: checkpointing on (without halting) is
+  // invisible in the results, eager executor included.
+  const Fixture f("observe");
+  ExperimentParams p = f.base_params();
+  p.eager_training = true;
+  p.sim_jobs = 2;
+  const RunResult off = f.run("seafl", p, no_tweak, 0, 0, false);
+  const RunResult on = f.run("seafl", p, no_tweak, 2, 0, false);
+  expect_bitwise_equal(off, on);
+  // And it actually wrote checkpoints while doing so.
+  EXPECT_FALSE(ckpt::list_checkpoint_rounds(f.dir).empty());
+}
+
+TEST(CheckpointResume, RetentionHonorsKeepDuringARun) {
+  const Fixture f("keep");
+  ExperimentParams p = f.base_params();
+  Arm arm = make_arm("seafl", p);
+  arm.config.checkpoint_every_rounds = 1;
+  arm.config.checkpoint_dir = f.dir;
+  arm.config.checkpoint_keep = 2;
+  Fleet fleet(f.fleet_config);
+  Simulation sim(f.task, f.factory, fleet, std::move(arm.strategy),
+                 arm.config);
+  sim.run();
+  EXPECT_EQ(ckpt::list_checkpoint_rounds(f.dir),
+            (std::vector<std::uint64_t>{6, 7}));
+}
+
+TEST(CheckpointResume, ResumeRejectsMismatchedIdentity) {
+  // A checkpoint from seed 42 must not restore into a seed-43 run: the
+  // RNG streams would silently diverge from both runs.
+  const Fixture f("identity");
+  const ExperimentParams p = f.base_params();
+  f.run("seafl", p, no_tweak, 4, 4, false);
+  ExperimentParams other = p;
+  other.seed = 43;
+  EXPECT_THROW(f.run("seafl", other, no_tweak, 0, 0, true), Error);
+}
+
+TEST(CheckpointResume, CheckpointingRequiresADirectory) {
+  const Fixture f("validate");
+  Arm arm = make_arm("seafl", f.base_params());
+  arm.config.checkpoint_every_rounds = 2;
+  arm.config.checkpoint_dir = "";  // invalid: nowhere to write
+  Fleet fleet(f.fleet_config);
+  EXPECT_THROW(Simulation(f.task, f.factory, fleet, std::move(arm.strategy),
+                          arm.config),
+               Error);
+}
+
+TEST(CheckpointResume, ResumeFromEmptyDirectoryThrows) {
+  const Fixture f("empty");
+  Arm arm = make_arm("seafl", f.base_params());
+  Fleet fleet(f.fleet_config);
+  Simulation sim(f.task, f.factory, fleet, std::move(arm.strategy),
+                 arm.config);
+  EXPECT_THROW(sim.resume_from_dir(f.dir), Error);
+}
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,185 @@
+// Kill-and-resume chaos drill (DESIGN.md §15), in-process edition: a
+// DeployServer halts abruptly mid-run (no Shutdown handshake — the
+// controlled stand-in for SIGKILL), its clients ride out the outage on
+// reconnect backoff, and a second server process resumes from the durable
+// checkpoint on the same port. The run must complete every round, with the
+// upload byte accounting exact across the crash.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/store.h"
+#include "core/seafl.h"
+
+namespace seafl {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kClients = 3;
+constexpr std::uint64_t kTotalRounds = 4;
+constexpr std::uint64_t kCrashAfter = 2;
+
+FlTask small_task() {
+  TaskSpec spec;
+  spec.name = "synth-mnist";
+  spec.num_clients = kClients;
+  spec.samples_per_client = 24;
+  spec.test_samples = 60;
+  spec.seed = 7;
+  return make_task(spec);
+}
+
+ExperimentParams small_params() {
+  ExperimentParams params;
+  params.buffer_size = 2;
+  params.concurrency = 3;
+  params.local_epochs = 1;
+  params.batch_size = 8;
+  params.max_rounds = kTotalRounds;
+  params.stop_at_target = false;
+  params.seed = 7;
+  return params;
+}
+
+/// Clients must survive the window where no server is listening: many
+/// reconnect attempts with a short, capped backoff.
+void generous_client_retries(RunConfig& c) {
+  c.faults.max_upload_retries = 30;
+  c.faults.retry_backoff = 0.05;
+  c.faults.retry_backoff_cap = 0.5;
+}
+
+TEST(ChaosResume, KilledServerResumesAndCompletesAllRounds) {
+  const FlTask task = small_task();
+  const ModelFactory model =
+      make_model(task.default_model, task.input, task.num_classes);
+  const std::string dir =
+      (fs::temp_directory_path() / "seafl_chaos_resume_test").string();
+  fs::remove_all(dir);
+
+  std::array<DeployClientStats, kClients> stats;
+  std::vector<std::thread> threads;
+  std::uint16_t port = 0;
+  RunResult res1;
+
+  {
+    // Leg 1: checkpoint every round, die abruptly after round kCrashAfter.
+    Arm arm = make_arm("seafl", small_params());
+    generous_client_retries(arm.config);
+    arm.config.checkpoint_every_rounds = 1;
+    arm.config.checkpoint_dir = dir;
+    arm.config.halt_after_rounds = kCrashAfter;
+
+    DeployServerOptions opts;
+    opts.port = 0;
+    opts.expected_clients = kClients;
+    opts.max_wall_seconds = 60.0;
+    DeployServer server(task, model, std::move(arm.strategy), arm.config,
+                        opts);
+    port = server.port();
+    ASSERT_NE(port, 0);
+
+    for (std::size_t i = 0; i < kClients; ++i) {
+      threads.emplace_back([&, i] {
+        Arm carm = make_arm("seafl", small_params());
+        generous_client_retries(carm.config);
+        DeployClientOptions copt;
+        copt.client_id = i;
+        copt.port = port;
+        DeployClient client(task, model, carm.config, copt);
+        stats[i] = client.run();
+      });
+    }
+    res1 = server.run();
+    // Leaving the scope destroys the server: listen socket closed, every
+    // client sees EOF and enters its reconnect loop — the SIGKILL analogue.
+  }
+
+  EXPECT_EQ(res1.rounds, kCrashAfter);
+  const std::vector<std::uint64_t> rounds = ckpt::list_checkpoint_rounds(dir);
+  ASSERT_FALSE(rounds.empty());
+  EXPECT_EQ(rounds.back(), kCrashAfter);
+
+  RunResult res2;
+  {
+    // Leg 2: same port, fresh process, resumed from the newest checkpoint.
+    Arm arm = make_arm("seafl", small_params());
+    generous_client_retries(arm.config);
+
+    DeployServerOptions opts;
+    opts.port = port;
+    opts.expected_clients = kClients;
+    opts.max_wall_seconds = 60.0;
+    opts.resume_from = dir;
+    DeployServer server(task, model, std::move(arm.strategy), arm.config,
+                        opts);
+    res2 = server.run();
+  }
+  for (std::thread& t : threads) t.join();
+
+  // The resumed leg finishes the horizon; counters are cumulative across
+  // the crash because the checkpoint carried RunResult itself.
+  EXPECT_EQ(res2.rounds, kTotalRounds);
+  EXPECT_GE(res2.model_uploads,
+            static_cast<std::size_t>(kTotalRounds) * 2);  // K=2 per round
+  EXPECT_GT(res2.final_time, 0.0);
+  EXPECT_TRUE(std::isfinite(res2.final_accuracy));
+  EXPECT_GE(res2.curve.size(), res1.curve.size());
+
+  // Accounting survives the crash exactly: every accepted upload moved one
+  // uncompressed model (stale pre-crash session uploads are rejected before
+  // they touch the byte counters).
+  const std::size_t dim = model()->num_parameters();
+  EXPECT_EQ(res2.upload_wire_bytes,
+            res2.model_uploads * compress::transfer_bytes(dim, 0));
+  EXPECT_EQ(res2.upload_raw_bytes, res2.upload_wire_bytes);
+
+  // Every client rode out the outage and saw the final graceful shutdown.
+  for (std::size_t i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(stats[i].shutdown_received) << "client " << i;
+    EXPECT_FALSE(stats[i].crashed) << "client " << i;
+    EXPECT_GE(stats[i].dispatches, 1u) << "client " << i;
+  }
+
+  fs::remove_all(dir);
+}
+
+TEST(ChaosResume, ServerRejectsForeignOriginCheckpoint) {
+  // A simulation-origin checkpoint must not restore into a deployment
+  // server (its virtual-event sections are meaningless on a real transport).
+  const FlTask task = small_task();
+  const ModelFactory model =
+      make_model(task.default_model, task.input, task.num_classes);
+  const std::string dir =
+      (fs::temp_directory_path() / "seafl_chaos_origin_test").string();
+  fs::remove_all(dir);
+
+  ckpt::RunCheckpoint c;
+  c.seed = 7;
+  c.model_dim = model()->num_parameters();
+  c.num_clients = kClients;
+  c.origin = 0;  // simulation
+  c.round = 2;
+  c.global.assign(static_cast<std::size_t>(c.model_dim), 0.0f);
+  c.result.final_weights = c.global;
+  ckpt::write_retained(dir, c, 3);
+
+  Arm arm = make_arm("seafl", small_params());
+  DeployServerOptions opts;
+  opts.port = 0;
+  opts.expected_clients = kClients;
+  opts.resume_from = dir;
+  EXPECT_THROW(DeployServer(task, model, std::move(arm.strategy), arm.config,
+                            opts),
+               Error);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace seafl

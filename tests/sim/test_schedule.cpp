@@ -1,0 +1,206 @@
+// Diurnal availability schedule (sim/schedule.h): deterministic periodic
+// windows, the next_online/next_offline fixpoint contract, and composition
+// with the churn process as an overlay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/hazard.h"
+#include "sim/schedule.h"
+
+namespace seafl {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ScheduleConfig config(double period, double fraction, std::uint64_t seed) {
+  ScheduleConfig c;
+  c.period = period;
+  c.online_fraction = fraction;
+  c.seed = seed;
+  return c;
+}
+
+TEST(ScheduleTable, DisabledTableIsAlwaysOnline) {
+  const ScheduleTable table;
+  EXPECT_FALSE(table.enabled());
+  for (const double t : {0.0, 1.5, 1000.0}) {
+    EXPECT_TRUE(table.online_at(0, t));
+    EXPECT_EQ(table.next_online(0, t), t);
+    EXPECT_EQ(table.next_offline(0, t), kInf);
+  }
+}
+
+TEST(ScheduleTable, FullFractionNeverGoesOffline) {
+  const ScheduleTable table(config(10.0, 1.0, 42), 4);
+  EXPECT_TRUE(table.enabled());
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (const double t : {0.0, 3.3, 97.0}) {
+      EXPECT_TRUE(table.online_at(c, t));
+      EXPECT_EQ(table.next_offline(c, t), kInf);
+      EXPECT_EQ(table.next_online(c, t), t);
+    }
+  }
+}
+
+TEST(ScheduleTable, WindowsArePeriodic) {
+  const double period = 8.0;
+  const ScheduleTable table(config(period, 0.4, 7), 6);
+  for (std::size_t c = 0; c < 6; ++c) {
+    for (double t = 0.0; t < period; t += 0.37) {
+      EXPECT_EQ(table.online_at(c, t), table.online_at(c, t + period))
+          << "client " << c << " t " << t;
+      EXPECT_EQ(table.online_at(c, t), table.online_at(c, t + 5 * period));
+    }
+  }
+}
+
+TEST(ScheduleTable, OnlineShareMatchesFraction) {
+  // Dense sampling of one period: the in-window share must equal the
+  // configured fraction for every client (the window is one contiguous arc
+  // of the period circle).
+  const double period = 10.0;
+  const double fraction = 0.5;
+  const ScheduleTable table(config(period, fraction, 11), 8);
+  for (std::size_t c = 0; c < 8; ++c) {
+    int online = 0;
+    const int samples = 10000;
+    for (int i = 0; i < samples; ++i) {
+      const double t = period * static_cast<double>(i) / samples;
+      online += table.online_at(c, t) ? 1 : 0;
+    }
+    const double share = static_cast<double>(online) / samples;
+    EXPECT_NEAR(share, fraction, 0.01) << "client " << c;
+  }
+}
+
+TEST(ScheduleTable, NextOnlineAndOfflineAreConsistent) {
+  const double period = 12.0;
+  // The computed crossing can sit a few ulps either side of the window
+  // edge; probe just past it rather than exactly on it.
+  const double eps = 1e-9 * period;
+  const ScheduleTable table(config(period, 0.3, 5), 5);
+  for (std::size_t c = 0; c < 5; ++c) {
+    for (double t = 0.0; t < 40.0; t += 0.77) {
+      const double on = table.next_online(c, t);
+      const double off = table.next_offline(c, t);
+      ASSERT_GE(on, t);
+      ASSERT_GE(off, t);
+      if (table.online_at(c, t)) {
+        EXPECT_EQ(on, t);
+        EXPECT_GT(off, t);
+        // Exact at the returned instant (the crossing is nudged onto the
+        // right side of the boundary) and stable just past it.
+        EXPECT_FALSE(table.online_at(c, off)) << "client " << c << " t " << t;
+        EXPECT_FALSE(table.online_at(c, off + eps));
+        EXPECT_LE(off, t + period * (1.0 + 1e-12));
+      } else {
+        EXPECT_EQ(off, t);
+        EXPECT_GT(on, t);
+        EXPECT_TRUE(table.online_at(c, on)) << "client " << c << " t " << t;
+        EXPECT_TRUE(table.online_at(c, on + eps));
+        EXPECT_LE(on, t + period * (1.0 + 1e-12));
+      }
+    }
+  }
+}
+
+TEST(ScheduleTable, PhasesAreSeedDeterministic) {
+  const ScheduleTable a(config(9.0, 0.5, 123), 16);
+  const ScheduleTable b(config(9.0, 0.5, 123), 16);
+  const ScheduleTable other(config(9.0, 0.5, 124), 16);
+  bool any_difference = false;
+  for (std::size_t c = 0; c < 16; ++c) {
+    for (double t = 0.0; t < 9.0; t += 0.31) {
+      EXPECT_EQ(a.online_at(c, t), b.online_at(c, t));
+      any_difference =
+          any_difference || (a.online_at(c, t) != other.online_at(c, t));
+    }
+  }
+  // 16 clients x 30 samples: at least one phase must land differently.
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ScheduleTable, ClientsHaveDistinctPhases) {
+  // The point of per-client phases is a *rolling* population, not a global
+  // blackout: at any instant some clients should be up and some down.
+  const ScheduleTable table(config(10.0, 0.5, 42), 32);
+  bool saw_online = false;
+  bool saw_offline = false;
+  for (std::size_t c = 0; c < 32; ++c) {
+    (table.online_at(c, 0.0) ? saw_online : saw_offline) = true;
+  }
+  EXPECT_TRUE(saw_online);
+  EXPECT_TRUE(saw_offline);
+}
+
+TEST(ScheduleTable, ComposesWithChurnAsConjunction) {
+  // A client is available iff its churn process AND its diurnal window both
+  // say so; the composed oracle must agree with the two components.
+  ChurnConfig churn;
+  churn.mean_uptime = 30.0;
+  churn.mean_downtime = 10.0;
+  churn.seed = 42;
+  const ScheduleConfig sched = config(16.0, 0.5, 42);
+  const std::size_t clients = 6;
+
+  const ChurnModel churn_only(churn, clients);
+  const ScheduleTable schedule(sched, clients);
+  const ChurnModel composed(churn, sched, clients);
+  ASSERT_TRUE(composed.enabled());
+
+  for (std::size_t c = 0; c < clients; ++c) {
+    for (double t = 0.0; t < 120.0; t += 1.3) {
+      EXPECT_EQ(composed.online_at(c, t),
+                churn_only.online_at(c, t) && schedule.online_at(c, t))
+          << "client " << c << " t " << t;
+    }
+  }
+}
+
+TEST(ScheduleTable, ComposedNextOnlineSatisfiesBothGates) {
+  ChurnConfig churn;
+  churn.mean_uptime = 20.0;
+  churn.mean_downtime = 15.0;
+  churn.seed = 9;
+  const ScheduleConfig sched = config(13.0, 0.4, 9);
+  const ChurnModel composed(churn, sched, 4);
+
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (double t = 0.0; t < 80.0; t += 2.1) {
+      // The fixpoint converges only where both components report online, so
+      // the composed predicate holds exactly at the returned instant.
+      const double on = composed.next_online(c, t);
+      ASSERT_GE(on, t);
+      EXPECT_TRUE(composed.online_at(c, on))
+          << "client " << c << " t " << t << " -> " << on;
+      const double off = composed.next_offline(c, t);
+      ASSERT_GE(off, t);
+      EXPECT_FALSE(composed.online_at(c, off + 1e-9))
+          << "client " << c << " t " << t << " -> " << off;
+    }
+  }
+}
+
+TEST(ScheduleTable, ScheduleOnlyChurnModelMirrorsTheTable) {
+  // mean_uptime == 0 disables the crash process; the overlay alone drives
+  // availability, so diurnal hazards work without configuring churn.
+  ChurnConfig no_churn;  // mean_uptime = 0
+  const ScheduleConfig sched = config(11.0, 0.6, 3);
+  const std::size_t clients = 5;
+  const ChurnModel model(no_churn, sched, clients);
+  const ScheduleTable table(sched, clients);
+  ASSERT_TRUE(model.enabled());
+  EXPECT_EQ(model.num_clients(), clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    for (double t = 0.0; t < 50.0; t += 0.9) {
+      EXPECT_EQ(model.online_at(c, t), table.online_at(c, t));
+      EXPECT_EQ(model.next_offline(c, t), table.next_offline(c, t));
+      EXPECT_EQ(model.next_online(c, t), table.next_online(c, t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seafl
