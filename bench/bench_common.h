@@ -83,6 +83,9 @@ inline World make_world(const CliArgs& args, const WorldDefaults& d,
   spec.dirichlet_alpha = args.get_double("dirichlet", d.dirichlet_alpha);
   spec.corrupt_client_fraction =
       args.get_double("corrupt", d.corrupt_fraction);
+  // --pool N: population-scale mode — a fixed N-sample train pool behind a
+  // lazy partition instead of clients × samples materialized samples.
+  spec.pool_samples = static_cast<std::size_t>(args.get_int("pool", 0));
   spec.seed = use_flag_seed
                   ? static_cast<std::uint64_t>(args.get_int("seed", d.seed))
                   : d.seed;

@@ -1,6 +1,8 @@
-// Simulation-throughput bench: rounds/sec of one SEAFL arm with the default
-// lazy (train-at-upload) session execution versus the eager executor
-// (DESIGN.md §12) at several worker budgets.
+// Simulation-throughput bench, two modes.
+//
+// Classic mode (default, --clients < 1000): rounds/sec of one SEAFL arm with
+// the default lazy (train-at-upload) session execution versus the eager
+// executor (DESIGN.md §12) at several worker budgets.
 //
 // The global pool cannot be resized once started, so the sweep fixes the
 // pool size once (--threads, default 8) and varies `sim_jobs` — the cap on
@@ -14,19 +16,31 @@
 // (final_weights plus the headline counters) — a speedup that changes the
 // result would be a bug, not a win.
 //
+// Scale mode (--clients >= 1000): the ROADMAP item-1 population sweep. For
+// each population in {1k, 10k, 100k, 1M} up to --clients, one SEAFL arm
+// runs over a pooled lazy partition (TaskSpec::pool_samples) and the
+// O(1)-memory Fleet, recording rounds/sec and peak RSS (VmHWM from
+// /proc/self/status) per point. Memory must track active sessions, not the
+// population — the --rss-ceiling-mb gate turns that claim into the exit
+// code (DESIGN.md §16).
+//
 // Flags (on top of the bench_common world flags):
 //   --smoke            tiny run (CI): fewer rounds, one timing trial
 //   --threads N        global pool size (default 8)
 //   --json PATH        output path (default results/BENCH_sim.json)
-//   --checkpoint-split also run the horizon as two legs — run to R/2, write
-//                      a checkpoint, halt, resume in a fresh simulation —
-//                      and check the result is bitwise identical to the
-//                      straight run (DESIGN.md §15); recorded in the JSON
+//   --rss-ceiling-mb N scale mode: fail (exit 1) if any sweep point's peak
+//                      RSS exceeds N MiB (default 2048; 0 disables)
+//   --checkpoint-split classic mode: also run the horizon as two legs — run
+//                      to R/2, write a checkpoint, halt, resume in a fresh
+//                      simulation — and check the result is bitwise
+//                      identical to the straight run (DESIGN.md §15)
 #include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_common.h"
 
@@ -35,8 +49,35 @@ namespace {
 using namespace seafl;
 using Clock = std::chrono::steady_clock;
 
+/// Peak resident set (VmHWM) of this process in bytes, from
+/// /proc/self/status; 0 when unavailable (non-Linux).
+std::size_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(
+                 std::strtoull(line.c_str() + 6, nullptr, 10)) *
+             1024;
+    }
+  }
+  return 0;
+}
+
+/// Resets the kernel's peak-RSS watermark so per-leg VmHWM readings are
+/// independent. Returns false when the kernel refuses (readings then stay
+/// monotone across legs — still valid for an ascending sweep).
+bool reset_peak_rss() {
+  std::ofstream clear("/proc/self/clear_refs");
+  if (!clear.good()) return false;
+  clear << "5";
+  clear.flush();
+  return clear.good();
+}
+
 struct Measurement {
   double best_seconds = 0.0;
+  std::size_t peak_rss = 0;
   RunResult result;
 };
 
@@ -51,6 +92,7 @@ Measurement measure(const ExperimentParams& params,
     if (t == 0 || secs < m.best_seconds) m.best_seconds = secs;
     m.result = std::move(r);
   }
+  m.peak_rss = peak_rss_bytes();
   return m;
 }
 
@@ -94,6 +136,126 @@ bool bitwise_equal(const RunResult& a, const RunResult& b) {
          a.speculation_wasted == b.speculation_wasted;
 }
 
+/// One scale-sweep point: SEAFL over `clients` pooled lazy clients.
+struct ScalePoint {
+  std::size_t clients = 0;
+  double wall_sec = 0.0;
+  double rounds_per_sec = 0.0;
+  std::uint64_t rounds = 0;
+  std::size_t total_updates = 0;
+  std::size_t peak_rss = 0;
+};
+
+ScalePoint run_scale_point(std::size_t clients, bool smoke,
+                           std::uint64_t seed) {
+  // The dataset is a fixed pool shared by every population size: per-client
+  // index lists are lazy, so data memory is O(pool), not O(clients).
+  TaskSpec spec;
+  spec.name = "synth-mnist";
+  spec.num_clients = clients;
+  spec.samples_per_client = 50;
+  spec.pool_samples = 4096;
+  spec.test_samples = 200;
+  spec.seed = seed;
+  const FlTask task = make_task(spec);
+
+  FleetConfig fc;
+  fc.num_devices = clients;
+  fc.seed = seed;
+  const Fleet fleet(fc);
+
+  ExperimentParams params;
+  params.concurrency = 64;
+  params.buffer_size = 16;
+  params.local_epochs = 1;
+  params.batch_size = 10;
+  params.max_rounds = smoke ? 3 : 8;
+  params.stop_at_target = false;
+  params.eval_every = 1000;  // keep evaluation off the measured path
+  params.eval_subset = 100;
+  params.seed = seed;
+
+  Arm arm = make_arm("seafl", params);
+  const ModelFactory factory =
+      make_model(task.default_model, task.input, task.num_classes);
+
+  reset_peak_rss();
+  const auto t0 = Clock::now();
+  Simulation sim(task, factory, fleet, std::move(arm.strategy), arm.config,
+                 /*work_per_sample=*/1.0);
+  const RunResult r = sim.run();
+  ScalePoint p;
+  p.clients = clients;
+  p.wall_sec = std::chrono::duration<double>(Clock::now() - t0).count();
+  p.rounds = r.rounds;
+  p.total_updates = r.total_updates;
+  p.rounds_per_sec =
+      p.wall_sec > 0.0 ? static_cast<double>(r.rounds) / p.wall_sec : 0.0;
+  p.peak_rss = peak_rss_bytes();
+  return p;
+}
+
+int scale_main(const CliArgs& args, std::size_t max_clients, bool smoke) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::size_t ceiling_mb = static_cast<std::size_t>(
+      args.get_int("rss-ceiling-mb", 2048));
+  const bool rss_resettable = reset_peak_rss();
+  if (!rss_resettable) {
+    std::printf("note: /proc/self/clear_refs unavailable; peak-RSS readings "
+                "are monotone across the (ascending) sweep\n");
+  }
+
+  std::vector<ScalePoint> curve;
+  bool rss_ok = true;
+  for (const std::size_t n : {std::size_t{1000}, std::size_t{10000},
+                              std::size_t{100000}, std::size_t{1000000}}) {
+    if (n > max_clients) break;
+    const ScalePoint p = run_scale_point(n, smoke, seed);
+    const double rss_mib =
+        static_cast<double>(p.peak_rss) / (1024.0 * 1024.0);
+    const bool over =
+        ceiling_mb > 0 && p.peak_rss > ceiling_mb * 1024 * 1024;
+    rss_ok = rss_ok && !over;
+    std::printf("clients=%-8zu rounds=%llu  %.3f rounds/sec  wall %.2fs  "
+                "peak RSS %.1f MiB%s\n",
+                p.clients, static_cast<unsigned long long>(p.rounds),
+                p.rounds_per_sec, p.wall_sec, rss_mib,
+                over ? "  OVER CEILING" : "");
+    curve.push_back(p);
+  }
+
+  const std::string path =
+      args.get_string("json", "results/BENCH_sim.json");
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream out(path);
+  out << "{\n  \"mode\": \"scale\",\n  \"host_hardware_threads\": "
+      << std::thread::hardware_concurrency()
+      << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n  \"rss_reset_supported\": "
+      << (rss_resettable ? "true" : "false")
+      << ",\n  \"rss_ceiling_mb\": " << ceiling_mb
+      << ",\n  \"config\": {\"algorithm\": \"seafl\", \"pool_samples\": "
+      << 4096 << ", \"samples_per_client\": " << 50
+      << ", \"concurrency\": " << 64 << ", \"buffer_size\": " << 16
+      << "},\n  \"curve\": [\n";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const ScalePoint& p = curve[i];
+    out << "    {\"clients\": " << p.clients
+        << ", \"rounds\": " << p.rounds
+        << ", \"rounds_per_sec\": " << p.rounds_per_sec
+        << ", \"wall_sec\": " << p.wall_sec
+        << ", \"total_updates\": " << p.total_updates
+        << ", \"peak_rss_bytes\": " << p.peak_rss << "}"
+        << (i + 1 < curve.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"rss_within_ceiling\": " << (rss_ok ? "true" : "false")
+      << "\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+  return rss_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,6 +266,12 @@ int main(int argc, char** argv) {
   const std::size_t threads =
       static_cast<std::size_t>(args.get_int("threads", 8));
   set_global_pool_threads(threads);
+
+  // Population-scale sweep: any --clients at or beyond 1000 selects the
+  // ROADMAP item-1 curve instead of the serial-vs-eager comparison.
+  const std::size_t clients_flag =
+      static_cast<std::size_t>(args.get_int("clients", 30));
+  if (clients_flag >= 1000) return scale_main(args, clients_flag, smoke);
 
   // Buffered SEAFL with K >= 4 and enough concurrent sessions that the
   // executor has real overlap to exploit.
@@ -159,6 +327,7 @@ int main(int argc, char** argv) {
                   "\": {\"rounds_per_sec\": " + std::to_string(rps) +
                   ", \"wall_sec\": " + std::to_string(eager.best_seconds) +
                   ", \"speedup\": " + std::to_string(speedup) +
+                  ", \"peak_rss_bytes\": " + std::to_string(eager.peak_rss) +
                   ", \"bitwise_equal\": " + (equal ? "true" : "false") + "}";
   }
 
@@ -215,7 +384,8 @@ int main(int argc, char** argv) {
       << ", \"local_epochs\": " << params.local_epochs
       << ", \"rounds\": " << params.max_rounds << "}"
       << ",\n  \"serial\": {\"rounds_per_sec\": " << serial_rps
-      << ", \"wall_sec\": " << serial.best_seconds << "}"
+      << ", \"wall_sec\": " << serial.best_seconds
+      << ", \"peak_rss_bytes\": " << serial.peak_rss << "}"
       << ",\n  \"eager\": {\n" << eager_json << "\n  }"
       << ",\n  \"speedup_at_4_workers\": " << speedup_at_4
       << ",\n  \"all_bitwise_equal\": " << (all_equal ? "true" : "false")

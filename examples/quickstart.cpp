@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   FlTask task = make_task(spec);
   std::printf("task %s: %zu clients, %zu train / %zu test samples, skew %.3f\n",
               task.name.c_str(), task.num_clients(), task.train.size(),
-              task.test.size(), partition_skew(task.train, task.partition));
+              task.test.size(), partition_skew(task.train, *task.partition));
 
   // 2. Build the heterogeneous device fleet (Pareto speeds + Zipf idling).
   FleetConfig fleet_config;

@@ -22,6 +22,10 @@ constexpr std::uint32_t kSecPending = 7;
 constexpr std::uint32_t kSecBases = 8;
 constexpr std::uint32_t kSecResiduals = 9;
 constexpr std::uint32_t kSecDeploy = 10;
+// Sparse participation (population-scale runs, DESIGN.md §16). Only emitted
+// when the run uses the sparse form, so container bytes for dense-population
+// runs are unchanged; old decoders skip it like any unknown section.
+constexpr std::uint32_t kSecSparsePart = 11;
 
 /// Parses one embedded SEAFLMDL container at the reader's position and
 /// advances past it. Returns false on any malformation.
@@ -153,6 +157,9 @@ bool decode_result(const std::string& payload, RunResult& r) {
   r.speculation_wasted = static_cast<std::size_t>(in.u64());
   r.upload_wire_bytes = static_cast<std::size_t>(in.u64());
   r.upload_raw_bytes = static_cast<std::size_t>(in.u64());
+  // Dense layout: the vector's length is the population. Sparse runs carry
+  // population and counts in kSecSparsePart, which overrides this.
+  r.population = r.participation.size();
   return in.ok() && in.remaining() == 0;
 }
 
@@ -179,6 +186,16 @@ std::string encode_checkpoint(const RunCheckpoint& c) {
     w.add(kSecGlobal, std::move(global));
   }
   w.add(kSecResult, encode_result(c.result));
+  if (c.result.participation.empty() && c.result.population > 0) {
+    std::string sparse;
+    bytes::put_u64(sparse, c.result.population);
+    bytes::put_u64(sparse, c.result.sparse_participation.size());
+    for (const auto& [client, count] : c.result.sparse_participation) {
+      bytes::put_u64(sparse, client);
+      bytes::put_u64(sparse, count);
+    }
+    w.add(kSecSparsePart, std::move(sparse));
+  }
   {
     std::string buffer;
     bytes::put_u64(buffer, c.buffer.size());
@@ -412,6 +429,22 @@ DecodeStatus decode_checkpoint(const void* data, std::size_t size,
       case kSecDeploy: {
         c.rtt_estimate = in.f64();
         c.next_session = in.u64();
+        if (!in.ok() || in.remaining() != 0) return DecodeStatus::kMalformed;
+        break;
+      }
+      case kSecSparsePart: {
+        c.result.population = static_cast<std::size_t>(in.u64());
+        const std::uint64_t count = in.u64();
+        if (!plausible_count(in, count)) return DecodeStatus::kMalformed;
+        c.result.sparse_participation.clear();
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const auto client = static_cast<std::size_t>(in.u64());
+          const auto updates = static_cast<std::size_t>(in.u64());
+          if (!c.result.sparse_participation.emplace(client, updates)
+                   .second) {
+            return DecodeStatus::kMalformed;  // duplicate client
+          }
+        }
         if (!in.ok() || in.remaining() != 0) return DecodeStatus::kMalformed;
         break;
       }

@@ -8,6 +8,75 @@
 
 namespace seafl {
 
+std::size_t MaterializedPartition::client_samples(std::size_t client) const {
+  SEAFL_CHECK(client < lists_.size(),
+              "partition client " << client << " out of range");
+  return lists_[client].size();
+}
+
+std::span<const std::size_t> MaterializedPartition::client_indices(
+    std::size_t client, std::vector<std::size_t>& /*scratch*/) const {
+  SEAFL_CHECK(client < lists_.size(),
+              "partition client " << client << " out of range");
+  return lists_[client];
+}
+
+PooledPartition::PooledPartition(const Dataset& pool, std::size_t num_clients,
+                                 std::size_t samples_per_client, double alpha,
+                                 std::uint64_t seed)
+    : num_clients_(num_clients),
+      samples_per_client_(samples_per_client),
+      alpha_(alpha),
+      seed_(seed) {
+  SEAFL_CHECK(num_clients >= 1, "need at least one client");
+  SEAFL_CHECK(samples_per_client >= 2, "need at least 2 samples per client");
+  SEAFL_CHECK(pool.size() >= 1, "empty sample pool");
+  SEAFL_CHECK(alpha > 0.0, "dirichlet alpha must be positive");
+  std::vector<std::vector<std::size_t>> by_class(pool.num_classes());
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    by_class[static_cast<std::size_t>(pool.label(i))].push_back(i);
+  // Keep only non-empty classes: the per-client mixture is drawn over the
+  // classes the pool actually contains.
+  for (auto& idx : by_class)
+    if (!idx.empty()) by_class_.push_back(std::move(idx));
+}
+
+std::span<const std::size_t> PooledPartition::client_indices(
+    std::size_t client, std::vector<std::size_t>& scratch) const {
+  SEAFL_CHECK(client < num_clients_,
+              "partition client " << client << " out of range");
+  // Pure function of (seed, client): every regeneration yields the same
+  // list, which is what licenses never storing it.
+  Rng rng(seed_, RngPurpose::kPartition, client);
+  const auto props = sample_dirichlet(rng, by_class_.size(), alpha_);
+  scratch.clear();
+  scratch.reserve(samples_per_client_);
+  for (std::size_t s = 0; s < samples_per_client_; ++s) {
+    const double u = rng.uniform();
+    double cdf = 0.0;
+    std::size_t k = by_class_.size() - 1;
+    for (std::size_t c = 0; c < by_class_.size(); ++c) {
+      cdf += props[c];
+      if (u < cdf) {
+        k = c;
+        break;
+      }
+    }
+    scratch.push_back(by_class_[k][rng.uniform_int(by_class_[k].size())]);
+  }
+  return scratch;
+}
+
+Partition materialize(const PartitionView& view) {
+  Partition out(view.num_clients());
+  std::vector<std::size_t> scratch;
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    const auto idx = view.client_indices(c, scratch);
+    out[c].assign(idx.begin(), idx.end());
+  }
+  return out;
+}
+
 Partition dirichlet_partition(const Dataset& dataset, std::size_t num_clients,
                               double alpha, std::uint64_t seed,
                               std::size_t min_per_client) {
@@ -96,6 +165,18 @@ double partition_skew(const Dataset& dataset, const Partition& partition) {
     ++counted;
   }
   return counted == 0 ? 0.0 : total_tv / static_cast<double>(counted);
+}
+
+double partition_skew(const Dataset& dataset, const PartitionView& partition,
+                      std::size_t max_clients) {
+  const std::size_t n = std::min(partition.num_clients(), max_clients);
+  Partition head(n);
+  std::vector<std::size_t> scratch;
+  for (std::size_t c = 0; c < n; ++c) {
+    const auto idx = partition.client_indices(c, scratch);
+    head[c].assign(idx.begin(), idx.end());
+  }
+  return partition_skew(dataset, head);
 }
 
 }  // namespace seafl

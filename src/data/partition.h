@@ -2,9 +2,19 @@
 // The Dirichlet label-skew partitioner is the standard device for simulating
 // non-IID federated data (Li et al., ICDE'22), and is what the SEAFL paper
 // uses (concentration 0.3 in §III, 5.0 in §VI).
+//
+// Two representations coexist behind the PartitionView seam (DESIGN.md §16):
+// the classic eagerly materialized index lists (exact Dirichlet cuts with
+// global rebalancing — inherently O(population) to build), and a pooled lazy
+// partition whose per-client index list is a pure function of
+// (seed, client), regenerated on demand in O(samples_per_client). The lazy
+// form is what lets a million-client simulation hold only the active
+// sessions' state in memory.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "data/dataset.h"
@@ -13,6 +23,69 @@ namespace seafl {
 
 /// Index lists, one per client.
 using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Read-only oracle over a client partition. Implementations are immutable
+/// after construction and safe to query from multiple threads concurrently.
+/// `client_indices` returns a span that is valid until the next call passing
+/// the same `scratch` vector (lazy views fill `scratch`; materialized views
+/// return a span over internal storage and leave `scratch` untouched), so
+/// each concurrent reader must bring its own scratch buffer.
+class PartitionView {
+ public:
+  virtual ~PartitionView() = default;
+  virtual std::size_t num_clients() const = 0;
+  virtual std::size_t client_samples(std::size_t client) const = 0;
+  virtual std::span<const std::size_t> client_indices(
+      std::size_t client, std::vector<std::size_t>& scratch) const = 0;
+};
+
+/// PartitionView over eagerly built index lists (dirichlet_partition /
+/// iid_partition output). Zero-copy reads; O(total samples) memory.
+class MaterializedPartition final : public PartitionView {
+ public:
+  explicit MaterializedPartition(Partition lists) : lists_(std::move(lists)) {}
+
+  std::size_t num_clients() const override { return lists_.size(); }
+  std::size_t client_samples(std::size_t client) const override;
+  std::span<const std::size_t> client_indices(
+      std::size_t client, std::vector<std::size_t>& scratch) const override;
+
+  const Partition& lists() const { return lists_; }
+
+ private:
+  Partition lists_;
+};
+
+/// Lazy label-skew partition over a fixed shared sample pool: client c's
+/// index list is regenerated on demand from Rng(seed, kPartition, c) — a
+/// Dir(alpha) class mixture followed by samples_per_client pooled draws.
+/// Memory is O(pool) for the by-class index (shared across all clients),
+/// independent of the population size; clients sample the pool with
+/// replacement, so distinct clients may share samples (the statistical
+/// license: synthetic pools are exchangeable within a class).
+class PooledPartition final : public PartitionView {
+ public:
+  PooledPartition(const Dataset& pool, std::size_t num_clients,
+                  std::size_t samples_per_client, double alpha,
+                  std::uint64_t seed);
+
+  std::size_t num_clients() const override { return num_clients_; }
+  std::size_t client_samples(std::size_t) const override {
+    return samples_per_client_;
+  }
+  std::span<const std::size_t> client_indices(
+      std::size_t client, std::vector<std::size_t>& scratch) const override;
+
+ private:
+  std::vector<std::vector<std::size_t>> by_class_;  ///< non-empty classes
+  std::size_t num_clients_ = 0;
+  std::size_t samples_per_client_ = 0;
+  double alpha_ = 0.3;
+  std::uint64_t seed_ = 0;
+};
+
+/// Expands a view into plain index lists (test oracle / small-n tooling).
+Partition materialize(const PartitionView& view);
 
 /// Dirichlet label-skew partition: for each class, the class's samples are
 /// split across clients in proportions drawn from Dir(alpha). Low alpha =
@@ -30,5 +103,10 @@ Partition iid_partition(const Dataset& dataset, std::size_t num_clients,
 /// variation distance between the client's label distribution and the global
 /// one. 0 = IID, -> (1 - 1/classes) as skew maximizes.
 double partition_skew(const Dataset& dataset, const Partition& partition);
+
+/// View overload; capped at the first `max_clients` clients so the statistic
+/// stays affordable for population-scale lazy partitions.
+double partition_skew(const Dataset& dataset, const PartitionView& partition,
+                      std::size_t max_clients = 4096);
 
 }  // namespace seafl

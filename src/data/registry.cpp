@@ -25,7 +25,11 @@ FlTask make_task(const TaskSpec& spec) {
   SEAFL_CHECK(spec.num_clients >= 1, "need at least one client");
   SEAFL_CHECK(spec.samples_per_client >= 2,
               "need at least 2 samples per client");
-  const std::size_t train_n = spec.num_clients * spec.samples_per_client;
+  const bool pooled = spec.pool_samples > 0;
+  SEAFL_CHECK(!pooled || spec.corrupt_client_fraction == 0.0,
+              "pool_samples is incompatible with corrupt_client_fraction");
+  const std::size_t train_n =
+      pooled ? spec.pool_samples : spec.num_clients * spec.samples_per_client;
   const std::size_t total_n = train_n + spec.test_samples;
 
   FlTask task;
@@ -80,28 +84,36 @@ FlTask make_task(const TaskSpec& spec) {
   auto [train, test] = split(full, spec.test_samples);
   task.input = train.input();
   task.num_classes = train.num_classes();
-  task.partition = dirichlet_partition(train, spec.num_clients,
-                                       spec.dirichlet_alpha, spec.seed);
-
-  // Label-noise injection: a fraction of clients get uniformly random
-  // training labels. Their updates are genuinely harmful, which is the
-  // scenario where importance-aware aggregation (Eq. 5) earns its keep.
   SEAFL_CHECK(spec.corrupt_client_fraction >= 0.0 &&
                   spec.corrupt_client_fraction <= 1.0,
               "corrupt_client_fraction out of [0, 1]");
-  if (spec.corrupt_client_fraction > 0.0) {
-    Rng rng(spec.seed, RngPurpose::kPartition, /*a=*/999);
-    std::vector<std::size_t> order(spec.num_clients);
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    rng.shuffle(order);
-    const auto corrupt = static_cast<std::size_t>(
-        spec.corrupt_client_fraction * static_cast<double>(spec.num_clients));
-    for (std::size_t c = 0; c < corrupt; ++c) {
-      for (const std::size_t i : task.partition[order[c]]) {
-        train.set_label(i, static_cast<std::int32_t>(
-                               rng.uniform_int(task.num_classes)));
+  if (pooled) {
+    task.partition = std::make_shared<PooledPartition>(
+        train, spec.num_clients, spec.samples_per_client,
+        spec.dirichlet_alpha, spec.seed);
+  } else {
+    Partition lists = dirichlet_partition(train, spec.num_clients,
+                                          spec.dirichlet_alpha, spec.seed);
+
+    // Label-noise injection: a fraction of clients get uniformly random
+    // training labels. Their updates are genuinely harmful, which is the
+    // scenario where importance-aware aggregation (Eq. 5) earns its keep.
+    if (spec.corrupt_client_fraction > 0.0) {
+      Rng rng(spec.seed, RngPurpose::kPartition, /*a=*/999);
+      std::vector<std::size_t> order(spec.num_clients);
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      rng.shuffle(order);
+      const auto corrupt = static_cast<std::size_t>(
+          spec.corrupt_client_fraction *
+          static_cast<double>(spec.num_clients));
+      for (std::size_t c = 0; c < corrupt; ++c) {
+        for (const std::size_t i : lists[order[c]]) {
+          train.set_label(i, static_cast<std::int32_t>(
+                                 rng.uniform_int(task.num_classes)));
+        }
       }
     }
+    task.partition = std::make_shared<MaterializedPartition>(std::move(lists));
   }
 
   task.train = std::move(train);

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "data/dataset.h"
@@ -26,6 +27,15 @@ struct TaskSpec {
   /// that importance-aware aggregation should discount). 0 disables.
   double corrupt_client_fraction = 0.0;
 
+  /// Population-scale mode: when > 0 the task builds a fixed train pool of
+  /// this many samples and a lazy PooledPartition over it, instead of
+  /// materializing num_clients × samples_per_client samples and index lists.
+  /// Memory then tracks the pool, not the population, which is what lets a
+  /// 1M-client run fit on a laptop (DESIGN.md §16). Incompatible with
+  /// corrupt_client_fraction (corruption relabels per-client shards, which
+  /// pooled clients share).
+  std::size_t pool_samples = 0;
+
   std::uint64_t seed = 42;
 };
 
@@ -34,13 +44,20 @@ struct FlTask {
   std::string name;
   Dataset train;
   Dataset test;
-  Partition partition;          ///< train indices per client
+  /// Train indices per client, behind the lazy/materialized seam. Immutable
+  /// and shared: copies of the task alias one view.
+  std::shared_ptr<const PartitionView> partition;
   InputSpec input;
   std::size_t num_classes = 0;
   ModelKind default_model = ModelKind::kMlp;
   double target_accuracy = 0.9; ///< per-task convergence target (see below)
 
-  std::size_t num_clients() const { return partition.size(); }
+  std::size_t num_clients() const {
+    return partition ? partition->num_clients() : 0;
+  }
+  std::size_t client_samples(std::size_t client) const {
+    return partition->client_samples(client);
+  }
 };
 
 /// Builds a named task. Known names (per DESIGN.md §1):

@@ -29,7 +29,10 @@ namespace {
 // independent (checkpoint/resume work), which can reorder SEAFL^2
 // notification ties; arms also gained the diurnal availability knobs.
 // Cached curves from older binaries may not match a fresh run.
-constexpr std::uint64_t kCacheVersion = 6;
+// v7: RunResult gained the population-scale accounting (population +
+// sparse_participation) and TaskSpec the pool knob; the result JSON has two
+// more fields and the canonical config one more line.
+constexpr std::uint64_t kCacheVersion = 7;
 
 Json curve_to_json(const std::vector<AccuracyPoint>& curve) {
   JsonArray out;
@@ -94,6 +97,13 @@ Json result_to_json(const RunResult& r) {
     participation.push_back(Json(count));
   }
   obj.emplace("participation", Json(std::move(participation)));
+  JsonArray sparse;
+  sparse.reserve(r.sparse_participation.size());
+  for (const auto& [client, count] : r.sparse_participation) {
+    sparse.push_back(JsonArray{Json(client), Json(count)});
+  }
+  obj.emplace("sparse_participation", Json(std::move(sparse)));
+  obj.emplace("population", Json(r.population));
   obj.emplace("time_to_target", Json(r.time_to_target));
   obj.emplace("final_accuracy", Json(r.final_accuracy));
   obj.emplace("final_time", Json(r.final_time));
@@ -131,6 +141,12 @@ RunResult result_from_json(const Json& json) {
   for (const Json& count : json.at("participation").as_array()) {
     r.participation.push_back(count.as_size());
   }
+  for (const Json& entry : json.at("sparse_participation").as_array()) {
+    const JsonArray& pair = entry.as_array();
+    SEAFL_CHECK(pair.size() == 2, "cache: sparse participation needs 2 fields");
+    r.sparse_participation.emplace(pair[0].as_size(), pair[1].as_size());
+  }
+  r.population = json.at("population").as_size();
   r.time_to_target = json.at("time_to_target").as_double();
   r.final_accuracy = json.at("final_accuracy").as_double();
   r.final_time = json.at("final_time").as_double();

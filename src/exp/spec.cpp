@@ -120,6 +120,13 @@ const std::vector<FieldBinding>& field_table() {
        [](const ArmSpec& s) {
          return fmt_double(s.world.task.corrupt_client_fraction);
        }},
+      {"pool",
+       [](ArmSpec& s, const std::string& v) {
+         s.world.task.pool_samples = parse_size("pool", v);
+       },
+       [](const ArmSpec& s) {
+         return std::to_string(s.world.task.pool_samples);
+       }},
       {"task-seed",
        [](ArmSpec& s, const std::string& v) {
          s.world.task.seed = parse_u64("task-seed", v);

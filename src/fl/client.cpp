@@ -21,7 +21,7 @@ const ClientTrainResult& ClientTrainer::train(std::size_t client,
                                               std::size_t frozen_layers,
                                               TrainObserver* observer) {
   SEAFL_PROF_SCOPE("fl.client_train");
-  SEAFL_CHECK(client < task_->partition.size(),
+  SEAFL_CHECK(client < task_->num_clients(),
               "client " << client << " out of range");
   SEAFL_CHECK(base.size() == num_params_,
               "base model has wrong dimension: " << base.size() << " vs "
@@ -32,7 +32,9 @@ const ClientTrainResult& ClientTrainer::train(std::size_t client,
 
   model_->set_parameters(base);
   Sgd optimizer(config_.sgd);
-  loader_.reset(task_->train, task_->partition[client], config_.batch_size,
+  loader_.reset(task_->train,
+                task_->partition->client_indices(client, index_scratch_),
+                config_.batch_size,
                 /*as_images=*/false);
 
   const bool proximal = config_.proximal_mu > 0.0;

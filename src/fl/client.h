@@ -66,7 +66,7 @@ class ClientTrainer {
 
   /// Train-sample count of a client (|D_k|).
   std::size_t client_samples(std::size_t client) const {
-    return task_->partition.at(client).size();
+    return task_->client_samples(client);
   }
 
  private:
@@ -79,6 +79,7 @@ class ClientTrainer {
   std::vector<std::int32_t> batch_labels_;
   Tensor logit_grad_;
   DataLoader loader_;               ///< rebound per session, capacity reused
+  std::vector<std::size_t> index_scratch_;  ///< lazy-partition fill buffer
   ClientTrainResult result_;        ///< reused across sessions
   std::vector<float> prox_scratch_; ///< FedProx pull buffer, reused
 };

@@ -269,7 +269,7 @@ void DeployServer::handle_upload(net::PeerId peer, const net::UploadMsg& msg) {
   update.client = session.client;
   update.base_round = session.base_round;
   update.weights = msg.weights;
-  update.num_samples = task_->partition.at(session.client).size();
+  update.num_samples = task_->client_samples(session.client);
   update.epochs_completed = msg.epochs_completed;
   update.arrival_time = now();
   update.train_loss = msg.train_loss;
@@ -309,7 +309,7 @@ void DeployServer::handle_compressed_upload(
   LocalUpdate update;
   update.client = session.client;
   update.base_round = session.base_round;
-  update.num_samples = task_->partition.at(session.client).size();
+  update.num_samples = task_->client_samples(session.client);
   update.epochs_completed = msg.epochs_completed;
   update.arrival_time = now();
   update.train_loss = msg.train_loss;

@@ -35,6 +35,22 @@ void write_curve_csv(const RunResult& result, const std::string& path) {
 
 double participation_fairness(const RunResult& result, bool active_only) {
   std::vector<double> counts;
+  if (result.participation.empty() && !result.sparse_participation.empty()) {
+    // Sparse accounting (population above the threshold): the map holds the
+    // nonzero counts and every absent client is an implicit zero, so Jain's
+    // index is computed directly — the implicit zeros contribute to n but
+    // not to the sums, and a population-sized vector never materializes.
+    double sum = 0.0, sumsq = 0.0;
+    for (const auto& [client, c] : result.sparse_participation) {
+      const auto v = static_cast<double>(c);
+      sum += v;
+      sumsq += v * v;
+    }
+    const std::size_t n = active_only ? result.sparse_participation.size()
+                                      : result.population;
+    if (n == 0 || sum == 0.0) return 1.0;
+    return sum * sum / (static_cast<double>(n) * sumsq);
+  }
   counts.reserve(result.participation.size());
   for (const auto c : result.participation) {
     if (active_only && c == 0) continue;

@@ -121,7 +121,11 @@ void ServerCore::begin(ModelVector initial, std::size_t num_clients) {
   round_deadline_passed_ = false;
   staleness_sum_ = 0.0;
   result_ = RunResult{};
-  result_.participation.assign(num_clients, 0);
+  result_.population = num_clients;
+  // Dense per-client counters below the threshold (the historical layout);
+  // sparse above it so memory tracks participants, not the population.
+  if (num_clients <= config_->sparse_population_threshold)
+    result_.participation.assign(num_clients, 0);
 }
 
 void ServerCore::restore(ModelVector global, std::uint64_t round,
@@ -265,7 +269,10 @@ void ServerCore::do_aggregate(double now, obs::TraceSink* trace,
     staleness_sum_ += s;
     stat.mean_staleness += s;
     if (u.epochs_completed < config.local_epochs) ++stat.partial;
-    ++result_.participation[u.client];
+    if (result_.participation.empty())
+      ++result_.sparse_participation[u.client];
+    else
+      ++result_.participation[u.client];
   }
   stat.mean_staleness /= static_cast<double>(buffer_.size());
   result_.total_updates += buffer_.size();

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_set>
 
 #include "ckpt/store.h"
 #include "common/log.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "obs/profile.h"
 
 namespace seafl {
@@ -116,9 +119,29 @@ RunResult Simulation::drive() {
 std::vector<std::size_t> Simulation::select_cohort(std::size_t count) const {
   const std::size_t n = task_->num_clients();
   SEAFL_CHECK(count <= n, "cohort " << count << " exceeds client count " << n);
+  Rng rng(config_.seed, RngPurpose::kSelection, /*a=*/core_.round());
+
+  // Population-scale fast path (DESIGN.md §16): uniform selection draws
+  // `count` distinct clients by rejection in O(count) instead of shuffling
+  // an O(n) permutation. Only above the sparse threshold — below it the
+  // historical shuffle runs so existing runs stay bitwise identical. The
+  // ordered policies below are inherently O(n) (they rank the population);
+  // scale runs use kRandom.
+  if (config_.selection == SelectionPolicy::kRandom &&
+      n > config_.sparse_population_threshold) {
+    std::vector<std::size_t> picked;
+    picked.reserve(count);
+    std::unordered_set<std::size_t> seen;
+    seen.reserve(count * 2);
+    while (picked.size() < count) {
+      const std::size_t candidate = rng.uniform_int(n);
+      if (seen.insert(candidate).second) picked.push_back(candidate);
+    }
+    return picked;
+  }
+
   std::vector<std::size_t> order(n);
   for (std::size_t i = 0; i < n; ++i) order[i] = i;
-  Rng rng(config_.seed, RngPurpose::kSelection, /*a=*/core_.round());
 
   switch (config_.selection) {
     case SelectionPolicy::kRandom:
@@ -137,7 +160,7 @@ std::vector<std::size_t> Simulation::select_cohort(std::size_t count) const {
       std::vector<double> keys(n);
       for (std::size_t i = 0; i < n; ++i) {
         const auto w =
-            static_cast<double>(task_->partition[i].size());
+            static_cast<double>(task_->client_samples(i));
         double u = rng.uniform();
         while (u <= 0.0) u = rng.uniform();
         keys[i] = std::pow(u, 1.0 / std::max(w, 1.0));
@@ -442,15 +465,49 @@ std::size_t Simulation::pick_replacement(std::size_t exclude,
     return false;
   };
   const double now = transport_.queue().now();
+  const std::size_t n = task_->num_clients();
+  obs::Counter& retries =
+      obs::Registry::global().counter("fl.select.retries");
   Rng rng(config_.seed, RngPurpose::kDropout, salt, core_.round(), exclude);
   for (int attempt = 0; attempt < 16; ++attempt) {
-    const std::size_t candidate = rng.uniform_int(task_->num_clients());
-    if (!busy(candidate) && churn_.online_at(candidate, now))
+    const std::size_t candidate = rng.uniform_int(n);
+    if (!busy(candidate) && churn_.online_at(candidate, now)) {
+      retries.add(static_cast<std::uint64_t>(attempt));
       return candidate;
+    }
   }
+  retries.add(16);
   // Fall back to the excluded client itself when it is available (the
-  // pre-fault-layer behavior); otherwise give the slot up.
+  // pre-fault-layer behavior); otherwise run a bounded deterministic scan.
   if (!busy(exclude) && churn_.online_at(exclude, now)) return exclude;
+
+  // Fallback scan (DESIGN.md §16): sweep client ids circularly from a
+  // salted start, in blocks sharded onto the thread pool. Workers only fill
+  // per-candidate eligibility flags — busy() reads immutable-in-scope maps
+  // and probe_online_at touches no shared churn state — and the winner is
+  // picked by a serial first-set-flag reduction in scan order, so the
+  // answer is independent of thread count. The sweep is capped so a
+  // heavy-offline population costs a bounded, observable amount of work
+  // instead of spinning per-candidate at the RNG's mercy.
+  const std::size_t scan_cap = std::min<std::size_t>(n, 65536);
+  const std::size_t start = rng.uniform_int(n);
+  constexpr std::size_t kScanBlock = 2048;
+  std::vector<std::uint8_t> eligible;
+  for (std::size_t done = 0; done < scan_cap; done += kScanBlock) {
+    const std::size_t len = std::min(kScanBlock, scan_cap - done);
+    eligible.assign(len, 0);
+    parallel_for(
+        0, len,
+        [&](std::size_t i) {
+          const std::size_t candidate = (start + done + i) % n;
+          if (candidate != exclude && !busy(candidate) &&
+              churn_.probe_online_at(candidate, now))
+            eligible[i] = 1;
+        },
+        /*grain=*/256);
+    for (std::size_t i = 0; i < len; ++i)
+      if (eligible[i]) return (start + done + i) % n;
+  }
   return kNoClient;
 }
 
@@ -630,6 +687,9 @@ void Simulation::maybe_aggregate() {
   // next aggregation. Sessions (and speculated jobs) holding the previous
   // snapshot keep it alive through their shared_ptr.
   refresh_global_snapshot();
+  // The virtual clock is monotone past this aggregation, so churn state
+  // behind it can be pruned; answers are unchanged (hazard.h).
+  churn_.advance_horizon(queue().now());
   evaluate_and_record();
   if (done_) return;
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -212,6 +213,14 @@ struct RunConfig {
   /// checkpoint and hand the rest of the horizon to a resumed process.
   std::uint64_t halt_after_rounds = 0;
 
+  /// Populations at or below this keep the dense per-client participation
+  /// vector (index = client id, the historical layout); above it the server
+  /// switches to a sparse map holding only clients that actually
+  /// participated, so per-client accounting is O(active) at million-client
+  /// scale (DESIGN.md §16). Pure representation choice: counts, fairness,
+  /// and checkpoints agree across the threshold.
+  std::size_t sparse_population_threshold = 8192;
+
   std::uint64_t seed = 42;
 };
 
@@ -230,8 +239,16 @@ struct RunResult {
   std::vector<RoundStat> round_log;  ///< one entry per aggregation
   ModelVector final_weights;         ///< the global model when the run ended
   /// Per-client count of updates that entered an aggregation (fairness
-  /// analysis; index = client id).
+  /// analysis; index = client id). Dense form, used for populations at or
+  /// below RunConfig::sparse_population_threshold; empty when the sparse
+  /// form below is in use.
   std::vector<std::size_t> participation;
+  /// Sparse form of the same counts (client -> updates aggregated), used
+  /// above the population threshold; only participants appear. Exactly one
+  /// of the two forms is populated for a given run.
+  std::map<std::size_t, std::size_t> sparse_participation;
+  /// Client population of the run (the dense vector's implicit length).
+  std::size_t population = 0;
   double time_to_target = -1.0;      ///< virtual seconds; -1 if never reached
   double final_accuracy = 0.0;
   double final_time = 0.0;           ///< virtual time when the run stopped

@@ -6,35 +6,22 @@ namespace seafl {
 
 Fleet::Fleet(const FleetConfig& config)
     : config_(config),
+      speed_sampler_(1.0, config.pareto_shape),
       idle_sampler_(std::max<std::uint64_t>(1, config.max_idle_seconds),
                     config.zipf_s) {
   SEAFL_CHECK(config.num_devices >= 1, "fleet needs at least one device");
   SEAFL_CHECK(config.seconds_per_unit_work > 0.0,
               "seconds_per_unit_work must be positive");
   SEAFL_CHECK(config.speed_cap >= 1.0, "speed cap must be >= 1");
-  slowdown_.resize(config.num_devices);
-  ParetoSampler speed(1.0, config.pareto_shape);
-  for (std::size_t k = 0; k < config.num_devices; ++k) {
-    Rng rng(config.seed, RngPurpose::kDeviceSpeed, k);
-    slowdown_[k] = speed.sample_capped(rng, config.speed_cap);
-  }
-  if (config.mean_uplink_bytes_per_sec > 0.0) {
-    // Heavy-tailed link speeds, independent of compute speeds: the a-label
-    // offset keeps the stream disjoint from latency draws (a = device,
-    // b = round) the same way idle_seconds offsets within kDeviceSpeed.
-    uplink_.resize(config.num_devices);
-    for (std::size_t k = 0; k < config.num_devices; ++k) {
-      Rng rng(config.seed, RngPurpose::kNetwork, /*a=*/2'000'000 + k);
-      uplink_[k] = config.mean_uplink_bytes_per_sec /
-                   speed.sample_capped(rng, config.speed_cap);
-    }
-  }
 }
 
 double Fleet::slowdown(std::size_t device) const {
-  SEAFL_CHECK(device < slowdown_.size(), "device " << device
-                                                   << " out of range");
-  return slowdown_[device];
+  SEAFL_CHECK(device < config_.num_devices, "device " << device
+                                                      << " out of range");
+  // Derived at query time from the per-device stream; bitwise identical to
+  // the draw a construction-time table would have stored.
+  Rng rng(config_.seed, RngPurpose::kDeviceSpeed, device);
+  return speed_sampler_.sample_capped(rng, config_.speed_cap);
 }
 
 double Fleet::epoch_compute_seconds(std::size_t device,
@@ -62,16 +49,23 @@ double Fleet::latency_seconds(std::size_t device, std::uint64_t round,
 }
 
 double Fleet::uplink_bytes_per_sec(std::size_t device) const {
-  if (uplink_.empty()) return 0.0;
-  SEAFL_CHECK(device < uplink_.size(), "device " << device << " out of range");
-  return uplink_[device];
+  if (config_.mean_uplink_bytes_per_sec <= 0.0) return 0.0;
+  SEAFL_CHECK(device < config_.num_devices,
+              "device " << device << " out of range");
+  // Heavy-tailed link speeds, independent of compute speeds: the a-label
+  // offset keeps the stream disjoint from latency draws (a = device,
+  // b = round) the same way idle_seconds offsets within kDeviceSpeed.
+  Rng rng(config_.seed, RngPurpose::kNetwork, /*a=*/2'000'000 + device);
+  return config_.mean_uplink_bytes_per_sec /
+         speed_sampler_.sample_capped(rng, config_.speed_cap);
 }
 
 double Fleet::upload_seconds(std::size_t device, std::uint64_t round,
                              std::size_t payload_bytes) const {
   double seconds = latency_seconds(device, round, /*leg=*/1);
-  if (!uplink_.empty()) {
-    seconds += static_cast<double>(payload_bytes) / uplink_bytes_per_sec(device);
+  if (config_.mean_uplink_bytes_per_sec > 0.0) {
+    seconds +=
+        static_cast<double>(payload_bytes) / uplink_bytes_per_sec(device);
   }
   return seconds;
 }

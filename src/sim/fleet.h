@@ -4,9 +4,9 @@
 //  * heavy-tailed per-device compute speeds drawn from a Pareto distribution;
 //  * after every local epoch, a device idles for a duration drawn from a
 //    Zipf distribution (s = 1.7) capped at 60 virtual seconds.
-// Fleet reproduces both. Per-device speed factors are drawn once at
-// construction (a device is persistently fast or slow); idle periods are
-// re-drawn per (device, round, epoch) from independent derived streams, so
+// Fleet reproduces both. Per-device speed factors come from a stream keyed
+// by the device id alone (a device is persistently fast or slow); idle
+// periods are re-drawn per (device, round, epoch) from independent streams, so
 // straggling has both a persistent and a transient component — matching the
 // heavy-tailed "few very slow devices" regime the paper targets.
 #pragma once
@@ -56,12 +56,17 @@ struct FleetConfig {
   std::uint64_t seed = 42;
 };
 
-/// Immutable per-device timing oracle.
+/// Immutable per-device timing oracle. O(1) memory regardless of fleet
+/// size: every per-device quantity — including the persistent slowdown and
+/// uplink draws — is derived at query time from its counter-keyed stream
+/// (DESIGN.md §16), so a million-device fleet costs no more to hold than a
+/// hundred-device one. Persistence is a property of the stream key
+/// (seed, purpose, device), not of stored state.
 class Fleet {
  public:
   explicit Fleet(const FleetConfig& config);
 
-  std::size_t size() const { return slowdown_.size(); }
+  std::size_t size() const { return config_.num_devices; }
 
   /// Persistent compute slowdown of device k (>= 1; Pareto-tailed).
   double slowdown(std::size_t device) const;
@@ -103,8 +108,7 @@ class Fleet {
 
  private:
   FleetConfig config_;
-  std::vector<double> slowdown_;
-  std::vector<double> uplink_;  ///< bytes/sec per device; empty when off
+  ParetoSampler speed_sampler_;
   ZipfSampler idle_sampler_;
 };
 

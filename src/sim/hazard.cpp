@@ -25,22 +25,30 @@ ChurnModel::ChurnModel(const ChurnConfig& config, std::size_t num_clients)
 ChurnModel::ChurnModel(const ChurnConfig& config,
                        const ScheduleConfig& schedule,
                        std::size_t num_clients)
-    : config_(config), schedule_(schedule, num_clients) {
+    : config_(config),
+      schedule_(schedule, num_clients),
+      num_clients_(num_clients) {
   if (!churn_enabled()) return;
   SEAFL_CHECK(config.mean_uptime > 0.0, "mean_uptime must be positive");
   SEAFL_CHECK(config.mean_downtime > 0.0,
               "mean_downtime must be positive when churn is enabled");
-  timelines_.resize(num_clients);
-  for (std::size_t c = 0; c < num_clients; ++c)
-    timelines_[c].rng = Rng(config.seed, RngPurpose::kChurn, c);
+}
+
+ChurnModel::Timeline& ChurnModel::timeline(std::size_t client) const {
+  SEAFL_CHECK(client < num_clients_,
+              "churn client " << client << " out of range");
+  auto [it, inserted] = timelines_.try_emplace(client);
+  if (inserted) it->second.rng = Rng(config_.seed, RngPurpose::kChurn, client);
+  it->second.touched = generation_;
+  return it->second;
 }
 
 void ChurnModel::extend_past(Timeline& tl, double t) const {
   // Draws are strictly sequential per client, so the timeline is identical
   // no matter which queries (or in what order) forced its generation.
   while (tl.edges.empty() || tl.edges.back() <= t) {
-    const double last = tl.edges.empty() ? 0.0 : tl.edges.back();
-    const bool next_is_crash = tl.edges.size() % 2 == 0;
+    const double last = tl.edges.empty() ? tl.resume_from : tl.edges.back();
+    const bool next_is_crash = (tl.dropped + tl.edges.size()) % 2 == 0;
     const double mean =
         next_is_crash ? config_.mean_uptime : config_.mean_downtime;
     tl.edges.push_back(last + exponential(tl.rng, mean));
@@ -48,33 +56,84 @@ void ChurnModel::extend_past(Timeline& tl, double t) const {
 }
 
 std::size_t ChurnModel::interval_at(std::size_t client, double t) const {
-  SEAFL_CHECK(client < timelines_.size(),
-              "churn client " << client << " out of range");
-  Timeline& tl = timelines_[client];
+  Timeline& tl = timeline(client);
   extend_past(tl, t);
   // Number of edges at or before t; intervals are [edge_{i-1}, edge_i).
-  return static_cast<std::size_t>(
-      std::upper_bound(tl.edges.begin(), tl.edges.end(), t) -
-      tl.edges.begin());
+  // Pruned edges are all <= the horizon <= t, so they count wholesale.
+  return tl.dropped +
+         static_cast<std::size_t>(
+             std::upper_bound(tl.edges.begin(), tl.edges.end(), t) -
+             tl.edges.begin());
 }
 
 double ChurnModel::churn_next_offline(std::size_t client, double t) const {
   if (!churn_enabled()) return kInfinity;
   const std::size_t i = interval_at(client, t);
   if (i % 2 == 1) return t;  // already offline
-  return timelines_[client].edges[i];  // end of the current online interval
+  // End of the current online interval. extend_past guarantees the edge
+  // after t is cached, so the global index lands inside the vector.
+  return timelines_.at(client).edges[i - timelines_.at(client).dropped];
 }
 
 double ChurnModel::churn_next_online(std::size_t client, double t) const {
   if (!churn_enabled()) return t;
   const std::size_t i = interval_at(client, t);
   if (i % 2 == 0) return t;  // already online
-  return timelines_[client].edges[i];  // end of the current offline interval
+  return timelines_.at(client).edges[i - timelines_.at(client).dropped];
 }
 
 bool ChurnModel::online_at(std::size_t client, double t) const {
   if (churn_enabled() && interval_at(client, t) % 2 != 0) return false;
   return schedule_.online_at(client, t);
+}
+
+bool ChurnModel::probe_online_at(std::size_t client, double t) const {
+  if (churn_enabled()) {
+    SEAFL_CHECK(client < num_clients_,
+                "churn client " << client << " out of range");
+    // Local regeneration from the stream head: no shared state touched, so
+    // pool workers may probe concurrently. The edge sequence is the same
+    // one the cache would hold, hence the same interval parity.
+    Rng rng(config_.seed, RngPurpose::kChurn, client);
+    double edge = 0.0;
+    std::size_t drawn = 0;
+    while (edge <= t) {
+      const double mean =
+          drawn % 2 == 0 ? config_.mean_uptime : config_.mean_downtime;
+      edge += exponential(rng, mean);
+      ++drawn;
+    }
+    // drawn - 1 edges are <= t, so t lies in global interval drawn - 1.
+    if ((drawn - 1) % 2 != 0) return false;
+  }
+  return schedule_.online_at(client, t);
+}
+
+void ChurnModel::advance_horizon(double t) {
+  if (!churn_enabled()) return;
+  ++generation_;
+  for (auto it = timelines_.begin(); it != timelines_.end();) {
+    Timeline& tl = it->second;
+    // Evict timelines unqueried for two consecutive advances; the next
+    // query regenerates them from scratch, bit-for-bit.
+    if (tl.touched + 1 < generation_) {
+      it = timelines_.erase(it);
+      continue;
+    }
+    // Prune edges at or before the horizon: future queries are all > t, so
+    // only the count (for interval parity) and the last pruned value (for
+    // sequential extension) still matter.
+    const auto first_kept =
+        std::upper_bound(tl.edges.begin(), tl.edges.end(), t);
+    const auto pruned =
+        static_cast<std::size_t>(first_kept - tl.edges.begin());
+    if (pruned > 0) {
+      tl.resume_from = tl.edges[pruned - 1];
+      tl.edges.erase(tl.edges.begin(), first_kept);
+      tl.dropped += pruned;
+    }
+    ++it;
+  }
 }
 
 double ChurnModel::next_offline(std::size_t client, double t) const {

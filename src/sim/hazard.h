@@ -12,12 +12,18 @@
 // re-dispatch, degraded aggregation) live in fl/simulation.
 //
 // Timelines are generated lazily: queries past the generated horizon extend
-// the per-client edge list by drawing further intervals in sequence. The
-// model is therefore cheap for short runs and must be owned per-simulation
-// (the lazy cache is not thread-safe; a Simulation is single-threaded).
+// the per-client edge list by drawing further intervals in sequence, and
+// only queried clients hold any state at all. advance_horizon() bounds that
+// state for long population-scale runs by pruning edges behind the virtual
+// clock and evicting timelines that have gone unqueried — both safe because
+// any timeline can be regenerated bit-for-bit from its stream (DESIGN.md
+// §16). The stateful cache is not thread-safe (a Simulation is
+// single-threaded); pool workers scanning candidates use the stateless
+// probe_online_at() instead.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -48,7 +54,7 @@ class ChurnModel {
 
   bool enabled() const { return churn_enabled() || schedule_.enabled(); }
   std::size_t num_clients() const {
-    return churn_enabled() ? timelines_.size() : schedule_.num_clients();
+    return churn_enabled() ? num_clients_ : schedule_.num_clients();
   }
 
   /// Is the client online at virtual time t?
@@ -62,22 +68,49 @@ class ChurnModel {
   /// First time >= t at which the client is (or comes back) online.
   double next_online(std::size_t client, double t) const;
 
+  /// Stateless online_at: regenerates the client's timeline locally from
+  /// its stream without touching the shared cache, so concurrent calls from
+  /// pool workers are safe. Same answer as online_at for every (client, t).
+  bool probe_online_at(std::size_t client, double t) const;
+
+  /// Declares that no future query will look strictly before time t (the
+  /// virtual clock is monotone): edges at or before t are pruned from
+  /// cached timelines, and timelines unqueried for two consecutive
+  /// advances are evicted. Both are answer-preserving — pruned interval
+  /// indices stay exact via the dropped-edge count, and an evicted timeline
+  /// regenerates bit-for-bit on its next query.
+  void advance_horizon(double t);
+
+  /// Cached timelines currently held (observability; bounded by advances).
+  std::size_t cached_timelines() const { return timelines_.size(); }
+
  private:
   bool churn_enabled() const { return config_.mean_uptime > 0.0; }
 
   struct Timeline {
     // Interval boundaries in increasing order, starting from an online
-    // interval at t = 0: edges[0] is the first crash, edges[1] the first
-    // recovery, edges[2] the second crash, ... (even index = crash edge).
+    // interval at t = 0: globally, edge i=0 is the first crash, i=1 the
+    // first recovery, ... (even global index = crash edge). The vector
+    // holds edges dropped_ onward; pruned prefixes advance `dropped` and
+    // remember the last pruned edge in `resume_from` so generation can
+    // continue from the true previous edge.
     std::vector<double> edges;
+    std::size_t dropped = 0;
+    double resume_from = 0.0;
+    std::uint64_t touched = 0;  ///< generation of the last query
     Rng rng;
   };
+
+  /// The client's cached timeline, created (and its stream seeded) on first
+  /// query.
+  Timeline& timeline(std::size_t client) const;
 
   /// Extends the client's edge list until it strictly covers time t.
   void extend_past(Timeline& tl, double t) const;
 
-  /// Index of the interval containing t (0 = initial online interval).
-  /// Even result = online, odd = offline. Extends the timeline as needed.
+  /// Global index of the interval containing t (0 = initial online
+  /// interval). Even result = online, odd = offline. Extends the timeline
+  /// as needed.
   std::size_t interval_at(std::size_t client, double t) const;
 
   /// Component queries ignoring the other component (each treats its own
@@ -87,7 +120,9 @@ class ChurnModel {
 
   ChurnConfig config_;
   ScheduleTable schedule_;
-  mutable std::vector<Timeline> timelines_;
+  std::size_t num_clients_ = 0;
+  mutable std::unordered_map<std::size_t, Timeline> timelines_;
+  std::uint64_t generation_ = 0;  ///< bumped by advance_horizon
 };
 
 }  // namespace seafl

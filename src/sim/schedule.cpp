@@ -13,23 +13,24 @@ constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
 ScheduleTable::ScheduleTable(const ScheduleConfig& config,
                              std::size_t num_clients)
-    : config_(config) {
+    : config_(config), num_clients_(num_clients) {
   if (!enabled()) return;
   SEAFL_CHECK(config.period > 0.0, "schedule period must be positive");
   SEAFL_CHECK(config.online_fraction > 0.0 && config.online_fraction <= 1.0,
               "online_fraction must be in (0, 1], got "
                   << config.online_fraction);
-  phases_.resize(num_clients);
-  for (std::size_t c = 0; c < num_clients; ++c) {
-    Rng rng(config.seed, RngPurpose::kSchedule, c);
-    phases_[c] = rng.uniform() * config.period;
-  }
+}
+
+double ScheduleTable::phase(std::size_t client) const {
+  // Derived per query — bitwise the draw a construction-time table stored.
+  Rng rng(config_.seed, RngPurpose::kSchedule, client);
+  return rng.uniform() * config_.period;
 }
 
 double ScheduleTable::local_time(std::size_t client, double t) const {
-  SEAFL_CHECK(client < phases_.size(),
+  SEAFL_CHECK(client < num_clients_,
               "schedule client " << client << " out of range");
-  double local = std::fmod(t - phases_[client], config_.period);
+  double local = std::fmod(t - phase(client), config_.period);
   if (local < 0.0) local += config_.period;
   return local;
 }

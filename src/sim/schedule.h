@@ -5,10 +5,11 @@
 // reliably pocketed at work, every day. ScheduleTable models this as a
 // deterministic periodic gate — client k is online during
 //     [phase_k + n * period,  phase_k + n * period + online_fraction * period)
-// for every integer n, with phase_k drawn once per client from the root
-// seed (RngPurpose::kSchedule). Like the churn timelines the whole table is
-// a pure function of (seed, client), so it needs no checkpointing and every
-// query is O(1).
+// for every integer n, with phase_k derived per client from the root seed
+// (RngPurpose::kSchedule) at query time — the table stores no per-client
+// state at all (O(1) memory at any population, DESIGN.md §16). Like the
+// churn timelines the whole table is a pure function of (seed, client), so
+// it needs no checkpointing and every query is O(1).
 //
 // The schedule composes with ChurnModel as an overlay (hazard.h): a client
 // is online iff both its churn process and its schedule window say so —
@@ -39,7 +40,7 @@ class ScheduleTable {
   ScheduleTable(const ScheduleConfig& config, std::size_t num_clients);
 
   bool enabled() const { return config_.period > 0.0; }
-  std::size_t num_clients() const { return phases_.size(); }
+  std::size_t num_clients() const { return num_clients_; }
 
   /// Is the client inside an online window at virtual time t (>= 0)?
   bool online_at(std::size_t client, double t) const;
@@ -53,11 +54,14 @@ class ScheduleTable {
   double next_online(std::size_t client, double t) const;
 
  private:
+  /// Per-client window offset in [0, period), derived from the phase stream.
+  double phase(std::size_t client) const;
+
   /// Position of t inside the client's period, in [0, period).
   double local_time(std::size_t client, double t) const;
 
   ScheduleConfig config_;
-  std::vector<double> phases_;  ///< per-client window offset in [0, period)
+  std::size_t num_clients_ = 0;
 };
 
 }  // namespace seafl

@@ -1,0 +1,114 @@
+// PartitionView seam (DESIGN.md §16): the materialized wrapper must be a
+// zero-cost window over classic index lists, and the pooled lazy view must
+// regenerate each client's list bit-for-bit on every query.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace seafl {
+namespace {
+
+Dataset make_data(std::size_t n = 500, std::size_t classes = 10) {
+  GaussianSpec spec;
+  spec.num_samples = n;
+  spec.num_classes = classes;
+  spec.input = {1, 1, 8};
+  return make_gaussian_dataset(spec);
+}
+
+std::vector<std::size_t> indices_of(const PartitionView& view,
+                                    std::size_t client) {
+  std::vector<std::size_t> scratch;
+  const auto span = view.client_indices(client, scratch);
+  return {span.begin(), span.end()};
+}
+
+class MaterializedViewTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaterializedViewTest, MirrorsRawListsBitwise) {
+  const Dataset d = make_data();
+  const std::uint64_t seed = GetParam();
+  for (const Partition& p : {dirichlet_partition(d, 20, 0.3, seed),
+                             iid_partition(d, 20, seed)}) {
+    const MaterializedPartition view(p);
+    ASSERT_EQ(view.num_clients(), p.size());
+    std::vector<std::size_t> scratch{999};  // sentinel: must not be touched
+    for (std::size_t c = 0; c < p.size(); ++c) {
+      EXPECT_EQ(view.client_samples(c), p[c].size());
+      const auto span = view.client_indices(c, scratch);
+      EXPECT_EQ(std::vector<std::size_t>(span.begin(), span.end()), p[c]);
+    }
+    EXPECT_EQ(scratch, std::vector<std::size_t>{999});
+    EXPECT_EQ(materialize(view), p);
+  }
+}
+
+TEST_P(MaterializedViewTest, ViewSkewMatchesListSkew) {
+  const Dataset d = make_data();
+  const Partition p = dirichlet_partition(d, 20, 0.3, GetParam());
+  const MaterializedPartition view(p);
+  EXPECT_DOUBLE_EQ(partition_skew(d, view), partition_skew(d, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaterializedViewTest,
+                         ::testing::Values(1, 42, 1234));
+
+TEST(PooledPartitionTest, RegeneratesBitwiseOnEveryQuery) {
+  const Dataset d = make_data(400);
+  const PooledPartition view(d, /*num_clients=*/1000, /*samples_per_client=*/25,
+                             /*alpha=*/0.3, /*seed=*/42);
+  EXPECT_EQ(view.num_clients(), 1000u);
+  // Repeated and interleaved queries of the same client must agree exactly,
+  // and a second identically-constructed view must reproduce them.
+  const PooledPartition twin(d, 1000, 25, 0.3, 42);
+  for (const std::size_t c : {std::size_t{0}, std::size_t{7}, std::size_t{999},
+                              std::size_t{7}}) {
+    const auto first = indices_of(view, c);
+    EXPECT_EQ(first.size(), 25u);
+    EXPECT_EQ(view.client_samples(c), 25u);
+    for (const std::size_t i : first) EXPECT_LT(i, d.size());
+    EXPECT_EQ(indices_of(view, c), first);
+    EXPECT_EQ(indices_of(twin, c), first);
+  }
+}
+
+TEST(PooledPartitionTest, SeedAndClientChangeTheDraw) {
+  const Dataset d = make_data(400);
+  const PooledPartition a(d, 50, 25, 0.3, 42);
+  const PooledPartition b(d, 50, 25, 0.3, 43);
+  EXPECT_NE(indices_of(a, 0), indices_of(b, 0));
+  EXPECT_NE(indices_of(a, 0), indices_of(a, 1));
+}
+
+TEST(PooledPartitionTest, MaterializeMatchesPerClientQueries) {
+  const Dataset d = make_data(300);
+  const PooledPartition view(d, 30, 12, 0.3, 7);
+  const Partition lists = materialize(view);
+  ASSERT_EQ(lists.size(), 30u);
+  for (std::size_t c = 0; c < lists.size(); ++c) {
+    EXPECT_EQ(lists[c], indices_of(view, c));
+  }
+}
+
+TEST(PooledPartitionTest, AlphaControlsLabelSkew) {
+  const Dataset d = make_data(1000);
+  const PooledPartition skewed(d, 40, 25, /*alpha=*/0.05, 42);
+  const PooledPartition mild(d, 40, 25, /*alpha=*/5.0, 42);
+  EXPECT_GT(partition_skew(d, skewed), partition_skew(d, mild));
+  EXPECT_LT(partition_skew(d, mild), 0.3);
+}
+
+TEST(PooledPartitionTest, SkewCapBoundsTheScan) {
+  // A million-client view's skew must be computable by sampling a prefix.
+  const Dataset d = make_data(400);
+  const PooledPartition view(d, 1'000'000, 25, 0.3, 42);
+  const double capped = partition_skew(d, view, /*max_clients=*/64);
+  EXPECT_GE(capped, 0.0);
+  EXPECT_LE(capped, 1.0);
+}
+
+}  // namespace
+}  // namespace seafl

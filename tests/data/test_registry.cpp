@@ -28,7 +28,7 @@ TEST_P(RegistryTaskTest, BuildsConsistentTask) {
 
   // Partition covers the training set exactly.
   std::size_t total = 0;
-  for (const auto& idx : task.partition) {
+  for (const auto& idx : materialize(*task.partition)) {
     total += idx.size();
     for (const auto i : idx) EXPECT_LT(i, task.train.size());
   }
@@ -152,8 +152,8 @@ TEST(RegistryTest, DirichletAlphaControlsSkew) {
   mild.dirichlet_alpha = 10.0;
   const FlTask ts = make_task(skewed);
   const FlTask tm = make_task(mild);
-  EXPECT_GT(partition_skew(ts.train, ts.partition),
-            partition_skew(tm.train, tm.partition));
+  EXPECT_GT(partition_skew(ts.train, *ts.partition),
+            partition_skew(tm.train, *tm.partition));
 }
 
 }  // namespace

@@ -105,7 +105,7 @@ TEST(ClientTrainerTest, ClientSamplesMatchPartition) {
   Fixture f;
   ClientTrainer trainer(f.task, f.factory, f.config);
   for (std::size_t k = 0; k < f.task.num_clients(); ++k)
-    EXPECT_EQ(trainer.client_samples(k), f.task.partition[k].size());
+    EXPECT_EQ(trainer.client_samples(k), f.task.client_samples(k));
 }
 
 TEST(ClientTrainerTest, ProximalTermPullsTowardBase) {

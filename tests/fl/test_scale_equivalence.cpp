@@ -1,0 +1,181 @@
+// Population-scale representation equivalences (DESIGN.md §16): the lazy
+// pooled partition, the sparse participation accounting, and the checkpoint
+// encoding of sparse results are pure representation choices — at any
+// population where both forms are affordable they must agree bit for bit,
+// down to final_weights.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "ckpt/checkpoint.h"
+#include "data/partition.h"
+#include "fl/metrics.h"
+#include "fl/simulation.h"
+#include "fl/strategies.h"
+
+namespace seafl {
+namespace {
+
+struct Fixture {
+  FlTask task;
+  ModelFactory factory;
+  FleetConfig fleet_config;
+
+  explicit Fixture(std::size_t pool_samples = 0) {
+    TaskSpec spec;
+    spec.name = "synth-mnist";
+    spec.num_clients = 24;
+    spec.samples_per_client = 15;
+    spec.pool_samples = pool_samples;
+    spec.test_samples = 60;
+    task = make_task(spec);
+    factory = make_model(task.default_model, task.input, task.num_classes);
+    fleet_config.num_devices = 24;
+    fleet_config.pareto_shape = 1.5;
+    fleet_config.seed = 7;
+  }
+
+  RunConfig base_config() const {
+    RunConfig c;
+    c.buffer_size = 3;
+    c.concurrency = 6;
+    c.local_epochs = 2;
+    c.batch_size = 8;
+    c.sgd.learning_rate = 0.05f;
+    c.max_rounds = 6;
+    c.stop_at_target = false;
+    c.seed = 42;
+    return c;
+  }
+
+  RunResult run(const RunConfig& c) const {
+    Fleet fleet(fleet_config);
+    Simulation sim(task, factory, fleet,
+                   std::make_unique<FedBuffStrategy>(), c);
+    return sim.run();
+  }
+};
+
+void expect_same_weights(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.final_weights.size(), b.final_weights.size());
+  EXPECT_EQ(std::memcmp(a.final_weights.data(), b.final_weights.data(),
+                        a.final_weights.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_updates, b.total_updates);
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.mean_staleness, b.mean_staleness);
+}
+
+TEST(ScaleEquivalenceTest, PooledLazyMatchesItsMaterialization) {
+  // Route one run through the lazy pooled view and one through the same
+  // indices frozen into classic lists: the seam must be invisible.
+  Fixture lazy(/*pool_samples=*/600);
+  Fixture frozen(/*pool_samples=*/600);
+  frozen.task.partition = std::make_shared<MaterializedPartition>(
+      materialize(*lazy.task.partition));
+  const RunConfig c = lazy.base_config();
+  const RunResult a = lazy.run(c);
+  const RunResult b = frozen.run(c);
+  expect_same_weights(a, b);
+  EXPECT_EQ(a.participation, b.participation);
+}
+
+TEST(ScaleEquivalenceTest, PooledTaskEagerLazyExecutorsAgree) {
+  const Fixture f(/*pool_samples=*/600);
+  RunConfig lazy = f.base_config();
+  const RunResult reference = f.run(lazy);
+  for (const std::size_t cap : {std::size_t{0}, std::size_t{2}}) {
+    RunConfig eager = lazy;
+    eager.eager_training = true;
+    eager.sim_jobs = cap;
+    SCOPED_TRACE("sim_jobs=" + std::to_string(cap));
+    expect_same_weights(reference, f.run(eager));
+  }
+}
+
+TEST(ScaleEquivalenceTest, SparseParticipationMatchesDense) {
+  const Fixture f;
+  // kFastestFirst keeps cohort selection identical across the threshold
+  // (the sparse fast path only changes kRandom's draw order).
+  RunConfig dense_cfg = f.base_config();
+  dense_cfg.selection = SelectionPolicy::kFastestFirst;
+  RunConfig sparse_cfg = dense_cfg;
+  sparse_cfg.sparse_population_threshold = 0;  // force the sparse form
+
+  const RunResult dense = f.run(dense_cfg);
+  const RunResult sparse = f.run(sparse_cfg);
+  expect_same_weights(dense, sparse);
+
+  // Exactly one representation each, describing identical counts.
+  ASSERT_EQ(dense.participation.size(), dense.population);
+  EXPECT_TRUE(dense.sparse_participation.empty());
+  EXPECT_TRUE(sparse.participation.empty());
+  EXPECT_EQ(sparse.population, dense.population);
+  std::size_t dense_active = 0;
+  for (std::size_t c = 0; c < dense.participation.size(); ++c) {
+    const auto it = sparse.sparse_participation.find(c);
+    if (dense.participation[c] == 0) {
+      EXPECT_EQ(it, sparse.sparse_participation.end());
+    } else {
+      ASSERT_NE(it, sparse.sparse_participation.end());
+      EXPECT_EQ(it->second, dense.participation[c]);
+      ++dense_active;
+    }
+  }
+  EXPECT_EQ(sparse.sparse_participation.size(), dense_active);
+
+  // Fairness is representation-independent, in both accounting modes.
+  EXPECT_DOUBLE_EQ(participation_fairness(sparse, /*active_only=*/true),
+                   participation_fairness(dense, /*active_only=*/true));
+  EXPECT_DOUBLE_EQ(participation_fairness(sparse, /*active_only=*/false),
+                   participation_fairness(dense, /*active_only=*/false));
+}
+
+TEST(ScaleEquivalenceTest, SparseResultCheckpointRoundTrips) {
+  ckpt::RunCheckpoint c;
+  c.seed = 42;
+  c.model_dim = 4;
+  c.num_clients = 1'000'000;
+  c.global = {1.0f, 2.0f, 3.0f, 4.0f};
+  c.result.population = 1'000'000;
+  c.result.sparse_participation = {{3, 2}, {512, 1}, {999'999, 5}};
+  c.result.rounds = 7;
+  c.result.total_updates = 8;
+
+  const std::string bytes = ckpt::encode_checkpoint(c);
+  ckpt::RunCheckpoint out;
+  ASSERT_EQ(ckpt::decode_checkpoint(bytes.data(), bytes.size(), out),
+            ckpt::DecodeStatus::kOk);
+  EXPECT_EQ(out.result.population, c.result.population);
+  EXPECT_EQ(out.result.sparse_participation, c.result.sparse_participation);
+  EXPECT_TRUE(out.result.participation.empty());
+  EXPECT_EQ(out.result.rounds, 7u);
+
+  // Deterministic encoding: same state, same bytes.
+  EXPECT_EQ(ckpt::encode_checkpoint(c), bytes);
+}
+
+TEST(ScaleEquivalenceTest, DenseResultCheckpointKeepsItsLayout) {
+  ckpt::RunCheckpoint c;
+  c.seed = 42;
+  c.model_dim = 2;
+  c.num_clients = 3;
+  c.global = {1.0f, 2.0f};
+  c.result.population = 3;
+  c.result.participation = {2, 0, 1};
+
+  const std::string bytes = ckpt::encode_checkpoint(c);
+  // A dense result must not grow the new sparse section.
+  ckpt::RunCheckpoint out;
+  ASSERT_EQ(ckpt::decode_checkpoint(bytes.data(), bytes.size(), out),
+            ckpt::DecodeStatus::kOk);
+  EXPECT_EQ(out.result.participation, c.result.participation);
+  EXPECT_TRUE(out.result.sparse_participation.empty());
+  EXPECT_EQ(out.result.population, 3u);
+}
+
+}  // namespace
+}  // namespace seafl

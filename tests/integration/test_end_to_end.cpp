@@ -147,8 +147,9 @@ TEST(EndToEndTest, TheoryHooksAcceptDefaultHyperparameters) {
   World world;
   std::vector<double> fractions;
   double total = 0.0;
-  for (const auto& idx : world.task.partition) total += idx.size();
-  for (const auto& idx : world.task.partition)
+  const Partition lists = materialize(*world.task.partition);
+  for (const auto& idx : lists) total += idx.size();
+  for (const auto& idx : lists)
     fractions.push_back(idx.size() / total);
   const double lambda = lambda_d(fractions);
   const ExperimentParams params;

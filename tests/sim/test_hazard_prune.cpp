@@ -1,0 +1,119 @@
+// ChurnModel horizon pruning (DESIGN.md §16): advance_horizon must bound the
+// cached timeline state without changing a single answer — pruned interval
+// indices stay exact through the dropped-edge count, and evicted timelines
+// regenerate bit-for-bit from their (seed, client) stream.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/hazard.h"
+
+namespace seafl {
+namespace {
+
+ChurnConfig churn_config(double uptime = 10.0, double downtime = 5.0,
+                         std::uint64_t seed = 42) {
+  ChurnConfig c;
+  c.mean_uptime = uptime;
+  c.mean_downtime = downtime;
+  c.seed = seed;
+  return c;
+}
+
+void expect_matches_oracle(const ChurnModel& pruned, const ChurnModel& oracle,
+                           std::size_t clients, double t) {
+  for (std::size_t c = 0; c < clients; ++c) {
+    EXPECT_EQ(pruned.online_at(c, t), oracle.online_at(c, t));
+    EXPECT_DOUBLE_EQ(pruned.next_offline(c, t), oracle.next_offline(c, t));
+    EXPECT_DOUBLE_EQ(pruned.next_online(c, t), oracle.next_online(c, t));
+  }
+}
+
+TEST(ChurnPruneTest, PrunedModelMatchesFreshOracle) {
+  constexpr std::size_t kClients = 16;
+  ChurnModel pruned(churn_config(), kClients);
+  const ChurnModel oracle(churn_config(), kClients);
+  // Monotone clock: queries at each horizon, then prune behind it. Every
+  // post-prune answer must equal the never-pruned oracle's.
+  for (const double t : {0.0, 3.0, 12.0, 40.0, 90.0, 250.0, 1000.0}) {
+    pruned.advance_horizon(t);
+    expect_matches_oracle(pruned, oracle, kClients, t);
+    expect_matches_oracle(pruned, oracle, kClients, t + 1.7);
+    expect_matches_oracle(pruned, oracle, kClients, t + 23.0);
+  }
+}
+
+TEST(ChurnPruneTest, ProbeAgreesWithOnlineAt) {
+  constexpr std::size_t kClients = 12;
+  ChurnModel model(churn_config(), kClients);
+  const ChurnModel oracle(churn_config(), kClients);
+  for (const double t : {0.0, 7.0, 31.0, 128.0}) {
+    model.advance_horizon(t);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      // The stateless probe must agree with the cached query both on the
+      // pruned model and on the untouched oracle.
+      EXPECT_EQ(model.probe_online_at(c, t), oracle.online_at(c, t));
+      EXPECT_EQ(model.probe_online_at(c, t + 11.0), model.online_at(c, t + 11.0));
+    }
+  }
+}
+
+TEST(ChurnPruneTest, EvictionRegeneratesBitwise) {
+  constexpr std::size_t kClients = 8;
+  ChurnModel model(churn_config(), kClients);
+  const ChurnModel oracle(churn_config(), kClients);
+  for (std::size_t c = 0; c < kClients; ++c) model.online_at(c, 50.0);
+  EXPECT_EQ(model.cached_timelines(), kClients);
+  // Two advances with no intervening queries: every timeline is evicted.
+  model.advance_horizon(60.0);
+  model.advance_horizon(70.0);
+  EXPECT_EQ(model.cached_timelines(), 0u);
+  // Regenerated timelines answer exactly as if never evicted.
+  expect_matches_oracle(model, oracle, kClients, 70.0);
+  expect_matches_oracle(model, oracle, kClients, 200.0);
+}
+
+TEST(ChurnPruneTest, CachedStateStaysBounded) {
+  constexpr std::size_t kClients = 64;
+  constexpr std::size_t kWindow = 8;
+  ChurnModel model(churn_config(), kClients);
+  double t = 0.0;
+  for (std::size_t round = 0; round < 40; ++round) {
+    // Only a sliding window of clients is active each round — like a
+    // population-scale run where concurrency << population.
+    for (std::size_t i = 0; i < kWindow; ++i) {
+      model.online_at((round * kWindow + i) % kClients, t);
+    }
+    t += 15.0;
+    model.advance_horizon(t);
+    // Two-generation eviction window: at most the last two rounds' actives.
+    EXPECT_LE(model.cached_timelines(), 2 * kWindow);
+  }
+}
+
+TEST(ChurnPruneTest, DisabledModelAdvanceIsHarmless) {
+  ChurnModel disabled;
+  disabled.advance_horizon(100.0);
+  EXPECT_TRUE(disabled.online_at(0, 1e9));
+  EXPECT_TRUE(disabled.probe_online_at(0, 1e9));
+  EXPECT_EQ(disabled.cached_timelines(), 0u);
+}
+
+TEST(ChurnPruneTest, DiurnalOverlaySurvivesPruning) {
+  ScheduleConfig schedule;
+  schedule.period = 40.0;
+  schedule.online_fraction = 0.5;
+  schedule.seed = 42;
+  ChurnModel pruned(churn_config(), schedule, 8);
+  const ChurnModel oracle(churn_config(), schedule, 8);
+  for (const double t : {0.0, 25.0, 80.0, 300.0}) {
+    pruned.advance_horizon(t);
+    expect_matches_oracle(pruned, oracle, 8, t);
+    for (std::size_t c = 0; c < 8; ++c) {
+      EXPECT_EQ(pruned.probe_online_at(c, t + 5.0), oracle.online_at(c, t + 5.0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seafl
