@@ -27,13 +27,81 @@
 // paper-scale run (600 samples/client as in §III).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <span>
 #include <string>
 
 #include "common/thread_pool.h"
 #include "core/seafl.h"
 #include "exp/exp.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter for benchmarks that report *exact* heap
+// allocations (allocs per training step, allocs per aggregation round).
+// Invoke SEAFL_BENCH_DEFINE_ALLOC_HOOK() once at global scope in the
+// binary's main TU: it defines seafl::bench::g_heap_allocs and replaces the
+// global operator new/delete so every allocation in the process ticks the
+// counter. A macro — not an inline definition — because replacement
+// allocation functions must be defined exactly once per program.
+
+namespace seafl::bench {
+extern std::atomic<std::uint64_t> g_heap_allocs;
+}
+
+// GCC flags free() on pointers it thinks came from the *default* operator
+// new; with every replacement operator malloc/free-based the pairing is
+// correct, so silence the false positive at the definitions.
+#if defined(__GNUC__) && !defined(__clang__)
+#define SEAFL_BENCH_ALLOC_PRAGMA_PUSH \
+  _Pragma("GCC diagnostic push")      \
+  _Pragma("GCC diagnostic ignored \"-Wmismatched-new-delete\"")
+#define SEAFL_BENCH_ALLOC_PRAGMA_POP _Pragma("GCC diagnostic pop")
+#else
+#define SEAFL_BENCH_ALLOC_PRAGMA_PUSH
+#define SEAFL_BENCH_ALLOC_PRAGMA_POP
+#endif
+
+#define SEAFL_BENCH_DEFINE_ALLOC_HOOK()                                      \
+  namespace seafl::bench {                                                   \
+  std::atomic<std::uint64_t> g_heap_allocs{0};                               \
+  }                                                                          \
+  void* operator new(std::size_t n) {                                        \
+    ::seafl::bench::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);   \
+    if (void* p = std::malloc(n ? n : 1)) return p;                          \
+    throw std::bad_alloc();                                                  \
+  }                                                                          \
+  void* operator new[](std::size_t n) { return ::operator new(n); }          \
+  void* operator new(std::size_t n, std::align_val_t al) {                   \
+    ::seafl::bench::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);   \
+    const std::size_t a = static_cast<std::size_t>(al);                      \
+    const std::size_t rounded = (n + a - 1) / a * a;                         \
+    if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;    \
+    throw std::bad_alloc();                                                  \
+  }                                                                          \
+  void* operator new[](std::size_t n, std::align_val_t al) {                 \
+    return ::operator new(n, al);                                            \
+  }                                                                          \
+  SEAFL_BENCH_ALLOC_PRAGMA_PUSH                                              \
+  void operator delete(void* p) noexcept { std::free(p); }                   \
+  void operator delete[](void* p) noexcept { std::free(p); }                 \
+  void operator delete(void* p, std::size_t) noexcept { std::free(p); }      \
+  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }    \
+  void operator delete(void* p, std::align_val_t) noexcept { std::free(p); } \
+  void operator delete[](void* p, std::align_val_t) noexcept {               \
+    std::free(p);                                                            \
+  }                                                                          \
+  void operator delete(void* p, std::size_t, std::align_val_t) noexcept {    \
+    std::free(p);                                                            \
+  }                                                                          \
+  void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {  \
+    std::free(p);                                                            \
+  }                                                                          \
+  SEAFL_BENCH_ALLOC_PRAGMA_POP                                               \
+  static_assert(true, "require a trailing semicolon")
 
 namespace seafl::bench {
 

@@ -1,15 +1,50 @@
 // Aggregation microbenchmarks: server-side cost per round as the buffer
 // size K and model dimension grow. The paper motivates semi-async buffering
 // partly by FedAsync's per-update aggregation overhead; this quantifies the
-// cost of SEAFL's adaptive weighting against uniform FedBuff averaging.
+// cost of SEAFL's adaptive weighting against uniform FedBuff averaging —
+// plus the screening filter and the codec decode that precede it.
+//
+// Two modes, like micro_tensor:
+//  * google-benchmark (default): interactive microbenchmarks of the
+//    strategies, screening and codec decode.
+//  * JSON recorder: `--seafl_json=BENCH_agg.json` measures the server
+//    aggregation data plane — single-thread GB/s of every ops kernel for
+//    BOTH vector backends (scalar vs AVX2), end-to-end aggregation
+//    rounds/sec (decode + screen + adaptive weights + mix) per backend, and
+//    exact heap allocations per steady-state round with the workspace arena
+//    off ("before") and on ("after"). The arena-on count must be exactly
+//    zero: the recorder exits nonzero otherwise, which is the regression
+//    gate CI runs. `--seafl_smoke` shrinks the measurement for CI.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "compress/codec.h"
+#include "core/screening.h"
 #include "core/seafl_strategy.h"
+#include "fl/server_core.h"
 #include "fl/strategies.h"
+#include "tensor/ops.h"
+#include "tensor/workspace.h"
+
+SEAFL_BENCH_DEFINE_ALLOC_HOOK();
 
 namespace {
 
 using namespace seafl;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
 
 std::vector<LocalUpdate> make_buffer(std::size_t k, std::size_t dim,
                                      std::uint64_t round) {
@@ -34,6 +69,15 @@ AggregationContext make_ctx(std::uint64_t round, const ModelVector& global,
   for (const auto& u : buffer) ctx.total_samples += u.num_samples;
   return ctx;
 }
+
+compress::CompressionConfig int8_config() {
+  compress::CompressionConfig cc;
+  cc.codec = compress::CodecKind::kQuantize;
+  cc.bits = 8;
+  return cc;
+}
+
+// ------------------------------------------------------- google benchmarks
 
 void BM_SeaflAggregate(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
@@ -99,10 +143,355 @@ void BM_AdaptiveWeightsOnly(benchmark::State& state) {
   ModelVector global(dim, 0.1f);
   const auto ctx = make_ctx(10, global, buffer);
   const AdaptiveWeightConfig cfg;
+  std::vector<WeightBreakdown> out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(compute_adaptive_weights(cfg, ctx, buffer));
+    compute_adaptive_weights_into(cfg, ctx, buffer, out);
+    benchmark::DoNotOptimize(out.data());
   }
 }
 BENCHMARK(BM_AdaptiveWeightsOnly)->Args({10, 1 << 12})->Args({10, 1 << 16});
 
+void BM_ScreenUpdates(benchmark::State& state) {
+  // The clip + cosine-reject filter ahead of aggregation (DESIGN.md §10).
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  auto buffer = make_buffer(k, dim, 10);
+  ModelVector global(dim, 0.1f);
+  ScreeningConfig cfg;
+  cfg.clip_multiple = 3.0;
+  cfg.min_cosine = -0.9;
+  ScreeningReport report;
+  for (auto _ : state) {
+    screen_updates_into(cfg, global, buffer, report);
+    benchmark::DoNotOptimize(report.entries.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k *
+                          dim);
+}
+BENCHMARK(BM_ScreenUpdates)->Args({10, 1 << 12})->Args({10, 1 << 16});
+
+void BM_CodecDecodeInt8(benchmark::State& state) {
+  // Server-side decode of one int8 upload into a recycled buffer — the
+  // per-update cost add_encoded_update pays before screening.
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto codec = compress::make_codec(int8_config());
+  Rng rng(11);
+  std::vector<float> base(dim, 0.1f), weights(dim);
+  for (auto& w : weights)
+    w = 0.1f + 0.01f * static_cast<float>(rng.normal());
+  const compress::CompressedUpdate encoded =
+      codec->encode(weights, base, nullptr, /*client=*/0, /*round=*/1,
+                    /*seed=*/42);
+  std::vector<float> out;
+  for (auto _ : state) {
+    codec->decode_into(encoded, base, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * dim);
+}
+BENCHMARK(BM_CodecDecodeInt8)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+// ------------------------------------------------------------ JSON recorder
+
+/// Streamed bytes per element per call, for the GB/s figure.
+struct KernelSpec {
+  const char* name;
+  bool reduction;  ///< counts toward the >= 2x acceptance set
+  double bytes_per_element;
+};
+
+constexpr KernelSpec kKernels[] = {
+    {"axpy", false, 12.0},               // read y + x, write y
+    {"axpby", false, 12.0},              // read y + x, write y
+    {"add_inplace", false, 12.0},        // read y + x, write y
+    {"dot", true, 8.0},                  // read a + b
+    {"sum", true, 4.0},                  // read a
+    {"l2_norm", true, 4.0},              // read a
+    {"max_abs", true, 4.0},              // read a
+    {"cosine_similarity", true, 8.0},    // read a + b
+};
+
+double run_kernel(const std::string& name, std::span<float> y,
+                  std::span<const float> a, std::span<const float> b) {
+  if (name == "axpy") {
+    axpy(y, 0.5f, a);
+    return 0.0;
+  }
+  if (name == "axpby") {
+    axpby(y, 0.5f, a, 0.5f);
+    return 0.0;
+  }
+  if (name == "add_inplace") {
+    add_inplace(y, a);
+    return 0.0;
+  }
+  if (name == "dot") return dot(a, b);
+  if (name == "sum") return sum(a);
+  if (name == "l2_norm") return l2_norm(a);
+  if (name == "max_abs") return max_abs(a);
+  return cosine_similarity(a, b);
+}
+
+/// Single-thread GB/s of one kernel at one dim under `backend`; best of
+/// several trials (the minimum elapsed time is the least scheduler-disturbed
+/// estimate).
+double kernel_gbs(const KernelSpec& spec, std::size_t dim,
+                  VectorBackend backend, bool smoke) {
+  VectorBackendScope scope(backend);
+  Rng rng(3);
+  std::vector<float> y(dim), a(dim), b(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    y[i] = static_cast<float>(rng.normal());
+    a[i] = static_cast<float>(rng.normal());
+    b[i] = static_cast<float>(rng.normal());
+  }
+  const double bytes = spec.bytes_per_element * static_cast<double>(dim);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 3; ++i) sink = sink + run_kernel(spec.name, y, a, b);
+  // Calibrate repetitions off a short pilot to ~80 ms per trial.
+  const auto p0 = Clock::now();
+  for (int i = 0; i < 4; ++i) sink = sink + run_kernel(spec.name, y, a, b);
+  const double per_call = seconds_since(p0) / 4.0;
+  const std::size_t reps =
+      smoke ? 4
+            : std::max<std::size_t>(
+                  8, static_cast<std::size_t>(0.08 / std::max(per_call, 1e-9)));
+  const int trials = smoke ? 1 : 3;
+  double best = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < reps; ++i)
+      sink = sink + run_kernel(spec.name, y, a, b);
+    const double secs = seconds_since(t0);
+    if (t == 0 || secs < best) best = secs;
+  }
+  benchmark::DoNotOptimize(sink);
+  return bytes * static_cast<double>(reps) / best / 1e9;
+}
+
+/// One full server round — K encoded uploads decoded, screened, adaptively
+/// weighted and mixed into the global model — against a live ServerCore, so
+/// the measured path is exactly the production data plane of DESIGN.md §13.
+struct RoundHarness {
+  std::size_t k, dim;
+  RunConfig config;
+  ScreenedStrategy strategy;
+  ServerCore core;
+  std::unique_ptr<compress::Codec> encoder;
+  std::vector<ModelVector> trained;
+  std::vector<compress::CompressedUpdate> encoded;
+  ModelVector base;
+
+  static RunConfig make_config(std::size_t k) {
+    RunConfig c;
+    c.mode = FlMode::kSemiAsync;
+    c.buffer_size = k;
+    c.concurrency = k;
+    c.local_epochs = 5;
+    c.stop_at_target = false;
+    c.compression = int8_config();
+    return c;
+  }
+
+  static ScreeningConfig make_screening() {
+    ScreeningConfig s;
+    s.clip_multiple = 3.0;
+    s.min_cosine = -0.9;  // clip is live, rejection is rare: K stays constant
+    return s;
+  }
+
+  RoundHarness(std::size_t k_, std::size_t dim_)
+      : k(k_),
+        dim(dim_),
+        config(make_config(k_)),
+        strategy(std::make_unique<SeaflStrategy>(SeaflConfig{}),
+                 make_screening()),
+        core(&strategy, config),
+        encoder(compress::make_codec(config.compression)),
+        trained(k_),
+        encoded(k_) {
+    core.begin(ModelVector(dim, 0.1f), /*num_clients=*/k);
+    // Pre-reserve the only per-round append so the steady state is exactly
+    // allocation-free.
+    core.result().round_log.reserve(256);
+    Rng rng(5);
+    for (auto& w : trained) {
+      w.resize(dim);
+      for (auto& v : w) v = 0.1f + 0.01f * static_cast<float>(rng.normal());
+    }
+  }
+
+  /// Client side (not part of the measured server plane): re-encode every
+  /// update against the current global model.
+  void encode_round() {
+    base.assign(core.global().begin(), core.global().end());
+    for (std::size_t i = 0; i < k; ++i) {
+      encoded[i] = encoder->encode(trained[i], base, nullptr, i, core.round(),
+                                   config.seed);
+    }
+  }
+
+  /// Server side: decode + buffer K uploads, then aggregate. Returns the
+  /// exact heap allocations the server work performed.
+  std::uint64_t server_round() {
+    static const std::vector<std::uint64_t> kNoInFlight;
+    const double now = static_cast<double>(core.round() + 1);
+    const std::uint64_t before = seafl::bench::g_heap_allocs.load();
+    for (std::size_t i = 0; i < k; ++i) {
+      LocalUpdate u;
+      u.client = i;
+      u.base_round = core.round();
+      u.num_samples = 50 + i;
+      u.epochs_completed = 5;
+      core.add_encoded_update(std::move(u), encoded[i], base, nullptr);
+    }
+    core.try_aggregate(now, kNoInFlight, nullptr);
+    return seafl::bench::g_heap_allocs.load() - before;
+  }
+};
+
+struct RoundNumbers {
+  double rounds_per_sec = 0.0;
+  std::uint64_t max_allocs_per_round = 0;
+};
+
+RoundNumbers measure_rounds(RoundHarness& h, VectorBackend backend,
+                            int rounds) {
+  VectorBackendScope scope(backend);
+  for (int i = 0; i < 3; ++i) {  // warmup: grow every buffer/slot once
+    h.encode_round();
+    h.server_round();
+  }
+  RoundNumbers out;
+  double secs = 0.0;
+  for (int i = 0; i < rounds; ++i) {
+    h.encode_round();
+    const auto t0 = Clock::now();
+    const std::uint64_t allocs = h.server_round();
+    secs += seconds_since(t0);
+    out.max_allocs_per_round = std::max(out.max_allocs_per_round, allocs);
+  }
+  out.rounds_per_sec = rounds / secs;
+  return out;
+}
+
+bool under_sanitizers() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+/// Writes BENCH_agg.json. Returns false when the arena-on allocation gate
+/// fails (nonzero heap allocations in a steady-state round).
+bool write_agg_json(const std::string& path, bool smoke) {
+  SerialKernelScope serial;  // single-thread: kernel numbers, not pool fan-out
+  std::ofstream out(path);
+  out << "{\n  \"host_simd\": \""
+      << (simd_vector_available() ? "avx2" : "none") << "\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"kernel_gbs\": {\n";
+
+  const std::vector<std::size_t> dims =
+      smoke ? std::vector<std::size_t>{1 << 16}
+            : std::vector<std::size_t>{1 << 16, 1 << 20};
+  bool first = true;
+  for (const KernelSpec& spec : kKernels) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    \"" << spec.name << "\": {";
+    bool first_dim = true;
+    for (const std::size_t dim : dims) {
+      const double scalar =
+          kernel_gbs(spec, dim, VectorBackend::kScalar, smoke);
+      const double simd = kernel_gbs(spec, dim, VectorBackend::kSimd, smoke);
+      if (!first_dim) out << ", ";
+      first_dim = false;
+      out << "\"" << dim << "\": {\"scalar\": " << scalar
+          << ", \"simd\": " << simd << ", \"speedup\": " << simd / scalar
+          << ", \"reduction\": " << (spec.reduction ? "true" : "false")
+          << "}";
+    }
+    out << "}";
+  }
+
+  const std::size_t k = 10;
+  const std::size_t dim = smoke ? (1 << 14) : (1 << 16);
+  const int rounds = smoke ? 4 : 10;
+  RoundHarness harness(k, dim);
+  const RoundNumbers scalar =
+      measure_rounds(harness, VectorBackend::kScalar, rounds);
+  const RoundNumbers simd =
+      measure_rounds(harness, VectorBackend::kSimd, rounds);
+
+  // The "before" number: same plane with the arena disabled, so every slot
+  // and decode buffer goes back to per-call heap allocation.
+  Workspace::set_enabled(false);
+  const RoundNumbers arena_off =
+      measure_rounds(harness, VectorBackend::kSimd, rounds);
+  Workspace::set_enabled(true);
+
+  const std::uint64_t arena_on_allocs =
+      std::max(scalar.max_allocs_per_round, simd.max_allocs_per_round);
+  out << "\n  },\n  \"aggregation_round\": {\n"
+      << "    \"buffer_k\": " << k << ", \"dim\": " << dim
+      << ", \"codec\": \"int8\", \"screening\": true,\n"
+      << "    \"rounds_per_sec\": {\"scalar\": " << scalar.rounds_per_sec
+      << ", \"simd\": " << simd.rounds_per_sec
+      << ", \"speedup\": " << simd.rounds_per_sec / scalar.rounds_per_sec
+      << "},\n"
+      << "    \"allocs_per_round\": {\"arena_off\": "
+      << arena_off.max_allocs_per_round
+      << ", \"arena_on\": " << arena_on_allocs << "}\n  }\n}\n";
+
+  if (arena_on_allocs != 0 && !under_sanitizers()) {
+    std::fprintf(stderr,
+                 "FAIL: %llu heap allocation(s) in a steady-state "
+                 "aggregation round (expected 0)\n",
+                 static_cast<unsigned long long>(arena_on_allocs));
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+
+  // Strip --seafl_* flags before google-benchmark sees argv.
+  int out_argc = 0;
+  std::vector<char*> out_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seafl_json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--seafl_json="));
+    } else if (arg == "--seafl_smoke") {
+      smoke = true;
+    } else {
+      out_argv.push_back(argv[i]);
+      ++out_argc;
+    }
+  }
+
+  if (!json_path.empty()) {
+    const bool ok = write_agg_json(json_path, smoke);
+    std::printf("wrote %s\n", json_path.c_str());
+    return ok ? 0 : 1;
+  }
+
+  benchmark::Initialize(&out_argc, out_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(out_argc, out_argv.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/presets.h"
@@ -37,54 +38,14 @@
 #include "tensor/ops.h"
 #include "tensor/workspace.h"
 
-// ---------------------------------------------------------------------------
-// Global allocation counter: every operator new in the process ticks it, so
-// "allocations per training step" is exact, not sampled.
+// Global allocation counter (bench_common.h): every operator new in the
+// process ticks seafl::bench::g_heap_allocs, so "allocations per training
+// step" is exact, not sampled.
+SEAFL_BENCH_DEFINE_ALLOC_HOOK();
 
 namespace {
-std::atomic<std::uint64_t> g_heap_allocs{0};
-}  // namespace
 
-void* operator new(std::size_t n) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n ? n : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t n) { return ::operator new(n); }
-void* operator new(std::size_t n, std::align_val_t al) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  const std::size_t a = static_cast<std::size_t>(al);
-  const std::size_t rounded = (n + a - 1) / a * a;
-  if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t n, std::align_val_t al) {
-  return ::operator new(n, al);
-}
-// GCC flags free() on pointers it thinks came from the *default* operator
-// new; with every replacement operator malloc/free-based the pairing is
-// correct, so silence the false positive at the definitions.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-#endif
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
-namespace {
+using seafl::bench::g_heap_allocs;
 
 using namespace seafl;
 using Clock = std::chrono::steady_clock;

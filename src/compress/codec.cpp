@@ -7,6 +7,8 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "compress/codec_simd.h"
+#include "tensor/ops.h"
 
 namespace seafl::compress {
 namespace {
@@ -194,9 +196,9 @@ class QuantizeCodec final : public Codec {
     const std::uint64_t bits = config_.bits;
     const std::int64_t half = grid_half(bits);
 
-    double max_abs = 0.0;
-    for (const float v : input)
-      max_abs = std::max(max_abs, std::fabs(static_cast<double>(v)));
+    // max over doubles-of-floats == double-of(max over floats), so the
+    // dispatched kernel reproduces the old double-accumulation scan bitwise.
+    const double max_mag = seafl::max_abs(input);
 
     CompressedUpdate out;
     out.codec = CodecKind::kQuantize;
@@ -204,17 +206,27 @@ class QuantizeCodec final : public Codec {
     out.dim = dim;
     out.k = dim;
     out.payload.reserve(packed_bytes(dim, bits));
-    if (max_abs > 0.0) {
-      const double step = max_abs / static_cast<double>(half);
+    if (max_mag > 0.0) {
+      const double step = max_mag / static_cast<double>(half);
       out.scale = static_cast<float>(step);
       Rng rng(seed, RngPurpose::kCompress, client, round);
-      BitWriter writer(out.payload);
-      for (std::size_t i = 0; i < dim; ++i) {
-        const std::int64_t q = stochastic_level(input[i], step, half, rng);
-        writer.push(static_cast<std::uint32_t>(q + half),
-                    static_cast<std::uint32_t>(bits));
+      if (bits == 8) {
+        // One byte per element: route through the q8 kernel (scalar or AVX2
+        // per the ops vector backend), bitwise-equal to the BitWriter path
+        // by construction.
+        out.payload.resize(dim);
+        detail::active_q8_encode()(
+            input.data(), dim, step, half, rng,
+            reinterpret_cast<unsigned char*>(out.payload.data()));
+      } else {
+        BitWriter writer(out.payload);
+        for (std::size_t i = 0; i < dim; ++i) {
+          const std::int64_t q = stochastic_level(input[i], step, half, rng);
+          writer.push(static_cast<std::uint32_t>(q + half),
+                      static_cast<std::uint32_t>(bits));
+        }
+        writer.flush();
       }
-      writer.flush();
     } else {
       // All-zero input: keep the size contract (payload length is a pure
       // function of dim) with a zero scale that decodes to a zero delta.
@@ -233,24 +245,34 @@ class QuantizeCodec final : public Codec {
     return out;
   }
 
-  std::vector<float> decode(const CompressedUpdate& update,
-                            const std::vector<float>& base) const override {
+  void decode_into(const CompressedUpdate& update,
+                   const std::vector<float>& base,
+                   std::vector<float>& out) const override {
     SEAFL_CHECK(update.dim == base.size(),
                 "compressed update dim " << update.dim
                                          << " != base dim " << base.size());
-    std::vector<float> weights = decode_delta(update);
-    for (std::size_t i = 0; i < weights.size(); ++i) weights[i] += base[i];
-    return weights;
+    decode_delta_into(update, out);
+    add_inplace(out, base);
   }
 
-  /// Shared reconstruction of the dense delta (used by decode and by the
-  /// encoder's residual update).
-  static std::vector<float> decode_delta(const CompressedUpdate& update) {
+  /// Shared reconstruction of the dense delta (used by decode_into and by
+  /// the encoder's residual update). Every element of `delta` is written.
+  static void decode_delta_into(const CompressedUpdate& update,
+                                std::vector<float>& delta) {
     const auto dim = static_cast<std::size_t>(update.dim);
-    std::vector<float> delta(dim, 0.0f);
-    if (update.scale == 0.0f) return delta;
+    delta.resize(dim);
+    if (update.scale == 0.0f) {
+      std::fill(delta.begin(), delta.end(), 0.0f);
+      return;
+    }
     const std::int64_t half = grid_half(update.bits);
     const double step = static_cast<double>(update.scale);
+    if (update.bits == 8) {
+      detail::active_q8_decode()(
+          reinterpret_cast<const unsigned char*>(update.payload.data()), dim,
+          step, half, delta.data());
+      return;
+    }
     BitReader reader(
         reinterpret_cast<const unsigned char*>(update.payload.data()),
         update.payload.size());
@@ -259,6 +281,11 @@ class QuantizeCodec final : public Codec {
           static_cast<std::int64_t>(reader.pull(update.bits)) - half;
       delta[i] = static_cast<float>(static_cast<double>(q) * step);
     }
+  }
+
+  static std::vector<float> decode_delta(const CompressedUpdate& update) {
+    std::vector<float> delta;
+    decode_delta_into(update, delta);
     return delta;
   }
 
@@ -346,23 +373,24 @@ class TopKCodec final : public Codec {
     return out;
   }
 
-  std::vector<float> decode(const CompressedUpdate& update,
-                            const std::vector<float>& base) const override {
+  void decode_into(const CompressedUpdate& update,
+                   const std::vector<float>& base,
+                   std::vector<float>& out) const override {
     SEAFL_CHECK(update.dim == base.size(),
                 "compressed update dim " << update.dim
                                          << " != base dim " << base.size());
-    std::vector<float> weights = decode_delta(update);
-    for (std::size_t i = 0; i < weights.size(); ++i) weights[i] += base[i];
-    return weights;
+    decode_delta_into(update, out);
+    add_inplace(out, base);
   }
 
   /// Dense delta from the sparse payload. Index bounds come off the wire in
   /// deployment, so they are checked with a throwing SEAFL_CHECK — the
   /// server catches and drops the peer instead of crashing.
-  static std::vector<float> decode_delta(const CompressedUpdate& update) {
+  static void decode_delta_into(const CompressedUpdate& update,
+                                std::vector<float>& delta) {
     const auto dim = static_cast<std::size_t>(update.dim);
     const auto k = static_cast<std::size_t>(update.k);
-    std::vector<float> delta(dim, 0.0f);
+    delta.assign(dim, 0.0f);
     const auto* bytes =
         reinterpret_cast<const unsigned char*>(update.payload.data());
     const unsigned char* values = bytes + k * 4;
@@ -381,6 +409,11 @@ class TopKCodec final : public Codec {
         delta[idx] = static_cast<float>(static_cast<double>(q) * step);
       }
     }
+  }
+
+  static std::vector<float> decode_delta(const CompressedUpdate& update) {
+    std::vector<float> delta;
+    decode_delta_into(update, delta);
     return delta;
   }
 
@@ -420,17 +453,17 @@ class IdentityCodec final : public Codec {
     return out;
   }
 
-  std::vector<float> decode(const CompressedUpdate& update,
-                            const std::vector<float>& base) const override {
+  void decode_into(const CompressedUpdate& update,
+                   const std::vector<float>& base,
+                   std::vector<float>& out) const override {
     SEAFL_CHECK(update.dim == base.size(),
                 "compressed update dim " << update.dim
                                          << " != base dim " << base.size());
     const auto dim = static_cast<std::size_t>(update.dim);
-    std::vector<float> weights(dim);
+    out.resize(dim);
     const auto* bytes =
         reinterpret_cast<const unsigned char*>(update.payload.data());
-    for (std::size_t i = 0; i < dim; ++i) weights[i] = load_f32(bytes + i * 4);
-    return weights;
+    for (std::size_t i = 0; i < dim; ++i) out[i] = load_f32(bytes + i * 4);
   }
 };
 

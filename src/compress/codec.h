@@ -136,8 +136,20 @@ class Codec {
   /// Reconstructs absolute weights: base + decoded delta (identity ignores
   /// `base` and returns the stored weights bitwise). Throws seafl::Error on
   /// a payload whose indices or dimensions are inconsistent.
-  virtual std::vector<float> decode(const CompressedUpdate& update,
-                                    const std::vector<float>& base) const = 0;
+  std::vector<float> decode(const CompressedUpdate& update,
+                            const std::vector<float>& base) const {
+    std::vector<float> out;
+    decode_into(update, base, out);
+    return out;
+  }
+
+  /// Allocation-aware decode: writes the reconstructed weights into `out`,
+  /// resized to dim with capacity reused — the server's hot path recycles
+  /// one buffer per buffered update this way. Same validation and errors as
+  /// decode(); `out` holds unspecified contents if the payload throws.
+  virtual void decode_into(const CompressedUpdate& update,
+                           const std::vector<float>& base,
+                           std::vector<float>& out) const = 0;
 };
 
 /// Builds the codec `config` selects (validates first).

@@ -1,0 +1,145 @@
+// AVX2 fast paths for the 8-bit quantize codec — the only wire width whose
+// inner loops are a flat byte per element and wide enough to pay for SIMD.
+// Both kernels are bitwise-equal to codec.cpp's BitWriter/BitReader path by
+// construction: every intermediate is the same double-precision value, the
+// stochastic-rounding stream is consumed in the same element order, and the
+// quantized level is a small exact integer (|level| <= half <= 127) so no
+// vector conversion can round (DESIGN.md §17).
+#include "compress/codec_simd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SEAFL_CODEC_HAVE_X86_DISPATCH 1
+#include <immintrin.h>
+#else
+#define SEAFL_CODEC_HAVE_X86_DISPATCH 0
+#endif
+
+namespace seafl::compress::detail {
+namespace {
+
+// Must stay arithmetic-identical to codec.cpp's stochastic_level: one
+// uniform draw per call, always consumed.
+inline std::int64_t q8_level(double value, double step, std::int64_t half,
+                             Rng& rng) {
+  const double u = rng.uniform();
+  const double x = value / step;
+  const double lo = std::floor(x);
+  const std::int64_t q = static_cast<std::int64_t>(lo) + (u < (x - lo) ? 1 : 0);
+  return std::clamp<std::int64_t>(q, -half, half);
+}
+
+void q8_encode_scalar(const float* input, std::size_t n, double step,
+                      std::int64_t half, Rng& rng, unsigned char* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] =
+        static_cast<unsigned char>(q8_level(input[i], step, half, rng) + half);
+  }
+}
+
+void q8_decode_scalar(const unsigned char* levels, std::size_t n, double step,
+                      std::int64_t half, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t q = static_cast<std::int64_t>(levels[i]) - half;
+    out[i] = static_cast<float>(static_cast<double>(q) * step);
+  }
+}
+
+#if SEAFL_CODEC_HAVE_X86_DISPATCH
+
+// 4-wide (the width of _mm256_cvtpd_epi32): uniforms are drawn scalar, in
+// element order, before the vector step. |x| <= half because step is
+// max|input| / half, so lo, q and q + half are all exact small integers in
+// double — floor/compare/clamp in vector registers reproduce the scalar
+// int64 arithmetic exactly.
+__attribute__((target("avx2"))) void q8_encode_avx2(const float* input,
+                                                    std::size_t n, double step,
+                                                    std::int64_t half,
+                                                    Rng& rng,
+                                                    unsigned char* out) {
+  const __m256d step_v = _mm256_set1_pd(step);
+  const __m256d one_v = _mm256_set1_pd(1.0);
+  const __m256d half_v = _mm256_set1_pd(static_cast<double>(half));
+  const __m256d neg_half_v = _mm256_set1_pd(-static_cast<double>(half));
+  alignas(32) double u[4];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    u[0] = rng.uniform();
+    u[1] = rng.uniform();
+    u[2] = rng.uniform();
+    u[3] = rng.uniform();
+    const __m256d uv = _mm256_load_pd(u);
+    const __m256d x =
+        _mm256_div_pd(_mm256_cvtps_pd(_mm_loadu_ps(input + i)), step_v);
+    const __m256d lo = _mm256_floor_pd(x);
+    const __m256d bump = _mm256_and_pd(
+        _mm256_cmp_pd(uv, _mm256_sub_pd(x, lo), _CMP_LT_OQ), one_v);
+    __m256d q = _mm256_add_pd(lo, bump);
+    q = _mm256_min_pd(_mm256_max_pd(q, neg_half_v), half_v);
+    const __m128i lanes = _mm256_cvtpd_epi32(_mm256_add_pd(q, half_v));
+    const __m128i packed16 = _mm_packus_epi32(lanes, lanes);
+    const __m128i packed8 = _mm_packus_epi16(packed16, packed16);
+    const int word = _mm_cvtsi128_si32(packed8);
+    std::memcpy(out + i, &word, 4);
+  }
+  for (; i < n; ++i) {
+    out[i] =
+        static_cast<unsigned char>(q8_level(input[i], step, half, rng) + half);
+  }
+}
+
+// 8-wide: bytes -> int32 lanes -> two double halves -> (q - half) * step,
+// narrowed to float with the same round-to-nearest the scalar cast uses.
+__attribute__((target("avx2"))) void q8_decode_avx2(
+    const unsigned char* levels, std::size_t n, double step, std::int64_t half,
+    float* out) {
+  const __m256d step_v = _mm256_set1_pd(step);
+  const __m256d half_v = _mm256_set1_pd(static_cast<double>(half));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128i bytes;
+    std::memcpy(&bytes, levels + i, 8);
+    const __m256i lanes32 = _mm256_cvtepu8_epi32(bytes);
+    const __m256d lo = _mm256_sub_pd(
+        _mm256_cvtepi32_pd(_mm256_castsi256_si128(lanes32)), half_v);
+    const __m256d hi = _mm256_sub_pd(
+        _mm256_cvtepi32_pd(_mm256_extracti128_si256(lanes32, 1)), half_v);
+    const __m128 f0 = _mm256_cvtpd_ps(_mm256_mul_pd(lo, step_v));
+    const __m128 f1 = _mm256_cvtpd_ps(_mm256_mul_pd(hi, step_v));
+    _mm256_storeu_ps(out + i, _mm256_set_m128(f1, f0));
+  }
+  for (; i < n; ++i) {
+    const std::int64_t q = static_cast<std::int64_t>(levels[i]) - half;
+    out[i] = static_cast<float>(static_cast<double>(q) * step);
+  }
+}
+
+#endif  // SEAFL_CODEC_HAVE_X86_DISPATCH
+
+bool simd_selected() {
+  return vector_backend() == VectorBackend::kSimd && simd_vector_available();
+}
+
+}  // namespace
+
+Q8EncodeFn active_q8_encode() {
+#if SEAFL_CODEC_HAVE_X86_DISPATCH
+  if (simd_selected()) return q8_encode_avx2;
+#endif
+  return q8_encode_scalar;
+}
+
+Q8DecodeFn active_q8_decode() {
+#if SEAFL_CODEC_HAVE_X86_DISPATCH
+  if (simd_selected()) return q8_decode_avx2;
+#endif
+  return q8_decode_scalar;
+}
+
+}  // namespace seafl::compress::detail

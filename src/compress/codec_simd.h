@@ -1,0 +1,34 @@
+// q8 kernel dispatch for the quantize codec's bits == 8 wire format (one
+// byte per element). Internal to src/compress: codec.cpp routes its encode
+// and decode inner loops through these when the element width allows a flat
+// byte layout; every other width stays on the BitWriter/BitReader path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace seafl {
+class Rng;
+}
+
+namespace seafl::compress::detail {
+
+/// Quantizes n floats to bytes: out[i] = stochastic_level(input[i]) + half,
+/// consuming exactly one rng.uniform() per element in index order (the
+/// stream position stays a pure function of the element index, so scalar
+/// and SIMD kernels draw identical noise).
+using Q8EncodeFn = void (*)(const float* input, std::size_t n, double step,
+                            std::int64_t half, Rng& rng, unsigned char* out);
+
+/// Dequantizes n bytes: out[i] = float((levels[i] - half) * step).
+using Q8DecodeFn = void (*)(const unsigned char* levels, std::size_t n,
+                            double step, std::int64_t half, float* out);
+
+/// Resolved per call against the ops vector backend (seafl::vector_backend):
+/// the AVX2 kernels when the backend is kSimd on an AVX2 host, else the
+/// scalar reference. Both produce identical bytes/floats by construction —
+/// every intermediate is the same double-precision value.
+Q8EncodeFn active_q8_encode();
+Q8DecodeFn active_q8_decode();
+
+}  // namespace seafl::compress::detail

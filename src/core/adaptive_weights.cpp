@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/workspace.h"
+
 namespace seafl {
 
 double importance_similarity(std::span<const float> client_weights,
@@ -11,13 +13,14 @@ double importance_similarity(std::span<const float> client_weights,
               "client/global dimension mismatch");
   SEAFL_CHECK(!client_weights.empty(), "empty weight vectors");
 
-  std::vector<float> delta_storage;
   std::span<const float> lhs = client_weights;
   if (input == ImportanceInput::kDelta) {
-    delta_storage.resize(client_weights.size());
-    for (std::size_t i = 0; i < client_weights.size(); ++i)
-      delta_storage[i] = client_weights[i] - global_weights[i];
-    lhs = delta_storage;
+    // Arena scratch: valid until the next kImportanceDelta acquisition, and
+    // consumed immediately by the similarity below.
+    const std::span<float> delta = Workspace::tls().floats(
+        WsSlot::kImportanceDelta, client_weights.size());
+    sub_to(delta, client_weights, global_weights);
+    lhs = delta;
   }
 
   switch (kind) {
@@ -39,6 +42,15 @@ double importance_similarity(std::span<const float> client_weights,
 std::vector<WeightBreakdown> compute_adaptive_weights(
     const AdaptiveWeightConfig& config, const AggregationContext& ctx,
     std::span<const LocalUpdate> buffer) {
+  std::vector<WeightBreakdown> out;
+  compute_adaptive_weights_into(config, ctx, buffer, out);
+  return out;
+}
+
+void compute_adaptive_weights_into(const AdaptiveWeightConfig& config,
+                                   const AggregationContext& ctx,
+                                   std::span<const LocalUpdate> buffer,
+                                   std::vector<WeightBreakdown>& out) {
   SEAFL_CHECK(!buffer.empty(), "empty update buffer");
   SEAFL_CHECK(ctx.global != nullptr, "null global model in context");
   SEAFL_CHECK(ctx.total_samples > 0, "zero total samples");
@@ -47,8 +59,10 @@ std::vector<WeightBreakdown> compute_adaptive_weights(
   SEAFL_CHECK(config.alpha + config.mu > 0.0,
               "alpha and mu cannot both be zero");
 
-  std::vector<WeightBreakdown> out(buffer.size());
-  std::vector<double> weights(buffer.size());
+  out.clear();
+  out.resize(buffer.size());
+  const std::span<double> weights =
+      Workspace::tls().doubles(WsDSlot::kWeightScratch, buffer.size());
   for (std::size_t i = 0; i < buffer.size(); ++i) {
     const LocalUpdate& u = buffer[i];
     WeightBreakdown& b = out[i];
@@ -67,7 +81,6 @@ std::vector<WeightBreakdown> compute_adaptive_weights(
   }
   if (config.normalize) normalize_weights(weights);
   for (std::size_t i = 0; i < buffer.size(); ++i) out[i].weight = weights[i];
-  return out;
 }
 
 }  // namespace seafl

@@ -47,4 +47,12 @@ std::vector<WeightBreakdown> compute_adaptive_weights(
     const AdaptiveWeightConfig& config, const AggregationContext& ctx,
     std::span<const LocalUpdate> buffer);
 
+/// Allocation-free core of compute_adaptive_weights: refills `out` (capacity
+/// reused) and stages the normalization weight vector in the workspace arena
+/// (WsDSlot::kWeightScratch) instead of a per-call vector.
+void compute_adaptive_weights_into(const AdaptiveWeightConfig& config,
+                                   const AggregationContext& ctx,
+                                   std::span<const LocalUpdate> buffer,
+                                   std::vector<WeightBreakdown>& out);
+
 }  // namespace seafl

@@ -5,13 +5,14 @@
 
 #include "common/error.h"
 #include "tensor/ops.h"
+#include "tensor/workspace.h"
 
 namespace seafl {
 
 namespace {
 
-/// Median of a small vector (copy by value; buffers are K-sized).
-double median(std::vector<double> values) {
+/// Median of a small span (clobbers it; buffers are K-sized).
+double median_inplace(std::span<double> values) {
   SEAFL_CHECK(!values.empty(), "median of empty vector");
   const std::size_t mid = values.size() / 2;
   std::nth_element(values.begin(), values.begin() + mid, values.end());
@@ -30,54 +31,67 @@ ScreeningReport screen_updates(const ScreeningConfig& config,
                                const ModelVector& global,
                                std::vector<LocalUpdate>& buffer) {
   ScreeningReport report;
+  screen_updates_into(config, global, buffer, report);
+  return report;
+}
+
+void screen_updates_into(const ScreeningConfig& config,
+                         const ModelVector& global,
+                         std::span<LocalUpdate> buffer,
+                         ScreeningReport& report) {
+  report.entries.clear();
   report.entries.resize(buffer.size());
   for (std::size_t i = 0; i < buffer.size(); ++i)
     report.entries[i].client = buffer[i].client;
-  if (!config.enabled() || buffer.size() < config.min_buffer) return report;
+  if (!config.enabled() || buffer.size() < config.min_buffer) return;
 
   const std::size_t dim = global.size();
-  // Deltas w_k - w_g and their norms.
-  std::vector<std::vector<float>> deltas(buffer.size());
-  std::vector<double> norms(buffer.size());
+  Workspace& ws = Workspace::tls();
+  // Deltas w_k - w_g (flat K x dim) and their norms, staged in the arena.
+  std::span<float> deltas = ws.floats(WsSlot::kScreenDeltas,
+                                      buffer.size() * dim);
+  std::span<double> norms = ws.doubles(WsDSlot::kScreenNorms, buffer.size());
   for (std::size_t i = 0; i < buffer.size(); ++i) {
     SEAFL_CHECK(buffer[i].weights.size() == dim,
                 "screening: update dimension mismatch");
-    auto& d = deltas[i];
-    d.resize(dim);
-    for (std::size_t j = 0; j < dim; ++j)
-      d[j] = buffer[i].weights[j] - global[j];
+    const std::span<float> d = deltas.subspan(i * dim, dim);
+    sub_to(d, buffer[i].weights, global);
     norms[i] = l2_norm(d);
     report.entries[i].delta_norm = norms[i];
   }
 
   // Step 1 — norm clipping against the scale-free median bound.
   if (config.clip_multiple > 0.0) {
-    const double bound = config.clip_multiple * median(norms);
+    // nth_element clobbers its input, so the median runs on a scratch copy
+    // (kScreenScratch, not kOpsPartials — l2_norm below may hold that slot).
+    std::span<double> scratch =
+        ws.doubles(WsDSlot::kScreenScratch, buffer.size());
+    std::copy(norms.begin(), norms.end(), scratch.begin());
+    const double bound = config.clip_multiple * median_inplace(scratch);
     for (std::size_t i = 0; i < buffer.size(); ++i) {
       if (norms[i] <= bound || norms[i] == 0.0) continue;
       const auto scale = static_cast<float>(bound / norms[i]);
-      for (std::size_t j = 0; j < dim; ++j) {
-        deltas[i][j] *= scale;
-        buffer[i].weights[j] = global[j] + deltas[i][j];
-      }
+      const std::span<float> d = deltas.subspan(i * dim, dim);
+      scale_inplace(d, scale);
+      add_to(buffer[i].weights, global, d);
       report.entries[i].clipped = true;
     }
   }
 
   // Step 2 — cosine rejection against the buffer's mean clipped delta.
   if (config.min_cosine > -1.0) {
-    std::vector<float> mean(dim, 0.0f);
-    for (const auto& d : deltas)
-      for (std::size_t j = 0; j < dim; ++j) mean[j] += d[j];
-    const auto inv = static_cast<float>(1.0 / buffer.size());
-    for (std::size_t j = 0; j < dim; ++j) mean[j] *= inv;
+    std::span<float> mean = ws.floats(WsSlot::kScreenMean, dim);
+    std::fill(mean.begin(), mean.end(), 0.0f);
+    for (std::size_t i = 0; i < buffer.size(); ++i)
+      add_inplace(mean, deltas.subspan(i * dim, dim));
+    scale_inplace(mean, static_cast<float>(1.0 / buffer.size()));
     for (std::size_t i = 0; i < buffer.size(); ++i) {
-      const double cos = cosine_similarity(deltas[i], mean);
+      const double cos =
+          cosine_similarity(deltas.subspan(i * dim, dim), mean);
       report.entries[i].cosine = cos;
       if (cos < config.min_cosine) report.entries[i].rejected = true;
     }
   }
-  return report;
 }
 
 ScreenedStrategy::ScreenedStrategy(StrategyPtr inner, ScreeningConfig config)
@@ -94,21 +108,29 @@ void ScreenedStrategy::aggregate(const AggregationContext& ctx,
                                  ModelVector& global_out) {
   SEAFL_CHECK(ctx.global != nullptr, "null global model in context");
   // screen_updates rewrites clipped weights, so work on an owned copy.
-  std::vector<LocalUpdate> screened(buffer.begin(), buffer.end());
-  last_report_ = screen_updates(config_, *ctx.global, screened);
+  // Element-wise copy assignment into the member reuses each update's weight
+  // storage at constant K/dim.
+  screened_.assign(buffer.begin(), buffer.end());
+  screen_updates_into(config_, *ctx.global, screened_, last_report_);
   if (ctx.screening != nullptr) *ctx.screening = last_report_;
 
-  std::vector<LocalUpdate> kept;
-  kept.reserve(screened.size());
-  for (std::size_t i = 0; i < screened.size(); ++i)
-    if (!last_report_.entries[i].rejected)
-      kept.push_back(std::move(screened[i]));
-  if (kept.empty()) return;  // whole buffer quarantined: no-op round
+  // Compact the survivors to the front (swap keeps storage inside the
+  // member) and delegate that prefix.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < screened_.size(); ++i) {
+    if (last_report_.entries[i].rejected) continue;
+    if (i != kept) std::swap(screened_[kept], screened_[i]);
+    ++kept;
+  }
+  if (kept == 0) return;  // whole buffer quarantined: no-op round
 
   AggregationContext inner_ctx = ctx;
   inner_ctx.total_samples = 0;
-  for (const LocalUpdate& u : kept) inner_ctx.total_samples += u.num_samples;
-  inner_->aggregate(inner_ctx, kept, global_out);
+  for (std::size_t i = 0; i < kept; ++i)
+    inner_ctx.total_samples += screened_[i].num_samples;
+  inner_->aggregate(inner_ctx,
+                    std::span<const LocalUpdate>(screened_.data(), kept),
+                    global_out);
 }
 
 }  // namespace seafl

@@ -55,6 +55,16 @@ ScreeningReport screen_updates(const ScreeningConfig& config,
                                const ModelVector& global,
                                std::vector<LocalUpdate>& buffer);
 
+/// Allocation-free core of screen_updates: writes one entry per update into
+/// `report` (entries cleared and refilled, capacity reused) and stages the
+/// K x dim delta matrix, norms, and mean in the thread-local workspace arena
+/// (WsSlot::kScreenDeltas/kScreenMean, WsDSlot::kScreenNorms/kScreenScratch)
+/// instead of per-call vectors. Zero heap allocations at steady state.
+void screen_updates_into(const ScreeningConfig& config,
+                         const ModelVector& global,
+                         std::span<LocalUpdate> buffer,
+                         ScreeningReport& report);
+
 /// Decorator: screens the buffer, then delegates the surviving updates to
 /// the wrapped strategy with a consistently adjusted context. If screening
 /// rejects the whole buffer the global model is left unchanged (a no-op
@@ -85,6 +95,10 @@ class ScreenedStrategy : public AggregationStrategy {
   StrategyPtr inner_;
   ScreeningConfig config_;
   ScreeningReport last_report_;
+  /// Owned working copy of the round's buffer (clipping rewrites weights).
+  /// A member so element storage survives across rounds: at constant K and
+  /// dim, refilling it allocates nothing.
+  std::vector<LocalUpdate> screened_;
 };
 
 }  // namespace seafl

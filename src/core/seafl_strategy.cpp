@@ -1,7 +1,10 @@
 #include "core/seafl_strategy.h"
 
+#include <algorithm>
+
 #include "common/bytes.h"
 #include "tensor/ops.h"
+#include "tensor/workspace.h"
 
 namespace seafl {
 
@@ -14,13 +17,17 @@ SeaflStrategy::SeaflStrategy(SeaflConfig config) : config_(config) {
 void SeaflStrategy::aggregate(const AggregationContext& ctx,
                               std::span<const LocalUpdate> buffer,
                               ModelVector& global_out) {
-  last_breakdown_ = compute_adaptive_weights(config_.weights, ctx, buffer);
+  compute_adaptive_weights_into(config_.weights, ctx, buffer,
+                                last_breakdown_);
 
   // SEAFL^2 refinement: a partially trained model is closer to the global
   // model it started from; scaling its aggregation weight by the completed
   // epoch fraction keeps fast/slow contributions commensurate.
   if (config_.scale_partial_updates) {
-    std::vector<double> weights(buffer.size());
+    // Re-acquiring kWeightScratch here is safe: compute_adaptive_weights_into
+    // is done with it, and the values below are rebuilt from the breakdown.
+    const std::span<double> weights =
+        Workspace::tls().doubles(WsDSlot::kWeightScratch, buffer.size());
     bool any_partial = false;
     for (std::size_t i = 0; i < buffer.size(); ++i) {
       double scale = 1.0;
@@ -39,9 +46,12 @@ void SeaflStrategy::aggregate(const AggregationContext& ctx,
     }
   }
 
-  // Eq. 7: weighted average of the buffered models.
+  // Eq. 7: weighted average of the buffered models, accumulated in arena
+  // scratch (same additions in the same order as a fresh zeroed vector).
   const std::size_t dim = global_out.size();
-  ModelVector aggregate(dim, 0.0f);
+  const std::span<float> aggregate =
+      Workspace::tls().floats(WsSlot::kAggSum, dim);
+  std::fill(aggregate.begin(), aggregate.end(), 0.0f);
   for (std::size_t i = 0; i < buffer.size(); ++i) {
     SEAFL_CHECK(buffer[i].weights.size() == dim,
                 "update " << i << " dimension mismatch");

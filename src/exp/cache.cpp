@@ -32,7 +32,11 @@ namespace {
 // v7: RunResult gained the population-scale accounting (population +
 // sparse_participation) and TaskSpec the pool knob; the result JSON has two
 // more fields and the canonical config one more line.
-constexpr std::uint64_t kCacheVersion = 7;
+// v8: the span reduction kernels moved to the lane-strided partial-sum
+// contract (DESIGN.md §17) — dot/sum/l2_norm/cosine accumulate in a fixed
+// 8-lane order, changing the floating-point association, so cached curves
+// from older binaries differ in final ULPs from a fresh run.
+constexpr std::uint64_t kCacheVersion = 8;
 
 Json curve_to_json(const std::vector<AccuracyPoint>& curve) {
   JsonArray out;

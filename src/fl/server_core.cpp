@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "tensor/workspace.h"
 
 namespace seafl {
 
@@ -150,8 +151,12 @@ void ServerCore::add_encoded_update(LocalUpdate update,
   SEAFL_CHECK(codec_ != nullptr,
               "add_encoded_update without compression enabled");
   // Decode first: a malformed payload must throw before any accounting or
-  // buffering mutates the run (deployment catches and drops the peer).
-  update.weights = codec_->decode(encoded, base);
+  // buffering mutates the run (deployment catches and drops the peer; the
+  // by-value `update` is simply destroyed). The decode buffer is recycled
+  // through the workspace free list — do_aggregate released last round's
+  // update storage there, so steady-state rounds allocate nothing.
+  Workspace::tls().ensure_floats(update.weights, base.size());
+  codec_->decode_into(encoded, base, update.weights);
 
   const std::size_t wire = encoded.encoded_bytes();
   const std::size_t raw = compress::transfer_bytes(update.weights.size(), 0);
@@ -172,9 +177,14 @@ void ServerCore::count_upload_bytes(std::size_t wire_bytes,
                                     std::size_t raw_bytes) {
   result_.upload_wire_bytes += wire_bytes;
   result_.upload_raw_bytes += raw_bytes;
-  obs::Registry& reg = obs::Registry::global();
-  reg.counter("fl.compress.wire_bytes").add(wire_bytes);
-  reg.counter("fl.compress.raw_bytes").add(raw_bytes);
+  // Registry::counter takes a std::string (one heap alloc per call for these
+  // long names); the handles are stable, so look them up once per process.
+  static obs::Counter& wire_counter =
+      obs::Registry::global().counter("fl.compress.wire_bytes");
+  static obs::Counter& raw_counter =
+      obs::Registry::global().counter("fl.compress.raw_bytes");
+  wire_counter.add(wire_bytes);
+  raw_counter.add(raw_bytes);
 }
 
 AggregateOutcome ServerCore::try_aggregate(
@@ -254,7 +264,10 @@ void ServerCore::do_aggregate(double now, obs::TraceSink* trace,
   SEAFL_CHECK(!buffer_.empty(), "aggregate with empty buffer");
   const RunConfig& config = *config_;
 
-  ScreeningReport screening;
+  // Member scratch (capacity reused round over round). A non-screening
+  // strategy never touches it, so last round's entries must be dropped here.
+  ScreeningReport& screening = screening_scratch_;
+  screening.entries.clear();
   AggregationContext ctx;
   ctx.round = round_;
   ctx.global = &global_;
@@ -303,8 +316,14 @@ void ServerCore::do_aggregate(double now, obs::TraceSink* trace,
   // Remember the reporters before clearing: they receive the new model.
   // Quarantined clients restart too — their *updates* were rejected, but
   // idling the device would silently shrink concurrency.
-  outcome.reporters.reserve(buffer_.size());
-  for (const auto& u : buffer_) outcome.reporters.push_back(u.client);
+  reporters_scratch_.clear();
+  for (const auto& u : buffer_) reporters_scratch_.push_back(u.client);
+  outcome.reporters = reporters_scratch_;
+  // Donate the consumed updates' weight storage to the free list before the
+  // clear destroys them; add_encoded_update's decode draws from it next
+  // round. buffer_ itself keeps its element capacity across clear().
+  Workspace& ws = Workspace::tls();
+  for (auto& u : buffer_) ws.release_floats(std::move(u.weights));
   buffer_.clear();
 
   ++round_;

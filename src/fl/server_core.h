@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "compress/codec.h"
@@ -37,8 +38,9 @@ struct AggregateOutcome {
   bool stale_hold = false;
   /// Clients whose updates formed the new model, in buffer (arrival) order;
   /// the driver re-dispatches the fresh model to them. Empty unless
-  /// `aggregated`.
-  std::vector<std::size_t> reporters;
+  /// `aggregated`. Views the core's reusable scratch: valid until the next
+  /// try_aggregate on the same core (both drivers consume it immediately).
+  std::span<const std::size_t> reporters;
 };
 
 /// The server's aggregation brain, shared by fl::Simulation (virtual time)
@@ -130,6 +132,11 @@ class ServerCore {
   bool round_deadline_passed_ = false;
   RunResult result_;
   double staleness_sum_ = 0.0;
+  /// Round-scoped scratch, members so capacity survives across rounds: at a
+  /// constant buffer target the steady-state aggregate round allocates
+  /// nothing (pinned by bench/micro_aggregation's allocs-per-round gate).
+  ScreeningReport screening_scratch_;
+  std::vector<std::size_t> reporters_scratch_;
 };
 
 }  // namespace seafl

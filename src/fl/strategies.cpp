@@ -21,7 +21,7 @@ void normalize_weights(std::span<double> weights) {
   for (auto& w : weights) w /= total;
 }
 
-void mix_into_global(const ModelVector& aggregate, double vartheta,
+void mix_into_global(std::span<const float> aggregate, double vartheta,
                      ModelVector& global) {
   SEAFL_CHECK(vartheta > 0.0 && vartheta <= 1.0,
               "vartheta must be in (0, 1], got " << vartheta);

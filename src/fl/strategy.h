@@ -76,8 +76,9 @@ using StrategyPtr = std::unique_ptr<AggregationStrategy>;
 void normalize_weights(std::span<double> weights);
 
 /// global = (1 - vartheta) * global + vartheta * aggregate — Eq. 8's server
-/// mixing, shared by several strategies.
-void mix_into_global(const ModelVector& aggregate, double vartheta,
+/// mixing, shared by several strategies. Takes a span so callers can mix
+/// from arena scratch as well as owned vectors.
+void mix_into_global(std::span<const float> aggregate, double vartheta,
                      ModelVector& global);
 
 }  // namespace seafl

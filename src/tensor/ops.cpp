@@ -1,16 +1,30 @@
 #include "tensor/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <vector>
 
 #include "common/thread_pool.h"
+#include "tensor/ops_kernels.h"
+#include "tensor/workspace.h"
 
 namespace seafl {
 
 namespace {
 // Below this size the scheduling cost of parallel_for exceeds the work.
 constexpr std::size_t kParallelThreshold = 1 << 15;
+
+// Reduction block size. Partial sums are computed per fixed-size block and
+// combined in index order, so block boundaries depend only on input length.
+constexpr std::size_t kReduceBlock = 1 << 13;
+
+std::atomic<VectorBackend> g_vector_backend{VectorBackend::kSimd};
+
+const detail::OpsKernels& active_kernels() {
+  return vector_backend() == VectorBackend::kSimd
+             ? detail::simd_ops_kernels()
+             : detail::scalar_ops_kernels();
+}
 
 void check_same_size(std::span<const float> a, std::span<const float> b) {
   SEAFL_CHECK(a.size() == b.size(),
@@ -31,39 +45,168 @@ void chunked_apply(std::size_t n, Body&& body) {
   }
   parallel_for_chunked(0, n, std::forward<Body>(body));
 }
+
+// Deterministic blocked reduction: block_fn(blk) yields the partial for one
+// kReduceBlock-sized block; partials are folded in index order. Block
+// boundaries depend only on the input length — never on the worker count or
+// whether kernels run serially — so the result is bit-identical across any
+// pool size. The pooled path parks partials in the workspace arena
+// (WsDSlot::kOpsPartials): workers write disjoint indices and the
+// parallel_for barrier orders those writes before the fold.
+template <typename BlockFn>
+double blocked_reduce(std::size_t n, BlockFn&& block_fn) {
+  const std::size_t num_blocks = (n + kReduceBlock - 1) / kReduceBlock;
+  if (n < kParallelThreshold || serial_kernels_active()) {
+    double total = 0.0;
+    for (std::size_t blk = 0; blk < num_blocks; ++blk) total += block_fn(blk);
+    return total;
+  }
+  std::span<double> partials =
+      Workspace::tls().doubles(WsDSlot::kOpsPartials, num_blocks);
+  parallel_for(0, num_blocks,
+               [&](std::size_t blk) { partials[blk] = block_fn(blk); },
+               /*grain=*/1);
+  double total = 0.0;
+  for (std::size_t blk = 0; blk < num_blocks; ++blk) total += partials[blk];
+  return total;
+}
 }  // namespace
+
+// ---- portable kernel table --------------------------------------------------
+
+namespace detail {
+namespace {
+
+void add_scalar(float* y, const float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void sub_scalar(float* y, const float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] -= x[i];
+}
+
+void scale_scalar(float* y, float s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] *= s;
+}
+
+void axpy_scalar(float* y, float a, const float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void axpby_scalar(float* y, float a, const float* x, float b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = a * x[i] + b * y[i];
+}
+
+void add_to_scalar(float* out, const float* a, const float* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void sub_to_scalar(float* out, const float* a, const float* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+// Lane-strided reference order (ops_kernels.h): element at offset j accrues
+// to lane (j & 7); lanes fold sequentially at the end. The AVX2 table keeps
+// lanes 0..3 / 4..7 in two __m256d registers and lands on the same bits.
+double dot_block_scalar(const float* a, const float* b, std::size_t n) {
+  double lanes[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i)
+    lanes[i & 7] += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  double total = 0.0;
+  for (int l = 0; l < 8; ++l) total += lanes[l];
+  return total;
+}
+
+double sum_block_scalar(const float* a, std::size_t n) {
+  double lanes[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i)
+    lanes[i & 7] += static_cast<double>(a[i]);
+  double total = 0.0;
+  for (int l = 0; l < 8; ++l) total += lanes[l];
+  return total;
+}
+
+// Max is order-free, so no lane contract is needed; both tables ignore NaN
+// elements (std::max keeps the accumulator when the candidate is NaN, and
+// the AVX2 kernel places the candidate first so maxps returns the
+// accumulator on NaN).
+float max_abs_scalar(const float* a, std::size_t n) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(a[i]));
+  return m;
+}
+
+}  // namespace
+
+const OpsKernels& scalar_ops_kernels() {
+  static constexpr OpsKernels k = {
+      add_scalar,    sub_scalar,    scale_scalar,
+      axpy_scalar,   axpby_scalar,  add_to_scalar,
+      sub_to_scalar, dot_block_scalar, sum_block_scalar,
+      max_abs_scalar,
+  };
+  return k;
+}
+
+}  // namespace detail
+
+// ---- backend selection ------------------------------------------------------
+
+VectorBackend vector_backend() {
+  return g_vector_backend.load(std::memory_order_relaxed);
+}
+
+void set_vector_backend(VectorBackend backend) {
+  g_vector_backend.store(backend, std::memory_order_relaxed);
+}
+
+bool simd_vector_available() { return detail::ops_simd_available(); }
+
+const char* vector_backend_name() {
+  return (vector_backend() == VectorBackend::kSimd &&
+          detail::ops_simd_available())
+             ? "avx2"
+             : "scalar";
+}
+
+// ---- public kernels ---------------------------------------------------------
 
 void add_inplace(std::span<float> y, std::span<const float> x) {
   check_same_size(y, x);
+  const detail::OpsKernels& k = active_kernels();
   chunked_apply(y.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) y[i] += x[i];
+    k.add(y.data() + lo, x.data() + lo, hi - lo);
   });
 }
 
 void sub_inplace(std::span<float> y, std::span<const float> x) {
   check_same_size(y, x);
+  const detail::OpsKernels& k = active_kernels();
   chunked_apply(y.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) y[i] -= x[i];
+    k.sub(y.data() + lo, x.data() + lo, hi - lo);
   });
 }
 
 void scale_inplace(std::span<float> y, float s) {
+  const detail::OpsKernels& k = active_kernels();
   chunked_apply(y.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) y[i] *= s;
+    k.scale(y.data() + lo, s, hi - lo);
   });
 }
 
 void axpy(std::span<float> y, float a, std::span<const float> x) {
   check_same_size(y, x);
+  const detail::OpsKernels& k = active_kernels();
   chunked_apply(y.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) y[i] += a * x[i];
+    k.axpy(y.data() + lo, a, x.data() + lo, hi - lo);
   });
 }
 
 void axpby(std::span<float> y, float a, std::span<const float> x, float b) {
   check_same_size(y, x);
+  const detail::OpsKernels& k = active_kernels();
   chunked_apply(y.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) y[i] = a * x[i] + b * y[i];
+    k.axpby(y.data() + lo, a, x.data() + lo, b, hi - lo);
   });
 }
 
@@ -82,55 +225,45 @@ void relu_backward_inplace(std::span<float> dy, std::span<const float> x) {
   });
 }
 
+void add_to(std::span<float> out, std::span<const float> a,
+            std::span<const float> b) {
+  check_same_size(out, a);
+  check_same_size(a, b);
+  const detail::OpsKernels& k = active_kernels();
+  chunked_apply(out.size(), [&](std::size_t lo, std::size_t hi) {
+    k.add_to(out.data() + lo, a.data() + lo, b.data() + lo, hi - lo);
+  });
+}
+
+void sub_to(std::span<float> out, std::span<const float> a,
+            std::span<const float> b) {
+  check_same_size(out, a);
+  check_same_size(a, b);
+  const detail::OpsKernels& k = active_kernels();
+  chunked_apply(out.size(), [&](std::size_t lo, std::size_t hi) {
+    k.sub_to(out.data() + lo, a.data() + lo, b.data() + lo, hi - lo);
+  });
+}
+
 double dot(std::span<const float> a, std::span<const float> b) {
   check_same_size(a, b);
-  if (a.size() < kParallelThreshold) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-      acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-    return acc;
-  }
-  // Deterministic reduction: partial sums over *fixed-size* blocks combined
-  // in index order. Block boundaries depend only on the input length — never
-  // on the worker count or whether kernels are running serially — so the
-  // result is bit-identical across any pool size (the experiment runner's
-  // parallel-vs-serial equality guarantee rests on this).
-  constexpr std::size_t kBlock = 1 << 13;
-  const std::size_t num_blocks = (a.size() + kBlock - 1) / kBlock;
-  if (serial_kernels_active()) {
-    // Same block structure, folded in index order — bitwise-equal to the
-    // pooled path with zero allocations.
-    double total = 0.0;
-    for (std::size_t blk = 0; blk < num_blocks; ++blk) {
-      const std::size_t lo = blk * kBlock;
-      const std::size_t hi = std::min(a.size(), lo + kBlock);
-      double acc = 0.0;
-      for (std::size_t i = lo; i < hi; ++i)
-        acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-      total += acc;
-    }
-    return total;
-  }
-  std::vector<double> partials(num_blocks, 0.0);
-  parallel_for(0, num_blocks, [&](std::size_t blk) {
-    const std::size_t lo = blk * kBlock;
-    const std::size_t hi = std::min(a.size(), lo + kBlock);
-    double acc = 0.0;
-    for (std::size_t i = lo; i < hi; ++i)
-      acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-    partials[blk] = acc;
-  }, /*grain=*/1);
-  double total = 0.0;
-  for (const double acc : partials) total += acc;
-  return total;
+  const detail::OpsKernels& k = active_kernels();
+  return blocked_reduce(a.size(), [&](std::size_t blk) {
+    const std::size_t lo = blk * kReduceBlock;
+    const std::size_t hi = std::min(a.size(), lo + kReduceBlock);
+    return k.dot_block(a.data() + lo, b.data() + lo, hi - lo);
+  });
 }
 
 double l2_norm(std::span<const float> a) { return std::sqrt(dot(a, a)); }
 
 double sum(std::span<const float> a) {
-  double acc = 0.0;
-  for (float v : a) acc += v;
-  return acc;
+  const detail::OpsKernels& k = active_kernels();
+  return blocked_reduce(a.size(), [&](std::size_t blk) {
+    const std::size_t lo = blk * kReduceBlock;
+    const std::size_t hi = std::min(a.size(), lo + kReduceBlock);
+    return k.sum_block(a.data() + lo, hi - lo);
+  });
 }
 
 float max_value(std::span<const float> a) {
@@ -142,6 +275,13 @@ std::size_t argmax(std::span<const float> a) {
   SEAFL_CHECK(!a.empty(), "argmax of empty span");
   return static_cast<std::size_t>(
       std::max_element(a.begin(), a.end()) - a.begin());
+}
+
+double max_abs(std::span<const float> a) {
+  // Order-free reduction: a single serial scan through the active table (the
+  // AVX2 kernel makes this memory-bound even single-threaded).
+  const detail::OpsKernels& k = active_kernels();
+  return static_cast<double>(k.max_abs(a.data(), a.size()));
 }
 
 double cosine_similarity(std::span<const float> a, std::span<const float> b) {

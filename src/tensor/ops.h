@@ -11,6 +11,47 @@
 
 namespace seafl {
 
+// ---- vector-kernel backend dispatch ----------------------------------------
+//
+// Same seam as GemmBackendScope: the span kernels below run through a
+// runtime-dispatched table (portable scalar vs AVX2). Both tables follow the
+// lane-strided reduction contract (ops_kernels.h / DESIGN.md §17), so the
+// backends are bitwise-interchangeable; the override exists for parity tests
+// and benches.
+
+enum class VectorBackend {
+  kScalar,  ///< portable reference kernels
+  kSimd,    ///< AVX2 kernels where the CPU supports them (else scalar)
+};
+
+/// Currently selected backend (process-wide). Defaults to kSimd.
+VectorBackend vector_backend();
+
+/// Overrides the backend. kSimd on a host without AVX2 silently runs scalar.
+void set_vector_backend(VectorBackend backend);
+
+/// True when a vectorized table is actually available on this host.
+bool simd_vector_available();
+
+/// Name of the kernel table the current selection resolves to:
+/// "avx2" or "scalar".
+const char* vector_backend_name();
+
+/// RAII override, mirroring GemmBackendScope.
+class VectorBackendScope {
+ public:
+  explicit VectorBackendScope(VectorBackend backend)
+      : previous_(vector_backend()) {
+    set_vector_backend(backend);
+  }
+  ~VectorBackendScope() { set_vector_backend(previous_); }
+  VectorBackendScope(const VectorBackendScope&) = delete;
+  VectorBackendScope& operator=(const VectorBackendScope&) = delete;
+
+ private:
+  VectorBackend previous_;
+};
+
 // ---- in-place elementwise -------------------------------------------------
 
 /// y += x  (sizes must match)
@@ -34,6 +75,16 @@ void relu_inplace(std::span<float> y);
 /// dy[i] = x[i] > 0 ? dy[i] : 0  — ReLU backward masking.
 void relu_backward_inplace(std::span<float> dy, std::span<const float> x);
 
+// ---- out-of-place elementwise ----------------------------------------------
+
+/// out = a + b  (all sizes must match; out may alias a or b exactly)
+void add_to(std::span<float> out, std::span<const float> a,
+            std::span<const float> b);
+
+/// out = a - b  — e.g. client-delta construction in screening/weighting.
+void sub_to(std::span<float> out, std::span<const float> a,
+            std::span<const float> b);
+
 // ---- reductions -------------------------------------------------------------
 
 /// Dot product (double accumulation for stability).
@@ -50,6 +101,10 @@ float max_value(std::span<const float> a);
 
 /// Index of the maximum element; requires non-empty input. Ties break low.
 std::size_t argmax(std::span<const float> a);
+
+/// Largest |a[i]| (0 for empty input; NaN elements are ignored). Returned as
+/// double because callers (quantizer scale derivation) divide by it in double.
+double max_abs(std::span<const float> a);
 
 /// Cosine similarity in [-1, 1]; returns 0 when either vector is ~zero.
 /// This is Θ(·,·) in Eq. 5 of the paper.

@@ -1,0 +1,50 @@
+// Internal kernel table behind the vector-backend dispatch seam (ops.h).
+//
+// Each entry operates on a raw contiguous range: the public ops functions in
+// ops.cpp handle size checks and pool chunking, then call the active table on
+// each chunk. Two tables exist — the portable scalar one (ops.cpp) and the
+// AVX2 one (ops_simd.cpp), selected at runtime via __builtin_cpu_supports.
+//
+// Determinism contract (DESIGN.md §17): every kernel here is bitwise-equal
+// across tables.
+//  * Elementwise kernels are per-element independent float math with no FMA
+//    contraction (the AVX2 functions are compiled target("avx2") WITHOUT
+//    "fma"), so lane width cannot change results.
+//  * Block reductions (dot_block / sum_block) accumulate into 8 double lanes:
+//    element at block-local offset j accrues to lane (j & 7), lanes combined
+//    sequentially lane0..lane7 at the end. Both tables implement exactly this
+//    order, so scalar == AVX2 bitwise for every block length.
+#pragma once
+
+#include <cstddef>
+
+namespace seafl::detail {
+
+struct OpsKernels {
+  // y[i] op= x[i] / scalars, over n elements.
+  void (*add)(float* y, const float* x, std::size_t n);
+  void (*sub)(float* y, const float* x, std::size_t n);
+  void (*scale)(float* y, float s, std::size_t n);
+  void (*axpy)(float* y, float a, const float* x, std::size_t n);
+  void (*axpby)(float* y, float a, const float* x, float b, std::size_t n);
+  // out[i] = a[i] op b[i] (out never aliases a partial overlap; exact
+  // aliasing out==a or out==b is fine — loads precede stores per element).
+  void (*add_to)(float* out, const float* a, const float* b, std::size_t n);
+  void (*sub_to)(float* out, const float* a, const float* b, std::size_t n);
+  // Lane-strided block reductions; n is one block (<= kReduceBlock).
+  double (*dot_block)(const float* a, const float* b, std::size_t n);
+  double (*sum_block)(const float* a, std::size_t n);
+  // Max of |a[i]| as float (0 for empty; NaN elements are ignored).
+  float (*max_abs)(const float* a, std::size_t n);
+};
+
+/// Portable table — the reference semantics.
+const OpsKernels& scalar_ops_kernels();
+
+/// AVX2 table on capable x86-64 hosts, otherwise the scalar table.
+const OpsKernels& simd_ops_kernels();
+
+/// True when simd_ops_kernels() is a genuinely vectorized table.
+bool ops_simd_available();
+
+}  // namespace seafl::detail

@@ -1,0 +1,204 @@
+// AVX2 implementations of the ops kernel table (ops_kernels.h), following
+// the microkernel_simd.cpp dispatch idiom: compiled with
+// __attribute__((target("avx2"))) — deliberately WITHOUT "fma", so the
+// compiler cannot contract the separate multiply and add below into a fused
+// operation. That keeps every elementwise kernel bitwise-equal to the
+// portable table, and lets the block reductions land on exactly the
+// lane-strided reference order (lane j&7, folded lane0..lane7).
+//
+// Selection is a one-time __builtin_cpu_supports("avx2") check; on other
+// hosts (or non-x86 builds) simd_ops_kernels() aliases the scalar table.
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "tensor/ops_kernels.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SEAFL_OPS_HAVE_X86_DISPATCH 1
+#include <immintrin.h>
+#else
+#define SEAFL_OPS_HAVE_X86_DISPATCH 0
+#endif
+
+namespace seafl::detail {
+
+#if SEAFL_OPS_HAVE_X86_DISPATCH
+
+namespace {
+
+__attribute__((target("avx2"))) void add_avx2(float* y, const float* x,
+                                              std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+__attribute__((target("avx2"))) void sub_avx2(float* y, const float* x,
+                                              std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_sub_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] -= x[i];
+}
+
+__attribute__((target("avx2"))) void scale_avx2(float* y, float s,
+                                                std::size_t n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(_mm256_loadu_ps(y + i), sv));
+  }
+  for (; i < n; ++i) y[i] *= s;
+}
+
+__attribute__((target("avx2"))) void axpy_avx2(float* y, float a,
+                                               const float* x, std::size_t n) {
+  const __m256 av = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(av, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+__attribute__((target("avx2"))) void axpby_avx2(float* y, float a,
+                                                const float* x, float b,
+                                                std::size_t n) {
+  const __m256 av = _mm256_set1_ps(a);
+  const __m256 bv = _mm256_set1_ps(b);
+  std::size_t i = 0;
+  // Both loads precede the store, so exact aliasing (x == y) is safe.
+  for (; i + 8 <= n; i += 8) {
+    const __m256 ax = _mm256_mul_ps(av, _mm256_loadu_ps(x + i));
+    const __m256 by = _mm256_mul_ps(bv, _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(ax, by));
+  }
+  for (; i < n; ++i) y[i] = a * x[i] + b * y[i];
+}
+
+__attribute__((target("avx2"))) void add_to_avx2(float* out, const float* a,
+                                                 const float* b,
+                                                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+__attribute__((target("avx2"))) void sub_to_avx2(float* out, const float* a,
+                                                 const float* b,
+                                                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+// acc0 holds lanes 0..3, acc1 lanes 4..7 of the lane-strided reference
+// order: element at offset j accrues to lane (j & 7) in ascending j, lanes
+// folded 0..7 at the end — bit-for-bit what dot_block_scalar computes. The
+// scalar tail starts at a multiple of 8, so (i & 7) lands in the same lane
+// the vector loop would have used.
+__attribute__((target("avx2"))) double dot_block_avx2(const float* a,
+                                                      const float* b,
+                                                      std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 av = _mm256_loadu_ps(a + i);
+    const __m256 bv = _mm256_loadu_ps(b + i);
+    const __m256d alo = _mm256_cvtps_pd(_mm256_castps256_ps128(av));
+    const __m256d blo = _mm256_cvtps_pd(_mm256_castps256_ps128(bv));
+    const __m256d ahi = _mm256_cvtps_pd(_mm256_extractf128_ps(av, 1));
+    const __m256d bhi = _mm256_cvtps_pd(_mm256_extractf128_ps(bv, 1));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(alo, blo));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(ahi, bhi));
+  }
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, acc0);
+  _mm256_store_pd(lanes + 4, acc1);
+  for (; i < n; ++i)
+    lanes[i & 7] += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  double total = 0.0;
+  for (int l = 0; l < 8; ++l) total += lanes[l];
+  return total;
+}
+
+__attribute__((target("avx2"))) double sum_block_avx2(const float* a,
+                                                      std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 av = _mm256_loadu_ps(a + i);
+    acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm256_castps256_ps128(av)));
+    acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm256_extractf128_ps(av, 1)));
+  }
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, acc0);
+  _mm256_store_pd(lanes + 4, acc1);
+  for (; i < n; ++i) lanes[i & 7] += static_cast<double>(a[i]);
+  double total = 0.0;
+  for (int l = 0; l < 8; ++l) total += lanes[l];
+  return total;
+}
+
+__attribute__((target("avx2"))) float max_abs_avx2(const float* a,
+                                                   std::size_t n) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_andnot_ps(sign_mask, _mm256_loadu_ps(a + i));
+    // Candidate first: maxps returns the SECOND operand when either is NaN,
+    // so a NaN element leaves the accumulator untouched — matching the
+    // scalar table's std::max(acc, fabs(v)) semantics.
+    acc = _mm256_max_ps(v, acc);
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  float m = 0.0f;
+  for (int l = 0; l < 8; ++l) m = std::max(m, lanes[l]);
+  for (; i < n; ++i) m = std::max(m, std::fabs(a[i]));
+  return m;
+}
+
+const OpsKernels kAvx2Kernels = {
+    add_avx2,    sub_avx2,    scale_avx2,     axpy_avx2,      axpby_avx2,
+    add_to_avx2, sub_to_avx2, dot_block_avx2, sum_block_avx2, max_abs_avx2,
+};
+
+bool cpu_has_avx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+}  // namespace
+
+const OpsKernels& simd_ops_kernels() {
+  return cpu_has_avx2() ? kAvx2Kernels : scalar_ops_kernels();
+}
+
+bool ops_simd_available() { return cpu_has_avx2(); }
+
+#else  // !SEAFL_OPS_HAVE_X86_DISPATCH
+
+const OpsKernels& simd_ops_kernels() { return scalar_ops_kernels(); }
+
+bool ops_simd_available() { return false; }
+
+#endif
+
+}  // namespace seafl::detail

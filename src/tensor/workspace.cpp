@@ -15,12 +15,14 @@ std::atomic<std::uint64_t> g_slot_allocs{0};
 // dropped so pathological shape churn cannot hoard memory.
 constexpr std::size_t kMaxPooled = 32;
 
-float* aligned_alloc_floats(std::size_t n) {
-  return static_cast<float*>(
-      ::operator new(n * sizeof(float), std::align_val_t{Workspace::kAlign}));
+template <typename T>
+T* aligned_alloc_elems(std::size_t n) {
+  return static_cast<T*>(
+      ::operator new(n * sizeof(T), std::align_val_t{Workspace::kAlign}));
 }
 
-void aligned_free_floats(float* p) {
+template <typename T>
+void aligned_free_elems(T* p) {
   ::operator delete(p, std::align_val_t{Workspace::kAlign});
 }
 
@@ -67,15 +69,26 @@ Workspace& Workspace::tls() {
 
 Workspace::~Workspace() {
   for (auto& s : slots_) {
-    if (s.ptr != nullptr) aligned_free_floats(s.ptr);
+    if (s.ptr != nullptr) aligned_free_elems(s.ptr);
+  }
+  for (auto& s : dslots_) {
+    if (s.ptr != nullptr) aligned_free_elems(s.ptr);
   }
 }
 
 void Workspace::grow(AlignedBuf& buf, std::size_t n, bool exact) {
-  if (buf.ptr != nullptr) aligned_free_floats(buf.ptr);
+  if (buf.ptr != nullptr) aligned_free_elems(buf.ptr);
   // Geometric growth so alternating sizes settle after one warmup pass.
   const std::size_t cap = exact ? n : std::max(n, buf.cap + buf.cap / 2);
-  buf.ptr = aligned_alloc_floats(cap);
+  buf.ptr = aligned_alloc_elems<float>(cap);
+  buf.cap = cap;
+  g_slot_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Workspace::grow(AlignedDBuf& buf, std::size_t n, bool exact) {
+  if (buf.ptr != nullptr) aligned_free_elems(buf.ptr);
+  const std::size_t cap = exact ? n : std::max(n, buf.cap + buf.cap / 2);
+  buf.ptr = aligned_alloc_elems<double>(cap);
   buf.cap = cap;
   g_slot_allocs.fetch_add(1, std::memory_order_relaxed);
 }
@@ -84,6 +97,16 @@ std::span<float> Workspace::floats(WsSlot slot, std::size_t n) {
   AlignedBuf& buf = slots_[static_cast<std::size_t>(slot)];
   if (!enabled()) {
     grow(buf, n, /*exact=*/true);  // fresh allocation every call ("before")
+  } else if (buf.cap < n) {
+    grow(buf, n, /*exact=*/false);
+  }
+  return {buf.ptr, n};
+}
+
+std::span<double> Workspace::doubles(WsDSlot slot, std::size_t n) {
+  AlignedDBuf& buf = dslots_[static_cast<std::size_t>(slot)];
+  if (!enabled()) {
+    grow(buf, n, /*exact=*/true);
   } else if (buf.cap < n) {
     grow(buf, n, /*exact=*/false);
   }
@@ -131,6 +154,7 @@ void Workspace::ensure_u32(std::vector<std::uint32_t>& v, std::size_t n) {
 std::size_t Workspace::bytes_reserved() const {
   std::size_t total = 0;
   for (const auto& s : slots_) total += s.cap * sizeof(float);
+  for (const auto& s : dslots_) total += s.cap * sizeof(double);
   return total;
 }
 

@@ -36,6 +36,19 @@ enum class WsSlot : std::size_t {
   kGemmRef,        ///< reference-kernel row accumulators
   kIm2colCols,     ///< conv im2col column matrix [col_rows, col_cols]
   kConvDcols,      ///< conv backward column-gradient matrix
+  kScreenDeltas,   ///< screening's flat K x dim client-delta matrix
+  kScreenMean,     ///< screening's mean-delta vector
+  kAggSum,         ///< strategy aggregate accumulator (Eq. 7 weighted sum)
+  kImportanceDelta,  ///< adaptive-weights client-minus-global delta
+  kCount
+};
+
+/// Double-precision scratch channels, independent of the float slots.
+enum class WsDSlot : std::size_t {
+  kOpsPartials = 0,  ///< per-block reduction partials for pooled dot/sum
+  kScreenNorms,      ///< screening's per-update delta norms
+  kScreenScratch,    ///< screening's median scratch (nth_element clobbers it)
+  kWeightScratch,    ///< adaptive/strategy per-update weight vector
   kCount
 };
 
@@ -54,6 +67,13 @@ class Workspace {
   /// The span is invalidated by the next floats() call for the same slot on
   /// this thread (growth may reallocate).
   std::span<float> floats(WsSlot slot, std::size_t n);
+
+  /// Double-precision analogue of floats(); same lifetime rules, separate
+  /// buffers. One relaxation for WsDSlot::kOpsPartials: pool workers may each
+  /// write a disjoint index range of the caller's span (the pool barrier in
+  /// parallel_for orders those writes before the caller reads them and before
+  /// the slot's next acquisition).
+  std::span<double> doubles(WsDSlot slot, std::size_t n);
 
   // ---- free-list recycling for persistent (layer-owned) buffers ----------
 
@@ -98,9 +118,16 @@ class Workspace {
     std::size_t cap = 0;  // floats
   };
 
+  struct AlignedDBuf {
+    double* ptr = nullptr;
+    std::size_t cap = 0;  // doubles
+  };
+
   void grow(AlignedBuf& buf, std::size_t n, bool exact);
+  void grow(AlignedDBuf& buf, std::size_t n, bool exact);
 
   AlignedBuf slots_[static_cast<std::size_t>(WsSlot::kCount)];
+  AlignedDBuf dslots_[static_cast<std::size_t>(WsDSlot::kCount)];
   std::vector<std::vector<float>> float_pool_;
   std::vector<std::vector<std::uint32_t>> u32_pool_;
 };

@@ -4,10 +4,14 @@
 // reporters, and the config/initial-weights helpers both drivers call.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
 
 #include "common/error.h"
+#include "core/screening.h"
+#include "core/seafl_strategy.h"
 #include "fl/server_core.h"
+#include "tensor/workspace.h"
 #include "nn/model_zoo.h"
 #include "obs/trace.h"
 
@@ -254,6 +258,61 @@ TEST(ServerCore, ValidateRunConfigRejectsBadParameters) {
     EXPECT_THROW(validate_run_config(c, n), Error);
   }
   EXPECT_NO_THROW(validate_run_config(semi_async_config(), n));
+}
+
+TEST(ServerCore, ReportersSpanStaysCorrectAcrossRounds) {
+  // AggregateOutcome::reporters is a span into a scratch vector the core
+  // reuses round to round; each aggregation must expose exactly that round's
+  // contributors in arrival order, with no carry-over from earlier rounds.
+  const RunConfig config = semi_async_config();  // K = 2
+  MeanStub strategy;
+  ServerCore core(&strategy, config);
+  core.begin(ModelVector{0.0f, 0.0f}, /*num_clients=*/8);
+
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    const std::size_t a = (2 * r) % 8;
+    const std::size_t b = (2 * r + 1) % 8;
+    core.add_update(update_from(a, r, 1.0f + r, 2));
+    core.add_update(update_from(b, r, 2.0f + r, 2));
+    const AggregateOutcome out =
+        core.try_aggregate(static_cast<double>(r + 1), {}, nullptr);
+    ASSERT_TRUE(out.aggregated);
+    ASSERT_EQ(out.reporters.size(), 2u);
+    EXPECT_EQ(out.reporters[0], a);
+    EXPECT_EQ(out.reporters[1], b);
+    EXPECT_TRUE(core.buffer().empty());
+  }
+  EXPECT_EQ(core.result().aggregations, 4u);
+  EXPECT_EQ(core.result().total_updates, 8u);
+}
+
+TEST(ServerCore, SteadyStateRoundsReuseWorkspaceSlots) {
+  // Regression pin for the zero-allocation data plane (DESIGN.md §17): with
+  // constant K and dim, the screening + adaptive-aggregation round stages
+  // everything in already-sized workspace slots — the slot-allocation
+  // counter must stay flat after the sizing rounds.
+  if (!Workspace::enabled()) GTEST_SKIP() << "workspace arena disabled";
+  const RunConfig config = semi_async_config();  // K = 2
+  ScreeningConfig screening;
+  screening.clip_multiple = 3.0;
+  screening.min_cosine = -0.9;
+  screening.min_buffer = 2;
+  ScreenedStrategy strategy(std::make_unique<SeaflStrategy>(SeaflConfig{}),
+                            screening);
+  ServerCore core(&strategy, config);
+  core.begin(ModelVector(64, 0.1f), /*num_clients=*/8);
+  core.result().round_log.reserve(16);
+
+  const auto round = [&](std::uint64_t r) {
+    core.add_update(update_from((2 * r) % 8, r, 0.5f + 0.1f * r, 64));
+    core.add_update(update_from((2 * r + 1) % 8, r, 1.5f - 0.1f * r, 64));
+    ASSERT_TRUE(
+        core.try_aggregate(static_cast<double>(r + 1), {}, nullptr).aggregated);
+  };
+  for (std::uint64_t r = 0; r < 3; ++r) round(r);  // sizing rounds
+  const std::uint64_t sized = Workspace::total_slot_allocs();
+  for (std::uint64_t r = 3; r < 7; ++r) round(r);
+  EXPECT_EQ(Workspace::total_slot_allocs(), sized);
 }
 
 TEST(ServerCore, InitialGlobalWeightsAreSeedDeterministic) {

@@ -59,15 +59,15 @@ TEST(MixIntoGlobalTest, ConvexCombination) {
 
 TEST(MixIntoGlobalTest, ThetaOneReplaces) {
   ModelVector global{1.0f};
-  mix_into_global({9.0f}, 1.0, global);
+  mix_into_global(ModelVector{9.0f}, 1.0, global);
   EXPECT_FLOAT_EQ(global[0], 9.0f);
 }
 
 TEST(MixIntoGlobalTest, RejectsBadArguments) {
   ModelVector global{1.0f};
-  EXPECT_THROW(mix_into_global({1.0f}, 0.0, global), Error);
-  EXPECT_THROW(mix_into_global({1.0f}, 1.5, global), Error);
-  EXPECT_THROW(mix_into_global({1.0f, 2.0f}, 0.5, global), Error);
+  EXPECT_THROW(mix_into_global(ModelVector{1.0f}, 0.0, global), Error);
+  EXPECT_THROW(mix_into_global(ModelVector{1.0f}, 1.5, global), Error);
+  EXPECT_THROW(mix_into_global(ModelVector{1.0f, 2.0f}, 0.5, global), Error);
 }
 
 // ------------------------------------------------------------------ FedAvg

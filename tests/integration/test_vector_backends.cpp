@@ -1,0 +1,135 @@
+// End-to-end vector-backend equivalence: a full semi-asynchronous FL
+// simulation must produce the same RunResult — accuracy curve, event
+// accounting, and final weights bitwise — whether the span kernels run the
+// portable scalar table or the AVX2 table, on any target where the compiler
+// does not contract mul+add into FMA (the lane-strided reduction contract
+// of DESIGN.md §17). Arms cover the paths the SIMD work touched: adaptive
+// aggregation (seafl/seafl2), screening (seafl-ft), the q8 codec fast path
+// (int8), and top-k with error feedback.
+#include <gtest/gtest.h>
+
+#include "core/presets.h"
+#include "data/registry.h"
+#include "sim/fleet.h"
+#include "tensor/ops.h"
+
+namespace seafl {
+namespace {
+
+struct Fixture {
+  FlTask task;
+  Fleet fleet;
+
+  Fixture()
+      : task(make_task([] {
+          TaskSpec spec;
+          spec.name = "synth-mnist";
+          spec.num_clients = 10;
+          spec.samples_per_client = 12;
+          spec.test_samples = 50;
+          return spec;
+        }())),
+        fleet([] {
+          FleetConfig fc;
+          fc.num_devices = 10;
+          fc.pareto_shape = 1.4;
+          fc.seed = 11;
+          return fc;
+        }()) {}
+
+  ExperimentParams params() const {
+    ExperimentParams p;
+    p.buffer_size = 3;
+    p.concurrency = 5;
+    p.staleness_limit = 2;
+    p.local_epochs = 1;
+    p.batch_size = 8;
+    p.max_rounds = 6;
+    p.stop_at_target = false;
+    p.seed = 42;
+    return p;
+  }
+};
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].time, b.curve[i].time);
+    EXPECT_EQ(a.curve[i].accuracy, b.curve[i].accuracy);
+    EXPECT_EQ(a.curve[i].loss, b.curve[i].loss);
+  }
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_updates, b.total_updates);
+  EXPECT_EQ(a.model_uploads, b.model_uploads);
+  EXPECT_EQ(a.mean_staleness, b.mean_staleness);
+  ASSERT_EQ(a.final_weights.size(), b.final_weights.size());
+  for (std::size_t i = 0; i < a.final_weights.size(); ++i)
+    EXPECT_EQ(a.final_weights[i], b.final_weights[i]);  // bitwise
+}
+
+RunResult run_with(VectorBackend backend, const std::string& algorithm,
+                   const ExperimentParams& params, const Fixture& f) {
+  VectorBackendScope scope(backend);
+  return run_arm(algorithm, params, f.task, f.fleet, nullptr);
+}
+
+TEST(VectorBackendE2ETest, EachBackendIsRepeatable) {
+  Fixture f;
+  const ExperimentParams p = f.params();
+  expect_identical(run_with(VectorBackend::kScalar, "seafl2", p, f),
+                   run_with(VectorBackend::kScalar, "seafl2", p, f));
+  expect_identical(run_with(VectorBackend::kSimd, "seafl2", p, f),
+                   run_with(VectorBackend::kSimd, "seafl2", p, f));
+}
+
+#if !defined(__FMA__)
+
+TEST(VectorBackendE2ETest, SeaflMatchesBitwise) {
+  Fixture f;
+  expect_identical(run_with(VectorBackend::kScalar, "seafl", f.params(), f),
+                   run_with(VectorBackend::kSimd, "seafl", f.params(), f));
+}
+
+TEST(VectorBackendE2ETest, Seafl2MatchesBitwise) {
+  Fixture f;
+  expect_identical(run_with(VectorBackend::kScalar, "seafl2", f.params(), f),
+                   run_with(VectorBackend::kSimd, "seafl2", f.params(), f));
+}
+
+TEST(VectorBackendE2ETest, ScreeningArmMatchesBitwise) {
+  // seafl-ft wires pre-aggregation screening (screen_updates_into) into the
+  // round, so this exercises the arena-staged delta/norm/mean kernels.
+  Fixture f;
+  expect_identical(run_with(VectorBackend::kScalar, "seafl-ft", f.params(), f),
+                   run_with(VectorBackend::kSimd, "seafl-ft", f.params(), f));
+}
+
+TEST(VectorBackendE2ETest, Int8CodecArmMatchesBitwise) {
+  // int8 quantization hits the q8 encode/decode fast path on every upload.
+  Fixture f;
+  ExperimentParams p = f.params();
+  p.codec = "int8";
+  expect_identical(run_with(VectorBackend::kScalar, "seafl2", p, f),
+                   run_with(VectorBackend::kSimd, "seafl2", p, f));
+}
+
+TEST(VectorBackendE2ETest, TopKErrorFeedbackArmMatchesBitwise) {
+  Fixture f;
+  ExperimentParams p = f.params();
+  p.codec = "topk";
+  p.topk_fraction = 0.25;
+  p.error_feedback = true;
+  expect_identical(run_with(VectorBackend::kScalar, "seafl2", p, f),
+                   run_with(VectorBackend::kSimd, "seafl2", p, f));
+}
+
+#else
+// Under -march=native with FMA the scalar table's mul+add chains may be
+// contracted, so the exact cross-backend comparison is not claimed there
+// (same carve-out as the GEMM backends in test_kernel_backends.cpp).
+#endif
+
+}  // namespace
+}  // namespace seafl

@@ -1,0 +1,207 @@
+// Scalar-vs-SIMD parity for the runtime-dispatched vector kernels
+// (DESIGN.md §17). Both kernel tables implement the same lane-strided
+// partial-sum contract, so on hosts where the compiler does not contract
+// mul+add into FMA the backends must agree *bitwise* for every kernel, at
+// any size, span offset (alignment), and thread count. The grid below
+// straddles the SIMD vector width, the reduction block size (2^13), and the
+// parallel threshold (2^15), at several misaligned offsets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace seafl {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+constexpr std::size_t kSizes[] = {1,
+                                  5,
+                                  8,
+                                  9,
+                                  17,
+                                  1000,
+                                  (std::size_t{1} << 13) + 3,
+                                  (std::size_t{1} << 15) - 1,
+                                  (std::size_t{1} << 15) + 1,
+                                  std::size_t{1} << 17};
+constexpr std::size_t kOffsets[] = {0, 1, 3};
+
+TEST(VectorBackendTest, ScopeSetsAndRestores) {
+  const VectorBackend before = vector_backend();
+  {
+    VectorBackendScope scalar(VectorBackend::kScalar);
+    EXPECT_EQ(vector_backend(), VectorBackend::kScalar);
+    EXPECT_STREQ(vector_backend_name(), "scalar");
+    {
+      VectorBackendScope simd(VectorBackend::kSimd);
+      EXPECT_EQ(vector_backend(), VectorBackend::kSimd);
+    }
+    EXPECT_EQ(vector_backend(), VectorBackend::kScalar);
+  }
+  EXPECT_EQ(vector_backend(), before);
+}
+
+TEST(VectorBackendTest, SimdNameMatchesAvailability) {
+  VectorBackendScope scope(VectorBackend::kSimd);
+  if (simd_vector_available()) {
+    EXPECT_STREQ(vector_backend_name(), "avx2");
+  } else {
+    // kSimd on a host without a vectorized table silently runs scalar.
+    EXPECT_STREQ(vector_backend_name(), "scalar");
+  }
+}
+
+#if !defined(__FMA__)
+
+TEST(VectorParityTest, ElementwiseKernelsMatchBitwise) {
+  if (!simd_vector_available()) GTEST_SKIP() << "no SIMD table on this host";
+  for (std::size_t n : kSizes) {
+    for (std::size_t off : kOffsets) {
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " off=" << off);
+      const std::vector<float> x = random_vec(n + off, 7 * n + off + 1);
+      const std::vector<float> y0 = random_vec(n + off, 13 * n + off + 2);
+      const auto xs = std::span<const float>(x).subspan(off, n);
+
+      // Runs `op` on a fresh copy of y0 under `backend`; padding outside the
+      // subspan must come back untouched, so the whole vector is compared.
+      const auto run = [&](VectorBackend backend, const auto& op) {
+        VectorBackendScope scope(backend);
+        std::vector<float> y = y0;
+        op(std::span<float>(y).subspan(off, n));
+        return y;
+      };
+      const auto both = [&](const char* what, const auto& op) {
+        SCOPED_TRACE(what);
+        EXPECT_EQ(run(VectorBackend::kScalar, op),
+                  run(VectorBackend::kSimd, op));
+      };
+
+      both("add_inplace", [&](std::span<float> y) { add_inplace(y, xs); });
+      both("sub_inplace", [&](std::span<float> y) { sub_inplace(y, xs); });
+      both("scale_inplace", [&](std::span<float> y) { scale_inplace(y, 0.37f); });
+      both("axpy", [&](std::span<float> y) { axpy(y, -1.25f, xs); });
+      both("axpby", [&](std::span<float> y) { axpby(y, 0.6f, xs, 0.4f); });
+      both("relu_inplace", [&](std::span<float> y) { relu_inplace(y); });
+      both("relu_backward",
+           [&](std::span<float> y) { relu_backward_inplace(y, xs); });
+      both("add_to aliased", [&](std::span<float> y) { add_to(y, y, xs); });
+      both("sub_to aliased", [&](std::span<float> y) { sub_to(y, y, xs); });
+    }
+  }
+}
+
+TEST(VectorParityTest, OutOfPlaceKernelsMatchBitwise) {
+  if (!simd_vector_available()) GTEST_SKIP() << "no SIMD table on this host";
+  for (std::size_t n : kSizes) {
+    SCOPED_TRACE(::testing::Message() << "n=" << n);
+    const std::vector<float> a = random_vec(n, 3 * n + 1);
+    const std::vector<float> b = random_vec(n, 5 * n + 2);
+    const auto run = [&](VectorBackend backend, bool subtract) {
+      VectorBackendScope scope(backend);
+      std::vector<float> out(n, -99.0f);
+      if (subtract) {
+        sub_to(out, a, b);
+      } else {
+        add_to(out, a, b);
+      }
+      return out;
+    };
+    EXPECT_EQ(run(VectorBackend::kScalar, false),
+              run(VectorBackend::kSimd, false));
+    EXPECT_EQ(run(VectorBackend::kScalar, true),
+              run(VectorBackend::kSimd, true));
+  }
+}
+
+TEST(VectorParityTest, ReductionsMatchBitwise) {
+  if (!simd_vector_available()) GTEST_SKIP() << "no SIMD table on this host";
+  for (std::size_t n : kSizes) {
+    for (std::size_t off : kOffsets) {
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " off=" << off);
+      const std::vector<float> a = random_vec(n + off, 17 * n + off + 3);
+      const std::vector<float> b = random_vec(n + off, 19 * n + off + 4);
+      const auto as = std::span<const float>(a).subspan(off, n);
+      const auto bs = std::span<const float>(b).subspan(off, n);
+
+      const auto with = [&](VectorBackend backend, const auto& f) {
+        VectorBackendScope scope(backend);
+        return f();
+      };
+      const auto both = [&](const char* what, const auto& f) {
+        SCOPED_TRACE(what);
+        EXPECT_EQ(with(VectorBackend::kScalar, f),
+                  with(VectorBackend::kSimd, f));
+      };
+
+      both("dot", [&] { return dot(as, bs); });
+      both("sum", [&] { return sum(as); });
+      both("l2_norm", [&] { return l2_norm(as); });
+      both("max_abs", [&] { return max_abs(as); });
+      both("cosine_similarity", [&] { return cosine_similarity(as, bs); });
+      both("max_value", [&] { return max_value(as); });
+      both("argmax", [&] { return argmax(as); });
+    }
+  }
+}
+
+#else
+// Under -march=native with FMA the compiler may contract the scalar table's
+// mul+add chains; the exact cross-backend comparison is not claimed there
+// (same carve-out as the GEMM backends, DESIGN.md §11).
+#endif
+
+// The lane-strided contract also promises thread-count independence: pooled
+// partial sums fold in the same lane order as the serial path. This holds
+// per backend regardless of FMA contraction, so it is never gated.
+TEST(VectorParityTest, ReductionsIndependentOfThreading) {
+  const std::size_t n = (std::size_t{1} << 17) + 5;  // well past the pool cut
+  const std::vector<float> a = random_vec(n, 101);
+  const std::vector<float> b = random_vec(n, 102);
+  for (VectorBackend backend : {VectorBackend::kScalar, VectorBackend::kSimd}) {
+    SCOPED_TRACE(backend == VectorBackend::kScalar ? "scalar" : "simd");
+    VectorBackendScope scope(backend);
+    const double d = dot(a, b);
+    const double s = sum(a);
+    const double l = l2_norm(a);
+    const double m = max_abs(a);
+    const double c = cosine_similarity(a, b);
+    SerialKernelScope serial;
+    EXPECT_EQ(dot(a, b), d);
+    EXPECT_EQ(sum(a), s);
+    EXPECT_EQ(l2_norm(a), l);
+    EXPECT_EQ(max_abs(a), m);
+    EXPECT_EQ(cosine_similarity(a, b), c);
+  }
+}
+
+TEST(VectorParityTest, MaxAbsIgnoresNaNOnBothBackends) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> v(1000, 0.25f);
+  v[0] = nan;
+  v[63] = -nan;
+  v[500] = -7.5f;  // the magnitude winner
+  v[999] = nan;
+  for (VectorBackend backend : {VectorBackend::kScalar, VectorBackend::kSimd}) {
+    SCOPED_TRACE(backend == VectorBackend::kScalar ? "scalar" : "simd");
+    VectorBackendScope scope(backend);
+    EXPECT_EQ(max_abs(v), 7.5);
+    EXPECT_EQ(max_abs(std::span<const float>{}), 0.0);
+    EXPECT_EQ(max_abs(std::vector<float>{nan}), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace seafl
